@@ -1,0 +1,56 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper by running the
+corresponding experiment module and printing its report.  The heavyweight
+experiment benchmarks run exactly once per session (``rounds=1``) — the
+interesting output is the report itself (pattern counts and per-miner
+runtimes measured inside the harness), not the timer statistics.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Add ``-s`` to stream the reports to the terminal while they are produced;
+without it the reports appear in the captured-output section and in the
+``bench_output.txt`` file the top-level instructions tee them into.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a callable exactly once under the benchmark timer and return its result."""
+
+    def _run_once(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run_once
+
+
+@pytest.fixture
+def emit(request):
+    """Print an experiment report and persist it under ``benchmarks/reports/``.
+
+    pytest captures stdout of passing tests, so the printed report is only
+    visible with ``-s``; the copy written to ``benchmarks/reports/<id>.txt``
+    (plus JSON next to it) is always available and is what EXPERIMENTS.md
+    cites.
+    """
+    from pathlib import Path
+
+    from repro.experiments.reporting import save_report_json
+
+    reports_dir = Path(request.config.rootpath) / "benchmarks" / "reports"
+
+    def _emit(report) -> None:
+        print()
+        print(report.to_text())
+        print()
+        reports_dir.mkdir(parents=True, exist_ok=True)
+        (reports_dir / f"{report.experiment_id}.txt").write_text(report.to_text() + "\n")
+        save_report_json(report, reports_dir / f"{report.experiment_id}.json")
+
+    return _emit

@@ -1,0 +1,50 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+* Landmark border checking (Theorem 5) on vs off: identical output, but the
+  pruned run visits no more DFS nodes — the paper's central efficiency claim
+  for CloGSgrow.
+* Closure checking cost: number of extension evaluations actually performed
+  thanks to the Apriori 2-gram pre-filter.
+"""
+
+import pytest
+
+from repro.core.clogsgrow import CloGSgrow
+from repro.datagen.tcas import TcasLikeGenerator
+
+MIN_SUP = 30
+MAX_LENGTH = 4
+
+
+@pytest.fixture(scope="module")
+def trace_database():
+    # The TCAS-like dataset is where landmark border pruning matters most:
+    # loops make block subsequences repeat densely.
+    return TcasLikeGenerator(num_sequences=30, seed=0).generate()
+
+
+def test_lbcheck_enabled(benchmark, trace_database):
+    miner = CloGSgrow(MIN_SUP, max_length=MAX_LENGTH, enable_lbcheck=True)
+    result = benchmark.pedantic(miner.mine, args=(trace_database,), rounds=1, iterations=1)
+    print(f"\nLBCheck on : {len(result)} closed patterns, "
+          f"{miner.stats.nodes_visited} nodes visited, "
+          f"{miner.stats.nodes_pruned_lbcheck} subtrees pruned, "
+          f"{miner.stats.extension_evaluations} extension evaluations")
+    assert miner.stats.nodes_pruned_lbcheck > 0
+
+
+def test_lbcheck_disabled(benchmark, trace_database):
+    miner = CloGSgrow(MIN_SUP, max_length=MAX_LENGTH, enable_lbcheck=False)
+    result = benchmark.pedantic(miner.mine, args=(trace_database,), rounds=1, iterations=1)
+    print(f"\nLBCheck off: {len(result)} closed patterns, "
+          f"{miner.stats.nodes_visited} nodes visited")
+    assert miner.stats.nodes_pruned_lbcheck == 0
+
+
+def test_lbcheck_outputs_identical_and_pruning_helps(trace_database):
+    pruned = CloGSgrow(MIN_SUP, max_length=MAX_LENGTH, enable_lbcheck=True)
+    unpruned = CloGSgrow(MIN_SUP, max_length=MAX_LENGTH, enable_lbcheck=False)
+    with_pruning = pruned.mine(trace_database)
+    without_pruning = unpruned.mine(trace_database)
+    assert with_pruning.as_dict() == without_pruning.as_dict()
+    assert pruned.stats.nodes_visited <= unpruned.stats.nodes_visited

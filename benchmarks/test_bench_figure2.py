@@ -1,0 +1,26 @@
+"""Benchmark / regeneration of Figure 2.
+
+Runtime and number of patterns of GSgrow ("All") and CloGSgrow ("Closed")
+while the support threshold drops, on the scaled synthetic D5C20N10S20
+dataset.  As in the paper, GSgrow is skipped below a cut-off threshold and
+the closed pattern count stays far below the count of all frequent patterns.
+"""
+
+from repro.experiments.figure2 import run_figure2
+
+
+def test_figure2_support_threshold_sweep(benchmark, run_once, emit):
+    report = run_once(run_figure2)
+    emit(report)
+
+    rows = report.rows
+    assert len(rows) >= 3
+    # Shape check (a): closed never exceeds all where both were run.
+    for row in rows:
+        if row["all_patterns"] is not None:
+            assert row["closed_patterns"] <= row["all_patterns"]
+    # Shape check (b): pattern counts grow as the threshold drops.
+    closed_counts = [row["closed_patterns"] for row in rows]
+    assert closed_counts[-1] >= closed_counts[0]
+    # Shape check (c): GSgrow is skipped below the cut-off (the "..." region).
+    assert any(row["all_patterns"] is None for row in rows)

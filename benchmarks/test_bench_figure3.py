@@ -1,0 +1,23 @@
+"""Benchmark / regeneration of Figure 3 (Gazelle-like clickstream).
+
+Support-threshold sweep on the heavy-tailed clickstream dataset: the number
+of closed patterns stays well below the number of all frequent patterns, and
+only CloGSgrow is run below the cut-off threshold.
+"""
+
+from repro.experiments.figure3 import run_figure3
+
+
+def test_figure3_support_threshold_sweep(benchmark, run_once, emit):
+    report = run_once(run_figure3)
+    emit(report)
+
+    rows = report.rows
+    assert len(rows) >= 3
+    for row in rows:
+        if row["all_patterns"] is not None:
+            assert row["closed_patterns"] <= row["all_patterns"]
+    assert any(row["all_patterns"] is None for row in rows)
+    # Pattern counts must not shrink as the threshold drops.
+    closed_counts = [row["closed_patterns"] for row in rows]
+    assert closed_counts[-1] >= closed_counts[0]

@@ -1,0 +1,27 @@
+"""Benchmark / regeneration of Figure 5 (varying the number of sequences).
+
+At a fixed support threshold the runtime and pattern counts of both miners
+grow with the database size; past a cut-off size only CloGSgrow is run (the
+paper stops GSgrow at around 15K sequences because there are simply too many
+frequent patterns).
+"""
+
+from repro.experiments.figure5 import run_figure5
+
+
+def test_figure5_database_size_sweep(benchmark, run_once, emit):
+    report = run_once(run_figure5)
+    emit(report)
+
+    rows = report.rows
+    assert len(rows) >= 3
+    sizes = [row["num_sequences"] for row in rows]
+    assert sizes == sorted(sizes)
+    for row in rows:
+        if row["all_patterns"] is not None:
+            assert row["closed_patterns"] <= row["all_patterns"]
+    # The largest databases are mined by CloGSgrow only.
+    assert rows[-1]["all_patterns"] is None
+    assert rows[-1]["closed_patterns"] is not None
+    # Closed pattern count grows (weakly) with the database size.
+    assert rows[-1]["closed_patterns"] >= rows[0]["closed_patterns"]

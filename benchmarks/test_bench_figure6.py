@@ -1,0 +1,26 @@
+"""Benchmark / regeneration of Figure 6 (varying the average sequence length).
+
+Longer sequences mean more frequent patterns at the same threshold; the
+runtimes of both miners grow with the average length and, as in the paper,
+the longest settings are mined by CloGSgrow only.
+"""
+
+from repro.experiments.figure6 import run_figure6
+
+
+def test_figure6_sequence_length_sweep(benchmark, run_once, emit):
+    report = run_once(run_figure6)
+    emit(report)
+
+    rows = report.rows
+    assert len(rows) >= 3
+    lengths = [row["average_length"] for row in rows]
+    assert lengths == sorted(lengths)
+    for row in rows:
+        if row["all_patterns"] is not None:
+            assert row["closed_patterns"] <= row["all_patterns"]
+    # Beyond the cut-off length only the closed miner is run, and it finishes.
+    assert rows[-1]["all_patterns"] is None
+    assert rows[-1]["closed_patterns"] is not None
+    # More patterns are found on longer sequences (weak monotonicity).
+    assert rows[-1]["closed_patterns"] >= rows[0]["closed_patterns"]

@@ -1,0 +1,19 @@
+"""Benchmark / regeneration of Table I (support-semantics comparison).
+
+Prints the support of the Example 1.1 patterns under every related-work
+semantics; the numbers should match the ones quoted in the paper's
+related-work discussion (see ``repro/experiments/table1.py``).
+"""
+
+from repro.experiments.table1 import run_table1
+
+
+def test_table1_semantics_comparison(benchmark, run_once, emit):
+    report = run_once(run_table1)
+    emit(report)
+    ab_row = next(row for row in report.rows if row["pattern"] == "AB")
+    cd_row = next(row for row in report.rows if row["pattern"] == "CD")
+    # The paper's headline contrast: repetitive support separates AB from CD,
+    # sequence-count support does not.
+    assert ab_row["repetitive"] == 4 and cd_row["repetitive"] == 2
+    assert ab_row["sequential"] == cd_row["sequential"] == 2

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Scaling study on clickstream data: all patterns vs closed patterns.
+
+A miniature version of the paper's Experiment 1 (Figure 3) that a user can
+run in about a minute: generate a Gazelle-like clickstream, sweep the support
+threshold, and print runtime and pattern counts for GSgrow ("All") and
+CloGSgrow ("Closed").  Below the cut-off threshold only the closed miner is
+run — exactly how the paper plots its figures.
+
+Run with::
+
+    python examples/clickstream_scaling.py
+"""
+
+from repro.datagen.gazelle import GazelleLikeGenerator
+from repro.db.stats import describe
+from repro.experiments.harness import run_support_sweep
+
+
+def main() -> None:
+    db = GazelleLikeGenerator(num_sequences=600, num_events=120, seed=3).generate()
+    print(f"clickstream: {describe(db).summary()}")
+
+    thresholds = (20, 14, 10, 8)
+    sweep = run_support_sweep(db, thresholds, all_patterns_cutoff=10, max_length=4)
+
+    print(f"\n{'min_sup':>8} {'all patterns':>14} {'all time (s)':>13} "
+          f"{'closed patterns':>16} {'closed time (s)':>16}")
+    for point in sweep.points:
+        all_patterns = "-" if point.all_patterns is None else str(point.all_patterns)
+        all_time = "-" if point.all_runtime is None else f"{point.all_runtime:.2f}"
+        print(f"{point.parameter:>8} {all_patterns:>14} {all_time:>13} "
+              f"{point.closed_patterns:>16} {point.closed_runtime:>16.2f}")
+
+    print("\nAs in the paper: the closed result set stays small while the set of")
+    print("all frequent patterns explodes as the support threshold drops; below")
+    print("the cut-off only CloGSgrow is practical.")
+
+
+if __name__ == "__main__":
+    main()

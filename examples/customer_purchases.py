@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Customer purchase analysis: repetitive patterns as behaviour signatures.
+
+The paper's introduction motivates repetitive-support mining with customer
+purchase histories: a pattern that merely *appears* in every customer's
+history is less informative than one that *repeats* heavily for some
+customers.  This example builds two synthetic customer segments — "subscribers"
+who re-order the same bundle over and over, and "one-off" shoppers — and shows
+
+1. how sequential (sequence-count) support cannot tell the segments apart,
+   while repetitive support can;
+2. how per-sequence supports of mined closed patterns become features that a
+   tiny classifier can use to recover the segments (the paper's future-work
+   direction).
+
+Run with::
+
+    python examples/customer_purchases.py
+"""
+
+import random
+
+from repro import SequenceDatabase, mine_closed
+from repro.analysis.classify import NearestCentroidClassifier
+from repro.analysis.features import PatternFeatureExtractor
+from repro.baselines.sequential import sequence_support
+from repro.core.support import repetitive_support
+
+EVENTS = {
+    "b": "browse catalogue",
+    "o": "order placed",
+    "p": "payment",
+    "s": "shipment",
+    "r": "return",
+}
+
+
+def subscriber_history(rng: random.Random) -> str:
+    """A customer who re-orders the same bundle many times."""
+    history = ""
+    for _ in range(rng.randint(4, 7)):
+        history += "b" * rng.randint(0, 2) + "ops"
+    return history
+
+
+def one_off_history(rng: random.Random) -> str:
+    """A customer who browses a lot but orders at most once."""
+    history = "b" * rng.randint(3, 8)
+    if rng.random() < 0.8:
+        history += "ops"
+    if rng.random() < 0.3:
+        history += "r"
+    return history
+
+
+def build_segment_database(seed: int = 7):
+    rng = random.Random(seed)
+    subscribers = [subscriber_history(rng) for _ in range(15)]
+    one_offs = [one_off_history(rng) for _ in range(15)]
+    db = SequenceDatabase.from_strings(subscribers + one_offs, name="customers")
+    labels = ["subscriber"] * len(subscribers) + ["one-off"] * len(one_offs)
+    return db, labels
+
+
+def main() -> None:
+    db, labels = build_segment_database()
+    print(f"database: {db!r}")
+
+    # --- Sequential support vs repetitive support ---------------------------
+    order_to_ship = "os"  # order ... shipment
+    print("\nPattern 'order -> shipment':")
+    print(f"  sequence-count support : {sequence_support(db, order_to_ship)}"
+          f" (out of {len(db)} customers)")
+    print(f"  repetitive support     : {repetitive_support(db, order_to_ship)}"
+          " (counts every re-order)")
+
+    # --- Closed repetitive patterns as segment signatures -------------------
+    closed = mine_closed(db, min_sup=20)
+    print(f"\nclosed patterns with repetitive support >= 20: {len(closed)}")
+    for entry in closed.sorted_by_support()[:8]:
+        readable = " -> ".join(EVENTS[e] for e in entry.pattern)
+        print(f"  sup={entry.support:3d}  {entry.pattern}  ({readable})")
+
+    # --- Classification from per-sequence supports --------------------------
+    extractor = PatternFeatureExtractor().fit(db, min_sup=20, max_patterns=5, min_length=2)
+    features = extractor.transform(db)
+    classifier = NearestCentroidClassifier().fit(features, labels)
+    accuracy = classifier.score(features, labels)
+    print(f"\nfeatures used: {extractor.feature_names()}")
+    print(f"nearest-centroid training accuracy on the two segments: {accuracy:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Gap-constrained motif mining in DNA-like sequences.
+
+The paper's conclusion points to mining subsequences from long DNA/protein
+sequences, with gap constraints, as future work.  This example exercises the
+gap-constrained variant shipped in :mod:`repro.core.constraints`:
+
+1. generate a small set of DNA-like sequences with a planted motif
+   ``A..C..G`` (fixed order, small gaps);
+2. mine closed repetitive patterns with and without a gap constraint;
+3. show that the constraint removes the spurious long-range combinations and
+   leaves the planted motif at the top.
+
+Run with::
+
+    python examples/dna_motifs.py
+"""
+
+import random
+
+from repro import GapConstraint, SequenceDatabase, mine_closed
+
+BASES = "ACGT"
+MOTIF = "ACG"
+
+
+def planted_sequence(rng: random.Random, length: int = 60, plants: int = 4) -> str:
+    """Random bases with `plants` copies of the motif (small gaps) inserted."""
+    bases = [rng.choice(BASES) for _ in range(length)]
+    for _ in range(plants):
+        start = rng.randrange(0, length - 8)
+        position = start
+        for base in MOTIF:
+            bases[position] = base
+            position += 1 + rng.randint(0, 1)  # gap of 0 or 1 between motif bases
+    return "".join(bases)
+
+
+def main() -> None:
+    rng = random.Random(11)
+    db = SequenceDatabase.from_strings(
+        [planted_sequence(rng) for _ in range(8)], name="dna-like"
+    )
+    print(f"database: {db!r}")
+
+    min_sup = 24
+    unconstrained = mine_closed(db, min_sup, max_length=4)
+    constrained = mine_closed(
+        db, min_sup, max_length=4, constraint=GapConstraint(min_gap=0, max_gap=2)
+    )
+
+    print(f"\nclosed patterns (min_sup={min_sup}, length <= 4):")
+    print(f"  without gap constraint : {len(unconstrained)}")
+    print(f"  with gap in [0, 2]     : {len(constrained)}")
+
+    print("\ntop constrained patterns (gap in [0, 2]):")
+    for entry in constrained.sorted_by_support()[:8]:
+        marker = "  <-- planted motif" if str(entry.pattern) == MOTIF else ""
+        print(f"  sup={entry.support:3d}  {entry.pattern}{marker}")
+
+    motif_entry = constrained.get(MOTIF)
+    if motif_entry is not None:
+        print(f"\nthe planted motif {MOTIF} is reported with support {motif_entry.support}")
+    else:
+        print(f"\nthe planted motif {MOTIF} did not reach the support threshold")
+
+
+if __name__ == "__main__":
+    main()

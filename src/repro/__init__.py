@@ -1,0 +1,54 @@
+"""repro — repetitive gapped subsequence mining.
+
+A from-scratch reproduction of *"Efficient Mining of Closed Repetitive
+Gapped Subsequences from a Sequence Database"* (Ding, Lo, Han & Khoo,
+ICDE 2009), packaged as a reusable library:
+
+* :mod:`repro.db` — sequence databases, inverted event index, I/O.
+* :mod:`repro.core` — repetitive support semantics, instance growth,
+  the GSgrow and CloGSgrow miners.
+* :mod:`repro.baselines` — the related-work support semantics of Table I and
+  classic sequential-pattern miners (PrefixSpan, BIDE, CloSpan).
+* :mod:`repro.datagen` — synthetic generators standing in for the paper's
+  datasets (IBM Quest, Gazelle, TCAS, JBoss traces).
+* :mod:`repro.postprocess` — density / maximality / ranking filters used in
+  the case study.
+* :mod:`repro.analysis` — per-sequence support features and classification
+  (the paper's future-work direction).
+* :mod:`repro.experiments` — runners that regenerate every table and figure
+  of the evaluation section.
+"""
+
+from repro.api import mine
+from repro.core.clogsgrow import CloGSgrow, mine_closed
+from repro.core.constraints import GapConstraint
+from repro.core.gsgrow import GSgrow, mine_all
+from repro.core.instance import Instance
+from repro.core.pattern import Pattern
+from repro.core.results import MinedPattern, MiningResult
+from repro.core.support import SupportSet, repetitive_support, sup_comp
+from repro.db.database import SequenceDatabase
+from repro.db.index import InvertedEventIndex
+from repro.db.sequence import Sequence
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Sequence",
+    "SequenceDatabase",
+    "InvertedEventIndex",
+    "Pattern",
+    "Instance",
+    "SupportSet",
+    "repetitive_support",
+    "sup_comp",
+    "mine",
+    "mine_all",
+    "mine_closed",
+    "GSgrow",
+    "CloGSgrow",
+    "GapConstraint",
+    "MinedPattern",
+    "MiningResult",
+]

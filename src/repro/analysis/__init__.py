@@ -1,0 +1,26 @@
+"""Analysis helpers built on top of the miners.
+
+Two directions the paper points at beyond the core mining problem:
+
+* **Features for classification** (Section V): the per-sequence repetitive
+  support of a pattern is a feature value; patterns that repeat frequently in
+  some sequences and rarely in others are discriminative.
+  :mod:`repro.analysis.features` extracts those feature vectors and
+  :mod:`repro.analysis.classify` provides a small nearest-centroid classifier
+  to demonstrate the idea end to end.
+* **Semantics comparison** (Table I / Example 1.1):
+  :mod:`repro.analysis.comparison` computes the support of a pattern under
+  every related-work definition side by side.
+"""
+
+from repro.analysis.classify import NearestCentroidClassifier
+from repro.analysis.comparison import SupportComparison, compare_supports
+from repro.analysis.features import PatternFeatureExtractor, pattern_feature_matrix
+
+__all__ = [
+    "PatternFeatureExtractor",
+    "pattern_feature_matrix",
+    "NearestCentroidClassifier",
+    "SupportComparison",
+    "compare_supports",
+]

@@ -1,0 +1,90 @@
+"""A small nearest-centroid classifier over pattern features.
+
+This closes the loop on the paper's future-work suggestion: repetitive
+patterns as features, per-sequence supports as feature values, and a simple
+classifier on top.  Nearest-centroid is chosen because it is dependency-free
+and easy to reason about in tests; the feature matrices produced by
+:mod:`repro.analysis.features` also plug directly into scikit-learn style
+estimators if available.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, List, Sequence as PySequence
+
+
+class NearestCentroidClassifier:
+    """Nearest-centroid classification with Euclidean distance.
+
+    Feature rows are plain sequences of numbers (e.g. the rows produced by
+    :class:`~repro.analysis.features.PatternFeatureExtractor`).
+    """
+
+    def __init__(self):
+        self._centroids: Dict[Hashable, List[float]] = {}
+
+    # ------------------------------------------------------------------
+    # Training / prediction
+    # ------------------------------------------------------------------
+    def fit(self, rows: PySequence[PySequence[float]], labels: PySequence[Hashable]) -> "NearestCentroidClassifier":
+        """Compute one centroid per label."""
+        if len(rows) != len(labels):
+            raise ValueError("rows and labels must have the same length")
+        if not rows:
+            raise ValueError("cannot fit on an empty training set")
+        width = len(rows[0])
+        sums: Dict[Hashable, List[float]] = {}
+        counts: Dict[Hashable, int] = {}
+        for row, label in zip(rows, labels):
+            if len(row) != width:
+                raise ValueError("all feature rows must have the same length")
+            accumulator = sums.setdefault(label, [0.0] * width)
+            for i, value in enumerate(row):
+                accumulator[i] += float(value)
+            counts[label] = counts.get(label, 0) + 1
+        self._centroids = {
+            label: [value / counts[label] for value in accumulator]
+            for label, accumulator in sums.items()
+        }
+        return self
+
+    def predict_one(self, row: PySequence[float]) -> Hashable:
+        """Label of the nearest centroid for one feature row."""
+        if not self._centroids:
+            raise ValueError("classifier has not been fitted")
+        best_label = None
+        best_distance = math.inf
+        for label, centroid in sorted(self._centroids.items(), key=lambda kv: repr(kv[0])):
+            distance = self._distance(row, centroid)
+            if distance < best_distance:
+                best_distance = distance
+                best_label = label
+        return best_label
+
+    def predict(self, rows: PySequence[PySequence[float]]) -> List[Hashable]:
+        """Labels of the nearest centroids for several feature rows."""
+        return [self.predict_one(row) for row in rows]
+
+    def score(self, rows: PySequence[PySequence[float]], labels: PySequence[Hashable]) -> float:
+        """Accuracy on a labelled set."""
+        if len(rows) != len(labels):
+            raise ValueError("rows and labels must have the same length")
+        if not rows:
+            return 0.0
+        correct = sum(1 for row, label in zip(rows, labels) if self.predict_one(row) == label)
+        return correct / len(rows)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @property
+    def labels(self) -> List[Hashable]:
+        """The labels seen during fitting."""
+        return sorted(self._centroids.keys(), key=repr)
+
+    @staticmethod
+    def _distance(a: PySequence[float], b: PySequence[float]) -> float:
+        if len(a) != len(b):
+            raise ValueError("feature row width does not match the fitted centroids")
+        return math.sqrt(sum((float(x) - float(y)) ** 2 for x, y in zip(a, b)))

@@ -1,0 +1,84 @@
+"""Side-by-side comparison of the support semantics of Table I.
+
+Given a database and a pattern, :func:`compare_supports` evaluates every
+support definition discussed in the paper's related-work section — sequential
+(sequence count), fixed-width-window and minimal-window episodes, gap
+requirement occurrences, interaction patterns, iterative patterns — together
+with the paper's own repetitive support.  The Table I experiment and the
+quickstart example both use it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence as PySequence, Union
+
+from repro.baselines.episodes import fixed_window_support, minimal_window_support
+from repro.baselines.gap_requirement import gap_occurrence_support
+from repro.baselines.interaction import interaction_support
+from repro.baselines.iterative import iterative_support
+from repro.baselines.sequential import sequence_support
+from repro.core.constraints import GapConstraint
+from repro.core.pattern import Pattern, as_pattern
+from repro.core.support import repetitive_support
+from repro.db.database import SequenceDatabase
+
+
+@dataclass(frozen=True)
+class SupportComparison:
+    """Supports of one pattern under every semantics of Table I."""
+
+    pattern: Pattern
+    repetitive: int
+    sequential: int
+    episode_fixed_window: int
+    episode_minimal_window: int
+    gap_requirement: int
+    interaction: int
+    iterative: int
+    window_width: int
+    gap_constraint: GapConstraint
+
+    def as_dict(self) -> Dict[str, int]:
+        """The supports keyed by semantics name (scalars only)."""
+        return {
+            "repetitive (this paper)": self.repetitive,
+            "sequential (Agrawal & Srikant)": self.sequential,
+            f"episode, width-{self.window_width} windows (Mannila et al.)": self.episode_fixed_window,
+            "episode, minimal windows (Mannila et al.)": self.episode_minimal_window,
+            f"gap requirement, {self.gap_constraint.describe()} (Zhang et al.)": self.gap_requirement,
+            "interaction patterns (El-Ramly et al.)": self.interaction,
+            "iterative patterns (Lo et al.)": self.iterative,
+        }
+
+    def rows(self):
+        """``(semantics, support)`` rows for tabular rendering."""
+        return list(self.as_dict().items())
+
+
+def compare_supports(
+    database: SequenceDatabase,
+    pattern: Union[Pattern, str, PySequence],
+    *,
+    window_width: int = 4,
+    gap_constraint: Optional[GapConstraint] = None,
+) -> SupportComparison:
+    """Evaluate every Table I semantics for ``pattern`` on ``database``.
+
+    Default parameters (window width 4, gap in [0, 3]) are the ones used in
+    the paper's Example 1.1 discussion.
+    """
+    pattern = as_pattern(pattern)
+    gap_constraint = gap_constraint or GapConstraint(0, 3)
+    return SupportComparison(
+        pattern=pattern,
+        repetitive=repetitive_support(database, pattern),
+        sequential=sequence_support(database, pattern),
+        episode_fixed_window=fixed_window_support(database, pattern, window_width),
+        episode_minimal_window=minimal_window_support(database, pattern),
+        gap_requirement=gap_occurrence_support(database, pattern, gap_constraint),
+        interaction=interaction_support(database, pattern),
+        iterative=iterative_support(database, pattern),
+        window_width=window_width,
+        gap_constraint=gap_constraint,
+    )

@@ -1,0 +1,64 @@
+"""High-level façade of the library.
+
+Most users only need four calls::
+
+    from repro import SequenceDatabase, mine_all, mine_closed, repetitive_support
+
+    db = SequenceDatabase.from_strings(["AABCDABB", "ABCD"])
+    repetitive_support(db, "AB")        # -> 4
+    mine_all(db, min_sup=2)             # all frequent patterns (GSgrow)
+    mine_closed(db, min_sup=2)          # closed frequent patterns (CloGSgrow)
+
+The functions re-exported here are thin wrappers over the classes in
+:mod:`repro.core`; the classes remain available for callers that need
+configuration options, mining statistics or support sets.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.core.clogsgrow import CloGSgrow, mine_closed
+from repro.core.gsgrow import GSgrow, mine_all
+from repro.core.pattern import Pattern
+from repro.core.results import MiningResult
+from repro.core.support import repetitive_support, sup_comp
+from repro.db.database import SequenceDatabase
+from repro.db.index import InvertedEventIndex
+
+__all__ = [
+    "mine_all",
+    "mine_closed",
+    "repetitive_support",
+    "sup_comp",
+    "mine",
+    "GSgrow",
+    "CloGSgrow",
+]
+
+
+def mine(
+    database: Union[SequenceDatabase, InvertedEventIndex],
+    min_sup: int,
+    *,
+    closed: bool = True,
+    **kwargs,
+) -> MiningResult:
+    """Mine frequent repetitive gapped subsequences.
+
+    Parameters
+    ----------
+    database:
+        The sequence database (or a pre-built index).
+    min_sup:
+        Repetitive-support threshold.
+    closed:
+        ``True`` (default) runs CloGSgrow and returns only closed patterns;
+        ``False`` runs GSgrow and returns every frequent pattern.
+    kwargs:
+        Forwarded to the miner configuration (``max_length``,
+        ``store_instances``, ``constraint``, ...).
+    """
+    if closed:
+        return mine_closed(database, min_sup, **kwargs)
+    return mine_all(database, min_sup, **kwargs)

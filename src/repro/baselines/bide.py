@@ -1,0 +1,197 @@
+"""BIDE (Wang & Han, ICDE 2004): closed sequential pattern mining.
+
+BIDE mines *closed* sequential patterns (sequence-count support) without
+keeping previously mined patterns.  For a prefix pattern ``P`` it examines,
+in every sequence containing ``P``:
+
+* the **forward extension** events — events occurring after the end of the
+  first (leftmost) instance of ``P``; if some event occurs in the projected
+  suffix of *every* supporting sequence, ``P`` has a forward extension with
+  equal support and is not closed;
+* the **backward extension** events — events occurring inside the *i-th
+  maximum period* (the stretch between the end of the first instance of
+  ``e1..e(i-1)`` and the *last-in-last* appearance of ``e_i``) of every
+  supporting sequence; such an event can be inserted before ``e_i`` without
+  losing any supporting sequence, so ``P`` is again not closed;
+* the **BackScan pruning** check — the same scan over *semi-maximum periods*
+  (which end at the first instance's own positions); if it fires, no closed
+  pattern has ``P`` as prefix and the DFS subtree is skipped.
+
+The miner is used in the Experiment-1 runtime comparison and doubles as a
+reference implementation of sequence-count closedness for the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.pattern import Pattern
+from repro.core.results import MinedPattern, MiningResult
+from repro.db.database import SequenceDatabase
+from repro.db.sequence import Event
+
+
+@dataclass
+class BIDEConfig:
+    """Configuration of :class:`BIDE`."""
+
+    min_sup: int = 2
+    max_length: Optional[int] = None
+    enable_backscan: bool = True
+
+    def __post_init__(self):
+        if self.min_sup < 1:
+            raise ValueError(f"min_sup must be >= 1, got {self.min_sup}")
+
+
+class BIDE:
+    """The BIDE closed sequential-pattern miner (sequence-count support)."""
+
+    algorithm_name = "BIDE"
+
+    def __init__(self, min_sup: int = 2, max_length: Optional[int] = None, *, enable_backscan: bool = True):
+        self.config = BIDEConfig(min_sup=min_sup, max_length=max_length, enable_backscan=enable_backscan)
+        self.nodes_visited = 0
+        self.nodes_pruned_backscan = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def mine(self, database: SequenceDatabase) -> MiningResult:
+        """Mine all closed frequent sequential patterns of ``database``."""
+        self.nodes_visited = 0
+        self.nodes_pruned_backscan = 0
+        result = MiningResult(min_sup=self.config.min_sup, algorithm=self.algorithm_name)
+        self._events: List[List[Event]] = [list(seq.events) for seq in database]
+        counts = self._global_event_sequence_counts()
+        frequent_events = [e for e, c in sorted(counts.items(), key=lambda kv: repr(kv[0])) if c >= self.config.min_sup]
+        for event in frequent_events:
+            self._grow(Pattern((event,)), frequent_events, result)
+        return result
+
+    # ------------------------------------------------------------------
+    # DFS
+    # ------------------------------------------------------------------
+    def _grow(self, pattern: Pattern, frequent_events: List[Event], result: MiningResult) -> None:
+        self.nodes_visited += 1
+        supporting = self._supporting_sequences(pattern)
+        support = len(supporting)
+        if support < self.config.min_sup:
+            return
+        backward_events, backscan_fires = self._backward_scan(pattern, supporting)
+        forward_counts = self._forward_event_counts(pattern, supporting)
+        has_forward_extension = any(c == support for c in forward_counts.values())
+        if not backward_events and not has_forward_extension:
+            result.add(MinedPattern(pattern=pattern, support=support))
+        if self.config.enable_backscan and backscan_fires:
+            self.nodes_pruned_backscan += 1
+            return
+        if self.config.max_length is not None and len(pattern) >= self.config.max_length:
+            return
+        for event, count in sorted(forward_counts.items(), key=lambda kv: repr(kv[0])):
+            if count >= self.config.min_sup:
+                self._grow(pattern.grow(event), frequent_events, result)
+
+    # ------------------------------------------------------------------
+    # Occurrence machinery
+    # ------------------------------------------------------------------
+    def _global_event_sequence_counts(self) -> Dict[Event, int]:
+        counts: Dict[Event, int] = {}
+        for seq in self._events:
+            for event in set(seq):
+                counts[event] = counts.get(event, 0) + 1
+        return counts
+
+    def _supporting_sequences(self, pattern: Pattern) -> List[int]:
+        """0-based indices of sequences containing ``pattern``."""
+        supporting = []
+        for idx, seq in enumerate(self._events):
+            if self._first_instance(seq, pattern) is not None:
+                supporting.append(idx)
+        return supporting
+
+    @staticmethod
+    def _first_instance(seq: List[Event], pattern: Pattern) -> Optional[List[int]]:
+        """Leftmost occurrence (0-based positions) of ``pattern`` in ``seq``."""
+        positions: List[int] = []
+        start = 0
+        for event in pattern:
+            found = None
+            for pos in range(start, len(seq)):
+                if seq[pos] == event:
+                    found = pos
+                    break
+            if found is None:
+                return None
+            positions.append(found)
+            start = found + 1
+        return positions
+
+    @staticmethod
+    def _last_in_last(seq: List[Event], pattern: Pattern) -> Optional[List[int]]:
+        """The last-in-last appearance positions (0-based) of each pattern event."""
+        positions: List[Optional[int]] = [None] * len(pattern)
+        end = len(seq)
+        for j in range(len(pattern) - 1, -1, -1):
+            event = pattern.at(j + 1)
+            found = None
+            for pos in range(end - 1, -1, -1):
+                if seq[pos] == event:
+                    found = pos
+                    break
+            if found is None:
+                return None
+            positions[j] = found
+            end = found
+        return [p for p in positions if p is not None]
+
+    def _forward_event_counts(self, pattern: Pattern, supporting: List[int]) -> Dict[Event, int]:
+        """Sequence counts of events occurring after the first instance of ``pattern``."""
+        counts: Dict[Event, int] = {}
+        for idx in supporting:
+            seq = self._events[idx]
+            first = self._first_instance(seq, pattern)
+            assert first is not None
+            suffix_events = set(seq[first[-1] + 1 :])
+            for event in suffix_events:
+                counts[event] = counts.get(event, 0) + 1
+        return counts
+
+    def _backward_scan(self, pattern: Pattern, supporting: List[int]) -> Tuple[Set[Event], bool]:
+        """Backward-extension events and whether BackScan pruning fires.
+
+        Returns ``(backward_events, backscan_fires)``: ``backward_events`` is
+        non-empty iff some event occurs in the i-th *maximum period* of every
+        supporting sequence for some i (pattern not closed);
+        ``backscan_fires`` is True iff the analogous condition holds for
+        *semi-maximum periods* (subtree can be pruned).
+        """
+        n = len(pattern)
+        backward_events: Set[Event] = set()
+        backscan_fires = False
+        for i in range(n):
+            common_max: Optional[Set[Event]] = None
+            common_semi: Optional[Set[Event]] = None
+            for idx in supporting:
+                seq = self._events[idx]
+                first = self._first_instance(seq, pattern)
+                last_in_last = self._last_in_last(seq, pattern)
+                assert first is not None and last_in_last is not None
+                period_start = 0 if i == 0 else first[i - 1] + 1
+                max_period = set(seq[period_start : last_in_last[i]])
+                semi_period = set(seq[period_start : first[i]])
+                common_max = max_period if common_max is None else (common_max & max_period)
+                common_semi = semi_period if common_semi is None else (common_semi & semi_period)
+                if not common_max and not common_semi:
+                    break
+            if common_max:
+                backward_events |= common_max
+            if common_semi:
+                backscan_fires = True
+        return backward_events, backscan_fires
+
+
+def mine_closed_sequential(database: SequenceDatabase, min_sup: int, **kwargs) -> MiningResult:
+    """Mine closed sequential patterns with BIDE (functional façade)."""
+    return BIDE(min_sup, **kwargs).mine(database)

@@ -1,0 +1,114 @@
+"""Episode support (Mannila, Toivonen & Verkamo, DMKD 1997).
+
+Episode mining works on a *single* long sequence and counts, for a serial
+episode (an ordered list of events), either
+
+* the number of **fixed-width windows** — length-``w`` contiguous windows of
+  the sequence that contain the episode as a subsequence — or
+* the number of **minimal windows** (minimal occurrences) — windows that
+  contain the episode but no proper sub-window of which does.
+
+Both definitions capture occurrences as substrings that may overlap, which
+is exactly the contrast the paper draws in its related-work discussion
+(Example 1.1: serial episode ``AB`` has fixed-width-4 support 4 and
+minimal-window support 2 in ``S1 = AABCDABB``).
+
+The database-level helpers sum the per-sequence counts so the Table I
+experiment can report one number per semantics.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence as PySequence, Tuple, Union
+
+from repro.core.pattern import Pattern, as_pattern
+from repro.db.database import SequenceDatabase
+from repro.db.sequence import Sequence
+
+
+def _contains_subsequence(events: PySequence, pattern: Pattern) -> bool:
+    it = iter(events)
+    return all(any(e == p for e in it) for p in pattern)
+
+
+def fixed_window_support_sequence(
+    sequence: Sequence, pattern: Union[Pattern, str, PySequence], width: int
+) -> int:
+    """Number of width-``width`` windows of ``sequence`` containing ``pattern``.
+
+    Windows are the contiguous stretches ``[t, t + width - 1]`` fully inside
+    the sequence (``1 <= t <= len(S) - width + 1``), matching the counts in
+    the paper's Example 1.1.
+    """
+    pattern = as_pattern(pattern)
+    if width < 1:
+        raise ValueError("window width must be >= 1")
+    events = sequence.events
+    count = 0
+    for start in range(0, max(len(events) - width + 1, 0)):
+        if _contains_subsequence(events[start : start + width], pattern):
+            count += 1
+    return count
+
+
+def fixed_window_support(
+    database: SequenceDatabase, pattern: Union[Pattern, str, PySequence], width: int
+) -> int:
+    """Sum of fixed-width-window supports over all sequences of ``database``."""
+    return sum(fixed_window_support_sequence(seq, pattern, width) for seq in database)
+
+
+def minimal_windows_sequence(
+    sequence: Sequence, pattern: Union[Pattern, str, PySequence]
+) -> List[Tuple[int, int]]:
+    """All minimal windows (1-based, inclusive bounds) of ``pattern`` in ``sequence``.
+
+    A window ``[s, t]`` is minimal if the events ``S[s..t]`` contain the
+    pattern as a subsequence but neither ``[s+1, t]`` nor ``[s, t-1]`` does.
+    """
+    pattern = as_pattern(pattern)
+    if pattern.is_empty():
+        return []
+    events = sequence.events
+    windows: List[Tuple[int, int]] = []
+    n = len(events)
+    for end in range(1, n + 1):
+        if events[end - 1] != pattern.at(len(pattern)):
+            continue
+        # Find the largest start such that S[start..end] still contains the
+        # pattern: match the pattern greedily from the right end inward.
+        j = len(pattern)
+        pos = end
+        ok = True
+        while j >= 1:
+            while pos >= 1 and events[pos - 1] != pattern.at(j):
+                pos -= 1
+            if pos < 1:
+                ok = False
+                break
+            j -= 1
+            pos -= 1
+        if not ok:
+            continue
+        start = pos + 1
+        # Minimal iff [start+1, end] no longer contains the pattern, which the
+        # rightmost-match construction guarantees; also require that the
+        # previous recorded window is not nested inside this one.
+        if windows and windows[-1][0] >= start:
+            continue
+        windows.append((start, end))
+    return windows
+
+
+def minimal_window_support_sequence(
+    sequence: Sequence, pattern: Union[Pattern, str, PySequence]
+) -> int:
+    """Number of minimal windows of ``pattern`` in ``sequence``."""
+    return len(minimal_windows_sequence(sequence, pattern))
+
+
+def minimal_window_support(
+    database: SequenceDatabase, pattern: Union[Pattern, str, PySequence]
+) -> int:
+    """Sum of minimal-window supports over all sequences of ``database``."""
+    return sum(minimal_window_support_sequence(seq, pattern) for seq in database)

@@ -1,0 +1,108 @@
+"""Gap-requirement occurrence counting (Zhang, Kao, Cheung & Yip, SIGMOD 2005).
+
+In periodic-pattern mining with a *gap requirement*, every occurrence
+(landmark) of the pattern whose consecutive positions satisfy
+``min_gap <= gap <= max_gap`` is counted — overlapping and non-overlapping
+alike — and the support is normalised by ``N_l``, the number of position
+tuples that satisfy the gap requirement irrespective of the events at those
+positions.
+
+Example 1.1 of the paper: with the requirement "gap >= 0 and <= 3", pattern
+``AB`` has 4 occurrences in ``S1 = AABCDABB`` and support ratio ``4 / 22``
+(22 is the number of position pairs at distance 1..4 in a length-8 sequence).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence as PySequence, Tuple, Union
+
+from repro.core.constraints import GapConstraint
+from repro.core.pattern import Pattern, as_pattern
+from repro.core.reference import enumerate_landmarks
+from repro.db.database import SequenceDatabase
+from repro.db.sequence import Sequence
+
+
+def gap_occurrences_sequence(
+    sequence: Sequence,
+    pattern: Union[Pattern, str, PySequence],
+    constraint: GapConstraint,
+) -> List[Tuple[int, ...]]:
+    """All landmarks of ``pattern`` in ``sequence`` satisfying ``constraint``."""
+    return enumerate_landmarks(sequence, as_pattern(pattern), constraint=constraint)
+
+
+def gap_occurrence_support_sequence(
+    sequence: Sequence,
+    pattern: Union[Pattern, str, PySequence],
+    constraint: GapConstraint,
+) -> int:
+    """Number of constraint-satisfying occurrences of ``pattern`` in ``sequence``."""
+    return len(gap_occurrences_sequence(sequence, pattern, constraint))
+
+
+def gap_occurrence_support(
+    database: SequenceDatabase,
+    pattern: Union[Pattern, str, PySequence],
+    constraint: GapConstraint,
+) -> int:
+    """Total number of constraint-satisfying occurrences over the database."""
+    return sum(
+        gap_occurrence_support_sequence(seq, pattern, constraint) for seq in database
+    )
+
+
+def max_possible_occurrences(sequence_length: int, pattern_length: int, constraint: GapConstraint) -> int:
+    """``N_l``: number of position tuples satisfying the gap requirement.
+
+    Counts strictly increasing tuples ``l1 < ... < lm`` within
+    ``1..sequence_length`` whose consecutive differences satisfy the
+    constraint, regardless of the events at those positions.  Computed by a
+    simple dynamic program over ending positions.
+    """
+    if pattern_length < 1:
+        return 0
+    if pattern_length == 1:
+        return sequence_length
+    # ways[j][p] = number of valid length-j tuples ending at position p.
+    previous = [1] * (sequence_length + 1)  # length-1 tuples ending at p (index 0 unused)
+    previous[0] = 0
+    for _ in range(2, pattern_length + 1):
+        current = [0] * (sequence_length + 1)
+        for p in range(1, sequence_length + 1):
+            low = p - 1 - (constraint.max_gap if constraint.max_gap is not None else p - 1)
+            high = p - 1 - constraint.min_gap
+            low = max(low, 1)
+            for q in range(low, high + 1):
+                current[p] += previous[q]
+        previous = current
+    return sum(previous)
+
+
+def gap_support_ratio_sequence(
+    sequence: Sequence,
+    pattern: Union[Pattern, str, PySequence],
+    constraint: GapConstraint,
+) -> float:
+    """Support ratio (occurrences / ``N_l``) of ``pattern`` in one sequence."""
+    pattern = as_pattern(pattern)
+    denominator = max_possible_occurrences(len(sequence), len(pattern), constraint)
+    if denominator == 0:
+        return 0.0
+    return gap_occurrence_support_sequence(sequence, pattern, constraint) / denominator
+
+
+def gap_support_ratio(
+    database: SequenceDatabase,
+    pattern: Union[Pattern, str, PySequence],
+    constraint: GapConstraint,
+) -> float:
+    """Database-level support ratio: total occurrences over total ``N_l``."""
+    pattern = as_pattern(pattern)
+    numerator = gap_occurrence_support(database, pattern, constraint)
+    denominator = sum(
+        max_possible_occurrences(len(seq), len(pattern), constraint) for seq in database
+    )
+    if denominator == 0:
+        return 0.0
+    return numerator / denominator

@@ -1,0 +1,62 @@
+"""Interaction-pattern support (El-Ramly, Stroulia & Sorenson, KDD 2002).
+
+Interaction patterns describe user-usage scenarios of screen-based systems.
+The support of a pattern is the number of *substrings* ``S[s..t]`` such that
+
+* the pattern is contained in ``S[s..t]`` as a subsequence, and
+* the substring's first event matches the pattern's first event and its last
+  event matches the pattern's last event.
+
+Occurrences may overlap arbitrarily.  In Example 1.1 pattern ``AB`` has
+support 9: eight qualifying substrings in ``S1 = AABCDABB`` and one in
+``S2 = ABCD``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence as PySequence, Tuple, Union
+
+from repro.core.pattern import Pattern, as_pattern
+from repro.db.database import SequenceDatabase
+from repro.db.sequence import Sequence
+
+
+def _contains_subsequence(events: PySequence, pattern: Pattern) -> bool:
+    it = iter(events)
+    return all(any(e == p for e in it) for p in pattern)
+
+
+def interaction_occurrences_sequence(
+    sequence: Sequence, pattern: Union[Pattern, str, PySequence]
+) -> List[Tuple[int, int]]:
+    """All qualifying substrings ``(start, end)`` (1-based, inclusive)."""
+    pattern = as_pattern(pattern)
+    if pattern.is_empty():
+        return []
+    events = sequence.events
+    first_event = pattern.at(1)
+    last_event = pattern.at(len(pattern))
+    starts = [i + 1 for i, e in enumerate(events) if e == first_event]
+    ends = [i + 1 for i, e in enumerate(events) if e == last_event]
+    occurrences: List[Tuple[int, int]] = []
+    for start in starts:
+        for end in ends:
+            if end - start + 1 < len(pattern):
+                continue
+            if _contains_subsequence(events[start - 1 : end], pattern):
+                occurrences.append((start, end))
+    return occurrences
+
+
+def interaction_support_sequence(
+    sequence: Sequence, pattern: Union[Pattern, str, PySequence]
+) -> int:
+    """Number of qualifying substrings of ``pattern`` in ``sequence``."""
+    return len(interaction_occurrences_sequence(sequence, pattern))
+
+
+def interaction_support(
+    database: SequenceDatabase, pattern: Union[Pattern, str, PySequence]
+) -> int:
+    """Total interaction-pattern support of ``pattern`` over the database."""
+    return sum(interaction_support_sequence(seq, pattern) for seq in database)

@@ -1,0 +1,68 @@
+"""Iterative-pattern support (Lo, Khoo & Liu, KDD 2007).
+
+Iterative patterns follow the Message Sequence Chart / Live Sequence Chart
+semantics: an occurrence of pattern ``e1 e2 ... en`` is a substring matching
+the quantified regular expression ``e1 G* e2 G* ... G* en`` where ``G`` is
+the set of all events *except* ``{e1, ..., en}`` — i.e. between two
+consecutive pattern events no event of the pattern's own alphabet may
+appear.  All such occurrences (within and across sequences) are counted.
+
+In Example 1.1 pattern ``AB`` has support 3: two occurrences in
+``S1 = AABCDABB`` (the ``A`` at position 2 with the ``B`` at position 3, and
+the ``A`` at position 6 with the ``B`` at position 7) and one in ``S2``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence as PySequence, Tuple, Union
+
+from repro.core.pattern import Pattern, as_pattern
+from repro.db.database import SequenceDatabase
+from repro.db.sequence import Sequence
+
+
+def iterative_occurrences_sequence(
+    sequence: Sequence, pattern: Union[Pattern, str, PySequence]
+) -> List[Tuple[int, ...]]:
+    """All landmarks realising the MSC/LSC semantics in ``sequence``.
+
+    A landmark qualifies iff between consecutive landmark positions no event
+    belonging to the pattern's alphabet occurs.
+    """
+    pattern = as_pattern(pattern)
+    if pattern.is_empty():
+        return []
+    alphabet = pattern.distinct_events()
+    events = sequence.events
+    occurrences: List[Tuple[int, ...]] = []
+
+    def extend(prefix: Tuple[int, ...], j: int) -> None:
+        if j > len(pattern):
+            occurrences.append(prefix)
+            return
+        start = prefix[-1] + 1 if prefix else 1
+        for pos in range(start, len(events) + 1):
+            event = events[pos - 1]
+            if event == pattern.at(j):
+                extend(prefix + (pos,), j + 1)
+            if prefix and event in alphabet:
+                # An event of the pattern's own alphabet closes the gap: no
+                # later position can continue this particular prefix.
+                break
+
+    extend((), 1)
+    return occurrences
+
+
+def iterative_support_sequence(
+    sequence: Sequence, pattern: Union[Pattern, str, PySequence]
+) -> int:
+    """Number of MSC/LSC occurrences of ``pattern`` in ``sequence``."""
+    return len(iterative_occurrences_sequence(sequence, pattern))
+
+
+def iterative_support(
+    database: SequenceDatabase, pattern: Union[Pattern, str, PySequence]
+) -> int:
+    """Total iterative-pattern support of ``pattern`` over the database."""
+    return sum(iterative_support_sequence(seq, pattern) for seq in database)

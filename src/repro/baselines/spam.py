@@ -1,0 +1,124 @@
+"""SPAM (Ayres et al., KDD 2002): sequential pattern mining with bitmaps.
+
+SPAM mines the same sequence-count frequent patterns as PrefixSpan but
+represents, for every pattern, the set of positions at which the pattern's
+*last* event can end as one bitmap per sequence (implemented here as Python
+integers used as bit sets).  Growing a pattern by an event is then two bit
+operations:
+
+* an *S-step transform*: set every bit strictly after the first set bit of
+  the current bitmap (all positions where the next event may appear), and
+* an AND with the event's own occurrence bitmap.
+
+A sequence supports the grown pattern iff its resulting bitmap is non-zero.
+The miner is included both as the third classic comparator mentioned in the
+paper's related-work section and as an independent implementation to
+cross-check PrefixSpan in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.pattern import Pattern
+from repro.core.results import MinedPattern, MiningResult
+from repro.db.database import SequenceDatabase
+from repro.db.sequence import Event
+
+
+@dataclass
+class SPAMConfig:
+    """Configuration of :class:`SPAM`."""
+
+    min_sup: int = 2
+    max_length: Optional[int] = None
+
+    def __post_init__(self):
+        if self.min_sup < 1:
+            raise ValueError(f"min_sup must be >= 1, got {self.min_sup}")
+
+
+class SPAM:
+    """Bitmap-based sequential pattern miner (sequence-count support)."""
+
+    algorithm_name = "SPAM"
+
+    def __init__(self, min_sup: int = 2, max_length: Optional[int] = None):
+        self.config = SPAMConfig(min_sup=min_sup, max_length=max_length)
+        self.nodes_visited = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def mine(self, database: SequenceDatabase) -> MiningResult:
+        """Mine all frequent sequential patterns of ``database``."""
+        self.nodes_visited = 0
+        result = MiningResult(min_sup=self.config.min_sup, algorithm=self.algorithm_name)
+        self._lengths = [len(seq) for seq in database]
+        self._event_bitmaps = self._build_event_bitmaps(database)
+        frequent_events = [
+            event
+            for event, bitmaps in sorted(self._event_bitmaps.items(), key=lambda kv: repr(kv[0]))
+            if self._support(bitmaps) >= self.config.min_sup
+        ]
+        for event in frequent_events:
+            bitmaps = self._event_bitmaps[event]
+            self._grow(Pattern((event,)), bitmaps, frequent_events, result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Recursion
+    # ------------------------------------------------------------------
+    def _grow(
+        self,
+        pattern: Pattern,
+        bitmaps: List[int],
+        frequent_events: List[Event],
+        result: MiningResult,
+    ) -> None:
+        self.nodes_visited += 1
+        support = self._support(bitmaps)
+        result.add(MinedPattern(pattern=pattern, support=support))
+        if self.config.max_length is not None and len(pattern) >= self.config.max_length:
+            return
+        transformed = [self._s_step(bitmap, length) for bitmap, length in zip(bitmaps, self._lengths)]
+        for event in frequent_events:
+            grown_bitmaps = [
+                transformed[i] & self._event_bitmaps[event][i] for i in range(len(transformed))
+            ]
+            if self._support(grown_bitmaps) >= self.config.min_sup:
+                self._grow(pattern.grow(event), grown_bitmaps, frequent_events, result)
+
+    # ------------------------------------------------------------------
+    # Bitmap machinery
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _build_event_bitmaps(database: SequenceDatabase) -> Dict[Event, List[int]]:
+        """One bit set per occurrence position (bit ``p-1`` for position ``p``)."""
+        bitmaps: Dict[Event, List[int]] = {}
+        size = len(database)
+        for index, seq in enumerate(database):
+            for position, event in enumerate(seq.events):
+                per_sequence = bitmaps.setdefault(event, [0] * size)
+                per_sequence[index] |= 1 << position
+        return bitmaps
+
+    @staticmethod
+    def _s_step(bitmap: int, length: int) -> int:
+        """Set every bit strictly after the first set bit of ``bitmap``."""
+        if bitmap == 0:
+            return 0
+        first = (bitmap & -bitmap).bit_length() - 1  # index of lowest set bit
+        full = (1 << length) - 1
+        return full & ~((1 << (first + 1)) - 1)
+
+    @staticmethod
+    def _support(bitmaps: List[int]) -> int:
+        """Number of sequences whose bitmap is non-empty."""
+        return sum(1 for bitmap in bitmaps if bitmap)
+
+
+def mine_sequential_spam(database: SequenceDatabase, min_sup: int, **kwargs) -> MiningResult:
+    """Mine all frequent sequential patterns with SPAM (functional façade)."""
+    return SPAM(min_sup, **kwargs).mine(database)

@@ -1,0 +1,126 @@
+"""Command-line interface.
+
+Installed as ``repro-mine`` (see ``pyproject.toml``) and runnable as
+``python -m repro``.  Three subcommands cover the common workflows:
+
+* ``mine`` — mine (closed) repetitive gapped subsequences from a file;
+* ``support`` — compute the repetitive support of one pattern;
+* ``stats`` — print summary statistics of a sequence database file.
+
+Input files may be SPMF format (``--format spmf``), whitespace-separated
+tokens (``--format text``) or one string of single-character events per line
+(``--format chars``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.clogsgrow import CloGSgrow
+from repro.core.gsgrow import GSgrow
+from repro.core.support import repetitive_support
+from repro.db import io as db_io
+from repro.db.database import SequenceDatabase
+from repro.db.stats import describe
+
+
+def load_database(path: str, fmt: str) -> SequenceDatabase:
+    """Load a database according to the ``--format`` option."""
+    if fmt == "spmf":
+        return db_io.load_spmf(path)
+    if fmt == "text":
+        return db_io.load_text(path)
+    if fmt == "chars":
+        return db_io.load_text(path, chars=True)
+    if fmt == "json":
+        return db_io.load_json(path)
+    raise ValueError(f"unknown format {fmt!r}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro-mine",
+        description="Mine (closed) repetitive gapped subsequences from a sequence database.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub):
+        sub.add_argument("path", help="input sequence database file")
+        sub.add_argument(
+            "--format",
+            choices=("spmf", "text", "chars", "json"),
+            default="text",
+            help="input file format (default: text — whitespace-separated events)",
+        )
+
+    mine = subparsers.add_parser("mine", help="mine frequent patterns")
+    add_common(mine)
+    mine.add_argument("--min-sup", type=int, required=True, help="support threshold")
+    mine.add_argument(
+        "--all",
+        action="store_true",
+        help="mine all frequent patterns (GSgrow) instead of closed ones (CloGSgrow)",
+    )
+    mine.add_argument("--max-length", type=int, default=None, help="maximum pattern length")
+    mine.add_argument("--top", type=int, default=None, help="print only the top-N by support")
+
+    support = subparsers.add_parser("support", help="repetitive support of one pattern")
+    add_common(support)
+    support.add_argument("--pattern", required=True, help="pattern events, space separated")
+
+    stats = subparsers.add_parser("stats", help="summary statistics of a database")
+    add_common(stats)
+
+    return parser
+
+
+def run_mine(args) -> int:
+    database = load_database(args.path, args.format)
+    if args.all:
+        miner = GSgrow(args.min_sup, max_length=args.max_length)
+    else:
+        miner = CloGSgrow(args.min_sup, max_length=args.max_length)
+    result = miner.mine(database)
+    entries = result.sorted_by_support()
+    if args.top is not None:
+        entries = entries[: args.top]
+    print(f"# {miner.algorithm_name}: {len(result)} patterns (min_sup={args.min_sup})")
+    for entry in entries:
+        print(f"{entry.support}\t{entry.pattern}")
+    return 0
+
+
+def run_support(args) -> int:
+    database = load_database(args.path, args.format)
+    pattern = args.pattern.split() if " " in args.pattern else list(args.pattern)
+    print(repetitive_support(database, pattern))
+    return 0
+
+
+def run_stats(args) -> int:
+    database = load_database(args.path, args.format)
+    stats = describe(database)
+    for key, value in stats.as_dict().items():
+        print(f"{key}: {value}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point used by both the console script and ``python -m repro``."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "mine":
+        return run_mine(args)
+    if args.command == "support":
+        return run_support(args)
+    if args.command == "stats":
+        return run_stats(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,176 @@
+"""CloGSgrow (Algorithm 4): mining closed frequent patterns.
+
+CloGSgrow is GSgrow with two modifications at every frequent DFS node
+(lines 6–7 of Algorithm 4):
+
+* a pattern is reported only if closure checking (``CCheck``, Theorem 4)
+  says it is closed, and
+* the DFS subtree is pruned entirely when landmark border checking
+  (``LBCheck``, Theorem 5) finds an equal-support extension whose leftmost
+  support set does not shift the landmark border to the right.
+
+Both checks are implemented in :mod:`repro.core.closure`; this module wires
+them into the DFS inherited from :class:`~repro.core.gsgrow.GSgrow`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from repro.core.closure import ClosureChecker, ClosureDecision
+from repro.core.gsgrow import GSgrow
+from repro.core.instance_growth import ins_grow
+from repro.core.results import MiningResult
+from repro.core.support import SupportSet
+from repro.db.database import SequenceDatabase
+from repro.db.index import InvertedEventIndex
+from repro.db.sequence import Event
+
+
+class CloGSgrow(GSgrow):
+    """The CloGSgrow closed-pattern miner (Algorithm 4).
+
+    Accepts every :class:`~repro.core.gsgrow.MinerConfig` option of GSgrow
+    plus ``enable_lbcheck`` (default ``True``); disabling it keeps the output
+    identical but removes the search-space pruning — the configuration used
+    by the ablation benchmark to quantify Theorem 5's benefit.
+
+    With ``max_length=None`` (the default) the output is exactly the paper's
+    closed pattern set.  When a ``max_length`` cap is given, closedness is
+    evaluated *within the capped pattern universe*: patterns at the cap
+    length are reported whenever they are frequent (their one-event
+    extensions fall outside the universe), and shorter patterns are checked
+    against extensions as usual.  Landmark border pruning remains enabled
+    under a cap; in rare boundary cases it can remove a cap-length pattern
+    whose equal-support representative is longer than the cap — run with
+    ``enable_lbcheck=False`` if exact capped-closed semantics matter more
+    than speed.
+
+    Example
+    -------
+    >>> from repro.db import SequenceDatabase
+    >>> db = SequenceDatabase.from_strings(["ABCABCA", "AABBCCC"])
+    >>> closed = CloGSgrow(min_sup=4).mine(db)
+    >>> "ABC" in closed and "AB" not in closed
+    True
+    """
+
+    algorithm_name = "CloGSgrow"
+
+    def __init__(self, min_sup: int = 2, *, enable_lbcheck: bool = True, **kwargs):
+        super().__init__(min_sup, **kwargs)
+        self.enable_lbcheck = enable_lbcheck
+        self._checker: Optional[ClosureChecker] = None
+        self._decision_cache: Dict[tuple, ClosureDecision] = {}
+        # Grown support sets computed while closure-checking a node, reused by
+        # the DFS growth step so each P ∘ e is only instance-grown once.
+        self._append_cache: Dict[tuple, Dict[Event, SupportSet]] = {}
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def mine(self, database: Union[SequenceDatabase, InvertedEventIndex]) -> MiningResult:
+        """Mine all closed frequent patterns of ``database``."""
+        index = self._as_index(database)
+        self._checker = ClosureChecker(
+            index, enable_lbcheck=self.enable_lbcheck, constraint=self.config.constraint
+        )
+        self._decision_cache = {}
+        self._append_cache = {}
+        return super().mine(index)
+
+    # ------------------------------------------------------------------
+    # GSgrow hooks
+    # ------------------------------------------------------------------
+    def _grow_child(self, index, support_set: SupportSet, event: Event) -> SupportSet:
+        cached = self._append_cache.get(support_set.pattern.events, {}).get(event)
+        if cached is not None:
+            return cached
+        return super()._grow_child(index, support_set, event)
+
+    def _accept(
+        self,
+        support_set: SupportSet,
+        index: InvertedEventIndex,
+        prefix_sets: List[SupportSet],
+        events: List[Event],
+    ) -> bool:
+        decision = self._decide(support_set, index, prefix_sets, events)
+        return decision.closed
+
+    def _should_stop_growing(
+        self,
+        support_set: SupportSet,
+        index: InvertedEventIndex,
+        prefix_sets: List[SupportSet],
+        events: List[Event],
+    ) -> bool:
+        decision = self._decide(support_set, index, prefix_sets, events)
+        if decision.prunable:
+            self.stats.nodes_pruned_lbcheck += 1
+        return decision.prunable
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _decide(
+        self,
+        support_set: SupportSet,
+        index: InvertedEventIndex,
+        prefix_sets: List[SupportSet],
+        events: List[Event],
+    ) -> ClosureDecision:
+        """Run (and cache) the closure decision for the current DFS node.
+
+        ``_accept`` and ``_should_stop_growing`` are called back-to-back for
+        the same node, so the decision is cached per pattern to avoid paying
+        for the extension evaluation twice.
+        """
+        key = support_set.pattern.events
+        cached = self._decision_cache.get(key)
+        if cached is not None:
+            return cached
+        assert self._checker is not None, "mine() must be called before the DFS hooks"
+        if (
+            self.config.max_length is not None
+            and len(support_set.pattern) >= self.config.max_length
+        ):
+            # Capped closedness: every single-event extension falls outside
+            # the mined pattern universe, so the pattern is reported as
+            # closed-within-the-cap; the DFS depth cap stops further growth.
+            decision = ClosureDecision(closed=True, prunable=False)
+            self._decision_cache[key] = decision
+            return decision
+        # Pre-compute the append-extension support sets once: CCheck needs
+        # their sizes and the DFS growth step reuses the sets themselves.
+        grown_children: Dict[Event, SupportSet] = {}
+        append_supports: Dict[Event, int] = {}
+        for event in events:
+            self.stats.ins_grow_calls += 1
+            grown = ins_grow(index, support_set, event, constraint=self.config.constraint)
+            grown_children[event] = grown
+            append_supports[event] = grown.support
+        self.stats.closure_checks += 1
+        decision = self._checker.check(support_set, prefix_sets, append_supports=append_supports)
+        self.stats.extension_evaluations += decision.extensions_evaluated
+        # Keep the caches small: only the current DFS path is ever re-queried.
+        if len(self._decision_cache) > 4096:
+            self._decision_cache.clear()
+            self._append_cache.clear()
+        self._decision_cache[key] = decision
+        self._append_cache[key] = grown_children
+        return decision
+
+
+def mine_closed(
+    database: Union[SequenceDatabase, InvertedEventIndex],
+    min_sup: int,
+    *,
+    enable_lbcheck: bool = True,
+    **kwargs,
+) -> MiningResult:
+    """Mine all closed frequent patterns (functional façade).
+
+    Equivalent to ``CloGSgrow(min_sup, enable_lbcheck=..., **kwargs).mine(database)``.
+    """
+    return CloGSgrow(min_sup, enable_lbcheck=enable_lbcheck, **kwargs).mine(database)

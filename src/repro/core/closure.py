@@ -1,0 +1,253 @@
+"""Closure checking (Theorem 4) and landmark border checking (Theorem 5).
+
+``CloGSgrow`` needs two decisions at every frequent DFS node ``P``:
+
+* **CCheck** — is ``P`` closed?  By Theorem 4 it suffices to look at the
+  single-event extensions of ``P`` (append, insert, prepend): ``P`` is
+  non-closed iff one of them has the same repetitive support.
+* **LBCheck** — can the whole DFS subtree rooted at ``P`` be pruned?  By
+  Theorem 5 this is the case when some extension ``P'`` not only has equal
+  support but its leftmost support set also keeps the *landmark border* (the
+  last landmark position of each instance, compared in right-shift order) at
+  or to the left of ``P``'s border.  Appending can never satisfy the border
+  condition (the appended event always moves the border right), so only
+  insertions and prepends are border candidates.
+
+Evaluating an insertion extension ``e1..ej e' e(j+1)..em`` needs a leftmost
+support set for it.  The DFS already carries the leftmost support sets of all
+prefixes of ``P`` (they are the ancestors on the DFS path), so the checker
+reuses the prefix ``e1..ej``, grows it with ``e'`` and then with the
+remaining suffix — exactly the ``supComp`` recurrence, restarted mid-way.
+
+Candidate events are restricted to those whose total occurrence count is at
+least ``sup(P)``: any extension containing a rarer event has strictly smaller
+support (Apriori), so the restriction never misses an equal-support
+extension.  This keeps the check exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.constraints import GapConstraint
+from repro.core.instance_growth import ins_grow
+from repro.core.pattern import Pattern
+from repro.core.support import SupportSet, initial_support_set
+from repro.db.index import InvertedEventIndex
+from repro.db.sequence import Event
+
+
+@dataclass
+class ClosureDecision:
+    """Outcome of checking one pattern.
+
+    Attributes
+    ----------
+    closed:
+        ``True`` iff no single-event extension has equal support (Theorem 4).
+    prunable:
+        ``True`` iff some extension satisfies both conditions of Theorem 5,
+        so the DFS subtree below the pattern can be skipped entirely.
+    witness:
+        An equal-support extension proving non-closedness (if any).
+    pruning_witness:
+        An extension satisfying the landmark-border condition (if any).
+    extensions_evaluated:
+        Number of extension patterns whose support was computed — reported by
+        the ablation benchmark.
+    """
+
+    closed: bool
+    prunable: bool
+    witness: Optional[Pattern] = None
+    pruning_witness: Optional[Pattern] = None
+    extensions_evaluated: int = 0
+
+
+class ClosureChecker:
+    """Evaluates CCheck and LBCheck for the closed-pattern miner.
+
+    Parameters
+    ----------
+    index:
+        Inverted event index of the database being mined.
+    enable_lbcheck:
+        When ``False`` the checker still decides closedness but never reports
+        a pattern as prunable — this is the ablation configuration measured
+        in the benchmarks (output identical, runtime much larger).
+    constraint:
+        Optional gap constraint, forwarded to instance growth.
+    """
+
+    def __init__(
+        self,
+        index: InvertedEventIndex,
+        *,
+        enable_lbcheck: bool = True,
+        constraint: Optional[GapConstraint] = None,
+    ):
+        self.index = index
+        self.enable_lbcheck = enable_lbcheck
+        self.constraint = constraint
+        self._event_totals: Dict[Event, int] = {
+            event: index.total_count(event) for event in index.alphabet()
+        }
+        # Lazily memoised supports of 2-event patterns, used as an Apriori
+        # filter: any extension containing the 2-gram (a, b) has support at
+        # most sup(ab), so candidates whose neighbouring 2-grams are already
+        # below the target support can be skipped without growing them.
+        self._pair_support: Dict[Tuple[Event, Event], int] = {}
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def check(
+        self,
+        support_set: SupportSet,
+        prefix_sets: List[SupportSet],
+        append_supports: Optional[Dict[Event, int]] = None,
+    ) -> ClosureDecision:
+        """Run closure checking and landmark border checking for one pattern.
+
+        Parameters
+        ----------
+        support_set:
+            Leftmost support set of the pattern ``P`` being checked.
+        prefix_sets:
+            Leftmost support sets of the prefixes ``e1``, ``e1 e2``, …, ``P``
+            (the DFS ancestors including ``P`` itself), used to evaluate
+            insertion extensions without recomputing from scratch.
+        append_supports:
+            Supports of the append extensions ``P ∘ e`` if the caller already
+            computed them (CloGSgrow computes them anyway while growing the
+            DFS); missing entries are computed on demand.
+        """
+        pattern = support_set.pattern
+        support = support_set.support
+        candidates = self._candidate_events(support)
+        decision = ClosureDecision(closed=True, prunable=False)
+
+        # --- Append extensions (case 1 of Definition 3.4) ------------------
+        # They can reveal non-closedness but never allow border pruning.
+        append_supports = dict(append_supports or {})
+        for event in candidates:
+            if event in append_supports:
+                appended_support = append_supports[event]
+            else:
+                decision.extensions_evaluated += 1
+                appended_support = ins_grow(
+                    self.index, support_set, event, constraint=self.constraint
+                ).support
+            if appended_support == support:
+                decision.closed = False
+                if decision.witness is None:
+                    decision.witness = pattern.grow(event)
+                break  # closedness settled; border pruning needs insertions anyway
+
+        # --- Insertion / prepend extensions (cases 2 and 3) ----------------
+        need_prune_scan = self.enable_lbcheck
+        need_closed_scan = decision.closed
+        if not (need_prune_scan or need_closed_scan):
+            return decision
+
+        border = support_set.last_positions()
+        for gap in range(len(pattern)):  # gap g inserts between e_g and e_{g+1} (0 = prepend)
+            suffix = pattern.suffix_from(gap)
+            prefix_set = prefix_sets[gap - 1] if gap >= 1 else None
+            before = pattern.at(gap) if gap >= 1 else None
+            after = pattern.at(gap + 1)
+            for event in candidates:
+                # Apriori 2-gram filter: the extension contains the 2-grams
+                # (e_gap, e') and (e', e_{gap+1}); if either has support below
+                # the target, the extension cannot reach it.  (Skipped under a
+                # gap constraint, where support is not monotone in sub-patterns.)
+                if self.constraint is None:
+                    if self._pair_support_of(event, after) < support:
+                        continue
+                    if before is not None and self._pair_support_of(before, event) < support:
+                        continue
+                decision.extensions_evaluated += 1
+                extension_set = self._insertion_support_set(
+                    prefix_set, event, suffix, stop_below=support
+                )
+                if extension_set is None or extension_set.support != support:
+                    continue
+                decision.closed = False
+                if decision.witness is None:
+                    decision.witness = pattern.insert(gap, event)
+                if self.enable_lbcheck and self._border_dominates(extension_set, border):
+                    decision.prunable = True
+                    decision.pruning_witness = pattern.insert(gap, event)
+                    return decision
+                if not self.enable_lbcheck:
+                    # Closedness is settled and pruning is disabled: stop early.
+                    return decision
+        return decision
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _candidate_events(self, support: int) -> List[Event]:
+        """Events that could possibly appear in an equal-support extension."""
+        return sorted(
+            (e for e, total in self._event_totals.items() if total >= support),
+            key=repr,
+        )
+
+    def _pair_support_of(self, first: Event, second: Event) -> int:
+        """Memoised repetitive support of the 2-event pattern ``first second``."""
+        key = (first, second)
+        cached = self._pair_support.get(key)
+        if cached is None:
+            grown = ins_grow(
+                self.index, initial_support_set(self.index, first), second, constraint=self.constraint
+            )
+            cached = grown.support
+            self._pair_support[key] = cached
+        return cached
+
+    def _insertion_support_set(
+        self,
+        prefix_set: Optional[SupportSet],
+        event: Event,
+        suffix: Pattern,
+        *,
+        stop_below: int = 0,
+    ) -> Optional[SupportSet]:
+        """Leftmost support set of ``prefix ∘ event ∘ suffix``.
+
+        ``prefix_set`` is the leftmost support set of the prefix (``None``
+        for a prepend, where the new event starts the pattern).  Growth is
+        abandoned (returning ``None``) as soon as the intermediate support
+        drops below ``stop_below`` — supports only shrink under growth
+        (Lemma 1), so such an extension can never reach the target support.
+        """
+        if prefix_set is None:
+            grown = initial_support_set(self.index, event)
+        else:
+            grown = ins_grow(self.index, prefix_set, event, constraint=self.constraint)
+        if grown.support < stop_below:
+            return None
+        for suffix_event in suffix:
+            grown = ins_grow(self.index, grown, suffix_event, constraint=self.constraint)
+            if grown.support < stop_below:
+                return None
+        return grown
+
+    @staticmethod
+    def _border_dominates(extension_set: SupportSet, border: List[Tuple[int, int]]) -> bool:
+        """Condition (ii) of Theorem 5.
+
+        Both support sets are in right-shift order and (given equal support)
+        pair up instance by instance; the extension dominates when every one
+        of its instances ends at or before the corresponding instance of the
+        original pattern, within the same sequence.
+        """
+        extension_border = extension_set.last_positions()
+        if len(extension_border) != len(border):
+            return False
+        for (seq_ext, last_ext), (seq_orig, last_orig) in zip(extension_border, border):
+            if seq_ext != seq_orig or last_ext > last_orig:
+                return False
+        return True

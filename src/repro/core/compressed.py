@@ -1,0 +1,156 @@
+"""Compressed instance storage (Section III-D).
+
+For mining purposes an instance ``(i, <l1, ..., ln>)`` never needs its full
+landmark: instance growth only looks at the *last* position, the landmark
+border checking only compares last positions, and reporting only needs the
+span of the instance.  The paper therefore stores each instance as the triple
+``(i, l1, ln)`` — constant space per instance.
+
+This module provides that representation as a drop-in alternative for
+support computation:
+
+* :class:`CompressedSupportSet` — triples in right-shift order;
+* :func:`ins_grow_compressed` — Algorithm 2 over triples;
+* :func:`sup_comp_compressed` — Algorithm 1 over triples;
+* :func:`compress` / equality helpers used by the equivalence tests.
+
+The main miners keep full landmarks (instances are part of the public
+result), but the equivalence of the two implementations is tested, and the
+compressed form is the right choice when only supports are needed over very
+large databases.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence as PySequence, Tuple, Union
+
+from repro.core.constraints import GapConstraint
+from repro.core.pattern import Pattern, as_pattern
+from repro.core.support import SupportSet
+from repro.db.database import SequenceDatabase
+from repro.db.index import NO_POSITION, InvertedEventIndex
+from repro.db.sequence import Event
+
+#: A compressed instance: (sequence index, first landmark position, last landmark position).
+CompressedInstance = Tuple[int, int, int]
+
+
+class CompressedSupportSet:
+    """A support set stored as ``(i, first, last)`` triples.
+
+    Triples are kept in right-shift order (ascending sequence index, then
+    ascending last position), mirroring :class:`~repro.core.support.SupportSet`.
+    """
+
+    __slots__ = ("pattern", "_triples")
+
+    def __init__(self, pattern, triples: PySequence[CompressedInstance] = ()):
+        self.pattern = as_pattern(pattern)
+        self._triples: List[CompressedInstance] = sorted(triples, key=lambda t: (t[0], t[2]))
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __iter__(self):
+        return iter(self._triples)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, CompressedSupportSet):
+            return self.pattern == other.pattern and self._triples == other._triples
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"CompressedSupportSet({self.pattern!s}, {self._triples!r})"
+
+    @property
+    def support(self) -> int:
+        """The number of instances (= ``sup(P)`` for genuine support sets)."""
+        return len(self._triples)
+
+    @property
+    def triples(self) -> List[CompressedInstance]:
+        """The ``(i, first, last)`` triples in right-shift order."""
+        return list(self._triples)
+
+    def last_positions(self) -> List[Tuple[int, int]]:
+        """``(i, last)`` pairs — the landmark border of Theorem 5."""
+        return [(i, last) for i, _, last in self._triples]
+
+    def per_sequence_counts(self) -> dict:
+        """Number of instances per sequence index."""
+        counts: dict = {}
+        for i, _, _ in self._triples:
+            counts[i] = counts.get(i, 0) + 1
+        return counts
+
+
+def initial_compressed_support_set(index: InvertedEventIndex, event: Event) -> CompressedSupportSet:
+    """Compressed leftmost support set of the size-1 pattern ``event``."""
+    triples = [(i, pos, pos) for i, pos in index.size_one_instances(event)]
+    return CompressedSupportSet(Pattern((event,)), triples)
+
+
+def ins_grow_compressed(
+    index: InvertedEventIndex,
+    support_set: CompressedSupportSet,
+    event: Event,
+    constraint: Optional[GapConstraint] = None,
+) -> CompressedSupportSet:
+    """Algorithm 2 over compressed instances.
+
+    Identical control flow to :func:`repro.core.instance_growth.ins_grow`;
+    only the per-instance state differs (the last position is all that is
+    needed to extend, the first position is carried along unchanged).
+    """
+    grown_pattern = support_set.pattern.grow(event)
+    extended: List[CompressedInstance] = []
+    groups: dict = {}
+    for triple in support_set:
+        groups.setdefault(triple[0], []).append(triple)
+    for i in sorted(groups):
+        last_position = 0
+        for seq_index, first, last in groups[i]:
+            lowest = max(last_position, last)
+            if constraint is not None:
+                lowest = max(lowest, constraint.lowest_allowed(last))
+            position = index.next_position(i, event, lowest)
+            if position == NO_POSITION:
+                break
+            if constraint is not None and not constraint.allows(last, int(position)):
+                continue
+            last_position = int(position)
+            extended.append((seq_index, first, last_position))
+    return CompressedSupportSet(grown_pattern, extended)
+
+
+def sup_comp_compressed(
+    database_or_index: Union[SequenceDatabase, InvertedEventIndex],
+    pattern,
+    constraint: Optional[GapConstraint] = None,
+) -> CompressedSupportSet:
+    """Algorithm 1 over compressed instances (returns triples, not landmarks)."""
+    pattern = as_pattern(pattern)
+    if pattern.is_empty():
+        raise ValueError("the empty pattern has no well-defined support set")
+    index = (
+        database_or_index
+        if isinstance(database_or_index, InvertedEventIndex)
+        else InvertedEventIndex(database_or_index)
+    )
+    current = initial_compressed_support_set(index, pattern.at(1))
+    for j in range(2, len(pattern) + 1):
+        current = ins_grow_compressed(index, current, pattern.at(j), constraint=constraint)
+    return current
+
+
+def compress(support_set: SupportSet) -> CompressedSupportSet:
+    """Convert a full-landmark support set into its compressed form."""
+    return CompressedSupportSet(support_set.pattern, support_set.compressed())
+
+
+def equivalent(full: SupportSet, compressed: CompressedSupportSet) -> bool:
+    """True if a full support set and a compressed one describe the same instances."""
+    return (
+        full.pattern == compressed.pattern
+        and full.compressed() == compressed.triples
+    )

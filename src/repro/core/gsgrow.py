@@ -1,0 +1,234 @@
+"""GSgrow (Algorithm 3): mining all frequent repetitive gapped subsequences.
+
+GSgrow couples the depth-first pattern-growth traversal familiar from
+PrefixSpan with the instance-growth operation of Algorithm 2: every DFS node
+carries the leftmost support set of its pattern, so the support of every
+child ``P ∘ e`` is obtained with a single ``INSgrow`` call, and the Apriori
+property (Theorem 1) prunes the traversal as soon as the support drops below
+``min_sup``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence as PySequence, Union
+
+from repro.core.constraints import GapConstraint
+from repro.core.instance_growth import ins_grow
+from repro.core.results import MinedPattern, MiningResult
+from repro.core.support import SupportSet, initial_support_set
+from repro.db.database import SequenceDatabase
+from repro.db.index import InvertedEventIndex
+from repro.db.sequence import Event
+
+
+@dataclass
+class MinerConfig:
+    """Shared configuration of :class:`GSgrow` and :class:`CloGSgrow`.
+
+    Parameters
+    ----------
+    min_sup:
+        Support threshold; a pattern is frequent iff ``sup(P) >= min_sup``.
+    max_length:
+        Optional cap on pattern length (DFS depth).  ``None`` reproduces the
+        paper exactly; a cap is useful to bound worst-case benchmarks.
+    max_patterns:
+        Optional cap on the number of reported patterns; mining stops once it
+        is reached.  ``None`` means unlimited.
+    store_instances:
+        Keep the leftmost support set (and per-sequence counts) of every
+        reported pattern.  Costs memory proportional to the total support.
+    constraint:
+        Optional gap constraint (see :mod:`repro.core.constraints`).
+    events:
+        Restrict growth to these events.  ``None`` uses every event whose
+        total occurrence count reaches ``min_sup`` (an exact Apriori filter).
+    """
+
+    min_sup: int = 2
+    max_length: Optional[int] = None
+    max_patterns: Optional[int] = None
+    store_instances: bool = False
+    constraint: Optional[GapConstraint] = None
+    events: Optional[Iterable[Event]] = None
+
+    def __post_init__(self):
+        if self.min_sup < 1:
+            raise ValueError(f"min_sup must be >= 1, got {self.min_sup}")
+        if self.max_length is not None and self.max_length < 1:
+            raise ValueError(f"max_length must be >= 1, got {self.max_length}")
+        if self.max_patterns is not None and self.max_patterns < 0:
+            raise ValueError(f"max_patterns must be >= 0, got {self.max_patterns}")
+
+
+class _PatternBudgetExhausted(Exception):
+    """Internal signal raised when ``max_patterns`` has been reached."""
+
+
+@dataclass
+class MiningStats:
+    """Counters describing one mining run (reported by the benchmarks)."""
+
+    patterns_reported: int = 0
+    nodes_visited: int = 0
+    ins_grow_calls: int = 0
+    nodes_pruned_infrequent: int = 0
+    nodes_pruned_lbcheck: int = 0
+    closure_checks: int = 0
+    extension_evaluations: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "patterns_reported": self.patterns_reported,
+            "nodes_visited": self.nodes_visited,
+            "ins_grow_calls": self.ins_grow_calls,
+            "nodes_pruned_infrequent": self.nodes_pruned_infrequent,
+            "nodes_pruned_lbcheck": self.nodes_pruned_lbcheck,
+            "closure_checks": self.closure_checks,
+            "extension_evaluations": self.extension_evaluations,
+        }
+
+
+class GSgrow:
+    """The GSgrow miner (Algorithm 3).
+
+    Example
+    -------
+    >>> from repro.db import SequenceDatabase
+    >>> db = SequenceDatabase.from_strings(["ABCABCA", "AABBCCC"])
+    >>> result = GSgrow(min_sup=4).mine(db)
+    >>> result.support_of("AB")
+    4
+    """
+
+    algorithm_name = "GSgrow"
+
+    def __init__(self, min_sup: int = 2, **kwargs):
+        self.config = MinerConfig(min_sup=min_sup, **kwargs)
+        self.stats = MiningStats()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def mine(self, database: Union[SequenceDatabase, InvertedEventIndex]) -> MiningResult:
+        """Mine all frequent patterns of ``database``.
+
+        Returns a :class:`~repro.core.results.MiningResult` with one entry
+        per frequent pattern (in DFS discovery order).
+        """
+        index = self._as_index(database)
+        self.stats = MiningStats()
+        result = MiningResult(min_sup=self.config.min_sup, algorithm=self.algorithm_name)
+        events = self._candidate_events(index)
+        try:
+            for event in events:
+                support_set = initial_support_set(index, event)
+                self._mine_fre(index, support_set, events, result, prefix_sets=[support_set])
+        except _PatternBudgetExhausted:
+            pass
+        return result
+
+    # ------------------------------------------------------------------
+    # DFS (subroutine mineFre)
+    # ------------------------------------------------------------------
+    def _mine_fre(
+        self,
+        index: InvertedEventIndex,
+        support_set: SupportSet,
+        events: List[Event],
+        result: MiningResult,
+        prefix_sets: List[SupportSet],
+    ) -> None:
+        """Recursive DFS over the pattern space (lines 6–10 of Algorithm 3)."""
+        self.stats.nodes_visited += 1
+        if support_set.support < self.config.min_sup:
+            self.stats.nodes_pruned_infrequent += 1
+            return
+        if self._accept(support_set, index, prefix_sets, events):
+            self._report(support_set, result)
+        if self._should_stop_growing(support_set, index, prefix_sets, events):
+            return
+        if self.config.max_length is not None and len(support_set.pattern) >= self.config.max_length:
+            return
+        for event in events:
+            grown = self._grow_child(index, support_set, event)
+            if grown.support < self.config.min_sup:
+                self.stats.nodes_pruned_infrequent += 1
+                continue
+            self._mine_fre(index, grown, events, result, prefix_sets + [grown])
+
+    # ------------------------------------------------------------------
+    # Hooks overridden by CloGSgrow
+    # ------------------------------------------------------------------
+    def _grow_child(
+        self, index: InvertedEventIndex, support_set: SupportSet, event: Event
+    ) -> SupportSet:
+        """Compute the support set of ``P ∘ e`` (CloGSgrow reuses cached ones)."""
+        self.stats.ins_grow_calls += 1
+        return ins_grow(index, support_set, event, constraint=self.config.constraint)
+
+    def _accept(
+        self,
+        support_set: SupportSet,
+        index: InvertedEventIndex,
+        prefix_sets: List[SupportSet],
+        events: List[Event],
+    ) -> bool:
+        """Whether to report the (frequent) pattern of ``support_set``."""
+        return True
+
+    def _should_stop_growing(
+        self,
+        support_set: SupportSet,
+        index: InvertedEventIndex,
+        prefix_sets: List[SupportSet],
+        events: List[Event],
+    ) -> bool:
+        """Whether the DFS subtree below this pattern can be pruned."""
+        return False
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _report(self, support_set: SupportSet, result: MiningResult) -> None:
+        if self.config.max_patterns is not None and len(result) >= self.config.max_patterns:
+            raise _PatternBudgetExhausted()
+        if self.config.store_instances:
+            mined = MinedPattern(
+                pattern=support_set.pattern,
+                support=support_set.support,
+                support_set=support_set,
+                per_sequence=support_set.per_sequence_counts(),
+            )
+        else:
+            mined = MinedPattern(pattern=support_set.pattern, support=support_set.support)
+        result.add(mined)
+        self.stats.patterns_reported += 1
+
+    def _candidate_events(self, index: InvertedEventIndex) -> List[Event]:
+        if self.config.events is not None:
+            return sorted(set(self.config.events), key=repr)
+        return index.frequent_events(self.config.min_sup)
+
+    @staticmethod
+    def _as_index(database) -> InvertedEventIndex:
+        if isinstance(database, InvertedEventIndex):
+            return database
+        if isinstance(database, SequenceDatabase):
+            return InvertedEventIndex(database)
+        raise TypeError(
+            f"expected a SequenceDatabase or InvertedEventIndex, got {type(database).__name__}"
+        )
+
+
+def mine_all(
+    database: Union[SequenceDatabase, InvertedEventIndex],
+    min_sup: int,
+    **kwargs,
+) -> MiningResult:
+    """Mine all frequent repetitive gapped subsequences (functional façade).
+
+    Equivalent to ``GSgrow(min_sup, **kwargs).mine(database)``.
+    """
+    return GSgrow(min_sup, **kwargs).mine(database)

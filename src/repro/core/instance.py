@@ -1,0 +1,150 @@
+"""Instances, landmarks and the overlap relation.
+
+An *instance* of a pattern ``P = e1..em`` in ``SeqDB`` is a pair
+``(i, <l1, ..., lm>)`` of a 1-based sequence index and a landmark — a strictly
+increasing list of 1-based positions with ``S_i[l_j] = e_j``
+(Definitions 2.1 and 2.2).
+
+Two instances *overlap* (Definition 2.3) iff they live in the same sequence
+and agree on at least one landmark position *at the same pattern index*.
+Note the per-index comparison: as the paper's ``ABA`` example stresses,
+instances may reuse the same sequence position at *different* pattern indices
+and still be non-overlapping.
+
+A set of pairwise non-overlapping instances is *non-redundant*
+(Definition 2.4); the repetitive support of a pattern is the maximum size of
+such a set (Definition 2.5, implemented in :mod:`repro.core.support`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence as PySequence, Tuple
+
+from repro.core.pattern import Pattern
+from repro.db.database import SequenceDatabase
+
+
+class Instance:
+    """An instance ``(i, <l1, ..., lm>)`` of a pattern.
+
+    Attributes
+    ----------
+    seq_index:
+        The 1-based index ``i`` of the sequence the instance lives in.
+    landmark:
+        The landmark ``<l1, ..., lm>`` as a tuple of strictly increasing
+        1-based positions.
+    """
+
+    __slots__ = ("seq_index", "landmark")
+
+    def __init__(self, seq_index: int, landmark: PySequence[int]):
+        landmark = tuple(landmark)
+        if seq_index < 1:
+            raise ValueError(f"sequence index must be >= 1, got {seq_index}")
+        if any(b <= a for a, b in zip(landmark, landmark[1:])):
+            raise ValueError(f"landmark positions must be strictly increasing: {landmark}")
+        if landmark and landmark[0] < 1:
+            raise ValueError(f"landmark positions must be >= 1: {landmark}")
+        self.seq_index = seq_index
+        self.landmark = landmark
+
+    # ------------------------------------------------------------------
+    # Landmark accessors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.landmark)
+
+    @property
+    def first(self) -> int:
+        """First landmark position ``l1``."""
+        return self.landmark[0]
+
+    @property
+    def last(self) -> int:
+        """Last landmark position ``lm`` (drives the right-shift order)."""
+        return self.landmark[-1]
+
+    def compressed(self) -> Tuple[int, int, int]:
+        """The compressed triple ``(i, l1, lm)`` of Section III-D."""
+        return (self.seq_index, self.first, self.last)
+
+    def extend(self, position: int) -> "Instance":
+        """Return a new instance with ``position`` appended to the landmark."""
+        return Instance(self.seq_index, self.landmark + (position,))
+
+    def drop_index(self, j: int) -> "Instance":
+        """Return the instance with the 1-based landmark index ``j`` removed.
+
+        This is the ``ins_{-j}`` construction used in the proof of Lemma 1.
+        """
+        if j < 1 or j > len(self.landmark):
+            raise IndexError(f"landmark index {j} out of range 1..{len(self.landmark)}")
+        return Instance(self.seq_index, self.landmark[: j - 1] + self.landmark[j:])
+
+    def right_shift_key(self) -> Tuple[int, int]:
+        """Sort key realising the right-shift order of Definition 3.1."""
+        return (self.seq_index, self.last)
+
+    # ------------------------------------------------------------------
+    # Semantics checks
+    # ------------------------------------------------------------------
+    def matches(self, pattern: Pattern, database: SequenceDatabase) -> bool:
+        """True if this instance really is an instance of ``pattern`` in ``database``."""
+        pattern = Pattern(pattern)
+        if len(self.landmark) != len(pattern):
+            return False
+        if self.seq_index > len(database):
+            return False
+        seq = database.sequence(self.seq_index)
+        if self.landmark and self.last > len(seq):
+            return False
+        return all(seq.at(l) == e for l, e in zip(self.landmark, pattern.events))
+
+    # ------------------------------------------------------------------
+    # Dunder protocol
+    # ------------------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Instance):
+            return self.seq_index == other.seq_index and self.landmark == other.landmark
+        if isinstance(other, tuple) and len(other) == 2:
+            return self.seq_index == other[0] and self.landmark == tuple(other[1])
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.seq_index, self.landmark))
+
+    def __repr__(self) -> str:
+        positions = ", ".join(str(p) for p in self.landmark)
+        return f"({self.seq_index}, <{positions}>)"
+
+
+def instances_overlap(a: Instance, b: Instance) -> bool:
+    """The overlap relation of Definition 2.3.
+
+    Two instances of the same pattern overlap iff they are in the same
+    sequence and share a position at the same landmark index.
+    """
+    if a.seq_index != b.seq_index:
+        return False
+    if len(a.landmark) != len(b.landmark):
+        raise ValueError(
+            "overlap is only defined between instances of the same pattern "
+            f"(landmark lengths {len(a.landmark)} and {len(b.landmark)} differ)"
+        )
+    return any(la == lb for la, lb in zip(a.landmark, b.landmark))
+
+
+def is_non_redundant(instances: Iterable[Instance]) -> bool:
+    """True if ``instances`` are pairwise non-overlapping (Definition 2.4)."""
+    instances = list(instances)
+    for idx, a in enumerate(instances):
+        for b in instances[idx + 1 :]:
+            if instances_overlap(a, b):
+                return False
+    return True
+
+
+def sort_right_shift(instances: Iterable[Instance]) -> List[Instance]:
+    """Return instances sorted in the right-shift order (Definition 3.1)."""
+    return sorted(instances, key=Instance.right_shift_key)

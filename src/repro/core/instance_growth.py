@@ -1,0 +1,107 @@
+"""Instance growth (``INSgrow``, Algorithm 2).
+
+Instance growth is the operation the paper puts in place of the projected
+database used by PrefixSpan-style miners: given the *leftmost* support set
+``I`` of a pattern ``P`` and an event ``e``, it produces the leftmost support
+set of ``P ∘ e`` by extending the instances of ``I`` greedily, sequence by
+sequence, in the right-shift order.
+
+The greedy rule (lines 3–7 of Algorithm 2) extends each instance with the
+smallest position of ``e`` that is
+
+* strictly to the right of the instance's own last landmark position, and
+* strictly to the right of the position consumed by the previously extended
+  instance of the same sequence (``last_position``), which guarantees the
+  extended instances stay pairwise non-overlapping.
+
+Lemma 4 proves this produces a leftmost support set — i.e. the greedy choice
+achieves the maximum number of non-overlapping instances.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.constraints import GapConstraint
+from repro.core.instance import Instance
+from repro.core.support import SupportSet
+from repro.db.index import NO_POSITION, InvertedEventIndex
+from repro.db.sequence import Event
+
+
+def ins_grow(
+    index: InvertedEventIndex,
+    support_set: SupportSet,
+    event: Event,
+    constraint: Optional[GapConstraint] = None,
+) -> SupportSet:
+    """Algorithm 2 (``INSgrow``): grow a leftmost support set by one event.
+
+    Parameters
+    ----------
+    index:
+        Inverted event index of the database being mined.
+    support_set:
+        The leftmost support set of some pattern ``P``.  The instances must
+        already be in right-shift order (which :class:`SupportSet`
+        guarantees).
+    event:
+        The event ``e`` to append; the result describes ``P ∘ e``.
+    constraint:
+        Optional gap constraint; when given, the position chosen for ``e``
+        must additionally satisfy ``constraint`` relative to the instance's
+        previous landmark position.  See :mod:`repro.core.constraints` for
+        the semantics caveat of the constrained variant.
+
+    Returns
+    -------
+    SupportSet
+        The leftmost support set of ``P ∘ e`` (its size is ``sup(P ∘ e)``).
+    """
+    grown_pattern = support_set.pattern.grow(event)
+    extended = []
+    # Group instances by sequence in one pass; the support set is already in
+    # right-shift order, so each group stays sorted by last landmark position.
+    groups = {}
+    for instance in support_set:
+        groups.setdefault(instance.seq_index, []).append(instance)
+    for i in sorted(groups):
+        last_position = 0
+        for instance in groups[i]:
+            lowest = max(last_position, instance.last)
+            if constraint is not None:
+                lowest = max(lowest, constraint.lowest_allowed(instance.last))
+            position = index.next_position(i, event, lowest)
+            if position is NO_POSITION or position == NO_POSITION:
+                # No occurrence of `event` remains to the right: later
+                # instances of this sequence end even further right, so the
+                # scan of this sequence can stop (line 5 of Algorithm 2).
+                break
+            if constraint is not None and not constraint.allows(instance.last, int(position)):
+                # Under a maximum-gap constraint the nearest occurrence may be
+                # too far away for *this* instance while still usable by a
+                # later one, so skip rather than break.
+                continue
+            last_position = int(position)
+            extended.append(instance.extend(last_position))
+    return SupportSet(grown_pattern, extended)
+
+
+def grow_with_pattern(
+    index: InvertedEventIndex,
+    support_set: SupportSet,
+    suffix,
+    constraint: Optional[GapConstraint] = None,
+) -> SupportSet:
+    """Grow a support set with every event of ``suffix`` in order (``P ∘ Q``).
+
+    Used by the closure checker to evaluate insert/prepend extensions: the
+    leftmost support set of ``e1..ej e'`` is grown with the remaining suffix
+    ``e(j+1) .. em`` of the original pattern.
+    """
+    from repro.core.pattern import as_pattern
+
+    result = support_set
+    for event in as_pattern(suffix):
+        result = ins_grow(index, result, event, constraint=constraint)
+    return result

@@ -1,0 +1,171 @@
+"""Patterns (gapped subsequences).
+
+A pattern ``P = e1 e2 ... em`` is itself a sequence of events
+(Definition 2.1).  :class:`Pattern` is an immutable, hashable tuple of events
+with the operations the mining algorithms need:
+
+* ``P.grow(e)`` — the pattern growth ``P ∘ e`` of Definition 3.3;
+* ``P.concat(Q)`` — ``P ∘ Q`` for a whole pattern ``Q``;
+* ``P.insert(j, e)`` / ``P.extensions(e)`` — the three extension cases of
+  Definition 3.4 (append, insert, prepend);
+* sub-pattern / super-pattern tests (Definition 2.1).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, List, Sequence as PySequence, Tuple
+
+from repro.db.sequence import Event, format_events
+
+
+class Pattern:
+    """An immutable pattern ``e1 e2 ... em``.
+
+    Patterns compare equal to (and hash like) other patterns with the same
+    events; they can be built from strings (single-character events), lists,
+    tuples or other patterns.
+    """
+
+    __slots__ = ("_events",)
+
+    def __init__(self, events: Iterable[Event] = ()):
+        if isinstance(events, Pattern):
+            self._events: Tuple[Event, ...] = events._events
+        elif isinstance(events, str):
+            self._events = tuple(events)
+        else:
+            self._events = tuple(events)
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+    @property
+    def events(self) -> Tuple[Event, ...]:
+        """The events of the pattern as a tuple."""
+        return self._events
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __getitem__(self, index):
+        result = self._events[index]
+        if isinstance(index, slice):
+            return Pattern(result)
+        return result
+
+    def at(self, j: int) -> Event:
+        """Return event ``e_j`` for 1-based ``j`` (the paper's indexing)."""
+        if j < 1 or j > len(self._events):
+            raise IndexError(f"pattern index {j} out of range 1..{len(self._events)}")
+        return self._events[j - 1]
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Pattern):
+            return self._events == other._events
+        if isinstance(other, (tuple, list)):
+            return self._events == tuple(other)
+        if isinstance(other, str):
+            return self._events == tuple(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._events)
+
+    def __lt__(self, other: "Pattern") -> bool:
+        # Lexicographic by repr of events: gives deterministic report ordering
+        # even for mixed event types.
+        if not isinstance(other, Pattern):
+            return NotImplemented
+        return [repr(e) for e in self._events] < [repr(e) for e in other._events]
+
+    def __repr__(self) -> str:
+        return f"Pattern({format_events(self._events)!r})"
+
+    def __str__(self) -> str:
+        return format_events(self._events)
+
+    def is_empty(self) -> bool:
+        """True for the empty pattern (length 0)."""
+        return not self._events
+
+    # ------------------------------------------------------------------
+    # Growth and extension (Definitions 3.3 and 3.4)
+    # ------------------------------------------------------------------
+    def grow(self, event: Event) -> "Pattern":
+        """Return ``P ∘ e``: the pattern with ``event`` appended."""
+        return Pattern(self._events + (event,))
+
+    def concat(self, other: "Pattern") -> "Pattern":
+        """Return ``P ∘ Q``: this pattern followed by all events of ``other``."""
+        other = Pattern(other)
+        return Pattern(self._events + other._events)
+
+    def prefix(self, j: int) -> "Pattern":
+        """Return the length-``j`` prefix ``e1 ... ej`` (``j`` may be 0)."""
+        if j < 0 or j > len(self._events):
+            raise IndexError(f"prefix length {j} out of range 0..{len(self._events)}")
+        return Pattern(self._events[:j])
+
+    def suffix_from(self, j: int) -> "Pattern":
+        """Return the suffix ``e(j+1) ... em`` (events after 1-based index j)."""
+        if j < 0 or j > len(self._events):
+            raise IndexError(f"suffix start {j} out of range 0..{len(self._events)}")
+        return Pattern(self._events[j:])
+
+    def insert(self, gap: int, event: Event) -> "Pattern":
+        """Insert ``event`` into gap ``gap`` (0 = before e1, m = after em).
+
+        This realises all three extension cases of Definition 3.4: ``gap=0``
+        is a prepend, ``gap=len(P)`` an append, anything in between an
+        insertion.
+        """
+        if gap < 0 or gap > len(self._events):
+            raise IndexError(f"gap {gap} out of range 0..{len(self._events)}")
+        return Pattern(self._events[:gap] + (event,) + self._events[gap:])
+
+    def extensions(self, event: Event) -> List["Pattern"]:
+        """All distinct extensions of this pattern w.r.t. ``event``."""
+        seen = set()
+        result: List[Pattern] = []
+        for gap in range(len(self._events) + 1):
+            extended = self.insert(gap, event)
+            if extended not in seen:
+                seen.add(extended)
+                result.append(extended)
+        return result
+
+    # ------------------------------------------------------------------
+    # Sub-pattern relations (Definition 2.1)
+    # ------------------------------------------------------------------
+    def is_subpattern_of(self, other: "Pattern") -> bool:
+        """True if this pattern is a (gapped) subsequence of ``other``."""
+        other = Pattern(other)
+        it = iter(other._events)
+        return all(any(o == e for o in it) for e in self._events)
+
+    def is_superpattern_of(self, other: "Pattern") -> bool:
+        """True if ``other`` is a (gapped) subsequence of this pattern."""
+        return Pattern(other).is_subpattern_of(self)
+
+    def is_proper_subpattern_of(self, other: "Pattern") -> bool:
+        """True if this is a subpattern of ``other`` and the two differ."""
+        other = Pattern(other)
+        return len(self) < len(other) and self.is_subpattern_of(other)
+
+    def distinct_events(self) -> set:
+        """The set of distinct events in the pattern (used by the density filter)."""
+        return set(self._events)
+
+
+def as_pattern(obj) -> Pattern:
+    """Coerce strings, iterables, events or Patterns into a :class:`Pattern`."""
+    if isinstance(obj, Pattern):
+        return obj
+    if isinstance(obj, (str, list, tuple)):
+        return Pattern(obj)
+    if isinstance(obj, Hashable):
+        return Pattern((obj,))
+    raise TypeError(f"cannot interpret {obj!r} as a pattern")

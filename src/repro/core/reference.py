@@ -1,0 +1,182 @@
+"""Brute-force reference implementations used as test oracles.
+
+These functions implement the *definitions* of Section II directly — every
+landmark is enumerated and the maximum non-redundant instance set is found by
+exhaustive search — with no attention to efficiency.  They exist so that the
+efficient algorithms (``supComp``, ``GSgrow``, ``CloGSgrow``) can be checked
+against the semantics on small inputs, both in golden tests for the paper's
+worked examples and in property-based tests on random databases.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, List, Optional, Sequence as PySequence, Set, Tuple, Union
+
+from repro.core.constraints import GapConstraint
+from repro.core.instance import Instance, instances_overlap
+from repro.core.pattern import Pattern, as_pattern
+from repro.db.database import SequenceDatabase
+from repro.db.sequence import Sequence
+
+
+def enumerate_landmarks(
+    sequence: Sequence,
+    pattern: Union[Pattern, str, PySequence],
+    constraint: Optional[GapConstraint] = None,
+) -> List[Tuple[int, ...]]:
+    """All landmarks of ``pattern`` in ``sequence`` (Definition 2.1).
+
+    The number of landmarks can be exponential in the pattern length; only
+    use this on small inputs (it is a test oracle, not a mining primitive).
+    """
+    pattern = as_pattern(pattern)
+    if pattern.is_empty():
+        return []
+    landmarks: List[Tuple[int, ...]] = []
+
+    def extend(prefix: Tuple[int, ...], j: int) -> None:
+        if j > len(pattern):
+            landmarks.append(prefix)
+            return
+        start = prefix[-1] + 1 if prefix else 1
+        for pos in range(start, len(sequence) + 1):
+            if sequence.at(pos) != pattern.at(j):
+                continue
+            if prefix and constraint is not None and not constraint.allows(prefix[-1], pos):
+                continue
+            extend(prefix + (pos,), j + 1)
+
+    extend((), 1)
+    return landmarks
+
+
+def enumerate_instances(
+    database: SequenceDatabase,
+    pattern: Union[Pattern, str, PySequence],
+    constraint: Optional[GapConstraint] = None,
+) -> List[Instance]:
+    """All instances of ``pattern`` in ``database`` (the set ``SeqDB(P)``)."""
+    pattern = as_pattern(pattern)
+    instances: List[Instance] = []
+    for i, seq in database.enumerate():
+        for landmark in enumerate_landmarks(seq, pattern, constraint=constraint):
+            instances.append(Instance(i, landmark))
+    return instances
+
+
+def max_non_overlapping_in_sequence(instances: List[Instance]) -> int:
+    """Maximum number of pairwise non-overlapping instances (one sequence).
+
+    Exhaustive branch-and-bound over the conflict graph.  Exponential in the
+    worst case; intended for small oracle checks only.
+    """
+    n = len(instances)
+    if n == 0:
+        return 0
+    conflicts: List[Set[int]] = [set() for _ in range(n)]
+    for a, b in combinations(range(n), 2):
+        if instances_overlap(instances[a], instances[b]):
+            conflicts[a].add(b)
+            conflicts[b].add(a)
+
+    best = 0
+
+    def search(idx: int, chosen: List[int]) -> None:
+        nonlocal best
+        if len(chosen) + (n - idx) <= best:
+            return  # cannot beat the incumbent
+        if idx == n:
+            best = max(best, len(chosen))
+            return
+        # Option 1: take instance idx if it conflicts with nothing chosen.
+        if all(idx not in conflicts[c] for c in chosen):
+            chosen.append(idx)
+            search(idx + 1, chosen)
+            chosen.pop()
+        # Option 2: skip it.
+        search(idx + 1, chosen)
+
+    search(0, [])
+    return best
+
+
+def repetitive_support_bruteforce(
+    database: SequenceDatabase,
+    pattern: Union[Pattern, str, PySequence],
+    constraint: Optional[GapConstraint] = None,
+) -> int:
+    """Repetitive support computed straight from Definition 2.5.
+
+    Instances in different sequences never overlap, so the maximum splits
+    into a per-sequence maximum summed over sequences.
+    """
+    pattern = as_pattern(pattern)
+    total = 0
+    for i, seq in database.enumerate():
+        instances = [
+            Instance(i, lm) for lm in enumerate_landmarks(seq, pattern, constraint=constraint)
+        ]
+        total += max_non_overlapping_in_sequence(instances)
+    return total
+
+
+def frequent_patterns_bruteforce(
+    database: SequenceDatabase,
+    min_sup: int,
+    max_length: Optional[int] = None,
+) -> Dict[Pattern, int]:
+    """All frequent patterns by breadth-first enumeration (test oracle).
+
+    Uses the Apriori property for pruning but computes every support with
+    :func:`repetitive_support_bruteforce`, so it is only usable on small
+    databases.
+    """
+    if min_sup < 1:
+        raise ValueError("min_sup must be >= 1")
+    counts = database.event_counts()
+    frequent: Dict[Pattern, int] = {}
+    frontier: List[Pattern] = []
+    for event, count in sorted(counts.items(), key=lambda kv: repr(kv[0])):
+        if count >= min_sup:
+            pattern = Pattern((event,))
+            frequent[pattern] = count
+            frontier.append(pattern)
+    events = [e for e, c in sorted(counts.items(), key=lambda kv: repr(kv[0])) if c >= min_sup]
+    while frontier:
+        next_frontier: List[Pattern] = []
+        for pattern in frontier:
+            if max_length is not None and len(pattern) >= max_length:
+                continue
+            for event in events:
+                candidate = pattern.grow(event)
+                support = repetitive_support_bruteforce(database, candidate)
+                if support >= min_sup:
+                    frequent[candidate] = support
+                    next_frontier.append(candidate)
+        frontier = next_frontier
+    return frequent
+
+
+def closed_patterns_bruteforce(
+    database: SequenceDatabase,
+    min_sup: int,
+    max_length: Optional[int] = None,
+) -> Dict[Pattern, int]:
+    """All closed frequent patterns, derived from the brute-force frequent set.
+
+    A frequent pattern is closed iff no frequent super-pattern has the same
+    support (any equal-support super-pattern is itself frequent, so checking
+    within the frequent set is sufficient).
+    """
+    frequent = frequent_patterns_bruteforce(database, min_sup, max_length=max_length)
+    closed: Dict[Pattern, int] = {}
+    for pattern, support in frequent.items():
+        is_closed = True
+        for other, other_support in frequent.items():
+            if other_support == support and pattern.is_proper_subpattern_of(other):
+                is_closed = False
+                break
+        if is_closed:
+            closed[pattern] = support
+    return closed

@@ -1,0 +1,176 @@
+"""Repetitive support and (leftmost) support sets.
+
+Definition 2.5 defines the repetitive support ``sup(P)`` as the maximum size
+of a non-redundant instance set of ``P`` and calls any witness of that
+maximum a *support set*.  Definition 3.2 singles out the *leftmost* support
+set — the one whose landmarks are position-wise smallest when instances are
+compared in the right-shift order; the instance-growth machinery always
+produces (and consumes) leftmost support sets.
+
+:class:`SupportSet` is the container used throughout the miners.  The
+functions :func:`sup_comp` (Algorithm 1) and :func:`repetitive_support` are
+the public entry points for computing the support of a single pattern.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence as PySequence, Union
+
+from repro.core.instance import Instance, is_non_redundant, sort_right_shift
+from repro.core.pattern import Pattern, as_pattern
+from repro.db.database import SequenceDatabase
+from repro.db.index import InvertedEventIndex
+
+
+class SupportSet:
+    """A set of instances of one pattern, kept in right-shift order.
+
+    The miners maintain the invariant that a :class:`SupportSet` produced by
+    :func:`repro.core.instance_growth.ins_grow` is the *leftmost* support set
+    of its pattern; user-constructed instances are merely sorted.
+    """
+
+    __slots__ = ("pattern", "_instances")
+
+    def __init__(self, pattern: Union[Pattern, str, PySequence], instances: Iterable[Instance] = ()):
+        self.pattern = as_pattern(pattern)
+        self._instances: List[Instance] = sort_right_shift(instances)
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._instances)
+
+    def __iter__(self) -> Iterator[Instance]:
+        return iter(self._instances)
+
+    def __getitem__(self, index):
+        return self._instances[index]
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, SupportSet):
+            return self.pattern == other.pattern and self._instances == other._instances
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"SupportSet({self.pattern!s}, {self._instances!r})"
+
+    # ------------------------------------------------------------------
+    # Accessors used by the miners
+    # ------------------------------------------------------------------
+    @property
+    def instances(self) -> List[Instance]:
+        """The instances in right-shift order."""
+        return list(self._instances)
+
+    @property
+    def support(self) -> int:
+        """The size of the set — equal to ``sup(P)`` for genuine support sets."""
+        return len(self._instances)
+
+    def instances_in_sequence(self, i: int) -> List[Instance]:
+        """Instances living in sequence ``S_i`` (the paper's ``I_i``)."""
+        return [ins for ins in self._instances if ins.seq_index == i]
+
+    def sequence_indices(self) -> List[int]:
+        """Sorted distinct sequence indices containing at least one instance."""
+        return sorted({ins.seq_index for ins in self._instances})
+
+    def last_positions(self) -> List[tuple]:
+        """``(i, last)`` pairs in right-shift order (the landmark border)."""
+        return [(ins.seq_index, ins.last) for ins in self._instances]
+
+    def first_positions(self) -> List[tuple]:
+        """``(i, first)`` pairs in right-shift order."""
+        return [(ins.seq_index, ins.first) for ins in self._instances]
+
+    def compressed(self) -> List[tuple]:
+        """The ``(i, l1, lm)`` triples of Section III-D, in right-shift order."""
+        return [ins.compressed() for ins in self._instances]
+
+    def per_sequence_counts(self) -> dict:
+        """Number of instances per sequence index (used as feature values)."""
+        counts: dict = {}
+        for ins in self._instances:
+            counts[ins.seq_index] = counts.get(ins.seq_index, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # Validation helpers (used heavily by tests)
+    # ------------------------------------------------------------------
+    def is_non_redundant(self) -> bool:
+        """True if no two instances overlap (Definition 2.4)."""
+        return is_non_redundant(self._instances)
+
+    def is_valid_for(self, database: SequenceDatabase) -> bool:
+        """True if every instance really matches the pattern in ``database``."""
+        return all(ins.matches(self.pattern, database) for ins in self._instances)
+
+
+def initial_support_set(index: InvertedEventIndex, event) -> SupportSet:
+    """Leftmost support set of the size-1 pattern ``event``.
+
+    For a single event every occurrence is an instance and no two instances
+    overlap, so the support set is simply the list of all positions
+    (line 1 of Algorithm 1 / line 3 of Algorithm 3).
+    """
+    instances = [Instance(i, (pos,)) for i, pos in index.size_one_instances(event)]
+    return SupportSet(Pattern((event,)), instances)
+
+
+def sup_comp(
+    database_or_index: Union[SequenceDatabase, InvertedEventIndex],
+    pattern: Union[Pattern, str, PySequence],
+    constraint: Optional["GapConstraint"] = None,
+) -> SupportSet:
+    """Algorithm 1 (``supComp``): compute the leftmost support set of ``pattern``.
+
+    Parameters
+    ----------
+    database_or_index:
+        Either a :class:`SequenceDatabase` (an index is built on the fly) or
+        a pre-built :class:`InvertedEventIndex`.
+    pattern:
+        The pattern whose support set is wanted; must be non-empty.
+    constraint:
+        Optional :class:`~repro.core.constraints.GapConstraint` restricting
+        the gaps between consecutive landmark positions (Section V future
+        work; see the caveat in :mod:`repro.core.constraints`).
+
+    Returns
+    -------
+    SupportSet
+        The leftmost support set; its :attr:`~SupportSet.support` equals
+        ``sup(P)``.
+    """
+    from repro.core.instance_growth import ins_grow  # local import to avoid a cycle
+
+    pattern = as_pattern(pattern)
+    if pattern.is_empty():
+        raise ValueError("the empty pattern has no well-defined support set")
+    index = _as_index(database_or_index)
+    support_set = initial_support_set(index, pattern.at(1))
+    for j in range(2, len(pattern) + 1):
+        support_set = ins_grow(index, support_set, pattern.at(j), constraint=constraint)
+    return support_set
+
+
+def repetitive_support(
+    database_or_index: Union[SequenceDatabase, InvertedEventIndex],
+    pattern: Union[Pattern, str, PySequence],
+    constraint: Optional["GapConstraint"] = None,
+) -> int:
+    """Repetitive support ``sup(P)`` (Definition 2.5) of ``pattern``."""
+    return sup_comp(database_or_index, pattern, constraint=constraint).support
+
+
+def _as_index(database_or_index) -> InvertedEventIndex:
+    if isinstance(database_or_index, InvertedEventIndex):
+        return database_or_index
+    if isinstance(database_or_index, SequenceDatabase):
+        return InvertedEventIndex(database_or_index)
+    raise TypeError(
+        "expected a SequenceDatabase or InvertedEventIndex, got "
+        f"{type(database_or_index).__name__}"
+    )

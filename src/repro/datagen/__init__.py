@@ -1,0 +1,33 @@
+"""Synthetic dataset generators.
+
+The paper evaluates on one synthetic and three real datasets; none of the
+real ones ship with this reproduction, so each has a generator producing a
+synthetic stand-in with the same summary statistics and — more importantly —
+the same structural property that drives the corresponding experiment:
+
+* :mod:`repro.datagen.ibm` — the IBM Quest style generator behind the
+  ``DxCyNzSw`` synthetic datasets (Figures 2, 5 and 6).
+* :mod:`repro.datagen.gazelle` — clickstream sessions with heavy-tailed
+  lengths, standing in for the KDD-Cup 2000 Gazelle dataset (Figure 3).
+* :mod:`repro.datagen.tcas` — loop-structured software traces over a small
+  alphabet, standing in for the TCAS traces (Figure 4).
+* :mod:`repro.datagen.jboss` — block-structured transaction-component traces
+  standing in for the JBoss case-study dataset (Section IV-B).
+* :mod:`repro.datagen.markov` — a generic Markov-chain generator used by
+  examples and property tests.
+"""
+
+from repro.datagen.gazelle import GazelleLikeGenerator
+from repro.datagen.ibm import QuestParameters, QuestSequenceGenerator
+from repro.datagen.jboss import JBossLikeGenerator
+from repro.datagen.markov import MarkovSequenceGenerator
+from repro.datagen.tcas import TcasLikeGenerator
+
+__all__ = [
+    "QuestParameters",
+    "QuestSequenceGenerator",
+    "GazelleLikeGenerator",
+    "TcasLikeGenerator",
+    "JBossLikeGenerator",
+    "MarkovSequenceGenerator",
+]

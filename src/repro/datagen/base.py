@@ -1,0 +1,81 @@
+"""Shared machinery for the dataset generators.
+
+Every generator is deterministic given a seed, produces a
+:class:`~repro.db.database.SequenceDatabase`, and names events with short
+strings (``e0``, ``e1``, ...) unless a domain-specific vocabulary applies.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import List, Optional, Sequence as PySequence
+
+from repro.db.database import SequenceDatabase
+from repro.db.sequence import Event, Sequence
+
+
+class SequenceGenerator(ABC):
+    """Base class for deterministic, seeded sequence-database generators."""
+
+    def __init__(self, seed: Optional[int] = 0):
+        self.seed = seed
+
+    def rng(self) -> random.Random:
+        """A fresh random generator seeded with this generator's seed."""
+        return random.Random(self.seed)
+
+    @abstractmethod
+    def generate(self) -> SequenceDatabase:
+        """Produce the synthetic database."""
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def event_vocabulary(size: int, prefix: str = "e") -> List[str]:
+        """A vocabulary of ``size`` event names (``e0``, ``e1``, ...)."""
+        if size < 1:
+            raise ValueError("vocabulary size must be >= 1")
+        return [f"{prefix}{i}" for i in range(size)]
+
+    @staticmethod
+    def poisson(rng: random.Random, mean: float, minimum: int = 1) -> int:
+        """A Poisson-ish positive integer (Knuth's method, clamped below)."""
+        if mean <= 0:
+            return minimum
+        # Knuth's algorithm is fine for the small means used here.
+        limit = pow(2.718281828459045, -mean)
+        k = 0
+        p = 1.0
+        while True:
+            k += 1
+            p *= rng.random()
+            if p <= limit:
+                break
+        return max(k - 1, minimum)
+
+    @staticmethod
+    def zipf_index(rng: random.Random, size: int, exponent: float = 1.2) -> int:
+        """A Zipf-distributed index in ``[0, size)`` (heavier head for larger exponent)."""
+        if size < 1:
+            raise ValueError("size must be >= 1")
+        weights = [1.0 / ((i + 1) ** exponent) for i in range(size)]
+        total = sum(weights)
+        target = rng.random() * total
+        cumulative = 0.0
+        for i, w in enumerate(weights):
+            cumulative += w
+            if cumulative >= target:
+                return i
+        return size - 1
+
+    @staticmethod
+    def corrupt(rng: random.Random, events: PySequence[Event], keep_probability: float) -> List[Event]:
+        """Drop each event independently with probability ``1 - keep_probability``."""
+        return [e for e in events if rng.random() < keep_probability]
+
+    @staticmethod
+    def to_database(sequences: List[List[Event]], name: str) -> SequenceDatabase:
+        """Wrap raw event lists into a named database, skipping empty ones."""
+        return SequenceDatabase([Sequence(s) for s in sequences if s], name=name)

@@ -1,0 +1,166 @@
+"""The sequence database ``SeqDB``.
+
+A :class:`SequenceDatabase` is an ordered collection of
+:class:`~repro.db.sequence.Sequence` objects.  Sequences are addressed by
+1-based index ``i`` (``S_i`` in the paper) because instances are pairs
+``(i, <l1, ..., lm>)`` of a sequence index and a landmark, both 1-based.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence as PySequence, Set
+
+from repro.db.sequence import Event, Sequence, as_sequence
+
+
+class SequenceDatabase:
+    """An ordered collection of sequences (the paper's ``SeqDB``).
+
+    Parameters
+    ----------
+    sequences:
+        Iterable of :class:`Sequence` objects, strings, lists or tuples of
+        events.  Strings are split into single-character events.
+    name:
+        Optional human-readable name used by reports and benchmarks.
+    """
+
+    def __init__(self, sequences: Iterable = (), name: Optional[str] = None):
+        self._sequences: List[Sequence] = [as_sequence(s) for s in sequences]
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_strings(cls, strings: Iterable[str], name: Optional[str] = None) -> "SequenceDatabase":
+        """Build a database where each string is a sequence of 1-char events."""
+        return cls([Sequence(s) for s in strings], name=name)
+
+    @classmethod
+    def from_lists(cls, lists: Iterable[PySequence[Event]], name: Optional[str] = None) -> "SequenceDatabase":
+        """Build a database from lists/tuples of arbitrary hashable events."""
+        return cls([Sequence(lst) for lst in lists], name=name)
+
+    def add(self, sequence) -> None:
+        """Append a sequence (coerced with :func:`repro.db.sequence.as_sequence`)."""
+        self._sequences.append(as_sequence(sequence))
+
+    # ------------------------------------------------------------------
+    # Access (1-based, matching the paper) and iteration
+    # ------------------------------------------------------------------
+    def sequence(self, i: int) -> Sequence:
+        """Return sequence ``S_i`` for 1-based index ``i``."""
+        if i < 1 or i > len(self._sequences):
+            raise IndexError(f"sequence index {i} out of range 1..{len(self._sequences)}")
+        return self._sequences[i - 1]
+
+    @property
+    def sequences(self) -> List[Sequence]:
+        """The sequences in order (0-based list)."""
+        return list(self._sequences)
+
+    def enumerate(self) -> Iterator[tuple]:
+        """Yield ``(i, S_i)`` pairs with 1-based ``i``."""
+        for idx, seq in enumerate(self._sequences, start=1):
+            yield idx, seq
+
+    def __len__(self) -> int:
+        return len(self._sequences)
+
+    def __iter__(self) -> Iterator[Sequence]:
+        return iter(self._sequences)
+
+    def __getitem__(self, index):
+        result = self._sequences[index]
+        if isinstance(index, slice):
+            return SequenceDatabase(result, name=self.name)
+        return result
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, SequenceDatabase):
+            return self._sequences == other._sequences
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return f"<SequenceDatabase{label}: {len(self)} sequences, {self.total_length()} events>"
+
+    # ------------------------------------------------------------------
+    # Aggregate properties
+    # ------------------------------------------------------------------
+    def alphabet(self) -> Set[Event]:
+        """Return the set of distinct events ``E`` appearing in the database."""
+        events: Set[Event] = set()
+        for seq in self._sequences:
+            events.update(seq.events)
+        return events
+
+    def event_counts(self) -> Counter:
+        """Total number of occurrences of each event across all sequences.
+
+        For a single event ``e`` the repetitive support equals its total
+        occurrence count, so this doubles as the support of size-1 patterns.
+        """
+        counts: Counter = Counter()
+        for seq in self._sequences:
+            counts.update(seq.events)
+        return counts
+
+    def total_length(self) -> int:
+        """Sum of sequence lengths (the ``||SeqDB||`` in complexity bounds)."""
+        return sum(len(seq) for seq in self._sequences)
+
+    def max_length(self) -> int:
+        """Length of the longest sequence (the ``L`` in the index bound)."""
+        return max((len(seq) for seq in self._sequences), default=0)
+
+    def average_length(self) -> float:
+        """Average sequence length; 0.0 for an empty database."""
+        if not self._sequences:
+            return 0.0
+        return self.total_length() / len(self._sequences)
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def filter_events(self, keep: Iterable[Event]) -> "SequenceDatabase":
+        """Return a copy keeping only events in ``keep`` (preserving order)."""
+        keep_set = set(keep)
+        return SequenceDatabase(
+            [Sequence([e for e in seq if e in keep_set], sid=seq.sid) for seq in self._sequences],
+            name=self.name,
+        )
+
+    def remove_infrequent_events(self, min_sup: int) -> "SequenceDatabase":
+        """Drop events whose total occurrence count is below ``min_sup``.
+
+        Removing globally infrequent events never changes the set of frequent
+        patterns (their supports are bounded by the event counts), but it can
+        shrink the index substantially; the miners accept either database.
+        """
+        counts = self.event_counts()
+        frequent = {e for e, c in counts.items() if c >= min_sup}
+        return self.filter_events(frequent)
+
+    def relabel(self, mapping: Dict[Event, Event]) -> "SequenceDatabase":
+        """Return a copy with events renamed through ``mapping`` (others kept)."""
+        return SequenceDatabase(
+            [Sequence([mapping.get(e, e) for e in seq], sid=seq.sid) for seq in self._sequences],
+            name=self.name,
+        )
+
+    def sample(self, k: int, *, seed: Optional[int] = None) -> "SequenceDatabase":
+        """Return a database with ``k`` sequences sampled without replacement."""
+        import random
+
+        if k > len(self._sequences):
+            raise ValueError(f"cannot sample {k} sequences from {len(self._sequences)}")
+        rng = random.Random(seed)
+        chosen = rng.sample(range(len(self._sequences)), k)
+        return SequenceDatabase([self._sequences[i] for i in sorted(chosen)], name=self.name)
+
+    def take(self, k: int) -> "SequenceDatabase":
+        """Return a database with the first ``k`` sequences."""
+        return SequenceDatabase(self._sequences[:k], name=self.name)

@@ -1,0 +1,139 @@
+"""Inverted event index.
+
+Section III-D of the paper describes the *inverted event index*: for every
+event ``e`` and sequence ``S_i`` keep the ordered list ``L_{e,S_i}`` of
+positions at which ``e`` occurs.  The instance-growth subroutine
+``next(S, e, lowest)`` — "the smallest position greater than ``lowest`` at
+which ``e`` occurs" — is then a binary search over that list, giving the
+``O(log L)`` bound used in the complexity analysis.
+
+:class:`InvertedEventIndex` implements exactly that structure with
+:mod:`bisect`.  A linear-scan fallback (:func:`next_position_scan`) is kept
+for the index ablation benchmark and as an oracle in tests.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.db.database import SequenceDatabase
+from repro.db.sequence import Event, Sequence
+
+#: Sentinel returned when no further occurrence exists (the paper's ``∞``).
+NO_POSITION = float("inf")
+
+
+class InvertedEventIndex:
+    """Per-sequence, per-event sorted position lists with ``next()`` queries.
+
+    Parameters
+    ----------
+    database:
+        The :class:`~repro.db.database.SequenceDatabase` to index.  The index
+        holds 1-based positions, matching landmarks and instances.
+    """
+
+    def __init__(self, database: SequenceDatabase):
+        self._database = database
+        # _lists[i][e] -> sorted list of 1-based positions of e in S_i.
+        self._lists: List[Dict[Event, List[int]]] = []
+        for seq in database:
+            per_event: Dict[Event, List[int]] = {}
+            for pos, event in enumerate(seq.events, start=1):
+                per_event.setdefault(event, []).append(pos)
+            self._lists.append(per_event)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def database(self) -> SequenceDatabase:
+        """The indexed database."""
+        return self._database
+
+    def positions(self, i: int, event: Event) -> List[int]:
+        """All 1-based positions of ``event`` in sequence ``S_i`` (sorted)."""
+        self._check_sequence_index(i)
+        return list(self._lists[i - 1].get(event, ()))
+
+    def next_position(self, i: int, event: Event, lowest: int) -> float:
+        """The paper's ``next(S_i, e, lowest)``.
+
+        Returns the smallest position ``l > lowest`` with ``S_i[l] = e``, or
+        :data:`NO_POSITION` (``inf``) if no such position exists.
+        """
+        self._check_sequence_index(i)
+        positions = self._lists[i - 1].get(event)
+        if not positions:
+            return NO_POSITION
+        idx = bisect_right(positions, lowest)
+        if idx >= len(positions):
+            return NO_POSITION
+        return positions[idx]
+
+    def count(self, i: int, event: Event) -> int:
+        """Number of occurrences of ``event`` in sequence ``S_i``."""
+        self._check_sequence_index(i)
+        return len(self._lists[i - 1].get(event, ()))
+
+    def total_count(self, event: Event) -> int:
+        """Total occurrences of ``event`` in the database (= sup of size-1 pattern)."""
+        return sum(len(per_event.get(event, ())) for per_event in self._lists)
+
+    def events_in_sequence(self, i: int) -> Set[Event]:
+        """Distinct events occurring in ``S_i``."""
+        self._check_sequence_index(i)
+        return set(self._lists[i - 1].keys())
+
+    def sequences_containing(self, event: Event) -> List[int]:
+        """1-based indices of sequences containing ``event``."""
+        return [i for i, per_event in enumerate(self._lists, start=1) if event in per_event]
+
+    def alphabet(self) -> Set[Event]:
+        """Distinct events in the database."""
+        events: Set[Event] = set()
+        for per_event in self._lists:
+            events.update(per_event.keys())
+        return events
+
+    def size_one_instances(self, event: Event) -> List[Tuple[int, int]]:
+        """All ``(i, position)`` pairs where ``event`` occurs.
+
+        This is the leftmost support set of the size-1 pattern ``event`` —
+        line 1 of ``supComp`` and line 3 of ``GSgrow``.
+        """
+        result: List[Tuple[int, int]] = []
+        for i, per_event in enumerate(self._lists, start=1):
+            for pos in per_event.get(event, ()):
+                result.append((i, pos))
+        return result
+
+    def frequent_events(self, min_sup: int) -> List[Event]:
+        """Events whose total occurrence count is at least ``min_sup``, sorted.
+
+        Events are sorted by their repr to give the miners a deterministic
+        traversal order regardless of hash seeds.
+        """
+        frequent = [e for e in self.alphabet() if self.total_count(e) >= min_sup]
+        return sorted(frequent, key=repr)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _check_sequence_index(self, i: int) -> None:
+        if i < 1 or i > len(self._lists):
+            raise IndexError(f"sequence index {i} out of range 1..{len(self._lists)}")
+
+
+def next_position_scan(sequence: Sequence, event: Event, lowest: int) -> float:
+    """Linear-scan reference for ``next(S, e, lowest)`` (used in tests/ablation)."""
+    for pos in range(max(lowest, 0) + 1, len(sequence) + 1):
+        if sequence.at(pos) == event:
+            return pos
+    return NO_POSITION
+
+
+def build_index(database: SequenceDatabase) -> InvertedEventIndex:
+    """Convenience constructor mirroring the functional style of the miners."""
+    return InvertedEventIndex(database)

@@ -1,0 +1,135 @@
+"""Sequences of events.
+
+The paper models a sequence ``S = <e1, e2, ..., e_length>`` as an ordered
+list of events drawn from an alphabet ``E`` and refers to the *i*-th event as
+``S[i]`` with ``i`` starting at 1.  :class:`Sequence` keeps that 1-based
+convention for positional access (``seq.at(i)``) because every landmark,
+instance and support-set in the mining code is expressed in the paper's
+coordinates; plain Python iteration and ``len`` behave as usual.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, List, Optional, Sequence as PySequence, Tuple
+
+Event = Hashable
+
+
+class Sequence:
+    """An ordered list of events.
+
+    Parameters
+    ----------
+    events:
+        Iterable of hashable events.  Strings are treated as sequences of
+        single-character events, which makes the paper's worked examples
+        (``Sequence("AABCDABB")``) convenient to write.
+    sid:
+        Optional external identifier (e.g. customer id, trace file name).
+    """
+
+    __slots__ = ("_events", "sid")
+
+    def __init__(self, events: Iterable[Event], sid: Optional[Hashable] = None):
+        if isinstance(events, str):
+            self._events: Tuple[Event, ...] = tuple(events)
+        else:
+            self._events = tuple(events)
+        self.sid = sid
+
+    # ------------------------------------------------------------------
+    # Positional access
+    # ------------------------------------------------------------------
+    def at(self, position: int) -> Event:
+        """Return the event at 1-based ``position`` (the paper's ``S[i]``)."""
+        if position < 1 or position > len(self._events):
+            raise IndexError(
+                f"position {position} out of range for sequence of length {len(self._events)}"
+            )
+        return self._events[position - 1]
+
+    @property
+    def events(self) -> Tuple[Event, ...]:
+        """The events of this sequence as an immutable tuple (0-based)."""
+        return self._events
+
+    def positions_of(self, event: Event) -> List[int]:
+        """Return all 1-based positions at which ``event`` occurs."""
+        return [i + 1 for i, e in enumerate(self._events) if e == event]
+
+    def alphabet(self) -> set:
+        """Return the set of distinct events occurring in this sequence."""
+        return set(self._events)
+
+    def subsequence_at(self, landmark: PySequence[int]) -> "Sequence":
+        """Return the subsequence selected by a landmark (1-based positions)."""
+        return Sequence(tuple(self.at(p) for p in landmark), sid=self.sid)
+
+    def contains_subsequence(self, pattern: PySequence[Event]) -> bool:
+        """Return True if ``pattern`` is a (gapped) subsequence of this sequence."""
+        it = iter(self._events)
+        return all(any(e == p for e in it) for p in pattern)
+
+    def first_landmark(self, pattern: PySequence[Event]) -> Optional[List[int]]:
+        """Return the leftmost landmark of ``pattern`` in this sequence, if any."""
+        landmark: List[int] = []
+        start = 0
+        for p in pattern:
+            found = None
+            for idx in range(start, len(self._events)):
+                if self._events[idx] == p:
+                    found = idx
+                    break
+            if found is None:
+                return None
+            landmark.append(found + 1)
+            start = found + 1
+        return landmark
+
+    # ------------------------------------------------------------------
+    # Dunder protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __getitem__(self, index):
+        # 0-based Python access; use :meth:`at` for the paper's 1-based access.
+        result = self._events[index]
+        if isinstance(index, slice):
+            return Sequence(result, sid=self.sid)
+        return result
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Sequence):
+            return self._events == other._events
+        if isinstance(other, (tuple, list)):
+            return self._events == tuple(other)
+        if isinstance(other, str):
+            return self._events == tuple(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._events)
+
+    def __repr__(self) -> str:
+        body = format_events(self._events)
+        if self.sid is not None:
+            return f"Sequence({body!r}, sid={self.sid!r})"
+        return f"Sequence({body!r})"
+
+
+def format_events(events: PySequence[Event]) -> str:
+    """Render events compactly: single-char strings are concatenated."""
+    if all(isinstance(e, str) and len(e) == 1 for e in events):
+        return "".join(events)  # type: ignore[arg-type]
+    return " ".join(str(e) for e in events)
+
+
+def as_sequence(obj, sid: Optional[Hashable] = None) -> Sequence:
+    """Coerce strings, lists, tuples or Sequences into a :class:`Sequence`."""
+    if isinstance(obj, Sequence):
+        return obj
+    return Sequence(obj, sid=sid)

@@ -1,0 +1,49 @@
+"""Experiment runners regenerating the paper's evaluation section.
+
+Every table and figure of Section IV has a runner here:
+
+* :mod:`repro.experiments.table1` — the support-semantics comparison of
+  Table I / Example 1.1.
+* :mod:`repro.experiments.figure2` — runtime and pattern counts vs
+  ``min_sup`` on the synthetic ``D5C20N10S20`` dataset (Figure 2).
+* :mod:`repro.experiments.figure3` — the same sweep on the Gazelle-like
+  dataset (Figure 3).
+* :mod:`repro.experiments.figure4` — the same sweep on the TCAS-like dataset
+  (Figure 4).
+* :mod:`repro.experiments.figure5` — varying the number of sequences
+  (Figure 5).
+* :mod:`repro.experiments.figure6` — varying the average sequence length
+  (Figure 6).
+* :mod:`repro.experiments.case_study` — the JBoss case study of
+  Section IV-B.
+* :mod:`repro.experiments.comparison` — the Experiment-1 prose comparison
+  against PrefixSpan / CloSpan / BIDE.
+
+Each runner returns an :class:`~repro.experiments.harness.ExperimentReport`
+whose rows mirror the series plotted in the paper; the benchmarks under
+``benchmarks/`` execute the runners and print the reports.
+"""
+
+from repro.experiments.case_study import run_case_study
+from repro.experiments.comparison import run_miner_comparison
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.figure3 import run_figure3
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.harness import ExperimentReport, SupportSweepResult, run_support_sweep
+from repro.experiments.table1 import run_table1
+
+__all__ = [
+    "ExperimentReport",
+    "SupportSweepResult",
+    "run_support_sweep",
+    "run_table1",
+    "run_figure2",
+    "run_figure3",
+    "run_figure4",
+    "run_figure5",
+    "run_figure6",
+    "run_case_study",
+    "run_miner_comparison",
+]

@@ -1,0 +1,122 @@
+"""Section IV-B case study: JBoss transaction-component traces.
+
+The paper mines the 28 JBoss transaction traces with ``min_sup = 18`` using
+CloGSgrow, then applies the density / maximality / ranking post-processing
+and reports that
+
+* 6 070 closed patterns are mined, 94 survive post-processing;
+* the longest surviving pattern (66 events) spans the whole transaction
+  lifecycle, including the *repeated* resource-enlistment block that
+  iterative-pattern mining had split off;
+* the most frequent 2-event behaviour is ``lock → unlock``.
+
+:func:`run_case_study` regenerates the study on the JBoss-like synthetic
+traces.  Absolute pattern counts depend on the generator, so the quantities
+the tests check are the structural findings: the longest pattern covers the
+lifecycle blocks in order, and ``TransImpl.lock → TransImpl.unlock`` is among
+the most frequent 2-event patterns.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.clogsgrow import CloGSgrow
+from repro.core.pattern import Pattern
+from repro.datagen.jboss import JBossLikeGenerator, LIFECYCLE_BLOCKS
+from repro.db.database import SequenceDatabase
+from repro.experiments.harness import ExperimentReport, dataset_description
+from repro.postprocess.pipeline import case_study_pipeline
+
+#: The paper's support threshold for the case study.
+PAPER_MIN_SUP = 18
+
+#: Default (scaled) mining parameters for the reproduction.  A pattern-length
+#: cap keeps the pure-Python run in benchmark territory; CloGSgrow reports
+#: patterns that are closed within the capped universe, so the cap-length
+#: patterns still follow the transaction lifecycle across block boundaries
+#: (the paper's 66-event Figure 7 pattern, scaled down).
+DEFAULT_MIN_SUP = 18
+DEFAULT_MAX_LENGTH = 10
+
+
+def case_study_database(num_sequences: int = 28, seed: int = 0) -> SequenceDatabase:
+    """The JBoss-like case-study dataset."""
+    return JBossLikeGenerator(num_sequences=num_sequences, seed=seed).generate()
+
+
+def lifecycle_order_score(pattern: Pattern) -> int:
+    """How many lifecycle blocks the pattern touches, in lifecycle order.
+
+    Counts the number of distinct blocks that contribute at least one event
+    to the pattern, provided the blocks appear in lifecycle order; used to
+    verify the "longest pattern spans the transaction lifecycle" finding.
+    """
+    block_of = {}
+    for block_index, events in enumerate(LIFECYCLE_BLOCKS.values()):
+        for event in events:
+            block_of.setdefault(event, block_index)
+    touched = []
+    for event in pattern:
+        block = block_of.get(event)
+        if block is None:
+            continue
+        if not touched or block >= touched[-1]:
+            if not touched or block != touched[-1]:
+                touched.append(block)
+    return len(touched)
+
+
+def run_case_study(
+    min_sup: int = DEFAULT_MIN_SUP,
+    *,
+    num_sequences: int = 28,
+    max_length: Optional[int] = DEFAULT_MAX_LENGTH,
+    min_density: float = 0.4,
+    seed: int = 0,
+) -> ExperimentReport:
+    """Regenerate the JBoss case study on the synthetic stand-in dataset."""
+    database = case_study_database(num_sequences=num_sequences, seed=seed)
+    miner = CloGSgrow(min_sup, max_length=max_length)
+    mined = miner.mine(database)
+    pipeline = case_study_pipeline(min_density=min_density)
+    filtered, pipeline_report = pipeline.run(mined)
+    ranked = filtered.sorted_by_length()
+
+    report = ExperimentReport(
+        experiment_id="case_study",
+        title="JBoss transaction-component case study (closed patterns + post-processing)",
+        dataset_description=dataset_description(database),
+        parameter_name="rank",
+    )
+    for rank, entry in enumerate(ranked[:10], start=1):
+        report.add_row(
+            {
+                "rank": rank,
+                "length": len(entry.pattern),
+                "support": entry.support,
+                "lifecycle_blocks": lifecycle_order_score(entry.pattern),
+                "pattern": str(entry.pattern)[:100],
+            }
+        )
+    longest = ranked[0] if ranked else None
+    most_frequent_pair = mined.most_frequent(min_length=2)
+    report.extras["min_sup"] = min_sup
+    report.extras["closed_patterns_mined"] = len(mined)
+    report.extras["post_processing"] = pipeline_report.summary()
+    report.extras["longest_pattern_length"] = len(longest.pattern) if longest else 0
+    report.extras["longest_pattern_lifecycle_blocks"] = (
+        lifecycle_order_score(longest.pattern) if longest else 0
+    )
+    report.extras["max_lifecycle_blocks_spanned"] = max(
+        (lifecycle_order_score(entry.pattern) for entry in ranked), default=0
+    )
+    report.extras["most_frequent_2_event_pattern"] = (
+        most_frequent_pair.describe() if most_frequent_pair else "-"
+    )
+    report.extras["paper_findings"] = (
+        "6070 closed patterns at min_sup=18; 94 after post-processing; "
+        "longest pattern length 66 spans the transaction lifecycle; "
+        "most frequent 2-event behaviour is lock -> unlock"
+    )
+    return report

@@ -1,0 +1,82 @@
+"""Figure 5: varying the number of sequences in the database.
+
+The paper fixes N = 10 (thousand events), C = S = 50 and ``min_sup = 20``,
+and varies D (the number of sequences, in thousands) from 5 to 25.  GSgrow
+stops terminating in reasonable time around 15K sequences (too many frequent
+patterns), while CloGSgrow keeps finishing — the reproduced shape.
+
+The reproduction keeps C = S and the fixed threshold but scales the absolute
+sequence counts and alphabet down; the ``sizes`` parameter lists the number
+of sequences generated per sweep point.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence as PySequence
+
+from repro.datagen.ibm import QuestParameters, QuestSequenceGenerator
+from repro.experiments.harness import (
+    ExperimentReport,
+    dataset_description,
+    run_database_sweep,
+)
+
+#: Per-sequence parameters of the paper's Figure 5 datasets.
+PAPER_C = 50
+PAPER_S = 50
+PAPER_N = 10  # thousands of events
+PAPER_MIN_SUP = 20
+
+#: Default numbers of sequences generated per sweep point (paper: 5K..25K).
+DEFAULT_SIZES = (40, 80, 120, 160, 200)
+
+#: Default alphabet size used at the reduced scale.
+DEFAULT_NUM_EVENTS = 300
+
+#: Default support threshold (kept at the paper's value).
+DEFAULT_MIN_SUP = PAPER_MIN_SUP
+
+#: GSgrow is only run for databases with at most this many sequences.
+DEFAULT_CUTOFF_SIZE = 80
+
+#: Pattern-length cap shared by both miners at the reduced scale.
+DEFAULT_MAX_LENGTH = 4
+
+
+def figure5_database(num_sequences: int, num_events: int = DEFAULT_NUM_EVENTS, seed: int = 0):
+    """One Figure 5 dataset with ``num_sequences`` sequences (C = S = 50)."""
+    params = QuestParameters(
+        D=num_sequences / 1000.0, C=PAPER_C, N=num_events / 1000.0, S=PAPER_S
+    )
+    return QuestSequenceGenerator(params, seed=seed).generate()
+
+
+def run_figure5(
+    sizes: PySequence[int] = DEFAULT_SIZES,
+    min_sup: int = DEFAULT_MIN_SUP,
+    *,
+    num_events: int = DEFAULT_NUM_EVENTS,
+    all_patterns_cutoff_size: Optional[int] = DEFAULT_CUTOFF_SIZE,
+    max_length: Optional[int] = DEFAULT_MAX_LENGTH,
+    seed: int = 0,
+) -> ExperimentReport:
+    """Regenerate Figure 5 (both panels) at the given sizes."""
+    databases = [figure5_database(size, num_events=num_events, seed=seed + i) for i, size in enumerate(sizes)]
+    sweep = run_database_sweep(
+        databases,
+        list(sizes),
+        min_sup,
+        all_patterns_cutoff_parameter=all_patterns_cutoff_size,
+        max_length=max_length,
+    )
+    report = sweep.report(
+        experiment_id="figure5",
+        title="Runtime and number of patterns vs number of sequences (C=S=50, min_sup fixed)",
+        dataset_description="; ".join(dataset_description(db) for db in databases[:1])
+        + f"; ... ({len(databases)} sizes)",
+        parameter_name="num_sequences",
+    )
+    report.extras["min_sup"] = min_sup
+    report.extras["paper_setting"] = "D=5K..25K, C=S=50, N=10K, min_sup=20"
+    report.extras["max_length_cap"] = max_length
+    return report

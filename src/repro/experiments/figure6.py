@@ -1,0 +1,94 @@
+"""Figure 6: varying the average sequence length.
+
+The paper fixes D = 10 (thousand sequences), N = 10 (thousand events) and
+``min_sup = 20`` and varies C = S (the average sequence length) from 20 to
+100.  Longer sequences mean more patterns at the same threshold; GSgrow stops
+terminating around average length 80 while CloGSgrow still finishes at
+length 100 — the reproduced shape.
+
+The reproduction scales the number of sequences and the alphabet down but
+keeps the C = S sweep; the ``lengths`` parameter lists the average lengths.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence as PySequence
+
+from repro.datagen.ibm import QuestParameters, QuestSequenceGenerator
+from repro.experiments.harness import (
+    ExperimentReport,
+    dataset_description,
+    run_database_sweep,
+)
+
+#: Fixed parameters of the paper's Figure 6 datasets.
+PAPER_D = 10  # thousands of sequences
+PAPER_N = 10  # thousands of events
+PAPER_MIN_SUP = 20
+
+#: Default average lengths swept (the paper's 20..100).
+DEFAULT_LENGTHS = (20, 40, 60, 80, 100)
+
+#: Default reduced database size per sweep point.
+DEFAULT_NUM_SEQUENCES = 60
+DEFAULT_NUM_EVENTS = 250
+
+#: Default support threshold (kept at the paper's value).
+DEFAULT_MIN_SUP = PAPER_MIN_SUP
+
+#: GSgrow is only run for average lengths at or below this value.
+DEFAULT_CUTOFF_LENGTH = 40
+
+#: Pattern-length cap shared by both miners at the reduced scale.
+DEFAULT_MAX_LENGTH = 4
+
+
+def figure6_database(
+    average_length: int,
+    num_sequences: int = DEFAULT_NUM_SEQUENCES,
+    num_events: int = DEFAULT_NUM_EVENTS,
+    seed: int = 0,
+):
+    """One Figure 6 dataset with C = S = ``average_length``."""
+    params = QuestParameters(
+        D=num_sequences / 1000.0,
+        C=average_length,
+        N=num_events / 1000.0,
+        S=average_length,
+    )
+    return QuestSequenceGenerator(params, seed=seed).generate()
+
+
+def run_figure6(
+    lengths: PySequence[int] = DEFAULT_LENGTHS,
+    min_sup: int = DEFAULT_MIN_SUP,
+    *,
+    num_sequences: int = DEFAULT_NUM_SEQUENCES,
+    num_events: int = DEFAULT_NUM_EVENTS,
+    all_patterns_cutoff_length: Optional[int] = DEFAULT_CUTOFF_LENGTH,
+    max_length: Optional[int] = DEFAULT_MAX_LENGTH,
+    seed: int = 0,
+) -> ExperimentReport:
+    """Regenerate Figure 6 (both panels) at the given average lengths."""
+    databases = [
+        figure6_database(length, num_sequences=num_sequences, num_events=num_events, seed=seed + i)
+        for i, length in enumerate(lengths)
+    ]
+    sweep = run_database_sweep(
+        databases,
+        list(lengths),
+        min_sup,
+        all_patterns_cutoff_parameter=all_patterns_cutoff_length,
+        max_length=max_length,
+    )
+    report = sweep.report(
+        experiment_id="figure6",
+        title="Runtime and number of patterns vs average sequence length (min_sup fixed)",
+        dataset_description="; ".join(dataset_description(db) for db in databases[:1])
+        + f"; ... ({len(databases)} lengths)",
+        parameter_name="average_length",
+    )
+    report.extras["min_sup"] = min_sup
+    report.extras["paper_setting"] = "D=10K, N=10K, C=S=20..100, min_sup=20"
+    report.extras["max_length_cap"] = max_length
+    return report

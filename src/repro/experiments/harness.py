@@ -1,0 +1,212 @@
+"""Shared experiment harness.
+
+The scalability experiments of the paper all have the same shape: run GSgrow
+("All") and CloGSgrow ("Closed") over a dataset while sweeping one parameter
+and report, per sweep point, the runtime and the number of patterns found —
+those are the (a) and (b) panels of Figures 2–6.
+
+:func:`run_support_sweep` and :func:`run_database_sweep` implement that shape
+once; the per-figure modules merely configure datasets and sweep values.
+Because mining *all* patterns becomes infeasible below some threshold (the
+"cut-off" points marked with "…" on the paper's x-axes), every sweep accepts
+an ``all_patterns_cutoff``: GSgrow is only run at sweep points at or above
+the cut-off, mirroring the paper's plots, while CloGSgrow runs everywhere.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence as PySequence
+
+from repro.core.clogsgrow import CloGSgrow
+from repro.core.gsgrow import GSgrow
+from repro.db.database import SequenceDatabase
+from repro.db.stats import describe
+
+
+@dataclass
+class SweepPoint:
+    """One x-axis point of a figure: measurements for both miners."""
+
+    parameter: float
+    all_runtime: Optional[float] = None
+    all_patterns: Optional[int] = None
+    closed_runtime: Optional[float] = None
+    closed_patterns: Optional[int] = None
+    notes: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "parameter": self.parameter,
+            "all_runtime_s": self.all_runtime,
+            "all_patterns": self.all_patterns,
+            "closed_runtime_s": self.closed_runtime,
+            "closed_patterns": self.closed_patterns,
+            "notes": self.notes,
+        }
+
+
+@dataclass
+class ExperimentReport:
+    """A structured, printable report for one experiment."""
+
+    experiment_id: str
+    title: str
+    dataset_description: str
+    parameter_name: str
+    rows: List[dict] = field(default_factory=list)
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    def add_row(self, row: dict) -> None:
+        self.rows.append(row)
+
+    def to_text(self) -> str:
+        """Render the report as an aligned text table (printed by benchmarks)."""
+        lines = [
+            f"== {self.experiment_id}: {self.title} ==",
+            f"dataset: {self.dataset_description}",
+        ]
+        if self.rows:
+            columns = list(self.rows[0].keys())
+            widths = {
+                c: max(len(str(c)), max(len(self._fmt(r.get(c))) for r in self.rows))
+                for c in columns
+            }
+            header = "  ".join(str(c).ljust(widths[c]) for c in columns)
+            lines.append(header)
+            lines.append("  ".join("-" * widths[c] for c in columns))
+            for row in self.rows:
+                lines.append("  ".join(self._fmt(row.get(c)).ljust(widths[c]) for c in columns))
+        for key, value in self.extras.items():
+            lines.append(f"{key}: {value}")
+        return "\n".join(lines)
+
+    @staticmethod
+    def _fmt(value) -> str:
+        if value is None:
+            return "-"
+        if isinstance(value, float):
+            return f"{value:.4f}"
+        return str(value)
+
+
+@dataclass
+class SupportSweepResult:
+    """Outcome of a support-threshold sweep over one dataset."""
+
+    dataset_name: str
+    points: List[SweepPoint]
+
+    def report(self, experiment_id: str, title: str, dataset_description: str,
+               parameter_name: str = "min_sup") -> ExperimentReport:
+        report = ExperimentReport(
+            experiment_id=experiment_id,
+            title=title,
+            dataset_description=dataset_description,
+            parameter_name=parameter_name,
+        )
+        for point in self.points:
+            row = point.as_dict()
+            row[parameter_name] = row.pop("parameter")
+            # Keep the parameter as the first column.
+            report.add_row({parameter_name: row[parameter_name],
+                            **{k: v for k, v in row.items() if k != parameter_name}})
+        return report
+
+
+def _timed(callable_: Callable[[], object]) -> tuple:
+    start = time.perf_counter()
+    result = callable_()
+    return result, time.perf_counter() - start
+
+
+def run_support_sweep(
+    database: SequenceDatabase,
+    thresholds: PySequence[int],
+    *,
+    all_patterns_cutoff: Optional[int] = None,
+    max_length: Optional[int] = None,
+) -> SupportSweepResult:
+    """Run GSgrow and CloGSgrow over ``database`` for each support threshold.
+
+    Parameters
+    ----------
+    database:
+        The dataset to mine.
+    thresholds:
+        The ``min_sup`` values to sweep (typically descending, as in the
+        paper's figures).
+    all_patterns_cutoff:
+        GSgrow (mining all patterns) is only run for thresholds >= this value
+        — the paper's "cut-off" point below which mining all patterns takes
+        too long.  ``None`` runs GSgrow everywhere.
+    max_length:
+        Optional pattern-length cap forwarded to both miners (keeps the
+        Python benchmarks bounded; ``None`` matches the paper exactly).
+    """
+    points: List[SweepPoint] = []
+    for min_sup in thresholds:
+        point = SweepPoint(parameter=min_sup)
+        closed_result, closed_time = _timed(
+            lambda: CloGSgrow(min_sup, max_length=max_length).mine(database)
+        )
+        point.closed_runtime = closed_time
+        point.closed_patterns = len(closed_result)
+        if all_patterns_cutoff is None or min_sup >= all_patterns_cutoff:
+            all_result, all_time = _timed(
+                lambda: GSgrow(min_sup, max_length=max_length).mine(database)
+            )
+            point.all_runtime = all_time
+            point.all_patterns = len(all_result)
+        else:
+            point.notes = "GSgrow skipped (below cut-off)"
+        points.append(point)
+    return SupportSweepResult(dataset_name=database.name or "dataset", points=points)
+
+
+def run_database_sweep(
+    databases: PySequence[SequenceDatabase],
+    parameters: PySequence[float],
+    min_sup: int,
+    *,
+    all_patterns_cutoff_parameter: Optional[float] = None,
+    max_length: Optional[int] = None,
+) -> SupportSweepResult:
+    """Run both miners over several databases at a fixed support threshold.
+
+    Used by Figures 5 and 6 where the x-axis is a property of the dataset
+    (number of sequences / average length) rather than the threshold.
+    ``all_patterns_cutoff_parameter`` plays the same role as the cut-off in
+    :func:`run_support_sweep`: GSgrow is only run for parameter values at or
+    below it (larger databases are where mining all patterns blows up).
+    """
+    if len(databases) != len(parameters):
+        raise ValueError("databases and parameters must have the same length")
+    points: List[SweepPoint] = []
+    for database, parameter in zip(databases, parameters):
+        point = SweepPoint(parameter=parameter)
+        closed_result, closed_time = _timed(
+            lambda: CloGSgrow(min_sup, max_length=max_length).mine(database)
+        )
+        point.closed_runtime = closed_time
+        point.closed_patterns = len(closed_result)
+        if all_patterns_cutoff_parameter is None or parameter <= all_patterns_cutoff_parameter:
+            all_result, all_time = _timed(
+                lambda: GSgrow(min_sup, max_length=max_length).mine(database)
+            )
+            point.all_runtime = all_time
+            point.all_patterns = len(all_result)
+        else:
+            point.notes = "GSgrow skipped (beyond cut-off)"
+        points.append(point)
+    return SupportSweepResult(
+        dataset_name=databases[0].name or "dataset", points=points
+    )
+
+
+def dataset_description(database: SequenceDatabase) -> str:
+    """Short description string used in report headers."""
+    stats = describe(database)
+    name = database.name or "dataset"
+    return f"{name}: {stats.summary()}"

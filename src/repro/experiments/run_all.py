@@ -1,0 +1,110 @@
+"""Run every experiment and save the reports to a results directory.
+
+This is the scripted counterpart of ``pytest benchmarks/ --benchmark-only``:
+it executes each table/figure runner (optionally at a reduced "quick" scale)
+and writes one JSON + CSV per experiment plus a combined ``summary.md`` via
+:class:`~repro.experiments.reporting.ReportCollection`.
+
+Usage::
+
+    python -m repro.experiments.run_all --output results/ --quick
+    python -m repro.experiments.run_all --only table1 case_study
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments.case_study import run_case_study
+from repro.experiments.comparison import run_miner_comparison
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.figure3 import run_figure3
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.harness import ExperimentReport
+from repro.experiments.reporting import ReportCollection
+from repro.experiments.table1 import run_table1
+
+#: Default-scale runners (the scales the benchmarks use).
+FULL_RUNNERS: Dict[str, Callable[[], ExperimentReport]] = {
+    "table1": run_table1,
+    "figure2": run_figure2,
+    "figure3": run_figure3,
+    "figure4": run_figure4,
+    "figure5": run_figure5,
+    "figure6": run_figure6,
+    "case_study": run_case_study,
+    "comparison": run_miner_comparison,
+}
+
+#: Reduced-scale runners for a fast end-to-end smoke run (~a minute).
+QUICK_RUNNERS: Dict[str, Callable[[], ExperimentReport]] = {
+    "table1": run_table1,
+    "figure2": lambda: run_figure2(scale=0.01, thresholds=(6, 4), all_patterns_cutoff=4, max_length=3),
+    "figure3": lambda: run_figure3(num_sequences=150, num_events=50, thresholds=(10, 6),
+                                   all_patterns_cutoff=6, max_length=3),
+    "figure4": lambda: run_figure4(num_sequences=12, thresholds=(20, 12),
+                                   all_patterns_cutoff=12, max_length=3),
+    "figure5": lambda: run_figure5(sizes=(10, 20), min_sup=5, num_events=30,
+                                   all_patterns_cutoff_size=10, max_length=3),
+    "figure6": lambda: run_figure6(lengths=(10, 20), min_sup=5, num_sequences=15,
+                                   num_events=30, all_patterns_cutoff_length=10, max_length=3),
+    "case_study": lambda: run_case_study(min_sup=8, num_sequences=10, max_length=6),
+    "comparison": lambda: run_miner_comparison(scale=0.01, min_sup=4, max_length=3),
+}
+
+
+def run_experiments(
+    names: Optional[List[str]] = None,
+    *,
+    quick: bool = False,
+    verbose: bool = True,
+) -> ReportCollection:
+    """Run the selected experiments and return their reports.
+
+    Parameters
+    ----------
+    names:
+        Experiment ids to run (default: all of them, in the paper's order).
+    quick:
+        Use the reduced-scale runners (for smoke tests and CI).
+    verbose:
+        Print each report as it completes.
+    """
+    runners = QUICK_RUNNERS if quick else FULL_RUNNERS
+    selected = names or list(runners)
+    unknown = [name for name in selected if name not in runners]
+    if unknown:
+        raise ValueError(f"unknown experiment ids: {unknown}; known: {sorted(runners)}")
+    collection = ReportCollection()
+    for name in selected:
+        start = time.perf_counter()
+        report = runners[name]()
+        elapsed = time.perf_counter() - start
+        report.extras.setdefault("wall_clock_s", round(elapsed, 3))
+        collection.add(report)
+        if verbose:
+            print(report.to_text())
+            print()
+    return collection
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point (``python -m repro.experiments.run_all``)."""
+    parser = argparse.ArgumentParser(description="Run the paper's experiments and save reports.")
+    parser.add_argument("--output", default="results", help="directory for JSON/CSV/markdown output")
+    parser.add_argument("--only", nargs="*", default=None, help="experiment ids to run (default: all)")
+    parser.add_argument("--quick", action="store_true", help="use reduced scales (smoke run)")
+    parser.add_argument("--quiet", action="store_true", help="do not print reports while running")
+    args = parser.parse_args(argv)
+    collection = run_experiments(args.only, quick=args.quick, verbose=not args.quiet)
+    written = collection.save(args.output)
+    print(f"wrote {len(written)} files to {args.output}/")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

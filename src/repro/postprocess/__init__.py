@@ -1,0 +1,33 @@
+"""Post-processing of mined pattern sets.
+
+The case study of Section IV-B reports that even the closed pattern set can
+be large (6 070 patterns at ``min_sup = 18``) and applies three
+post-processing steps adapted from prior work before presenting patterns to
+users:
+
+1. **Density** — keep patterns whose fraction of distinct events exceeds a
+   threshold (40% in the paper);
+2. **Maximality** — keep only patterns that are not subpatterns of another
+   reported pattern;
+3. **Ranking** — order the survivors by length.
+
+:mod:`repro.postprocess.filters` implements the individual steps and
+:class:`~repro.postprocess.pipeline.PostProcessingPipeline` chains them.
+"""
+
+from repro.postprocess.filters import (
+    density_filter,
+    maximality_filter,
+    rank_by_length,
+    rank_by_support,
+)
+from repro.postprocess.pipeline import PostProcessingPipeline, case_study_pipeline
+
+__all__ = [
+    "density_filter",
+    "maximality_filter",
+    "rank_by_length",
+    "rank_by_support",
+    "PostProcessingPipeline",
+    "case_study_pipeline",
+]

@@ -1,0 +1,56 @@
+"""Individual post-processing filters (Section IV-B).
+
+Each filter takes a :class:`~repro.core.results.MiningResult` and returns a
+new one (the ranking helpers return ordered lists of
+:class:`~repro.core.results.MinedPattern`); none of them mutates its input.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.results import MinedPattern, MiningResult
+
+
+def density_filter(result: MiningResult, min_density: float = 0.4) -> MiningResult:
+    """Keep patterns whose fraction of distinct events exceeds ``min_density``.
+
+    The paper's density step: "only report patterns in which the number of
+    unique events is > 40% of its length".  The comparison is strict, as in
+    the paper.
+    """
+    if not 0 <= min_density <= 1:
+        raise ValueError("min_density must be within [0, 1]")
+    return result.filter(lambda p: p.density() > min_density)
+
+
+def maximality_filter(result: MiningResult) -> MiningResult:
+    """Keep only patterns that are not proper subpatterns of another pattern.
+
+    The paper's maximality step.  Maximality is evaluated within the given
+    result set (as in the paper, where it is applied to the reported closed
+    patterns).
+    """
+    return result.maximal_patterns()
+
+
+def min_length_filter(result: MiningResult, min_length: int) -> MiningResult:
+    """Keep patterns with at least ``min_length`` events (auxiliary filter)."""
+    if min_length < 1:
+        raise ValueError("min_length must be >= 1")
+    return result.with_min_length(min_length)
+
+
+def min_support_filter(result: MiningResult, min_support: int) -> MiningResult:
+    """Keep patterns with support at least ``min_support`` (auxiliary filter)."""
+    return result.with_support_at_least(min_support)
+
+
+def rank_by_length(result: MiningResult) -> List[MinedPattern]:
+    """Order patterns by decreasing length (the paper's ranking step)."""
+    return result.sorted_by_length(descending=True)
+
+
+def rank_by_support(result: MiningResult) -> List[MinedPattern]:
+    """Order patterns by decreasing support (used for the lock→unlock finding)."""
+    return result.sorted_by_support(descending=True)

@@ -1,0 +1,34 @@
+"""Tests for the side-by-side support-semantics comparison."""
+
+from repro.analysis.comparison import compare_supports
+from repro.core.constraints import GapConstraint
+
+
+class TestCompareSupports:
+    def test_example_1_1_values(self, example11):
+        comparison = compare_supports(example11, "AB")
+        assert comparison.repetitive == 4
+        assert comparison.sequential == 2
+        assert comparison.interaction == 9
+        assert comparison.iterative == 3
+
+    def test_cd_values(self, example11):
+        comparison = compare_supports(example11, "CD")
+        assert comparison.repetitive == 2
+        assert comparison.sequential == 2
+
+    def test_as_dict_and_rows(self, example11):
+        comparison = compare_supports(example11, "AB")
+        payload = comparison.as_dict()
+        assert payload["repetitive (this paper)"] == 4
+        assert len(comparison.rows()) == len(payload)
+
+    def test_custom_parameters(self, example11):
+        comparison = compare_supports(
+            example11, "AB", window_width=3, gap_constraint=GapConstraint(0, 1)
+        )
+        assert comparison.window_width == 3
+        assert comparison.gap_constraint.max_gap == 1
+        # Tighter gap requirement counts fewer occurrences than the default.
+        default = compare_supports(example11, "AB")
+        assert comparison.gap_requirement <= default.gap_requirement

@@ -1,0 +1,63 @@
+"""Tests for per-sequence pattern features (the future-work direction)."""
+
+import pytest
+
+from repro.analysis.features import (
+    PatternFeatureExtractor,
+    discriminative_patterns,
+    pattern_feature_matrix,
+)
+from repro.db.database import SequenceDatabase
+
+
+class TestTransform:
+    def test_feature_values_are_per_sequence_supports(self, example11):
+        matrix = pattern_feature_matrix(example11, ["AB", "CD"])
+        # AB: 3 instances in S1, 1 in S2; CD: 1 in each.
+        assert matrix == [[3, 1], [1, 1]]
+
+    def test_missing_pattern_gives_zero_column(self, example11):
+        matrix = pattern_feature_matrix(example11, ["ZZ"])
+        assert matrix == [[0], [0]]
+
+    def test_transform_requires_patterns(self, example11):
+        with pytest.raises(ValueError):
+            PatternFeatureExtractor().transform(example11)
+
+    def test_feature_names(self):
+        extractor = PatternFeatureExtractor(["AB", ["lock", "unlock"]])
+        assert extractor.feature_names() == ["AB", "lock unlock"]
+
+
+class TestFit:
+    def test_fit_mines_closed_patterns(self, table3):
+        extractor = PatternFeatureExtractor().fit(table3, min_sup=3)
+        assert len(extractor.patterns) > 0
+        matrix = extractor.transform(table3)
+        assert len(matrix) == len(table3)
+        assert all(len(row) == len(extractor.patterns) for row in matrix)
+
+    def test_fit_respects_max_patterns_and_min_length(self, table3):
+        extractor = PatternFeatureExtractor().fit(table3, min_sup=3, max_patterns=2, min_length=2)
+        assert len(extractor.patterns) == 2
+        assert all(len(p) >= 2 for p in extractor.patterns)
+
+    def test_fit_transform(self, table3):
+        matrix = PatternFeatureExtractor().fit_transform(table3, min_sup=3)
+        assert len(matrix) == 2
+
+
+class TestDiscriminativePatterns:
+    def test_finds_class_separating_pattern(self):
+        # Class 1 repeats AB many times per sequence, class 2 does not.
+        positive = SequenceDatabase.from_strings(["ABABABAB", "ABABAB"] * 3)
+        negative = SequenceDatabase.from_strings(["ACDC", "ADDC"] * 3)
+        ranked = discriminative_patterns(positive, negative, min_sup=4, top_k=5)
+        assert ranked, "expected at least one discriminative pattern"
+        top = ranked[0]
+        assert top["score"] > 0
+        assert top["positive_average"] != top["negative_average"]
+
+    def test_top_k_limits_output(self, example11):
+        ranked = discriminative_patterns(example11, example11, min_sup=2, top_k=1)
+        assert len(ranked) <= 1

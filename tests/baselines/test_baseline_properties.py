@@ -1,0 +1,84 @@
+"""Property-based tests relating the baseline semantics to each other.
+
+These encode the ordering relations between the support definitions of
+Table I that hold on any database, plus agreement between the sequential
+miners and their brute-force references.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.baselines.bide import mine_closed_sequential
+from repro.baselines.clospan import CloSpan
+from repro.baselines.episodes import minimal_window_support
+from repro.baselines.gap_requirement import gap_occurrence_support
+from repro.baselines.interaction import interaction_support
+from repro.baselines.iterative import iterative_support
+from repro.baselines.prefixspan import mine_sequential
+from repro.baselines.sequential import mine_sequential_apriori, sequence_support
+from repro.core.constraints import GapConstraint
+from repro.core.pattern import Pattern
+from repro.core.support import repetitive_support
+from repro.db.database import SequenceDatabase
+
+EVENTS = "ABC"
+sequences = st.text(alphabet=EVENTS, min_size=1, max_size=10)
+databases = st.lists(sequences, min_size=1, max_size=4).map(SequenceDatabase.from_strings)
+patterns = st.text(alphabet=EVENTS, min_size=1, max_size=3).map(Pattern)
+
+relaxed = settings(max_examples=50, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestSemanticRelations:
+    @relaxed
+    @given(databases, patterns)
+    def test_sequence_support_is_a_lower_bound_on_repetitive_support(self, db, pattern):
+        # Each supporting sequence contributes at least one non-overlapping
+        # instance, so sup_repetitive >= sup_sequential.
+        assert repetitive_support(db, pattern) >= sequence_support(db, pattern)
+
+    @relaxed
+    @given(databases, patterns)
+    def test_repetitive_support_bounded_by_unconstrained_occurrences(self, db, pattern):
+        unbounded = GapConstraint(0, None)
+        assert repetitive_support(db, pattern) <= gap_occurrence_support(db, pattern, unbounded)
+
+    @relaxed
+    @given(databases, patterns)
+    def test_iterative_occurrences_bounded_by_all_occurrences(self, db, pattern):
+        unbounded = GapConstraint(0, None)
+        assert iterative_support(db, pattern) <= gap_occurrence_support(db, pattern, unbounded)
+
+    @relaxed
+    @given(databases, patterns)
+    def test_minimal_windows_bounded_by_interaction_substrings(self, db, pattern):
+        # Every minimal window is a qualifying interaction substring (it
+        # starts with the first pattern event and ends with the last).
+        assert minimal_window_support(db, pattern) <= interaction_support(db, pattern)
+
+    @relaxed
+    @given(databases, patterns)
+    def test_zero_supports_agree(self, db, pattern):
+        # If a pattern never occurs, every semantics gives zero.
+        if sequence_support(db, pattern) == 0:
+            assert repetitive_support(db, pattern) == 0
+            assert iterative_support(db, pattern) == 0
+            assert interaction_support(db, pattern) == 0
+
+
+class TestMinerAgreement:
+    @relaxed
+    @given(databases, st.integers(min_value=1, max_value=3))
+    def test_prefixspan_matches_apriori_reference(self, db, min_sup):
+        assert mine_sequential(db, min_sup).as_dict() == mine_sequential_apriori(db, min_sup)
+
+    @relaxed
+    @given(databases, st.integers(min_value=1, max_value=3))
+    def test_bide_and_clospan_agree(self, db, min_sup):
+        assert mine_closed_sequential(db, min_sup).as_dict() == CloSpan(min_sup).mine(db).as_dict()
+
+    @relaxed
+    @given(databases, st.integers(min_value=1, max_value=3))
+    def test_closed_sequential_is_subset_of_all_sequential(self, db, min_sup):
+        all_patterns = mine_sequential(db, min_sup).as_dict()
+        for pattern, support in mine_closed_sequential(db, min_sup).as_dict().items():
+            assert all_patterns.get(pattern) == support

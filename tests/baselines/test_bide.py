@@ -1,0 +1,96 @@
+"""Tests for the BIDE closed sequential-pattern miner."""
+
+import pytest
+
+from repro.baselines.bide import BIDE, mine_closed_sequential
+from repro.baselines.prefixspan import mine_sequential
+from repro.core.pattern import Pattern
+from repro.db.database import SequenceDatabase
+
+
+def closed_from_all_sequential(database, min_sup):
+    """Reference: filter the closed patterns out of the PrefixSpan output."""
+    frequent = mine_sequential(database, min_sup).as_dict()
+    closed = {}
+    for pattern, support in frequent.items():
+        if not any(
+            other_support == support and pattern.is_proper_subpattern_of(other)
+            for other, other_support in frequent.items()
+        ):
+            closed[pattern] = support
+    return closed
+
+
+class TestSmallDatabases:
+    def test_textbook_example(self):
+        # Classic BIDE example: CAABC, ABCB, CABC, ABBCA with min_sup = 2.
+        db = SequenceDatabase.from_strings(["CAABC", "ABCB", "CABC", "ABBCA"])
+        result = mine_closed_sequential(db, 2)
+        assert result.as_dict() == closed_from_all_sequential(db, 2)
+
+    @pytest.mark.parametrize("min_sup", [1, 2, 3])
+    def test_paper_fixtures(self, example11, table2, table3, min_sup):
+        for db in (example11, table2, table3):
+            assert mine_closed_sequential(db, min_sup).as_dict() == closed_from_all_sequential(
+                db, min_sup
+            )
+
+    def test_single_sequence(self):
+        db = SequenceDatabase.from_strings(["ABCABC"])
+        result = mine_closed_sequential(db, 1)
+        # With one sequence every pattern has support 1, so only the maximal
+        # subsequences survive; ABCABC itself is the longest closed pattern.
+        assert Pattern("ABCABC") in result
+        assert Pattern("AB") not in result
+
+    def test_supports_are_sequence_counts(self):
+        db = SequenceDatabase.from_strings(["ABAB", "AB"])
+        result = mine_closed_sequential(db, 2)
+        assert result.support_of("AB") == 2
+
+
+class TestClosednessProperties:
+    def test_no_reported_pattern_has_equal_support_superpattern(self, table3):
+        result = mine_closed_sequential(table3, 2)
+        entries = list(result)
+        for a in entries:
+            for b in entries:
+                if a is b:
+                    continue
+                if a.pattern.is_proper_subpattern_of(b.pattern):
+                    assert a.support != b.support
+
+    def test_every_frequent_pattern_covered(self, table3):
+        frequent = mine_sequential(table3, 2)
+        closed = mine_closed_sequential(table3, 2)
+        for entry in frequent:
+            assert any(
+                entry.pattern.is_subpattern_of(c.pattern) and c.support == entry.support
+                for c in closed
+            )
+
+
+class TestOptions:
+    def test_backscan_does_not_change_output(self, table3):
+        with_pruning = BIDE(2, enable_backscan=True).mine(table3)
+        without_pruning = BIDE(2, enable_backscan=False).mine(table3)
+        assert with_pruning.as_dict() == without_pruning.as_dict()
+
+    def test_backscan_prunes_nodes(self):
+        db = SequenceDatabase.from_strings(["CAABC", "ABCB", "CABC", "ABBCA"])
+        pruned = BIDE(2, enable_backscan=True)
+        pruned.mine(db)
+        unpruned = BIDE(2, enable_backscan=False)
+        unpruned.mine(db)
+        assert pruned.nodes_visited <= unpruned.nodes_visited
+
+    def test_min_sup_validation(self):
+        with pytest.raises(ValueError):
+            BIDE(0)
+
+    def test_empty_database(self):
+        assert len(mine_closed_sequential(SequenceDatabase(), 1)) == 0
+
+    def test_max_length_cap(self, table3):
+        result = BIDE(1, max_length=2).mine(table3)
+        assert all(len(p) <= 2 for p in result.patterns())

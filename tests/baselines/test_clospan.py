@@ -1,0 +1,65 @@
+"""Tests for the CloSpan-style closed sequential-pattern miner."""
+
+import pytest
+
+from repro.baselines.clospan import CloSpan
+from repro.baselines.prefixspan import mine_sequential
+from repro.db.database import SequenceDatabase
+
+
+def closed_from_all_sequential(database, min_sup):
+    frequent = mine_sequential(database, min_sup).as_dict()
+    return {
+        pattern: support
+        for pattern, support in frequent.items()
+        if not any(
+            other_support == support and pattern.is_proper_subpattern_of(other)
+            for other, other_support in frequent.items()
+        )
+    }
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("min_sup", [1, 2, 3])
+    def test_matches_reference_on_paper_fixtures(self, example11, table2, table3, min_sup):
+        for db in (example11, table2, table3):
+            assert CloSpan(min_sup).mine(db).as_dict() == closed_from_all_sequential(db, min_sup)
+
+    def test_textbook_example(self):
+        db = SequenceDatabase.from_strings(["CAABC", "ABCB", "CABC", "ABBCA"])
+        assert CloSpan(2).mine(db).as_dict() == closed_from_all_sequential(db, 2)
+
+    def test_agrees_with_bide(self, table3):
+        from repro.baselines.bide import mine_closed_sequential
+
+        assert CloSpan(2).mine(table3).as_dict() == mine_closed_sequential(table3, 2).as_dict()
+
+
+class TestPruning:
+    def test_equivalence_pruning_triggers_on_redundant_prefixes(self):
+        # Database where a sub-pattern has an identical projected database:
+        # every occurrence of B is preceded by A, so the projections of B and
+        # AB coincide and the B subtree can be skipped.
+        db = SequenceDatabase.from_strings(["ABC", "ABD", "ABE"])
+        miner = CloSpan(2)
+        result = miner.mine(db)
+        assert miner.nodes_pruned_equivalence >= 1
+        assert result.as_dict() == closed_from_all_sequential(db, 2)
+
+    def test_counters(self, table3):
+        miner = CloSpan(2)
+        miner.mine(table3)
+        assert miner.nodes_visited > 0
+
+
+class TestOptions:
+    def test_min_sup_validation(self):
+        with pytest.raises(ValueError):
+            CloSpan(0)
+
+    def test_empty_database(self):
+        assert len(CloSpan(1).mine(SequenceDatabase())) == 0
+
+    def test_max_length_cap(self, table3):
+        result = CloSpan(1, max_length=2).mine(table3)
+        assert all(len(p) <= 2 for p in result.patterns())

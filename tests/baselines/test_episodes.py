@@ -1,0 +1,74 @@
+"""Tests for episode supports (fixed-width and minimal windows)."""
+
+import pytest
+
+from repro.baselines.episodes import (
+    fixed_window_support,
+    fixed_window_support_sequence,
+    minimal_window_support,
+    minimal_window_support_sequence,
+    minimal_windows_sequence,
+)
+from repro.db.database import SequenceDatabase
+from repro.db.sequence import Sequence
+
+
+@pytest.fixture
+def s1():
+    return Sequence("AABCDABB")
+
+
+class TestFixedWindowSupport:
+    def test_paper_example_ab_width4(self, s1):
+        # The paper: width-4 windows [1,4], [2,5], [4,7], [5,8] contain AB.
+        assert fixed_window_support_sequence(s1, "AB", 4) == 4
+
+    def test_width_equal_to_length(self, s1):
+        assert fixed_window_support_sequence(s1, "AB", 8) == 1
+
+    def test_width_one(self, s1):
+        assert fixed_window_support_sequence(s1, "A", 1) == 3
+        assert fixed_window_support_sequence(s1, "AB", 1) == 0
+
+    def test_invalid_width(self, s1):
+        with pytest.raises(ValueError):
+            fixed_window_support_sequence(s1, "AB", 0)
+
+    def test_database_level_sums_sequences(self, example11):
+        # S1 contributes 4 windows, S2 (ABCD, one width-4 window) contributes 1.
+        assert fixed_window_support(example11, "AB", 4) == 5
+
+    def test_missing_pattern(self, s1):
+        assert fixed_window_support_sequence(s1, "DC", 4) == 0
+
+
+class TestMinimalWindows:
+    def test_paper_example_ab(self, s1):
+        assert minimal_windows_sequence(s1, "AB") == [(2, 3), (6, 7)]
+        assert minimal_window_support_sequence(s1, "AB") == 2
+
+    def test_cd(self, s1):
+        assert minimal_windows_sequence(s1, "CD") == [(4, 5)]
+
+    def test_nested_windows_are_not_counted(self):
+        seq = Sequence("AAB")
+        assert minimal_windows_sequence(seq, "AB") == [(2, 3)]
+
+    def test_single_event_pattern(self):
+        seq = Sequence("ABA")
+        assert minimal_windows_sequence(seq, "A") == [(1, 1), (3, 3)]
+
+    def test_empty_pattern(self):
+        assert minimal_windows_sequence(Sequence("AB"), "") == []
+
+    def test_missing_pattern(self, s1):
+        assert minimal_window_support_sequence(s1, "DC") == 0
+
+    def test_windows_contain_the_pattern(self, s1):
+        for start, end in minimal_windows_sequence(s1, "ABB"):
+            window = s1.events[start - 1 : end]
+            it = iter(window)
+            assert all(any(e == p for e in it) for p in "ABB")
+
+    def test_database_level(self, example11):
+        assert minimal_window_support(example11, "AB") == 3  # 2 in S1 + 1 in S2

@@ -1,0 +1,72 @@
+"""Tests for gap-requirement occurrence counting (Zhang et al.)."""
+
+import pytest
+
+from repro.baselines.gap_requirement import (
+    gap_occurrence_support,
+    gap_occurrence_support_sequence,
+    gap_occurrences_sequence,
+    gap_support_ratio_sequence,
+    max_possible_occurrences,
+)
+from repro.core.constraints import GapConstraint
+from repro.db.sequence import Sequence
+
+
+@pytest.fixture
+def s1():
+    return Sequence("AABCDABB")
+
+
+@pytest.fixture
+def paper_constraint():
+    return GapConstraint(0, 3)
+
+
+class TestOccurrenceCounting:
+    def test_paper_example_ab(self, s1, paper_constraint):
+        # "gap >= 0 and <= 3": AB has 4 occurrences in S1.
+        occurrences = gap_occurrences_sequence(s1, "AB", paper_constraint)
+        assert occurrences == [(1, 3), (2, 3), (6, 7), (6, 8)]
+        assert gap_occurrence_support_sequence(s1, "AB", paper_constraint) == 4
+
+    def test_overlapping_occurrences_are_all_counted(self, s1, paper_constraint):
+        # Unlike repetitive support, both (1,3) and (2,3) count.
+        assert gap_occurrence_support_sequence(s1, "AB", paper_constraint) > 2
+
+    def test_unbounded_gap_counts_all_landmarks(self, s1):
+        # A at positions 1, 2, 6 and B at 3, 7, 8 give 8 landmarks in total.
+        unbounded = GapConstraint(0, None)
+        assert gap_occurrence_support_sequence(s1, "AB", unbounded) == 8
+
+    def test_database_level(self, example11, paper_constraint):
+        # 4 occurrences in S1 plus 1 in S2 (A1 B2).
+        assert gap_occurrence_support(example11, "AB", paper_constraint) == 5
+
+
+class TestMaxPossibleOccurrences:
+    def test_paper_ratio_denominator(self, paper_constraint):
+        # The paper quotes a support ratio of 4/22 for AB in S1 (length 8).
+        assert max_possible_occurrences(8, 2, paper_constraint) == 22
+
+    def test_single_event(self, paper_constraint):
+        assert max_possible_occurrences(8, 1, paper_constraint) == 8
+
+    def test_zero_length_pattern(self, paper_constraint):
+        assert max_possible_occurrences(8, 0, paper_constraint) == 0
+
+    def test_adjacent_only(self):
+        assert max_possible_occurrences(5, 2, GapConstraint(0, 0)) == 4
+        assert max_possible_occurrences(5, 3, GapConstraint(0, 0)) == 3
+
+    def test_unbounded(self):
+        # All increasing pairs out of 5 positions: C(5, 2) = 10.
+        assert max_possible_occurrences(5, 2, GapConstraint(0, None)) == 10
+
+
+class TestSupportRatio:
+    def test_paper_example_ratio(self, s1, paper_constraint):
+        assert gap_support_ratio_sequence(s1, "AB", paper_constraint) == pytest.approx(4 / 22)
+
+    def test_zero_denominator(self, paper_constraint):
+        assert gap_support_ratio_sequence(Sequence(""), "AB", paper_constraint) == 0.0

@@ -1,0 +1,58 @@
+"""Tests for interaction-pattern support (El-Ramly et al.)."""
+
+import pytest
+
+from repro.baselines.interaction import (
+    interaction_occurrences_sequence,
+    interaction_support,
+    interaction_support_sequence,
+)
+from repro.db.sequence import Sequence
+
+
+@pytest.fixture
+def s1():
+    return Sequence("AABCDABB")
+
+
+class TestPaperExample:
+    def test_ab_has_8_substrings_in_s1(self, s1):
+        occurrences = interaction_occurrences_sequence(s1, "AB")
+        assert len(occurrences) == 8
+        assert (1, 3) in occurrences
+        assert (6, 8) in occurrences
+        assert (6, 7) in occurrences
+
+    def test_ab_has_support_9_in_example11(self, example11):
+        assert interaction_support(example11, "AB") == 9
+
+    def test_cd_support(self, example11):
+        # CD occurs as one substring per sequence.
+        assert interaction_support(example11, "CD") == 2
+
+
+class TestSemantics:
+    def test_substring_must_start_and_end_with_pattern_boundary_events(self, s1):
+        for start, end in interaction_occurrences_sequence(s1, "AB"):
+            assert s1.at(start) == "A"
+            assert s1.at(end) == "B"
+
+    def test_substring_must_contain_pattern(self):
+        seq = Sequence("ACB")
+        assert interaction_occurrences_sequence(seq, "AB") == [(1, 3)]
+        assert interaction_occurrences_sequence(seq, "ACB") == [(1, 3)]
+        assert interaction_occurrences_sequence(seq, "ABC") == []
+
+    def test_minimum_substring_length(self):
+        seq = Sequence("AB")
+        assert interaction_occurrences_sequence(seq, "AAB") == []
+
+    def test_single_event_pattern(self):
+        seq = Sequence("ABA")
+        assert interaction_occurrences_sequence(seq, "A") == [(1, 1), (1, 3), (3, 3)]
+
+    def test_empty_pattern(self):
+        assert interaction_occurrences_sequence(Sequence("AB"), "") == []
+
+    def test_missing_pattern(self, s1):
+        assert interaction_support_sequence(s1, "DC") == 0

@@ -1,0 +1,56 @@
+"""Tests for iterative-pattern (MSC/LSC) support (Lo et al.)."""
+
+import pytest
+
+from repro.baselines.iterative import (
+    iterative_occurrences_sequence,
+    iterative_support,
+    iterative_support_sequence,
+)
+from repro.db.sequence import Sequence
+
+
+@pytest.fixture
+def s1():
+    return Sequence("AABCDABB")
+
+
+class TestPaperExample:
+    def test_ab_occurrences_in_s1(self, s1):
+        # Only A2-B3 and A6-B7 qualify: no pattern-alphabet event may occur
+        # between the matched positions.
+        assert iterative_occurrences_sequence(s1, "AB") == [(2, 3), (6, 7)]
+
+    def test_ab_support_is_3_in_example11(self, example11):
+        assert iterative_support(example11, "AB") == 3
+
+    def test_cd_support(self, example11):
+        assert iterative_support(example11, "CD") == 2
+
+
+class TestSemantics:
+    def test_gap_may_contain_foreign_events_only(self):
+        seq = Sequence("AXYB")
+        assert iterative_occurrences_sequence(seq, "AB") == [(1, 4)]
+
+    def test_gap_with_pattern_event_disqualifies(self):
+        seq = Sequence("AABB")
+        # A1..B3 is blocked by A2; A1..B4 blocked by A2 and B3; valid: (2,3).
+        assert iterative_occurrences_sequence(seq, "AB") == [(2, 3)]
+
+    def test_repeated_event_pattern(self):
+        seq = Sequence("AXAXA")
+        assert iterative_occurrences_sequence(seq, "AA") == [(1, 3), (3, 5)]
+
+    def test_single_event_pattern(self):
+        assert iterative_occurrences_sequence(Sequence("ABA"), "A") == [(1,), (3,)]
+
+    def test_empty_pattern(self):
+        assert iterative_occurrences_sequence(Sequence("AB"), "") == []
+
+    def test_missing_pattern(self, s1):
+        assert iterative_support_sequence(s1, "DC") == 0
+
+    def test_occurrences_respect_order(self):
+        seq = Sequence("BA")
+        assert iterative_occurrences_sequence(seq, "AB") == []

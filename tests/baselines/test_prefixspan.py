@@ -1,0 +1,57 @@
+"""Tests for the PrefixSpan baseline miner."""
+
+import pytest
+
+from repro.baselines.prefixspan import PrefixSpan, mine_sequential
+from repro.baselines.sequential import mine_sequential_apriori, sequence_support
+from repro.core.pattern import Pattern
+from repro.db.database import SequenceDatabase
+
+
+class TestBasicMining:
+    def test_small_database(self):
+        db = SequenceDatabase.from_strings(["ABC", "ABD", "ACB"])
+        result = mine_sequential(db, 2)
+        assert result.support_of("A") == 3
+        assert result.support_of("AB") == 3
+        assert result.support_of("AC") == 2
+        assert "ABD" not in result
+
+    def test_supports_are_sequence_counts(self):
+        db = SequenceDatabase.from_strings(["ABABAB", "AB"])
+        result = mine_sequential(db, 1)
+        assert result.support_of("AB") == 2
+        assert result.support_of("ABAB") == 1
+
+    def test_matches_apriori_reference(self, example11, table2, table3):
+        for db in (example11, table2, table3):
+            for min_sup in (1, 2):
+                assert mine_sequential(db, min_sup).as_dict() == mine_sequential_apriori(
+                    db, min_sup
+                )
+
+    def test_every_reported_support_is_correct(self, table3):
+        result = mine_sequential(table3, 1)
+        for entry in result:
+            assert entry.support == sequence_support(table3, entry.pattern)
+
+    def test_min_sup_validation(self):
+        with pytest.raises(ValueError):
+            PrefixSpan(0)
+
+
+class TestOptions:
+    def test_max_length(self, table3):
+        result = PrefixSpan(1, max_length=2).mine(table3)
+        assert all(len(p) <= 2 for p in result.patterns())
+
+    def test_empty_database(self):
+        assert len(mine_sequential(SequenceDatabase(), 1)) == 0
+
+    def test_threshold_above_everything(self, table3):
+        assert len(mine_sequential(table3, 10)) == 0
+
+    def test_nodes_visited_counter(self, table3):
+        miner = PrefixSpan(2)
+        miner.mine(table3)
+        assert miner.nodes_visited > 0

@@ -1,0 +1,58 @@
+"""Tests for sequence-count support and the Apriori sequential miner."""
+
+import pytest
+
+from repro.baselines.sequential import (
+    mine_sequential_apriori,
+    sequence_support,
+    supporting_sequences,
+)
+from repro.core.pattern import Pattern
+from repro.db.database import SequenceDatabase
+
+
+class TestSequenceSupport:
+    def test_example_1_1_both_patterns_have_support_2(self, example11):
+        # The paper's point: sequential support cannot tell AB and CD apart.
+        assert sequence_support(example11, "AB") == 2
+        assert sequence_support(example11, "CD") == 2
+
+    def test_larger_motivating_example(self):
+        db = SequenceDatabase.from_strings(["CABABABABABD"] * 50 + ["ABCD"] * 50)
+        assert sequence_support(db, "AB") == 100
+        assert sequence_support(db, "CD") == 100
+
+    def test_missing_pattern(self, example11):
+        assert sequence_support(example11, "DA") == 1  # only in S1 (D5 A6)
+        assert sequence_support(example11, "DC") == 0
+
+    def test_supporting_sequences(self, example11):
+        assert supporting_sequences(example11, "CD") == [1, 2]
+        assert supporting_sequences(example11, "BB") == [1]
+
+    def test_support_never_exceeds_database_size(self, table3):
+        for pattern in ("A", "AB", "ACB", "ZZZ"):
+            assert sequence_support(table3, pattern) <= len(table3)
+
+
+class TestAprioriMiner:
+    def test_small_database(self):
+        db = SequenceDatabase.from_strings(["ABC", "ABD", "AB"])
+        frequent = mine_sequential_apriori(db, 3)
+        assert frequent[Pattern("A")] == 3
+        assert frequent[Pattern("AB")] == 3
+        assert Pattern("ABC") not in frequent
+
+    def test_min_sup_validation(self):
+        with pytest.raises(ValueError):
+            mine_sequential_apriori(SequenceDatabase.from_strings(["A"]), 0)
+
+    def test_max_length(self):
+        db = SequenceDatabase.from_strings(["ABC", "ABC"])
+        frequent = mine_sequential_apriori(db, 2, max_length=2)
+        assert all(len(p) <= 2 for p in frequent)
+
+    def test_supports_are_sequence_counts_not_occurrence_counts(self):
+        db = SequenceDatabase.from_strings(["ABABAB", "AB"])
+        frequent = mine_sequential_apriori(db, 2)
+        assert frequent[Pattern("AB")] == 2

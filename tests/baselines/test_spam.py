@@ -1,0 +1,62 @@
+"""Tests for the SPAM bitmap-based sequential miner."""
+
+import pytest
+
+from repro.baselines.prefixspan import mine_sequential
+from repro.baselines.spam import SPAM, mine_sequential_spam
+from repro.db.database import SequenceDatabase
+
+
+class TestBitmapMachinery:
+    def test_event_bitmaps(self):
+        db = SequenceDatabase.from_strings(["ABA", "BB"])
+        bitmaps = SPAM._build_event_bitmaps(db)
+        assert bitmaps["A"] == [0b101, 0b00]
+        assert bitmaps["B"] == [0b010, 0b11]
+
+    def test_s_step(self):
+        # First set bit at position 1 (0-based) -> bits 2.. set up to length.
+        assert SPAM._s_step(0b010, 5) == 0b11100
+        assert SPAM._s_step(0b001, 3) == 0b110
+        assert SPAM._s_step(0b100, 3) == 0b000
+        assert SPAM._s_step(0, 4) == 0
+
+    def test_support_counts_nonempty_bitmaps(self):
+        assert SPAM._support([0b0, 0b1, 0b10]) == 2
+
+
+class TestMining:
+    def test_small_database(self):
+        db = SequenceDatabase.from_strings(["ABC", "ABD", "ACB"])
+        result = mine_sequential_spam(db, 2)
+        assert result.support_of("A") == 3
+        assert result.support_of("AB") == 3
+        assert result.support_of("AC") == 2
+        assert "ABD" not in result
+
+    @pytest.mark.parametrize("min_sup", [1, 2, 3])
+    def test_agrees_with_prefixspan(self, example11, table2, table3, min_sup):
+        for db in (example11, table2, table3):
+            assert mine_sequential_spam(db, min_sup).as_dict() == mine_sequential(
+                db, min_sup
+            ).as_dict()
+
+    def test_supports_are_sequence_counts(self):
+        db = SequenceDatabase.from_strings(["ABABAB", "AB"])
+        assert mine_sequential_spam(db, 1).support_of("AB") == 2
+
+    def test_min_sup_validation(self):
+        with pytest.raises(ValueError):
+            SPAM(0)
+
+    def test_max_length(self, table3):
+        result = SPAM(1, max_length=2).mine(table3)
+        assert all(len(p) <= 2 for p in result.patterns())
+
+    def test_empty_database(self):
+        assert len(mine_sequential_spam(SequenceDatabase(), 1)) == 0
+
+    def test_nodes_visited_counter(self, table3):
+        miner = SPAM(2)
+        miner.mine(table3)
+        assert miner.nodes_visited > 0

@@ -1,0 +1,98 @@
+"""Tests for gap constraints (the Section V extension)."""
+
+import pytest
+
+from repro.core.constraints import UNCONSTRAINED, GapConstraint
+from repro.core.reference import repetitive_support_bruteforce
+from repro.core.support import repetitive_support, sup_comp
+from repro.db.database import SequenceDatabase
+
+
+class TestValidation:
+    def test_negative_min_gap_rejected(self):
+        with pytest.raises(ValueError):
+            GapConstraint(-1)
+
+    def test_max_below_min_rejected(self):
+        with pytest.raises(ValueError):
+            GapConstraint(2, 1)
+
+    def test_unbounded(self):
+        assert UNCONSTRAINED.unbounded
+        assert GapConstraint(0, 3).unbounded is False
+
+
+class TestAllows:
+    def test_adjacent_events(self):
+        assert GapConstraint(0, 0).allows(3, 4)
+        assert not GapConstraint(0, 0).allows(3, 5)
+
+    def test_window(self):
+        c = GapConstraint(1, 3)
+        assert not c.allows(1, 2)  # gap 0 < 1
+        assert c.allows(1, 3)      # gap 1
+        assert c.allows(1, 5)      # gap 3
+        assert not c.allows(1, 6)  # gap 4 > 3
+
+    def test_unbounded_max(self):
+        assert GapConstraint(0, None).allows(1, 100)
+
+    def test_allows_landmark(self):
+        c = GapConstraint(0, 2)
+        assert c.allows_landmark((1, 2, 5))
+        assert not c.allows_landmark((1, 2, 6))
+
+    def test_bounds_helpers(self):
+        c = GapConstraint(1, 3)
+        assert c.lowest_allowed(5) == 6
+        assert c.highest_allowed(5) == 9
+        assert GapConstraint(0, None).highest_allowed(5) is None
+
+    def test_describe(self):
+        assert GapConstraint(0, 3).describe() == "gap in [0, 3]"
+        assert "∞" in GapConstraint(1, None).describe()
+
+
+class TestConstrainedSupport:
+    def test_unbounded_constraint_matches_plain_support(self, table3):
+        for pattern in ("AB", "ACB", "AD", "ACA"):
+            assert repetitive_support(table3, pattern, constraint=UNCONSTRAINED) == (
+                repetitive_support(table3, pattern)
+            )
+
+    def test_max_gap_zero_counts_contiguous_instances_only(self):
+        db = SequenceDatabase.from_strings(["ABXAB", "AXB"])
+        adjacent_only = GapConstraint(0, 0)
+        assert repetitive_support(db, "AB", constraint=adjacent_only) == 2
+        assert repetitive_support(db, "AB") == 3
+
+    def test_min_gap_excludes_adjacent_instances(self):
+        db = SequenceDatabase.from_strings(["ABAXB"])
+        spaced = GapConstraint(1, None)
+        # Only A..B with at least one event in between qualify.
+        assert repetitive_support(db, "AB", constraint=spaced) == 1
+
+    def test_constrained_support_is_lower_bound_of_bruteforce(self):
+        # The greedy extension under a max-gap constraint may undershoot the
+        # true constrained maximum but never overshoots it, and every
+        # reported instance satisfies the constraint.
+        db = SequenceDatabase.from_strings(["ABCABCABC", "AABBCC"])
+        constraint = GapConstraint(0, 2)
+        for pattern in ("AB", "ABC", "AC", "BC"):
+            greedy = sup_comp(db, pattern, constraint=constraint)
+            exact = repetitive_support_bruteforce(db, pattern, constraint=constraint)
+            assert greedy.support <= exact
+            assert all(
+                constraint.allows_landmark(ins.landmark) for ins in greedy
+            )
+            assert greedy.is_non_redundant()
+
+    def test_constrained_mining_end_to_end(self):
+        from repro.core.gsgrow import mine_all
+
+        db = SequenceDatabase.from_strings(["ABXAB", "ABYAB"])
+        tight = mine_all(db, 2, constraint=GapConstraint(0, 0))
+        loose = mine_all(db, 2)
+        assert tight.support_of("AB") == 4
+        assert "AA" not in tight       # A..A always has a gap of at least 1
+        assert loose.support_of("AA") == 2

@@ -1,0 +1,117 @@
+"""Unit tests for :mod:`repro.core.instance` (Definitions 2.2-2.4)."""
+
+import pytest
+
+from repro.core.instance import (
+    Instance,
+    instances_overlap,
+    is_non_redundant,
+    sort_right_shift,
+)
+
+
+class TestConstruction:
+    def test_basic(self):
+        ins = Instance(1, (1, 3, 6))
+        assert ins.seq_index == 1
+        assert ins.landmark == (1, 3, 6)
+        assert ins.first == 1
+        assert ins.last == 6
+        assert len(ins) == 3
+
+    def test_landmark_must_increase(self):
+        with pytest.raises(ValueError):
+            Instance(1, (3, 3))
+        with pytest.raises(ValueError):
+            Instance(1, (5, 2))
+
+    def test_positions_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Instance(1, (0, 2))
+        with pytest.raises(ValueError):
+            Instance(0, (1,))
+
+    def test_equality_with_tuple(self):
+        assert Instance(1, (1, 2)) == (1, (1, 2))
+        assert Instance(1, (1, 2)) == Instance(1, (1, 2))
+        assert Instance(1, (1, 2)) != Instance(2, (1, 2))
+
+    def test_hashable(self):
+        assert len({Instance(1, (1, 2)), Instance(1, (1, 2))}) == 1
+
+    def test_repr_matches_paper_notation(self):
+        assert repr(Instance(1, (1, 3, 6))) == "(1, <1, 3, 6>)"
+
+
+class TestOperations:
+    def test_extend(self):
+        assert Instance(1, (1, 3)).extend(6) == Instance(1, (1, 3, 6))
+
+    def test_extend_must_move_right(self):
+        with pytest.raises(ValueError):
+            Instance(1, (1, 3)).extend(3)
+
+    def test_compressed_triple(self):
+        assert Instance(2, (1, 2, 4)).compressed() == (2, 1, 4)
+
+    def test_drop_index(self):
+        assert Instance(1, (1, 3, 6)).drop_index(2) == Instance(1, (1, 6))
+        with pytest.raises(IndexError):
+            Instance(1, (1, 3)).drop_index(3)
+
+    def test_matches(self, table3):
+        assert Instance(1, (1, 3, 6)).matches("ACB", table3)
+        assert not Instance(1, (1, 3, 6)).matches("ABB", table3)
+        assert not Instance(1, (1, 3)).matches("ACB", table3)
+        assert not Instance(1, (1, 3, 99)).matches("ACB", table3)
+        assert not Instance(9, (1, 3, 6)).matches("ACB", table3)
+
+
+class TestOverlap:
+    """Example 2.1 of the paper, including the subtle ABA case."""
+
+    def test_overlap_same_index_same_position(self):
+        # (1, <1,2>) and (1, <1,5>) overlap at the first event.
+        assert instances_overlap(Instance(1, (1, 2)), Instance(1, (1, 5)))
+
+    def test_non_overlap_all_positions_differ(self):
+        assert not instances_overlap(Instance(1, (1, 2)), Instance(1, (4, 5)))
+
+    def test_different_sequences_never_overlap(self):
+        assert not instances_overlap(Instance(1, (1, 2)), Instance(2, (1, 2)))
+
+    def test_aba_example_non_overlap_despite_shared_position(self):
+        # (1, <1,2,4>) and (1, <4,5,7>): position 4 appears in both landmarks
+        # but at different pattern indices, so they do NOT overlap.
+        assert not instances_overlap(Instance(1, (1, 2, 4)), Instance(1, (4, 5, 7)))
+
+    def test_aba_example_overlap_at_last_index(self):
+        # (1, <1,2,7>) and (1, <4,5,7>) share position 7 at the same index.
+        assert instances_overlap(Instance(1, (1, 2, 7)), Instance(1, (4, 5, 7)))
+
+    def test_overlap_requires_same_pattern_length(self):
+        with pytest.raises(ValueError):
+            instances_overlap(Instance(1, (1, 2)), Instance(1, (1, 2, 3)))
+
+
+class TestNonRedundantSets:
+    def test_example_2_1_sets(self):
+        i_ab = [Instance(1, (1, 2)), Instance(1, (4, 5)), Instance(2, (1, 3)), Instance(2, (2, 4))]
+        i_ab_prime = [Instance(1, (1, 5)), Instance(2, (2, 3)), Instance(2, (1, 4))]
+        assert is_non_redundant(i_ab)
+        assert is_non_redundant(i_ab_prime)
+
+    def test_redundant_set_detected(self):
+        assert not is_non_redundant([Instance(1, (1, 2)), Instance(1, (1, 5))])
+
+    def test_empty_and_singleton_sets(self):
+        assert is_non_redundant([])
+        assert is_non_redundant([Instance(1, (1,))])
+
+    def test_sort_right_shift(self):
+        instances = [Instance(2, (1, 4)), Instance(1, (4, 9)), Instance(1, (1, 2))]
+        assert sort_right_shift(instances) == [
+            Instance(1, (1, 2)),
+            Instance(1, (4, 9)),
+            Instance(2, (1, 4)),
+        ]

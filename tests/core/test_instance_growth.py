@@ -1,0 +1,108 @@
+"""Tests for ``INSgrow`` (Algorithm 2), following the Table IV walkthrough.
+
+Example 3.1 of the paper computes sup(ACB) on the Table III database in
+three steps (A -> AC -> ACB) and also derives sup(ACA); these tests replay
+every intermediate support set exactly.
+"""
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.instance_growth import grow_with_pattern, ins_grow
+from repro.core.support import initial_support_set, sup_comp
+
+
+class TestTable4Walkthrough:
+    def test_step1_support_set_of_A(self, table3_index):
+        i_a = initial_support_set(table3_index, "A")
+        assert i_a.support == 5
+        assert i_a.instances == [
+            Instance(1, (1,)),
+            Instance(1, (4,)),
+            Instance(2, (1,)),
+            Instance(2, (5,)),
+            Instance(2, (7,)),
+        ]
+
+    def test_step2_grow_to_AC(self, table3_index):
+        i_a = initial_support_set(table3_index, "A")
+        i_ac = ins_grow(table3_index, i_a, "C")
+        assert i_ac.support == 4
+        assert i_ac.instances == [
+            Instance(1, (1, 3)),
+            Instance(1, (4, 5)),
+            Instance(2, (1, 2)),
+            Instance(2, (5, 6)),
+        ]
+
+    def test_step3_grow_to_ACB(self, table3_index):
+        i_a = initial_support_set(table3_index, "A")
+        i_ac = ins_grow(table3_index, i_a, "C")
+        i_acb = ins_grow(table3_index, i_ac, "B")
+        assert i_acb.support == 3
+        assert i_acb.instances == [
+            Instance(1, (1, 3, 6)),
+            Instance(1, (4, 5, 9)),
+            Instance(2, (1, 2, 4)),
+        ]
+
+    def test_step3_prime_grow_to_ACA(self, table3_index):
+        # Example 3.1 step 3': ACA has support 3, and the two instances in S2
+        # share position 5 at different pattern indices without overlapping.
+        i_a = initial_support_set(table3_index, "A")
+        i_ac = ins_grow(table3_index, i_a, "C")
+        i_aca = ins_grow(table3_index, i_ac, "A")
+        assert i_aca.support == 3
+        assert i_aca.instances == [
+            Instance(1, (1, 3, 4)),
+            Instance(2, (1, 2, 5)),
+            Instance(2, (5, 6, 7)),
+        ]
+        assert i_aca.is_non_redundant()
+
+    def test_example_3_3_next_call(self, table3_index):
+        # When extending (1, <4,5>) with B after last_position=6 the paper
+        # gets position 9 (not 6, which is already consumed).
+        assert table3_index.next_position(1, "B", 6) == 9
+
+
+class TestInsGrowProperties:
+    def test_output_pattern_is_grown(self, table3_index):
+        i_a = initial_support_set(table3_index, "A")
+        assert ins_grow(table3_index, i_a, "C").pattern == "AC"
+
+    def test_growth_with_missing_event_empties_set(self, table3_index):
+        i_a = initial_support_set(table3_index, "A")
+        assert ins_grow(table3_index, i_a, "Z").support == 0
+
+    def test_growth_from_empty_support_set(self, table3_index):
+        from repro.core.support import SupportSet
+
+        empty = SupportSet("Z", [])
+        assert ins_grow(table3_index, empty, "A").support == 0
+
+    def test_instances_stay_non_redundant_and_valid(self, table3, table3_index):
+        i_a = initial_support_set(table3_index, "A")
+        for event in "ABCD":
+            grown = ins_grow(table3_index, i_a, event)
+            assert grown.is_non_redundant()
+            assert grown.is_valid_for(table3)
+
+    def test_monotone_support_under_growth(self, table3_index):
+        # Growing can never increase the number of instances.
+        current = initial_support_set(table3_index, "A")
+        for event in "CBD":
+            grown = ins_grow(table3_index, current, event)
+            assert grown.support <= current.support
+            current = grown
+
+
+class TestGrowWithPattern:
+    def test_matches_sup_comp(self, table3, table3_index):
+        i_a = initial_support_set(table3_index, "A")
+        grown = grow_with_pattern(table3_index, i_a, "CB")
+        assert grown.instances == sup_comp(table3, "ACB").instances
+
+    def test_empty_suffix_is_identity(self, table3_index):
+        i_a = initial_support_set(table3_index, "A")
+        assert grow_with_pattern(table3_index, i_a, "") is i_a

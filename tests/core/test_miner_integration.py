@@ -1,0 +1,75 @@
+"""End-to-end integration tests of the miners on generated datasets."""
+
+import pytest
+
+from repro.core.clogsgrow import CloGSgrow, mine_closed
+from repro.core.gsgrow import GSgrow, mine_all
+from repro.core.support import repetitive_support
+from repro.datagen.markov import MarkovSequenceGenerator
+from repro.datagen.tcas import TcasLikeGenerator
+
+
+@pytest.fixture(scope="module")
+def markov_db():
+    return MarkovSequenceGenerator(
+        num_sequences=40, num_events=6, average_length=25, seed=4
+    ).generate()
+
+
+class TestDeterminism:
+    def test_gsgrow_is_deterministic(self, markov_db):
+        first = mine_all(markov_db, 10, max_length=3)
+        second = mine_all(markov_db, 10, max_length=3)
+        assert first.as_dict() == second.as_dict()
+        assert [p.pattern for p in first] == [p.pattern for p in second]
+
+    def test_clogsgrow_is_deterministic(self, markov_db):
+        first = mine_closed(markov_db, 10, max_length=3)
+        second = mine_closed(markov_db, 10, max_length=3)
+        assert first.as_dict() == second.as_dict()
+
+
+class TestReportedSupportsAreExact:
+    def test_gsgrow_supports_match_sup_comp(self, markov_db):
+        result = mine_all(markov_db, 15, max_length=3)
+        assert len(result) > 0
+        for entry in list(result)[:50]:
+            assert entry.support == repetitive_support(markov_db, entry.pattern)
+
+    def test_clogsgrow_supports_match_sup_comp(self, markov_db):
+        result = mine_closed(markov_db, 15, max_length=3)
+        for entry in result:
+            assert entry.support == repetitive_support(markov_db, entry.pattern)
+
+
+class TestThresholdMonotonicity:
+    def test_lower_threshold_is_a_superset(self, markov_db):
+        strict = mine_closed(markov_db, 25, max_length=3).as_dict()
+        loose_all = mine_all(markov_db, 15, max_length=3).as_dict()
+        # Every pattern closed at the stricter threshold is frequent (with
+        # the same support) at the looser one.
+        for pattern, support in strict.items():
+            assert loose_all.get(pattern) == support
+
+    def test_pattern_counts_decrease_with_threshold(self, markov_db):
+        counts = [len(mine_all(markov_db, min_sup, max_length=3)) for min_sup in (10, 20, 40)]
+        assert counts[0] >= counts[1] >= counts[2]
+
+
+class TestRepetitionHeavyData:
+    def test_closed_is_much_smaller_on_trace_data(self):
+        db = TcasLikeGenerator(num_sequences=25, seed=3).generate()
+        all_patterns = GSgrow(40, max_length=4).mine(db)
+        closed = CloGSgrow(40, max_length=4).mine(db)
+        assert len(closed) < len(all_patterns)
+        assert closed.is_subset_of(all_patterns)
+
+    def test_store_instances_round_trip(self):
+        db = TcasLikeGenerator(num_sequences=10, seed=5).generate()
+        result = CloGSgrow(20, max_length=3, store_instances=True).mine(db)
+        for entry in result:
+            assert entry.support_set is not None
+            assert entry.support_set.support == entry.support
+            assert entry.support_set.is_non_redundant()
+            assert entry.support_set.is_valid_for(db)
+            assert sum(entry.per_sequence.values()) == entry.support

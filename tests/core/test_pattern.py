@@ -1,0 +1,118 @@
+"""Unit tests for :mod:`repro.core.pattern`."""
+
+import pytest
+
+from repro.core.pattern import Pattern, as_pattern
+
+
+class TestConstruction:
+    def test_from_string(self):
+        assert Pattern("ACB").events == ("A", "C", "B")
+
+    def test_from_list_and_tuple(self):
+        assert Pattern(["x", "y"]).events == ("x", "y")
+        assert Pattern(("x",)).events == ("x",)
+
+    def test_from_pattern(self):
+        p = Pattern("AB")
+        assert Pattern(p) == p
+
+    def test_empty(self):
+        assert Pattern().is_empty()
+        assert len(Pattern("")) == 0
+
+    def test_as_pattern_single_event(self):
+        assert as_pattern(42) == Pattern((42,))
+
+    def test_as_pattern_rejects_unhashable(self):
+        with pytest.raises(TypeError):
+            as_pattern({"not": "hashable"})
+
+
+class TestAccess:
+    def test_at_is_one_based(self):
+        p = Pattern("ACB")
+        assert p.at(1) == "A"
+        assert p.at(3) == "B"
+        with pytest.raises(IndexError):
+            p.at(0)
+        with pytest.raises(IndexError):
+            p.at(4)
+
+    def test_getitem_and_slice(self):
+        p = Pattern("ACB")
+        assert p[0] == "A"
+        assert p[1:] == Pattern("CB")
+
+    def test_prefix_and_suffix(self):
+        p = Pattern("ABCD")
+        assert p.prefix(2) == Pattern("AB")
+        assert p.prefix(0) == Pattern("")
+        assert p.suffix_from(2) == Pattern("CD")
+        assert p.suffix_from(4) == Pattern("")
+        with pytest.raises(IndexError):
+            p.prefix(5)
+        with pytest.raises(IndexError):
+            p.suffix_from(-1)
+
+    def test_equality_and_hash(self):
+        assert Pattern("AB") == "AB"
+        assert Pattern("AB") == ("A", "B")
+        assert Pattern("AB") != Pattern("BA")
+        assert len({Pattern("AB"), Pattern("AB")}) == 1
+
+    def test_ordering_is_deterministic(self):
+        assert sorted([Pattern("B"), Pattern("AB"), Pattern("AA")]) == [
+            Pattern("AA"),
+            Pattern("AB"),
+            Pattern("B"),
+        ]
+
+    def test_str_rendering(self):
+        assert str(Pattern("ACB")) == "ACB"
+        assert str(Pattern(["lock", "unlock"])) == "lock unlock"
+
+
+class TestGrowth:
+    def test_grow_appends(self):
+        assert Pattern("AC").grow("B") == Pattern("ACB")
+
+    def test_concat(self):
+        assert Pattern("AB").concat(Pattern("CD")) == Pattern("ABCD")
+        assert Pattern("AB").concat("") == Pattern("AB")
+
+    def test_insert_all_gaps(self):
+        p = Pattern("AB")
+        assert p.insert(0, "X") == Pattern("XAB")
+        assert p.insert(1, "X") == Pattern("AXB")
+        assert p.insert(2, "X") == Pattern("ABX")
+        with pytest.raises(IndexError):
+            p.insert(3, "X")
+
+    def test_extensions_deduplicate(self):
+        # Inserting 'A' into 'AA' at gaps 0,1,2 all give 'AAA'.
+        assert Pattern("AA").extensions("A") == [Pattern("AAA")]
+
+    def test_extensions_cover_definition_3_4(self):
+        extensions = Pattern("AB").extensions("C")
+        assert extensions == [Pattern("CAB"), Pattern("ACB"), Pattern("ABC")]
+
+
+class TestSubpatternRelation:
+    def test_is_subpattern_of(self):
+        assert Pattern("AB").is_subpattern_of(Pattern("ACB"))
+        assert Pattern("AB").is_subpattern_of(Pattern("AB"))
+        assert not Pattern("BA").is_subpattern_of(Pattern("ACB"))
+
+    def test_is_superpattern_of(self):
+        assert Pattern("ACB").is_superpattern_of("AB")
+
+    def test_proper_subpattern(self):
+        assert Pattern("AB").is_proper_subpattern_of("ACB")
+        assert not Pattern("AB").is_proper_subpattern_of("AB")
+
+    def test_empty_pattern_is_subpattern_of_everything(self):
+        assert Pattern("").is_subpattern_of(Pattern("A"))
+
+    def test_distinct_events(self):
+        assert Pattern("ABAB").distinct_events() == {"A", "B"}

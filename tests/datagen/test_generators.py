@@ -1,0 +1,212 @@
+"""Tests for the synthetic dataset generators."""
+
+import pytest
+
+from repro.datagen.base import SequenceGenerator
+from repro.datagen.gazelle import GazelleLikeGenerator
+from repro.datagen.ibm import QuestParameters, QuestSequenceGenerator, generate_quest
+from repro.datagen.jboss import JBossLikeGenerator, LIFECYCLE_BLOCKS
+from repro.datagen.markov import MarkovSequenceGenerator
+from repro.datagen.tcas import TcasLikeGenerator
+from repro.db.stats import describe
+
+
+class TestQuestParameters:
+    def test_name(self):
+        assert QuestParameters(D=5, C=20, N=10, S=20).name() == "D5C20N10S20"
+        assert QuestParameters(D=0.2, C=20, N=0.4, S=20).name() == "D0.2C20N0.4S20"
+
+    def test_counts(self):
+        params = QuestParameters(D=5, C=20, N=10, S=20)
+        assert params.num_sequences == 5000
+        assert params.num_events == 10000
+
+    def test_scaled(self):
+        scaled = QuestParameters(D=5, C=20, N=10, S=20).scaled(0.01)
+        assert scaled.num_sequences == 50
+        assert scaled.C == 20 and scaled.S == 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QuestParameters(D=0, C=20, N=10, S=20)
+        with pytest.raises(ValueError):
+            QuestParameters(D=5, C=20, N=10, S=20).scaled(0)
+
+
+class TestQuestGenerator:
+    def test_shape_matches_parameters(self):
+        db = generate_quest(5, 20, 10, 20, scale=0.01, seed=1)
+        stats = describe(db)
+        assert stats.num_sequences == 50
+        assert 10 <= stats.average_length <= 30
+        assert db.name == "D5C20N10S20"
+
+    def test_deterministic_given_seed(self):
+        a = generate_quest(1, 10, 1, 10, scale=0.05, seed=3)
+        b = generate_quest(1, 10, 1, 10, scale=0.05, seed=3)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = generate_quest(1, 10, 1, 10, scale=0.05, seed=3)
+        b = generate_quest(1, 10, 1, 10, scale=0.05, seed=4)
+        assert a != b
+
+    def test_no_event_dominates(self):
+        # The retuned generator must not let one event account for a huge
+        # fraction of the database (that regime made mining degenerate).
+        db = generate_quest(5, 20, 10, 20, scale=0.04, seed=0)
+        counts = db.event_counts()
+        assert max(counts.values()) / db.total_length() < 0.1
+
+    def test_pool_patterns_recur(self):
+        # Pool patterns must actually repeat: some 2-gram should reach a
+        # support of several dozen in a 200-sequence database.
+        from repro.core.clogsgrow import mine_closed
+
+        db = generate_quest(5, 20, 10, 20, scale=0.02, seed=0)
+        closed = mine_closed(db, 10, max_length=3)
+        assert any(len(entry.pattern) >= 2 for entry in closed)
+
+    def test_validation(self):
+        params = QuestParameters(D=1, C=10, N=1, S=5)
+        with pytest.raises(ValueError):
+            QuestSequenceGenerator(params, corruption=0)
+        with pytest.raises(ValueError):
+            QuestSequenceGenerator(params, num_pool_patterns=0)
+
+
+class TestGazelleLikeGenerator:
+    def test_summary_shape(self):
+        db = GazelleLikeGenerator(num_sequences=400, num_events=100, seed=0).generate()
+        stats = describe(db)
+        assert stats.num_sequences == 400
+        assert stats.average_length < 15  # most sessions are tiny
+        assert stats.max_length >= 30     # but the tail is heavy
+
+    def test_lengths_are_capped(self):
+        db = GazelleLikeGenerator(num_sequences=300, num_events=50, max_length=40, seed=1).generate()
+        assert describe(db).max_length <= 40
+
+    def test_deterministic(self):
+        a = GazelleLikeGenerator(num_sequences=50, num_events=30, seed=5).generate()
+        b = GazelleLikeGenerator(num_sequences=50, num_events=30, seed=5).generate()
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GazelleLikeGenerator(num_sequences=0)
+        with pytest.raises(ValueError):
+            GazelleLikeGenerator(average_length=0)
+
+
+class TestTcasLikeGenerator:
+    def test_summary_shape(self):
+        db = TcasLikeGenerator(num_sequences=50, seed=0).generate()
+        stats = describe(db)
+        assert stats.num_sequences == 50
+        assert stats.max_length <= 70
+        assert 20 <= stats.average_length <= 60
+        assert stats.num_events <= 75
+
+    def test_traces_repeat_loop_bodies(self):
+        # Dense repetition is the point of this dataset: some 2-event pattern
+        # must repeat several times within single traces.
+        from repro.core.support import sup_comp
+
+        db = TcasLikeGenerator(num_sequences=20, seed=0).generate()
+        counts = db.event_counts()
+        top_event = max(counts, key=counts.get)
+        assert counts[top_event] > len(db)  # repeats within traces on average
+
+    def test_deterministic(self):
+        a = TcasLikeGenerator(num_sequences=10, seed=2).generate()
+        b = TcasLikeGenerator(num_sequences=10, seed=2).generate()
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TcasLikeGenerator(num_sequences=0)
+
+
+class TestJBossLikeGenerator:
+    def test_summary_shape(self):
+        db = JBossLikeGenerator(num_sequences=28, seed=0).generate()
+        stats = describe(db)
+        assert stats.num_sequences == 28
+        assert stats.average_length > 40
+        assert stats.num_events <= 64
+
+    def test_every_trace_walks_the_lifecycle(self):
+        db = JBossLikeGenerator(num_sequences=10, seed=1).generate()
+        lifecycle = JBossLikeGenerator.lifecycle_pattern()
+        for seq in db:
+            assert seq.contains_subsequence(lifecycle)
+
+    def test_lock_unlock_repeats(self):
+        from repro.core.support import repetitive_support
+
+        db = JBossLikeGenerator(num_sequences=10, seed=0).generate()
+        support = repetitive_support(db, ["TransImpl.lock", "TransImpl.unlock"])
+        assert support > 2 * len(db)  # several lock/unlock pairs per trace
+
+    def test_lifecycle_pattern_lists_all_blocks(self):
+        lifecycle = JBossLikeGenerator.lifecycle_pattern()
+        assert len(lifecycle) == sum(len(b) for b in LIFECYCLE_BLOCKS.values())
+
+    def test_deterministic(self):
+        a = JBossLikeGenerator(num_sequences=5, seed=9).generate()
+        b = JBossLikeGenerator(num_sequences=5, seed=9).generate()
+        assert a == b
+
+
+class TestMarkovGenerator:
+    def test_shape(self):
+        db = MarkovSequenceGenerator(num_sequences=30, num_events=5, average_length=15, seed=0).generate()
+        stats = describe(db)
+        assert stats.num_sequences == 30
+        assert stats.num_events <= 5
+        assert 5 <= stats.average_length <= 30
+
+    def test_deterministic(self):
+        a = MarkovSequenceGenerator(num_sequences=5, num_events=4, seed=1).generate()
+        b = MarkovSequenceGenerator(num_sequences=5, num_events=4, seed=1).generate()
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MarkovSequenceGenerator(num_events=1)
+        with pytest.raises(ValueError):
+            MarkovSequenceGenerator(concentration=0)
+
+
+class TestBaseHelpers:
+    def test_event_vocabulary(self):
+        assert SequenceGenerator.event_vocabulary(3) == ["e0", "e1", "e2"]
+        with pytest.raises(ValueError):
+            SequenceGenerator.event_vocabulary(0)
+
+    def test_poisson_minimum(self):
+        import random
+
+        rng = random.Random(0)
+        values = [SequenceGenerator.poisson(rng, 3.0, minimum=2) for _ in range(200)]
+        assert all(v >= 2 for v in values)
+        assert 2 <= sum(values) / len(values) <= 5
+
+    def test_zipf_index_bounds(self):
+        import random
+
+        rng = random.Random(0)
+        values = [SequenceGenerator.zipf_index(rng, 10) for _ in range(200)]
+        assert all(0 <= v < 10 for v in values)
+        # Zipf skew: the first index must be the most common one.
+        assert values.count(0) >= max(values.count(i) for i in range(1, 10))
+
+    def test_corrupt_keeps_subset_in_order(self):
+        import random
+
+        rng = random.Random(0)
+        original = list("ABCDEFG")
+        corrupted = SequenceGenerator.corrupt(rng, original, 0.5)
+        it = iter(original)
+        assert all(any(o == c for o in it) for c in corrupted)

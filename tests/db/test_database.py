@@ -1,0 +1,115 @@
+"""Unit tests for :mod:`repro.db.database`."""
+
+import pytest
+
+from repro.db.database import SequenceDatabase
+from repro.db.sequence import Sequence
+
+
+class TestConstruction:
+    def test_from_strings(self):
+        db = SequenceDatabase.from_strings(["AB", "CD"])
+        assert len(db) == 2
+        assert db.sequence(1) == "AB"
+        assert db.sequence(2) == "CD"
+
+    def test_from_lists(self):
+        db = SequenceDatabase.from_lists([["a", "b"], ["c"]])
+        assert len(db) == 2
+        assert db.sequence(2) == ["c"]
+
+    def test_add(self):
+        db = SequenceDatabase()
+        db.add("ABC")
+        db.add(Sequence("DE"))
+        assert len(db) == 2
+
+    def test_name(self):
+        db = SequenceDatabase.from_strings(["A"], name="toy")
+        assert db.name == "toy"
+        assert "toy" in repr(db)
+
+
+class TestAccess:
+    def test_sequence_is_one_based(self, example11):
+        assert example11.sequence(1) == "AABCDABB"
+        assert example11.sequence(2) == "ABCD"
+
+    def test_sequence_out_of_range(self, example11):
+        with pytest.raises(IndexError):
+            example11.sequence(0)
+        with pytest.raises(IndexError):
+            example11.sequence(3)
+
+    def test_enumerate_yields_one_based_pairs(self, example11):
+        pairs = list(example11.enumerate())
+        assert pairs[0][0] == 1 and pairs[0][1] == "AABCDABB"
+        assert pairs[1][0] == 2
+
+    def test_getitem_slice_returns_database(self, example11):
+        sliced = example11[:1]
+        assert isinstance(sliced, SequenceDatabase)
+        assert len(sliced) == 1
+
+    def test_equality(self):
+        assert SequenceDatabase.from_strings(["AB"]) == SequenceDatabase.from_strings(["AB"])
+        assert SequenceDatabase.from_strings(["AB"]) != SequenceDatabase.from_strings(["BA"])
+
+
+class TestAggregates:
+    def test_alphabet(self, example11):
+        assert example11.alphabet() == {"A", "B", "C", "D"}
+
+    def test_event_counts_match_size_one_supports(self, example11):
+        counts = example11.event_counts()
+        assert counts["A"] == 4  # 3 in S1 + 1 in S2
+        assert counts["B"] == 4
+        assert counts["C"] == 2
+        assert counts["D"] == 2
+
+    def test_lengths(self, example11):
+        assert example11.total_length() == 12
+        assert example11.max_length() == 8
+        assert example11.average_length() == pytest.approx(6.0)
+
+    def test_empty_database_aggregates(self):
+        db = SequenceDatabase()
+        assert db.total_length() == 0
+        assert db.max_length() == 0
+        assert db.average_length() == 0.0
+        assert db.alphabet() == set()
+
+
+class TestTransformations:
+    def test_filter_events(self, example11):
+        filtered = example11.filter_events({"A", "B"})
+        assert filtered.sequence(1) == "AABABB"
+        assert filtered.sequence(2) == "AB"
+
+    def test_remove_infrequent_events(self, example11):
+        cleaned = example11.remove_infrequent_events(3)
+        assert cleaned.alphabet() == {"A", "B"}
+
+    def test_remove_infrequent_preserves_frequent_pattern_supports(self, example11):
+        from repro.core.support import repetitive_support
+
+        cleaned = example11.remove_infrequent_events(3)
+        assert repetitive_support(cleaned, "AB") == repetitive_support(example11, "AB")
+
+    def test_relabel(self):
+        db = SequenceDatabase.from_strings(["AB"]).relabel({"A": "X"})
+        assert db.sequence(1) == "XB"
+
+    def test_sample_deterministic(self, example11):
+        a = example11.sample(1, seed=7)
+        b = example11.sample(1, seed=7)
+        assert a == b
+        assert len(a) == 1
+
+    def test_sample_too_many_raises(self, example11):
+        with pytest.raises(ValueError):
+            example11.sample(3)
+
+    def test_take(self, example11):
+        assert len(example11.take(1)) == 1
+        assert example11.take(1).sequence(1) == "AABCDABB"

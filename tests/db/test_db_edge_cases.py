@@ -1,0 +1,80 @@
+"""Additional edge-case and failure-injection tests for the db substrate."""
+
+import pytest
+
+from repro.db import io as db_io
+from repro.db.database import SequenceDatabase
+from repro.db.index import InvertedEventIndex
+from repro.db.sequence import Sequence
+from repro.core.support import repetitive_support
+
+
+class TestDegenerateDatabases:
+    def test_single_empty_sequence(self):
+        db = SequenceDatabase([Sequence("")])
+        assert db.total_length() == 0
+        assert repetitive_support(db, "A") == 0
+        index = InvertedEventIndex(db)
+        assert index.events_in_sequence(1) == set()
+
+    def test_sequence_of_identical_events(self):
+        # Instances may reuse positions at different pattern indices without
+        # overlapping (Definition 2.3), so A^30 supports 29 instances of AA
+        # (<1,2>, <2,3>, ..., <29,30>) and 28 of AAA.
+        db = SequenceDatabase.from_strings(["A" * 30])
+        assert repetitive_support(db, "A") == 30
+        assert repetitive_support(db, "AA") == 29
+        assert repetitive_support(db, "AAA") == 28
+
+    def test_many_tiny_sequences(self):
+        db = SequenceDatabase.from_strings(["AB"] * 100)
+        assert repetitive_support(db, "AB") == 100
+        assert repetitive_support(db, "ABAB") == 0
+
+    def test_mixed_event_types(self):
+        # Events can be any hashable value, including ints and tuples.
+        db = SequenceDatabase.from_lists([[1, ("open", 2), 1, ("open", 2)]])
+        assert repetitive_support(db, [1, ("open", 2)]) == 2
+
+    def test_unicode_events(self):
+        db = SequenceDatabase.from_lists([["開く", "閉じる", "開く", "閉じる"]])
+        assert repetitive_support(db, ["開く", "閉じる"]) == 2
+
+
+class TestIoFailureHandling:
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            db_io.load_text(tmp_path / "missing.txt")
+
+    def test_spmf_lines_without_terminator_are_still_parsed(self):
+        db = db_io.parse_spmf(["1 -1 2 -1"])
+        assert db.sequence(1) == ["1", "2"]
+
+    def test_blank_file_gives_empty_database(self, tmp_path):
+        path = tmp_path / "blank.txt"
+        path.write_text("\n\n")
+        assert len(db_io.load_text(path)) == 0
+
+    def test_json_with_unexpected_shape(self, tmp_path):
+        path = tmp_path / "odd.json"
+        path.write_text('{"name": "x"}')
+        assert len(db_io.load_json(path)) == 0
+
+
+class TestIndexEdgeCases:
+    def test_next_position_beyond_sequence_end(self, table3_index):
+        assert table3_index.next_position(1, "A", 100) == float("inf")
+
+    def test_duplicate_heavy_sequence(self):
+        db = SequenceDatabase.from_strings(["ABABABABAB"])
+        index = InvertedEventIndex(db)
+        assert index.count(1, "A") == 5
+        assert index.positions(1, "B") == [2, 4, 6, 8, 10]
+
+    def test_index_isolated_from_database_mutation(self):
+        db = SequenceDatabase.from_strings(["AB"])
+        index = InvertedEventIndex(db)
+        db.add("CD")  # the index was built before this sequence existed
+        assert index.alphabet() == {"A", "B"}
+        with pytest.raises(IndexError):
+            index.positions(2, "C")

@@ -1,0 +1,98 @@
+"""Unit tests for :mod:`repro.db.index` (the inverted event index)."""
+
+import pytest
+
+from repro.db.database import SequenceDatabase
+from repro.db.index import NO_POSITION, InvertedEventIndex, build_index, next_position_scan
+from repro.db.sequence import Sequence
+
+
+class TestPositions:
+    def test_positions_are_one_based_and_sorted(self, table3_index):
+        assert table3_index.positions(1, "A") == [1, 4]
+        assert table3_index.positions(2, "A") == [1, 5, 7]
+        assert table3_index.positions(1, "D") == [7, 8]
+
+    def test_positions_missing_event(self, table3_index):
+        assert table3_index.positions(1, "Z") == []
+
+    def test_sequence_index_out_of_range(self, table3_index):
+        with pytest.raises(IndexError):
+            table3_index.positions(0, "A")
+        with pytest.raises(IndexError):
+            table3_index.positions(3, "A")
+
+
+class TestNextPosition:
+    def test_next_position_basic(self, table3_index):
+        # S1 = ABCACBDDB: next B after position 2 is 6, after 6 is 9.
+        assert table3_index.next_position(1, "B", 2) == 6
+        assert table3_index.next_position(1, "B", 6) == 9
+        assert table3_index.next_position(1, "B", 9) == NO_POSITION
+
+    def test_next_position_from_zero(self, table3_index):
+        assert table3_index.next_position(1, "A", 0) == 1
+        assert table3_index.next_position(2, "C", 0) == 2
+
+    def test_next_position_missing_event(self, table3_index):
+        assert table3_index.next_position(1, "Z", 0) == NO_POSITION
+
+    def test_matches_linear_scan_reference(self, table3):
+        index = InvertedEventIndex(table3)
+        for i, seq in table3.enumerate():
+            for event in ("A", "B", "C", "D", "Z"):
+                for lowest in range(0, len(seq) + 2):
+                    assert index.next_position(i, event, lowest) == next_position_scan(
+                        seq, event, lowest
+                    )
+
+
+class TestCountsAndLookups:
+    def test_count_and_total(self, table3_index):
+        assert table3_index.count(1, "A") == 2
+        assert table3_index.count(2, "A") == 3
+        assert table3_index.total_count("A") == 5
+        assert table3_index.total_count("Z") == 0
+
+    def test_events_in_sequence(self, table3_index):
+        assert table3_index.events_in_sequence(1) == {"A", "B", "C", "D"}
+
+    def test_sequences_containing(self, table3_index):
+        assert table3_index.sequences_containing("B") == [1, 2]
+        assert table3_index.sequences_containing("Z") == []
+
+    def test_alphabet(self, table3_index):
+        assert table3_index.alphabet() == {"A", "B", "C", "D"}
+
+    def test_size_one_instances_are_all_occurrences(self, table3_index):
+        instances = table3_index.size_one_instances("A")
+        assert instances == [(1, 1), (1, 4), (2, 1), (2, 5), (2, 7)]
+
+    def test_frequent_events(self, table3_index):
+        # Counts: A=5, B=4, C=4, D=5.
+        assert table3_index.frequent_events(4) == ["A", "B", "C", "D"]
+        assert table3_index.frequent_events(5) == ["A", "D"]
+        assert table3_index.frequent_events(6) == []
+
+
+class TestConstruction:
+    def test_build_index_helper(self, table3):
+        index = build_index(table3)
+        assert index.database is table3
+
+    def test_empty_database(self):
+        index = InvertedEventIndex(SequenceDatabase())
+        assert index.alphabet() == set()
+        assert index.size_one_instances("A") == []
+
+    def test_non_character_events(self):
+        db = SequenceDatabase.from_lists([["open", "read", "read", "close"]])
+        index = InvertedEventIndex(db)
+        assert index.positions(1, "read") == [2, 3]
+        assert index.next_position(1, "read", 2) == 3
+
+    def test_scan_reference_bounds(self):
+        seq = Sequence("ABA")
+        assert next_position_scan(seq, "A", 0) == 1
+        assert next_position_scan(seq, "A", 1) == 3
+        assert next_position_scan(seq, "A", 3) == NO_POSITION

@@ -1,0 +1,86 @@
+"""Unit tests for :mod:`repro.db.io` (format round-trips)."""
+
+import json
+
+import pytest
+
+from repro.db import io as db_io
+from repro.db.database import SequenceDatabase
+
+
+@pytest.fixture
+def small_db():
+    return SequenceDatabase.from_lists([["a", "b", "c"], ["b", "d"]], name="toy")
+
+
+class TestSpmf:
+    def test_parse_basic(self):
+        db = db_io.parse_spmf(["1 -1 2 -1 3 -1 -2", "2 -1 4 -1 -2"])
+        assert len(db) == 2
+        assert db.sequence(1) == ["1", "2", "3"]
+        assert db.sequence(2) == ["2", "4"]
+
+    def test_parse_skips_comments_and_blanks(self):
+        db = db_io.parse_spmf(["# comment", "", "@CONVERTED", "5 -1 -2"])
+        assert len(db) == 1
+        assert db.sequence(1) == ["5"]
+
+    def test_round_trip(self, small_db, tmp_path):
+        path = tmp_path / "db.spmf"
+        db_io.dump_spmf(small_db, path)
+        loaded = db_io.load_spmf(path)
+        assert [list(s.events) for s in loaded] == [list(s.events) for s in small_db]
+
+    def test_load_sets_name_from_stem(self, small_db, tmp_path):
+        path = tmp_path / "clicks.spmf"
+        db_io.dump_spmf(small_db, path)
+        assert db_io.load_spmf(path).name == "clicks"
+
+
+class TestText:
+    def test_parse_tokens(self):
+        db = db_io.parse_text(["a b c", "d e"])
+        assert db.sequence(1) == ["a", "b", "c"]
+
+    def test_parse_chars(self):
+        db = db_io.parse_text(["ABC", "DE"], chars=True)
+        assert db.sequence(1) == "ABC"
+
+    def test_round_trip_tokens(self, small_db, tmp_path):
+        path = tmp_path / "db.txt"
+        db_io.dump_text(small_db, path)
+        loaded = db_io.load_text(path)
+        assert [list(s.events) for s in loaded] == [list(s.events) for s in small_db]
+
+    def test_round_trip_chars(self, tmp_path):
+        db = SequenceDatabase.from_strings(["AAB", "CD"])
+        path = tmp_path / "db.chars"
+        db_io.dump_text(db, path, chars=True)
+        loaded = db_io.load_text(path, chars=True)
+        assert loaded.sequence(1) == "AAB"
+        assert loaded.sequence(2) == "CD"
+
+    def test_parse_skips_comments(self):
+        db = db_io.parse_text(["# header", "a b"])
+        assert len(db) == 1
+
+
+class TestJson:
+    def test_round_trip(self, small_db, tmp_path):
+        path = tmp_path / "db.json"
+        db_io.dump_json(small_db, path)
+        loaded = db_io.load_json(path)
+        assert loaded.name == "toy"
+        assert [list(s.events) for s in loaded] == [list(s.events) for s in small_db]
+
+    def test_plain_list_payload(self, tmp_path):
+        path = tmp_path / "db.json"
+        path.write_text(json.dumps([["a", "b"], ["c"]]))
+        loaded = db_io.load_json(path)
+        assert len(loaded) == 2
+        assert loaded.name is None
+
+    def test_database_to_json_shape(self, small_db):
+        payload = db_io.database_to_json(small_db)
+        assert payload["name"] == "toy"
+        assert payload["sequences"] == [["a", "b", "c"], ["b", "d"]]

@@ -1,0 +1,116 @@
+"""Unit tests for :mod:`repro.db.sequence`."""
+
+import pytest
+
+from repro.db.sequence import Sequence, as_sequence, format_events
+
+
+class TestConstruction:
+    def test_from_string_splits_characters(self):
+        seq = Sequence("ABC")
+        assert seq.events == ("A", "B", "C")
+
+    def test_from_list_of_tokens(self):
+        seq = Sequence(["login", "browse", "buy"])
+        assert seq.events == ("login", "browse", "buy")
+        assert len(seq) == 3
+
+    def test_sid_is_kept(self):
+        seq = Sequence("AB", sid="customer-7")
+        assert seq.sid == "customer-7"
+
+    def test_empty_sequence(self):
+        seq = Sequence("")
+        assert len(seq) == 0
+        assert list(seq) == []
+
+
+class TestPositionalAccess:
+    def test_at_is_one_based(self):
+        seq = Sequence("ABCD")
+        assert seq.at(1) == "A"
+        assert seq.at(4) == "D"
+
+    def test_at_out_of_range_raises(self):
+        seq = Sequence("AB")
+        with pytest.raises(IndexError):
+            seq.at(0)
+        with pytest.raises(IndexError):
+            seq.at(3)
+
+    def test_getitem_is_zero_based(self):
+        seq = Sequence("ABCD")
+        assert seq[0] == "A"
+        assert seq[-1] == "D"
+
+    def test_slice_returns_sequence(self):
+        seq = Sequence("ABCD", sid=1)
+        sliced = seq[1:3]
+        assert isinstance(sliced, Sequence)
+        assert sliced == "BC"
+
+    def test_positions_of(self):
+        seq = Sequence("AABCDABB")
+        assert seq.positions_of("A") == [1, 2, 6]
+        assert seq.positions_of("B") == [3, 7, 8]
+        assert seq.positions_of("Z") == []
+
+
+class TestSubsequenceQueries:
+    def test_contains_subsequence(self):
+        seq = Sequence("AABCDABB")
+        assert seq.contains_subsequence("AB")
+        assert seq.contains_subsequence("ACD")
+        assert not seq.contains_subsequence("DC")
+
+    def test_contains_empty_pattern(self):
+        assert Sequence("AB").contains_subsequence("")
+
+    def test_first_landmark(self):
+        seq = Sequence("AABCDABB")
+        assert seq.first_landmark("AB") == [1, 3]
+        assert seq.first_landmark("DB") == [5, 7]
+        assert seq.first_landmark("BA") == [3, 6]
+        assert seq.first_landmark("DC") is None
+
+    def test_subsequence_at(self):
+        seq = Sequence("AABCDABB")
+        assert seq.subsequence_at([1, 3, 5]) == "ABD"
+
+    def test_alphabet(self):
+        assert Sequence("AABCDABB").alphabet() == {"A", "B", "C", "D"}
+
+
+class TestDunder:
+    def test_equality_with_string_list_tuple(self):
+        seq = Sequence("ABC")
+        assert seq == "ABC"
+        assert seq == ["A", "B", "C"]
+        assert seq == ("A", "B", "C")
+        assert seq == Sequence("ABC")
+        assert seq != Sequence("ABD")
+
+    def test_hashable(self):
+        assert len({Sequence("AB"), Sequence("AB"), Sequence("BA")}) == 2
+
+    def test_repr_compact_for_characters(self):
+        assert "AAB" in repr(Sequence("AAB"))
+
+    def test_iter(self):
+        assert list(Sequence("AB")) == ["A", "B"]
+
+
+class TestHelpers:
+    def test_format_events_chars(self):
+        assert format_events(("A", "B")) == "AB"
+
+    def test_format_events_tokens(self):
+        assert format_events(("login", "buy")) == "login buy"
+
+    def test_as_sequence_passthrough(self):
+        seq = Sequence("AB")
+        assert as_sequence(seq) is seq
+
+    def test_as_sequence_coercion(self):
+        assert as_sequence("AB") == Sequence("AB")
+        assert as_sequence(["x", "y"]) == Sequence(["x", "y"])

@@ -1,0 +1,45 @@
+"""Unit tests for :mod:`repro.db.stats`."""
+
+import pytest
+
+from repro.db.database import SequenceDatabase
+from repro.db.stats import describe, length_histogram
+
+
+class TestDescribe:
+    def test_basic_statistics(self, example11):
+        stats = describe(example11)
+        assert stats.num_sequences == 2
+        assert stats.num_events == 4
+        assert stats.total_length == 12
+        assert stats.average_length == pytest.approx(6.0)
+        assert stats.max_length == 8
+        assert stats.min_length == 4
+        assert stats.event_counts["A"] == 4
+
+    def test_empty_database(self):
+        stats = describe(SequenceDatabase())
+        assert stats.num_sequences == 0
+        assert stats.average_length == 0.0
+        assert stats.max_length == 0
+
+    def test_as_dict_has_scalars_only(self, example11):
+        payload = describe(example11).as_dict()
+        assert "event_counts" not in payload
+        assert payload["num_sequences"] == 2
+
+    def test_summary_mentions_key_numbers(self, example11):
+        text = describe(example11).summary()
+        assert "2 sequences" in text
+        assert "4 distinct events" in text
+
+
+class TestLengthHistogram:
+    def test_bucketing(self):
+        db = SequenceDatabase.from_strings(["A" * 3, "A" * 12, "A" * 15, "A" * 25])
+        histogram = length_histogram(db, bucket_size=10)
+        assert histogram == {0: 1, 10: 2, 20: 1}
+
+    def test_invalid_bucket_size(self, example11):
+        with pytest.raises(ValueError):
+            length_histogram(example11, bucket_size=0)

@@ -1,0 +1,62 @@
+"""Tests for the JBoss case-study experiment (reduced scale)."""
+
+import pytest
+
+from repro.experiments.case_study import (
+    case_study_database,
+    lifecycle_order_score,
+    run_case_study,
+)
+from repro.core.pattern import Pattern
+
+
+class TestLifecycleScore:
+    def test_counts_blocks_in_order(self):
+        pattern = Pattern(
+            [
+                "TransManLoc.getInstance",      # connection_setup
+                "TxManager.begin",              # txmanager_setup
+                "TransImpl.enlistResource",     # resource_enlistment
+                "TxManager.commit",             # transaction_commit
+            ]
+        )
+        assert lifecycle_order_score(pattern) == 4
+
+    def test_unknown_events_ignored(self):
+        assert lifecycle_order_score(Pattern(["not.a.call"])) == 0
+
+    def test_repeated_block_counted_once(self):
+        pattern = Pattern(["TransImpl.enlistResource", "TransImpl.enlistResource"])
+        assert lifecycle_order_score(pattern) == 1
+
+
+class TestCaseStudyRun:
+    @pytest.fixture(scope="class")
+    def report(self):
+        # Reduced scale so the test completes quickly: fewer traces, shorter
+        # pattern cap and a threshold proportional to the trace count.
+        return run_case_study(min_sup=8, num_sequences=10, max_length=6, seed=0)
+
+    def test_report_structure(self, report):
+        assert report.experiment_id == "case_study"
+        assert report.extras["closed_patterns_mined"] > 0
+        assert report.extras["longest_pattern_length"] >= 2
+
+    def test_post_processing_shrinks_the_set(self, report):
+        assert report.rows, "expected at least one post-processed pattern"
+        assert len(report.rows) <= report.extras["closed_patterns_mined"]
+
+    def test_patterns_span_lifecycle_blocks(self, report):
+        # The structural finding of the case study: the surviving patterns
+        # cross lifecycle-block boundaries (scaled-down version of the
+        # paper's 66-event Figure 7 pattern).
+        assert report.extras["max_lifecycle_blocks_spanned"] >= 2
+        assert report.extras["longest_pattern_lifecycle_blocks"] >= 1
+
+    def test_lock_unlock_is_a_frequent_behaviour(self, report):
+        assert "lock" in report.extras["most_frequent_2_event_pattern"]
+
+    def test_database_shape(self):
+        db = case_study_database(num_sequences=5, seed=1)
+        assert len(db) == 5
+        assert db.name == "jboss-like"

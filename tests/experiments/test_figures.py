@@ -1,0 +1,108 @@
+"""Tiny-scale integration tests of the figure runners.
+
+The benchmarks run the figures at their documented (larger) scales; these
+tests only check that each runner produces a well-formed report and that the
+paper's qualitative relationships hold (closed <= all patterns, GSgrow
+skipped below the cut-off).
+"""
+
+import pytest
+
+from repro.experiments.figure2 import figure2_database, run_figure2
+from repro.experiments.figure3 import run_figure3
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure6 import run_figure6
+
+
+def assert_closed_never_exceeds_all(report):
+    for row in report.rows:
+        if row["all_patterns"] is not None:
+            assert row["closed_patterns"] <= row["all_patterns"]
+
+
+class TestFigure2:
+    def test_tiny_run(self):
+        report = run_figure2(scale=0.01, thresholds=(6, 4), all_patterns_cutoff=4, max_length=3)
+        assert report.experiment_id == "figure2"
+        assert len(report.rows) == 2
+        assert_closed_never_exceeds_all(report)
+
+    def test_cutoff_marks_skipped_rows(self):
+        report = run_figure2(scale=0.01, thresholds=(6, 3), all_patterns_cutoff=6, max_length=3)
+        skipped = report.rows[1]
+        assert skipped["all_patterns"] is None
+        assert skipped["closed_patterns"] is not None
+
+    def test_database_shape(self):
+        db = figure2_database(scale=0.01, seed=1)
+        assert len(db) == 50
+        assert db.name == "D5C20N10S20"
+
+
+class TestFigure3:
+    def test_tiny_run(self):
+        report = run_figure3(
+            num_sequences=120,
+            num_events=40,
+            thresholds=(10, 6),
+            all_patterns_cutoff=6,
+            max_length=3,
+        )
+        assert report.experiment_id == "figure3"
+        assert len(report.rows) == 2
+        assert_closed_never_exceeds_all(report)
+
+
+class TestFigure4:
+    def test_tiny_run(self):
+        report = run_figure4(
+            num_sequences=12, thresholds=(20, 12), all_patterns_cutoff=12, max_length=3
+        )
+        assert report.experiment_id == "figure4"
+        assert_closed_never_exceeds_all(report)
+        assert report.extras["max_length_cap"] == 3
+
+
+class TestFigure5:
+    def test_tiny_run(self):
+        report = run_figure5(
+            sizes=(10, 20),
+            min_sup=5,
+            num_events=30,
+            all_patterns_cutoff_size=10,
+            max_length=3,
+        )
+        assert report.experiment_id == "figure5"
+        assert [row["num_sequences"] for row in report.rows] == [10, 20]
+        # The larger database is beyond the cut-off: GSgrow skipped there.
+        assert report.rows[1]["all_patterns"] is None
+        assert_closed_never_exceeds_all(report)
+
+
+class TestFigure6:
+    def test_tiny_run(self):
+        report = run_figure6(
+            lengths=(10, 20),
+            min_sup=5,
+            num_sequences=15,
+            num_events=30,
+            all_patterns_cutoff_length=10,
+            max_length=3,
+        )
+        assert report.experiment_id == "figure6"
+        assert [row["average_length"] for row in report.rows] == [10, 20]
+        assert report.rows[1]["all_patterns"] is None
+        assert_closed_never_exceeds_all(report)
+
+
+class TestMinerComparison:
+    def test_tiny_run(self):
+        from repro.experiments.comparison import run_miner_comparison
+
+        report = run_miner_comparison(scale=0.01, min_sup=4, max_length=3)
+        assert report.experiment_id == "comparison"
+        miners = [row["miner"] for row in report.rows]
+        assert any("CloGSgrow" in m for m in miners)
+        assert any("BIDE" in m for m in miners)
+        assert all(row["runtime_s"] >= 0 for row in report.rows)

@@ -1,0 +1,81 @@
+"""Tests for the shared experiment harness."""
+
+import pytest
+
+from repro.db.database import SequenceDatabase
+from repro.experiments.harness import (
+    ExperimentReport,
+    dataset_description,
+    run_database_sweep,
+    run_support_sweep,
+)
+
+
+@pytest.fixture
+def tiny_db():
+    return SequenceDatabase.from_strings(["ABCABC", "ABCABD", "ABAB"], name="tiny")
+
+
+class TestSupportSweep:
+    def test_sweep_runs_both_miners(self, tiny_db):
+        result = run_support_sweep(tiny_db, [3, 2])
+        assert len(result.points) == 2
+        for point in result.points:
+            assert point.closed_patterns is not None
+            assert point.all_patterns is not None
+            assert point.closed_patterns <= point.all_patterns
+            assert point.closed_runtime >= 0
+
+    def test_cutoff_skips_gsgrow(self, tiny_db):
+        result = run_support_sweep(tiny_db, [3, 2], all_patterns_cutoff=3)
+        below = result.points[1]
+        assert below.parameter == 2
+        assert below.all_patterns is None
+        assert "skipped" in below.notes
+        above = result.points[0]
+        assert above.all_patterns is not None
+
+    def test_report_rendering(self, tiny_db):
+        result = run_support_sweep(tiny_db, [3])
+        report = result.report("figureX", "title", "desc")
+        assert report.rows[0]["min_sup"] == 3
+        text = report.to_text()
+        assert "figureX" in text
+        assert "min_sup" in text
+
+
+class TestDatabaseSweep:
+    def test_sweep_over_databases(self, tiny_db):
+        dbs = [tiny_db, tiny_db.take(2)]
+        result = run_database_sweep(dbs, [3, 2], min_sup=2)
+        assert len(result.points) == 2
+        assert result.points[0].parameter == 3
+
+    def test_cutoff_parameter(self, tiny_db):
+        dbs = [tiny_db.take(1), tiny_db]
+        result = run_database_sweep(dbs, [1, 3], min_sup=2, all_patterns_cutoff_parameter=1)
+        assert result.points[0].all_patterns is not None
+        assert result.points[1].all_patterns is None
+
+    def test_length_mismatch_rejected(self, tiny_db):
+        with pytest.raises(ValueError):
+            run_database_sweep([tiny_db], [1, 2], min_sup=2)
+
+
+class TestReport:
+    def test_formatting_handles_none_and_floats(self):
+        report = ExperimentReport("id", "title", "desc", "p")
+        report.add_row({"p": 1, "runtime": 0.12345, "patterns": None})
+        text = report.to_text()
+        assert "0.1234" in text or "0.1235" in text
+        assert "-" in text
+
+    def test_extras_rendered(self):
+        report = ExperimentReport("id", "title", "desc", "p")
+        report.extras["note"] = "hello"
+        assert "note: hello" in report.to_text()
+
+    def test_dataset_description(self, tiny_db):
+        text = dataset_description(tiny_db)
+        assert "tiny" in text
+        assert "3 sequences" in text

@@ -1,0 +1,85 @@
+"""Tests for experiment-report persistence."""
+
+import json
+
+import pytest
+
+from repro.experiments.harness import ExperimentReport
+from repro.experiments.reporting import (
+    ReportCollection,
+    report_to_csv,
+    report_to_json,
+    report_to_markdown,
+    save_report_csv,
+    save_report_json,
+)
+
+
+@pytest.fixture
+def report():
+    r = ExperimentReport(
+        experiment_id="figureX",
+        title="A sweep",
+        dataset_description="toy dataset",
+        parameter_name="min_sup",
+    )
+    r.add_row({"min_sup": 4, "all_patterns": 10, "closed_patterns": 5, "runtime": 0.25})
+    r.add_row({"min_sup": 2, "all_patterns": None, "closed_patterns": 9, "runtime": 1.5})
+    r.extras["note"] = "hello"
+    return r
+
+
+class TestJson:
+    def test_round_trippable_payload(self, report):
+        payload = report_to_json(report)
+        assert payload["experiment_id"] == "figureX"
+        assert payload["rows"][0]["closed_patterns"] == 5
+        json.dumps(payload)  # must be serialisable
+
+    def test_save(self, report, tmp_path):
+        path = save_report_json(report, tmp_path / "r.json")
+        loaded = json.loads(path.read_text())
+        assert loaded["extras"]["note"] == "hello"
+
+
+class TestCsv:
+    def test_header_and_rows(self, report):
+        text = report_to_csv(report)
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("min_sup,")
+        assert len(lines) == 3
+
+    def test_empty_report(self):
+        empty = ExperimentReport("x", "t", "d", "p")
+        assert report_to_csv(empty) == ""
+
+    def test_save(self, report, tmp_path):
+        path = save_report_csv(report, tmp_path / "r.csv")
+        assert path.read_text().startswith("min_sup")
+
+
+class TestMarkdown:
+    def test_table_and_extras(self, report):
+        text = report_to_markdown(report)
+        assert text.startswith("### figureX")
+        assert "| min_sup |" in text
+        assert "| 4 |" in text
+        assert "—" in text  # None rendered as an em dash
+        assert "- **note**: hello" in text
+
+
+class TestCollection:
+    def test_save_writes_all_files(self, report, tmp_path):
+        collection = ReportCollection([report])
+        second = ExperimentReport("figureY", "t", "d", "p")
+        second.add_row({"p": 1, "value": 2})
+        collection.add(second)
+        written = collection.save(tmp_path / "results")
+        names = sorted(p.name for p in written)
+        assert names == ["figureX.csv", "figureX.json", "figureY.csv", "figureY.json", "summary.md"]
+        assert (tmp_path / "results" / "summary.md").read_text().count("###") == 2
+
+    def test_by_id_and_len(self, report):
+        collection = ReportCollection([report])
+        assert len(collection) == 1
+        assert collection.by_id()["figureX"] is report

@@ -1,0 +1,37 @@
+"""Tests for the run-all experiment driver (quick scales only)."""
+
+import pytest
+
+from repro.experiments.run_all import QUICK_RUNNERS, FULL_RUNNERS, main, run_experiments
+
+
+class TestRunExperiments:
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            run_experiments(["not-an-experiment"], quick=True, verbose=False)
+
+    def test_quick_subset_produces_reports(self):
+        collection = run_experiments(["table1", "case_study"], quick=True, verbose=False)
+        reports = collection.by_id()
+        assert set(reports) == {"table1", "case_study"}
+        assert "wall_clock_s" in reports["case_study"].extras
+
+    def test_runner_registries_cover_every_experiment(self):
+        expected = {
+            "table1", "figure2", "figure3", "figure4", "figure5", "figure6",
+            "case_study", "comparison",
+        }
+        assert set(QUICK_RUNNERS) == expected
+        assert set(FULL_RUNNERS) == expected
+
+
+class TestMain:
+    def test_main_writes_results_directory(self, tmp_path, capsys):
+        exit_code = main(
+            ["--output", str(tmp_path / "results"), "--only", "table1", "--quick", "--quiet"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        assert (tmp_path / "results" / "table1.json").exists()
+        assert (tmp_path / "results" / "summary.md").exists()

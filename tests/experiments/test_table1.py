@@ -1,0 +1,66 @@
+"""Tests for the Table I / Example 1.1 experiment."""
+
+from repro.baselines.episodes import (
+    fixed_window_support_sequence,
+    minimal_window_support_sequence,
+)
+from repro.baselines.gap_requirement import gap_occurrence_support_sequence
+from repro.core.constraints import GapConstraint
+from repro.experiments.table1 import (
+    PAPER_EXAMPLE_VALUES,
+    example_database,
+    run_table1,
+)
+
+
+class TestPaperValues:
+    """Every number quoted in Example 1.1 / the related-work discussion."""
+
+    def test_repetitive_and_sequential(self):
+        from repro.baselines.sequential import sequence_support
+        from repro.core.support import repetitive_support
+
+        db = example_database()
+        expected = PAPER_EXAMPLE_VALUES
+        assert repetitive_support(db, "AB") == expected["AB"]["repetitive"]
+        assert repetitive_support(db, "CD") == expected["CD"]["repetitive"]
+        assert sequence_support(db, "AB") == expected["AB"]["sequential"]
+        assert sequence_support(db, "CD") == expected["CD"]["sequential"]
+
+    def test_single_sequence_semantics_on_s1(self):
+        db = example_database()
+        s1 = db.sequence(1)
+        expected = PAPER_EXAMPLE_VALUES["AB"]
+        assert fixed_window_support_sequence(s1, "AB", 4) == expected["episode_fixed_window_s1"]
+        assert minimal_window_support_sequence(s1, "AB") == expected["episode_minimal_window_s1"]
+        assert (
+            gap_occurrence_support_sequence(s1, "AB", GapConstraint(0, 3))
+            == expected["gap_requirement_s1"]
+        )
+
+    def test_database_level_semantics(self):
+        from repro.baselines.interaction import interaction_support
+        from repro.baselines.iterative import iterative_support
+
+        db = example_database()
+        expected = PAPER_EXAMPLE_VALUES["AB"]
+        assert interaction_support(db, "AB") == expected["interaction"]
+        assert iterative_support(db, "AB") == expected["iterative"]
+
+
+class TestRunner:
+    def test_report_structure(self):
+        report = run_table1()
+        assert report.experiment_id == "table1"
+        assert len(report.rows) == 2
+        ab_row = next(r for r in report.rows if r["pattern"] == "AB")
+        assert ab_row["repetitive"] == 4
+        assert ab_row["sequential"] == 2
+        cd_row = next(r for r in report.rows if r["pattern"] == "CD")
+        assert cd_row["repetitive"] == 2
+
+    def test_report_renders_as_text(self):
+        text = run_table1().to_text()
+        assert "table1" in text
+        assert "repetitive" in text
+        assert "AB" in text

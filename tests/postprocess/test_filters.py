@@ -1,0 +1,88 @@
+"""Tests for the case-study post-processing filters."""
+
+import pytest
+
+from repro.core.pattern import Pattern
+from repro.core.results import MinedPattern, MiningResult
+from repro.postprocess.filters import (
+    density_filter,
+    maximality_filter,
+    min_length_filter,
+    min_support_filter,
+    rank_by_length,
+    rank_by_support,
+)
+
+
+def entry(pattern, support):
+    return MinedPattern(pattern=Pattern(pattern), support=support)
+
+
+@pytest.fixture
+def result():
+    return MiningResult(
+        [
+            entry("AABB", 10),   # density 0.5
+            entry("ABC", 8),     # density 1.0
+            entry("AB", 8),      # density 1.0, subpattern of ABC
+            entry("AAAB", 6),    # density 0.5
+            entry("XYZ", 4),     # density 1.0
+        ]
+    )
+
+
+class TestDensityFilter:
+    def test_paper_threshold(self, result):
+        filtered = density_filter(result, 0.4)
+        assert "AABB" in filtered  # density 0.5 > 0.4
+        assert "ABC" in filtered
+
+    def test_strict_comparison(self, result):
+        filtered = density_filter(result, 0.5)
+        # density exactly 0.5 is NOT kept (strictly greater, as in the paper)
+        assert "AABB" not in filtered
+        assert "AAAB" not in filtered
+        assert "ABC" in filtered
+
+    def test_invalid_threshold(self, result):
+        with pytest.raises(ValueError):
+            density_filter(result, 1.5)
+
+    def test_does_not_mutate_input(self, result):
+        before = len(result)
+        density_filter(result, 0.9)
+        assert len(result) == before
+
+
+class TestMaximalityFilter:
+    def test_subpatterns_removed(self, result):
+        filtered = maximality_filter(result)
+        assert "AB" not in filtered
+        assert "ABC" in filtered
+        assert "XYZ" in filtered
+
+    def test_all_maximal_untouched(self):
+        r = MiningResult([entry("AB", 3), entry("CD", 3)])
+        assert len(maximality_filter(r)) == 2
+
+
+class TestAuxiliaryFilters:
+    def test_min_length(self, result):
+        assert len(min_length_filter(result, 3)) == 4
+        with pytest.raises(ValueError):
+            min_length_filter(result, 0)
+
+    def test_min_support(self, result):
+        assert len(min_support_filter(result, 8)) == 3
+
+
+class TestRanking:
+    def test_rank_by_length(self, result):
+        ranked = rank_by_length(result)
+        assert len(ranked[0].pattern) >= len(ranked[-1].pattern)
+        assert len(ranked[0].pattern) == 4
+
+    def test_rank_by_support(self, result):
+        ranked = rank_by_support(result)
+        assert ranked[0].support == 10
+        assert ranked[-1].support == 4

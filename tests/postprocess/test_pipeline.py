@@ -1,0 +1,64 @@
+"""Tests for the post-processing pipeline."""
+
+from repro.core.pattern import Pattern
+from repro.core.results import MinedPattern, MiningResult
+from repro.postprocess.filters import maximality_filter
+from repro.postprocess.pipeline import PostProcessingPipeline, case_study_pipeline
+
+
+def entry(pattern, support):
+    return MinedPattern(pattern=Pattern(pattern), support=support)
+
+
+def sample_result():
+    return MiningResult(
+        [
+            entry("AABB", 10),
+            entry("ABC", 8),
+            entry("AB", 8),
+            entry("XYZ", 4),
+        ]
+    )
+
+
+class TestPipeline:
+    def test_steps_applied_in_order(self):
+        pipeline = PostProcessingPipeline()
+        pipeline.add_step("min-support-8", lambda r: r.with_support_at_least(8))
+        pipeline.add_step("maximality", maximality_filter)
+        final, report = pipeline.run(sample_result())
+        assert set(str(p) for p in final.patterns()) == {"AABB", "ABC"}
+        assert report.initial_count == 4
+        assert report.steps == [("min-support-8", 3), ("maximality", 2)]
+        assert report.final_count == 2
+
+    def test_empty_pipeline_is_identity(self):
+        pipeline = PostProcessingPipeline()
+        final, report = pipeline.run(sample_result())
+        assert len(final) == 4
+        assert report.final_count == 4
+        assert report.steps == []
+
+    def test_chaining_and_names(self):
+        pipeline = PostProcessingPipeline().add_step("a", lambda r: r).add_step("b", lambda r: r)
+        assert len(pipeline) == 2
+        assert pipeline.step_names() == ["a", "b"]
+
+    def test_report_rendering(self):
+        pipeline = case_study_pipeline()
+        _, report = pipeline.run(sample_result())
+        assert "initial=4" in report.summary()
+        assert "density" in report.as_dict()
+
+
+class TestCaseStudyPipeline:
+    def test_reproduces_paper_steps(self):
+        pipeline = case_study_pipeline(min_density=0.4)
+        assert pipeline.step_names() == ["density", "maximality"]
+
+    def test_filters_dense_and_maximal(self):
+        final, report = case_study_pipeline(min_density=0.4).run(sample_result())
+        # AABB has density 0.5 > 0.4 and survives; AB is removed by maximality.
+        assert "AABB" in final
+        assert "AB" not in final
+        assert report.final_count == len(final)

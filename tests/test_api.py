@@ -1,0 +1,36 @@
+"""Tests for the top-level package façade."""
+
+import repro
+from repro import api
+
+
+class TestPublicSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_snippet(self):
+        db = repro.SequenceDatabase.from_strings(["AABCDABB", "ABCD"])
+        assert repro.repetitive_support(db, "AB") == 4
+        closed = repro.mine_closed(db, 2)
+        frequent = repro.mine_all(db, 2)
+        assert len(closed) <= len(frequent)
+
+
+class TestMineFacade:
+    def test_closed_by_default(self, table3):
+        closed = api.mine(table3, 3)
+        assert closed.algorithm == "CloGSgrow"
+        assert "AB" not in closed
+
+    def test_all_patterns_option(self, table3):
+        frequent = api.mine(table3, 3, closed=False)
+        assert frequent.algorithm == "GSgrow"
+        assert "AB" in frequent
+
+    def test_kwargs_forwarded(self, table3):
+        capped = api.mine(table3, 3, closed=False, max_length=1)
+        assert all(len(p) == 1 for p in capped.patterns())

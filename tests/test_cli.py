@@ -1,0 +1,88 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, load_database, main
+from repro.db import io as db_io
+from repro.db.database import SequenceDatabase
+
+
+@pytest.fixture
+def chars_file(tmp_path):
+    path = tmp_path / "db.txt"
+    path.write_text("AABCDABB\nABCD\n")
+    return str(path)
+
+
+@pytest.fixture
+def tokens_file(tmp_path):
+    path = tmp_path / "tokens.txt"
+    path.write_text("login browse buy\nlogin logout\n")
+    return str(path)
+
+
+class TestLoadDatabase:
+    def test_formats(self, tmp_path, chars_file, tokens_file):
+        db = SequenceDatabase.from_lists([["a", "b"], ["c"]], name="x")
+        spmf_path = tmp_path / "db.spmf"
+        json_path = tmp_path / "db.json"
+        db_io.dump_spmf(db, spmf_path)
+        db_io.dump_json(db, json_path)
+        assert len(load_database(str(spmf_path), "spmf")) == 2
+        assert len(load_database(str(json_path), "json")) == 2
+        assert load_database(chars_file, "chars").sequence(1) == "AABCDABB"
+        assert load_database(tokens_file, "text").sequence(1) == ["login", "browse", "buy"]
+
+    def test_unknown_format(self, chars_file):
+        with pytest.raises(ValueError):
+            load_database(chars_file, "parquet")
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_mine_arguments(self):
+        args = build_parser().parse_args(
+            ["mine", "db.txt", "--min-sup", "3", "--all", "--max-length", "4", "--top", "10"]
+        )
+        assert args.command == "mine"
+        assert args.min_sup == 3
+        assert args.all and args.max_length == 4 and args.top == 10
+
+
+class TestCommands:
+    def test_support_command(self, chars_file, capsys):
+        exit_code = main(["support", chars_file, "--format", "chars", "--pattern", "AB"])
+        assert exit_code == 0
+        assert capsys.readouterr().out.strip() == "4"
+
+    def test_support_command_with_token_pattern(self, tokens_file, capsys):
+        exit_code = main(["support", tokens_file, "--pattern", "login browse"])
+        assert exit_code == 0
+        assert capsys.readouterr().out.strip() == "1"
+
+    def test_mine_closed_command(self, chars_file, capsys):
+        exit_code = main(["mine", chars_file, "--format", "chars", "--min-sup", "2"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "CloGSgrow" in out
+        assert "AB" in out
+
+    def test_mine_all_command_with_top(self, chars_file, capsys):
+        exit_code = main(
+            ["mine", chars_file, "--format", "chars", "--min-sup", "2", "--all", "--top", "3"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "GSgrow" in out
+        # Header plus exactly three pattern lines.
+        assert len([line for line in out.strip().splitlines() if "\t" in line]) == 3
+
+    def test_stats_command(self, chars_file, capsys):
+        exit_code = main(["stats", chars_file, "--format", "chars"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "num_sequences: 2" in out
+        assert "max_length: 8" in out

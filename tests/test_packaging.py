@@ -1,0 +1,58 @@
+"""Smoke tests of packaging-level concerns: imports, __all__ consistency, docs."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.db",
+    "repro.core",
+    "repro.baselines",
+    "repro.datagen",
+    "repro.postprocess",
+    "repro.analysis",
+    "repro.experiments",
+]
+
+
+class TestImports:
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_subpackage_imports(self, name):
+        module = importlib.import_module(name)
+        assert module.__doc__, f"{name} is missing a module docstring"
+
+    def test_every_module_imports_and_is_documented(self):
+        undocumented = []
+        for package_name in SUBPACKAGES:
+            package = importlib.import_module(package_name)
+            for info in pkgutil.iter_modules(package.__path__, prefix=package_name + "."):
+                module = importlib.import_module(info.name)
+                if not module.__doc__:
+                    undocumented.append(info.name)
+        assert not undocumented, f"modules without docstrings: {undocumented}"
+
+    def test_subpackage_all_exports_resolve(self):
+        for package_name in SUBPACKAGES:
+            package = importlib.import_module(package_name)
+            for name in getattr(package, "__all__", []):
+                assert hasattr(package, name), f"{package_name}.{name} missing"
+
+
+class TestTopLevelApi:
+    def test_version_is_a_string(self):
+        assert isinstance(repro.__version__, str)
+
+    def test_public_classes_have_docstrings(self):
+        for name in repro.__all__:
+            if name == "__version__":
+                continue
+            obj = getattr(repro, name)
+            assert getattr(obj, "__doc__", None), f"repro.{name} has no docstring"
+
+    def test_cli_module_exposes_main(self):
+        from repro import cli
+
+        assert callable(cli.main)
