@@ -10,7 +10,7 @@ import pytest
 
 from repro.core.support import sup_comp
 from repro.datagen.markov import MarkovSequenceGenerator
-from repro.db.index import InvertedEventIndex, next_position_scan
+from repro.db.index import NO_POSITION, InvertedEventIndex, next_position_scan
 
 
 @pytest.fixture(scope="module")
@@ -40,7 +40,7 @@ def test_next_position_with_index(benchmark, long_database, index):
         total = 0
         for i, lowest in points:
             position = index.next_position(i, "e0", lowest)
-            total += 0 if position == float("inf") else 1
+            total += 0 if position == NO_POSITION else 1
         return total
 
     hits = benchmark(run)
@@ -55,7 +55,7 @@ def test_next_position_linear_scan(benchmark, long_database):
         total = 0
         for i, lowest in points:
             position = next_position_scan(sequences[i], "e0", lowest)
-            total += 0 if position == float("inf") else 1
+            total += 0 if position == NO_POSITION else 1
         return total
 
     hits = benchmark(run)

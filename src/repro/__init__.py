@@ -19,7 +19,7 @@ ICDE 2009), packaged as a reusable library:
   of the evaluation section.
 """
 
-from repro.api import mine
+from repro.api import mine, mine_many
 from repro.core.clogsgrow import CloGSgrow, mine_closed
 from repro.core.constraints import GapConstraint
 from repro.core.gsgrow import GSgrow, mine_all
@@ -44,6 +44,7 @@ __all__ = [
     "repetitive_support",
     "sup_comp",
     "mine",
+    "mine_many",
     "mine_all",
     "mine_closed",
     "GSgrow",

@@ -16,7 +16,8 @@ configuration options, mining statistics or support sets.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+import os
+from typing import List, Optional, Sequence as PySequence, Union
 
 from repro.core.clogsgrow import CloGSgrow, mine_closed
 from repro.core.gsgrow import GSgrow, mine_all
@@ -32,6 +33,7 @@ __all__ = [
     "repetitive_support",
     "sup_comp",
     "mine",
+    "mine_many",
     "GSgrow",
     "CloGSgrow",
 ]
@@ -62,3 +64,64 @@ def mine(
     if closed:
         return mine_closed(database, min_sup, **kwargs)
     return mine_all(database, min_sup, **kwargs)
+
+
+def _mine_one(task) -> MiningResult:
+    """Process-pool worker: mine one database with a shared configuration.
+
+    Module-level (not a closure) so it pickles under the ``spawn`` start
+    method; receives everything it needs in one tuple.
+    """
+    database, min_sup, closed, kwargs = task
+    return mine(database, min_sup, closed=closed, **kwargs)
+
+
+def mine_many(
+    databases: PySequence[Union[SequenceDatabase, InvertedEventIndex]],
+    min_sup: int,
+    *,
+    closed: bool = True,
+    n_jobs: Optional[int] = None,
+    **kwargs,
+) -> List[MiningResult]:
+    """Mine a batch of databases with one shared configuration.
+
+    The batched entry point used by the experiment harness and the CLI for
+    multi-database workloads: results come back in input order, one
+    :class:`~repro.core.results.MiningResult` per database.
+
+    Parameters
+    ----------
+    databases:
+        The sequence databases (or pre-built indexes) to mine.
+    min_sup:
+        Repetitive-support threshold applied to every database.
+    closed:
+        ``True`` (default) runs CloGSgrow per database, ``False`` GSgrow.
+    n_jobs:
+        ``None`` or ``1`` mines serially in-process.  Any other value shards
+        the batch across a process pool with that many workers (``<= 0``
+        means one per CPU).  Each worker mines whole databases — instances
+        never span sequences of different databases, so sharding at database
+        granularity is exact.  Indexes are rebuilt in the workers, so passing
+        pre-built :class:`InvertedEventIndex` objects with ``n_jobs != 1``
+        only ships the underlying databases.
+    kwargs:
+        Forwarded to the miner configuration (``max_length``,
+        ``store_instances``, ``constraint``, ...).
+    """
+    databases = list(databases)
+    if n_jobs is None or n_jobs == 1 or len(databases) <= 1:
+        return [mine(db, min_sup, closed=closed, **kwargs) for db in databases]
+    if n_jobs <= 0:
+        n_jobs = os.cpu_count() or 1
+    # Indexes hold no state the workers cannot rebuild; send databases only,
+    # so the payload stays small and pickling never sees index internals.
+    payload = [
+        db.database if isinstance(db, InvertedEventIndex) else db for db in databases
+    ]
+    tasks = [(db, min_sup, closed, kwargs) for db in payload]
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=min(n_jobs, len(tasks))) as pool:
+        return list(pool.map(_mine_one, tasks))

@@ -4,6 +4,8 @@ Installed as ``repro-mine`` (see ``pyproject.toml``) and runnable as
 ``python -m repro``.  Three subcommands cover the common workflows:
 
 * ``mine`` — mine (closed) repetitive gapped subsequences from a file;
+* ``mine-many`` — mine several database files in one batch, optionally
+  sharded across a process pool (``--jobs``);
 * ``support`` — compute the repetitive support of one pattern;
 * ``stats`` — print summary statistics of a sequence database file.
 
@@ -18,6 +20,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.api import mine_many
 from repro.core.clogsgrow import CloGSgrow
 from repro.core.gsgrow import GSgrow
 from repro.core.support import repetitive_support
@@ -47,8 +50,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    def add_common(sub):
-        sub.add_argument("path", help="input sequence database file")
+    def add_format(sub):
         sub.add_argument(
             "--format",
             choices=("spmf", "text", "chars", "json"),
@@ -56,16 +58,36 @@ def build_parser() -> argparse.ArgumentParser:
             help="input file format (default: text — whitespace-separated events)",
         )
 
+    def add_common(sub):
+        sub.add_argument("path", help="input sequence database file")
+        add_format(sub)
+
+    def add_mining_options(sub):
+        sub.add_argument("--min-sup", type=int, required=True, help="support threshold")
+        sub.add_argument(
+            "--all",
+            action="store_true",
+            help="mine all frequent patterns (GSgrow) instead of closed ones (CloGSgrow)",
+        )
+        sub.add_argument("--max-length", type=int, default=None, help="maximum pattern length")
+        sub.add_argument("--top", type=int, default=None, help="print only the top-N by support")
+
     mine = subparsers.add_parser("mine", help="mine frequent patterns")
     add_common(mine)
-    mine.add_argument("--min-sup", type=int, required=True, help="support threshold")
-    mine.add_argument(
-        "--all",
-        action="store_true",
-        help="mine all frequent patterns (GSgrow) instead of closed ones (CloGSgrow)",
+    add_mining_options(mine)
+
+    many = subparsers.add_parser(
+        "mine-many", help="mine several database files as one batch"
     )
-    mine.add_argument("--max-length", type=int, default=None, help="maximum pattern length")
-    mine.add_argument("--top", type=int, default=None, help="print only the top-N by support")
+    many.add_argument("paths", nargs="+", help="input sequence database files")
+    add_format(many)
+    add_mining_options(many)
+    many.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the batch (1 = serial, 0 = one per CPU)",
+    )
 
     support = subparsers.add_parser("support", help="repetitive support of one pattern")
     add_common(support)
@@ -77,19 +99,39 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _print_result(result, args, algorithm: str, path: Optional[str] = None) -> None:
+    """Shared result printer of the mining subcommands."""
+    entries = result.sorted_by_support()
+    if args.top is not None:
+        entries = entries[: args.top]
+    prefix = f"{path}: " if path is not None else ""
+    print(f"# {prefix}{algorithm}: {len(result)} patterns (min_sup={args.min_sup})")
+    for entry in entries:
+        print(f"{entry.support}\t{entry.pattern}")
+
+
 def run_mine(args) -> int:
     database = load_database(args.path, args.format)
     if args.all:
         miner = GSgrow(args.min_sup, max_length=args.max_length)
     else:
         miner = CloGSgrow(args.min_sup, max_length=args.max_length)
-    result = miner.mine(database)
-    entries = result.sorted_by_support()
-    if args.top is not None:
-        entries = entries[: args.top]
-    print(f"# {miner.algorithm_name}: {len(result)} patterns (min_sup={args.min_sup})")
-    for entry in entries:
-        print(f"{entry.support}\t{entry.pattern}")
+    _print_result(miner.mine(database), args, miner.algorithm_name)
+    return 0
+
+
+def run_mine_many(args) -> int:
+    databases = [load_database(path, args.format) for path in args.paths]
+    results = mine_many(
+        databases,
+        args.min_sup,
+        closed=not args.all,
+        n_jobs=args.jobs if args.jobs != 1 else None,
+        max_length=args.max_length,
+    )
+    algorithm = GSgrow.algorithm_name if args.all else CloGSgrow.algorithm_name
+    for path, result in zip(args.paths, results):
+        _print_result(result, args, algorithm, path=path)
     return 0
 
 
@@ -114,6 +156,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "mine":
         return run_mine(args)
+    if args.command == "mine-many":
+        return run_mine_many(args)
     if args.command == "support":
         return run_support(args)
     if args.command == "stats":

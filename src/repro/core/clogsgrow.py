@@ -36,15 +36,17 @@ class CloGSgrow(GSgrow):
     by the ablation benchmark to quantify Theorem 5's benefit.
 
     With ``max_length=None`` (the default) the output is exactly the paper's
-    closed pattern set.  When a ``max_length`` cap is given, closedness is
-    evaluated *within the capped pattern universe*: patterns at the cap
-    length are reported whenever they are frequent (their one-event
-    extensions fall outside the universe), and shorter patterns are checked
-    against extensions as usual.  Landmark border pruning remains enabled
-    under a cap; in rare boundary cases it can remove a cap-length pattern
-    whose equal-support representative is longer than the cap — run with
-    ``enable_lbcheck=False`` if exact capped-closed semantics matter more
-    than speed.
+    closed pattern set.  When a ``max_length`` cap is given, the output is
+    the closed pattern set *truncated at the cap*: every reported pattern is
+    closed in the full pattern universe (closure checking at cap-length nodes
+    evaluates one-event extensions even though they are longer than the cap)
+    and the DFS simply stops growing at the cap.  Because closedness never
+    depends on the cap, Theorem-5 landmark border pruning stays sound under a
+    cap and ``enable_lbcheck`` changes runtime only, never the output.  (The
+    alternative semantics — "closed within the capped universe", which must
+    report *every* frequent cap-length pattern — is exactly the frequent
+    -pattern explosion the paper's closed mining exists to avoid, and is
+    available anyway as ``GSgrow(max_length=...)`` plus a closed filter.)
 
     Example
     -------
@@ -56,6 +58,11 @@ class CloGSgrow(GSgrow):
     """
 
     algorithm_name = "CloGSgrow"
+
+    #: Entry budget of the per-node decision / grown-children caches; once
+    #: exceeded, entries off the live DFS path are evicted (the live path is
+    #: always spared — see :meth:`_decide`).
+    cache_limit = 4096
 
     def __init__(self, min_sup: int = 2, *, enable_lbcheck: bool = True, **kwargs):
         super().__init__(min_sup, **kwargs)
@@ -131,14 +138,20 @@ class CloGSgrow(GSgrow):
         if cached is not None:
             return cached
         assert self._checker is not None, "mine() must be called before the DFS hooks"
-        if (
+        at_cap = (
             self.config.max_length is not None
             and len(support_set.pattern) >= self.config.max_length
-        ):
-            # Capped closedness: every single-event extension falls outside
-            # the mined pattern universe, so the pattern is reported as
-            # closed-within-the-cap; the DFS depth cap stops further growth.
-            decision = ClosureDecision(closed=True, prunable=False)
+        )
+        if at_cap:
+            # The DFS will not enter this subtree, so only closedness is
+            # needed (closedness is always evaluated against the *full*
+            # pattern universe — extensions longer than the cap included —
+            # which is what keeps LBCheck's Theorem-5 pruning sound under a
+            # cap).  Appends are left to the checker's lazy early-exit loop
+            # and nothing is cached for a growth step that never happens.
+            self.stats.closure_checks += 1
+            decision = self._checker.check(support_set, prefix_sets, need_pruning=False)
+            self.stats.extension_evaluations += decision.extensions_evaluated
             self._decision_cache[key] = decision
             return decision
         # Pre-compute the append-extension support sets once: CCheck needs
@@ -153,10 +166,17 @@ class CloGSgrow(GSgrow):
         self.stats.closure_checks += 1
         decision = self._checker.check(support_set, prefix_sets, append_supports=append_supports)
         self.stats.extension_evaluations += decision.extensions_evaluated
-        # Keep the caches small: only the current DFS path is ever re-queried.
-        if len(self._decision_cache) > 4096:
-            self._decision_cache.clear()
-            self._append_cache.clear()
+        # Keep the caches small.  Only the current DFS path is ever
+        # re-queried (`_grow_child` reads `_append_cache[prefix]` while the
+        # prefix's event loop is still running), so eviction must spare the
+        # live path: wiping it would force every pending child of every
+        # ancestor to be instance-grown a second time.
+        if len(self._append_cache) > self.cache_limit or len(self._decision_cache) > self.cache_limit:
+            live = {prefix.pattern.events for prefix in prefix_sets}
+            for stale in [k for k in self._append_cache if k not in live]:
+                del self._append_cache[stale]
+            for stale in [k for k in self._decision_cache if k not in live]:
+                del self._decision_cache[stale]
         self._decision_cache[key] = decision
         self._append_cache[key] = grown_children
         return decision

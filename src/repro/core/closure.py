@@ -107,6 +107,8 @@ class ClosureChecker:
         support_set: SupportSet,
         prefix_sets: List[SupportSet],
         append_supports: Optional[Dict[Event, int]] = None,
+        *,
+        need_pruning: bool = True,
     ) -> ClosureDecision:
         """Run closure checking and landmark border checking for one pattern.
 
@@ -122,11 +124,17 @@ class ClosureChecker:
             Supports of the append extensions ``P ∘ e`` if the caller already
             computed them (CloGSgrow computes them anyway while growing the
             DFS); missing entries are computed on demand.
+        need_pruning:
+            ``False`` lets the caller skip the landmark border scan even when
+            LBCheck is enabled — used at nodes whose subtree the DFS will not
+            enter anyway (a ``max_length`` cap), where only closedness
+            matters and the scan can stop at the first witness.
         """
         pattern = support_set.pattern
         support = support_set.support
         candidates = self._candidate_events(support)
         decision = ClosureDecision(closed=True, prunable=False)
+        lbcheck = self.enable_lbcheck and need_pruning
 
         # --- Append extensions (case 1 of Definition 3.4) ------------------
         # They can reveal non-closedness but never allow border pruning.
@@ -146,12 +154,12 @@ class ClosureChecker:
                 break  # closedness settled; border pruning needs insertions anyway
 
         # --- Insertion / prepend extensions (cases 2 and 3) ----------------
-        need_prune_scan = self.enable_lbcheck
+        need_prune_scan = lbcheck
         need_closed_scan = decision.closed
         if not (need_prune_scan or need_closed_scan):
             return decision
 
-        border = support_set.last_positions()
+        border = support_set.border_arrays()
         for gap in range(len(pattern)):  # gap g inserts between e_g and e_{g+1} (0 = prepend)
             suffix = pattern.suffix_from(gap)
             prefix_set = prefix_sets[gap - 1] if gap >= 1 else None
@@ -176,12 +184,12 @@ class ClosureChecker:
                 decision.closed = False
                 if decision.witness is None:
                     decision.witness = pattern.insert(gap, event)
-                if self.enable_lbcheck and self._border_dominates(extension_set, border):
+                if lbcheck and self._border_dominates(extension_set, border):
                     decision.prunable = True
                     decision.pruning_witness = pattern.insert(gap, event)
                     return decision
-                if not self.enable_lbcheck:
-                    # Closedness is settled and pruning is disabled: stop early.
+                if not lbcheck:
+                    # Closedness is settled and pruning is not wanted: stop early.
                     return decision
         return decision
 
@@ -236,18 +244,18 @@ class ClosureChecker:
         return grown
 
     @staticmethod
-    def _border_dominates(extension_set: SupportSet, border: List[Tuple[int, int]]) -> bool:
+    def _border_dominates(extension_set: SupportSet, border: Tuple) -> bool:
         """Condition (ii) of Theorem 5.
 
         Both support sets are in right-shift order and (given equal support)
         pair up instance by instance; the extension dominates when every one
         of its instances ends at or before the corresponding instance of the
-        original pattern, within the same sequence.
+        original pattern, within the same sequence.  ``border`` is the
+        ``(sequence indices, last positions)`` array pair of the original
+        pattern (see :meth:`SupportSet.border_arrays`).
         """
-        extension_border = extension_set.last_positions()
-        if len(extension_border) != len(border):
+        seqs_orig, lasts_orig = border
+        seqs_ext, lasts_ext = extension_set.border_arrays()
+        if len(seqs_ext) != len(seqs_orig) or seqs_ext != seqs_orig:
             return False
-        for (seq_ext, last_ext), (seq_orig, last_orig) in zip(extension_border, border):
-            if seq_ext != seq_orig or last_ext > last_orig:
-                return False
-        return True
+        return all(le <= lo for le, lo in zip(lasts_ext, lasts_orig))

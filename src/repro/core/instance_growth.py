@@ -16,17 +16,27 @@ smallest position of ``e`` that is
 
 Lemma 4 proves this produces a leftmost support set — i.e. the greedy choice
 achieves the maximum number of non-overlapping instances.
+
+The implementation is a single flat sweep over the support set's columnar
+arrays: instances of one sequence are contiguous in right-shift order, so no
+per-call grouping structures are needed, the ``next()`` query is an inlined
+:func:`bisect.bisect_right` over the index's position array (fetched once per
+sequence run, not once per instance), and the grown landmarks are written
+into two pre-sized output arrays — the only allocations of the call.
 """
 
 from __future__ import annotations
 
+from array import array
+from bisect import bisect_right
 from typing import Optional
 
 from repro.core.constraints import GapConstraint
-from repro.core.instance import Instance
 from repro.core.support import SupportSet
-from repro.db.index import NO_POSITION, InvertedEventIndex
+from repro.db.index import POSITION_TYPECODE, InvertedEventIndex
 from repro.db.sequence import Event
+
+_ITEMSIZE = array(POSITION_TYPECODE).itemsize
 
 
 def ins_grow(
@@ -59,32 +69,67 @@ def ins_grow(
         The leftmost support set of ``P ∘ e`` (its size is ``sup(P ∘ e)``).
     """
     grown_pattern = support_set.pattern.grow(event)
-    extended = []
-    # Group instances by sequence in one pass; the support set is already in
-    # right-shift order, so each group stays sorted by last landmark position.
-    groups = {}
-    for instance in support_set:
-        groups.setdefault(instance.seq_index, []).append(instance)
-    for i in sorted(groups):
-        last_position = 0
-        for instance in groups[i]:
-            lowest = max(last_position, instance.last)
-            if constraint is not None:
-                lowest = max(lowest, constraint.lowest_allowed(instance.last))
-            position = index.next_position(i, event, lowest)
-            if position is NO_POSITION or position == NO_POSITION:
-                # No occurrence of `event` remains to the right: later
-                # instances of this sequence end even further right, so the
-                # scan of this sequence can stop (line 5 of Algorithm 2).
-                break
-            if constraint is not None and not constraint.allows(instance.last, int(position)):
-                # Under a maximum-gap constraint the nearest occurrence may be
-                # too far away for *this* instance while still usable by a
-                # later one, so skip rather than break.
+    seqs = support_set.seq_indices_array
+    lands = support_set.landmarks_array
+    m = support_set.row_width
+    n = len(seqs)
+    out_m = m + 1
+    # Pre-sized outputs (a grown set is never larger than its parent); the
+    # memoryviews make the per-instance landmark copy a buffer-to-buffer move.
+    out_seqs = array(POSITION_TYPECODE, bytes(_ITEMSIZE * n))
+    out_lands = array(POSITION_TYPECODE, bytes(_ITEMSIZE * n * out_m))
+    in_mv = memoryview(lands)
+    out_mv = memoryview(out_lands)
+    raw_positions = index.raw_positions
+
+    count = 0
+    prev_seq = -1
+    skip_seq = -1
+    last_position = 0
+    plist = None
+    plen = 0
+    for k in range(n):
+        i = seqs[k]
+        if i == skip_seq:
+            # No occurrence of `event` remains to the right in S_i: later
+            # instances of this sequence end even further right, so the rest
+            # of the run is skipped (line 5 of Algorithm 2).
+            continue
+        if i != prev_seq:
+            prev_seq = i
+            last_position = 0
+            plist = raw_positions(i, event)
+            if not plist:
+                skip_seq = i
                 continue
-            last_position = int(position)
-            extended.append(instance.extend(last_position))
-    return SupportSet(grown_pattern, extended)
+            plen = len(plist)
+        last = lands[k * m + m - 1]
+        lowest = last if last >= last_position else last_position
+        if constraint is not None:
+            bound = constraint.lowest_allowed(last)
+            if bound > lowest:
+                lowest = bound
+        idx = bisect_right(plist, lowest)
+        if idx >= plen:
+            skip_seq = i
+            continue
+        position = plist[idx]
+        if constraint is not None and not constraint.allows(last, position):
+            # Under a maximum-gap constraint the nearest occurrence may be
+            # too far away for *this* instance while still usable by a
+            # later one, so skip rather than break.
+            continue
+        last_position = position
+        out_seqs[count] = i
+        base = count * out_m
+        out_mv[base : base + m] = in_mv[k * m : k * m + m]
+        out_lands[base + m] = position
+        count += 1
+
+    if count < n:
+        out_seqs = out_seqs[:count]
+        out_lands = out_lands[: count * out_m]
+    return SupportSet.from_arrays(grown_pattern, out_seqs, out_lands, out_m)
 
 
 def grow_with_pattern(

@@ -7,19 +7,27 @@ set — the one whose landmarks are position-wise smallest when instances are
 compared in the right-shift order; the instance-growth machinery always
 produces (and consumes) leftmost support sets.
 
-:class:`SupportSet` is the container used throughout the miners.  The
-functions :func:`sup_comp` (Algorithm 1) and :func:`repetitive_support` are
-the public entry points for computing the support of a single pattern.
+:class:`SupportSet` is the container used throughout the miners.  On the DFS
+hot path it is backed by two flat integer arrays — the sequence indices and
+the row-major landmark matrix — so instance growth is a pointer sweep rather
+than a walk over per-instance objects; :class:`~repro.core.instance.Instance`
+objects are materialised lazily (and cached) only when a caller asks for
+them.  The functions :func:`sup_comp` (Algorithm 1) and
+:func:`repetitive_support` are the public entry points for computing the
+support of a single pattern.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional, Sequence as PySequence, Union
+from array import array
+from typing import Iterable, Iterator, List, Optional, Sequence as PySequence, Tuple, Union
 
 from repro.core.instance import Instance, is_non_redundant, sort_right_shift
 from repro.core.pattern import Pattern, as_pattern
 from repro.db.database import SequenceDatabase
-from repro.db.index import InvertedEventIndex
+from repro.db.index import POSITION_TYPECODE, InvertedEventIndex
+
+_EMPTY_ARRAY = array(POSITION_TYPECODE)
 
 
 class SupportSet:
@@ -28,33 +36,104 @@ class SupportSet:
     The miners maintain the invariant that a :class:`SupportSet` produced by
     :func:`repro.core.instance_growth.ins_grow` is the *leftmost* support set
     of its pattern; user-constructed instances are merely sorted.
+
+    Storage is columnar: ``seq_indices_array`` holds the sequence index of
+    each instance and ``landmarks_array`` the landmarks, row-major with
+    ``row_width`` positions per instance.  Both arrays are in right-shift
+    order and must not be mutated by callers.
     """
 
-    __slots__ = ("pattern", "_instances")
+    __slots__ = ("pattern", "_seqs", "_landmarks", "_m", "_materialized")
 
     def __init__(self, pattern: Union[Pattern, str, PySequence], instances: Iterable[Instance] = ()):
         self.pattern = as_pattern(pattern)
-        self._instances: List[Instance] = sort_right_shift(instances)
+        ordered = sort_right_shift(instances)
+        widths = {len(ins.landmark) for ins in ordered}
+        if len(widths) > 1:
+            raise ValueError(
+                f"instances of one pattern must have equal landmark lengths, got {sorted(widths)}"
+            )
+        self._m = widths.pop() if widths else len(self.pattern)
+        seqs = array(POSITION_TYPECODE)
+        landmarks = array(POSITION_TYPECODE)
+        for ins in ordered:
+            seqs.append(ins.seq_index)
+            landmarks.extend(ins.landmark)
+        self._seqs = seqs
+        self._landmarks = landmarks
+        self._materialized: Optional[List[Instance]] = ordered
+
+    @classmethod
+    def from_arrays(
+        cls,
+        pattern: Union[Pattern, str, PySequence],
+        seqs: array,
+        landmarks: array,
+        row_width: int,
+    ) -> "SupportSet":
+        """Trusted constructor used by the engine.
+
+        ``seqs``/``landmarks`` must already be in right-shift order with
+        ``row_width`` positions per instance; no sorting or validation is
+        performed.
+        """
+        self = cls.__new__(cls)
+        self.pattern = as_pattern(pattern)
+        self._seqs = seqs
+        self._landmarks = landmarks
+        self._m = row_width
+        self._materialized = None
+        return self
 
     # ------------------------------------------------------------------
     # Container protocol
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._instances)
+        return len(self._seqs)
 
     def __iter__(self) -> Iterator[Instance]:
-        return iter(self._instances)
+        return iter(self._materialize())
 
     def __getitem__(self, index):
-        return self._instances[index]
+        return self._materialize()[index]
 
     def __eq__(self, other) -> bool:
         if isinstance(other, SupportSet):
-            return self.pattern == other.pattern and self._instances == other._instances
+            return (
+                self.pattern == other.pattern
+                and self._seqs == other._seqs
+                and self._landmarks == other._landmarks
+            )
         return NotImplemented
 
     def __repr__(self) -> str:
-        return f"SupportSet({self.pattern!s}, {self._instances!r})"
+        return f"SupportSet({self.pattern!s}, {self._materialize()!r})"
+
+    # ------------------------------------------------------------------
+    # Array accessors used by the engine (read-only!)
+    # ------------------------------------------------------------------
+    @property
+    def seq_indices_array(self) -> array:
+        """Flat array of sequence indices, one per instance."""
+        return self._seqs
+
+    @property
+    def landmarks_array(self) -> array:
+        """Row-major landmark matrix (``row_width`` positions per instance)."""
+        return self._landmarks
+
+    @property
+    def row_width(self) -> int:
+        """Number of landmark positions per instance."""
+        return self._m
+
+    def border_arrays(self) -> Tuple[array, array]:
+        """The landmark border as ``(sequence indices, last positions)`` arrays."""
+        m = self._m
+        if m == 1:
+            return self._seqs, self._landmarks
+        lasts = self._landmarks[m - 1 :: m] if self._seqs else _EMPTY_ARRAY
+        return self._seqs, lasts
 
     # ------------------------------------------------------------------
     # Accessors used by the miners
@@ -62,38 +141,44 @@ class SupportSet:
     @property
     def instances(self) -> List[Instance]:
         """The instances in right-shift order."""
-        return list(self._instances)
+        return list(self._materialize())
 
     @property
     def support(self) -> int:
         """The size of the set — equal to ``sup(P)`` for genuine support sets."""
-        return len(self._instances)
+        return len(self._seqs)
 
     def instances_in_sequence(self, i: int) -> List[Instance]:
         """Instances living in sequence ``S_i`` (the paper's ``I_i``)."""
-        return [ins for ins in self._instances if ins.seq_index == i]
+        return [ins for ins in self._materialize() if ins.seq_index == i]
 
     def sequence_indices(self) -> List[int]:
         """Sorted distinct sequence indices containing at least one instance."""
-        return sorted({ins.seq_index for ins in self._instances})
+        return sorted(set(self._seqs))
 
     def last_positions(self) -> List[tuple]:
         """``(i, last)`` pairs in right-shift order (the landmark border)."""
-        return [(ins.seq_index, ins.last) for ins in self._instances]
+        seqs, lasts = self.border_arrays()
+        return list(zip(seqs, lasts))
 
     def first_positions(self) -> List[tuple]:
         """``(i, first)`` pairs in right-shift order."""
-        return [(ins.seq_index, ins.first) for ins in self._instances]
+        m = self._m
+        return list(zip(self._seqs, self._landmarks[::m] if m > 1 else self._landmarks))
 
     def compressed(self) -> List[tuple]:
         """The ``(i, l1, lm)`` triples of Section III-D, in right-shift order."""
-        return [ins.compressed() for ins in self._instances]
+        m = self._m
+        lands = self._landmarks
+        return [
+            (seq, lands[k * m], lands[k * m + m - 1]) for k, seq in enumerate(self._seqs)
+        ]
 
     def per_sequence_counts(self) -> dict:
         """Number of instances per sequence index (used as feature values)."""
         counts: dict = {}
-        for ins in self._instances:
-            counts[ins.seq_index] = counts.get(ins.seq_index, 0) + 1
+        for seq in self._seqs:
+            counts[seq] = counts.get(seq, 0) + 1
         return counts
 
     # ------------------------------------------------------------------
@@ -101,11 +186,26 @@ class SupportSet:
     # ------------------------------------------------------------------
     def is_non_redundant(self) -> bool:
         """True if no two instances overlap (Definition 2.4)."""
-        return is_non_redundant(self._instances)
+        return is_non_redundant(self._materialize())
 
     def is_valid_for(self, database: SequenceDatabase) -> bool:
         """True if every instance really matches the pattern in ``database``."""
-        return all(ins.matches(self.pattern, database) for ins in self._instances)
+        return all(ins.matches(self.pattern, database) for ins in self._materialize())
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _materialize(self) -> List[Instance]:
+        cached = self._materialized
+        if cached is None:
+            m = self._m
+            lands = self._landmarks
+            cached = [
+                Instance(seq, tuple(lands[k * m : (k + 1) * m]))
+                for k, seq in enumerate(self._seqs)
+            ]
+            self._materialized = cached
+        return cached
 
 
 def initial_support_set(index: InvertedEventIndex, event) -> SupportSet:
@@ -115,8 +215,8 @@ def initial_support_set(index: InvertedEventIndex, event) -> SupportSet:
     overlap, so the support set is simply the list of all positions
     (line 1 of Algorithm 1 / line 3 of Algorithm 3).
     """
-    instances = [Instance(i, (pos,)) for i, pos in index.size_one_instances(event)]
-    return SupportSet(Pattern((event,)), instances)
+    seqs, positions = index.size_one_arrays(event)
+    return SupportSet.from_arrays(Pattern((event,)), seqs, positions, 1)
 
 
 def sup_comp(

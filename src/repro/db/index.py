@@ -8,24 +8,78 @@ which ``e`` occurs" — is then a binary search over that list, giving the
 ``O(log L)`` bound used in the complexity analysis.
 
 :class:`InvertedEventIndex` implements exactly that structure with
-:mod:`bisect`.  A linear-scan fallback (:func:`next_position_scan`) is kept
-for the index ablation benchmark and as an oracle in tests.
+:mod:`bisect` over flat integer arrays (:class:`array.array`), which keep the
+position lists contiguous in memory.  ``next_position`` signals "no further
+occurrence" with the integer sentinel :data:`NO_POSITION` so that callers on
+the mining hot path compare plain ints.  A linear-scan fallback
+(:func:`next_position_scan`) is kept for the index ablation benchmark and as
+an oracle in tests.
 """
 
 from __future__ import annotations
 
+from array import array
 from bisect import bisect_right
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from collections.abc import Sequence as SequenceABC
+from typing import Dict, List, Set, Tuple
 
 from repro.db.database import SequenceDatabase
 from repro.db.sequence import Event, Sequence
 
-#: Sentinel returned when no further occurrence exists (the paper's ``∞``).
-NO_POSITION = float("inf")
+#: Integer sentinel returned when no further occurrence exists (the paper's
+#: ``∞``).  Valid positions are 1-based, so ``-1`` never collides and callers
+#: can test either ``position == NO_POSITION`` or simply ``position < 0``.
+NO_POSITION = -1
+
+#: Typecode of the flat position arrays (signed 64-bit).
+POSITION_TYPECODE = "q"
+
+_EMPTY_POSITIONS = array(POSITION_TYPECODE)
+
+
+class PositionsView(SequenceABC):
+    """A read-only, list-compatible view over a flat position array.
+
+    Returned by :meth:`InvertedEventIndex.positions` instead of a fresh list
+    so that hot-path callers never pay a per-call copy.  Compares equal to
+    any sequence of the same integers (lists, tuples, arrays, other views).
+    """
+
+    __slots__ = ("_data",)
+
+    def __init__(self, data: array):
+        self._data = data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __getitem__(self, index):
+        result = self._data[index]
+        if isinstance(index, slice):
+            return list(result)
+        return result
+
+    def __iter__(self):
+        return iter(self._data)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, PositionsView):
+            other = other._data
+        if isinstance(other, (list, tuple, array)):
+            return len(self._data) == len(other) and all(
+                a == b for a, b in zip(self._data, other)
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._data))
+
+    def __repr__(self) -> str:
+        return f"PositionsView({list(self._data)!r})"
 
 
 class InvertedEventIndex:
-    """Per-sequence, per-event sorted position lists with ``next()`` queries.
+    """Per-sequence, per-event sorted position arrays with ``next()`` queries.
 
     Parameters
     ----------
@@ -36,13 +90,14 @@ class InvertedEventIndex:
 
     def __init__(self, database: SequenceDatabase):
         self._database = database
-        # _lists[i][e] -> sorted list of 1-based positions of e in S_i.
-        self._lists: List[Dict[Event, List[int]]] = []
-        for seq in database:
-            per_event: Dict[Event, List[int]] = {}
-            for pos, event in enumerate(seq.events, start=1):
-                per_event.setdefault(event, []).append(pos)
-            self._lists.append(per_event)
+        # _lists[i][e] -> sorted flat array of 1-based positions of e in S_i.
+        self._lists: List[Dict[Event, array]] = [
+            seq.inverted_positions() for seq in database
+        ]
+        # Memoised PositionsView wrappers, filled on first `positions()` call
+        # — the mining hot path reads `raw_positions()` and never pays for a
+        # wrapper.
+        self._views: List[Dict[Event, PositionsView]] = [{} for _ in self._lists]
 
     # ------------------------------------------------------------------
     # Queries
@@ -52,16 +107,35 @@ class InvertedEventIndex:
         """The indexed database."""
         return self._database
 
-    def positions(self, i: int, event: Event) -> List[int]:
-        """All 1-based positions of ``event`` in sequence ``S_i`` (sorted)."""
-        self._check_sequence_index(i)
-        return list(self._lists[i - 1].get(event, ()))
+    def positions(self, i: int, event: Event) -> PositionsView:
+        """All 1-based positions of ``event`` in sequence ``S_i`` (sorted).
 
-    def next_position(self, i: int, event: Event, lowest: int) -> float:
+        Returns an immutable :class:`PositionsView` over the index's own
+        storage — no copy is made, so this is safe to call per closure check.
+        """
+        self._check_sequence_index(i)
+        views = self._views[i - 1]
+        view = views.get(event)
+        if view is None:
+            positions = self._lists[i - 1].get(event)
+            if positions is None:
+                return PositionsView(_EMPTY_POSITIONS)
+            view = views[event] = PositionsView(positions)
+        return view
+
+    def raw_positions(self, i: int, event: Event):
+        """The internal position array for ``(S_i, event)`` or ``None``.
+
+        Hot-path accessor used by the instance-growth sweep: no bounds check,
+        no wrapper.  Callers must not mutate the returned array.
+        """
+        return self._lists[i - 1].get(event)
+
+    def next_position(self, i: int, event: Event, lowest: int) -> int:
         """The paper's ``next(S_i, e, lowest)``.
 
         Returns the smallest position ``l > lowest`` with ``S_i[l] = e``, or
-        :data:`NO_POSITION` (``inf``) if no such position exists.
+        :data:`NO_POSITION` (``-1``) if no such position exists.
         """
         self._check_sequence_index(i)
         positions = self._lists[i - 1].get(event)
@@ -109,6 +183,22 @@ class InvertedEventIndex:
                 result.append((i, pos))
         return result
 
+    def size_one_arrays(self, event: Event) -> Tuple[array, array]:
+        """Flat ``(sequence indices, positions)`` arrays of all occurrences.
+
+        Array form of :meth:`size_one_instances`, consumed directly by the
+        array-backed support sets — the pairs are already in right-shift
+        order (ascending sequence index, then ascending position).
+        """
+        seqs = array(POSITION_TYPECODE)
+        positions = array(POSITION_TYPECODE)
+        for i, per_event in enumerate(self._lists, start=1):
+            plist = per_event.get(event)
+            if plist:
+                seqs.extend(array(POSITION_TYPECODE, [i]) * len(plist))
+                positions.extend(plist)
+        return seqs, positions
+
     def frequent_events(self, min_sup: int) -> List[Event]:
         """Events whose total occurrence count is at least ``min_sup``, sorted.
 
@@ -126,7 +216,7 @@ class InvertedEventIndex:
             raise IndexError(f"sequence index {i} out of range 1..{len(self._lists)}")
 
 
-def next_position_scan(sequence: Sequence, event: Event, lowest: int) -> float:
+def next_position_scan(sequence: Sequence, event: Event, lowest: int) -> int:
     """Linear-scan reference for ``next(S, e, lowest)`` (used in tests/ablation)."""
     for pos in range(max(lowest, 0) + 1, len(sequence) + 1):
         if sequence.at(pos) == event:

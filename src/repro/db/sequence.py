@@ -10,7 +10,8 @@ coordinates; plain Python iteration and ``len`` behave as usual.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Iterator, List, Optional, Sequence as PySequence, Tuple
+from array import array
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence as PySequence, Tuple
 
 Event = Hashable
 
@@ -56,6 +57,23 @@ class Sequence:
     def positions_of(self, event: Event) -> List[int]:
         """Return all 1-based positions at which ``event`` occurs."""
         return [i + 1 for i, e in enumerate(self._events) if e == event]
+
+    def inverted_positions(self) -> Dict[Event, array]:
+        """Per-event sorted flat arrays of 1-based positions.
+
+        One pass over the sequence, producing the ``L_{e,S}`` lists of the
+        paper's inverted event index as contiguous integer arrays
+        (typecode ``'q'``); :class:`~repro.db.index.InvertedEventIndex` stores
+        these verbatim.
+        """
+        per_event: Dict[Event, array] = {}
+        for pos, event in enumerate(self._events, start=1):
+            positions = per_event.get(event)
+            if positions is None:
+                per_event[event] = array("q", (pos,))
+            else:
+                positions.append(pos)
+        return per_event
 
     def alphabet(self) -> set:
         """Return the set of distinct events occurring in this sequence."""

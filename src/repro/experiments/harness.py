@@ -205,6 +205,30 @@ def run_database_sweep(
     )
 
 
+def count_patterns_across(
+    databases: PySequence[SequenceDatabase],
+    min_sup: int,
+    *,
+    closed: bool = True,
+    n_jobs: Optional[int] = None,
+    max_length: Optional[int] = None,
+) -> List[int]:
+    """Pattern counts per database, via the batched mining entry point.
+
+    The panel-(b) numbers of the database sweeps (Figures 5 and 6) only need
+    pattern *counts*, not timings, so they can be driven through
+    :func:`repro.api.mine_many` — with ``n_jobs`` the whole multi-database
+    workload shards across a process pool.  (The timed sweeps above stay
+    serial on purpose: wall-clock per point is the experiment.)
+    """
+    from repro.api import mine_many
+
+    results = mine_many(
+        databases, min_sup, closed=closed, n_jobs=n_jobs, max_length=max_length
+    )
+    return [len(result) for result in results]
+
+
 def dataset_description(database: SequenceDatabase) -> str:
     """Short description string used in report headers."""
     stats = describe(database)

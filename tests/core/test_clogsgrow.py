@@ -119,3 +119,17 @@ class TestOptions:
         db = SequenceDatabase.from_strings(["ABCABCABC"])
         closed = mine_closed(db, 3)
         assert closed.as_dict() == {Pattern("ABC"): 3}
+
+
+class TestCacheEviction:
+    def test_tiny_cache_limit_preserves_output_and_live_path(self, table3):
+        # Force evictions at every node: output must be unchanged, and because
+        # eviction spares the live DFS path, each child is instance-grown at
+        # most once per visit of its parent (no recomputation thrash).
+        reference = CloGSgrow(2)
+        unbounded = reference.mine(table3)
+
+        squeezed = CloGSgrow(2)
+        squeezed.cache_limit = 0
+        assert squeezed.mine(table3).as_dict() == unbounded.as_dict()
+        assert squeezed.stats.ins_grow_calls == reference.stats.ins_grow_calls

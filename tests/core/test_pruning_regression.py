@@ -1,0 +1,97 @@
+"""Randomized regression tests for pruning soundness.
+
+The closed miner must produce *exactly* the closed subset of the full
+frequent-pattern set, no matter which pruning machinery is enabled.  A
+Theorem-5 implementation bug once made the LBCheck-on and LBCheck-off
+configurations disagree under a ``max_length`` cap (cap-length nodes skipped
+closure checking entirely while border pruning reasoned about the full
+universe); these tests pin the contract on randomized Markov databases over
+several seeds so a pruning regression can never slip through silently again:
+
+* ``CloGSgrow`` output == brute-force closed filter of ``GSgrow`` output,
+  with LBCheck on and off, unconstrained and under a (min-)gap constraint;
+* LBCheck on/off outputs are identical under a ``max_length`` cap;
+* capped output == the uncapped closed set truncated at the cap (closedness
+  is always evaluated against the full pattern universe).
+"""
+
+import pytest
+
+from repro.core.clogsgrow import CloGSgrow
+from repro.core.constraints import GapConstraint
+from repro.core.gsgrow import GSgrow
+from repro.datagen.markov import MarkovSequenceGenerator
+
+SEEDS = [0, 1, 2, 3]
+MIN_SUP = 4
+
+
+def _markov_db(seed):
+    return MarkovSequenceGenerator(
+        num_sequences=6,
+        num_events=5,
+        average_length=14.0,
+        concentration=4.0,
+        seed=seed,
+    ).generate()
+
+
+def _brute_force_closed(result):
+    """The closed subset of a mined pattern set, by the definition.
+
+    A pattern is closed iff no proper superpattern in the mined universe has
+    equal support; within a support-monotone universe this is exactly what
+    CCheck decides via single-event extensions.
+    """
+    items = [(entry.pattern, entry.support) for entry in result]
+    return {
+        pattern: support
+        for pattern, support in items
+        if not any(
+            pattern.is_proper_subpattern_of(other) and support == other_support
+            for other, other_support in items
+        )
+    }
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize(
+    "constraint",
+    [None, GapConstraint(1, None)],
+    ids=["unconstrained", "min_gap_1"],
+)
+@pytest.mark.parametrize("enable_lbcheck", [True, False], ids=["lbcheck", "no_lbcheck"])
+def test_closed_equals_bruteforce_filter(seed, constraint, enable_lbcheck):
+    db = _markov_db(seed)
+    frequent = GSgrow(MIN_SUP, constraint=constraint).mine(db)
+    closed = CloGSgrow(
+        MIN_SUP, constraint=constraint, enable_lbcheck=enable_lbcheck
+    ).mine(db)
+    assert closed.as_dict() == _brute_force_closed(frequent)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("max_length", [2, 3], ids=["cap2", "cap3"])
+def test_lbcheck_identical_under_length_cap(seed, max_length):
+    # The historical failure mode: cap-length nodes were reported as closed
+    # without any check while LBCheck pruned subtrees by full-universe
+    # reasoning, so the two configurations disagreed.  Closedness is now
+    # always full-universe and the outputs must match exactly.
+    db = _markov_db(seed)
+    pruned = CloGSgrow(MIN_SUP, max_length=max_length, enable_lbcheck=True)
+    unpruned = CloGSgrow(MIN_SUP, max_length=max_length, enable_lbcheck=False)
+    with_pruning = pruned.mine(db)
+    without_pruning = unpruned.mine(db)
+    assert with_pruning.as_dict() == without_pruning.as_dict()
+    assert pruned.stats.nodes_visited <= unpruned.stats.nodes_visited
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_capped_output_is_truncated_closed_set(seed):
+    # A max_length cap truncates the closed set; it never changes which
+    # patterns count as closed.
+    db = _markov_db(seed)
+    uncapped = CloGSgrow(MIN_SUP).mine(db)
+    capped = CloGSgrow(MIN_SUP, max_length=3).mine(db)
+    expected = {p: s for p, s in uncapped.as_dict().items() if len(p) <= 3}
+    assert capped.as_dict() == expected

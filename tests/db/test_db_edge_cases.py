@@ -4,7 +4,7 @@ import pytest
 
 from repro.db import io as db_io
 from repro.db.database import SequenceDatabase
-from repro.db.index import InvertedEventIndex
+from repro.db.index import NO_POSITION, InvertedEventIndex
 from repro.db.sequence import Sequence
 from repro.core.support import repetitive_support
 
@@ -63,7 +63,7 @@ class TestIoFailureHandling:
 
 class TestIndexEdgeCases:
     def test_next_position_beyond_sequence_end(self, table3_index):
-        assert table3_index.next_position(1, "A", 100) == float("inf")
+        assert table3_index.next_position(1, "A", 100) == NO_POSITION
 
     def test_duplicate_heavy_sequence(self):
         db = SequenceDatabase.from_strings(["ABABABABAB"])

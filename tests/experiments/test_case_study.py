@@ -33,9 +33,11 @@ class TestLifecycleScore:
 class TestCaseStudyRun:
     @pytest.fixture(scope="class")
     def report(self):
-        # Reduced scale so the test completes quickly: fewer traces, shorter
-        # pattern cap and a threshold proportional to the trace count.
-        return run_case_study(min_sup=8, num_sequences=10, max_length=6, seed=0)
+        # Reduced scale so the test completes quickly: fewer traces and a
+        # threshold proportional to the trace count.  Mining stays uncapped —
+        # the closed patterns here are long, and a length cap would truncate
+        # them away (see DEFAULT_MAX_LENGTH in the experiment module).
+        return run_case_study(min_sup=14, num_sequences=10, max_length=None, seed=0)
 
     def test_report_structure(self, report):
         assert report.experiment_id == "case_study"

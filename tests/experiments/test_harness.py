@@ -5,6 +5,7 @@ import pytest
 from repro.db.database import SequenceDatabase
 from repro.experiments.harness import (
     ExperimentReport,
+    count_patterns_across,
     dataset_description,
     run_database_sweep,
     run_support_sweep,
@@ -60,6 +61,12 @@ class TestDatabaseSweep:
     def test_length_mismatch_rejected(self, tiny_db):
         with pytest.raises(ValueError):
             run_database_sweep([tiny_db], [1, 2], min_sup=2)
+
+    def test_count_patterns_across_matches_sweep_counts(self, tiny_db):
+        dbs = [tiny_db, tiny_db.take(2)]
+        sweep = run_database_sweep(dbs, [3, 2], min_sup=2)
+        counts = count_patterns_across(dbs, 2)
+        assert counts == [point.closed_patterns for point in sweep.points]
 
 
 class TestReport:

@@ -34,3 +34,37 @@ class TestMineFacade:
     def test_kwargs_forwarded(self, table3):
         capped = api.mine(table3, 3, closed=False, max_length=1)
         assert all(len(p) == 1 for p in capped.patterns())
+
+
+class TestMineMany:
+    def _batch(self):
+        return [
+            repro.SequenceDatabase.from_strings(["AABCDABB", "ABCD"]),
+            repro.SequenceDatabase.from_strings(["ABCABCA", "AABBCCC"]),
+            repro.SequenceDatabase.from_strings(["XYXYXY"]),
+        ]
+
+    def test_serial_matches_per_database_mine(self):
+        batch = self._batch()
+        results = api.mine_many(batch, 2)
+        assert len(results) == len(batch)
+        for db, result in zip(batch, results):
+            assert result.as_dict() == api.mine(db, 2).as_dict()
+
+    def test_empty_batch(self):
+        assert api.mine_many([], 2) == []
+
+    def test_index_inputs_accepted(self, table3):
+        index = repro.InvertedEventIndex(table3)
+        serial = api.mine_many([index, table3], 3)
+        assert serial[0].as_dict() == serial[1].as_dict()
+
+    def test_kwargs_shared_across_batch(self):
+        results = api.mine_many(self._batch(), 2, closed=False, max_length=1)
+        assert all(len(p) == 1 for result in results for p in result.patterns())
+
+    def test_process_pool_matches_serial(self):
+        batch = self._batch()
+        serial = api.mine_many(batch, 2)
+        sharded = api.mine_many(batch, 2, n_jobs=2)
+        assert [r.as_dict() for r in sharded] == [r.as_dict() for r in serial]

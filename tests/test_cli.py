@@ -51,6 +51,14 @@ class TestParser:
         assert args.min_sup == 3
         assert args.all and args.max_length == 4 and args.top == 10
 
+    def test_mine_many_arguments(self):
+        args = build_parser().parse_args(
+            ["mine-many", "a.txt", "b.txt", "--min-sup", "2", "--jobs", "2"]
+        )
+        assert args.command == "mine-many"
+        assert args.paths == ["a.txt", "b.txt"]
+        assert args.min_sup == 2 and args.jobs == 2
+
 
 class TestCommands:
     def test_support_command(self, chars_file, capsys):
@@ -79,6 +87,17 @@ class TestCommands:
         assert "GSgrow" in out
         # Header plus exactly three pattern lines.
         assert len([line for line in out.strip().splitlines() if "\t" in line]) == 3
+
+    def test_mine_many_command(self, chars_file, tmp_path, capsys):
+        other = tmp_path / "other.txt"
+        other.write_text("ABCABCA\nAABBCCC\n")
+        exit_code = main(
+            ["mine-many", chars_file, str(other), "--format", "chars", "--min-sup", "2"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert out.count("CloGSgrow") == 2
+        assert chars_file in out and str(other) in out
 
     def test_stats_command(self, chars_file, capsys):
         exit_code = main(["stats", chars_file, "--format", "chars"])
