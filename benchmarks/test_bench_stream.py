@@ -1,0 +1,120 @@
+"""Streaming benchmark: incremental append + re-mine vs full rebuild + re-mine.
+
+A continuous workload appends batches of sequences and wants the closed
+pattern set after every batch.  The baseline rebuilds the static database and
+re-runs ``mine_closed`` from scratch per batch; the streaming subsystem
+appends into the incrementally maintained index, re-mines only the dirty
+shards, and merges cached per-shard supports.  Both must produce byte-
+identical pattern sets at every batch boundary — the benchmark asserts that
+while timing the two regimes end to end over the same arrival schedule.
+"""
+
+import time
+
+import pytest
+
+from repro.core.clogsgrow import mine_closed
+from repro.datagen.markov import MarkovSequenceGenerator
+from repro.db.database import SequenceDatabase
+from repro.experiments.harness import ExperimentReport
+from repro.stream import StreamMiner
+
+MIN_SUP = 30
+MAX_LENGTH = 4
+SHARD_SIZE = 12
+WINDOW = 60
+BATCH = 12
+NUM_SEQUENCES = 120
+
+
+@pytest.fixture(scope="module")
+def arrival_schedule():
+    database = MarkovSequenceGenerator(
+        num_sequences=NUM_SEQUENCES,
+        num_events=10,
+        average_length=20.0,
+        concentration=4.0,
+        seed=7,
+    ).generate()
+    sequences = database.sequences
+    return [sequences[i : i + BATCH] for i in range(0, len(sequences), BATCH)]
+
+
+def canon(result):
+    return sorted((mp.pattern.events, mp.support) for mp in result)
+
+
+def _run_stream(schedule):
+    """Incremental regime: per batch, append + refresh (dirty shards only)."""
+    miner = StreamMiner(
+        MIN_SUP, shard_size=SHARD_SIZE, window=WINDOW, max_length=MAX_LENGTH
+    )
+    timings, results = [], []
+    for batch in schedule:
+        start = time.perf_counter()
+        for seq in batch:
+            miner.append(seq)
+        update = miner.refresh()
+        timings.append(time.perf_counter() - start)
+        results.append(update.result)
+    return miner, timings, results
+
+
+def _run_rebuild(schedule):
+    """Baseline regime: per batch, rebuild the window and batch-mine it."""
+    retained = []
+    timings, results = [], []
+    for batch in schedule:
+        start = time.perf_counter()
+        retained.extend(batch)
+        retained = retained[-WINDOW:]
+        database = SequenceDatabase(retained)
+        results.append(mine_closed(database, MIN_SUP, max_length=MAX_LENGTH))
+        timings.append(time.perf_counter() - start)
+    return timings, results
+
+
+def test_incremental_append_beats_full_rebuild(run_once, emit, arrival_schedule):
+    def run_both():
+        miner, stream_timings, stream_results = _run_stream(arrival_schedule)
+        rebuild_timings, rebuild_results = _run_rebuild(arrival_schedule)
+        return miner, stream_timings, stream_results, rebuild_timings, rebuild_results
+
+    miner, stream_timings, stream_results, rebuild_timings, rebuild_results = run_once(run_both)
+
+    # Byte-identical pattern sets at every batch boundary.
+    for streamed, rebuilt in zip(stream_results, rebuild_results):
+        assert canon(streamed) == canon(rebuilt)
+
+    report = ExperimentReport(
+        experiment_id="stream",
+        title="Incremental append+re-mine vs full rebuild+re-mine per batch",
+        dataset_description=(
+            f"markov: {NUM_SEQUENCES} sequences arriving in batches of {BATCH}, "
+            f"window={WINDOW}, shard_size={SHARD_SIZE}, "
+            f"min_sup={MIN_SUP}, max_length={MAX_LENGTH}"
+        ),
+        parameter_name="batch",
+    )
+    for i, (st, rt) in enumerate(zip(stream_timings, rebuild_timings), start=1):
+        report.add_row(
+            {
+                "batch": i,
+                "stream_s": st,
+                "rebuild_s": rt,
+                "speedup": rt / st if st > 0 else float("inf"),
+                "patterns": len(stream_results[i - 1]),
+            }
+        )
+    stream_total = sum(stream_timings)
+    rebuild_total = sum(rebuild_timings)
+    report.extras["stream_total_s"] = round(stream_total, 4)
+    report.extras["rebuild_total_s"] = round(rebuild_total, 4)
+    report.extras["total_speedup"] = round(rebuild_total / stream_total, 2)
+    report.extras["shards_remined"] = miner.stats.shards_remined
+    report.extras["sup_comp_calls"] = miner.stats.sup_comp_calls
+    emit(report)
+
+    # The point of the subsystem: absorbing a batch incrementally must beat
+    # rebuilding and re-mining the whole window.
+    assert stream_total < rebuild_total

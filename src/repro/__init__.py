@@ -11,6 +11,8 @@ ICDE 2009), packaged as a reusable library:
   classic sequential-pattern miners (PrefixSpan, BIDE, CloSpan).
 * :mod:`repro.datagen` — synthetic generators standing in for the paper's
   datasets (IBM Quest, Gazelle, TCAS, JBoss traces).
+* :mod:`repro.stream` — incremental ingestion, streaming pattern delivery
+  and windowed re-mining over sharded streams.
 * :mod:`repro.postprocess` — density / maximality / ranking filters used in
   the case study.
 * :mod:`repro.analysis` — per-sequence support features and classification
@@ -19,7 +21,7 @@ ICDE 2009), packaged as a reusable library:
   of the evaluation section.
 """
 
-from repro.api import mine, mine_many
+from repro.api import mine, mine_many, mine_stream
 from repro.core.clogsgrow import CloGSgrow, mine_closed
 from repro.core.constraints import GapConstraint
 from repro.core.gsgrow import GSgrow, mine_all
@@ -30,6 +32,7 @@ from repro.core.support import SupportSet, repetitive_support, sup_comp
 from repro.db.database import SequenceDatabase
 from repro.db.index import InvertedEventIndex
 from repro.db.sequence import Sequence
+from repro.stream import StreamingSequenceDatabase, StreamMiner, StreamUpdate
 
 __version__ = "1.0.0"
 
@@ -45,8 +48,12 @@ __all__ = [
     "sup_comp",
     "mine",
     "mine_many",
+    "mine_stream",
     "mine_all",
     "mine_closed",
+    "StreamingSequenceDatabase",
+    "StreamMiner",
+    "StreamUpdate",
     "GSgrow",
     "CloGSgrow",
     "GapConstraint",

@@ -9,6 +9,10 @@ Most users only need four calls::
     mine_all(db, min_sup=2)             # all frequent patterns (GSgrow)
     mine_closed(db, min_sup=2)          # closed frequent patterns (CloGSgrow)
 
+For continuous workloads :func:`mine_stream` consumes an iterable of
+incoming sequences and yields pattern updates as they are mined, and
+:func:`mine_many` shards multi-database batches across a process pool.
+
 The functions re-exported here are thin wrappers over the classes in
 :mod:`repro.core`; the classes remain available for callers that need
 configuration options, mining statistics or support sets.
@@ -17,7 +21,8 @@ configuration options, mining statistics or support sets.
 from __future__ import annotations
 
 import os
-from typing import List, Optional, Sequence as PySequence, Union
+import time
+from typing import Iterable, Iterator, List, Optional, Sequence as PySequence, Tuple, Union
 
 from repro.core.clogsgrow import CloGSgrow, mine_closed
 from repro.core.gsgrow import GSgrow, mine_all
@@ -26,6 +31,7 @@ from repro.core.results import MiningResult
 from repro.core.support import repetitive_support, sup_comp
 from repro.db.database import SequenceDatabase
 from repro.db.index import InvertedEventIndex
+from repro.stream.miner import StreamMiner, StreamUpdate
 
 __all__ = [
     "mine_all",
@@ -34,6 +40,7 @@ __all__ = [
     "sup_comp",
     "mine",
     "mine_many",
+    "mine_stream",
     "GSgrow",
     "CloGSgrow",
 ]
@@ -66,24 +73,30 @@ def mine(
     return mine_all(database, min_sup, **kwargs)
 
 
-def _mine_one(task) -> MiningResult:
-    """Process-pool worker: mine one database with a shared configuration.
+def _mine_one(task) -> Tuple[MiningResult, float]:
+    """Process-pool worker: mine one database with its configuration.
 
     Module-level (not a closure) so it pickles under the ``spawn`` start
-    method; receives everything it needs in one tuple.
+    method; receives everything it needs in one tuple.  Returns the result
+    together with the in-worker mining wall-clock, so batched callers (the
+    experiment harness) can report per-database runtimes without a second
+    timed pass.
     """
     database, min_sup, closed, kwargs = task
-    return mine(database, min_sup, closed=closed, **kwargs)
+    start = time.perf_counter()
+    result = mine(database, min_sup, closed=closed, **kwargs)
+    return result, time.perf_counter() - start
 
 
 def mine_many(
     databases: PySequence[Union[SequenceDatabase, InvertedEventIndex]],
-    min_sup: int,
+    min_sup: Union[int, PySequence[int]],
     *,
     closed: bool = True,
     n_jobs: Optional[int] = None,
+    with_timings: bool = False,
     **kwargs,
-) -> List[MiningResult]:
+) -> Union[List[MiningResult], List[Tuple[MiningResult, float]]]:
     """Mine a batch of databases with one shared configuration.
 
     The batched entry point used by the experiment harness and the CLI for
@@ -95,7 +108,9 @@ def mine_many(
     databases:
         The sequence databases (or pre-built indexes) to mine.
     min_sup:
-        Repetitive-support threshold applied to every database.
+        Repetitive-support threshold — either one value applied to every
+        database, or a sequence with one threshold per database (how the
+        experiment harness shards a whole support sweep as one batch).
     closed:
         ``True`` (default) runs CloGSgrow per database, ``False`` GSgrow.
     n_jobs:
@@ -106,22 +121,110 @@ def mine_many(
         granularity is exact.  Indexes are rebuilt in the workers, so passing
         pre-built :class:`InvertedEventIndex` objects with ``n_jobs != 1``
         only ships the underlying databases.
+    with_timings:
+        ``True`` returns ``(result, seconds)`` pairs, where ``seconds`` is
+        the mining wall-clock measured around each database's run (inside
+        the worker when a pool is used).
     kwargs:
         Forwarded to the miner configuration (``max_length``,
         ``store_instances``, ``constraint``, ...).
     """
     databases = list(databases)
+    if isinstance(min_sup, int):
+        thresholds = [min_sup] * len(databases)
+    else:
+        thresholds = list(min_sup)
+        if len(thresholds) != len(databases):
+            raise ValueError(
+                f"got {len(thresholds)} thresholds for {len(databases)} databases"
+            )
     if n_jobs is None or n_jobs == 1 or len(databases) <= 1:
-        return [mine(db, min_sup, closed=closed, **kwargs) for db in databases]
-    if n_jobs <= 0:
-        n_jobs = os.cpu_count() or 1
-    # Indexes hold no state the workers cannot rebuild; send databases only,
-    # so the payload stays small and pickling never sees index internals.
-    payload = [
-        db.database if isinstance(db, InvertedEventIndex) else db for db in databases
-    ]
-    tasks = [(db, min_sup, closed, kwargs) for db in payload]
-    from concurrent.futures import ProcessPoolExecutor
+        timed = [
+            _mine_one((db, threshold, closed, kwargs))
+            for db, threshold in zip(databases, thresholds)
+        ]
+    else:
+        if n_jobs <= 0:
+            n_jobs = os.cpu_count() or 1
+        # Indexes hold no state the workers cannot rebuild; send databases
+        # only, so the payload stays small and pickling never sees index
+        # internals.
+        payload = [
+            db.database if isinstance(db, InvertedEventIndex) else db for db in databases
+        ]
+        tasks = [
+            (db, threshold, closed, kwargs) for db, threshold in zip(payload, thresholds)
+        ]
+        from concurrent.futures import ProcessPoolExecutor
 
-    with ProcessPoolExecutor(max_workers=min(n_jobs, len(tasks))) as pool:
-        return list(pool.map(_mine_one, tasks))
+        with ProcessPoolExecutor(max_workers=min(n_jobs, len(tasks))) as pool:
+            timed = list(pool.map(_mine_one, tasks))
+    if with_timings:
+        return timed
+    return [result for result, _ in timed]
+
+
+def mine_stream(
+    sequences: Iterable,
+    min_sup: int,
+    *,
+    closed: bool = True,
+    shard_size: int = 16,
+    window: Optional[int] = None,
+    max_length: Optional[int] = None,
+    refresh_every: int = 1,
+) -> Iterator[StreamUpdate]:
+    """Mine a stream of sequences, yielding pattern updates as data arrives.
+
+    Consumes ``sequences`` (any iterable — a list, a generator tailing a
+    file, a message-queue reader) through a
+    :class:`~repro.stream.miner.StreamMiner` and yields a
+    :class:`~repro.stream.miner.StreamUpdate` after every ``refresh_every``
+    appended sequences (plus a final one for any remainder).  Each update
+    carries the full pattern set over the current window — byte-identical to
+    batch-mining the equivalent static database — plus the delta against the
+    previous update.
+
+    Parameters
+    ----------
+    sequences:
+        The incoming sequences, in arrival order.
+    min_sup:
+        Repetitive-support threshold over the current window.
+    closed:
+        ``True`` (default) tracks closed patterns, ``False`` all frequent.
+    shard_size:
+        Sequences per re-mining shard (see :class:`StreamMiner`).
+    window:
+        Optional sliding-window budget: only the most recent ``window``
+        sequences are retained.
+    max_length:
+        Optional pattern-length cap (batch semantics).
+    refresh_every:
+        Number of appends batched between pattern refreshes.
+    """
+    # Validate eagerly (including StreamMiner's own parameter checks): this
+    # is a plain function returning a generator, so bad arguments raise at
+    # the call site instead of at the first ``next()`` in distant code.
+    if refresh_every < 1:
+        raise ValueError(f"refresh_every must be >= 1, got {refresh_every}")
+    miner = StreamMiner(
+        min_sup,
+        closed=closed,
+        shard_size=shard_size,
+        window=window,
+        max_length=max_length,
+    )
+
+    def updates() -> Iterator[StreamUpdate]:
+        pending = 0
+        for sequence in sequences:
+            miner.append(sequence)
+            pending += 1
+            if pending >= refresh_every:
+                pending = 0
+                yield miner.refresh()
+        if pending:
+            yield miner.refresh()
+
+    return updates()

@@ -1,11 +1,14 @@
 """Command-line interface.
 
 Installed as ``repro-mine`` (see ``pyproject.toml``) and runnable as
-``python -m repro``.  Three subcommands cover the common workflows:
+``python -m repro``.  The subcommands cover the common workflows:
 
 * ``mine`` — mine (closed) repetitive gapped subsequences from a file;
 * ``mine-many`` — mine several database files in one batch, optionally
   sharded across a process pool (``--jobs``);
+* ``mine-stream`` — tail a file of incoming sequences and print pattern
+  updates as the stream grows (``--follow`` keeps polling for appended
+  lines, like ``tail -f``);
 * ``support`` — compute the repetitive support of one pattern;
 * ``stats`` — print summary statistics of a sequence database file.
 
@@ -18,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
 from repro.api import mine_many
@@ -27,6 +31,7 @@ from repro.core.support import repetitive_support
 from repro.db import io as db_io
 from repro.db.database import SequenceDatabase
 from repro.db.stats import describe
+from repro.stream import StreamMiner
 
 
 def load_database(path: str, fmt: str) -> SequenceDatabase:
@@ -40,6 +45,14 @@ def load_database(path: str, fmt: str) -> SequenceDatabase:
     if fmt == "json":
         return db_io.load_json(path)
     raise ValueError(f"unknown format {fmt!r}")
+
+
+def _positive_int(value: str) -> int:
+    """argparse type for options that must be >= 1."""
+    parsed = int(value)
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {parsed}")
+    return parsed
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -89,6 +102,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the batch (1 = serial, 0 = one per CPU)",
     )
 
+    stream = subparsers.add_parser(
+        "mine-stream", help="tail a growing file of sequences and stream pattern updates"
+    )
+    stream.add_argument("path", help="file of incoming sequences (one per line)")
+    stream.add_argument(
+        "--format",
+        choices=("spmf", "text", "chars"),
+        default="text",
+        help="line format (default: text — whitespace-separated events)",
+    )
+    add_mining_options(stream)
+    stream.add_argument(
+        "--shard-size", type=int, default=16, help="sequences per re-mining shard"
+    )
+    stream.add_argument(
+        "--window", type=int, default=None, help="sliding window: keep only the last N sequences"
+    )
+    stream.add_argument(
+        "--refresh-every",
+        type=_positive_int,
+        default=8,
+        help="appended sequences batched between pattern refreshes (default: 8)",
+    )
+    stream.add_argument(
+        "--follow",
+        action="store_true",
+        help="keep polling the file for appended lines (like tail -f)",
+    )
+    stream.add_argument(
+        "--poll-interval",
+        type=float,
+        default=1.0,
+        help="seconds between polls with --follow (default: 1.0)",
+    )
+    stream.add_argument(
+        "--max-updates",
+        type=int,
+        default=None,
+        help="stop after this many pattern updates (useful with --follow)",
+    )
+
     support = subparsers.add_parser("support", help="repetitive support of one pattern")
     add_common(support)
     support.add_argument("--pattern", required=True, help="pattern events, space separated")
@@ -135,6 +189,68 @@ def run_mine_many(args) -> int:
     return 0
 
 
+def parse_stream_line(line: str, fmt: str) -> Optional[List[str]]:
+    """Parse one incoming line into a sequence of events (``None`` to skip).
+
+    Delegates to :func:`repro.db.io.parse_event_line` — the same tokenizer
+    the batch loaders use — so tailing a file and batch-mining it can never
+    disagree about its contents.
+    """
+    return db_io.parse_event_line(line, fmt)
+
+
+def run_mine_stream(args) -> int:
+    """Tail ``args.path``, appending each line to a StreamMiner and printing updates."""
+    miner = StreamMiner(
+        args.min_sup,
+        closed=not args.all,
+        shard_size=args.shard_size,
+        window=args.window,
+        max_length=args.max_length,
+    )
+    updates = 0
+    pending = 0
+
+    def emit_update() -> None:
+        nonlocal updates, pending
+        update = miner.refresh()
+        pending = 0
+        updates += 1
+        print(f"# update {updates}: {update.summary()}", flush=True)
+
+    with open(args.path) as stream:
+        while True:
+            position = stream.tell()
+            line = stream.readline()
+            if args.follow and line and not line.endswith("\n"):
+                # A producer is mid-write: readline() returns whatever sits at
+                # EOF without waiting for the newline, and consuming it would
+                # split one in-flight sequence into two.  Rewind and poll again.
+                stream.seek(position)
+                line = ""
+            if line:
+                events = parse_stream_line(line, args.format)
+                if events is None:
+                    continue
+                miner.append(events)
+                pending += 1
+                if pending >= args.refresh_every:
+                    emit_update()
+            else:
+                if pending:
+                    emit_update()
+                if args.max_updates is not None and updates >= args.max_updates:
+                    break
+                if not args.follow:
+                    break
+                time.sleep(args.poll_interval)
+            if args.max_updates is not None and updates >= args.max_updates:
+                break
+    algorithm = f"StreamMiner({GSgrow.algorithm_name if args.all else CloGSgrow.algorithm_name})"
+    _print_result(miner.results(), args, algorithm, path=args.path)
+    return 0
+
+
 def run_support(args) -> int:
     database = load_database(args.path, args.format)
     pattern = args.pattern.split() if " " in args.pattern else list(args.pattern)
@@ -158,6 +274,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_mine(args)
     if args.command == "mine-many":
         return run_mine_many(args)
+    if args.command == "mine-stream":
+        return run_mine_stream(args)
     if args.command == "support":
         return run_support(args)
     if args.command == "stats":

@@ -74,21 +74,16 @@ class CloGSgrow(GSgrow):
         self._append_cache: Dict[tuple, Dict[Event, SupportSet]] = {}
 
     # ------------------------------------------------------------------
-    # Public API
+    # GSgrow hooks
     # ------------------------------------------------------------------
-    def mine(self, database: Union[SequenceDatabase, InvertedEventIndex]) -> MiningResult:
-        """Mine all closed frequent patterns of ``database``."""
-        index = self._as_index(database)
+    def _prepare(self, index: InvertedEventIndex) -> None:
+        """Build the closure checker and reset the per-run caches."""
         self._checker = ClosureChecker(
             index, enable_lbcheck=self.enable_lbcheck, constraint=self.config.constraint
         )
         self._decision_cache = {}
         self._append_cache = {}
-        return super().mine(index)
 
-    # ------------------------------------------------------------------
-    # GSgrow hooks
-    # ------------------------------------------------------------------
     def _grow_child(self, index, support_set: SupportSet, event: Event) -> SupportSet:
         cached = self._append_cache.get(support_set.pattern.events, {}).get(event)
         if cached is not None:
@@ -187,10 +182,14 @@ def mine_closed(
     min_sup: int,
     *,
     enable_lbcheck: bool = True,
+    on_pattern=None,
     **kwargs,
 ) -> MiningResult:
     """Mine all closed frequent patterns (functional façade).
 
-    Equivalent to ``CloGSgrow(min_sup, enable_lbcheck=..., **kwargs).mine(database)``.
+    Equivalent to ``CloGSgrow(min_sup, enable_lbcheck=..., **kwargs).mine(database)``;
+    ``on_pattern`` streams each closed pattern out as the DFS reports it.
     """
-    return CloGSgrow(min_sup, enable_lbcheck=enable_lbcheck, **kwargs).mine(database)
+    return CloGSgrow(min_sup, enable_lbcheck=enable_lbcheck, **kwargs).mine(
+        database, on_pattern=on_pattern
+    )

@@ -11,7 +11,7 @@ property (Theorem 1) prunes the traversal as soon as the support drops below
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence as PySequence, Union
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence as PySequence, Union
 
 from repro.core.constraints import GapConstraint
 from repro.core.instance_growth import ins_grow
@@ -62,10 +62,6 @@ class MinerConfig:
             raise ValueError(f"max_patterns must be >= 0, got {self.max_patterns}")
 
 
-class _PatternBudgetExhausted(Exception):
-    """Internal signal raised when ``max_patterns`` has been reached."""
-
-
 @dataclass
 class MiningStats:
     """Counters describing one mining run (reported by the benchmarks)."""
@@ -111,23 +107,49 @@ class GSgrow:
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
-    def mine(self, database: Union[SequenceDatabase, InvertedEventIndex]) -> MiningResult:
+    def mine(
+        self,
+        database: Union[SequenceDatabase, InvertedEventIndex],
+        *,
+        on_pattern: Optional[Callable[[MinedPattern], None]] = None,
+    ) -> MiningResult:
         """Mine all frequent patterns of ``database``.
 
         Returns a :class:`~repro.core.results.MiningResult` with one entry
-        per frequent pattern (in DFS discovery order).
+        per frequent pattern (in DFS discovery order).  When ``on_pattern``
+        is given it is invoked with each :class:`MinedPattern` the moment the
+        DFS reports it — the streaming delivery seam used by
+        :mod:`repro.stream`; the final result is unchanged by the callback.
+        """
+        result = MiningResult(min_sup=self.config.min_sup, algorithm=self.algorithm_name)
+        for mined in self.mine_iter(database):
+            result.add(mined)
+            if on_pattern is not None:
+                on_pattern(mined)
+        return result
+
+    def mine_iter(
+        self, database: Union[SequenceDatabase, InvertedEventIndex]
+    ) -> Iterator[MinedPattern]:
+        """Generator form of :meth:`mine`.
+
+        Yields each :class:`MinedPattern` as the DFS discovers it, in the
+        exact order :meth:`mine` would collect them, so patterns stream out
+        of a long-running mining pass instead of materialising only at the
+        end.  Abandoning the generator aborts the traversal.
         """
         index = self._as_index(database)
         self.stats = MiningStats()
-        result = MiningResult(min_sup=self.config.min_sup, algorithm=self.algorithm_name)
+        self._prepare(index)
         events = self._candidate_events(index)
-        try:
-            for event in events:
-                support_set = initial_support_set(index, event)
-                self._mine_fre(index, support_set, events, result, prefix_sets=[support_set])
-        except _PatternBudgetExhausted:
-            pass
-        return result
+        budget = self.config.max_patterns
+        for event in events:
+            support_set = initial_support_set(index, event)
+            for mined in self._mine_fre(index, support_set, events, [support_set]):
+                if budget is not None and self.stats.patterns_reported >= budget:
+                    return
+                self.stats.patterns_reported += 1
+                yield mined
 
     # ------------------------------------------------------------------
     # DFS (subroutine mineFre)
@@ -137,16 +159,15 @@ class GSgrow:
         index: InvertedEventIndex,
         support_set: SupportSet,
         events: List[Event],
-        result: MiningResult,
         prefix_sets: List[SupportSet],
-    ) -> None:
+    ) -> Iterator[MinedPattern]:
         """Recursive DFS over the pattern space (lines 6–10 of Algorithm 3)."""
         self.stats.nodes_visited += 1
         if support_set.support < self.config.min_sup:
             self.stats.nodes_pruned_infrequent += 1
             return
         if self._accept(support_set, index, prefix_sets, events):
-            self._report(support_set, result)
+            yield self._as_mined(support_set)
         if self._should_stop_growing(support_set, index, prefix_sets, events):
             return
         if self.config.max_length is not None and len(support_set.pattern) >= self.config.max_length:
@@ -156,11 +177,14 @@ class GSgrow:
             if grown.support < self.config.min_sup:
                 self.stats.nodes_pruned_infrequent += 1
                 continue
-            self._mine_fre(index, grown, events, result, prefix_sets + [grown])
+            yield from self._mine_fre(index, grown, events, prefix_sets + [grown])
 
     # ------------------------------------------------------------------
     # Hooks overridden by CloGSgrow
     # ------------------------------------------------------------------
+    def _prepare(self, index: InvertedEventIndex) -> None:
+        """Per-run setup before the DFS starts (CloGSgrow builds its checker here)."""
+
     def _grow_child(
         self, index: InvertedEventIndex, support_set: SupportSet, event: Event
     ) -> SupportSet:
@@ -191,20 +215,15 @@ class GSgrow:
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
-    def _report(self, support_set: SupportSet, result: MiningResult) -> None:
-        if self.config.max_patterns is not None and len(result) >= self.config.max_patterns:
-            raise _PatternBudgetExhausted()
+    def _as_mined(self, support_set: SupportSet) -> MinedPattern:
         if self.config.store_instances:
-            mined = MinedPattern(
+            return MinedPattern(
                 pattern=support_set.pattern,
                 support=support_set.support,
                 support_set=support_set,
                 per_sequence=support_set.per_sequence_counts(),
             )
-        else:
-            mined = MinedPattern(pattern=support_set.pattern, support=support_set.support)
-        result.add(mined)
-        self.stats.patterns_reported += 1
+        return MinedPattern(pattern=support_set.pattern, support=support_set.support)
 
     def _candidate_events(self, index: InvertedEventIndex) -> List[Event]:
         if self.config.events is not None:
@@ -225,10 +244,12 @@ class GSgrow:
 def mine_all(
     database: Union[SequenceDatabase, InvertedEventIndex],
     min_sup: int,
+    *,
+    on_pattern: Optional[Callable[[MinedPattern], None]] = None,
     **kwargs,
 ) -> MiningResult:
     """Mine all frequent repetitive gapped subsequences (functional façade).
 
-    Equivalent to ``GSgrow(min_sup, **kwargs).mine(database)``.
+    Equivalent to ``GSgrow(min_sup, **kwargs).mine(database, on_pattern=...)``.
     """
-    return GSgrow(min_sup, **kwargs).mine(database)
+    return GSgrow(min_sup, **kwargs).mine(database, on_pattern=on_pattern)

@@ -74,13 +74,19 @@ def ins_grow(
     m = support_set.row_width
     n = len(seqs)
     out_m = m + 1
+    # Resolve the event to its interned id once — the only hash of the user
+    # object this call pays; an unknown event grows nothing.
+    eid = index.event_id(event)
+    if eid < 0 or n == 0:
+        empty = array(POSITION_TYPECODE)
+        return SupportSet.from_arrays(grown_pattern, empty, array(POSITION_TYPECODE), out_m)
     # Pre-sized outputs (a grown set is never larger than its parent); the
     # memoryviews make the per-instance landmark copy a buffer-to-buffer move.
     out_seqs = array(POSITION_TYPECODE, bytes(_ITEMSIZE * n))
     out_lands = array(POSITION_TYPECODE, bytes(_ITEMSIZE * n * out_m))
     in_mv = memoryview(lands)
     out_mv = memoryview(out_lands)
-    raw_positions = index.raw_positions
+    raw_positions = index.raw_positions_by_id
 
     count = 0
     prev_seq = -1
@@ -98,7 +104,7 @@ def ins_grow(
         if i != prev_seq:
             prev_seq = i
             last_position = 0
-            plist = raw_positions(i, event)
+            plist = raw_positions(i, eid)
             if not plist:
                 skip_seq = i
                 continue

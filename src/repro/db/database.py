@@ -47,6 +47,16 @@ class SequenceDatabase:
         """Append a sequence (coerced with :func:`repro.db.sequence.as_sequence`)."""
         self._sequences.append(as_sequence(sequence))
 
+    def extend_sequence(self, i: int, events: Iterable[Event]) -> None:
+        """Append ``events`` to the end of sequence ``S_i`` (1-based ``i``).
+
+        Sequences are immutable, so ``S_i`` is replaced by a grown copy; the
+        streaming ingestion layer pairs this with the in-place index update
+        of :meth:`repro.db.index.InvertedEventIndex.extend_sequence`.
+        """
+        old = self.sequence(i)
+        self._sequences[i - 1] = Sequence(old.events + tuple(events), sid=old.sid)
+
     # ------------------------------------------------------------------
     # Access (1-based, matching the paper) and iteration
     # ------------------------------------------------------------------

@@ -14,6 +14,23 @@ occurrence" with the integer sentinel :data:`NO_POSITION` so that callers on
 the mining hot path compare plain ints.  A linear-scan fallback
 (:func:`next_position_scan`) is kept for the index ablation benchmark and as
 an oracle in tests.
+
+Two properties matter beyond the paper:
+
+* **Event interning** — events are arbitrary hashable objects, but the
+  position lists are keyed on small interned integer ids
+  (:class:`EventInterner`).  The instance-growth sweep resolves an event to
+  its id once per call (one hash of the user object) and then performs all
+  per-sequence lookups with plain small-int keys, so hot-path cost never
+  depends on how expensive the event's ``__hash__``/``__eq__`` are.
+* **Incremental maintenance** — :meth:`append_sequence` and
+  :meth:`extend_sequence` grow the index in place as new data streams in:
+  appended events extend the flat ``array('q')`` position lists directly
+  (positions only ever increase, so sortedness is preserved) instead of
+  rebuilding the index from scratch.  The streaming subsystem
+  (:mod:`repro.stream`) is built on these two calls; rebuilding
+  ``InvertedEventIndex(database)`` from the same data is the equivalence
+  oracle used by its tests.
 """
 
 from __future__ import annotations
@@ -21,10 +38,10 @@ from __future__ import annotations
 from array import array
 from bisect import bisect_right
 from collections.abc import Sequence as SequenceABC
-from typing import Dict, List, Set, Tuple
+from typing import Dict, Iterable, List, Set, Tuple
 
 from repro.db.database import SequenceDatabase
-from repro.db.sequence import Event, Sequence
+from repro.db.sequence import Event, Sequence, as_sequence
 
 #: Integer sentinel returned when no further occurrence exists (the paper's
 #: ``∞``).  Valid positions are 1-based, so ``-1`` never collides and callers
@@ -34,7 +51,51 @@ NO_POSITION = -1
 #: Typecode of the flat position arrays (signed 64-bit).
 POSITION_TYPECODE = "q"
 
+#: Integer sentinel returned by :meth:`InvertedEventIndex.event_id` for
+#: events that never occur in the database.  Ids are non-negative, so ``-1``
+#: never collides and hot-path callers compare plain ints.
+NO_EVENT = -1
+
 _EMPTY_POSITIONS = array(POSITION_TYPECODE)
+
+
+class EventInterner:
+    """Bidirectional mapping between events and dense small-int ids.
+
+    Ids are assigned in first-seen order starting at 0 and are never
+    reused; the mapping only ever grows, which is exactly what the
+    streaming appends need.
+    """
+
+    __slots__ = ("_id_of", "_event_of")
+
+    def __init__(self):
+        self._id_of: Dict[Event, int] = {}
+        self._event_of: List[Event] = []
+
+    def __len__(self) -> int:
+        return len(self._event_of)
+
+    def intern(self, event: Event) -> int:
+        """Id of ``event``, assigning a fresh one on first sight."""
+        eid = self._id_of.get(event)
+        if eid is None:
+            eid = len(self._event_of)
+            self._id_of[event] = eid
+            self._event_of.append(event)
+        return eid
+
+    def id_of(self, event: Event) -> int:
+        """Id of ``event``, or :data:`NO_EVENT` if it was never interned."""
+        return self._id_of.get(event, NO_EVENT)
+
+    def event_of(self, eid: int) -> Event:
+        """The event carrying id ``eid``."""
+        return self._event_of[eid]
+
+    def events(self) -> List[Event]:
+        """All interned events in id order."""
+        return list(self._event_of)
 
 
 class PositionsView(SequenceABC):
@@ -90,14 +151,19 @@ class InvertedEventIndex:
 
     def __init__(self, database: SequenceDatabase):
         self._database = database
-        # _lists[i][e] -> sorted flat array of 1-based positions of e in S_i.
-        self._lists: List[Dict[Event, array]] = [
-            seq.inverted_positions() for seq in database
-        ]
+        self._interner = EventInterner()
+        # _lists[i][eid] -> sorted flat array of 1-based positions of the
+        # event with interned id `eid` in S_i.
+        self._lists: List[Dict[int, array]] = []
+        # _totals[eid] -> total occurrence count across the database (= sup
+        # of the size-1 pattern), maintained incrementally.
+        self._totals: List[int] = []
         # Memoised PositionsView wrappers, filled on first `positions()` call
-        # — the mining hot path reads `raw_positions()` and never pays for a
-        # wrapper.
-        self._views: List[Dict[Event, PositionsView]] = [{} for _ in self._lists]
+        # — the mining hot path reads `raw_positions_by_id()` and never pays
+        # for a wrapper.
+        self._views: List[Dict[Event, PositionsView]] = []
+        for seq in database:
+            self._index_sequence(seq)
 
     # ------------------------------------------------------------------
     # Queries
@@ -106,6 +172,19 @@ class InvertedEventIndex:
     def database(self) -> SequenceDatabase:
         """The indexed database."""
         return self._database
+
+    def event_id(self, event: Event) -> int:
+        """Interned id of ``event``, or :data:`NO_EVENT` if it never occurs.
+
+        This is the one hash of the user-supplied event object an
+        instance-growth call pays; all subsequent per-sequence lookups key on
+        the returned small int.
+        """
+        return self._interner.id_of(event)
+
+    def event_of(self, eid: int) -> Event:
+        """The event carrying interned id ``eid``."""
+        return self._interner.event_of(eid)
 
     def positions(self, i: int, event: Event) -> PositionsView:
         """All 1-based positions of ``event`` in sequence ``S_i`` (sorted).
@@ -117,7 +196,8 @@ class InvertedEventIndex:
         views = self._views[i - 1]
         view = views.get(event)
         if view is None:
-            positions = self._lists[i - 1].get(event)
+            eid = self._interner.id_of(event)
+            positions = self._lists[i - 1].get(eid) if eid >= 0 else None
             if positions is None:
                 return PositionsView(_EMPTY_POSITIONS)
             view = views[event] = PositionsView(positions)
@@ -126,10 +206,22 @@ class InvertedEventIndex:
     def raw_positions(self, i: int, event: Event):
         """The internal position array for ``(S_i, event)`` or ``None``.
 
-        Hot-path accessor used by the instance-growth sweep: no bounds check,
-        no wrapper.  Callers must not mutate the returned array.
+        Event-keyed convenience wrapper over :meth:`raw_positions_by_id`;
+        callers must not mutate the returned array.
         """
-        return self._lists[i - 1].get(event)
+        eid = self._interner.id_of(event)
+        if eid < 0:
+            return None
+        return self._lists[i - 1].get(eid)
+
+    def raw_positions_by_id(self, i: int, eid: int):
+        """The internal position array for ``(S_i, eid)`` or ``None``.
+
+        Hot-path accessor used by the instance-growth sweep: no bounds check,
+        no wrapper, small-int key.  Callers must not mutate the returned
+        array.
+        """
+        return self._lists[i - 1].get(eid)
 
     def next_position(self, i: int, event: Event, lowest: int) -> int:
         """The paper's ``next(S_i, e, lowest)``.
@@ -138,7 +230,7 @@ class InvertedEventIndex:
         :data:`NO_POSITION` (``-1``) if no such position exists.
         """
         self._check_sequence_index(i)
-        positions = self._lists[i - 1].get(event)
+        positions = self.raw_positions_by_id(i, self._interner.id_of(event))
         if not positions:
             return NO_POSITION
         idx = bisect_right(positions, lowest)
@@ -149,27 +241,34 @@ class InvertedEventIndex:
     def count(self, i: int, event: Event) -> int:
         """Number of occurrences of ``event`` in sequence ``S_i``."""
         self._check_sequence_index(i)
-        return len(self._lists[i - 1].get(event, ()))
+        positions = self.raw_positions_by_id(i, self._interner.id_of(event))
+        return len(positions) if positions is not None else 0
 
     def total_count(self, event: Event) -> int:
         """Total occurrences of ``event`` in the database (= sup of size-1 pattern)."""
-        return sum(len(per_event.get(event, ())) for per_event in self._lists)
+        eid = self._interner.id_of(event)
+        return self._totals[eid] if eid >= 0 else 0
 
     def events_in_sequence(self, i: int) -> Set[Event]:
         """Distinct events occurring in ``S_i``."""
         self._check_sequence_index(i)
-        return set(self._lists[i - 1].keys())
+        event_of = self._interner.event_of
+        return {event_of(eid) for eid in self._lists[i - 1]}
 
     def sequences_containing(self, event: Event) -> List[int]:
         """1-based indices of sequences containing ``event``."""
-        return [i for i, per_event in enumerate(self._lists, start=1) if event in per_event]
+        eid = self._interner.id_of(event)
+        if eid < 0:
+            return []
+        return [i for i, per_event in enumerate(self._lists, start=1) if eid in per_event]
 
     def alphabet(self) -> Set[Event]:
         """Distinct events in the database."""
-        events: Set[Event] = set()
-        for per_event in self._lists:
-            events.update(per_event.keys())
-        return events
+        return {
+            event
+            for eid, event in enumerate(self._interner.events())
+            if self._totals[eid] > 0
+        }
 
     def size_one_instances(self, event: Event) -> List[Tuple[int, int]]:
         """All ``(i, position)`` pairs where ``event`` occurs.
@@ -177,9 +276,12 @@ class InvertedEventIndex:
         This is the leftmost support set of the size-1 pattern ``event`` —
         line 1 of ``supComp`` and line 3 of ``GSgrow``.
         """
+        eid = self._interner.id_of(event)
         result: List[Tuple[int, int]] = []
+        if eid < 0:
+            return result
         for i, per_event in enumerate(self._lists, start=1):
-            for pos in per_event.get(event, ()):
+            for pos in per_event.get(eid, ()):
                 result.append((i, pos))
         return result
 
@@ -190,10 +292,13 @@ class InvertedEventIndex:
         array-backed support sets — the pairs are already in right-shift
         order (ascending sequence index, then ascending position).
         """
+        eid = self._interner.id_of(event)
         seqs = array(POSITION_TYPECODE)
         positions = array(POSITION_TYPECODE)
+        if eid < 0:
+            return seqs, positions
         for i, per_event in enumerate(self._lists, start=1):
-            plist = per_event.get(event)
+            plist = per_event.get(eid)
             if plist:
                 seqs.extend(array(POSITION_TYPECODE, [i]) * len(plist))
                 positions.extend(plist)
@@ -205,12 +310,73 @@ class InvertedEventIndex:
         Events are sorted by their repr to give the miners a deterministic
         traversal order regardless of hash seeds.
         """
-        frequent = [e for e in self.alphabet() if self.total_count(e) >= min_sup]
+        event_of = self._interner.event_of
+        frequent = [
+            event_of(eid) for eid, total in enumerate(self._totals) if total >= min_sup
+        ]
         return sorted(frequent, key=repr)
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance (the streaming ingestion seam)
+    # ------------------------------------------------------------------
+    def append_sequence(self, sequence) -> int:
+        """Append a new sequence to the database *and* the index.
+
+        The sequence is coerced with :func:`repro.db.sequence.as_sequence`,
+        added to the underlying database, and indexed; returns the new
+        sequence's 1-based index.
+        """
+        seq = as_sequence(sequence)
+        self._database.add(seq)
+        self._index_sequence(seq)
+        return len(self._lists)
+
+    def extend_sequence(self, i: int, events: Iterable[Event]) -> None:
+        """Append ``events`` to the end of sequence ``S_i``, in place.
+
+        New positions are strictly larger than every existing position of
+        ``S_i``, so each per-event ``array('q')`` position list is extended
+        in place and stays sorted — no rebuild, and existing
+        :class:`PositionsView` wrappers observe the new positions
+        automatically.
+        """
+        self._check_sequence_index(i)
+        events = tuple(events)
+        if not events:
+            return
+        offset = len(self._database.sequence(i))
+        self._database.extend_sequence(i, events)
+        per_event = self._lists[i - 1]
+        intern = self._interner.intern
+        totals = self._totals
+        for k, event in enumerate(events, start=offset + 1):
+            eid = intern(event)
+            if eid == len(totals):
+                totals.append(0)
+            plist = per_event.get(eid)
+            if plist is None:
+                per_event[eid] = array(POSITION_TYPECODE, (k,))
+            else:
+                plist.append(k)
+            totals[eid] += 1
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _index_sequence(self, seq: Sequence) -> None:
+        """Index one (new) sequence: re-key its position lists on interned ids."""
+        intern = self._interner.intern
+        totals = self._totals
+        per_event: Dict[int, array] = {}
+        for event, plist in seq.inverted_positions().items():
+            eid = intern(event)
+            if eid == len(totals):
+                totals.append(0)
+            per_event[eid] = plist
+            totals[eid] += len(plist)
+        self._lists.append(per_event)
+        self._views.append({})
+
     def _check_sequence_index(self, i: int) -> None:
         if i < 1 or i > len(self._lists):
             raise IndexError(f"sequence index {i} out of range 1..{len(self._lists)}")

@@ -38,21 +38,43 @@ def load_spmf(path: PathLike, name: Optional[str] = None) -> SequenceDatabase:
     return parse_spmf(Path(path).read_text().splitlines(), name=name or Path(path).stem)
 
 
-def parse_spmf(lines: Iterable[str], name: Optional[str] = None) -> SequenceDatabase:
-    """Parse SPMF-format lines into a database (see :func:`load_spmf`)."""
-    sequences: List[Sequence] = []
-    for line in lines:
-        line = line.strip()
-        if not line or line.startswith("#") or line.startswith("@"):
-            continue
+def parse_event_line(line: str, fmt: str = "text") -> Optional[List[str]]:
+    """Parse one line into its events, or ``None`` for blanks and comments.
+
+    The single per-line tokenizer behind both the whole-file loaders and the
+    streaming CLI's tail loop, so a file mined in batch and the same file
+    tailed line by line always parse identically.  ``fmt`` is ``"spmf"``
+    (``-1`` separates itemsets, ``-2`` ends the line, ``@`` starts a
+    directive), ``"text"`` (whitespace-separated tokens) or ``"chars"`` (one
+    single-character event per character).
+    """
+    stripped = line.strip()
+    if not stripped or stripped.startswith("#"):
+        return None
+    if fmt == "spmf":
+        if stripped.startswith("@"):
+            return None
         events: List[str] = []
-        for token in line.split():
+        for token in stripped.split():
             if token == "-2":
                 break
             if token == "-1":
                 continue
             events.append(token)
-        if events:
+        return events or None
+    if fmt == "chars":
+        return list(stripped)
+    if fmt == "text":
+        return stripped.split()
+    raise ValueError(f"unknown line format {fmt!r}")
+
+
+def parse_spmf(lines: Iterable[str], name: Optional[str] = None) -> SequenceDatabase:
+    """Parse SPMF-format lines into a database (see :func:`load_spmf`)."""
+    sequences: List[Sequence] = []
+    for line in lines:
+        events = parse_event_line(line, "spmf")
+        if events is not None:
             sequences.append(Sequence(events))
     return SequenceDatabase(sequences, name=name)
 
@@ -88,11 +110,9 @@ def parse_text(lines: Iterable[str], name: Optional[str] = None, *, chars: bool 
     """Parse plain-text lines into a database (see :func:`load_text`)."""
     sequences: List[Sequence] = []
     for line in lines:
-        line = line.strip()
-        if not line or line.startswith("#"):
-            continue
-        events = list(line) if chars else line.split()
-        sequences.append(Sequence(events))
+        events = parse_event_line(line, "chars" if chars else "text")
+        if events is not None:
+            sequences.append(Sequence(events))
     return SequenceDatabase(sequences, name=name)
 
 

@@ -49,14 +49,20 @@ def run_figure2(
     all_patterns_cutoff: Optional[int] = DEFAULT_CUTOFF,
     max_length: Optional[int] = None,
     seed: int = 0,
+    n_jobs: Optional[int] = None,
 ) -> ExperimentReport:
-    """Regenerate Figure 2 (both panels) at the given scale."""
+    """Regenerate Figure 2 (both panels) at the given scale.
+
+    ``n_jobs`` shards the sweep points across a process pool (see
+    :func:`repro.experiments.harness.run_support_sweep`).
+    """
     database = figure2_database(scale=scale, seed=seed)
     sweep = run_support_sweep(
         database,
         thresholds,
         all_patterns_cutoff=all_patterns_cutoff,
         max_length=max_length,
+        n_jobs=n_jobs,
     )
     report = sweep.report(
         experiment_id="figure2",

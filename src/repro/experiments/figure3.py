@@ -56,6 +56,7 @@ def run_figure3(
     all_patterns_cutoff: Optional[int] = DEFAULT_CUTOFF,
     max_length: Optional[int] = DEFAULT_MAX_LENGTH,
     seed: int = 0,
+    n_jobs: Optional[int] = None,
 ) -> ExperimentReport:
     """Regenerate Figure 3 (both panels) at the given size."""
     database = figure3_database(num_sequences=num_sequences, num_events=num_events, seed=seed)
@@ -64,6 +65,7 @@ def run_figure3(
         thresholds,
         all_patterns_cutoff=all_patterns_cutoff,
         max_length=max_length,
+        n_jobs=n_jobs,
     )
     report = sweep.report(
         experiment_id="figure3",

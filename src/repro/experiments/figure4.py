@@ -49,6 +49,7 @@ def run_figure4(
     all_patterns_cutoff: Optional[int] = DEFAULT_CUTOFF,
     max_length: Optional[int] = DEFAULT_MAX_LENGTH,
     seed: int = 0,
+    n_jobs: Optional[int] = None,
 ) -> ExperimentReport:
     """Regenerate Figure 4 (both panels) at the given size."""
     database = figure4_database(num_sequences=num_sequences, seed=seed)
@@ -57,6 +58,7 @@ def run_figure4(
         thresholds,
         all_patterns_cutoff=all_patterns_cutoff,
         max_length=max_length,
+        n_jobs=n_jobs,
     )
     report = sweep.report(
         experiment_id="figure4",

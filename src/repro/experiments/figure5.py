@@ -59,6 +59,7 @@ def run_figure5(
     all_patterns_cutoff_size: Optional[int] = DEFAULT_CUTOFF_SIZE,
     max_length: Optional[int] = DEFAULT_MAX_LENGTH,
     seed: int = 0,
+    n_jobs: Optional[int] = None,
 ) -> ExperimentReport:
     """Regenerate Figure 5 (both panels) at the given sizes."""
     databases = [figure5_database(size, num_events=num_events, seed=seed + i) for i, size in enumerate(sizes)]
@@ -68,6 +69,7 @@ def run_figure5(
         min_sup,
         all_patterns_cutoff_parameter=all_patterns_cutoff_size,
         max_length=max_length,
+        n_jobs=n_jobs,
     )
     report = sweep.report(
         experiment_id="figure5",

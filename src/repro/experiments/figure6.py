@@ -68,6 +68,7 @@ def run_figure6(
     all_patterns_cutoff_length: Optional[int] = DEFAULT_CUTOFF_LENGTH,
     max_length: Optional[int] = DEFAULT_MAX_LENGTH,
     seed: int = 0,
+    n_jobs: Optional[int] = None,
 ) -> ExperimentReport:
     """Regenerate Figure 6 (both panels) at the given average lengths."""
     databases = [
@@ -80,6 +81,7 @@ def run_figure6(
         min_sup,
         all_patterns_cutoff_parameter=all_patterns_cutoff_length,
         max_length=max_length,
+        n_jobs=n_jobs,
     )
     report = sweep.report(
         experiment_id="figure6",

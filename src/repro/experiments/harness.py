@@ -15,12 +15,9 @@ the cut-off, mirroring the paper's plots, while CloGSgrow runs everywhere.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence as PySequence
+from typing import Dict, List, Optional, Sequence as PySequence
 
-from repro.core.clogsgrow import CloGSgrow
-from repro.core.gsgrow import GSgrow
 from repro.db.database import SequenceDatabase
 from repro.db.stats import describe
 
@@ -115,18 +112,13 @@ class SupportSweepResult:
         return report
 
 
-def _timed(callable_: Callable[[], object]) -> tuple:
-    start = time.perf_counter()
-    result = callable_()
-    return result, time.perf_counter() - start
-
-
 def run_support_sweep(
     database: SequenceDatabase,
     thresholds: PySequence[int],
     *,
     all_patterns_cutoff: Optional[int] = None,
     max_length: Optional[int] = None,
+    n_jobs: Optional[int] = None,
 ) -> SupportSweepResult:
     """Run GSgrow and CloGSgrow over ``database`` for each support threshold.
 
@@ -144,24 +136,48 @@ def run_support_sweep(
     max_length:
         Optional pattern-length cap forwarded to both miners (keeps the
         Python benchmarks bounded; ``None`` matches the paper exactly).
+    n_jobs:
+        Both miner passes are driven through
+        :func:`repro.api.mine_many` (per-point thresholds, one batch per
+        miner); ``n_jobs != 1`` shards the sweep points across a process
+        pool.  Runtimes are measured inside the workers, so the reported
+        per-point numbers stay comparable — but concurrent workers share
+        cores, so prefer serial runs when absolute runtimes are the result.
     """
-    points: List[SweepPoint] = []
-    for min_sup in thresholds:
-        point = SweepPoint(parameter=min_sup)
-        closed_result, closed_time = _timed(
-            lambda: CloGSgrow(min_sup, max_length=max_length).mine(database)
-        )
-        point.closed_runtime = closed_time
-        point.closed_patterns = len(closed_result)
-        if all_patterns_cutoff is None or min_sup >= all_patterns_cutoff:
-            all_result, all_time = _timed(
-                lambda: GSgrow(min_sup, max_length=max_length).mine(database)
-            )
-            point.all_runtime = all_time
-            point.all_patterns = len(all_result)
-        else:
+    from repro.api import mine_many
+
+    thresholds = list(thresholds)
+    points = [SweepPoint(parameter=min_sup) for min_sup in thresholds]
+    closed_timed = mine_many(
+        [database] * len(thresholds),
+        thresholds,
+        closed=True,
+        n_jobs=n_jobs,
+        with_timings=True,
+        max_length=max_length,
+    )
+    for point, (result, seconds) in zip(points, closed_timed):
+        point.closed_runtime = seconds
+        point.closed_patterns = len(result)
+    all_indices = [
+        i
+        for i, min_sup in enumerate(thresholds)
+        if all_patterns_cutoff is None or min_sup >= all_patterns_cutoff
+    ]
+    all_timed = mine_many(
+        [database] * len(all_indices),
+        [thresholds[i] for i in all_indices],
+        closed=False,
+        n_jobs=n_jobs,
+        with_timings=True,
+        max_length=max_length,
+    )
+    for i, (result, seconds) in zip(all_indices, all_timed):
+        points[i].all_runtime = seconds
+        points[i].all_patterns = len(result)
+    for i, point in enumerate(points):
+        if i not in all_indices:
             point.notes = "GSgrow skipped (below cut-off)"
-        points.append(point)
     return SupportSweepResult(dataset_name=database.name or "dataset", points=points)
 
 
@@ -172,6 +188,7 @@ def run_database_sweep(
     *,
     all_patterns_cutoff_parameter: Optional[float] = None,
     max_length: Optional[int] = None,
+    n_jobs: Optional[int] = None,
 ) -> SupportSweepResult:
     """Run both miners over several databases at a fixed support threshold.
 
@@ -180,26 +197,40 @@ def run_database_sweep(
     ``all_patterns_cutoff_parameter`` plays the same role as the cut-off in
     :func:`run_support_sweep`: GSgrow is only run for parameter values at or
     below it (larger databases are where mining all patterns blows up).
+    Like :func:`run_support_sweep`, the sweep is driven through
+    :func:`repro.api.mine_many`; ``n_jobs`` shards the sweep points across a
+    process pool with runtimes measured inside the workers.
     """
+    from repro.api import mine_many
+
     if len(databases) != len(parameters):
         raise ValueError("databases and parameters must have the same length")
-    points: List[SweepPoint] = []
-    for database, parameter in zip(databases, parameters):
-        point = SweepPoint(parameter=parameter)
-        closed_result, closed_time = _timed(
-            lambda: CloGSgrow(min_sup, max_length=max_length).mine(database)
-        )
-        point.closed_runtime = closed_time
-        point.closed_patterns = len(closed_result)
-        if all_patterns_cutoff_parameter is None or parameter <= all_patterns_cutoff_parameter:
-            all_result, all_time = _timed(
-                lambda: GSgrow(min_sup, max_length=max_length).mine(database)
-            )
-            point.all_runtime = all_time
-            point.all_patterns = len(all_result)
-        else:
+    points = [SweepPoint(parameter=parameter) for parameter in parameters]
+    closed_timed = mine_many(
+        databases, min_sup, closed=True, n_jobs=n_jobs, with_timings=True, max_length=max_length
+    )
+    for point, (result, seconds) in zip(points, closed_timed):
+        point.closed_runtime = seconds
+        point.closed_patterns = len(result)
+    all_indices = [
+        i
+        for i, parameter in enumerate(parameters)
+        if all_patterns_cutoff_parameter is None or parameter <= all_patterns_cutoff_parameter
+    ]
+    all_timed = mine_many(
+        [databases[i] for i in all_indices],
+        min_sup,
+        closed=False,
+        n_jobs=n_jobs,
+        with_timings=True,
+        max_length=max_length,
+    )
+    for i, (result, seconds) in zip(all_indices, all_timed):
+        points[i].all_runtime = seconds
+        points[i].all_patterns = len(result)
+    for i, point in enumerate(points):
+        if i not in all_indices:
             point.notes = "GSgrow skipped (beyond cut-off)"
-        points.append(point)
     return SupportSweepResult(
         dataset_name=databases[0].name or "dataset", points=points
     )

@@ -9,11 +9,13 @@ Usage::
 
     python -m repro.experiments.run_all --output results/ --quick
     python -m repro.experiments.run_all --only table1 case_study
+    python -m repro.experiments.run_all --quick --jobs 4   # shard sweeps across 4 processes
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import time
 from typing import Callable, Dict, List, Optional
 
@@ -41,20 +43,38 @@ FULL_RUNNERS: Dict[str, Callable[[], ExperimentReport]] = {
 }
 
 #: Reduced-scale runners for a fast end-to-end smoke run (~a minute).
-QUICK_RUNNERS: Dict[str, Callable[[], ExperimentReport]] = {
+QUICK_RUNNERS: Dict[str, Callable[..., ExperimentReport]] = {
     "table1": run_table1,
-    "figure2": lambda: run_figure2(scale=0.01, thresholds=(6, 4), all_patterns_cutoff=4, max_length=3),
-    "figure3": lambda: run_figure3(num_sequences=150, num_events=50, thresholds=(10, 6),
-                                   all_patterns_cutoff=6, max_length=3),
-    "figure4": lambda: run_figure4(num_sequences=12, thresholds=(20, 12),
-                                   all_patterns_cutoff=12, max_length=3),
-    "figure5": lambda: run_figure5(sizes=(10, 20), min_sup=5, num_events=30,
-                                   all_patterns_cutoff_size=10, max_length=3),
-    "figure6": lambda: run_figure6(lengths=(10, 20), min_sup=5, num_sequences=15,
-                                   num_events=30, all_patterns_cutoff_length=10, max_length=3),
+    "figure2": lambda **kw: run_figure2(scale=0.01, thresholds=(6, 4), all_patterns_cutoff=4,
+                                        max_length=3, **kw),
+    "figure3": lambda **kw: run_figure3(num_sequences=150, num_events=50, thresholds=(10, 6),
+                                        all_patterns_cutoff=6, max_length=3, **kw),
+    "figure4": lambda **kw: run_figure4(num_sequences=12, thresholds=(20, 12),
+                                        all_patterns_cutoff=12, max_length=3, **kw),
+    "figure5": lambda **kw: run_figure5(sizes=(10, 20), min_sup=5, num_events=30,
+                                        all_patterns_cutoff_size=10, max_length=3, **kw),
+    "figure6": lambda **kw: run_figure6(lengths=(10, 20), min_sup=5, num_sequences=15,
+                                        num_events=30, all_patterns_cutoff_length=10,
+                                        max_length=3, **kw),
     "case_study": lambda: run_case_study(min_sup=8, num_sequences=10, max_length=6),
     "comparison": lambda: run_miner_comparison(scale=0.01, min_sup=4, max_length=3),
 }
+
+
+def _accepts_n_jobs(runner: Callable[..., ExperimentReport]) -> bool:
+    """Whether a runner can shard its mining across processes.
+
+    Quick runners are ``**kw`` lambdas, which report VAR_KEYWORD and simply
+    swallow ``n_jobs`` when the underlying experiment has no use for it.
+    """
+    try:
+        parameters = inspect.signature(runner).parameters
+    except (TypeError, ValueError):
+        return False
+    return any(
+        p.name == "n_jobs" or p.kind is inspect.Parameter.VAR_KEYWORD
+        for p in parameters.values()
+    )
 
 
 def run_experiments(
@@ -62,6 +82,7 @@ def run_experiments(
     *,
     quick: bool = False,
     verbose: bool = True,
+    n_jobs: Optional[int] = None,
 ) -> ReportCollection:
     """Run the selected experiments and return their reports.
 
@@ -73,6 +94,12 @@ def run_experiments(
         Use the reduced-scale runners (for smoke tests and CI).
     verbose:
         Print each report as it completes.
+    n_jobs:
+        Worker processes for experiments that mine multiple sweep points
+        (figures 2–6): their harness sweeps are driven through
+        :func:`repro.api.mine_many`, which shards the points across a
+        process pool.  Experiments without a multi-database workload run
+        serially regardless.
     """
     runners = QUICK_RUNNERS if quick else FULL_RUNNERS
     selected = names or list(runners)
@@ -81,10 +108,16 @@ def run_experiments(
         raise ValueError(f"unknown experiment ids: {unknown}; known: {sorted(runners)}")
     collection = ReportCollection()
     for name in selected:
+        runner = runners[name]
+        kwargs = {}
+        if n_jobs is not None and n_jobs != 1 and _accepts_n_jobs(runner):
+            kwargs["n_jobs"] = n_jobs
         start = time.perf_counter()
-        report = runners[name]()
+        report = runner(**kwargs)
         elapsed = time.perf_counter() - start
         report.extras.setdefault("wall_clock_s", round(elapsed, 3))
+        if kwargs:
+            report.extras.setdefault("n_jobs", n_jobs)
         collection.add(report)
         if verbose:
             print(report.to_text())
@@ -99,8 +132,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--only", nargs="*", default=None, help="experiment ids to run (default: all)")
     parser.add_argument("--quick", action="store_true", help="use reduced scales (smoke run)")
     parser.add_argument("--quiet", action="store_true", help="do not print reports while running")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for multi-point experiments (1 = serial, 0 = one per CPU)",
+    )
     args = parser.parse_args(argv)
-    collection = run_experiments(args.only, quick=args.quick, verbose=not args.quiet)
+    collection = run_experiments(
+        args.only, quick=args.quick, verbose=not args.quiet, n_jobs=args.jobs
+    )
     written = collection.save(args.output)
     print(f"wrote {len(written)} files to {args.output}/")
     return 0

@@ -1,0 +1,32 @@
+"""repro.stream — incremental ingestion and continuous pattern delivery.
+
+The batch pipeline (:mod:`repro.core`) answers one-shot questions over a
+static :class:`~repro.db.database.SequenceDatabase`.  This package serves the
+streaming workload on top of the same engine:
+
+* :class:`StreamingSequenceDatabase` — append-only ingestion that maintains
+  the inverted event index incrementally (flat position arrays extended in
+  place, never rebuilt).
+* :class:`StreamMiner` — windowed re-mining scheduler: shards the window into
+  groups of consecutive sequences, re-mines only shards dirtied by appends,
+  merges repetitive support across shards (supports are additive over
+  sequences), and evicts expired sequences from a sliding window.  Its
+  output is byte-identical to batch-mining the equivalent static database.
+* :class:`StreamUpdate` — one delivered refresh: the full current pattern
+  set plus the delta (new / changed / expired patterns) against the
+  previous refresh.
+
+The pattern-delivery seam on the miners themselves (``on_pattern`` callbacks
+and ``mine_iter`` generators) lives in :mod:`repro.core.gsgrow`; the
+high-level entry point is :func:`repro.api.mine_stream`.
+"""
+
+from repro.stream.database import StreamingSequenceDatabase
+from repro.stream.miner import StreamMiner, StreamStats, StreamUpdate
+
+__all__ = [
+    "StreamingSequenceDatabase",
+    "StreamMiner",
+    "StreamStats",
+    "StreamUpdate",
+]

@@ -1,0 +1,433 @@
+"""Windowed re-mining over sharded streams (the ``StreamMiner``).
+
+The batch miners answer "what are the closed frequent patterns of this
+database"; a production stream needs the same answer *continuously* as
+sequences arrive and expire.  Re-running ``CloGSgrow`` over the full window
+after every append repeats almost all of its work, so the :class:`StreamMiner`
+splits the window into **shards** of consecutive sequences and exploits two
+properties of repetitive support:
+
+* **Additivity** — instances never span sequences, so the repetitive support
+  of a pattern over the window is the *sum* of its supports over the shards
+  (Definition 2.5 maximises per sequence independently).  Global supports are
+  therefore obtained by merging per-shard supports, and only shards whose
+  contents changed ("dirty" shards) need their contribution recomputed.
+* **Partition candidacy** (the SON/Partition argument) — if
+  ``sup(P) >= min_sup`` over ``k`` shards then some shard holds at least
+  ``ceil(min_sup / k)`` of that support.  Mining every shard for *all*
+  frequent patterns at that local threshold yields a candidate set that
+  provably contains every globally frequent pattern.
+
+A refresh therefore (1) re-mines dirty shards only, (2) merges cached
+per-shard supports of the candidate union (filling gaps with exact
+``supComp`` calls that are cached while a shard stays clean), and (3) applies
+the paper's closedness criterion — a pattern is non-closed iff some
+one-event extension has equal support (Theorem 4), and every such extension
+is itself globally frequent, hence present in the merged table.  Under a
+``max_length`` cap, shards are mined one event deeper than the cap so that
+cap-length patterns still see their absorbing extensions, matching
+``CloGSgrow``'s "closed in the full universe, truncated at the cap"
+semantics.  The result is **byte-identical** (as a pattern → support set) to
+running ``mine_closed`` over the equivalent static database — the invariant
+the randomized regression tests enforce.
+
+Sliding-window eviction drops the oldest sequences once a ``window`` budget
+is exceeded; only the (small) shard straddling the window edge is rebuilt,
+everything else keeps its cached tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.gsgrow import GSgrow
+from repro.core.pattern import Pattern
+from repro.core.results import MinedPattern, MiningResult
+from repro.core.support import sup_comp
+from repro.db.database import SequenceDatabase
+from repro.db.sequence import Event
+from repro.stream.database import StreamingSequenceDatabase
+
+#: Pattern key used in the merged tables: the tuple of events.
+PatternKey = Tuple[Event, ...]
+
+
+class _Shard:
+    """One group of consecutive window sequences with its mining caches."""
+
+    __slots__ = ("stream", "handles", "dirty", "table", "supports", "mined_threshold")
+
+    def __init__(self, sequences: Iterable = (), handles: Iterable[int] = ()):
+        self.stream = StreamingSequenceDatabase(sequences)
+        self.handles: List[int] = list(handles)
+        self.dirty = True
+        #: Locally frequent patterns (key -> local support) at `mined_threshold`.
+        self.table: Dict[PatternKey, int] = {}
+        #: Exact local supports of any pattern ever asked about while the
+        #: shard has been clean (superset of `table`).
+        self.supports: Dict[PatternKey, int] = {}
+        self.mined_threshold: Optional[int] = None
+
+    def __len__(self) -> int:
+        return len(self.stream)
+
+    def local_support(self, key: PatternKey, stats: "StreamStats") -> int:
+        """Exact support of ``key`` in this shard, cached while clean."""
+        cached = self.supports.get(key)
+        if cached is None:
+            stats.sup_comp_calls += 1
+            cached = sup_comp(self.stream.index, Pattern(key)).support
+            self.supports[key] = cached
+        return cached
+
+    def remine(self, threshold: int, max_length: Optional[int], stats: "StreamStats") -> None:
+        """Recompute the locally frequent table at ``threshold``."""
+        result = GSgrow(threshold, max_length=max_length).mine(self.stream.index)
+        self.table = {mp.pattern.events: mp.support for mp in result}
+        self.supports = dict(self.table)
+        self.mined_threshold = threshold
+        self.dirty = False
+        stats.shards_remined += 1
+
+    def drop_oldest(self, count: int) -> None:
+        """Evict the ``count`` oldest sequences (rebuilds this shard's stream)."""
+        remaining = self.stream.database.sequences[count:]
+        del self.handles[:count]
+        self.stream = StreamingSequenceDatabase(remaining)
+        self.dirty = True
+        self.table = {}
+        self.supports = {}
+        self.mined_threshold = None
+
+
+@dataclass
+class StreamStats:
+    """Cumulative counters over the lifetime of one :class:`StreamMiner`."""
+
+    appends: int = 0
+    extends: int = 0
+    evictions: int = 0
+    refreshes: int = 0
+    shards_remined: int = 0
+    sup_comp_calls: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "appends": self.appends,
+            "extends": self.extends,
+            "evictions": self.evictions,
+            "refreshes": self.refreshes,
+            "shards_remined": self.shards_remined,
+            "sup_comp_calls": self.sup_comp_calls,
+        }
+
+
+@dataclass
+class StreamUpdate:
+    """One delivered refresh: the current pattern set plus what changed.
+
+    ``result`` is the full pattern set over the current window (equivalent to
+    a batch mine); the delta fields describe it relative to the previous
+    refresh, which is what incremental consumers (dashboards, alerting)
+    actually want.
+    """
+
+    appended: int
+    evicted: int
+    total_sequences: int
+    shards: int
+    shards_remined: int
+    result: MiningResult
+    new_patterns: List[MinedPattern] = field(default_factory=list)
+    changed_patterns: List[MinedPattern] = field(default_factory=list)
+    expired_patterns: List[Pattern] = field(default_factory=list)
+
+    def summary(self) -> str:
+        """Compact single-line rendering used by the CLI."""
+        return (
+            f"+{self.appended} seq / -{self.evicted} evicted, "
+            f"window={self.total_sequences}, {len(self.result)} patterns "
+            f"(+{len(self.new_patterns)} new, ~{len(self.changed_patterns)} changed, "
+            f"-{len(self.expired_patterns)} expired), "
+            f"{self.shards_remined}/{self.shards} shards re-mined"
+        )
+
+
+class StreamMiner:
+    """Continuous (closed) pattern mining over an appended, windowed stream.
+
+    Parameters
+    ----------
+    min_sup:
+        Global repetitive-support threshold over the current window.
+    closed:
+        ``True`` (default) keeps the answer equal to ``mine_closed`` over the
+        window; ``False`` tracks all frequent patterns (``mine_all``).
+    shard_size:
+        Number of consecutive sequences per shard.  Smaller shards make
+        appends cheaper to absorb but raise the candidate-merging overhead.
+    window:
+        Optional sliding-window budget: once more than ``window`` sequences
+        are retained, the oldest are evicted (count-based window).
+    max_length:
+        Optional pattern-length cap, matching the batch miners' semantics
+        (closed in the full universe, truncated at the cap).
+    """
+
+    def __init__(
+        self,
+        min_sup: int,
+        *,
+        closed: bool = True,
+        shard_size: int = 16,
+        window: Optional[int] = None,
+        max_length: Optional[int] = None,
+    ):
+        if min_sup < 1:
+            raise ValueError(f"min_sup must be >= 1, got {min_sup}")
+        if shard_size < 1:
+            raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+        if window is not None and window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if max_length is not None and max_length < 1:
+            raise ValueError(f"max_length must be >= 1, got {max_length}")
+        self.min_sup = min_sup
+        self.closed = closed
+        self.shard_size = shard_size
+        self.window = window
+        self.max_length = max_length
+        self.stats = StreamStats()
+        self._shards: List[_Shard] = []
+        self._shard_of: Dict[int, _Shard] = {}
+        self._next_handle = 0
+        self._appended_since_refresh = 0
+        self._evicted_since_refresh = 0
+        self._last_supports: Dict[PatternKey, int] = {}
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def append(self, sequence) -> int:
+        """Ingest one new sequence; returns a stable handle for later appends.
+
+        The sequence lands in the open (newest) shard, whose index is
+        extended in place; only that shard becomes dirty.
+        """
+        shard = self._open_shard()
+        shard.stream.append(sequence)
+        shard.dirty = True
+        handle = self._next_handle
+        self._next_handle += 1
+        shard.handles.append(handle)
+        self._shard_of[handle] = shard
+        self.stats.appends += 1
+        self._appended_since_refresh += 1
+        self._evict_over_window()
+        return handle
+
+    def extend(self, handle: int, events: Iterable[Event]) -> None:
+        """Append ``events`` to the end of a previously ingested sequence."""
+        shard = self._shard_of.get(handle)
+        if shard is None:
+            raise KeyError(f"unknown or evicted sequence handle {handle}")
+        local = shard.handles.index(handle) + 1
+        shard.stream.extend(local, events)
+        shard.dirty = True
+        self.stats.extends += 1
+
+    def append_many(self, sequences: Iterable) -> List[int]:
+        """Ingest several sequences; returns their handles."""
+        return [self.append(seq) for seq in sequences]
+
+    # ------------------------------------------------------------------
+    # Delivery
+    # ------------------------------------------------------------------
+    def refresh(self) -> StreamUpdate:
+        """Bring the pattern set up to date and describe what changed.
+
+        Only dirty shards are re-mined; clean shards answer from their cached
+        tables.  The returned update carries the full current result plus the
+        delta against the previous refresh.
+        """
+        self.stats.refreshes += 1
+        remined_before = self.stats.shards_remined
+        merged = self._merged_supports()
+        if self.closed:
+            kept = self._closed_filter(merged)
+        else:
+            kept = merged
+        if self.max_length is not None:
+            kept = {k: s for k, s in kept.items() if len(k) <= self.max_length}
+        result = MiningResult(
+            (
+                MinedPattern(pattern=Pattern(key), support=support)
+                for key, support in sorted(
+                    kept.items(), key=lambda kv: (len(kv[0]), [repr(e) for e in kv[0]])
+                )
+            ),
+            min_sup=self.min_sup,
+            algorithm=f"StreamMiner({'CloGSgrow' if self.closed else 'GSgrow'})",
+        )
+        previous = self._last_supports
+        new = [mp for mp in result if mp.pattern.events not in previous]
+        changed = [
+            mp
+            for mp in result
+            if mp.pattern.events in previous and previous[mp.pattern.events] != mp.support
+        ]
+        expired = [Pattern(key) for key in previous if key not in kept]
+        update = StreamUpdate(
+            appended=self._appended_since_refresh,
+            evicted=self._evicted_since_refresh,
+            total_sequences=len(self),
+            shards=len(self._shards),
+            shards_remined=self.stats.shards_remined - remined_before,
+            result=result,
+            new_patterns=new,
+            changed_patterns=changed,
+            expired_patterns=expired,
+        )
+        self._last_supports = dict(kept)
+        self._appended_since_refresh = 0
+        self._evicted_since_refresh = 0
+        return update
+
+    def results(self) -> MiningResult:
+        """The current pattern set (refreshing first if anything is dirty)."""
+        return self.refresh().result
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    @property
+    def shard_count(self) -> int:
+        """Number of shards currently in the window."""
+        return len(self._shards)
+
+    def snapshot_database(self, name: Optional[str] = None) -> SequenceDatabase:
+        """The equivalent static database (retained sequences, arrival order).
+
+        Batch-mining this snapshot with the same configuration must produce
+        exactly the patterns of :meth:`refresh` — the streaming-equivalence
+        oracle used by tests and the benchmark.
+        """
+        sequences = []
+        for shard in self._shards:
+            sequences.extend(shard.stream.database.sequences)
+        return SequenceDatabase(sequences, name=name)
+
+    # ------------------------------------------------------------------
+    # Sharding / eviction internals
+    # ------------------------------------------------------------------
+    def _open_shard(self) -> _Shard:
+        if not self._shards or len(self._shards[-1]) >= self.shard_size:
+            self._shards.append(_Shard())
+        return self._shards[-1]
+
+    def _evict_over_window(self) -> None:
+        if self.window is None:
+            return
+        overflow = len(self) - self.window
+        while overflow > 0 and self._shards:
+            oldest = self._shards[0]
+            drop = min(overflow, len(oldest))
+            for handle in oldest.handles[:drop]:
+                del self._shard_of[handle]
+            if drop == len(oldest):
+                self._shards.pop(0)
+            else:
+                oldest.drop_oldest(drop)
+            overflow -= drop
+            self.stats.evictions += drop
+            self._evicted_since_refresh += drop
+
+    # ------------------------------------------------------------------
+    # Merging internals
+    # ------------------------------------------------------------------
+    def _required_threshold(self) -> int:
+        """SON candidate-completeness bound for the current shard count.
+
+        If ``sup(P) >= min_sup`` summed over ``k`` shards, then some shard
+        holds at least ``ceil(min_sup / k)`` of it — so mining every shard at
+        that local threshold cannot miss a globally frequent pattern.
+        """
+        k = max(1, len(self._shards))
+        return max(1, -(-self.min_sup // k))
+
+    def _mining_threshold(self) -> int:
+        """Local threshold shards are actually mined at (``<=`` the bound).
+
+        With a window budget the shard count is bounded, so shards are mined
+        once at the window's worst-case threshold and never need re-mining
+        just because a later append adds a shard.  Without a window the
+        threshold tracks the current shard count and a shard is re-mined on
+        the (increasingly rare) occasions the bound drops below the
+        threshold it was mined at.
+        """
+        if self.window is not None:
+            k_cap = max(len(self._shards), -(-self.window // self.shard_size) + 1)
+            return max(1, -(-self.min_sup // k_cap))
+        return self._required_threshold()
+
+    def _shard_mining_cap(self) -> Optional[int]:
+        # Closed filtering needs the absorbing one-event extensions of
+        # cap-length patterns, so shards are mined one event deeper.
+        if self.max_length is None:
+            return None
+        return self.max_length + 1 if self.closed else self.max_length
+
+    def _merged_supports(self) -> Dict[PatternKey, int]:
+        """Exact global supports of every globally frequent pattern."""
+        required = self._required_threshold()
+        mine_at = self._mining_threshold()
+        cap = self._shard_mining_cap()
+        for shard in self._shards:
+            if shard.dirty or shard.mined_threshold is None or shard.mined_threshold > required:
+                shard.remine(mine_at, cap, self.stats)
+        candidates: set = set()
+        for shard in self._shards:
+            candidates.update(shard.table)
+        merged: Dict[PatternKey, int] = {}
+        for key in candidates:
+            total = 0
+            for shard in self._shards:
+                total += shard.local_support(key, self.stats)
+            if total >= self.min_sup:
+                merged[key] = total
+        return merged
+
+    def _closed_filter(self, frequent: Dict[PatternKey, int]) -> Dict[PatternKey, int]:
+        """Keep the closed patterns of an exhaustive frequent table.
+
+        Theorem 4: ``P`` is non-closed iff some one-event extension has the
+        same support — and an equal-support extension is itself frequent,
+        hence present in ``frequent``.  Candidate witnesses are grouped by
+        (length, support) so each pattern only runs subsequence checks
+        against the few patterns that could absorb it.
+        """
+        by_len_sup: Dict[Tuple[int, int], List[PatternKey]] = {}
+        for key, support in frequent.items():
+            by_len_sup.setdefault((len(key), support), []).append(key)
+        closed: Dict[PatternKey, int] = {}
+        for key, support in frequent.items():
+            witnesses = by_len_sup.get((len(key) + 1, support), ())
+            if not any(_is_subsequence(key, bigger) for bigger in witnesses):
+                closed[key] = support
+        return closed
+
+
+def _is_subsequence(small: PatternKey, big: PatternKey) -> bool:
+    """True if ``small`` is a (gapped) subsequence of ``big``."""
+    pos = 0
+    limit = len(big)
+    for event in small:
+        while pos < limit and big[pos] != event:
+            pos += 1
+        if pos == limit:
+            return False
+        pos += 1
+    return True

@@ -1,0 +1,71 @@
+"""The emit-as-you-go seam of the miners: ``mine_iter`` and ``on_pattern``.
+
+Patterns must stream out of the DFS in exactly the order (and with exactly
+the content) the batch ``mine()`` call collects them — the callback and the
+generator are delivery mechanisms, never a different algorithm.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+
+import pytest
+
+from repro.core.clogsgrow import CloGSgrow
+from repro.core.gsgrow import GSgrow
+from repro.datagen.markov import MarkovSequenceGenerator
+
+
+def _markov_db(seed=0):
+    return MarkovSequenceGenerator(
+        num_sequences=8, num_events=5, average_length=14.0, concentration=4.0, seed=seed
+    ).generate()
+
+
+def entries(result_or_patterns):
+    return [(mp.pattern.events, mp.support) for mp in result_or_patterns]
+
+
+@pytest.mark.parametrize("miner_cls", [GSgrow, CloGSgrow])
+class TestMineIter:
+    def test_yields_exactly_the_batch_result_in_order(self, miner_cls):
+        db = _markov_db()
+        streamed = list(miner_cls(4).mine_iter(db))
+        batch = miner_cls(4).mine(db)
+        assert entries(streamed) == entries(batch)
+
+    def test_on_pattern_callback_sees_every_pattern_in_order(self, miner_cls):
+        db = _markov_db(1)
+        delivered = []
+        result = miner_cls(4).mine(db, on_pattern=delivered.append)
+        assert entries(delivered) == entries(result)
+
+    def test_abandoning_the_generator_is_safe(self, miner_cls):
+        db = _markov_db(2)
+        miner = miner_cls(3)
+        first_three = list(islice(miner.mine_iter(db), 3))
+        full = miner_cls(3).mine(db)
+        assert entries(first_three) == entries(full)[:3]
+
+    def test_max_patterns_budget_matches_batch_semantics(self, miner_cls):
+        db = _markov_db(3)
+        capped = miner_cls(3, max_patterns=5).mine(db)
+        streamed = list(miner_cls(3, max_patterns=5).mine_iter(db))
+        full = miner_cls(3).mine(db)
+        assert entries(capped) == entries(streamed) == entries(full)[:5]
+
+    def test_stats_populated_by_generator_consumption(self, miner_cls):
+        db = _markov_db(4)
+        miner = miner_cls(4)
+        streamed = list(miner.mine_iter(db))
+        assert miner.stats.patterns_reported == len(streamed)
+        assert miner.stats.nodes_visited > 0
+
+
+class TestStoreInstancesThroughSeam:
+    def test_streamed_patterns_carry_support_sets_when_requested(self):
+        db = _markov_db(5)
+        for mined in GSgrow(4, store_instances=True).mine_iter(db):
+            assert mined.support_set is not None
+            assert mined.support == mined.support_set.support
+            assert sum(mined.per_sequence.values()) == mined.support

@@ -1,0 +1,151 @@
+"""Incremental-index equivalence: in-place appends vs a rebuilt oracle.
+
+The streaming ingestion layer extends the inverted index's flat position
+arrays in place instead of rebuilding them.  These tests drive randomized
+Markov-datagen append schedules (new sequences interleaved with event
+extensions of existing ones) through :class:`StreamingSequenceDatabase` and
+check, at every checkpoint, that the incrementally maintained index is
+indistinguishable from ``InvertedEventIndex`` rebuilt from scratch — and that
+a full-batch ``mine_closed`` over either index produces byte-identical
+pattern sets.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.clogsgrow import mine_closed
+from repro.datagen.markov import MarkovSequenceGenerator
+from repro.db.index import NO_EVENT, NO_POSITION, InvertedEventIndex
+from repro.stream import StreamingSequenceDatabase
+
+SEEDS = [0, 1, 2, 3]
+
+
+def _markov_sequences(seed, n=18):
+    db = MarkovSequenceGenerator(
+        num_sequences=n, num_events=6, average_length=12.0, concentration=4.0, seed=seed
+    ).generate()
+    return db.sequences
+
+
+def assert_indexes_equal(incremental: InvertedEventIndex, oracle: InvertedEventIndex):
+    """Full public-API comparison of two indexes over equal databases."""
+    assert len(incremental.database) == len(oracle.database)
+    assert incremental.alphabet() == oracle.alphabet()
+    events = sorted(oracle.alphabet() | incremental.alphabet(), key=repr)
+    for event in events:
+        assert incremental.total_count(event) == oracle.total_count(event)
+        assert incremental.sequences_containing(event) == oracle.sequences_containing(event)
+        assert incremental.size_one_instances(event) == oracle.size_one_instances(event)
+        seqs_a, pos_a = incremental.size_one_arrays(event)
+        seqs_b, pos_b = oracle.size_one_arrays(event)
+        assert list(seqs_a) == list(seqs_b) and list(pos_a) == list(pos_b)
+    for i in range(1, len(oracle.database) + 1):
+        assert incremental.events_in_sequence(i) == oracle.events_in_sequence(i)
+        for event in oracle.events_in_sequence(i):
+            assert list(incremental.positions(i, event)) == list(oracle.positions(i, event))
+    for min_sup in (1, 2, 4):
+        assert incremental.frequent_events(min_sup) == oracle.frequent_events(min_sup)
+
+
+def canon(result):
+    """Canonical (pattern, support) serialization for byte-identity checks."""
+    return b"\n".join(
+        f"{'|'.join(map(repr, mp.pattern.events))}\t{mp.support}".encode()
+        for mp in sorted(result, key=lambda mp: (len(mp.pattern), repr(mp.pattern.events)))
+    )
+
+
+class TestRandomizedAppendSchedules:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_incremental_index_matches_rebuilt_oracle(self, seed):
+        rng = random.Random(seed)
+        incoming = _markov_sequences(seed)
+        stream = StreamingSequenceDatabase(name="stream")
+        for step, seq in enumerate(incoming):
+            stream.append(seq)
+            # Randomly extend a few already-ingested sequences in place.
+            for _ in range(rng.randrange(3)):
+                target = rng.randrange(1, len(stream) + 1)
+                extra = [f"e{rng.randrange(6)}" for _ in range(rng.randrange(1, 4))]
+                stream.extend(target, extra)
+            if step % 4 == 0 or step == len(incoming) - 1:
+                assert_indexes_equal(stream.index, stream.rebuilt_index())
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_mining_incremental_index_is_byte_identical(self, seed):
+        rng = random.Random(seed + 100)
+        stream = StreamingSequenceDatabase()
+        for seq in _markov_sequences(seed, n=10):
+            stream.append(seq)
+            if rng.random() < 0.5:
+                stream.extend(rng.randrange(1, len(stream) + 1), ["e0", "e1"])
+        incremental = mine_closed(stream.index, 4)
+        oracle = mine_closed(stream.rebuilt_index(), 4)
+        assert canon(incremental) == canon(oracle)
+
+    def test_next_position_after_extension(self):
+        stream = StreamingSequenceDatabase(["ABA"])
+        assert stream.index.next_position(1, "A", 1) == 3
+        assert stream.index.next_position(1, "B", 2) == NO_POSITION
+        stream.extend(1, "BA")
+        assert stream.index.next_position(1, "B", 2) == 4
+        assert stream.index.next_position(1, "A", 3) == 5
+
+
+class TestInPlaceSemantics:
+    def test_positions_view_sees_in_place_growth(self):
+        stream = StreamingSequenceDatabase(["AB"])
+        view = stream.index.positions(1, "A")
+        assert list(view) == [1]
+        stream.extend(1, "A")
+        # Same view object observes the in-place array extension.
+        assert list(view) == [1, 3]
+
+    def test_extension_does_not_rebuild_position_arrays(self):
+        stream = StreamingSequenceDatabase(["ABAB"])
+        before = stream.index.raw_positions(1, "A")
+        stream.extend(1, "CA")
+        after = stream.index.raw_positions(1, "A")
+        assert after is before  # extended in place, not replaced
+        assert list(after) == [1, 3, 6]
+
+    def test_counters(self):
+        stream = StreamingSequenceDatabase(["AB", "C"])
+        stream.extend(2, "DD")
+        assert stream.appended_sequences == 2
+        assert stream.appended_events == 5
+        assert len(stream) == 2
+
+
+class TestEventInterning:
+    def test_ids_are_stable_and_dense(self):
+        stream = StreamingSequenceDatabase(["AB"])
+        index = stream.index
+        a, b = index.event_id("A"), index.event_id("B")
+        assert {a, b} == {0, 1}
+        stream.append("BC")
+        assert index.event_id("A") == a and index.event_id("B") == b
+        assert index.event_id("C") == 2
+        assert index.event_of(a) == "A"
+        assert index.event_id("missing") == NO_EVENT
+
+    def test_raw_positions_by_id_matches_event_keyed_lookup(self):
+        stream = StreamingSequenceDatabase([["x", "y", "x"], ["y", "y"]])
+        index = stream.index
+        for i in (1, 2):
+            for event in ("x", "y"):
+                by_event = index.raw_positions(i, event)
+                by_id = index.raw_positions_by_id(i, index.event_id(event))
+                assert by_id is by_event
+
+    def test_arbitrary_hashable_events(self):
+        events1 = [("url", 1), ("url", 2), ("url", 1)]
+        stream = StreamingSequenceDatabase([events1])
+        stream.append([("url", 2), ("url", 3)])
+        oracle = stream.rebuilt_index()
+        assert_indexes_equal(stream.index, oracle)
+        assert stream.index.total_count(("url", 1)) == 2

@@ -1,0 +1,150 @@
+"""Streaming-equivalence regression tests for the windowed StreamMiner.
+
+The contract under test is the acceptance criterion of the streaming
+subsystem: after *any* append schedule (with or without sliding-window
+eviction, pattern-length caps, and event extensions of existing sequences),
+the StreamMiner's pattern set is **byte-identical** to a full batch
+``mine_closed`` (or ``mine_all``) over the equivalent static database.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.clogsgrow import mine_closed
+from repro.core.gsgrow import mine_all
+from repro.datagen.markov import MarkovSequenceGenerator
+from repro.stream import StreamMiner
+
+SEEDS = [0, 1, 2]
+
+
+def _markov_sequences(seed, n=24):
+    db = MarkovSequenceGenerator(
+        num_sequences=n, num_events=6, average_length=12.0, concentration=4.0, seed=seed
+    ).generate()
+    return db.sequences
+
+
+def canon(result):
+    """Canonical (pattern, support) serialization for byte-identity checks."""
+    return b"\n".join(
+        f"{'|'.join(map(repr, mp.pattern.events))}\t{mp.support}".encode()
+        for mp in sorted(result, key=lambda mp: (len(mp.pattern), repr(mp.pattern.events)))
+    )
+
+
+def batch_oracle(miner: StreamMiner):
+    """Full batch mine over the equivalent static database."""
+    snapshot = miner.snapshot_database()
+    if miner.closed:
+        return mine_closed(snapshot, miner.min_sup, max_length=miner.max_length)
+    return mine_all(snapshot, miner.min_sup, max_length=miner.max_length)
+
+
+class TestStreamingEquivalence:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("closed", [True, False])
+    def test_interleaved_refreshes_match_batch_oracle(self, seed, closed):
+        rng = random.Random(seed)
+        miner = StreamMiner(6, closed=closed, shard_size=5, max_length=4)
+        for seq in _markov_sequences(seed):
+            miner.append(seq)
+            if rng.random() < 0.3:
+                update = miner.refresh()
+                assert canon(update.result) == canon(batch_oracle(miner))
+        assert canon(miner.refresh().result) == canon(batch_oracle(miner))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_sliding_window_eviction_matches_batch_oracle(self, seed):
+        miner = StreamMiner(5, shard_size=4, window=10, max_length=4)
+        for step, seq in enumerate(_markov_sequences(seed)):
+            miner.append(seq)
+            assert len(miner) <= 10
+            if step % 5 == 0:
+                assert canon(miner.refresh().result) == canon(batch_oracle(miner))
+        assert canon(miner.refresh().result) == canon(batch_oracle(miner))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_extending_existing_sequences_matches_batch_oracle(self, seed):
+        rng = random.Random(seed + 7)
+        miner = StreamMiner(5, shard_size=4, max_length=4)
+        handles = []
+        for seq in _markov_sequences(seed, n=12):
+            handles.append(miner.append(seq))
+            if handles and rng.random() < 0.6:
+                target = rng.choice(handles)
+                miner.extend(target, [f"e{rng.randrange(6)}" for _ in range(2)])
+        assert canon(miner.refresh().result) == canon(batch_oracle(miner))
+
+    def test_uncapped_mining_matches_batch_oracle(self):
+        miner = StreamMiner(6, shard_size=6)
+        for seq in _markov_sequences(4, n=18):
+            miner.append(seq)
+        assert canon(miner.refresh().result) == canon(batch_oracle(miner))
+
+
+class TestIncrementalScheduling:
+    def test_only_dirty_shards_are_remined(self):
+        sequences = _markov_sequences(1, n=20)
+        miner = StreamMiner(6, shard_size=5, max_length=4)
+        for seq in sequences[:15]:
+            miner.append(seq)
+        first = miner.refresh()
+        assert first.shards_remined == miner.shard_count
+        # One more append dirties only the open shard.
+        miner.append(sequences[15])
+        update = miner.refresh()
+        assert miner.shard_count > 1
+        assert update.shards_remined == 1
+        # A refresh with no ingestion re-mines nothing at all.
+        assert miner.refresh().shards_remined == 0
+
+    def test_refresh_deltas_are_consistent(self):
+        sequences = _markov_sequences(2, n=20)
+        miner = StreamMiner(6, shard_size=5, max_length=4)
+        miner.append_many(sequences[:10])
+        previous = {mp.pattern.events: mp.support for mp in miner.refresh().result}
+        miner.append_many(sequences[10:])
+        update = miner.refresh()
+        current = {mp.pattern.events: mp.support for mp in update.result}
+        assert {mp.pattern.events for mp in update.new_patterns} == set(current) - set(previous)
+        assert {p.events for p in update.expired_patterns} == set(previous) - set(current)
+        assert {mp.pattern.events for mp in update.changed_patterns} == {
+            key for key in set(previous) & set(current) if previous[key] != current[key]
+        }
+
+    def test_eviction_invalidates_handles(self):
+        miner = StreamMiner(2, shard_size=2, window=4)
+        handles = miner.append_many(["AB", "BC", "CA", "AB", "BC", "CA"])
+        with pytest.raises(KeyError):
+            miner.extend(handles[0], "A")
+        miner.extend(handles[-1], "A")  # retained sequences stay extendable
+        assert len(miner) == 4
+
+    def test_update_summary_mentions_window_and_patterns(self):
+        miner = StreamMiner(2, shard_size=2)
+        miner.append_many(["ABAB", "ABAB"])
+        update = miner.refresh()
+        text = update.summary()
+        assert "window=2" in text and "patterns" in text
+
+
+class TestValidation:
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ValueError):
+            StreamMiner(0)
+        with pytest.raises(ValueError):
+            StreamMiner(2, shard_size=0)
+        with pytest.raises(ValueError):
+            StreamMiner(2, window=0)
+        with pytest.raises(ValueError):
+            StreamMiner(2, max_length=0)
+
+    def test_empty_stream_has_empty_result(self):
+        miner = StreamMiner(2)
+        update = miner.refresh()
+        assert len(update.result) == 0
+        assert update.total_sequences == 0

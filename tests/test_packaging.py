@@ -12,6 +12,7 @@ SUBPACKAGES = [
     "repro.core",
     "repro.baselines",
     "repro.datagen",
+    "repro.stream",
     "repro.postprocess",
     "repro.analysis",
     "repro.experiments",
