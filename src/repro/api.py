@@ -25,6 +25,7 @@ import time
 from typing import Iterable, Iterator, List, Optional, Sequence as PySequence, Tuple, Union
 
 from repro.core.clogsgrow import CloGSgrow, mine_closed
+from repro.core.compressed import sup_comp_compressed
 from repro.core.gsgrow import GSgrow, mine_all
 from repro.core.pattern import Pattern
 from repro.core.results import MiningResult
@@ -38,6 +39,7 @@ __all__ = [
     "mine_closed",
     "repetitive_support",
     "sup_comp",
+    "sup_comp_compressed",
     "mine",
     "mine_many",
     "mine_stream",
@@ -66,7 +68,13 @@ def mine(
         ``False`` runs GSgrow and returns every frequent pattern.
     kwargs:
         Forwarded to the miner configuration (``max_length``,
-        ``store_instances``, ``constraint``, ...).
+        ``store_instances``, ``constraint``, ...).  With the default
+        ``store_instances=False`` the DFS runs on the compressed
+        ``(i, l1, lm)`` engine of Section III-D and each mined pattern
+        carries pattern + support only (``support_set`` is ``None``); pass
+        ``store_instances=True`` to mine on full landmark rows and keep every
+        pattern's leftmost support set.  Patterns and supports are identical
+        either way.
     """
     if closed:
         return mine_closed(database, min_sup, **kwargs)

@@ -18,10 +18,9 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Union
 
 from repro.core.closure import ClosureChecker, ClosureDecision
+from repro.core.engine import SupportSetLike
 from repro.core.gsgrow import GSgrow
-from repro.core.instance_growth import ins_grow
 from repro.core.results import MiningResult
-from repro.core.support import SupportSet
 from repro.db.database import SequenceDatabase
 from repro.db.index import InvertedEventIndex
 from repro.db.sequence import Event
@@ -71,7 +70,7 @@ class CloGSgrow(GSgrow):
         self._decision_cache: Dict[tuple, ClosureDecision] = {}
         # Grown support sets computed while closure-checking a node, reused by
         # the DFS growth step so each P ∘ e is only instance-grown once.
-        self._append_cache: Dict[tuple, Dict[Event, SupportSet]] = {}
+        self._append_cache: Dict[tuple, Dict[Event, SupportSetLike]] = {}
 
     # ------------------------------------------------------------------
     # GSgrow hooks
@@ -79,12 +78,15 @@ class CloGSgrow(GSgrow):
     def _prepare(self, index: InvertedEventIndex) -> None:
         """Build the closure checker and reset the per-run caches."""
         self._checker = ClosureChecker(
-            index, enable_lbcheck=self.enable_lbcheck, constraint=self.config.constraint
+            index,
+            enable_lbcheck=self.enable_lbcheck,
+            constraint=self.config.constraint,
+            engine=self._engine,
         )
         self._decision_cache = {}
         self._append_cache = {}
 
-    def _grow_child(self, index, support_set: SupportSet, event: Event) -> SupportSet:
+    def _grow_child(self, index, support_set: SupportSetLike, event: Event) -> SupportSetLike:
         cached = self._append_cache.get(support_set.pattern.events, {}).get(event)
         if cached is not None:
             return cached
@@ -92,9 +94,9 @@ class CloGSgrow(GSgrow):
 
     def _accept(
         self,
-        support_set: SupportSet,
+        support_set: SupportSetLike,
         index: InvertedEventIndex,
-        prefix_sets: List[SupportSet],
+        prefix_sets: List[SupportSetLike],
         events: List[Event],
     ) -> bool:
         decision = self._decide(support_set, index, prefix_sets, events)
@@ -102,9 +104,9 @@ class CloGSgrow(GSgrow):
 
     def _should_stop_growing(
         self,
-        support_set: SupportSet,
+        support_set: SupportSetLike,
         index: InvertedEventIndex,
-        prefix_sets: List[SupportSet],
+        prefix_sets: List[SupportSetLike],
         events: List[Event],
     ) -> bool:
         decision = self._decide(support_set, index, prefix_sets, events)
@@ -117,9 +119,9 @@ class CloGSgrow(GSgrow):
     # ------------------------------------------------------------------
     def _decide(
         self,
-        support_set: SupportSet,
+        support_set: SupportSetLike,
         index: InvertedEventIndex,
-        prefix_sets: List[SupportSet],
+        prefix_sets: List[SupportSetLike],
         events: List[Event],
     ) -> ClosureDecision:
         """Run (and cache) the closure decision for the current DFS node.
@@ -151,11 +153,11 @@ class CloGSgrow(GSgrow):
             return decision
         # Pre-compute the append-extension support sets once: CCheck needs
         # their sizes and the DFS growth step reuses the sets themselves.
-        grown_children: Dict[Event, SupportSet] = {}
+        grown_children: Dict[Event, SupportSetLike] = {}
         append_supports: Dict[Event, int] = {}
         for event in events:
             self.stats.ins_grow_calls += 1
-            grown = ins_grow(index, support_set, event, constraint=self.config.constraint)
+            grown = self._engine.grow(index, support_set, event, constraint=self.config.constraint)
             grown_children[event] = grown
             append_supports[event] = grown.support
         self.stats.closure_checks += 1

@@ -23,6 +23,13 @@ Candidate events are restricted to those whose total occurrence count is at
 least ``sup(P)``: any extension containing a rarer event has strictly smaller
 support (Apriori), so the restriction never misses an equal-support
 extension.  This keeps the check exact.
+
+The checker is engine-agnostic: every probe it runs (append growth, the
+insert/prepend ``supComp`` restarts, the Theorem-5 border comparison) reads
+only supports and ``border_arrays()``, so it operates on whichever
+representation the miner's :class:`~repro.core.engine.SupportEngine`
+produces — full landmarks under ``store_instances=True``, compressed
+``(i, l1, lm)`` triples otherwise.
 """
 
 from __future__ import annotations
@@ -31,9 +38,14 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.constraints import GapConstraint
-from repro.core.instance_growth import ins_grow
+from repro.core.engine import (
+    COMPRESSED_ENGINE,
+    FULL_LANDMARK_ENGINE,
+    SupportEngine,
+    SupportSetLike,
+)
 from repro.core.pattern import Pattern
-from repro.core.support import SupportSet, initial_support_set
+from repro.core.support import SupportSet
 from repro.db.index import InvertedEventIndex
 from repro.db.sequence import Event
 
@@ -78,6 +90,12 @@ class ClosureChecker:
         in the benchmarks (output identical, runtime much larger).
     constraint:
         Optional gap constraint, forwarded to instance growth.
+    engine:
+        The :class:`~repro.core.engine.SupportEngine` whose support sets the
+        caller passes in; extension probes are grown with the same engine.
+        When omitted, :meth:`check` detects the engine from the type of the
+        support set it is handed, so mixed callers can never grow a
+        compressed set through the full-landmark sweep (or vice versa).
     """
 
     def __init__(
@@ -86,10 +104,12 @@ class ClosureChecker:
         *,
         enable_lbcheck: bool = True,
         constraint: Optional[GapConstraint] = None,
+        engine: Optional[SupportEngine] = None,
     ):
         self.index = index
         self.enable_lbcheck = enable_lbcheck
         self.constraint = constraint
+        self.engine = engine
         self._event_totals: Dict[Event, int] = {
             event: index.total_count(event) for event in index.alphabet()
         }
@@ -104,8 +124,8 @@ class ClosureChecker:
     # ------------------------------------------------------------------
     def check(
         self,
-        support_set: SupportSet,
-        prefix_sets: List[SupportSet],
+        support_set: SupportSetLike,
+        prefix_sets: List[SupportSetLike],
         append_supports: Optional[Dict[Event, int]] = None,
         *,
         need_pruning: bool = True,
@@ -132,6 +152,7 @@ class ClosureChecker:
         """
         pattern = support_set.pattern
         support = support_set.support
+        engine = self._engine_for(support_set)
         candidates = self._candidate_events(support)
         decision = ClosureDecision(closed=True, prunable=False)
         lbcheck = self.enable_lbcheck and need_pruning
@@ -144,7 +165,7 @@ class ClosureChecker:
                 appended_support = append_supports[event]
             else:
                 decision.extensions_evaluated += 1
-                appended_support = ins_grow(
+                appended_support = engine.grow(
                     self.index, support_set, event, constraint=self.constraint
                 ).support
             if appended_support == support:
@@ -171,13 +192,13 @@ class ClosureChecker:
                 # the target, the extension cannot reach it.  (Skipped under a
                 # gap constraint, where support is not monotone in sub-patterns.)
                 if self.constraint is None:
-                    if self._pair_support_of(event, after) < support:
+                    if self._pair_support_of(engine, event, after) < support:
                         continue
-                    if before is not None and self._pair_support_of(before, event) < support:
+                    if before is not None and self._pair_support_of(engine, before, event) < support:
                         continue
                 decision.extensions_evaluated += 1
                 extension_set = self._insertion_support_set(
-                    prefix_set, event, suffix, stop_below=support
+                    engine, prefix_set, event, suffix, stop_below=support
                 )
                 if extension_set is None or extension_set.support != support:
                     continue
@@ -203,13 +224,30 @@ class ClosureChecker:
             key=repr,
         )
 
-    def _pair_support_of(self, first: Event, second: Event) -> int:
-        """Memoised repetitive support of the 2-event pattern ``first second``."""
+    def _engine_for(self, support_set: SupportSetLike) -> SupportEngine:
+        """The engine to grow extension probes with.
+
+        An explicitly configured engine wins; otherwise the engine is read
+        off the representation of the set being checked, so the probes always
+        match the sets the caller is carrying.
+        """
+        if self.engine is not None:
+            return self.engine
+        if isinstance(support_set, SupportSet):
+            return FULL_LANDMARK_ENGINE
+        return COMPRESSED_ENGINE
+
+    def _pair_support_of(self, engine: SupportEngine, first: Event, second: Event) -> int:
+        """Memoised repetitive support of the 2-event pattern ``first second``.
+
+        Supports are representation-independent, so the cache is shared even
+        if callers alternate engines.
+        """
         key = (first, second)
         cached = self._pair_support.get(key)
         if cached is None:
-            grown = ins_grow(
-                self.index, initial_support_set(self.index, first), second, constraint=self.constraint
+            grown = engine.grow(
+                self.index, engine.initial(self.index, first), second, constraint=self.constraint
             )
             cached = grown.support
             self._pair_support[key] = cached
@@ -217,12 +255,13 @@ class ClosureChecker:
 
     def _insertion_support_set(
         self,
-        prefix_set: Optional[SupportSet],
+        engine: SupportEngine,
+        prefix_set: Optional[SupportSetLike],
         event: Event,
         suffix: Pattern,
         *,
         stop_below: int = 0,
-    ) -> Optional[SupportSet]:
+    ) -> Optional[SupportSetLike]:
         """Leftmost support set of ``prefix ∘ event ∘ suffix``.
 
         ``prefix_set`` is the leftmost support set of the prefix (``None``
@@ -232,19 +271,19 @@ class ClosureChecker:
         (Lemma 1), so such an extension can never reach the target support.
         """
         if prefix_set is None:
-            grown = initial_support_set(self.index, event)
+            grown = engine.initial(self.index, event)
         else:
-            grown = ins_grow(self.index, prefix_set, event, constraint=self.constraint)
+            grown = engine.grow(self.index, prefix_set, event, constraint=self.constraint)
         if grown.support < stop_below:
             return None
         for suffix_event in suffix:
-            grown = ins_grow(self.index, grown, suffix_event, constraint=self.constraint)
+            grown = engine.grow(self.index, grown, suffix_event, constraint=self.constraint)
             if grown.support < stop_below:
                 return None
         return grown
 
     @staticmethod
-    def _border_dominates(extension_set: SupportSet, border: Tuple) -> bool:
+    def _border_dominates(extension_set: SupportSetLike, border: Tuple) -> bool:
         """Condition (ii) of Theorem 5.
 
         Both support sets are in right-shift order and (given equal support)

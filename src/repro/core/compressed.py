@@ -1,93 +1,198 @@
-"""Compressed instance storage (Section III-D).
+"""Compressed instance storage (Section III-D) — the default mining engine.
 
 For mining purposes an instance ``(i, <l1, ..., ln>)`` never needs its full
-landmark: instance growth only looks at the *last* position, the landmark
-border checking only compares last positions, and reporting only needs the
-span of the instance.  The paper therefore stores each instance as the triple
-``(i, l1, ln)`` — constant space per instance.
+landmark: instance growth only looks at the *last* position, landmark border
+checking (Theorem 5) only compares last positions, and reporting only needs
+the span of the instance.  The paper therefore stores each instance as the
+triple ``(i, l1, ln)`` — constant space per instance, independent of the
+pattern length.
 
-This module provides that representation as a drop-in alternative for
-support computation:
+This module implements that representation with the same array-backed design
+as the full-landmark engine (:mod:`repro.core.support` /
+:mod:`repro.core.instance_growth`):
 
-* :class:`CompressedSupportSet` — triples in right-shift order;
-* :func:`ins_grow_compressed` — Algorithm 2 over triples;
+* :class:`CompressedSupportSet` — three parallel ``array('q')`` columns
+  (sequence index, first position, last position) in right-shift order, with
+  a trusted :meth:`~CompressedSupportSet.from_arrays` constructor on the
+  growth path;
+* :func:`ins_grow_compressed` — Algorithm 2 as a single flat sweep over the
+  columns: the event is resolved to its interned id once per call, position
+  lists are fetched once per sequence run, and the unconstrained sweep is
+  numpy-vectorized when available (:mod:`repro.core.sweep`);
 * :func:`sup_comp_compressed` — Algorithm 1 over triples;
-* :func:`compress` / equality helpers used by the equivalence tests.
+* :func:`compress` / :func:`equivalent` — conversion and equality helpers
+  used by the engine-equivalence tests.
 
-The main miners keep full landmarks (instances are part of the public
-result), but the equivalence of the two implementations is tested, and the
-compressed form is the right choice when only supports are needed over very
-large databases.
+Whenever ``MinerConfig.store_instances`` is ``False`` (the default), the
+miners, the closure checker and the streaming support queries all run on
+this representation (see :mod:`repro.core.engine`); the full-landmark engine
+is selected only when callers ask to keep instances.  Both engines produce
+identical patterns and supports — growth reads exactly the same state from
+either representation.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence as PySequence, Tuple, Union
+from array import array
+from typing import Iterator, List, Optional, Sequence as PySequence, Tuple, Union
 
+from repro.core import sweep
 from repro.core.constraints import GapConstraint
 from repro.core.pattern import Pattern, as_pattern
 from repro.core.support import SupportSet
 from repro.db.database import SequenceDatabase
-from repro.db.index import NO_POSITION, InvertedEventIndex
+from repro.db.index import POSITION_TYPECODE, InvertedEventIndex
 from repro.db.sequence import Event
 
 #: A compressed instance: (sequence index, first landmark position, last landmark position).
 CompressedInstance = Tuple[int, int, int]
 
+#: When true, :meth:`CompressedSupportSet.from_arrays` additionally verifies
+#: right-shift order — an O(n)-per-growth-step check that instance growth
+#: makes redundant by construction (Lemma 4), so it stays off on production
+#: paths (mirroring :meth:`SupportSet.from_arrays`, which never validates).
+#: The engine-equivalence test suites flip it on, so any sweep change that
+#: emits out-of-order triples fails loudly there.
+VALIDATE_ORDER = False
+
+
+def _is_right_shift_ordered(seqs: array, lasts: array) -> bool:
+    """True if ``(seq, last)`` pairs are strictly increasing (right-shift order)."""
+    return all(
+        (seqs[k], lasts[k]) < (seqs[k + 1], lasts[k + 1]) for k in range(len(seqs) - 1)
+    )
+
 
 class CompressedSupportSet:
     """A support set stored as ``(i, first, last)`` triples.
 
-    Triples are kept in right-shift order (ascending sequence index, then
-    ascending last position), mirroring :class:`~repro.core.support.SupportSet`.
+    Storage is columnar: three parallel ``array('q')`` columns hold the
+    sequence indices, first positions and last positions, kept in right-shift
+    order (ascending sequence index, then ascending last position) —
+    mirroring :class:`~repro.core.support.SupportSet`.  The arrays must not
+    be mutated by callers.
+
+    The triple-accepting constructor sorts its input (user convenience);
+    the engine builds sets through :meth:`from_arrays`, which trusts the
+    order instead of paying an O(n log n) sort per growth step.
     """
 
-    __slots__ = ("pattern", "_triples")
+    __slots__ = ("pattern", "_seqs", "_firsts", "_lasts")
 
     def __init__(self, pattern, triples: PySequence[CompressedInstance] = ()):
         self.pattern = as_pattern(pattern)
-        self._triples: List[CompressedInstance] = sorted(triples, key=lambda t: (t[0], t[2]))
+        ordered = sorted(triples, key=lambda t: (t[0], t[2]))
+        seqs = array(POSITION_TYPECODE)
+        firsts = array(POSITION_TYPECODE)
+        lasts = array(POSITION_TYPECODE)
+        for i, first, last in ordered:
+            seqs.append(i)
+            firsts.append(first)
+            lasts.append(last)
+        self._seqs = seqs
+        self._firsts = firsts
+        self._lasts = lasts
 
+    @classmethod
+    def from_arrays(
+        cls, pattern: Union[Pattern, str, PySequence], seqs: array, firsts: array, lasts: array
+    ) -> "CompressedSupportSet":
+        """Trusted constructor used by the engine.
+
+        The columns must already be in right-shift order; no sorting is
+        performed (instance growth emits right-shift order by construction —
+        Lemma 4).  The order is re-checked only when the module's
+        :data:`VALIDATE_ORDER` debug flag is on, as in the equivalence test
+        suites.
+        """
+        assert len(seqs) == len(firsts) == len(lasts), "column arrays must align"
+        assert not VALIDATE_ORDER or _is_right_shift_ordered(
+            seqs, lasts
+        ), "columns must be in right-shift order"
+        self = cls.__new__(cls)
+        self.pattern = as_pattern(pattern)
+        self._seqs = seqs
+        self._firsts = firsts
+        self._lasts = lasts
+        return self
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._triples)
+        return len(self._seqs)
 
-    def __iter__(self):
-        return iter(self._triples)
+    def __iter__(self) -> Iterator[CompressedInstance]:
+        return iter(zip(self._seqs, self._firsts, self._lasts))
 
     def __eq__(self, other) -> bool:
         if isinstance(other, CompressedSupportSet):
-            return self.pattern == other.pattern and self._triples == other._triples
+            return (
+                self.pattern == other.pattern
+                and self._seqs == other._seqs
+                and self._firsts == other._firsts
+                and self._lasts == other._lasts
+            )
         return NotImplemented
 
     def __repr__(self) -> str:
-        return f"CompressedSupportSet({self.pattern!s}, {self._triples!r})"
+        return f"CompressedSupportSet({self.pattern!s}, {self.triples!r})"
 
+    # ------------------------------------------------------------------
+    # Array accessors used by the engine (read-only!)
+    # ------------------------------------------------------------------
+    @property
+    def seq_indices_array(self) -> array:
+        """Flat array of sequence indices, one per instance."""
+        return self._seqs
+
+    @property
+    def firsts_array(self) -> array:
+        """Flat array of first landmark positions, one per instance."""
+        return self._firsts
+
+    @property
+    def lasts_array(self) -> array:
+        """Flat array of last landmark positions, one per instance."""
+        return self._lasts
+
+    def border_arrays(self) -> Tuple[array, array]:
+        """The landmark border as ``(sequence indices, last positions)`` arrays."""
+        return self._seqs, self._lasts
+
+    # ------------------------------------------------------------------
+    # Accessors used by the miners and tests
+    # ------------------------------------------------------------------
     @property
     def support(self) -> int:
         """The number of instances (= ``sup(P)`` for genuine support sets)."""
-        return len(self._triples)
+        return len(self._seqs)
 
     @property
     def triples(self) -> List[CompressedInstance]:
         """The ``(i, first, last)`` triples in right-shift order."""
-        return list(self._triples)
+        return list(zip(self._seqs, self._firsts, self._lasts))
 
     def last_positions(self) -> List[Tuple[int, int]]:
         """``(i, last)`` pairs — the landmark border of Theorem 5."""
-        return [(i, last) for i, _, last in self._triples]
+        return list(zip(self._seqs, self._lasts))
 
     def per_sequence_counts(self) -> dict:
         """Number of instances per sequence index."""
         counts: dict = {}
-        for i, _, _ in self._triples:
-            counts[i] = counts.get(i, 0) + 1
+        for seq in self._seqs:
+            counts[seq] = counts.get(seq, 0) + 1
         return counts
 
 
 def initial_compressed_support_set(index: InvertedEventIndex, event: Event) -> CompressedSupportSet:
-    """Compressed leftmost support set of the size-1 pattern ``event``."""
-    triples = [(i, pos, pos) for i, pos in index.size_one_instances(event)]
-    return CompressedSupportSet(Pattern((event,)), triples)
+    """Compressed leftmost support set of the size-1 pattern ``event``.
+
+    For a single event first and last position coincide, so the columns are
+    the index's occurrence arrays (already in right-shift order).
+    """
+    seqs, positions = index.size_one_arrays(event)
+    return CompressedSupportSet.from_arrays(Pattern((event,)), seqs, positions[:], positions)
 
 
 def ins_grow_compressed(
@@ -96,31 +201,33 @@ def ins_grow_compressed(
     event: Event,
     constraint: Optional[GapConstraint] = None,
 ) -> CompressedSupportSet:
-    """Algorithm 2 over compressed instances.
+    """Algorithm 2 (``INSgrow``) over compressed instances.
 
-    Identical control flow to :func:`repro.core.instance_growth.ins_grow`;
-    only the per-instance state differs (the last position is all that is
-    needed to extend, the first position is carried along unchanged).
+    Identical greedy control flow to
+    :func:`repro.core.instance_growth.ins_grow`; only the per-instance state
+    differs — the last position is all that is needed to extend, the first
+    position is carried along unchanged, and no landmark rows are copied.
+    The event is resolved to its interned id exactly once per call (one hash
+    of the user object); the unconstrained sweep dispatches through
+    :func:`repro.core.sweep.grow_triples` and is numpy-vectorized for large
+    sets when numpy is importable.
     """
     grown_pattern = support_set.pattern.grow(event)
-    extended: List[CompressedInstance] = []
-    groups: dict = {}
-    for triple in support_set:
-        groups.setdefault(triple[0], []).append(triple)
-    for i in sorted(groups):
-        last_position = 0
-        for seq_index, first, last in groups[i]:
-            lowest = max(last_position, last)
-            if constraint is not None:
-                lowest = max(lowest, constraint.lowest_allowed(last))
-            position = index.next_position(i, event, lowest)
-            if position == NO_POSITION:
-                break
-            if constraint is not None and not constraint.allows(last, int(position)):
-                continue
-            last_position = int(position)
-            extended.append((seq_index, first, last_position))
-    return CompressedSupportSet(grown_pattern, extended)
+    seqs = support_set.seq_indices_array
+    n = len(seqs)
+    eid = index.event_id(event)
+    if eid < 0 or n == 0:
+        empty = array(POSITION_TYPECODE)
+        return CompressedSupportSet.from_arrays(grown_pattern, empty, empty[:], empty[:])
+    columns = sweep.grow_triples(
+        seqs,
+        support_set.firsts_array,
+        support_set.lasts_array,
+        index.raw_positions_by_id,
+        eid,
+        constraint,
+    )
+    return CompressedSupportSet.from_arrays(grown_pattern, *columns)
 
 
 def sup_comp_compressed(
@@ -128,7 +235,12 @@ def sup_comp_compressed(
     pattern,
     constraint: Optional[GapConstraint] = None,
 ) -> CompressedSupportSet:
-    """Algorithm 1 over compressed instances (returns triples, not landmarks)."""
+    """Algorithm 1 over compressed instances (returns triples, not landmarks).
+
+    This is the support query behind :func:`repro.core.support.repetitive_support`
+    and the streaming gap-filling calls — callers that only need ``sup(P)``
+    never pay for full landmarks.
+    """
     pattern = as_pattern(pattern)
     if pattern.is_empty():
         raise ValueError("the empty pattern has no well-defined support set")

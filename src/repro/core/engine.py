@@ -1,0 +1,86 @@
+"""Support-set engine selection (full landmarks vs compressed triples).
+
+The miners and the closure checker never look inside an instance during the
+DFS: they read supports, patterns and landmark borders, and they grow sets
+with Algorithm 2.  Both support-set representations expose that interface —
+
+* the **full-landmark** engine (:class:`~repro.core.support.SupportSet`,
+  :func:`~repro.core.instance_growth.ins_grow`) keeps ``m``-wide landmark
+  rows, which the public result needs when ``store_instances=True``;
+* the **compressed** engine (Section III-D;
+  :class:`~repro.core.compressed.CompressedSupportSet`,
+  :func:`~repro.core.compressed.ins_grow_compressed`) keeps constant-space
+  ``(i, l1, lm)`` triples, the right choice whenever only patterns and
+  supports are reported.
+
+A :class:`SupportEngine` bundles the pair of operations the DFS needs
+(initial size-1 set, one-event growth) for one representation;
+:func:`engine_for` maps ``MinerConfig.store_instances`` to the engine that
+serves it.  Both engines produce identical patterns and supports — the
+randomized engine-equivalence tests pin that invariant.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.core.compressed import (
+    CompressedSupportSet,
+    initial_compressed_support_set,
+    ins_grow_compressed,
+)
+from repro.core.instance_growth import ins_grow
+from repro.core.support import SupportSet, initial_support_set
+
+#: Either support-set representation; everything the DFS and the closure
+#: checker touch (``pattern``, ``support``, ``border_arrays()``,
+#: ``per_sequence_counts()``) is common to both.
+SupportSetLike = Union[SupportSet, CompressedSupportSet]
+
+
+class SupportEngine:
+    """One support-set representation's growth operations.
+
+    Attributes
+    ----------
+    name:
+        Stable identifier (``"full-landmark"`` / ``"compressed"``) used in
+        diagnostics and benchmark reports.
+    initial:
+        ``initial(index, event)`` — leftmost support set of a size-1 pattern.
+    grow:
+        ``grow(index, support_set, event, constraint=None)`` — Algorithm 2.
+    stores_landmarks:
+        True when the sets carry full landmarks (needed to report instances).
+    """
+
+    __slots__ = ("name", "initial", "grow", "stores_landmarks")
+
+    def __init__(self, name, initial, grow, stores_landmarks):
+        self.name = name
+        self.initial = initial
+        self.grow = grow
+        self.stores_landmarks = stores_landmarks
+
+    def __repr__(self) -> str:
+        return f"SupportEngine({self.name!r})"
+
+
+#: Engine over full-landmark :class:`SupportSet` rows.
+FULL_LANDMARK_ENGINE = SupportEngine(
+    "full-landmark", initial_support_set, ins_grow, stores_landmarks=True
+)
+
+#: Engine over compressed ``(i, l1, lm)`` triples.
+COMPRESSED_ENGINE = SupportEngine(
+    "compressed", initial_compressed_support_set, ins_grow_compressed, stores_landmarks=False
+)
+
+
+def engine_for(store_instances: bool) -> SupportEngine:
+    """The engine serving a miner configuration.
+
+    ``store_instances=True`` needs full landmarks in the reported support
+    sets; everything else runs on constant-space compressed triples.
+    """
+    return FULL_LANDMARK_ENGINE if store_instances else COMPRESSED_ENGINE

@@ -14,9 +14,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator, List, Optional, Sequence as PySequence, Union
 
 from repro.core.constraints import GapConstraint
-from repro.core.instance_growth import ins_grow
+from repro.core.engine import SupportEngine, SupportSetLike, engine_for
 from repro.core.results import MinedPattern, MiningResult
-from repro.core.support import SupportSet, initial_support_set
 from repro.db.database import SequenceDatabase
 from repro.db.index import InvertedEventIndex
 from repro.db.sequence import Event
@@ -38,7 +37,15 @@ class MinerConfig:
         is reached.  ``None`` means unlimited.
     store_instances:
         Keep the leftmost support set (and per-sequence counts) of every
-        reported pattern.  Costs memory proportional to the total support.
+        reported pattern.  This selects the mining engine: ``False`` (the
+        default) runs the whole DFS on compressed ``(i, l1, lm)`` triples
+        (Section III-D — constant space per instance, no landmark copies)
+        and reported patterns carry pattern + support only; ``True`` runs on
+        full ``m``-wide landmark rows so every
+        :class:`~repro.core.results.MinedPattern` also carries its
+        ``support_set`` and ``per_sequence`` counts, at a memory cost
+        proportional to total support times pattern length.  Both engines
+        report identical patterns and supports.
     constraint:
         Optional gap constraint (see :mod:`repro.core.constraints`).
     events:
@@ -103,6 +110,7 @@ class GSgrow:
     def __init__(self, min_sup: int = 2, **kwargs):
         self.config = MinerConfig(min_sup=min_sup, **kwargs)
         self.stats = MiningStats()
+        self._engine: SupportEngine = engine_for(self.config.store_instances)
 
     # ------------------------------------------------------------------
     # Public API
@@ -140,11 +148,12 @@ class GSgrow:
         """
         index = self._as_index(database)
         self.stats = MiningStats()
+        self._engine = engine_for(self.config.store_instances)
         self._prepare(index)
         events = self._candidate_events(index)
         budget = self.config.max_patterns
         for event in events:
-            support_set = initial_support_set(index, event)
+            support_set = self._engine.initial(index, event)
             for mined in self._mine_fre(index, support_set, events, [support_set]):
                 if budget is not None and self.stats.patterns_reported >= budget:
                     return
@@ -157,9 +166,9 @@ class GSgrow:
     def _mine_fre(
         self,
         index: InvertedEventIndex,
-        support_set: SupportSet,
+        support_set: SupportSetLike,
         events: List[Event],
-        prefix_sets: List[SupportSet],
+        prefix_sets: List[SupportSetLike],
     ) -> Iterator[MinedPattern]:
         """Recursive DFS over the pattern space (lines 6–10 of Algorithm 3)."""
         self.stats.nodes_visited += 1
@@ -186,17 +195,17 @@ class GSgrow:
         """Per-run setup before the DFS starts (CloGSgrow builds its checker here)."""
 
     def _grow_child(
-        self, index: InvertedEventIndex, support_set: SupportSet, event: Event
-    ) -> SupportSet:
+        self, index: InvertedEventIndex, support_set: SupportSetLike, event: Event
+    ) -> SupportSetLike:
         """Compute the support set of ``P ∘ e`` (CloGSgrow reuses cached ones)."""
         self.stats.ins_grow_calls += 1
-        return ins_grow(index, support_set, event, constraint=self.config.constraint)
+        return self._engine.grow(index, support_set, event, constraint=self.config.constraint)
 
     def _accept(
         self,
-        support_set: SupportSet,
+        support_set: SupportSetLike,
         index: InvertedEventIndex,
-        prefix_sets: List[SupportSet],
+        prefix_sets: List[SupportSetLike],
         events: List[Event],
     ) -> bool:
         """Whether to report the (frequent) pattern of ``support_set``."""
@@ -204,9 +213,9 @@ class GSgrow:
 
     def _should_stop_growing(
         self,
-        support_set: SupportSet,
+        support_set: SupportSetLike,
         index: InvertedEventIndex,
-        prefix_sets: List[SupportSet],
+        prefix_sets: List[SupportSetLike],
         events: List[Event],
     ) -> bool:
         """Whether the DFS subtree below this pattern can be pruned."""
@@ -215,7 +224,7 @@ class GSgrow:
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
-    def _as_mined(self, support_set: SupportSet) -> MinedPattern:
+    def _as_mined(self, support_set: SupportSetLike) -> MinedPattern:
         if self.config.store_instances:
             return MinedPattern(
                 pattern=support_set.pattern,

@@ -23,6 +23,12 @@ per-call grouping structures are needed, the ``next()`` query is an inlined
 :func:`bisect.bisect_right` over the index's position array (fetched once per
 sequence run, not once per instance), and the grown landmarks are written
 into two pre-sized output arrays — the only allocations of the call.
+
+This is the growth operation of the **full-landmark** engine, used when
+``store_instances=True``.  The default configuration grows compressed
+``(i, l1, lm)`` triples instead (:func:`repro.core.compressed.ins_grow_compressed`,
+same greedy control flow, no landmark copies); :mod:`repro.core.engine`
+selects between the two.
 """
 
 from __future__ import annotations

@@ -28,7 +28,11 @@ class MinedPattern:
         Its repetitive support ``sup(P)``.
     support_set:
         The leftmost support set, if the miner was asked to keep instances
-        (``store_instances=True``); ``None`` otherwise.
+        (``store_instances=True``); ``None`` under the default configuration,
+        where the DFS runs on the compressed ``(i, l1, lm)`` engine and
+        never materialises landmark rows.  To recover the instances of a
+        specific pattern afterwards, run
+        :func:`repro.core.support.sup_comp` on the database.
     per_sequence:
         Number of support-set instances per sequence index — the feature
         values suggested in the paper's future-work section.  Only populated

@@ -261,8 +261,18 @@ def repetitive_support(
     pattern: Union[Pattern, str, PySequence],
     constraint: Optional["GapConstraint"] = None,
 ) -> int:
-    """Repetitive support ``sup(P)`` (Definition 2.5) of ``pattern``."""
-    return sup_comp(database_or_index, pattern, constraint=constraint).support
+    """Repetitive support ``sup(P)`` (Definition 2.5) of ``pattern``.
+
+    Only the support is wanted, so this runs on the compressed ``(i, l1, lm)``
+    engine of Section III-D (:mod:`repro.core.compressed`) — constant space
+    per instance instead of full landmark rows; use :func:`sup_comp` when the
+    instances themselves are needed.
+    """
+    from repro.core.compressed import sup_comp_compressed  # local import to avoid a cycle
+
+    return sup_comp_compressed(
+        _as_index(database_or_index), pattern, constraint=constraint
+    ).support
 
 
 def _as_index(database_or_index) -> InvertedEventIndex:

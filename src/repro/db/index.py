@@ -19,10 +19,14 @@ Two properties matter beyond the paper:
 
 * **Event interning** — events are arbitrary hashable objects, but the
   position lists are keyed on small interned integer ids
-  (:class:`EventInterner`).  The instance-growth sweep resolves an event to
-  its id once per call (one hash of the user object) and then performs all
-  per-sequence lookups with plain small-int keys, so hot-path cost never
-  depends on how expensive the event's ``__hash__``/``__eq__`` are.
+  (:class:`EventInterner`).  The instance-growth sweeps (full-landmark *and*
+  compressed) resolve an event to its id once per call (one hash of the user
+  object) and then perform all per-sequence lookups with plain small-int
+  keys, so hot-path cost never depends on how expensive the event's
+  ``__hash__``/``__eq__`` are.  The arrays returned by
+  :meth:`raw_positions_by_id` are guaranteed to be ``array('q')`` buffers:
+  the vectorized sweep (:mod:`repro.core.sweep`) views them zero-copy with
+  ``numpy.frombuffer``, so this is a contract, not an implementation detail.
 * **Incremental maintenance** — :meth:`append_sequence` and
   :meth:`extend_sequence` grow the index in place as new data streams in:
   appended events extend the flat ``array('q')`` position lists directly

@@ -44,7 +44,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from repro.core.gsgrow import GSgrow
 from repro.core.pattern import Pattern
 from repro.core.results import MinedPattern, MiningResult
-from repro.core.support import sup_comp
+from repro.core.support import repetitive_support
 from repro.db.database import SequenceDatabase
 from repro.db.sequence import Event
 from repro.stream.database import StreamingSequenceDatabase
@@ -56,11 +56,14 @@ PatternKey = Tuple[Event, ...]
 class _Shard:
     """One group of consecutive window sequences with its mining caches."""
 
-    __slots__ = ("stream", "handles", "dirty", "table", "supports", "mined_threshold")
+    __slots__ = ("stream", "handles", "offsets", "dirty", "table", "supports", "mined_threshold")
 
     def __init__(self, sequences: Iterable = (), handles: Iterable[int] = ()):
         self.stream = StreamingSequenceDatabase(sequences)
         self.handles: List[int] = list(handles)
+        #: handle -> 0-based local offset within this shard, kept in lock-step
+        #: with `handles` so `extend` never pays an O(shard_size) scan.
+        self.offsets: Dict[int, int] = {h: k for k, h in enumerate(self.handles)}
         self.dirty = True
         #: Locally frequent patterns (key -> local support) at `mined_threshold`.
         self.table: Dict[PatternKey, int] = {}
@@ -72,12 +75,21 @@ class _Shard:
     def __len__(self) -> int:
         return len(self.stream)
 
+    def add_handle(self, handle: int) -> None:
+        """Register the handle of a freshly appended sequence."""
+        self.offsets[handle] = len(self.handles)
+        self.handles.append(handle)
+
     def local_support(self, key: PatternKey, stats: "StreamStats") -> int:
-        """Exact support of ``key`` in this shard, cached while clean."""
+        """Exact support of ``key`` in this shard, cached while clean.
+
+        Gap-filling only needs the number, so the query runs on the
+        compressed engine (no landmark rows are materialised).
+        """
         cached = self.supports.get(key)
         if cached is None:
             stats.sup_comp_calls += 1
-            cached = sup_comp(self.stream.index, Pattern(key)).support
+            cached = repetitive_support(self.stream.index, Pattern(key))
             self.supports[key] = cached
         return cached
 
@@ -94,6 +106,7 @@ class _Shard:
         """Evict the ``count`` oldest sequences (rebuilds this shard's stream)."""
         remaining = self.stream.database.sequences[count:]
         del self.handles[:count]
+        self.offsets = {h: k for k, h in enumerate(self.handles)}
         self.stream = StreamingSequenceDatabase(remaining)
         self.dirty = True
         self.table = {}
@@ -219,7 +232,7 @@ class StreamMiner:
         shard.dirty = True
         handle = self._next_handle
         self._next_handle += 1
-        shard.handles.append(handle)
+        shard.add_handle(handle)
         self._shard_of[handle] = shard
         self.stats.appends += 1
         self._appended_since_refresh += 1
@@ -231,7 +244,7 @@ class StreamMiner:
         shard = self._shard_of.get(handle)
         if shard is None:
             raise KeyError(f"unknown or evicted sequence handle {handle}")
-        local = shard.handles.index(handle) + 1
+        local = shard.offsets[handle] + 1
         shard.stream.extend(local, events)
         shard.dirty = True
         self.stats.extends += 1

@@ -1,8 +1,11 @@
 """Tests for the compressed instance storage of Section III-D."""
 
+from array import array
+
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
+from repro.core import sweep
 from repro.core.compressed import (
     CompressedSupportSet,
     compress,
@@ -17,6 +20,14 @@ from repro.core.pattern import Pattern
 from repro.core.support import initial_support_set, sup_comp
 from repro.db.database import SequenceDatabase
 from repro.db.index import InvertedEventIndex
+
+
+@pytest.fixture(autouse=True)
+def validate_right_shift_order(monkeypatch):
+    """Run every compressed-storage test with the order assertion armed."""
+    import repro.core.compressed as compressed_module
+
+    monkeypatch.setattr(compressed_module, "VALIDATE_ORDER", True)
 
 
 class TestContainer:
@@ -68,6 +79,87 @@ class TestAgainstFullLandmarks:
     def test_empty_pattern_rejected(self, table3_index):
         with pytest.raises(ValueError):
             sup_comp_compressed(table3_index, "")
+
+
+class TestFromArrays:
+    def test_trusted_columns_round_trip(self):
+        seqs = array("q", [1, 1, 2])
+        firsts = array("q", [1, 4, 1])
+        lasts = array("q", [2, 6, 4])
+        cset = CompressedSupportSet.from_arrays("AB", seqs, firsts, lasts)
+        assert cset.triples == [(1, 1, 2), (1, 4, 6), (2, 1, 4)]
+        assert cset == CompressedSupportSet("AB", [(2, 1, 4), (1, 1, 2), (1, 4, 6)])
+
+    def test_out_of_order_columns_rejected_by_debug_assertion(self):
+        seqs = array("q", [1, 1])
+        firsts = array("q", [4, 1])
+        lasts = array("q", [6, 2])  # descending last within the sequence
+        with pytest.raises(AssertionError):
+            CompressedSupportSet.from_arrays("AB", seqs, firsts, lasts)
+
+    def test_growth_emits_right_shift_order_without_sorting(self, table3_index):
+        # The growth path goes through from_arrays, whose debug assertion
+        # would fire if the sweep ever emitted out-of-order triples.
+        cset = sup_comp_compressed(table3_index, "ACB")
+        assert cset.triples == sorted(cset.triples, key=lambda t: (t[0], t[2]))
+
+
+class TestSweepBackends:
+    """The numpy and pure-python sweeps must be interchangeable."""
+
+    EVENTS = "ABC"
+
+    def _chain_agreement(self, db, pattern):
+        index = InvertedEventIndex(db)
+        current = initial_compressed_support_set(index, pattern[0])
+        for event in pattern[1:]:
+            eid = index.event_id(event)
+            if eid >= 0 and len(current.seq_indices_array):
+                out_py = sweep._grow_triples_python(
+                    current.seq_indices_array,
+                    current.firsts_array,
+                    current.lasts_array,
+                    index.raw_positions_by_id,
+                    eid,
+                )
+                out_np = sweep._grow_triples_numpy(
+                    current.seq_indices_array,
+                    current.firsts_array,
+                    current.lasts_array,
+                    index.raw_positions_by_id,
+                    eid,
+                )
+                assert out_np == out_py
+            current = ins_grow_compressed(index, current, event)
+        return current
+
+    @pytest.mark.skipif(not sweep.HAVE_NUMPY, reason="numpy not installed")
+    def test_backends_agree_on_random_growth_chains(self):
+        import random
+
+        for seed in range(6):
+            rng = random.Random(seed)
+            db = SequenceDatabase.from_strings(
+                [
+                    "".join(rng.choice(self.EVENTS) for _ in range(rng.randint(1, 120)))
+                    for _ in range(rng.randint(1, 5))
+                ]
+            )
+            pattern = "".join(rng.choice(self.EVENTS) for _ in range(rng.randint(2, 5)))
+            self._chain_agreement(db, pattern)
+
+    @pytest.mark.skipif(not sweep.HAVE_NUMPY, reason="numpy not installed")
+    def test_numpy_path_taken_for_large_sets_matches_full(self, monkeypatch):
+        monkeypatch.setattr(sweep, "NUMPY_MIN_ROWS", 0)
+        db = SequenceDatabase.from_strings(["ABCABCABCABC" * 8, "ACBACB" * 10])
+        index = InvertedEventIndex(db)
+        assert equivalent(sup_comp(index, "ABCA"), sup_comp_compressed(index, "ABCA"))
+
+    def test_python_fallback_matches_full(self, monkeypatch):
+        monkeypatch.setattr(sweep, "_np", None)
+        db = SequenceDatabase.from_strings(["ABCABCABCABC" * 8, "ACBACB" * 10])
+        index = InvertedEventIndex(db)
+        assert equivalent(sup_comp(index, "ABCA"), sup_comp_compressed(index, "ABCA"))
 
 
 class TestPropertyEquivalence:

@@ -1,0 +1,187 @@
+"""Full-landmark vs compressed engine equivalence.
+
+``store_instances`` selects the representation the whole DFS runs on —
+full ``m``-wide landmark rows (``True``) or the Section III-D compressed
+``(i, l1, lm)`` triples (``False``, the default).  The two engines must be
+byte-identical in everything they report: same patterns, same supports, in
+the same discovery order, under every configuration (gap constraints,
+``max_length`` caps, LBCheck on/off).  These tests pin that invariant on
+randomized Markov databases, and pin the one-event-hash-per-``ins_grow``
+interning contract on both engines.
+"""
+
+import pytest
+
+from repro.core.clogsgrow import CloGSgrow
+from repro.core.constraints import GapConstraint
+from repro.core.engine import (
+    COMPRESSED_ENGINE,
+    FULL_LANDMARK_ENGINE,
+    engine_for,
+)
+from repro.core.gsgrow import GSgrow
+from repro.datagen.markov import MarkovSequenceGenerator
+from repro.db.database import SequenceDatabase
+from repro.db.index import InvertedEventIndex
+
+SEEDS = [0, 1, 2, 3]
+MIN_SUP = 4
+
+
+@pytest.fixture(autouse=True)
+def validate_right_shift_order(monkeypatch):
+    """Arm the compressed engine's right-shift-order assertion for this suite."""
+    import repro.core.compressed as compressed_module
+
+    monkeypatch.setattr(compressed_module, "VALIDATE_ORDER", True)
+
+CONFIGS = [
+    pytest.param({}, id="plain"),
+    pytest.param({"constraint": GapConstraint(1, None)}, id="min-gap"),
+    pytest.param({"constraint": GapConstraint(0, 2)}, id="max-gap"),
+    pytest.param({"max_length": 3}, id="capped"),
+    pytest.param({"constraint": GapConstraint(1, 3), "max_length": 4}, id="gap+cap"),
+]
+
+
+def _markov_db(seed):
+    return MarkovSequenceGenerator(
+        num_sequences=6,
+        num_events=5,
+        average_length=14.0,
+        concentration=4.0,
+        seed=seed,
+    ).generate()
+
+
+def _snapshot(result):
+    """Patterns + supports in discovery order — what byte-identity means."""
+    return [(entry.pattern.events, entry.support) for entry in result]
+
+
+class TestEngineSelection:
+    def test_default_config_uses_compressed_engine(self):
+        assert GSgrow(2)._engine is COMPRESSED_ENGINE
+        assert CloGSgrow(2)._engine is COMPRESSED_ENGINE
+
+    def test_store_instances_uses_full_engine(self):
+        assert GSgrow(2, store_instances=True)._engine is FULL_LANDMARK_ENGINE
+
+    def test_engine_for(self):
+        assert engine_for(False) is COMPRESSED_ENGINE
+        assert engine_for(True) is FULL_LANDMARK_ENGINE
+
+    def test_config_change_after_init_is_honoured(self, table3):
+        miner = GSgrow(3)
+        miner.config.store_instances = True
+        result = miner.mine(table3)
+        assert miner._engine is FULL_LANDMARK_ENGINE
+        assert all(entry.support_set is not None for entry in result)
+
+
+@pytest.mark.parametrize("config", CONFIGS)
+@pytest.mark.parametrize("seed", SEEDS)
+class TestRandomizedEquivalence:
+    def test_gsgrow_engines_agree(self, seed, config):
+        db = _markov_db(seed)
+        full = GSgrow(MIN_SUP, store_instances=True, **config).mine(db)
+        compressed = GSgrow(MIN_SUP, store_instances=False, **config).mine(db)
+        assert _snapshot(compressed) == _snapshot(full)
+
+    def test_clogsgrow_engines_agree(self, seed, config):
+        db = _markov_db(seed)
+        full = CloGSgrow(MIN_SUP, store_instances=True, **config).mine(db)
+        compressed = CloGSgrow(MIN_SUP, store_instances=False, **config).mine(db)
+        assert _snapshot(compressed) == _snapshot(full)
+
+    def test_clogsgrow_without_lbcheck_engines_agree(self, seed, config):
+        db = _markov_db(seed)
+        full = CloGSgrow(MIN_SUP, enable_lbcheck=False, store_instances=True, **config).mine(db)
+        compressed = CloGSgrow(MIN_SUP, enable_lbcheck=False, **config).mine(db)
+        assert _snapshot(compressed) == _snapshot(full)
+
+
+class TestCheckerEngineDetection:
+    """A bare ClosureChecker must follow the representation it is handed."""
+
+    def test_unconfigured_checker_accepts_both_representations(self, table3_index):
+        from repro.core.closure import ClosureChecker
+        from repro.core.compressed import initial_compressed_support_set, ins_grow_compressed
+        from repro.core.instance_growth import ins_grow
+        from repro.core.support import initial_support_set
+
+        checker = ClosureChecker(table3_index)  # no engine argument
+        c1 = initial_compressed_support_set(table3_index, "A")
+        c2 = ins_grow_compressed(table3_index, c1, "C")
+        compressed_decision = checker.check(c2, [c1, c2])
+        f1 = initial_support_set(table3_index, "A")
+        f2 = ins_grow(table3_index, f1, "C")
+        full_decision = checker.check(f2, [f1, f2])
+        assert (compressed_decision.closed, compressed_decision.prunable,
+                compressed_decision.witness) == (
+            full_decision.closed, full_decision.prunable, full_decision.witness)
+
+
+class _CountingEvent:
+    """Hashable event that counts every ``__hash__`` invocation."""
+
+    hash_calls = 0
+
+    __slots__ = ("label",)
+
+    def __init__(self, label):
+        self.label = label
+
+    def __hash__(self):
+        _CountingEvent.hash_calls += 1
+        return hash(self.label)
+
+    def __eq__(self, other):
+        return isinstance(other, _CountingEvent) and self.label == other.label
+
+    def __repr__(self):
+        return f"Ev({self.label})"
+
+
+def _counting_database():
+    events = {c: _CountingEvent(c) for c in "AB"}
+    sequences = [
+        [events[c] for c in "ABABABAB"],
+        [events[c] for c in "AABBAABB"],
+    ]
+    return SequenceDatabase(sequences), events
+
+
+@pytest.mark.parametrize(
+    "engine",
+    [FULL_LANDMARK_ENGINE, COMPRESSED_ENGINE],
+    ids=["full-landmark", "compressed"],
+)
+class TestInterningInvariant:
+    """Each ``ins_grow`` call hashes the caller's event object exactly once."""
+
+    def test_one_hash_per_grow_call(self, engine):
+        db, events = _counting_database()
+        index = InvertedEventIndex(db)
+        base = engine.initial(index, events["A"])
+        _CountingEvent.hash_calls = 0
+        grown = engine.grow(index, base, events["B"])
+        assert _CountingEvent.hash_calls == 1
+        assert grown.support == 8
+
+    def test_one_hash_per_constrained_grow_call(self, engine):
+        db, events = _counting_database()
+        index = InvertedEventIndex(db)
+        base = engine.initial(index, events["A"])
+        _CountingEvent.hash_calls = 0
+        grown = engine.grow(index, base, events["B"], constraint=GapConstraint(0, 2))
+        assert _CountingEvent.hash_calls == 1
+        assert grown.support > 0
+
+    def test_one_hash_per_initial_set(self, engine):
+        db, events = _counting_database()
+        index = InvertedEventIndex(db)
+        _CountingEvent.hash_calls = 0
+        initial = engine.initial(index, events["A"])
+        assert _CountingEvent.hash_calls == 1
+        assert initial.support == 8

@@ -116,6 +116,15 @@ class TestIncrementalScheduling:
             key for key in set(previous) & set(current) if previous[key] != current[key]
         }
 
+    def test_extend_after_partial_eviction_targets_right_sequence(self):
+        # Evicting part of the oldest shard shifts every surviving local
+        # offset; the handle->offset map must shift with it.
+        miner = StreamMiner(2, shard_size=4, window=5)
+        handles = miner.append_many(["AB", "CD", "EF", "GH", "IJ", "KL"])
+        miner.extend(handles[1], "X")  # handles[0] was evicted
+        extended = miner.snapshot_database().sequences[0]
+        assert extended.events == ("C", "D", "X")
+
     def test_eviction_invalidates_handles(self):
         miner = StreamMiner(2, shard_size=2, window=4)
         handles = miner.append_many(["AB", "BC", "CA", "AB", "BC", "CA"])
