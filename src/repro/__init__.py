@@ -13,6 +13,8 @@ ICDE 2009), packaged as a reusable library:
   datasets (IBM Quest, Gazelle, TCAS, JBoss traces).
 * :mod:`repro.stream` — incremental ingestion, streaming pattern delivery
   and windowed re-mining over sharded streams.
+* :mod:`repro.match` — the read path: shared-automaton online matching,
+  persistent pattern stores and coverage/anomaly scoring of fresh sequences.
 * :mod:`repro.postprocess` — density / maximality / ranking filters used in
   the case study.
 * :mod:`repro.analysis` — per-sequence support features and classification
@@ -21,7 +23,15 @@ ICDE 2009), packaged as a reusable library:
   of the evaluation section.
 """
 
-from repro.api import mine, mine_many, mine_stream
+from repro.api import (
+    load_patterns,
+    match,
+    mine,
+    mine_many,
+    mine_stream,
+    save_patterns,
+    score_sequences,
+)
 from repro.core.clogsgrow import CloGSgrow, mine_closed
 from repro.core.constraints import GapConstraint
 from repro.core.gsgrow import GSgrow, mine_all
@@ -32,6 +42,13 @@ from repro.core.support import SupportSet, repetitive_support, sup_comp
 from repro.db.database import SequenceDatabase
 from repro.db.index import InvertedEventIndex
 from repro.db.sequence import Sequence
+from repro.match import (
+    MatchResult,
+    PatternAutomaton,
+    PatternMatcher,
+    PatternStore,
+    SequenceScore,
+)
 from repro.stream import StreamingSequenceDatabase, StreamMiner, StreamUpdate
 
 __version__ = "1.0.0"
@@ -51,6 +68,15 @@ __all__ = [
     "mine_stream",
     "mine_all",
     "mine_closed",
+    "match",
+    "score_sequences",
+    "load_patterns",
+    "save_patterns",
+    "PatternAutomaton",
+    "PatternStore",
+    "PatternMatcher",
+    "MatchResult",
+    "SequenceScore",
     "StreamingSequenceDatabase",
     "StreamMiner",
     "StreamUpdate",

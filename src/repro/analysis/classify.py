@@ -36,7 +36,7 @@ class NearestCentroidClassifier:
         width = len(rows[0])
         sums: Dict[Hashable, List[float]] = {}
         counts: Dict[Hashable, int] = {}
-        for row, label in zip(rows, labels):
+        for row, label in zip(rows, labels, strict=False):
             if len(row) != width:
                 raise ValueError("all feature rows must have the same length")
             accumulator = sums.setdefault(label, [0.0] * width)
@@ -72,7 +72,7 @@ class NearestCentroidClassifier:
             raise ValueError("rows and labels must have the same length")
         if not rows:
             return 0.0
-        correct = sum(1 for row, label in zip(rows, labels) if self.predict_one(row) == label)
+        correct = sum(1 for row, label in zip(rows, labels, strict=False) if self.predict_one(row) == label)
         return correct / len(rows)
 
     # ------------------------------------------------------------------
@@ -87,4 +87,4 @@ class NearestCentroidClassifier:
     def _distance(a: PySequence[float], b: PySequence[float]) -> float:
         if len(a) != len(b):
             raise ValueError("feature row width does not match the fitted centroids")
-        return math.sqrt(sum((float(x) - float(y)) ** 2 for x, y in zip(a, b)))
+        return math.sqrt(sum((float(x) - float(y)) ** 2 for x, y in zip(a, b, strict=False)))

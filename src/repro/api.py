@@ -13,6 +13,18 @@ For continuous workloads :func:`mine_stream` consumes an iterable of
 incoming sequences and yields pattern updates as they are mined, and
 :func:`mine_many` shards multi-database batches across a process pool.
 
+The read side mirrors the write side: :func:`save_patterns` persists a
+mining result as a :class:`~repro.match.store.PatternStore`,
+:func:`load_patterns` brings one back in any worker, and :func:`match`
+answers "which of these patterns occur in this fresh data, with what
+support" through the shared automaton of :mod:`repro.match`::
+
+    result = mine_closed(db, min_sup=2)
+    save_patterns(result, "patterns.rps")
+    ...
+    store = load_patterns("patterns.rps")       # in a serving worker
+    match(store, fresh_db).supports()           # one pass, all patterns
+
 The functions re-exported here are thin wrappers over the classes in
 :mod:`repro.core`; the classes remain available for callers that need
 configuration options, mining statistics or support sets.
@@ -26,12 +38,16 @@ from typing import Iterable, Iterator, List, Optional, Sequence as PySequence, T
 
 from repro.core.clogsgrow import CloGSgrow, mine_closed
 from repro.core.compressed import sup_comp_compressed
+from repro.core.constraints import GapConstraint
 from repro.core.gsgrow import GSgrow, mine_all
 from repro.core.pattern import Pattern
 from repro.core.results import MiningResult
 from repro.core.support import repetitive_support, sup_comp
 from repro.db.database import SequenceDatabase
 from repro.db.index import InvertedEventIndex
+from repro.match.automaton import MatchResult, PatternAutomaton
+from repro.match.service import PatternMatcher, SequenceScore, score_database
+from repro.match.store import PatternStore, load_patterns, save_patterns
 from repro.stream.miner import StreamMiner, StreamUpdate
 
 __all__ = [
@@ -43,6 +59,10 @@ __all__ = [
     "mine",
     "mine_many",
     "mine_stream",
+    "match",
+    "score_sequences",
+    "load_patterns",
+    "save_patterns",
     "GSgrow",
     "CloGSgrow",
 ]
@@ -149,7 +169,7 @@ def mine_many(
     if n_jobs is None or n_jobs == 1 or len(databases) <= 1:
         timed = [
             _mine_one((db, threshold, closed, kwargs))
-            for db, threshold in zip(databases, thresholds)
+            for db, threshold in zip(databases, thresholds, strict=False)
         ]
     else:
         if n_jobs <= 0:
@@ -161,7 +181,7 @@ def mine_many(
             db.database if isinstance(db, InvertedEventIndex) else db for db in databases
         ]
         tasks = [
-            (db, threshold, closed, kwargs) for db, threshold in zip(payload, thresholds)
+            (db, threshold, closed, kwargs) for db, threshold in zip(payload, thresholds, strict=False)
         ]
         from concurrent.futures import ProcessPoolExecutor
 
@@ -170,6 +190,65 @@ def mine_many(
     if with_timings:
         return timed
     return [result for result, _ in timed]
+
+
+def match(
+    patterns: Union[PatternStore, MiningResult, PatternAutomaton, Iterable],
+    query,
+    *,
+    constraint: Optional[GapConstraint] = None,
+    with_instances: bool = False,
+    engine: str = "auto",
+) -> MatchResult:
+    """Match a mined pattern set against fresh data in one shared pass.
+
+    Parameters
+    ----------
+    patterns:
+        What to look for: a loaded :class:`~repro.match.store.PatternStore`,
+        a live :class:`MiningResult`, a pre-compiled
+        :class:`~repro.match.automaton.PatternAutomaton`, or any iterable of
+        patterns.
+    query:
+        Where to look: a :class:`SequenceDatabase`, a pre-built
+        :class:`InvertedEventIndex`, a single sequence, or a list of
+        sequences.
+    constraint:
+        Optional gap constraint (the same semantics as
+        :func:`repetitive_support`).
+    with_instances:
+        ``True`` also reports each pattern's leftmost support set in the
+        query (identical to :func:`sup_comp`).
+    engine:
+        ``"auto"`` (default), ``"sweep"`` or ``"dfs"`` — see
+        :meth:`~repro.match.automaton.PatternAutomaton.match`.
+
+    Returns
+    -------
+    MatchResult
+        Per-pattern occurrence, repetitive support and per-sequence counts,
+        byte-identical to looping :func:`repetitive_support` per pattern.
+    """
+    return PatternMatcher(patterns, constraint=constraint).match(
+        query, with_instances=with_instances, engine=engine
+    )
+
+
+def score_sequences(
+    patterns: Union[PatternStore, MiningResult, Iterable],
+    sequences,
+    *,
+    constraint: Optional[GapConstraint] = None,
+    n_jobs: Optional[int] = None,
+) -> List[SequenceScore]:
+    """Coverage/anomaly score of each sequence against an expected pattern set.
+
+    The case-study read path: a healthy trace realises most of the mined
+    patterns (coverage near 1), an anomalous one misses many (anomaly near
+    1).  ``n_jobs`` shards the batch over a process pool with the same
+    semantics as :func:`mine_many`.
+    """
+    return score_database(patterns, sequences, constraint=constraint, n_jobs=n_jobs)
 
 
 def mine_stream(

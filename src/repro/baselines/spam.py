@@ -82,7 +82,7 @@ class SPAM:
         result.add(MinedPattern(pattern=pattern, support=support))
         if self.config.max_length is not None and len(pattern) >= self.config.max_length:
             return
-        transformed = [self._s_step(bitmap, length) for bitmap, length in zip(bitmaps, self._lengths)]
+        transformed = [self._s_step(bitmap, length) for bitmap, length in zip(bitmaps, self._lengths, strict=False)]
         for event in frequent_events:
             grown_bitmaps = [
                 transformed[i] & self._event_bitmaps[event][i] for i in range(len(transformed))

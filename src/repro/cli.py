@@ -9,6 +9,11 @@ Installed as ``repro-mine`` (see ``pyproject.toml``) and runnable as
 * ``mine-stream`` — tail a file of incoming sequences and print pattern
   updates as the stream grows (``--follow`` keeps polling for appended
   lines, like ``tail -f``);
+* ``export-patterns`` — mine a database and persist the result as a
+  pattern store (binary or JSON), the artifact the serving side loads;
+* ``match`` — load a pattern store and match it against a fresh database:
+  per-sequence coverage/anomaly scores plus per-pattern supports, all in
+  one shared automaton pass;
 * ``support`` — compute the repetitive support of one pattern;
 * ``stats`` — print summary statistics of a sequence database file.
 
@@ -24,13 +29,14 @@ import sys
 import time
 from typing import List, Optional
 
-from repro.api import mine_many
+from repro.api import mine, mine_many
 from repro.core.clogsgrow import CloGSgrow
 from repro.core.gsgrow import GSgrow
 from repro.core.support import repetitive_support
 from repro.db import io as db_io
 from repro.db.database import SequenceDatabase
 from repro.db.stats import describe
+from repro.match import PatternMatcher, load_patterns, save_patterns, score_from_match
 from repro.stream import StreamMiner
 
 
@@ -143,6 +149,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="stop after this many pattern updates (useful with --follow)",
     )
 
+    export = subparsers.add_parser(
+        "export-patterns", help="mine a database and persist the patterns as a store"
+    )
+    add_common(export)
+    add_mining_options(export)
+    export.add_argument(
+        "--out", required=True, help="pattern-store output path"
+    )
+    export.add_argument(
+        "--store-format",
+        choices=("auto", "binary", "json"),
+        default="auto",
+        help="store encoding (auto: json for *.json paths, binary otherwise)",
+    )
+
+    matcher = subparsers.add_parser(
+        "match", help="match a pattern store against a fresh sequence database"
+    )
+    matcher.add_argument("patterns", help="pattern-store file (binary or JSON, sniffed)")
+    matcher.add_argument("path", help="query sequence database file")
+    add_format(matcher)
+    matcher.add_argument(
+        "--top", type=int, default=None, help="print only the top-N patterns by query support"
+    )
+    matcher.add_argument(
+        "--per-sequence",
+        action="store_true",
+        help="also print one coverage/anomaly line per query sequence",
+    )
+
     support = subparsers.add_parser("support", help="repetitive support of one pattern")
     add_common(support)
     support.add_argument("--pattern", required=True, help="pattern events, space separated")
@@ -184,7 +220,7 @@ def run_mine_many(args) -> int:
         max_length=args.max_length,
     )
     algorithm = GSgrow.algorithm_name if args.all else CloGSgrow.algorithm_name
-    for path, result in zip(args.paths, results):
+    for path, result in zip(args.paths, results, strict=False):
         _print_result(result, args, algorithm, path=path)
     return 0
 
@@ -251,6 +287,38 @@ def run_mine_stream(args) -> int:
     return 0
 
 
+def run_export_patterns(args) -> int:
+    """Mine ``args.path`` and persist the result as a pattern store."""
+    database = load_database(args.path, args.format)
+    result = mine(
+        database, args.min_sup, closed=not args.all, max_length=args.max_length
+    )
+    out = save_patterns(result, args.out, encoding=args.store_format)
+    algorithm = result.algorithm or ("GSgrow" if args.all else "CloGSgrow")
+    print(f"# {args.path}: {algorithm}: {len(result)} patterns -> {out}")
+    return 0
+
+
+def run_match(args) -> int:
+    """Match a stored pattern set against a query database."""
+    store = load_patterns(args.patterns)
+    database = load_database(args.path, args.format)
+    matcher = PatternMatcher(store)
+    result = matcher.match(database)
+    matched = result.matched()
+    print(
+        f"# {args.patterns}: {len(matched)}/{len(result)} patterns matched "
+        f"over {len(database)} sequences (coverage={result.coverage():.3f})"
+    )
+    if args.per_sequence:
+        for i in range(1, len(database) + 1):
+            print(f"seq {i}\t{score_from_match(result, i).describe()}")
+    ranked = result.top_k(len(result) if args.top is None else args.top)
+    for entry in ranked:
+        print(f"{entry.support}\t{entry.pattern}")
+    return 0
+
+
 def run_support(args) -> int:
     database = load_database(args.path, args.format)
     pattern = args.pattern.split() if " " in args.pattern else list(args.pattern)
@@ -276,6 +344,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_mine_many(args)
     if args.command == "mine-stream":
         return run_mine_stream(args)
+    if args.command == "export-patterns":
+        return run_export_patterns(args)
+    if args.command == "match":
+        return run_match(args)
     if args.command == "support":
         return run_support(args)
     if args.command == "stats":

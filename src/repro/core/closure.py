@@ -297,4 +297,4 @@ class ClosureChecker:
         seqs_ext, lasts_ext = extension_set.border_arrays()
         if len(seqs_ext) != len(seqs_orig) or seqs_ext != seqs_orig:
             return False
-        return all(le <= lo for le, lo in zip(lasts_ext, lasts_orig))
+        return all(le <= lo for le, lo in zip(lasts_ext, lasts_orig, strict=False))

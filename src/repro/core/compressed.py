@@ -123,7 +123,7 @@ class CompressedSupportSet:
         return len(self._seqs)
 
     def __iter__(self) -> Iterator[CompressedInstance]:
-        return iter(zip(self._seqs, self._firsts, self._lasts))
+        return iter(zip(self._seqs, self._firsts, self._lasts, strict=False))
 
     def __eq__(self, other) -> bool:
         if isinstance(other, CompressedSupportSet):
@@ -171,11 +171,11 @@ class CompressedSupportSet:
     @property
     def triples(self) -> List[CompressedInstance]:
         """The ``(i, first, last)`` triples in right-shift order."""
-        return list(zip(self._seqs, self._firsts, self._lasts))
+        return list(zip(self._seqs, self._firsts, self._lasts, strict=False))
 
     def last_positions(self) -> List[Tuple[int, int]]:
         """``(i, last)`` pairs — the landmark border of Theorem 5."""
-        return list(zip(self._seqs, self._lasts))
+        return list(zip(self._seqs, self._lasts, strict=False))
 
     def per_sequence_counts(self) -> dict:
         """Number of instances per sequence index."""

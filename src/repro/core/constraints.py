@@ -79,7 +79,7 @@ class GapConstraint:
 
     def allows_landmark(self, landmark) -> bool:
         """True if every consecutive pair of positions in ``landmark`` is legal."""
-        return all(self.allows(a, b) for a, b in zip(landmark, landmark[1:]))
+        return all(self.allows(a, b) for a, b in zip(landmark, landmark[1:], strict=False))
 
     def describe(self) -> str:
         """Human readable description used in experiment reports."""

@@ -42,7 +42,7 @@ class Instance:
         landmark = tuple(landmark)
         if seq_index < 1:
             raise ValueError(f"sequence index must be >= 1, got {seq_index}")
-        if any(b <= a for a, b in zip(landmark, landmark[1:])):
+        if any(b <= a for a, b in zip(landmark, landmark[1:], strict=False)):
             raise ValueError(f"landmark positions must be strictly increasing: {landmark}")
         if landmark and landmark[0] < 1:
             raise ValueError(f"landmark positions must be >= 1: {landmark}")
@@ -99,7 +99,7 @@ class Instance:
         seq = database.sequence(self.seq_index)
         if self.landmark and self.last > len(seq):
             return False
-        return all(seq.at(l) == e for l, e in zip(self.landmark, pattern.events))
+        return all(seq.at(l) == e for l, e in zip(self.landmark, pattern.events, strict=False))
 
     # ------------------------------------------------------------------
     # Dunder protocol
@@ -132,7 +132,7 @@ def instances_overlap(a: Instance, b: Instance) -> bool:
             "overlap is only defined between instances of the same pattern "
             f"(landmark lengths {len(a.landmark)} and {len(b.landmark)} differ)"
         )
-    return any(la == lb for la, lb in zip(a.landmark, b.landmark))
+    return any(la == lb for la, lb in zip(a.landmark, b.landmark, strict=False))
 
 
 def is_non_redundant(instances: Iterable[Instance]) -> bool:

@@ -188,6 +188,40 @@ class MiningResult:
                 kept.append(p)
         return MiningResult(kept, min_sup=self.min_sup, algorithm=self.algorithm)
 
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_json(self) -> Dict:
+        """A JSON-serialisable dictionary of patterns, supports and metadata.
+
+        The inverse of :meth:`from_json`.  Pattern events must be
+        JSON-representable (strings / numbers); support sets and per-sequence
+        counts are *not* serialised — they are recomputable from a database,
+        while the pattern/support table is the part worth persisting (it is
+        also what :class:`repro.match.store.PatternStore` wraps).  ``closed``
+        records whether the producing algorithm mined closed patterns
+        (``None`` when the result carries no algorithm name).
+        """
+        algorithm = self.algorithm
+        return {
+            "min_sup": self.min_sup,
+            "algorithm": algorithm,
+            "closed": None if algorithm is None else "clo" in algorithm.lower(),
+            "patterns": [
+                {"events": list(p.pattern.events), "support": p.support}
+                for p in self._patterns
+            ],
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict) -> "MiningResult":
+        """Rebuild a result from :meth:`to_json` output (extra keys ignored)."""
+        patterns = [
+            MinedPattern(pattern=Pattern(entry["events"]), support=entry["support"])
+            for entry in data.get("patterns", ())
+        ]
+        return cls(patterns, min_sup=data.get("min_sup"), algorithm=data.get("algorithm"))
+
     def summary(self) -> str:
         """Human-readable one-line summary used by the experiment reports."""
         if not self._patterns:

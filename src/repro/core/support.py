@@ -159,12 +159,12 @@ class SupportSet:
     def last_positions(self) -> List[tuple]:
         """``(i, last)`` pairs in right-shift order (the landmark border)."""
         seqs, lasts = self.border_arrays()
-        return list(zip(seqs, lasts))
+        return list(zip(seqs, lasts, strict=False))
 
     def first_positions(self) -> List[tuple]:
         """``(i, first)`` pairs in right-shift order."""
         m = self._m
-        return list(zip(self._seqs, self._landmarks[::m] if m > 1 else self._landmarks))
+        return list(zip(self._seqs, self._landmarks[::m] if m > 1 else self._landmarks, strict=False))
 
     def compressed(self) -> List[tuple]:
         """The ``(i, l1, lm)`` triples of Section III-D, in right-shift order."""

@@ -202,7 +202,7 @@ def _grow_triples_numpy(
     starts = np.concatenate(([0], changes))
     ends = np.concatenate((changes, [n]))
     arange = np.arange(int((ends - starts).max())) if n else None
-    for a, b in zip(starts, ends):
+    for a, b in zip(starts, ends, strict=False):
         plist = raw_positions_by_id(int(seqs_np[a]), eid)
         if not plist:
             continue

@@ -132,7 +132,7 @@ class PositionsView(SequenceABC):
             other = other._data
         if isinstance(other, (list, tuple, array)):
             return len(self._data) == len(other) and all(
-                a == b for a, b in zip(self._data, other)
+                a == b for a, b in zip(self._data, other, strict=False)
             )
         return NotImplemented
 

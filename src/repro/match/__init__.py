@@ -1,0 +1,46 @@
+"""repro.match — the read-side subsystem: persist, load and match patterns.
+
+The miners (:mod:`repro.core`, :mod:`repro.stream`) are the write path; this
+package is the read path the case study implies: turn a mined pattern set
+into a servable artifact and answer "which patterns occur in this fresh
+sequence, with what repetitive support" in one shared pass.
+
+* :mod:`repro.match.automaton` — :class:`PatternAutomaton` compiles a
+  pattern set into one shared prefix-trie/NFA over interned event ids and
+  matches all patterns simultaneously, byte-identical to per-pattern
+  ``repetitive_support`` calls.
+* :mod:`repro.match.store` — :class:`PatternStore` persists patterns,
+  supports and mining metadata as a deterministic columnar binary file (or a
+  human-readable JSON sibling); one mine feeds N serving workers.
+* :mod:`repro.match.service` — :class:`PatternMatcher` scores sequences
+  (coverage / anomaly), fans batches over a process pool and answers top-k
+  retrieval, mirroring the paper's trace-characterisation case study.
+"""
+
+from repro.match.automaton import (
+    MatchedPattern,
+    MatchResult,
+    PatternAutomaton,
+    compile_patterns,
+)
+from repro.match.service import (
+    PatternMatcher,
+    SequenceScore,
+    score_database,
+    score_from_match,
+)
+from repro.match.store import PatternStore, load_patterns, save_patterns
+
+__all__ = [
+    "PatternAutomaton",
+    "MatchResult",
+    "MatchedPattern",
+    "compile_patterns",
+    "PatternStore",
+    "load_patterns",
+    "save_patterns",
+    "PatternMatcher",
+    "SequenceScore",
+    "score_database",
+    "score_from_match",
+]

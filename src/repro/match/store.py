@@ -1,0 +1,399 @@
+"""Persistent pattern stores — the artifact one mine hands to N matchers.
+
+A :class:`MiningResult` dies with the process that mined it.  The serving
+workload needs the opposite lifecycle: mine once, persist, then load the
+pattern set cheaply in many worker processes and compile it into a
+:class:`~repro.match.automaton.PatternAutomaton`.  :class:`PatternStore` is
+that on-disk artifact, in two sibling encodings:
+
+* **Binary** (:meth:`PatternStore.save` / :meth:`PatternStore.load`) — a
+  versioned, columnar layout: a JSON metadata blob, a JSON alphabet table
+  (event id -> event), and three flat little-endian ``int64`` columns
+  (per-pattern offsets, concatenated pattern events as alphabet ids, and
+  supports).  Every byte is deterministic for a given store content —
+  saving the same store twice, or saving a loaded store from another
+  process, produces identical files — so artifact diffing and
+  content-addressed caching work on the raw bytes.
+* **JSON** (:meth:`PatternStore.save_json` / :meth:`PatternStore.load_json`)
+  — a human-readable sibling wrapping
+  :meth:`repro.core.results.MiningResult.to_json`, for eyeballing and for
+  toolchains that cannot read the binary format.
+
+:func:`load_patterns` sniffs the magic bytes and dispatches to whichever
+decoder matches, so callers never care which encoding a file uses.
+
+Events are restricted to strings and integers (the JSON alphabet table must
+round-trip them losslessly and byte-stably); arbitrary hashable events from
+in-memory mining are rejected at store-build time with a clear error.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import sys
+from array import array
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+from repro.core.pattern import Pattern, as_pattern
+from repro.core.results import MinedPattern, MiningResult
+from repro.db.index import POSITION_TYPECODE
+
+PathLike = Union[str, Path]
+
+#: Magic bytes opening every binary store file.
+MAGIC = b"RPST"
+
+#: Current binary format version (bump on any layout change).
+FORMAT_VERSION = 1
+
+#: ``format`` field of the JSON sibling encoding.
+JSON_FORMAT = "repro.match.pattern-store"
+
+_HEADER = struct.Struct("<4sI")  # magic, version
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+
+_LITTLE_ENDIAN = sys.byteorder == "little"
+
+
+def _dumps(data) -> bytes:
+    """Deterministic JSON bytes (sorted keys, fixed separators, raw UTF-8)."""
+    return json.dumps(
+        data, ensure_ascii=False, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def _column_bytes(column: array) -> bytes:
+    """Little-endian bytes of an ``array('q')`` column."""
+    if _LITTLE_ENDIAN:
+        return column.tobytes()
+    swapped = array(POSITION_TYPECODE, column)
+    swapped.byteswap()
+    return swapped.tobytes()
+
+
+def _column_from(buffer: bytes) -> array:
+    """An ``array('q')`` column from little-endian bytes."""
+    column = array(POSITION_TYPECODE)
+    column.frombytes(buffer)
+    if not _LITTLE_ENDIAN:
+        column.byteswap()
+    return column
+
+
+def _check_event(event) -> None:
+    if isinstance(event, bool) or not isinstance(event, (str, int)):
+        raise TypeError(
+            "pattern stores persist str or int events, got "
+            f"{type(event).__name__} ({event!r}); map events to stable "
+            "identifiers before storing"
+        )
+
+
+class PatternStore:
+    """An immutable, persistable pattern set with supports and metadata.
+
+    Parameters
+    ----------
+    entries:
+        ``(pattern, support)`` pairs in the order the store should keep
+        (a mining result's discovery order, usually).
+    min_sup, algorithm:
+        The mining metadata, surfaced on :meth:`to_result`.
+    metadata:
+        Optional extra key/value metadata (JSON-serialisable values); stored
+        verbatim in both encodings.
+    """
+
+    def __init__(
+        self,
+        entries: Iterable[Tuple[Union[Pattern, str, tuple], int]] = (),
+        *,
+        min_sup: Optional[int] = None,
+        algorithm: Optional[str] = None,
+        metadata: Optional[dict] = None,
+    ):
+        alphabet_ids: Dict[object, int] = {}
+        alphabet: List[object] = []
+        offsets = array(POSITION_TYPECODE, [0])
+        events = array(POSITION_TYPECODE)
+        supports = array(POSITION_TYPECODE)
+        patterns: List[Pattern] = []
+        for pattern, support in entries:
+            pattern = as_pattern(pattern)
+            if support < 0:
+                raise ValueError(f"support must be non-negative, got {support}")
+            for event in pattern:
+                _check_event(event)
+                aid = alphabet_ids.get(event)
+                if aid is None:
+                    aid = alphabet_ids[event] = len(alphabet)
+                    alphabet.append(event)
+                events.append(aid)
+            offsets.append(len(events))
+            supports.append(support)
+            patterns.append(pattern)
+        self._alphabet = alphabet
+        self._offsets = offsets
+        self._events = events
+        self._supports = supports
+        self._patterns = patterns
+        self.min_sup = min_sup
+        self.algorithm = algorithm
+        self.metadata = dict(metadata or {})
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_result(
+        cls, result: MiningResult, *, metadata: Optional[dict] = None
+    ) -> "PatternStore":
+        """Build a store from a mining result (order and metadata preserved)."""
+        return cls(
+            ((mp.pattern, mp.support) for mp in result),
+            min_sup=result.min_sup,
+            algorithm=result.algorithm,
+            metadata=metadata,
+        )
+
+    def to_result(self) -> MiningResult:
+        """The store's contents as a :class:`MiningResult`."""
+        return MiningResult(
+            (MinedPattern(pattern=p, support=s) for p, s in self.entries()),
+            min_sup=self.min_sup,
+            algorithm=self.algorithm,
+        )
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._supports)
+
+    def pattern_at(self, index: int) -> Pattern:
+        """The pattern in slot ``index`` (0-based store order)."""
+        return self._patterns[index]
+
+    def support_at(self, index: int) -> int:
+        """The mined support recorded for slot ``index``."""
+        return self._supports[index]
+
+    def patterns(self) -> List[Pattern]:
+        """All patterns in store order."""
+        return list(self._patterns)
+
+    def entries(self) -> Iterator[Tuple[Pattern, int]]:
+        """``(pattern, support)`` pairs in store order."""
+        return zip(self._patterns, self._supports, strict=False)
+
+    def supports(self) -> Dict[Pattern, int]:
+        """Mapping pattern -> mined support."""
+        return dict(self.entries())
+
+    def alphabet(self) -> List[object]:
+        """The event table in id order (first-seen over the pattern column)."""
+        return list(self._alphabet)
+
+    def __iter__(self) -> Iterator[MinedPattern]:
+        return (MinedPattern(pattern=p, support=s) for p, s in self.entries())
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, PatternStore):
+            return (
+                self._patterns == other._patterns
+                and self._supports == other._supports
+                and self.min_sup == other.min_sup
+                and self.algorithm == other.algorithm
+                and self.metadata == other.metadata
+            )
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        label = f" by {self.algorithm}" if self.algorithm else ""
+        return (
+            f"<PatternStore{label}: {len(self)} patterns, "
+            f"alphabet {len(self._alphabet)}>"
+        )
+
+    def automaton(self):
+        """The store compiled into a shared matching automaton (cached)."""
+        cached = getattr(self, "_automaton", None)
+        if cached is None:
+            from repro.match.automaton import PatternAutomaton
+
+            cached = self._automaton = PatternAutomaton(self._patterns)
+        return cached
+
+    # ------------------------------------------------------------------
+    # Binary encoding
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """The deterministic binary encoding of this store."""
+        header_blob = _dumps(
+            {
+                "min_sup": self.min_sup,
+                "algorithm": self.algorithm,
+                "metadata": self.metadata,
+            }
+        )
+        alphabet_blob = _dumps(self._alphabet)
+        parts = [
+            _HEADER.pack(MAGIC, FORMAT_VERSION),
+            _U32.pack(len(header_blob)),
+            header_blob,
+            _U32.pack(len(alphabet_blob)),
+            alphabet_blob,
+            _U64.pack(len(self._supports)),
+            _U64.pack(len(self._events)),
+            _column_bytes(self._offsets),
+            _column_bytes(self._events),
+            _column_bytes(self._supports),
+        ]
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "PatternStore":
+        """Decode a binary store; the exact inverse of :meth:`to_bytes`."""
+        view = memoryview(blob)
+        if len(view) < _HEADER.size:
+            raise ValueError("truncated pattern store (missing header)")
+        magic, version = _HEADER.unpack_from(view, 0)
+        if magic != MAGIC:
+            raise ValueError(
+                f"not a binary pattern store (magic {magic!r}, expected {MAGIC!r})"
+            )
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported pattern-store version {version} "
+                f"(this build reads version {FORMAT_VERSION})"
+            )
+        cursor = _HEADER.size
+
+        def take(count: int) -> memoryview:
+            nonlocal cursor
+            if cursor + count > len(view):
+                raise ValueError("truncated pattern store")
+            chunk = view[cursor : cursor + count]
+            cursor += count
+            return chunk
+
+        header = json.loads(bytes(take(_U32.unpack(take(_U32.size))[0])))
+        alphabet = json.loads(bytes(take(_U32.unpack(take(_U32.size))[0])))
+        n_patterns = _U64.unpack(take(_U64.size))[0]
+        n_events = _U64.unpack(take(_U64.size))[0]
+        itemsize = array(POSITION_TYPECODE).itemsize
+        offsets = _column_from(bytes(take((n_patterns + 1) * itemsize)))
+        events = _column_from(bytes(take(n_events * itemsize)))
+        supports = _column_from(bytes(take(n_patterns * itemsize)))
+        if cursor != len(view):
+            raise ValueError("trailing bytes after pattern store payload")
+        if any(aid < 0 or aid >= len(alphabet) for aid in events):
+            raise ValueError("corrupt pattern store (event id outside alphabet)")
+        entries = []
+        for k in range(n_patterns):
+            lo, hi = offsets[k], offsets[k + 1]
+            if not 0 <= lo <= hi <= n_events:
+                raise ValueError("corrupt pattern store (offset column out of order)")
+            entries.append(
+                (Pattern(alphabet[aid] for aid in events[lo:hi]), supports[k])
+            )
+        return cls(
+            entries,
+            min_sup=header.get("min_sup"),
+            algorithm=header.get("algorithm"),
+            metadata=header.get("metadata") or {},
+        )
+
+    def save(self, path: PathLike) -> Path:
+        """Write the binary encoding to ``path`` (atomically) and return it.
+
+        The bytes are staged in a sibling temp file and moved into place, so
+        a matcher loading concurrently never observes a half-written store.
+        """
+        path = Path(path)
+        staging = path.with_name(path.name + ".tmp")
+        staging.write_bytes(self.to_bytes())
+        staging.replace(path)
+        return path
+
+    @classmethod
+    def load(cls, path: PathLike) -> "PatternStore":
+        """Read a binary store written by :meth:`save`."""
+        return cls.from_bytes(Path(path).read_bytes())
+
+    # ------------------------------------------------------------------
+    # JSON sibling
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        """The JSON-serialisable sibling encoding."""
+        data = {
+            "format": JSON_FORMAT,
+            "version": FORMAT_VERSION,
+            "metadata": dict(self.metadata),
+        }
+        data.update(self.to_result().to_json())
+        return data
+
+    @classmethod
+    def from_json(cls, data: dict) -> "PatternStore":
+        """Decode the JSON sibling; the inverse of :meth:`to_json`."""
+        if data.get("format") != JSON_FORMAT:
+            raise ValueError(
+                f"not a JSON pattern store (format {data.get('format')!r})"
+            )
+        result = MiningResult.from_json(data)
+        store = cls.from_result(result, metadata=data.get("metadata") or {})
+        return store
+
+    def save_json(self, path: PathLike) -> Path:
+        """Write the human-readable JSON sibling to ``path``."""
+        path = Path(path)
+        staging = path.with_name(path.name + ".tmp")
+        staging.write_text(
+            json.dumps(self.to_json(), ensure_ascii=False, indent=2) + "\n",
+            encoding="utf-8",
+        )
+        staging.replace(path)
+        return path
+
+    @classmethod
+    def load_json(cls, path: PathLike) -> "PatternStore":
+        """Read a JSON store written by :meth:`save_json`."""
+        return cls.from_json(json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+def load_patterns(path: PathLike) -> PatternStore:
+    """Load a pattern store, sniffing the encoding from the magic bytes."""
+    blob = Path(path).read_bytes()
+    if blob[: len(MAGIC)] == MAGIC:
+        return PatternStore.from_bytes(blob)
+    try:
+        data = json.loads(blob.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ValueError(
+            f"{path}: neither a binary pattern store (bad magic) nor JSON"
+        ) from exc
+    return PatternStore.from_json(data)
+
+
+def save_patterns(
+    source: Union[PatternStore, MiningResult],
+    path: PathLike,
+    *,
+    encoding: str = "auto",
+) -> Path:
+    """Persist a store or mining result; ``encoding`` is ``auto``/``binary``/``json``.
+
+    ``auto`` writes JSON when ``path`` ends in ``.json`` and binary otherwise.
+    """
+    store = source if isinstance(source, PatternStore) else PatternStore.from_result(source)
+    if encoding == "auto":
+        encoding = "json" if str(path).endswith(".json") else "binary"
+    if encoding == "binary":
+        return store.save(path)
+    if encoding == "json":
+        return store.save_json(path)
+    raise ValueError(f"unknown pattern-store encoding {encoding!r}")

@@ -32,14 +32,26 @@ running ``mine_closed`` over the equivalent static database — the invariant
 the randomized regression tests enforce.
 
 Sliding-window eviction drops the oldest sequences once a ``window`` budget
-is exceeded; only the (small) shard straddling the window edge is rebuilt,
+(count-based), a ``window_seconds`` budget (time-based, driven by the
+per-sequence timestamps handed to :meth:`StreamMiner.append`), or both are
+exceeded; only the (small) shard straddling the window edge is rebuilt,
 everything else keeps its cached tables.
+
+Each refresh can also push the window's pattern set into the read-side
+subsystem: :meth:`StreamUpdate.to_store` wraps the result as a
+:class:`~repro.match.store.PatternStore`, and a miner constructed with
+``store_path=...`` persists that store after every refresh, so serving
+workers always load the freshest window.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.match.store import PatternStore
 
 from repro.core.gsgrow import GSgrow
 from repro.core.pattern import Pattern
@@ -166,6 +178,21 @@ class StreamUpdate:
             f"{self.shards_remined}/{self.shards} shards re-mined"
         )
 
+    def to_store(self, *, metadata: Optional[dict] = None) -> "PatternStore":
+        """This refresh's pattern set as a servable pattern store.
+
+        The store records the window shape alongside the mining metadata, so
+        a serving worker can tell which slice of the stream it is matching
+        against.  Persist it with ``store.save(path)`` (or hand
+        ``store_path=...`` to the miner to do this after every refresh).
+        """
+        from repro.match.store import PatternStore  # local import: stream stays importable alone
+
+        merged = {"source": "stream", "window_sequences": self.total_sequences}
+        if metadata:
+            merged.update(metadata)
+        return PatternStore.from_result(self.result, metadata=merged)
+
 
 class StreamMiner:
     """Continuous (closed) pattern mining over an appended, windowed stream.
@@ -183,9 +210,19 @@ class StreamMiner:
     window:
         Optional sliding-window budget: once more than ``window`` sequences
         are retained, the oldest are evicted (count-based window).
+    window_seconds:
+        Optional time-based sliding-window budget.  When set, every
+        :meth:`append` must carry a (non-decreasing) ``timestamp``, and
+        sequences whose timestamp is more than ``window_seconds`` older than
+        the newest timestamp are evicted.  May be combined with ``window``;
+        whichever budget evicts more wins.
     max_length:
         Optional pattern-length cap, matching the batch miners' semantics
         (closed in the full universe, truncated at the cap).
+    store_path:
+        Optional path of a :class:`~repro.match.store.PatternStore` file to
+        (re)write after every :meth:`refresh` — the stream-to-serving bridge.
+        Written atomically; ``*.json`` paths get the JSON sibling encoding.
     """
 
     def __init__(
@@ -195,7 +232,9 @@ class StreamMiner:
         closed: bool = True,
         shard_size: int = 16,
         window: Optional[int] = None,
+        window_seconds: Optional[float] = None,
         max_length: Optional[int] = None,
+        store_path: Optional[Union[str, Path]] = None,
     ):
         if min_sup < 1:
             raise ValueError(f"min_sup must be >= 1, got {min_sup}")
@@ -203,16 +242,22 @@ class StreamMiner:
             raise ValueError(f"shard_size must be >= 1, got {shard_size}")
         if window is not None and window < 1:
             raise ValueError(f"window must be >= 1, got {window}")
+        if window_seconds is not None and window_seconds <= 0:
+            raise ValueError(f"window_seconds must be > 0, got {window_seconds}")
         if max_length is not None and max_length < 1:
             raise ValueError(f"max_length must be >= 1, got {max_length}")
         self.min_sup = min_sup
         self.closed = closed
         self.shard_size = shard_size
         self.window = window
+        self.window_seconds = window_seconds
         self.max_length = max_length
+        self.store_path = Path(store_path) if store_path is not None else None
         self.stats = StreamStats()
         self._shards: List[_Shard] = []
         self._shard_of: Dict[int, _Shard] = {}
+        self._timestamps: Dict[int, float] = {}
+        self._latest_timestamp: Optional[float] = None
         self._next_handle = 0
         self._appended_since_refresh = 0
         self._evicted_since_refresh = 0
@@ -221,12 +266,30 @@ class StreamMiner:
     # ------------------------------------------------------------------
     # Ingestion
     # ------------------------------------------------------------------
-    def append(self, sequence) -> int:
+    def append(self, sequence, timestamp: Optional[float] = None) -> int:
         """Ingest one new sequence; returns a stable handle for later appends.
 
         The sequence lands in the open (newest) shard, whose index is
         extended in place; only that shard becomes dirty.
+
+        ``timestamp`` is the sequence's arrival time in seconds (any epoch —
+        only differences matter).  It is required when the miner has a
+        ``window_seconds`` budget, optional otherwise, and must never
+        decrease: the time-based window slides forward with the stream.
         """
+        if timestamp is None:
+            if self.window_seconds is not None:
+                raise ValueError(
+                    "this StreamMiner has a window_seconds budget; every "
+                    "append must carry a timestamp"
+                )
+        else:
+            if self._latest_timestamp is not None and timestamp < self._latest_timestamp:
+                raise ValueError(
+                    f"timestamps must be non-decreasing: got {timestamp} after "
+                    f"{self._latest_timestamp}"
+                )
+            self._latest_timestamp = timestamp
         shard = self._open_shard()
         shard.stream.append(sequence)
         shard.dirty = True
@@ -234,6 +297,8 @@ class StreamMiner:
         self._next_handle += 1
         shard.add_handle(handle)
         self._shard_of[handle] = shard
+        if timestamp is not None:
+            self._timestamps[handle] = timestamp
         self.stats.appends += 1
         self._appended_since_refresh += 1
         self._evict_over_window()
@@ -249,9 +314,23 @@ class StreamMiner:
         shard.dirty = True
         self.stats.extends += 1
 
-    def append_many(self, sequences: Iterable) -> List[int]:
-        """Ingest several sequences; returns their handles."""
-        return [self.append(seq) for seq in sequences]
+    def append_many(
+        self, sequences: Iterable, timestamps: Optional[Iterable[float]] = None
+    ) -> List[int]:
+        """Ingest several sequences; returns their handles.
+
+        ``timestamps`` must align with ``sequences`` when given (one
+        timestamp per sequence, the :meth:`append` contract applies).
+        """
+        if timestamps is None:
+            return [self.append(seq) for seq in sequences]
+        sequences = list(sequences)
+        timestamps = list(timestamps)
+        if len(sequences) != len(timestamps):
+            raise ValueError(
+                f"got {len(timestamps)} timestamps for {len(sequences)} sequences"
+            )
+        return [self.append(seq, ts) for seq, ts in zip(sequences, timestamps, strict=False)]
 
     # ------------------------------------------------------------------
     # Delivery
@@ -304,6 +383,10 @@ class StreamMiner:
         self._last_supports = dict(kept)
         self._appended_since_refresh = 0
         self._evicted_since_refresh = 0
+        if self.store_path is not None:
+            from repro.match.store import save_patterns  # local import, see to_store
+
+            save_patterns(update.to_store(), self.store_path)
         return update
 
     def results(self) -> MiningResult:
@@ -342,19 +425,41 @@ class StreamMiner:
         return self._shards[-1]
 
     def _evict_over_window(self) -> None:
-        if self.window is None:
-            return
-        overflow = len(self) - self.window
-        while overflow > 0 and self._shards:
+        drop = 0
+        if self.window is not None:
+            drop = len(self) - self.window
+        if self.window_seconds is not None and self._latest_timestamp is not None:
+            drop = max(drop, self._count_expired(self._latest_timestamp - self.window_seconds))
+        self._evict_oldest(drop)
+
+    def _count_expired(self, cutoff: float) -> int:
+        """Number of leading (oldest) sequences with timestamp before ``cutoff``.
+
+        Handles are stored in arrival order and timestamps never decrease,
+        so the expired sequences form a prefix of the window.
+        """
+        timestamps = self._timestamps
+        expired = 0
+        for shard in self._shards:
+            for handle in shard.handles:
+                if timestamps[handle] >= cutoff:
+                    return expired
+                expired += 1
+        return expired
+
+    def _evict_oldest(self, count: int) -> None:
+        """Evict the ``count`` oldest window sequences (both window kinds)."""
+        while count > 0 and self._shards:
             oldest = self._shards[0]
-            drop = min(overflow, len(oldest))
+            drop = min(count, len(oldest))
             for handle in oldest.handles[:drop]:
                 del self._shard_of[handle]
+                self._timestamps.pop(handle, None)
             if drop == len(oldest):
                 self._shards.pop(0)
             else:
                 oldest.drop_oldest(drop)
-            overflow -= drop
+            count -= drop
             self.stats.evictions += drop
             self._evicted_since_refresh += drop
 

@@ -1,0 +1,150 @@
+"""Unit tests for the shared matching automaton (worked examples + edges)."""
+
+import pytest
+
+from repro.core.clogsgrow import mine_closed
+from repro.core.constraints import GapConstraint
+from repro.core.support import repetitive_support, sup_comp
+from repro.db.database import SequenceDatabase
+from repro.db.index import InvertedEventIndex
+from repro.db.sequence import Sequence
+from repro.match.automaton import MatchResult, PatternAutomaton, compile_patterns
+
+PATTERNS = ["AB", "ABB", "AC", "BB", "D"]
+
+
+@pytest.fixture
+def automaton() -> PatternAutomaton:
+    return PatternAutomaton(PATTERNS)
+
+
+class TestCompilation:
+    def test_prefix_sharing(self, automaton):
+        # AB/ABB share two states, AC shares one with them: the 7 distinct
+        # prefixes (A, AB, ABB, AC, B, BB, D) plus the root.
+        assert automaton.state_count == 8
+        assert automaton.alphabet_size == 4
+        assert len(automaton) == len(PATTERNS)
+        assert [str(p) for p in automaton.patterns] == PATTERNS
+
+    def test_from_mining_result(self, example11):
+        result = mine_closed(example11, 2)
+        automaton = compile_patterns(result)
+        assert automaton.patterns == result.patterns()
+
+    def test_rejects_duplicates_and_empty(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            PatternAutomaton(["AB", "AB"])
+        with pytest.raises(ValueError, match="empty"):
+            PatternAutomaton([""])
+
+    def test_unknown_engine_rejected(self, automaton, example11):
+        with pytest.raises(ValueError, match="engine"):
+            automaton.match(example11, engine="turbo")
+
+
+class TestMatchingExample11(object):
+    """Supports on the paper's Example 1.1 database, both engines."""
+
+    @pytest.mark.parametrize("engine", ["sweep", "dfs", "auto"])
+    def test_supports_match_oracle(self, example11, automaton, engine):
+        index = InvertedEventIndex(example11)
+        result = automaton.match(example11, engine=engine)
+        assert isinstance(result, MatchResult)
+        for entry in result:
+            assert entry.support == repetitive_support(index, entry.pattern)
+            assert entry.occurred == (entry.support > 0)
+
+    def test_per_sequence_counts(self, example11, automaton):
+        result = automaton.match(example11)
+        for entry in result:
+            for i in range(1, len(example11) + 1):
+                single = SequenceDatabase([example11.sequence(i)])
+                expected = repetitive_support(single, entry.pattern)
+                assert entry.per_sequence.get(i, 0) == expected
+            assert sum(entry.per_sequence.values()) == entry.support
+
+    def test_match_result_views(self, example11, automaton):
+        result = automaton.match(example11)
+        assert result.support_of("AB") == 4
+        assert "AB" in result and "ZZ" not in result
+        assert [str(p) for p in result.supports()] == PATTERNS
+        missing = result.missing()
+        matched = {str(e.pattern) for e in result.matched()}
+        assert matched | {str(p) for p in missing} == set(PATTERNS)
+        top = result.top_k(2)
+        assert len(top) == 2
+        assert top[0].support >= top[1].support
+        assert 0.0 <= result.coverage() <= 1.0
+
+    def test_single_sequence_and_list_queries(self, automaton):
+        single = automaton.match("AABCDABB")
+        assert single.num_sequences == 1
+        assert single.support_of("AB") == 3
+        listed = automaton.match(["AABCDABB", Sequence("ABCD")])
+        assert listed.num_sequences == 2
+        assert listed.support_of("AB") == 4
+        flat_events = automaton.match([10, 11, 12])  # one sequence of int events
+        assert flat_events.num_sequences == 1
+
+    def test_index_query(self, example11, automaton):
+        index = InvertedEventIndex(example11)
+        assert automaton.match(index).supports() == automaton.match(example11).supports()
+
+
+class TestInstances:
+    def test_with_instances_equals_sup_comp(self, example11, automaton):
+        index = InvertedEventIndex(example11)
+        result = automaton.match(example11, with_instances=True)
+        for entry in result:
+            assert entry.support_set == sup_comp(index, entry.pattern)
+            assert entry.support_set.support == entry.support
+
+    def test_zero_support_pattern_gets_empty_set(self, automaton):
+        result = automaton.match("CCCC", with_instances=True)
+        entry = result["AB"]
+        assert entry.support == 0
+        assert len(entry.support_set) == 0
+
+    def test_sweep_engine_rejects_instances(self, example11, automaton):
+        with pytest.raises(ValueError, match="sweep"):
+            automaton.match(example11, with_instances=True, engine="sweep")
+        with pytest.raises(ValueError, match="sweep"):
+            automaton.match(
+                example11, constraint=GapConstraint(0, 2), engine="sweep"
+            )
+
+
+class TestEdgeCases:
+    def test_pattern_event_absent_from_query(self, automaton):
+        result = automaton.match("ABAB")
+        assert result.support_of("D") == 0
+        assert result.support_of("AC") == 0
+
+    def test_empty_database(self, automaton):
+        result = automaton.match(SequenceDatabase([]))
+        assert result.num_sequences == 0
+        assert all(e.support == 0 for e in result)
+
+    def test_empty_pattern_set(self, example11):
+        automaton = PatternAutomaton([])
+        result = automaton.match(example11)
+        assert len(result) == 0
+        assert result.coverage() == 1.0
+
+    def test_repeated_event_patterns(self):
+        # AA over AAA: greedy non-overlapping semantics give 2, not 1 or 3.
+        automaton = PatternAutomaton(["AA", "AAA"])
+        result = automaton.match("AAA")
+        assert result.support_of("AA") == 2
+        assert result.support_of("AAA") == 1
+
+    def test_constrained_match_uses_dfs(self, table3):
+        automaton = PatternAutomaton(["AB", "ACD"])
+        index = InvertedEventIndex(table3)
+        constraint = GapConstraint(0, 1)
+        result = automaton.match(table3, constraint=constraint)
+        for entry in result:
+            assert entry.support == repetitive_support(
+                index, entry.pattern, constraint=constraint
+            )

@@ -1,0 +1,127 @@
+"""Randomized oracle suite: the automaton vs per-pattern ``repetitive_support``.
+
+The whole contract of :mod:`repro.match` is that the shared pass is a pure
+optimisation: for every pattern the automaton must report *exactly* the
+support (total and per sequence) that an independent
+``repetitive_support`` call computes, and with ``with_instances=True``
+exactly the support set ``sup_comp`` computes.  These tests pin that on
+Markov-generated databases across seeds, for both execution engines, with
+gap constraints on and off, for pattern sets that mix genuinely mined
+patterns with random (often absent) ones.
+"""
+
+import random
+
+import pytest
+
+from repro.core.clogsgrow import mine_closed
+from repro.core.constraints import GapConstraint
+from repro.core.support import repetitive_support, sup_comp
+from repro.datagen.markov import MarkovSequenceGenerator
+from repro.db.database import SequenceDatabase
+from repro.db.index import InvertedEventIndex
+from repro.match.automaton import PatternAutomaton
+
+SEEDS = [0, 1, 2, 3]
+
+
+def _markov_db(seed, num_sequences=12, num_events=6, average_length=18.0):
+    return MarkovSequenceGenerator(
+        num_sequences=num_sequences,
+        num_events=num_events,
+        average_length=average_length,
+        concentration=4.0,
+        seed=seed,
+    ).generate()
+
+
+def _pattern_set(db, seed, extra_random=8):
+    """Mined closed patterns plus random mutations (absent patterns included)."""
+    mined = [p.events for p in mine_closed(db, 4).patterns()]
+    rng = random.Random(seed * 7919 + 13)
+    vocabulary = sorted({e for seq in db for e in seq})
+    patterns = set(mined)
+    while len(patterns) < len(mined) + extra_random:
+        length = rng.randint(1, 6)
+        patterns.add(tuple(rng.choice(vocabulary) for _ in range(length)))
+    # `absent` guarantees at least one pattern with an event the query lacks.
+    patterns.add(("absent-event",) + (vocabulary[0],))
+    return sorted(patterns)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("engine", ["sweep", "dfs"])
+def test_supports_identical_to_oracle_unconstrained(seed, engine):
+    db = _markov_db(seed)
+    patterns = _pattern_set(db, seed)
+    index = InvertedEventIndex(db)
+    result = PatternAutomaton(patterns).match(db, engine=engine)
+    for pattern in patterns:
+        assert result.support_of(pattern) == repetitive_support(index, pattern)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize(
+    "constraint",
+    [GapConstraint(0, None), GapConstraint(1, None), GapConstraint(0, 2), GapConstraint(1, 4)],
+    ids=["unbounded", "min1", "max2", "band1-4"],
+)
+def test_supports_identical_to_oracle_constrained(seed, constraint):
+    db = _markov_db(seed, num_sequences=8)
+    patterns = _pattern_set(db, seed, extra_random=6)
+    index = InvertedEventIndex(db)
+    result = PatternAutomaton(patterns).match(db, constraint=constraint)
+    for pattern in patterns:
+        assert result.support_of(pattern) == repetitive_support(
+            index, pattern, constraint=constraint
+        )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_per_sequence_counts_identical_to_single_sequence_oracle(seed):
+    db = _markov_db(seed, num_sequences=6)
+    patterns = _pattern_set(db, seed, extra_random=4)
+    automaton = PatternAutomaton(patterns)
+    for engine in ("sweep", "dfs"):
+        result = automaton.match(db, engine=engine)
+        for entry in result:
+            assert sum(entry.per_sequence.values()) == entry.support
+            for i in range(1, len(db) + 1):
+                single = SequenceDatabase([db.sequence(i)])
+                assert entry.per_sequence.get(i, 0) == repetitive_support(
+                    single, entry.pattern
+                )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_engines_agree_with_each_other(seed):
+    db = _markov_db(seed)
+    patterns = _pattern_set(db, seed)
+    automaton = PatternAutomaton(patterns)
+    swept = automaton.match(db, engine="sweep")
+    walked = automaton.match(db, engine="dfs")
+    assert swept.supports() == walked.supports()
+    for pattern in patterns:
+        assert swept[pattern].per_sequence == walked[pattern].per_sequence
+
+
+@pytest.mark.parametrize("seed", SEEDS[:2])
+def test_instances_identical_to_sup_comp(seed):
+    db = _markov_db(seed, num_sequences=6)
+    patterns = _pattern_set(db, seed, extra_random=4)
+    index = InvertedEventIndex(db)
+    result = PatternAutomaton(patterns).match(db, with_instances=True)
+    for entry in result:
+        oracle = sup_comp(index, entry.pattern)
+        assert entry.support_set == oracle
+        assert entry.support == oracle.support
+
+
+@pytest.mark.parametrize("seed", SEEDS[:2])
+def test_mined_result_matches_itself_with_full_coverage(seed):
+    """Matching a mining result against its own database reproduces supports."""
+    db = _markov_db(seed)
+    result = mine_closed(db, 4)
+    matched = PatternAutomaton(result).match(db)
+    assert matched.supports() == result.as_dict()
+    assert matched.coverage() == 1.0

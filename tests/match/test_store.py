@@ -1,0 +1,185 @@
+"""Pattern-store round-trip, byte-stability and encoding-sniffing tests."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.clogsgrow import mine_closed
+from repro.core.pattern import Pattern
+from repro.core.results import MinedPattern, MiningResult
+from repro.match.store import (
+    FORMAT_VERSION,
+    MAGIC,
+    PatternStore,
+    load_patterns,
+    save_patterns,
+)
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+@pytest.fixture
+def mined_store(example11) -> PatternStore:
+    return PatternStore.from_result(mine_closed(example11, 2), metadata={"origin": "test"})
+
+
+class TestRoundTrip:
+    def test_bytes_round_trip(self, mined_store):
+        blob = mined_store.to_bytes()
+        assert blob.startswith(MAGIC)
+        loaded = PatternStore.from_bytes(blob)
+        assert loaded == mined_store
+        assert loaded.supports() == mined_store.supports()
+        assert loaded.metadata == {"origin": "test"}
+
+    def test_file_round_trip(self, mined_store, tmp_path):
+        path = mined_store.save(tmp_path / "patterns.rps")
+        loaded = PatternStore.load(path)
+        assert loaded == mined_store
+
+    def test_json_round_trip(self, mined_store, tmp_path):
+        path = mined_store.save_json(tmp_path / "patterns.json")
+        data = json.loads(path.read_text())
+        assert data["format"] == "repro.match.pattern-store"
+        loaded = PatternStore.load_json(path)
+        assert loaded == mined_store
+
+    def test_result_round_trip(self, example11):
+        result = mine_closed(example11, 2)
+        store = PatternStore.from_result(result)
+        back = store.to_result()
+        assert back.as_dict() == result.as_dict()
+        assert back.min_sup == result.min_sup
+        assert back.algorithm == result.algorithm
+
+    def test_non_ascii_alphabet(self, tmp_path):
+        entries = [(Pattern(("αλφα", "βήτα")), 3), (Pattern(("βήτα", "日本語")), 1)]
+        store = PatternStore(entries, min_sup=1, algorithm="CloGSgrow")
+        for path in (store.save(tmp_path / "u.rps"), store.save_json(tmp_path / "u.json")):
+            assert load_patterns(path) == store
+
+    def test_integer_alphabet(self, tmp_path):
+        entries = [(Pattern((1, 2, 1)), 4), (Pattern((7,)), 2)]
+        store = PatternStore(entries, min_sup=2)
+        loaded = load_patterns(store.save(tmp_path / "ints.rps"))
+        assert loaded == store
+        # Integers come back as integers, not strings.
+        assert loaded.pattern_at(0).events == (1, 2, 1)
+
+    def test_empty_store(self, tmp_path):
+        store = PatternStore([], min_sup=5, algorithm="GSgrow")
+        loaded = load_patterns(store.save(tmp_path / "empty.rps"))
+        assert loaded == store
+        assert len(loaded) == 0
+
+
+class TestByteStability:
+    def test_save_is_deterministic(self, mined_store):
+        assert mined_store.to_bytes() == mined_store.to_bytes()
+
+    def test_load_save_is_identity_on_bytes(self, mined_store):
+        blob = mined_store.to_bytes()
+        assert PatternStore.from_bytes(blob).to_bytes() == blob
+
+    def test_round_trip_across_processes(self, mined_store, tmp_path):
+        """A store saved by another interpreter process is byte-identical."""
+        path = mined_store.save(tmp_path / "patterns.rps")
+        out = tmp_path / "resaved.rps"
+        script = (
+            "import sys; sys.path.insert(0, sys.argv[1])\n"
+            "from repro.match.store import PatternStore\n"
+            "PatternStore.load(sys.argv[2]).save(sys.argv[3])\n"
+        )
+        subprocess.run(
+            [sys.executable, "-c", script, REPO_SRC, str(path), str(out)],
+            check=True,
+        )
+        assert out.read_bytes() == path.read_bytes()
+
+
+class TestSniffing:
+    def test_load_patterns_sniffs_binary_and_json(self, mined_store, tmp_path):
+        binary = mined_store.save(tmp_path / "a.rps")
+        sibling = mined_store.save_json(tmp_path / "a.json")
+        assert load_patterns(binary) == load_patterns(sibling) == mined_store
+
+    def test_save_patterns_auto_encoding(self, example11, tmp_path):
+        result = mine_closed(example11, 2)
+        binary = save_patterns(result, tmp_path / "a.rps")
+        as_json = save_patterns(result, tmp_path / "a.json")
+        assert binary.read_bytes().startswith(MAGIC)
+        assert json.loads(as_json.read_text())["version"] == FORMAT_VERSION
+        assert load_patterns(binary) == load_patterns(as_json)
+
+    def test_garbage_file_rejected(self, tmp_path):
+        path = tmp_path / "garbage.bin"
+        path.write_bytes(b"\x00\x01\x02 not a store")
+        with pytest.raises(ValueError, match="neither"):
+            load_patterns(path)
+
+
+class TestValidation:
+    def test_unsupported_event_type(self):
+        with pytest.raises(TypeError, match="str or int"):
+            PatternStore([(Pattern(((1, 2),)), 1)])
+        with pytest.raises(TypeError, match="str or int"):
+            PatternStore([(Pattern((True,)), 1)])
+
+    def test_negative_support_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            PatternStore([(Pattern("AB"), -1)])
+
+    def test_bad_magic_and_version(self, mined_store):
+        blob = mined_store.to_bytes()
+        with pytest.raises(ValueError, match="magic"):
+            PatternStore.from_bytes(b"XXXX" + blob[4:])
+        bumped = blob[:4] + (99).to_bytes(4, "little") + blob[8:]
+        with pytest.raises(ValueError, match="version"):
+            PatternStore.from_bytes(bumped)
+
+    def test_corrupt_event_id_detected(self):
+        store = PatternStore([(Pattern("AB"), 2)])
+        blob = store.to_bytes()
+        # The events column is the 2 * 8 bytes before the trailing supports
+        # column (1 pattern -> 8 bytes of supports); flip an id out of range.
+        bad_high = blob[:-24] + (7).to_bytes(8, "little") + blob[-16:]
+        with pytest.raises(ValueError, match="alphabet"):
+            PatternStore.from_bytes(bad_high)
+        bad_negative = blob[:-24] + (-1).to_bytes(8, "little", signed=True) + blob[-16:]
+        with pytest.raises(ValueError, match="alphabet"):
+            PatternStore.from_bytes(bad_negative)
+
+    def test_truncation_detected(self, mined_store):
+        blob = mined_store.to_bytes()
+        with pytest.raises(ValueError, match="truncated"):
+            PatternStore.from_bytes(blob[:-3])
+        with pytest.raises(ValueError, match="trailing"):
+            PatternStore.from_bytes(blob + b"\x00")
+
+
+class TestJsonSerialisation:
+    """MiningResult.to_json / from_json (the store's JSON sibling rests on it)."""
+
+    def test_round_trip_with_metadata(self, example11):
+        result = mine_closed(example11, 2)
+        data = result.to_json()
+        assert data["min_sup"] == 2
+        assert data["closed"] is True
+        back = MiningResult.from_json(json.loads(json.dumps(data)))
+        assert back.as_dict() == result.as_dict()
+        assert back.min_sup == result.min_sup
+        assert back.algorithm == result.algorithm
+
+    def test_closed_flag_tracks_algorithm(self):
+        gs = MiningResult([MinedPattern(Pattern("A"), 1)], algorithm="GSgrow")
+        assert gs.to_json()["closed"] is False
+        unknown = MiningResult([])
+        assert unknown.to_json()["closed"] is None
+
+    def test_from_json_ignores_extra_keys(self):
+        data = {"patterns": [{"events": ["A", "B"], "support": 2}], "extra": 1}
+        back = MiningResult.from_json(data)
+        assert back.support_of("AB") == 2

@@ -1,0 +1,107 @@
+"""Time-based sliding windows in the StreamMiner (the ``window_seconds`` budget)."""
+
+import pytest
+
+from repro.core.clogsgrow import mine_closed
+from repro.datagen.markov import MarkovSequenceGenerator
+from repro.stream.miner import StreamMiner
+
+
+def canon(result):
+    return sorted((mp.pattern.events, mp.support) for mp in result)
+
+
+class TestTimeEviction:
+    def test_sequences_older_than_budget_are_evicted(self):
+        miner = StreamMiner(1, shard_size=2, window_seconds=10.0)
+        for k, seq in enumerate(["AA", "BB", "CC", "DD", "EE"]):
+            miner.append(seq, timestamp=k * 4.0)  # ts 0, 4, 8, 12, 16
+        # Newest ts is 16 -> cutoff 6: ts 0 and 4 are gone, 8/12/16 remain.
+        assert len(miner) == 3
+        assert miner.stats.evictions == 2
+        retained = [seq.events for seq in miner.snapshot_database()]
+        assert retained == [("C", "C"), ("D", "D"), ("E", "E")]
+
+    def test_boundary_timestamp_is_retained(self):
+        miner = StreamMiner(1, window_seconds=5.0)
+        miner.append("AA", timestamp=0.0)
+        miner.append("BB", timestamp=5.0)  # exactly window_seconds newer: keep both
+        assert len(miner) == 2
+        miner.append("CC", timestamp=5.1)  # now 0.0 < 5.1 - 5.0: evict AA
+        assert len(miner) == 2
+        assert [s.events for s in miner.snapshot_database()] == [("B", "B"), ("C", "C")]
+
+    def test_one_append_can_evict_many(self):
+        miner = StreamMiner(1, shard_size=3, window_seconds=2.0)
+        for k in range(6):
+            miner.append("AB", timestamp=float(k) / 10.0)  # all within budget
+        assert len(miner) == 6
+        miner.append("CD", timestamp=100.0)
+        assert len(miner) == 1
+        assert miner.stats.evictions == 6
+
+    def test_results_equal_batch_mine_of_retained_window(self):
+        database = MarkovSequenceGenerator(
+            num_sequences=40, num_events=6, average_length=12.0, seed=3
+        ).generate()
+        miner = StreamMiner(3, shard_size=4, window_seconds=8.0)
+        for k, seq in enumerate(database):
+            miner.append(seq, timestamp=k * 1.0)
+            if k % 7 == 0:
+                update = miner.refresh()
+                batch = mine_closed(miner.snapshot_database(), 3)
+                assert canon(update.result) == canon(batch)
+        assert miner.stats.evictions > 0
+        assert canon(miner.results()) == canon(mine_closed(miner.snapshot_database(), 3))
+
+    def test_combines_with_count_window(self):
+        # Count window (3) is tighter than the time budget here.
+        miner = StreamMiner(1, window=3, window_seconds=100.0)
+        for k in range(5):
+            miner.append("AB", timestamp=float(k))
+        assert len(miner) == 3
+        # Now the time budget is tighter than the count window.
+        tight = StreamMiner(1, window=100, window_seconds=1.5)
+        for k in range(5):
+            tight.append("AB", timestamp=float(k))
+        assert len(tight) == 2
+
+    def test_count_window_still_works_without_timestamps(self):
+        miner = StreamMiner(1, window=2)
+        miner.append_many(["AA", "BB", "CC"])
+        assert len(miner) == 2
+
+
+class TestTimestampValidation:
+    def test_timestamp_required_with_window_seconds(self):
+        miner = StreamMiner(1, window_seconds=1.0)
+        with pytest.raises(ValueError, match="timestamp"):
+            miner.append("AB")
+
+    def test_timestamps_must_not_decrease(self):
+        miner = StreamMiner(1)
+        miner.append("AB", timestamp=10.0)
+        with pytest.raises(ValueError, match="non-decreasing"):
+            miner.append("CD", timestamp=9.0)
+        miner.append("CD", timestamp=10.0)  # equal is fine
+
+    def test_append_many_with_timestamps(self):
+        miner = StreamMiner(1, window_seconds=10.0)
+        handles = miner.append_many(["AA", "BB"], timestamps=[0.0, 1.0])
+        assert len(handles) == 2
+        with pytest.raises(ValueError, match="timestamps"):
+            miner.append_many(["CC"], timestamps=[2.0, 3.0])
+
+    def test_window_seconds_must_be_positive(self):
+        with pytest.raises(ValueError, match="window_seconds"):
+            StreamMiner(1, window_seconds=0.0)
+
+    def test_extend_keeps_window_timestamps(self):
+        miner = StreamMiner(1, window_seconds=10.0)
+        handle = miner.append("AB", timestamp=0.0)
+        miner.extend(handle, "CD")
+        assert len(miner) == 1
+        # The extended sequence still expires by its original timestamp.
+        miner.append("EE", timestamp=20.0)
+        assert len(miner) == 1
+        assert [s.events for s in miner.snapshot_database()] == [("E", "E")]

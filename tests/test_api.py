@@ -48,7 +48,7 @@ class TestMineMany:
         batch = self._batch()
         results = api.mine_many(batch, 2)
         assert len(results) == len(batch)
-        for db, result in zip(batch, results):
+        for db, result in zip(batch, results, strict=False):
             assert result.as_dict() == api.mine(db, 2).as_dict()
 
     def test_empty_batch(self):
@@ -68,3 +68,32 @@ class TestMineMany:
         serial = api.mine_many(batch, 2)
         sharded = api.mine_many(batch, 2, n_jobs=2)
         assert [r.as_dict() for r in sharded] == [r.as_dict() for r in serial]
+
+
+class TestMatchFacade:
+    def test_match_from_result(self, example11):
+        result = api.mine(example11, 2)
+        matched = api.match(result, example11)
+        assert matched.supports() == result.as_dict()
+
+    def test_match_single_sequence_equals_repetitive_support(self, example11):
+        result = api.mine(example11, 2)
+        matched = api.match(result, "AABCDABB")
+        for pattern, support in matched.supports().items():
+            single = repro.SequenceDatabase.from_strings(["AABCDABB"])
+            assert support == api.repetitive_support(single, pattern)
+
+    def test_save_load_match_lifecycle(self, example11, tmp_path):
+        result = api.mine(example11, 2)
+        path = api.save_patterns(result, tmp_path / "patterns.rps")
+        store = api.load_patterns(path)
+        assert store.to_result().as_dict() == result.as_dict()
+        matched = api.match(store, example11)
+        assert matched.coverage() == 1.0
+
+    def test_score_sequences(self, example11):
+        result = api.mine(example11, 2)
+        scores = api.score_sequences(result, ["AABCDABB", "XYZ"])
+        assert len(scores) == 2
+        assert scores[0].coverage > scores[1].coverage
+        assert scores[1].anomaly == 1.0

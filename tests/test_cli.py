@@ -105,3 +105,91 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "num_sequences: 2" in out
         assert "max_length: 8" in out
+
+
+class TestMatchCommands:
+    @pytest.fixture
+    def store_file(self, chars_file, tmp_path):
+        out = tmp_path / "patterns.rps"
+        assert (
+            main(
+                [
+                    "export-patterns",
+                    chars_file,
+                    "--format",
+                    "chars",
+                    "--min-sup",
+                    "2",
+                    "--out",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        return str(out)
+
+    def test_export_patterns_binary(self, chars_file, tmp_path, capsys):
+        from repro.match import load_patterns
+
+        out_path = tmp_path / "patterns.rps"
+        exit_code = main(
+            [
+                "export-patterns",
+                chars_file,
+                "--format",
+                "chars",
+                "--min-sup",
+                "2",
+                "--out",
+                str(out_path),
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "CloGSgrow" in out and str(out_path) in out
+        store = load_patterns(out_path)
+        assert len(store) == 3
+        assert store.min_sup == 2
+
+    def test_export_patterns_json(self, chars_file, tmp_path, capsys):
+        from repro.match import load_patterns
+
+        out = tmp_path / "patterns.json"
+        exit_code = main(
+            [
+                "export-patterns",
+                chars_file,
+                "--format",
+                "chars",
+                "--min-sup",
+                "2",
+                "--all",
+                "--out",
+                str(out),
+            ]
+        )
+        assert exit_code == 0
+        assert load_patterns(out).algorithm == "GSgrow"
+        assert out.read_text().startswith("{")
+
+    def test_match_command(self, store_file, tmp_path, capsys):
+        query = tmp_path / "query.txt"
+        query.write_text("ABCABCA\nAABBCCC\nXYZ\n")
+        exit_code = main(
+            ["match", store_file, str(query), "--format", "chars", "--per-sequence"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "patterns matched" in out
+        assert "seq 3\tcoverage=0.000" in out
+        assert "4\tAB" in out
+
+    def test_match_command_top_limit(self, store_file, tmp_path, capsys):
+        query = tmp_path / "query.txt"
+        query.write_text("AABCDABB\n")
+        exit_code = main(
+            ["match", store_file, str(query), "--format", "chars", "--top", "1"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert len([line for line in out.splitlines() if "\t" in line]) == 1
