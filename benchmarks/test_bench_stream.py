@@ -83,7 +83,7 @@ def test_incremental_append_beats_full_rebuild(run_once, emit, arrival_schedule)
     miner, stream_timings, stream_results, rebuild_timings, rebuild_results = run_once(run_both)
 
     # Byte-identical pattern sets at every batch boundary.
-    for streamed, rebuilt in zip(stream_results, rebuild_results, strict=False):
+    for streamed, rebuilt in zip(stream_results, rebuild_results, strict=True):
         assert canon(streamed) == canon(rebuilt)
 
     report = ExperimentReport(
@@ -96,7 +96,7 @@ def test_incremental_append_beats_full_rebuild(run_once, emit, arrival_schedule)
         ),
         parameter_name="batch",
     )
-    for i, (st, rt) in enumerate(zip(stream_timings, rebuild_timings, strict=False), start=1):
+    for i, (st, rt) in enumerate(zip(stream_timings, rebuild_timings, strict=True), start=1):
         report.add_row(
             {
                 "batch": i,

@@ -1,9 +1,57 @@
-"""Legacy setuptools shim.
+"""Packaging metadata for the repro library.
 
-Kept so that ``pip install -e . --no-use-pep517`` works on offline machines
-that lack the ``wheel`` package; all metadata lives in ``pyproject.toml``.
+All metadata lives here (there is no ``pyproject.toml``): the version is
+read from ``src/repro/__init__.py`` and the long description from
+``README.md``, so the package page renders the same document the repo
+shows.  ``SETUP_KWARGS`` is module-level and importable on purpose — the
+packaging tests assert its contents without running setuptools.
 """
 
-from setuptools import setup
+import re
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+ROOT = Path(__file__).resolve().parent
+
+
+def read_long_description() -> str:
+    """The README, verbatim — what the package page renders."""
+    return (ROOT / "README.md").read_text(encoding="utf-8")
+
+
+def read_version() -> str:
+    """The ``__version__`` string of ``src/repro/__init__.py`` (no import needed)."""
+    text = (ROOT / "src" / "repro" / "__init__.py").read_text(encoding="utf-8")
+    match = re.search(r'^__version__ = "([^"]+)"', text, re.MULTILINE)
+    if match is None:
+        raise RuntimeError("cannot find __version__ in src/repro/__init__.py")
+    return match.group(1)
+
+
+SETUP_KWARGS = dict(
+    name="repro-mine",
+    version=read_version(),
+    description=(
+        "Closed repetitive gapped subsequence mining (GSgrow/CloGSgrow, "
+        "ICDE 2009) with streaming, matching and serving subsystems"
+    ),
+    long_description=read_long_description(),
+    long_description_content_type="text/markdown",
+    packages=find_packages("src"),
+    package_dir={"": "src"},
+    python_requires=">=3.10",
+    entry_points={"console_scripts": ["repro-mine = repro.cli:main"]},
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "Topic :: Scientific/Engineering :: Information Analysis",
+    ],
+)
+
+if __name__ == "__main__":
+    setup(**SETUP_KWARGS)

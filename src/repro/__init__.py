@@ -15,6 +15,8 @@ ICDE 2009), packaged as a reusable library:
   and windowed re-mining over sharded streams.
 * :mod:`repro.match` — the read path: shared-automaton online matching,
   persistent pattern stores and coverage/anomaly scoring of fresh sequences.
+* :mod:`repro.serve` — the serving daemon: a resident, zero-copy-loaded
+  store answering match/score/rank/top-k over a line-JSON TCP protocol.
 * :mod:`repro.postprocess` — density / maximality / ranking filters used in
   the case study.
 * :mod:`repro.analysis` — per-sequence support features and classification
@@ -31,6 +33,7 @@ from repro.api import (
     mine_stream,
     save_patterns,
     score_sequences,
+    serve,
 )
 from repro.core.clogsgrow import CloGSgrow, mine_closed
 from repro.core.constraints import GapConstraint
@@ -70,6 +73,7 @@ __all__ = [
     "mine_closed",
     "match",
     "score_sequences",
+    "serve",
     "load_patterns",
     "save_patterns",
     "PatternAutomaton",

@@ -48,6 +48,8 @@ from repro.db.index import InvertedEventIndex
 from repro.match.automaton import MatchResult, PatternAutomaton
 from repro.match.service import PatternMatcher, SequenceScore, score_database
 from repro.match.store import PatternStore, load_patterns, save_patterns
+from repro.serve.daemon import PatternServer
+from repro.serve.daemon import serve as _serve_daemon
 from repro.stream.miner import StreamMiner, StreamUpdate
 
 __all__ = [
@@ -61,6 +63,7 @@ __all__ = [
     "mine_stream",
     "match",
     "score_sequences",
+    "serve",
     "load_patterns",
     "save_patterns",
     "GSgrow",
@@ -95,6 +98,15 @@ def mine(
         ``store_instances=True`` to mine on full landmark rows and keep every
         pattern's leftmost support set.  Patterns and supports are identical
         either way.
+
+    Example
+    -------
+    >>> from repro import SequenceDatabase, mine
+    >>> db = SequenceDatabase.from_strings(["AABCDABB", "ABCD"])
+    >>> sorted(str(mp.pattern) for mp in mine(db, 2))
+    ['AABB', 'AB', 'ABCD']
+    >>> len(mine(db, 2, closed=False))
+    20
     """
     if closed:
         return mine_closed(database, min_sup, **kwargs)
@@ -156,6 +168,14 @@ def mine_many(
     kwargs:
         Forwarded to the miner configuration (``max_length``,
         ``store_instances``, ``constraint``, ...).
+
+    Example
+    -------
+    >>> from repro import SequenceDatabase, mine_many
+    >>> dbs = [SequenceDatabase.from_strings(["AABCDABB", "ABCD"]),
+    ...        SequenceDatabase.from_strings(["XYXY"])]
+    >>> [len(result) for result in mine_many(dbs, 2)]
+    [3, 1]
     """
     databases = list(databases)
     if isinstance(min_sup, int):
@@ -228,6 +248,16 @@ def match(
     MatchResult
         Per-pattern occurrence, repetitive support and per-sequence counts,
         byte-identical to looping :func:`repetitive_support` per pattern.
+
+    Example
+    -------
+    >>> from repro import SequenceDatabase, mine_closed, match
+    >>> db = SequenceDatabase.from_strings(["AABCDABB", "ABCD"])
+    >>> result = match(mine_closed(db, 2), ["ABCDAB", "AACB"])
+    >>> result.support_of("AB")
+    3
+    >>> round(result.coverage(), 2)
+    0.67
     """
     return PatternMatcher(patterns, constraint=constraint).match(
         query, with_instances=with_instances, engine=engine
@@ -247,6 +277,14 @@ def score_sequences(
     patterns (coverage near 1), an anomalous one misses many (anomaly near
     1).  ``n_jobs`` shards the batch over a process pool with the same
     semantics as :func:`mine_many`.
+
+    Example
+    -------
+    >>> from repro import SequenceDatabase, mine_closed, score_sequences
+    >>> db = SequenceDatabase.from_strings(["AABCDABB", "ABCD"])
+    >>> scores = score_sequences(mine_closed(db, 2), ["ABCDAB", "AACB"])
+    >>> [(s.matched, s.total, round(s.anomaly, 2)) for s in scores]
+    [(2, 3, 0.33), (1, 3, 0.67)]
     """
     return score_database(patterns, sequences, constraint=constraint, n_jobs=n_jobs)
 
@@ -289,6 +327,15 @@ def mine_stream(
         Optional pattern-length cap (batch semantics).
     refresh_every:
         Number of appends batched between pattern refreshes.
+
+    Example
+    -------
+    >>> from repro import mine_stream
+    >>> arrivals = ["AABCDABB", "ABCD", "ABCABCD"]
+    >>> for update in mine_stream(arrivals, 2, refresh_every=2):
+    ...     print(update.appended, len(update.result))
+    2 3
+    1 8
     """
     # Validate eagerly (including StreamMiner's own parameter checks): this
     # is a plain function returning a generator, so bad arguments raise at
@@ -303,7 +350,8 @@ def mine_stream(
         max_length=max_length,
     )
 
-    def updates() -> Iterator[StreamUpdate]:
+    def _updates() -> Iterator[StreamUpdate]:
+        """Drive the miner over the incoming sequences, yielding refreshes."""
         pending = 0
         for sequence in sequences:
             miner.append(sequence)
@@ -314,4 +362,52 @@ def mine_stream(
         if pending:
             yield miner.refresh()
 
-    return updates()
+    return _updates()
+
+
+def serve(
+    store_path,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    constraint: Optional[GapConstraint] = None,
+    mmap: Union[bool, str] = "auto",
+    auto_reload: bool = False,
+    block: bool = True,
+) -> PatternServer:
+    """Serve a saved pattern store over TCP (match / score / rank / top-k).
+
+    Starts a :class:`~repro.serve.daemon.PatternServer` — the long-running
+    scoring daemon — over ``store_path``.  The store is loaded once
+    (zero-copy over a shared read-only mapping where the platform allows,
+    per ``mmap``), compiled into the shared automaton once, and then served
+    over a newline-delimited JSON protocol any language can speak; a
+    ``reload`` request (or ``auto_reload=True``) swaps in a republished
+    store gracefully, reusing the compiled automaton when only supports
+    changed.  ``block=True`` (default) serves on the calling thread until
+    shut down; ``block=False`` serves on a background thread and returns
+    the running server (read its ``address`` for the bound port).
+
+    Example
+    -------
+    >>> import os, tempfile
+    >>> from repro import SequenceDatabase, mine_closed, save_patterns, serve
+    >>> from repro.serve import ServeClient
+    >>> db = SequenceDatabase.from_strings(["AABCDABB", "ABCD"])
+    >>> path = os.path.join(tempfile.mkdtemp(), "patterns.rps")
+    >>> _ = save_patterns(mine_closed(db, 2), path)
+    >>> server = serve(path, block=False)        # daemon thread, ephemeral port
+    >>> with ServeClient(*server.address) as client:
+    ...     client.ping()["patterns"]
+    3
+    >>> server.close()
+    """
+    return _serve_daemon(
+        store_path,
+        host=host,
+        port=port,
+        constraint=constraint,
+        mmap=mmap,
+        auto_reload=auto_reload,
+        block=block,
+    )

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Installed as ``repro-mine`` (see ``pyproject.toml``) and runnable as
+Installed as ``repro-mine`` (see ``setup.py``) and runnable as
 ``python -m repro``.  The subcommands cover the common workflows:
 
 * ``mine`` — mine (closed) repetitive gapped subsequences from a file;
@@ -14,6 +14,9 @@ Installed as ``repro-mine`` (see ``pyproject.toml``) and runnable as
 * ``match`` — load a pattern store and match it against a fresh database:
   per-sequence coverage/anomaly scores plus per-pattern supports, all in
   one shared automaton pass;
+* ``serve`` — run the long-running scoring daemon over a pattern store:
+  match/score/rank/top-k over a newline-delimited JSON TCP protocol, with
+  graceful reload when the store file is republished;
 * ``support`` — compute the repetitive support of one pattern;
 * ``stats`` — print summary statistics of a sequence database file.
 
@@ -179,6 +182,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print one coverage/anomaly line per query sequence",
     )
 
+    server = subparsers.add_parser(
+        "serve", help="serve a pattern store over TCP (match/score/rank/top-k)"
+    )
+    server.add_argument("patterns", help="pattern-store file to serve (binary or JSON)")
+    server.add_argument("--host", default="127.0.0.1", help="listening address")
+    server.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="listening port (default: 0 — an ephemeral port, printed at startup)",
+    )
+    server.add_argument(
+        "--auto-reload",
+        action="store_true",
+        help="re-check the store file before every request and reload when republished",
+    )
+    server.add_argument(
+        "--no-mmap",
+        action="store_true",
+        help="load a private decoded copy instead of the shared zero-copy mapping",
+    )
+
     support = subparsers.add_parser("support", help="repetitive support of one pattern")
     add_common(support)
     support.add_argument("--pattern", required=True, help="pattern events, space separated")
@@ -319,6 +344,33 @@ def run_match(args) -> int:
     return 0
 
 
+def run_serve(args) -> int:
+    """Serve a pattern store until interrupted (Ctrl-C) or shut down remotely."""
+    from repro.serve import PatternServer
+
+    server = PatternServer(
+        args.patterns,
+        host=args.host,
+        port=args.port,
+        mmap=False if args.no_mmap else "auto",
+        auto_reload=args.auto_reload,
+    )
+    host, port = server.address
+    store = server.store
+    print(
+        f"# serving {args.patterns} ({len(store)} patterns"
+        f"{', zero-copy' if store.is_zero_copy else ''}) on {host}:{port}",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
 def run_support(args) -> int:
     database = load_database(args.path, args.format)
     pattern = args.pattern.split() if " " in args.pattern else list(args.pattern)
@@ -348,6 +400,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_export_patterns(args)
     if args.command == "match":
         return run_match(args)
+    if args.command == "serve":
+        return run_serve(args)
     if args.command == "support":
         return run_support(args)
     if args.command == "stats":

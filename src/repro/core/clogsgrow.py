@@ -191,6 +191,13 @@ def mine_closed(
 
     Equivalent to ``CloGSgrow(min_sup, enable_lbcheck=..., **kwargs).mine(database)``;
     ``on_pattern`` streams each closed pattern out as the DFS reports it.
+
+    Example
+    -------
+    >>> from repro.db import SequenceDatabase
+    >>> db = SequenceDatabase.from_strings(["AABCDABB", "ABCD"])
+    >>> sorted(str(mp.pattern) for mp in mine_closed(db, 2))
+    ['AABB', 'AB', 'ABCD']
     """
     return CloGSgrow(min_sup, enable_lbcheck=enable_lbcheck, **kwargs).mine(
         database, on_pattern=on_pattern

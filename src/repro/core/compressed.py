@@ -240,6 +240,14 @@ def sup_comp_compressed(
     This is the support query behind :func:`repro.core.support.repetitive_support`
     and the streaming gap-filling calls — callers that only need ``sup(P)``
     never pay for full landmarks.
+
+    Example
+    -------
+    >>> from repro.db import SequenceDatabase
+    >>> db = SequenceDatabase.from_strings(["AABCDABB", "ABCD"])
+    >>> compressed = sup_comp_compressed(db, "AB")
+    >>> compressed.support, compressed.triples
+    (4, [(1, 1, 3), (1, 2, 7), (1, 6, 8), (2, 1, 2)])
     """
     pattern = as_pattern(pattern)
     if pattern.is_empty():

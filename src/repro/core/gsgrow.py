@@ -260,5 +260,13 @@ def mine_all(
     """Mine all frequent repetitive gapped subsequences (functional façade).
 
     Equivalent to ``GSgrow(min_sup, **kwargs).mine(database, on_pattern=...)``.
+
+    Example
+    -------
+    >>> from repro.db import SequenceDatabase
+    >>> db = SequenceDatabase.from_strings(["AABCDABB", "ABCD"])
+    >>> result = mine_all(db, 2)
+    >>> len(result), result.support_of("AB")
+    (20, 4)
     """
     return GSgrow(min_sup, **kwargs).mine(database, on_pattern=on_pattern)

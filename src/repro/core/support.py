@@ -243,6 +243,13 @@ def sup_comp(
     SupportSet
         The leftmost support set; its :attr:`~SupportSet.support` equals
         ``sup(P)``.
+
+    Example
+    -------
+    >>> from repro.db import SequenceDatabase
+    >>> db = SequenceDatabase.from_strings(["AABCDABB", "ABCD"])
+    >>> sup_comp(db, "AB")
+    SupportSet(AB, [(1, <1, 3>), (1, <2, 7>), (1, <6, 8>), (2, <1, 2>)])
     """
     from repro.core.instance_growth import ins_grow  # local import to avoid a cycle
 
@@ -267,6 +274,13 @@ def repetitive_support(
     engine of Section III-D (:mod:`repro.core.compressed`) — constant space
     per instance instead of full landmark rows; use :func:`sup_comp` when the
     instances themselves are needed.
+
+    Example
+    -------
+    >>> from repro.db import SequenceDatabase
+    >>> db = SequenceDatabase.from_strings(["AABCDABB", "ABCD"])
+    >>> repetitive_support(db, "AB")
+    4
     """
     from repro.core.compressed import sup_comp_compressed  # local import to avoid a cycle
 

@@ -156,7 +156,7 @@ def run_support_sweep(
         with_timings=True,
         max_length=max_length,
     )
-    for point, (result, seconds) in zip(points, closed_timed, strict=False):
+    for point, (result, seconds) in zip(points, closed_timed, strict=True):
         point.closed_runtime = seconds
         point.closed_patterns = len(result)
     all_indices = [
@@ -172,7 +172,7 @@ def run_support_sweep(
         with_timings=True,
         max_length=max_length,
     )
-    for i, (result, seconds) in zip(all_indices, all_timed, strict=False):
+    for i, (result, seconds) in zip(all_indices, all_timed, strict=True):
         points[i].all_runtime = seconds
         points[i].all_patterns = len(result)
     for i, point in enumerate(points):
@@ -209,7 +209,7 @@ def run_database_sweep(
     closed_timed = mine_many(
         databases, min_sup, closed=True, n_jobs=n_jobs, with_timings=True, max_length=max_length
     )
-    for point, (result, seconds) in zip(points, closed_timed, strict=False):
+    for point, (result, seconds) in zip(points, closed_timed, strict=True):
         point.closed_runtime = seconds
         point.closed_patterns = len(result)
     all_indices = [
@@ -225,7 +225,7 @@ def run_database_sweep(
         with_timings=True,
         max_length=max_length,
     )
-    for i, (result, seconds) in zip(all_indices, all_timed, strict=False):
+    for i, (result, seconds) in zip(all_indices, all_timed, strict=True):
         points[i].all_runtime = seconds
         points[i].all_patterns = len(result)
     for i, point in enumerate(points):

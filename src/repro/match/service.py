@@ -180,7 +180,7 @@ class PatternMatcher:
             n_jobs = os.cpu_count() or 1
         n_jobs = min(n_jobs, len(sequences))
         chunk_size = -(-len(sequences) // n_jobs)
-        payload = list(self.automaton.patterns)
+        payload = self.automaton.to_tables()
         tasks = [
             (payload, self.constraint, sequences[k : k + chunk_size])
             for k in range(0, len(sequences), chunk_size)
@@ -251,11 +251,12 @@ def _score_chunk(task) -> List[SequenceScore]:
     """Process-pool worker: score one contiguous chunk of sequences.
 
     Module-level (not a closure) so it pickles under the ``spawn`` start
-    method; rebuilds the automaton from the shipped pattern list, which is
-    far smaller than the compiled tables and keeps the payload simple.
+    method; receives the parent's compiled automaton tables
+    (:meth:`PatternAutomaton.to_tables`) so every worker starts matching
+    immediately instead of recompiling the same trie per process.
     """
-    patterns, constraint, sequences = task
-    matcher = PatternMatcher(patterns, constraint=constraint)
+    tables, constraint, sequences = task
+    matcher = PatternMatcher(PatternAutomaton.from_tables(tables), constraint=constraint)
     result = matcher.match(SequenceDatabase(sequences))
     return [score_from_match(result, i) for i in range(1, len(sequences) + 1)]
 

@@ -19,6 +19,15 @@ that on-disk artifact, in two sibling encodings:
   :meth:`repro.core.results.MiningResult.to_json`, for eyeballing and for
   toolchains that cannot read the binary format.
 
+Binary stores additionally support a **zero-copy** read path
+(:meth:`PatternStore.open`): the file is memory-mapped read-only and the
+three ``int64`` columns become ``memoryview`` s over the shared mapping, so
+N worker processes on one host share one physical copy of the column data
+(the OS page cache) instead of each holding a private decoded copy.
+Patterns are materialised lazily, on first access.  When the platform
+cannot map (no :mod:`mmap` module, a big-endian host, an unmappable file)
+the open falls back to the copying read path, so callers never branch.
+
 :func:`load_patterns` sniffs the magic bytes and dispatches to whichever
 decoder matches, so callers never care which encoding a file uses.
 
@@ -30,15 +39,25 @@ in-memory mining are rejected at store-build time with a clear error.
 from __future__ import annotations
 
 import json
+import os
 import struct
 import sys
+import time
 from array import array
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.core.pattern import Pattern, as_pattern
 from repro.core.results import MinedPattern, MiningResult
 from repro.db.index import POSITION_TYPECODE
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a hard stream dependency
+    from repro.stream.miner import StreamUpdate
+
+try:  # pragma: no cover - exercised via the monkeypatched fallback tests
+    import mmap as _mmap
+except ImportError:  # pragma: no cover - platforms without mmap
+    _mmap = None
 
 PathLike = Union[str, Path]
 
@@ -57,6 +76,12 @@ _U64 = struct.Struct("<Q")
 
 _LITTLE_ENDIAN = sys.byteorder == "little"
 
+#: Bytes per column element (``array('q')`` item size; 8 everywhere we run).
+_ITEMSIZE = array(POSITION_TYPECODE).itemsize
+
+#: A column of ``int64`` values: a materialised array or a zero-copy view.
+Column = Union[array, memoryview]
+
 
 def _dumps(data) -> bytes:
     """Deterministic JSON bytes (sorted keys, fixed separators, raw UTF-8)."""
@@ -65,8 +90,8 @@ def _dumps(data) -> bytes:
     ).encode("utf-8")
 
 
-def _column_bytes(column: array) -> bytes:
-    """Little-endian bytes of an ``array('q')`` column."""
+def _column_bytes(column: Column) -> bytes:
+    """Little-endian bytes of an ``int64`` column (array or memoryview)."""
     if _LITTLE_ENDIAN:
         return column.tobytes()
     swapped = array(POSITION_TYPECODE, column)
@@ -92,8 +117,156 @@ def _check_event(event) -> None:
         )
 
 
+def _coerce_mmap_flag(mmap: Union[bool, str]) -> Union[bool, str]:
+    """Validate and normalise an ``mmap`` argument to ``"auto"``/``True``/``False``.
+
+    ``0``/``1`` pass the equality-based membership check but would miss the
+    identity-based dispatch (``mmap is False``), so non-``"auto"`` values
+    are re-normalised through ``bool``.
+    """
+    if mmap not in ("auto", True, False):
+        raise ValueError(f"mmap must be 'auto', True or False, got {mmap!r}")
+    return mmap if mmap == "auto" else bool(mmap)
+
+
+def _zero_copy_unavailable_reason() -> Optional[str]:
+    """Why this platform cannot serve zero-copy stores (``None`` if it can).
+
+    The zero-copy path casts the file's little-endian column bytes directly
+    to native ``int64`` views, so it needs both a working :mod:`mmap` module
+    and a little-endian host; everywhere else :meth:`PatternStore.open`
+    falls back to the copying read path.
+    """
+    if _mmap is None:
+        return "the mmap module is unavailable on this platform"
+    if sys.byteorder != "little":
+        return "zero-copy stores require a little-endian host"
+    return None
+
+
+class _MappedSource:
+    """A read-only shared mapping of a store file (keeps the mmap alive).
+
+    The store's column ``memoryview`` s slice this object's mapping; holding
+    the source on the store keeps the mapping open exactly as long as any
+    view of it can be reached.  ``ACCESS_READ`` maps the file shared, so
+    in-place supports patches (:meth:`PatternStore.patch_file_supports`)
+    written by a publisher become visible through already-open views.
+    """
+
+    __slots__ = ("mapping", "view")
+
+    def __init__(self, path: Path):
+        with open(path, "rb") as handle:
+            self.mapping = _mmap.mmap(handle.fileno(), 0, access=_mmap.ACCESS_READ)
+        self.view: Optional[memoryview] = memoryview(self.mapping)
+
+    def close(self) -> None:
+        """Release the view and the mapping (best effort).
+
+        Closing the mapping while column views are still reachable — e.g.
+        pinned by an in-flight exception traceback — raises ``BufferError``
+        inside :mod:`mmap`; in that case the mapping simply closes when the
+        last view is garbage-collected, so the error is swallowed here.
+        """
+        view, self.view = self.view, None
+        if view is not None:
+            view.release()
+        try:
+            self.mapping.close()
+        except BufferError:
+            pass
+
+
+def _parse_store(view: memoryview) -> Tuple[dict, list, memoryview, memoryview, memoryview]:
+    """Split a binary store's bytes into header, alphabet and raw column views.
+
+    Returns ``(header, alphabet, offsets, events, supports)`` where the last
+    three are little-endian byte views into ``view`` (not yet decoded), so
+    both the copying and the zero-copy readers share one validation path.
+    Raises :class:`ValueError` with a clear message on truncated or corrupt
+    input.
+    """
+    if len(view) < _HEADER.size:
+        raise ValueError("truncated pattern store (missing header)")
+    magic, version = _HEADER.unpack_from(view, 0)
+    if magic != MAGIC:
+        raise ValueError(
+            f"not a binary pattern store (magic {magic!r}, expected {MAGIC!r})"
+        )
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported pattern-store version {version} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    cursor = _HEADER.size
+
+    def take(count: int) -> memoryview:
+        """Consume ``count`` bytes at the cursor, or fail as truncated."""
+        nonlocal cursor
+        if cursor + count > len(view):
+            raise ValueError("truncated pattern store")
+        chunk = view[cursor : cursor + count]
+        cursor += count
+        return chunk
+
+    header = json.loads(bytes(take(_U32.unpack(take(_U32.size))[0])))
+    if not isinstance(header, dict):
+        raise ValueError("corrupt pattern store (header is not a JSON object)")
+    alphabet = json.loads(bytes(take(_U32.unpack(take(_U32.size))[0])))
+    if not isinstance(alphabet, list):
+        raise ValueError("corrupt pattern store (alphabet table is not a list)")
+    for event in alphabet:
+        _check_event(event)
+    n_patterns = _U64.unpack(take(_U64.size))[0]
+    n_events = _U64.unpack(take(_U64.size))[0]
+    offsets = take((n_patterns + 1) * _ITEMSIZE)
+    events = take(n_events * _ITEMSIZE)
+    supports = take(n_patterns * _ITEMSIZE)
+    if cursor != len(view):
+        raise ValueError("trailing bytes after pattern store payload")
+    return header, alphabet, offsets, events, supports
+
+
+def _validate_columns(
+    offsets: Column,
+    events: Column,
+    supports: Column,
+    alphabet: list,
+    *,
+    check_events: bool = True,
+) -> None:
+    """Check decoded columns for internal consistency (clear errors on corruption).
+
+    Offset ordering and support signs are always checked (O(patterns),
+    cheap).  The per-event alphabet-range scan is O(events) interpreted
+    Python and pages in the whole events column, so the zero-copy opener
+    passes ``check_events=False`` and the same check runs lazily when
+    patterns are first materialised (:meth:`PatternStore._pattern_list`) —
+    still before any corrupt id can leak into an automaton or a report.
+    """
+    n_events = len(events)
+    previous = 0
+    for offset in offsets:
+        if not previous <= offset <= n_events:
+            raise ValueError("corrupt pattern store (offset column out of order)")
+        previous = offset
+    if offsets[0] != 0 or offsets[-1] != n_events:
+        raise ValueError("corrupt pattern store (offset column out of order)")
+    if any(support < 0 for support in supports):
+        raise ValueError("corrupt pattern store (negative support)")
+    if check_events:
+        limit = len(alphabet)
+        if any(aid < 0 or aid >= limit for aid in events):
+            raise ValueError("corrupt pattern store (event id outside alphabet)")
+
+
 class PatternStore:
-    """An immutable, persistable pattern set with supports and metadata.
+    """A persistable pattern set with supports and metadata.
+
+    Stores are read-only in normal use; the one sanctioned mutation is
+    :meth:`apply_update`, which swaps the supports column in place when a
+    stream refresh changed nothing else.
 
     Parameters
     ----------
@@ -136,10 +309,11 @@ class PatternStore:
             supports.append(support)
             patterns.append(pattern)
         self._alphabet = alphabet
-        self._offsets = offsets
-        self._events = events
-        self._supports = supports
-        self._patterns = patterns
+        self._offsets: Column = offsets
+        self._events: Column = events
+        self._supports: Column = supports
+        self._patterns: Optional[List[Pattern]] = patterns
+        self._source: Optional[_MappedSource] = None
         self.min_sup = min_sup
         self.algorithm = algorithm
         self.metadata = dict(metadata or {})
@@ -159,6 +333,36 @@ class PatternStore:
             metadata=metadata,
         )
 
+    @classmethod
+    def _from_columns(
+        cls,
+        header: dict,
+        alphabet: list,
+        offsets: Column,
+        events: Column,
+        supports: Column,
+        *,
+        source: Optional[_MappedSource] = None,
+    ) -> "PatternStore":
+        """Build a store directly over decoded columns (patterns stay lazy).
+
+        This is the loaders' constructor: the file's alphabet and column
+        order are kept verbatim (so load → save is a byte identity) and no
+        :class:`Pattern` objects are materialised until something asks for
+        them.  ``source`` keeps a zero-copy store's mapping alive.
+        """
+        store = cls.__new__(cls)
+        store._alphabet = list(alphabet)
+        store._offsets = offsets
+        store._events = events
+        store._supports = supports
+        store._patterns = None
+        store._source = source
+        store.min_sup = header.get("min_sup")
+        store.algorithm = header.get("algorithm")
+        store.metadata = header.get("metadata") or {}
+        return store
+
     def to_result(self) -> MiningResult:
         """The store's contents as a :class:`MiningResult`."""
         return MiningResult(
@@ -170,12 +374,38 @@ class PatternStore:
     # ------------------------------------------------------------------
     # Access
     # ------------------------------------------------------------------
+    def _pattern_list(self) -> List[Pattern]:
+        """The materialised pattern list (decoded from the columns on demand).
+
+        Also the deferred half of column validation for zero-copy stores:
+        event ids are bounds-checked here (the opener skips the eager
+        O(events) scan), so a corrupt id still surfaces as the clear
+        ``ValueError`` before any pattern reaches a caller.
+        """
+        if self._patterns is None:
+            alphabet = self._alphabet
+            limit = len(alphabet)
+            events = self._events
+            offsets = self._offsets
+            patterns = []
+            for k in range(len(self._supports)):
+                decoded = []
+                for aid in events[offsets[k] : offsets[k + 1]]:
+                    if not 0 <= aid < limit:
+                        raise ValueError(
+                            "corrupt pattern store (event id outside alphabet)"
+                        )
+                    decoded.append(alphabet[aid])
+                patterns.append(Pattern(decoded))
+            self._patterns = patterns
+        return self._patterns
+
     def __len__(self) -> int:
         return len(self._supports)
 
     def pattern_at(self, index: int) -> Pattern:
         """The pattern in slot ``index`` (0-based store order)."""
-        return self._patterns[index]
+        return self._pattern_list()[index]
 
     def support_at(self, index: int) -> int:
         """The mined support recorded for slot ``index``."""
@@ -183,11 +413,11 @@ class PatternStore:
 
     def patterns(self) -> List[Pattern]:
         """All patterns in store order."""
-        return list(self._patterns)
+        return list(self._pattern_list())
 
     def entries(self) -> Iterator[Tuple[Pattern, int]]:
         """``(pattern, support)`` pairs in store order."""
-        return zip(self._patterns, self._supports, strict=False)
+        return zip(self._pattern_list(), self._supports, strict=False)
 
     def supports(self) -> Dict[Pattern, int]:
         """Mapping pattern -> mined support."""
@@ -197,14 +427,34 @@ class PatternStore:
         """The event table in id order (first-seen over the pattern column)."""
         return list(self._alphabet)
 
+    @property
+    def is_zero_copy(self) -> bool:
+        """True when the columns are views over a shared read-only mapping."""
+        return self._source is not None
+
+    def close(self) -> None:
+        """Release a zero-copy store's shared mapping (no-op otherwise).
+
+        After ``close()`` the store's columns are gone and the store must not
+        be used again; patterns already materialised elsewhere stay valid.
+        Copy-backed stores ignore the call.  Garbage collection releases the
+        mapping anyway — ``close`` just makes the release deterministic.
+        """
+        source = self._source
+        if source is None:
+            return
+        self._source = None
+        self._offsets = self._events = self._supports = None  # type: ignore[assignment]
+        source.close()
+
     def __iter__(self) -> Iterator[MinedPattern]:
         return (MinedPattern(pattern=p, support=s) for p, s in self.entries())
 
     def __eq__(self, other) -> bool:
         if isinstance(other, PatternStore):
             return (
-                self._patterns == other._patterns
-                and self._supports == other._supports
+                self._pattern_list() == other._pattern_list()
+                and list(self._supports) == list(other._supports)
                 and self.min_sup == other.min_sup
                 and self.algorithm == other.algorithm
                 and self.metadata == other.metadata
@@ -224,8 +474,131 @@ class PatternStore:
         if cached is None:
             from repro.match.automaton import PatternAutomaton
 
-            cached = self._automaton = PatternAutomaton(self._patterns)
+            cached = self._automaton = PatternAutomaton(self._pattern_list())
         return cached
+
+    def adopt_automaton(self, other: "PatternStore") -> bool:
+        """Reuse ``other``'s compiled automaton when the pattern sets match.
+
+        The automaton depends only on the patterns, not on supports or
+        metadata, so a store reloaded after a supports-only republish can
+        keep serving through the previous store's compiled tables instead of
+        recompiling.  Returns ``True`` when the automaton was adopted
+        (``other`` has a compiled automaton and the pattern lists are
+        identical), ``False`` otherwise.
+        """
+        cached = getattr(other, "_automaton", None)
+        if cached is None or self._pattern_list() != other._pattern_list():
+            return False
+        self._automaton = cached
+        return True
+
+    # ------------------------------------------------------------------
+    # Incremental updates (the StreamUpdate delta bridge)
+    # ------------------------------------------------------------------
+    def apply_update(self, update: "StreamUpdate") -> "PatternStore":
+        """Absorb a stream refresh into this loaded store; returns the store to keep.
+
+        When the refresh changed only supports (same patterns, same order —
+        the steady-state shape of a sliding-window republish), the supports
+        column is swapped in place and ``self`` is returned: the cached
+        automaton stays valid because it depends only on the patterns.
+        When patterns appeared or expired, a fresh store is built from the
+        update (adopting this store's compiled automaton if the pattern
+        list happens to be unchanged) and returned instead.
+
+        Either way, objects that *snapshotted* supports earlier — a
+        :class:`~repro.match.service.PatternMatcher` copies them into
+        ``mined_supports`` at construction — keep their snapshot; rebuild
+        the matcher from the returned store to rank against fresh supports
+        (compilation is not repeated: the automaton rides along).
+        """
+        result = update.result
+        mine = self._pattern_list()
+        if len(result) == len(mine) and all(
+            mp.pattern == pattern
+            for mp, pattern in zip(result, mine, strict=False)
+        ):
+            self._supports = array(
+                POSITION_TYPECODE, (mp.support for mp in result)
+            )
+            if "window_sequences" in self.metadata:
+                self.metadata["window_sequences"] = update.total_sequences
+            return self
+        # Forward only caller-added metadata: the stream-owned keys
+        # (source, window_sequences) must describe *this* update's window,
+        # and to_store computes them fresh.
+        extra = {
+            key: value
+            for key, value in self.metadata.items()
+            if key not in ("source", "window_sequences")
+        }
+        fresh = update.to_store(metadata=extra or None)
+        fresh.adopt_automaton(self)
+        return fresh
+
+    def patch_file_supports(self, path: PathLike, *, _blob: Optional[bytes] = None) -> bool:
+        """Rewrite only the supports column of an existing store file, in place.
+
+        Succeeds (returns ``True``) only when ``path`` already holds a binary
+        store byte-identical to this store's encoding everywhere *except*
+        the supports column — the shape a :class:`~repro.stream.miner.StreamMiner`
+        republish has when a refresh changed supports but no patterns.  Only
+        the changed 8-byte slots are written.
+
+        Unlike :meth:`save`'s atomic replace (which creates a new inode,
+        invisible to mappings of the old one), the patch updates the same
+        inode, so zero-copy readers that already mapped the file observe the
+        new supports without reloading.  After writing, the file's mtime is
+        bumped to be strictly newer than before, so copy-path pollers (the
+        daemon's ``(inode, mtime, size)`` freshness check) can never miss a
+        patch that lands within one filesystem timestamp tick of the
+        previous publish.  Returns ``False`` when the file is missing or its
+        layout differs — callers fall back to :meth:`save`.
+
+        Unlike :meth:`save`, the patch is **not atomic**: the changed span
+        of the supports column is written in one contiguous ``write``, but
+        a reader that cold-loads the whole file mid-patch can observe a mix
+        of old and new support values (each value old *or* new; patterns
+        and layout are untouched either way).  Supports are independently
+        refreshed scalars, so cooperating serve deployments tolerate this
+        by design; use :meth:`save` when readers need a single consistent
+        snapshot.
+
+        ``_blob`` is an internal hand-off of a precomputed :meth:`to_bytes`
+        (the stream publisher encodes once for the patch attempt and the
+        save fallback).
+        """
+        blob = self.to_bytes() if _blob is None else _blob
+        prefix = len(blob) - len(self._supports) * _ITEMSIZE
+        path = Path(path)
+        try:
+            if path.stat().st_size != len(blob):
+                return False
+            with open(path, "r+b") as handle:
+                # Prefix first: a layout mismatch (the common case when the
+                # pattern set changed) is decided without touching the
+                # supports column.
+                if handle.read(prefix) != blob[:prefix]:
+                    return False
+                tail = handle.read()
+                changed = [
+                    start
+                    for start in range(0, len(tail), _ITEMSIZE)
+                    if tail[start : start + _ITEMSIZE]
+                    != blob[prefix + start : prefix + start + _ITEMSIZE]
+                ]
+                if changed:
+                    first, last = changed[0], changed[-1] + _ITEMSIZE
+                    handle.seek(prefix + first)
+                    handle.write(blob[prefix + first : prefix + last])
+        except FileNotFoundError:
+            return False
+        if changed:
+            stat = path.stat()
+            mtime_ns = max(time.time_ns(), stat.st_mtime_ns + 1)
+            os.utime(path, ns=(stat.st_atime_ns, mtime_ns))
+        return True
 
     # ------------------------------------------------------------------
     # Binary encoding
@@ -257,72 +630,95 @@ class PatternStore:
     @classmethod
     def from_bytes(cls, blob: bytes) -> "PatternStore":
         """Decode a binary store; the exact inverse of :meth:`to_bytes`."""
-        view = memoryview(blob)
-        if len(view) < _HEADER.size:
-            raise ValueError("truncated pattern store (missing header)")
-        magic, version = _HEADER.unpack_from(view, 0)
-        if magic != MAGIC:
-            raise ValueError(
-                f"not a binary pattern store (magic {magic!r}, expected {MAGIC!r})"
-            )
-        if version != FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported pattern-store version {version} "
-                f"(this build reads version {FORMAT_VERSION})"
-            )
-        cursor = _HEADER.size
+        header, alphabet, offsets_b, events_b, supports_b = _parse_store(memoryview(blob))
+        offsets = _column_from(bytes(offsets_b))
+        events = _column_from(bytes(events_b))
+        supports = _column_from(bytes(supports_b))
+        _validate_columns(offsets, events, supports, alphabet)
+        return cls._from_columns(header, alphabet, offsets, events, supports)
 
-        def take(count: int) -> memoryview:
-            nonlocal cursor
-            if cursor + count > len(view):
-                raise ValueError("truncated pattern store")
-            chunk = view[cursor : cursor + count]
-            cursor += count
-            return chunk
-
-        header = json.loads(bytes(take(_U32.unpack(take(_U32.size))[0])))
-        alphabet = json.loads(bytes(take(_U32.unpack(take(_U32.size))[0])))
-        n_patterns = _U64.unpack(take(_U64.size))[0]
-        n_events = _U64.unpack(take(_U64.size))[0]
-        itemsize = array(POSITION_TYPECODE).itemsize
-        offsets = _column_from(bytes(take((n_patterns + 1) * itemsize)))
-        events = _column_from(bytes(take(n_events * itemsize)))
-        supports = _column_from(bytes(take(n_patterns * itemsize)))
-        if cursor != len(view):
-            raise ValueError("trailing bytes after pattern store payload")
-        if any(aid < 0 or aid >= len(alphabet) for aid in events):
-            raise ValueError("corrupt pattern store (event id outside alphabet)")
-        entries = []
-        for k in range(n_patterns):
-            lo, hi = offsets[k], offsets[k + 1]
-            if not 0 <= lo <= hi <= n_events:
-                raise ValueError("corrupt pattern store (offset column out of order)")
-            entries.append(
-                (Pattern(alphabet[aid] for aid in events[lo:hi]), supports[k])
-            )
-        return cls(
-            entries,
-            min_sup=header.get("min_sup"),
-            algorithm=header.get("algorithm"),
-            metadata=header.get("metadata") or {},
-        )
-
-    def save(self, path: PathLike) -> Path:
+    def save(self, path: PathLike, *, _blob: Optional[bytes] = None) -> Path:
         """Write the binary encoding to ``path`` (atomically) and return it.
 
         The bytes are staged in a sibling temp file and moved into place, so
         a matcher loading concurrently never observes a half-written store.
+        ``_blob`` is an internal hand-off of a precomputed :meth:`to_bytes`.
         """
         path = Path(path)
         staging = path.with_name(path.name + ".tmp")
-        staging.write_bytes(self.to_bytes())
+        staging.write_bytes(self.to_bytes() if _blob is None else _blob)
         staging.replace(path)
         return path
 
     @classmethod
     def load(cls, path: PathLike) -> "PatternStore":
-        """Read a binary store written by :meth:`save`."""
+        """Read a binary store written by :meth:`save` (private decoded copy)."""
         return cls.from_bytes(Path(path).read_bytes())
+
+    @classmethod
+    def open(
+        cls, path: PathLike, *, mmap: Union[bool, str] = "auto"
+    ) -> "PatternStore":
+        """Load a binary store zero-copy over a shared read-only mapping.
+
+        The file is memory-mapped and the three ``int64`` columns become
+        ``memoryview`` s into the mapping: N worker processes opening the
+        same store share one physical copy of the column data through the OS
+        page cache, and patterns are only materialised when first accessed.
+
+        Parameters
+        ----------
+        path:
+            A binary store file written by :meth:`save`.
+        mmap:
+            ``"auto"`` (default) maps when the platform supports it and
+            falls back to the copying :meth:`load` otherwise; ``True``
+            requires the zero-copy mapping (raises :class:`ValueError` with
+            the platform's reason when unavailable); ``False`` is exactly
+            :meth:`load`.
+
+        Caveat (Windows): an open mapping pins the file — a publisher's
+        atomic :meth:`save` onto the same path fails with
+        ``PermissionError`` while any process holds it mapped.  When the
+        publisher and the readers share a host on win32, load readers with
+        ``mmap=False`` (in-place supports patches are unaffected; they keep
+        the inode).  POSIX renames never conflict with mappings.
+        """
+        mmap = _coerce_mmap_flag(mmap)
+        if mmap is False:
+            return cls.load(path)
+        reason = _zero_copy_unavailable_reason()
+        if reason is not None:
+            if mmap is True:
+                raise ValueError(f"cannot memory-map {path}: {reason}")
+            return cls.load(path)
+        try:
+            source = _MappedSource(Path(path))
+        except FileNotFoundError:
+            raise
+        except (OSError, ValueError) as exc:
+            # Unmappable file (empty/special, or a filesystem whose mmap
+            # fails).  A required mapping must not silently degrade — the
+            # caller may rely on shared-mapping visibility of in-place
+            # patches; "auto" falls back to the copying reader, which
+            # either succeeds or raises the right format error.
+            if mmap is True:
+                raise ValueError(f"cannot memory-map {path}: {exc}") from exc
+            return cls.load(path)
+        try:
+            header, alphabet, offsets_b, events_b, supports_b = _parse_store(source.view)
+            offsets = offsets_b.cast(POSITION_TYPECODE)
+            events = events_b.cast(POSITION_TYPECODE)
+            supports = supports_b.cast(POSITION_TYPECODE)
+            # Event-id range checking is deferred to pattern materialisation
+            # so the open neither scans nor pages in the events column.
+            _validate_columns(offsets, events, supports, alphabet, check_events=False)
+        except Exception:
+            source.close()  # best effort; the traceback pins views until GC
+            raise
+        return cls._from_columns(
+            header, alphabet, offsets, events, supports, source=source
+        )
 
     # ------------------------------------------------------------------
     # JSON sibling
@@ -343,6 +739,11 @@ class PatternStore:
         if data.get("format") != JSON_FORMAT:
             raise ValueError(
                 f"not a JSON pattern store (format {data.get('format')!r})"
+            )
+        if data.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported pattern-store version {data.get('version')!r} "
+                f"(this build reads version {FORMAT_VERSION})"
             )
         result = MiningResult.from_json(data)
         store = cls.from_result(result, metadata=data.get("metadata") or {})
@@ -365,11 +766,37 @@ class PatternStore:
         return cls.from_json(json.loads(Path(path).read_text(encoding="utf-8")))
 
 
-def load_patterns(path: PathLike) -> PatternStore:
-    """Load a pattern store, sniffing the encoding from the magic bytes."""
-    blob = Path(path).read_bytes()
-    if blob[: len(MAGIC)] == MAGIC:
-        return PatternStore.from_bytes(blob)
+def load_patterns(path: PathLike, *, mmap: Union[bool, str] = False) -> PatternStore:
+    """Load a pattern store, sniffing the encoding from the magic bytes.
+
+    ``mmap`` selects the binary read path: ``False`` (default) decodes a
+    private copy, ``"auto"``/``True`` go through the zero-copy
+    :meth:`PatternStore.open` (with its fallback semantics).  JSON stores
+    have no mappable representation; asking for ``mmap=True`` on one is an
+    error.
+
+    Example
+    -------
+    >>> import tempfile, os
+    >>> from repro import SequenceDatabase, mine_closed, save_patterns, load_patterns
+    >>> db = SequenceDatabase.from_strings(["AABCDABB", "ABCD"])
+    >>> path = os.path.join(tempfile.mkdtemp(), "patterns.rps")
+    >>> _ = save_patterns(mine_closed(db, 2), path)
+    >>> store = load_patterns(path)
+    >>> sorted(str(p) for p in store.patterns())
+    ['AABB', 'AB', 'ABCD']
+    """
+    mmap = _coerce_mmap_flag(mmap)
+    path = Path(path)
+    with open(path, "rb") as handle:
+        head = handle.read(len(MAGIC))
+    if head == MAGIC:
+        if mmap is False:
+            return PatternStore.load(path)
+        return PatternStore.open(path, mmap=mmap)
+    if mmap is True:
+        raise ValueError(f"{path}: JSON pattern stores cannot be memory-mapped")
+    blob = path.read_bytes()
     try:
         data = json.loads(blob.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -388,6 +815,16 @@ def save_patterns(
     """Persist a store or mining result; ``encoding`` is ``auto``/``binary``/``json``.
 
     ``auto`` writes JSON when ``path`` ends in ``.json`` and binary otherwise.
+
+    Example
+    -------
+    >>> import tempfile, os
+    >>> from repro import SequenceDatabase, mine_closed, save_patterns
+    >>> db = SequenceDatabase.from_strings(["AABCDABB", "ABCD"])
+    >>> result = mine_closed(db, 2)
+    >>> out = save_patterns(result, os.path.join(tempfile.mkdtemp(), "patterns.rps"))
+    >>> out.name
+    'patterns.rps'
     """
     store = source if isinstance(source, PatternStore) else PatternStore.from_result(source)
     if encoding == "auto":

@@ -1,0 +1,24 @@
+"""repro.serve — the pattern-serving daemon: a resident, queryable store.
+
+The read-side subsystem (:mod:`repro.match`) made mined patterns loadable
+and matchable; this package keeps them *resident*: a long-running daemon
+that loads a pattern store once (zero-copy over a shared mapping where the
+platform allows), compiles the shared automaton once, and answers scoring
+traffic over a newline-delimited JSON TCP protocol until told to stop.
+
+* :mod:`repro.serve.protocol` — the wire format (one JSON object per line)
+  and its pure encode/decode helpers, shared by daemon and client.
+* :mod:`repro.serve.daemon` — :class:`PatternServer`, the
+  :mod:`socketserver` loop exposing ``match`` / ``score`` / ``rank`` /
+  ``top_k`` over the loaded store, with graceful ``reload`` on store
+  republication (compiled-automaton reuse when only supports changed).
+* :mod:`repro.serve.client` — :class:`ServeClient`, the small helper that
+  speaks the protocol from Python (any language with sockets + JSON works).
+
+Surfaced as :func:`repro.api.serve` and the ``serve`` CLI subcommand.
+"""
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.daemon import PatternServer, serve
+
+__all__ = ["PatternServer", "ServeClient", "ServeError", "serve"]

@@ -1,0 +1,155 @@
+"""Client helper for the pattern-serving daemon.
+
+:class:`ServeClient` speaks the newline-delimited JSON protocol of
+:mod:`repro.serve.protocol` over one persistent TCP connection: each method
+sends one request line and blocks for its response line.  Error responses
+(``{"ok": false}``) raise :class:`ServeError` with the daemon's message, so
+callers handle failures as exceptions instead of inspecting dicts.
+
+Usage::
+
+    from repro.serve import ServeClient
+
+    with ServeClient("127.0.0.1", 7007) as client:
+        client.ping()["patterns"]
+        client.score(["ABCD", "AXY"])        # coverage/anomaly per sequence
+        client.top_k(["ABCDABCD"], k=5)      # dominant patterns of a trace
+        client.reload()                      # pick up a republished store
+
+The wire format is plain enough that this class is a convenience, not a
+requirement — ``printf '{"op":"ping"}\\n' | nc host port`` works too.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import List, Optional, Tuple, Union
+
+from repro.serve.protocol import decode_line, encode_line
+
+
+class ServeError(RuntimeError):
+    """An error response from the serving daemon, or a broken connection."""
+
+
+class ServeClient:
+    """A persistent connection to a :class:`~repro.serve.daemon.PatternServer`.
+
+    Parameters
+    ----------
+    host, port:
+        The daemon's address (``PatternServer.address``).
+    timeout:
+        Socket timeout in seconds for connecting and for each response.
+
+    The connection opens lazily on the first request and is reusable across
+    requests; use the context-manager form to close it deterministically.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+
+    # ------------------------------------------------------------------
+    # Connection lifecycle
+    # ------------------------------------------------------------------
+    def connect(self) -> "ServeClient":
+        """Open the connection now (otherwise the first request does)."""
+        if self._sock is None:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+            self._file = self._sock.makefile("rwb")
+        return self
+
+    def close(self) -> None:
+        """Close the connection (requests after this reconnect lazily)."""
+        file, self._file = self._file, None
+        sock, self._sock = self._sock, None
+        if file is not None:
+            file.close()
+        if sock is not None:
+            sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # The request primitive
+    # ------------------------------------------------------------------
+    def request(self, op: str, **params) -> dict:
+        """Send one operation and return its success payload.
+
+        Raises :class:`ServeError` on an error response or a connection the
+        daemon closed mid-request.  Any transport failure mid-request — a
+        socket timeout, a broken pipe — closes the connection, because a
+        response may still be in flight on it: reusing the socket would
+        desynchronise the request/response pairing and hand a later caller
+        the wrong payload.  The next request reconnects lazily.
+        """
+        self.connect()
+        payload = {"op": op}
+        payload.update(params)
+        try:
+            self._file.write(encode_line(payload))
+            self._file.flush()
+            line = self._file.readline()
+        except Exception:
+            self.close()
+            raise
+        if not line:
+            self.close()
+            raise ServeError(f"connection closed by the daemon during {op!r}")
+        response = decode_line(line)
+        if not response.get("ok"):
+            raise ServeError(response.get("error", "unknown daemon error"))
+        return response
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def ping(self) -> dict:
+        """Liveness + store snapshot (pattern count, reload counters, pid)."""
+        return self.request("ping")
+
+    def match(self, sequences: Union[str, List]) -> dict:
+        """Match every served pattern against ``sequences`` in one pass.
+
+        Returns the wire form of a :class:`~repro.match.automaton.MatchResult`:
+        ``num_sequences``, ``coverage`` and per-pattern ``entries`` (pattern,
+        total support, per-sequence counts keyed by the 1-based sequence
+        index as a string).
+        """
+        return self.request("match", sequences=sequences)
+
+    def score(self, sequences: Union[str, List]) -> List[dict]:
+        """Coverage/anomaly score of each query sequence, in input order."""
+        return self.request("score", sequences=sequences)["scores"]
+
+    def rank(
+        self, sequences: Union[str, List], k: Optional[int] = None, *, by: str = "anomaly"
+    ) -> List:
+        """Query sequences ranked by ``by`` — ``[index, score]`` pairs."""
+        return self.request("rank", sequences=sequences, k=k, by=by)["ranked"]
+
+    def top_k(
+        self, sequences: Union[str, List], k: int = 10, *, by: str = "support"
+    ) -> List[Tuple[List, int]]:
+        """The served patterns most present in the query — ``[pattern, support]`` pairs."""
+        return self.request("top_k", sequences=sequences, k=k, by=by)["patterns"]
+
+    def reload(self, force: bool = False) -> dict:
+        """Ask the daemon to swap in a republished store file."""
+        return self.request("reload", force=force)
+
+    def shutdown(self) -> dict:
+        """Stop the daemon (it responds, then exits its serving loop)."""
+        response = self.request("shutdown")
+        self.close()
+        return response

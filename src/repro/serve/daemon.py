@@ -1,0 +1,456 @@
+"""The long-running pattern-serving daemon.
+
+Mining produces a pattern store; matching wants that store resident,
+compiled and queryable for hours.  :class:`PatternServer` is the process
+that holds it: a stdlib :mod:`socketserver` TCP loop that loads a store
+once (zero-copy over a shared mapping where the platform allows), compiles
+the shared :class:`~repro.match.automaton.PatternAutomaton` once, and then
+answers ``match`` / ``score`` / ``rank`` / ``top_k`` requests over the
+newline-delimited JSON protocol of :mod:`repro.serve.protocol`.
+
+Republication is first-class: a ``reload`` request (or ``auto_reload=True``,
+which stats the file before every request) swaps in a republished store —
+the :class:`~repro.stream.miner.StreamMiner` ``store_path=...`` bridge
+rewrites the file after every refresh.  The swap is graceful (in-flight
+requests finish on the old store; a lock orders the exchange) and cheap:
+when the republish changed only supports, the new store adopts the old
+store's compiled automaton (:meth:`PatternStore.adopt_automaton`) instead
+of recompiling, and a supports-only in-place patch
+(:meth:`PatternStore.patch_file_supports`) is visible through an existing
+zero-copy mapping without any reload at all.
+
+Each request is handled on its own thread (``ThreadingTCPServer``), so a
+slow scoring call never blocks a liveness ping.  Nothing here imports the
+client; the daemon is usable from any language that frames JSON by lines.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import socketserver
+import threading
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+from repro.db.database import SequenceDatabase
+from repro.db.sequence import as_sequence
+from repro.match.service import PatternMatcher
+from repro.match.store import PatternStore, load_patterns
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    OPERATIONS,
+    ProtocolError,
+    decode_line,
+    encode_line,
+    error_response,
+    match_result_to_wire,
+    ok_response,
+    ranked_to_wire,
+    score_to_wire,
+    top_patterns_to_wire,
+)
+
+PathLike = Union[str, Path]
+
+
+class _ServingState:
+    """One loaded store with its compiled matcher and the file identity it came from.
+
+    ``identity`` is ``(st_ino, st_mtime_ns, st_size)``: atomic republishes
+    (:meth:`PatternStore.save`) always create a new inode, so the inode
+    catches same-size republishes even on filesystems with coarse
+    timestamps, while mtime/size catch in-place supports patches.
+
+    ``ticket`` is the server's monotonic load counter, drawn when the load
+    *started*.  The file only ever moves forward, so a later-started load
+    observed bytes at least as fresh as any earlier one — tickets order
+    racing reloads without trusting wall-clock timestamps.
+    """
+
+    __slots__ = ("store", "matcher", "identity", "ticket")
+
+    def __init__(
+        self,
+        store: PatternStore,
+        matcher: PatternMatcher,
+        stat: os.stat_result,
+        ticket: int,
+    ):
+        self.store = store
+        self.matcher = matcher
+        self.identity = (stat.st_ino, stat.st_mtime_ns, stat.st_size)
+        self.ticket = ticket
+
+
+class _ServeTCPServer(socketserver.ThreadingTCPServer):
+    """The socket loop; one handler thread per connection, no lingering threads."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], owner: "PatternServer"):
+        super().__init__(address, _RequestHandler)
+        self.owner = owner
+
+
+class _RequestHandler(socketserver.StreamRequestHandler):
+    """Reads newline-framed requests and writes one response line per request."""
+
+    def handle(self) -> None:
+        """Serve one connection: a request/response loop until EOF or shutdown.
+
+        Lines are read with a hard byte cap (``MAX_LINE_BYTES``) so one
+        connection streaming an endless newline-free body cannot grow the
+        daemon's memory without bound; an over-long line gets an error
+        response and the connection closes.
+        """
+        owner: PatternServer = self.server.owner
+        while True:
+            raw = self.rfile.readline(MAX_LINE_BYTES + 1)
+            if not raw:
+                break
+            if len(raw) > MAX_LINE_BYTES:
+                self.wfile.write(
+                    encode_line(
+                        error_response(
+                            f"request line exceeds {MAX_LINE_BYTES} bytes"
+                        )
+                    )
+                )
+                self.wfile.flush()
+                break
+            raw = raw.strip()
+            if not raw:
+                continue
+            response, stop = owner.handle_raw(raw)
+            self.wfile.write(response)
+            self.wfile.flush()
+            if stop:
+                # shutdown() blocks until serve_forever exits, and this
+                # handler runs inside it — hand the stop to a helper thread.
+                threading.Thread(target=owner.shutdown, daemon=True).start()
+                break
+
+
+def _query_database(params: dict) -> SequenceDatabase:
+    """Coerce a request's ``sequences`` parameter into a query database.
+
+    Accepts a single string (one sequence of single-character events) or a
+    list of sequences, each a string or a list of str/int events — the JSON
+    shapes of what :func:`~repro.db.sequence.as_sequence` accepts.
+    """
+    sequences = params.get("sequences")
+    if sequences is None:
+        raise ProtocolError("missing required parameter 'sequences'")
+    if isinstance(sequences, str):
+        sequences = [sequences]
+    if not isinstance(sequences, list) or not sequences:
+        raise ProtocolError("'sequences' must be a non-empty list (or one string)")
+    return SequenceDatabase([as_sequence(seq) for seq in sequences])
+
+
+class PatternServer:
+    """A scoring daemon over a loaded pattern store.
+
+    Parameters
+    ----------
+    store_path:
+        A pattern-store file (binary or JSON, sniffed).  Loaded once at
+        construction — zero-copy over a shared read-only mapping for binary
+        stores when ``mmap`` allows — and compiled into the shared automaton
+        before the first request.
+    host, port:
+        The listening address; ``port=0`` (default) picks an ephemeral port,
+        read back from :attr:`address`.
+    constraint:
+        Optional gap constraint applied to every match (the mined
+        constraint, if mining used one).
+    mmap:
+        Store read path: ``"auto"`` (default) / ``True`` / ``False``, with
+        the semantics of :meth:`repro.match.store.PatternStore.open`.
+    auto_reload:
+        ``True`` re-stats the store file before every request and reloads
+        when it changed, so the daemon always serves the latest republish
+        without anyone asking; ``False`` (default) reloads only on the
+        explicit ``reload`` operation.
+    """
+
+    def __init__(
+        self,
+        store_path: PathLike,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        constraint=None,
+        mmap: Union[bool, str] = "auto",
+        auto_reload: bool = False,
+    ):
+        self.store_path = Path(store_path)
+        self._constraint = constraint
+        self._mmap = mmap
+        self._auto_reload = auto_reload
+        self._lock = threading.Lock()
+        self._serving = False
+        self.reloads = 0
+        self.automaton_reuses = 0
+        self.last_reload_error: Optional[str] = None
+        self._load_tickets = itertools.count()
+        self._state, _ = self._load_state(adopt_from=None)
+        self._tcp = _ServeTCPServer((host, port), self)
+
+    # ------------------------------------------------------------------
+    # Store lifecycle
+    # ------------------------------------------------------------------
+    def _load_state(
+        self, adopt_from: Optional[PatternStore]
+    ) -> Tuple[_ServingState, bool]:
+        """Load the store file and compile (or adopt) its automaton.
+
+        Returns ``(state, adopted)`` where ``adopted`` says whether the new
+        store reused ``adopt_from``'s compiled automaton.  The load ticket
+        is drawn *before* the file is read, so ticket order bounds bytes
+        freshness (see :class:`_ServingState`).
+        """
+        ticket = next(self._load_tickets)
+        stat = os.stat(self.store_path)
+        store = load_patterns(self.store_path, mmap=self._mmap)
+        adopted = adopt_from is not None and store.adopt_automaton(adopt_from)
+        matcher = PatternMatcher(store, constraint=self._constraint)
+        return _ServingState(store, matcher, stat, ticket), adopted
+
+    @property
+    def store(self) -> PatternStore:
+        """The currently served store."""
+        return self._state.store
+
+    def reload(self, force: bool = False) -> dict:
+        """Swap in the store file if it was republished (or ``force`` is set).
+
+        Returns a summary dict: ``reloaded`` (whether a swap happened),
+        ``automaton_reused`` (whether the new store adopted the old compiled
+        automaton — the supports-only republish fast path) and ``patterns``.
+        In-flight requests keep the state they started with; new requests
+        see the fresh store.
+
+        The unchanged-file fast path is lock-free (one ``stat`` + tuple
+        compare) and the expensive part of an actual reload — file load and
+        automaton compile — runs outside the lock too, so a republish never
+        stalls concurrent requests; only the state swap itself is mutual.
+        Racing reloads both do the work, but the swap keeps whichever load
+        *started* later (:meth:`_swap_state` compares monotonic load
+        tickets — the file only moves forward, so a later-started load read
+        bytes at least as fresh), so a slow loader finishing late can never
+        reinstall a superseded store, and no wall-clock comparison is
+        involved.
+        """
+        stat = os.stat(self.store_path)
+        current = self._state
+        if (
+            not force
+            and (stat.st_ino, stat.st_mtime_ns, stat.st_size) == current.identity
+        ):
+            return {
+                "reloaded": False,
+                "automaton_reused": False,
+                "patterns": len(current.store),
+            }
+        state, adopted = self._load_state(adopt_from=current.store)
+        swapped = self._swap_state(state, adopted)
+        served = self._state
+        return {
+            "reloaded": swapped,
+            "automaton_reused": swapped and adopted,
+            "patterns": len(served.store),
+        }
+
+    def _swap_state(self, state: _ServingState, adopted: bool) -> bool:
+        """Install ``state`` unless the served state came from a later-started load.
+
+        Load tickets are drawn before the file is read and the file only
+        ever moves forward, so a later ticket means at-least-as-fresh
+        bytes — an ordering immune to clock steps and coarse filesystem
+        timestamps.  Returns whether the swap happened.
+        """
+        with self._lock:
+            if state.ticket < self._state.ticket:
+                return False
+            self._state = state
+            self.reloads += 1
+            if adopted:
+                self.automaton_reuses += 1
+            return True
+
+    def _maybe_auto_reload(self) -> None:
+        """Pick up a republished store before handling a request (opt-in).
+
+        A failed automatic reload — a mid-republish gap, a truncated or
+        unreadable file, an unknown format version — must never poison the
+        request being handled (or shutdown): the daemon keeps serving its
+        loaded state and remembers the failure, which ``ping`` surfaces as
+        ``last_reload_error``.  An explicit ``reload`` request still
+        reports its failure to the caller.
+        """
+        if not self._auto_reload:
+            return
+        try:
+            self.reload()
+            self.last_reload_error = None
+        except Exception as exc:  # noqa: BLE001 - keep serving the loaded state
+            self.last_reload_error = f"{type(exc).__name__}: {exc}"
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+    def handle_raw(self, raw: bytes) -> Tuple[bytes, bool]:
+        """Handle one request line; returns ``(response line, stop?)``.
+
+        Never raises: protocol violations and handler errors come back as
+        ``{"ok": false, "error": ...}`` responses so one bad request cannot
+        take the daemon down.
+        """
+        stop = False
+        request_id = None
+        try:
+            request = decode_line(raw)
+            request_id = request.get("id")
+            self._maybe_auto_reload()
+            response = self._dispatch(request)
+            stop = request.get("op") == "shutdown"
+        except ProtocolError as exc:
+            response = error_response(str(exc))
+        except Exception as exc:  # noqa: BLE001 - the daemon must keep serving
+            response = error_response(f"{type(exc).__name__}: {exc}")
+        if request_id is not None:
+            response.setdefault("id", request_id)
+        return encode_line(response), stop
+
+    def _dispatch(self, request: dict) -> dict:
+        """Route one decoded request to its operation."""
+        op = request.get("op")
+        if op == "top-k":
+            op = "top_k"
+        state = self._state
+        if op == "ping":
+            return ok_response(
+                patterns=len(state.store),
+                algorithm=state.store.algorithm,
+                min_sup=state.store.min_sup,
+                store_path=str(self.store_path),
+                zero_copy=state.store.is_zero_copy,
+                reloads=self.reloads,
+                automaton_reuses=self.automaton_reuses,
+                last_reload_error=self.last_reload_error,
+                pid=os.getpid(),
+            )
+        if op == "match":
+            result = state.matcher.match(_query_database(request))
+            return ok_response(**match_result_to_wire(result))
+        if op == "score":
+            scores = state.matcher.score_many(list(_query_database(request)))
+            return ok_response(scores=[score_to_wire(s) for s in scores])
+        if op == "rank":
+            ranked = state.matcher.rank_sequences(
+                list(_query_database(request)),
+                request.get("k"),
+                by=request.get("by", "anomaly"),
+            )
+            return ok_response(ranked=ranked_to_wire(ranked))
+        if op == "top_k":
+            ranked = state.matcher.top_patterns(
+                _query_database(request),
+                request.get("k", 10),
+                by=request.get("by", "support"),
+            )
+            return ok_response(patterns=top_patterns_to_wire(ranked))
+        if op == "reload":
+            return ok_response(**self.reload(force=bool(request.get("force"))))
+        if op == "shutdown":
+            return ok_response(stopping=True)
+        raise ProtocolError(
+            f"unknown operation {op!r} (expected one of: {', '.join(OPERATIONS)})"
+        )
+
+    # ------------------------------------------------------------------
+    # Server lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` — the port is real even when 0 was asked."""
+        host, port = self._tcp.server_address[:2]
+        return host, port
+
+    def serve_forever(self) -> None:
+        """Serve requests on the calling thread until :meth:`shutdown`."""
+        self._serving = True
+        self._tcp.serve_forever()
+
+    def start(self) -> threading.Thread:
+        """Serve on a daemon background thread; returns the thread."""
+        self._serving = True
+        thread = threading.Thread(
+            target=self._tcp.serve_forever, name="repro-serve", daemon=True
+        )
+        thread.start()
+        return thread
+
+    def shutdown(self) -> None:
+        """Stop the serving loop (safe to call from any thread, or twice)."""
+        if self._serving:
+            self._serving = False
+            self._tcp.shutdown()
+
+    def close(self) -> None:
+        """Stop serving and release the listening socket.
+
+        The store is *not* force-closed here: handler threads may still be
+        finishing in-flight requests on it (``shutdown`` only stops the
+        accept loop), so the mapping is left to close when the last
+        reference drops — exactly how superseded stores retire on
+        :meth:`reload`.
+        """
+        self.shutdown()
+        self._tcp.server_close()
+
+    def __enter__(self) -> "PatternServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def serve(
+    store_path: PathLike,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    constraint=None,
+    mmap: Union[bool, str] = "auto",
+    auto_reload: bool = False,
+    block: bool = True,
+) -> PatternServer:
+    """Start a pattern-serving daemon over a saved store.
+
+    ``block=True`` (default) serves on the calling thread until
+    :meth:`PatternServer.shutdown` (or a ``shutdown`` request) stops it,
+    then closes the socket and returns.  ``block=False`` starts a daemon
+    background thread and returns the running :class:`PatternServer`
+    immediately — read :attr:`PatternServer.address` for the bound port.
+    """
+    server = PatternServer(
+        store_path,
+        host=host,
+        port=port,
+        constraint=constraint,
+        mmap=mmap,
+        auto_reload=auto_reload,
+    )
+    if not block:
+        server.start()
+        return server
+    try:
+        server.serve_forever()
+    finally:
+        server.close()
+    return server

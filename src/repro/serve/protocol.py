@@ -1,0 +1,144 @@
+"""Wire format shared by the serving daemon and its client.
+
+The protocol is deliberately boring: one JSON object per line in both
+directions over a plain TCP connection.  A request is
+``{"op": <name>, ...params}`` (an optional ``"id"`` is echoed back for
+callers that pipeline); a response is ``{"ok": true, ...payload}`` or
+``{"ok": false, "error": <message>}``.  Newline framing means any language
+with a socket and a JSON parser can speak to the daemon — no schema
+compiler, no dependency.
+
+Operations (see :class:`repro.serve.daemon.PatternServer` for semantics):
+
+``ping``
+    Liveness + store snapshot (pattern count, reload counters).
+``match``
+    Match every served pattern against ``sequences`` in one shared pass.
+``score``
+    Coverage/anomaly score per query sequence.
+``rank``
+    Query sequences ordered by anomaly (or coverage).
+``top_k`` (alias ``top-k``)
+    The served patterns most present in the query.
+``reload``
+    Swap in a republished store file (no-op when the file is unchanged).
+``shutdown``
+    Stop the daemon after responding.
+
+Pattern events are restricted to JSON scalars by construction (stores
+persist str/int events only), so patterns travel as plain JSON arrays and
+support tables as ``[pattern, support]`` pairs — JSON objects cannot key on
+arrays.
+
+This module holds the pure encode/decode helpers so the client never
+imports the server (and vice versa); everything here is side-effect free.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Tuple
+
+from repro.match.automaton import MatchResult
+from repro.match.service import SequenceScore
+
+#: Request operations the daemon understands (``top-k`` is accepted for
+#: ``top_k``); named in the unknown-operation error.
+OPERATIONS = ("ping", "match", "score", "rank", "top_k", "reload", "shutdown")
+
+#: Hard cap on one request line.  Newline framing buffers a whole line
+#: before parsing, so without a bound one connection could grow daemon
+#: memory arbitrarily; 32 MiB comfortably fits large scoring batches.
+MAX_LINE_BYTES = 32 * 1024 * 1024
+
+
+class ProtocolError(ValueError):
+    """A request or response line that does not follow the wire format."""
+
+
+def encode_line(payload: dict) -> bytes:
+    """One protocol line: compact JSON plus the newline terminator."""
+    return json.dumps(payload, ensure_ascii=False, separators=(",", ":")).encode(
+        "utf-8"
+    ) + b"\n"
+
+
+def decode_line(line: bytes) -> dict:
+    """Parse one protocol line into its JSON object (clear errors otherwise)."""
+    try:
+        payload = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"request is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"request must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def ok_response(**payload) -> dict:
+    """A success response carrying ``payload``."""
+    response = {"ok": True}
+    response.update(payload)
+    return response
+
+
+def error_response(message: str) -> dict:
+    """A failure response carrying a human-readable error message."""
+    return {"ok": False, "error": message}
+
+
+def pattern_to_wire(pattern) -> List:
+    """A pattern as the JSON array of its events."""
+    return list(pattern.events)
+
+
+def score_to_wire(score: SequenceScore) -> dict:
+    """A :class:`SequenceScore` as a JSON-serialisable object.
+
+    ``supports`` and ``missing`` keep the mined-set order of the score; the
+    support table is a list of ``[pattern, support]`` pairs because JSON
+    objects cannot key on arrays.
+    """
+    return {
+        "matched": score.matched,
+        "total": score.total,
+        "coverage": score.coverage,
+        "anomaly": score.anomaly,
+        "supports": [
+            [pattern_to_wire(pattern), support]
+            for pattern, support in score.supports.items()
+        ],
+        "missing": [pattern_to_wire(pattern) for pattern in score.missing],
+    }
+
+
+def match_result_to_wire(result: MatchResult) -> dict:
+    """A :class:`MatchResult` as a JSON-serialisable object.
+
+    Entries keep compilation (store) order; ``per_sequence`` keys become
+    strings because JSON object keys always are — clients index with
+    ``str(i)``.
+    """
+    return {
+        "num_sequences": result.num_sequences,
+        "coverage": result.coverage(),
+        "entries": [
+            {
+                "pattern": pattern_to_wire(entry.pattern),
+                "support": entry.support,
+                "per_sequence": {str(i): n for i, n in entry.per_sequence.items()},
+            }
+            for entry in result
+        ],
+    }
+
+
+def ranked_to_wire(ranked: List[Tuple[int, SequenceScore]]) -> List:
+    """``rank_sequences`` output as ``[index, score]`` pairs."""
+    return [[index, score_to_wire(score)] for index, score in ranked]
+
+
+def top_patterns_to_wire(ranked: List[Tuple[object, int]]) -> List:
+    """``top_patterns`` output as ``[pattern, support]`` pairs."""
+    return [[pattern_to_wire(pattern), support] for pattern, support in ranked]

@@ -136,6 +136,8 @@ class StreamStats:
     refreshes: int = 0
     shards_remined: int = 0
     sup_comp_calls: int = 0
+    store_saves: int = 0
+    store_patches: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -145,6 +147,8 @@ class StreamStats:
             "refreshes": self.refreshes,
             "shards_remined": self.shards_remined,
             "sup_comp_calls": self.sup_comp_calls,
+            "store_saves": self.store_saves,
+            "store_patches": self.store_patches,
         }
 
 
@@ -222,7 +226,10 @@ class StreamMiner:
     store_path:
         Optional path of a :class:`~repro.match.store.PatternStore` file to
         (re)write after every :meth:`refresh` — the stream-to-serving bridge.
-        Written atomically; ``*.json`` paths get the JSON sibling encoding.
+        Supports-only refreshes patch the existing binary file in place
+        (zero-copy readers see the new supports without reloading); anything
+        else is written atomically.  ``*.json`` paths get the JSON sibling
+        encoding.
     """
 
     def __init__(
@@ -384,10 +391,35 @@ class StreamMiner:
         self._appended_since_refresh = 0
         self._evicted_since_refresh = 0
         if self.store_path is not None:
-            from repro.match.store import save_patterns  # local import, see to_store
-
-            save_patterns(update.to_store(), self.store_path)
+            self._publish_store(update)
         return update
+
+    def _publish_store(self, update: StreamUpdate) -> None:
+        """Republish the window's pattern store after a refresh.
+
+        When the refresh changed only supports (same patterns, same header —
+        the steady state of a full sliding window), only the changed 8-byte
+        support slots of the existing binary store file are rewritten in
+        place, so zero-copy serving workers that mapped the file observe the
+        new supports without reloading.  Any other shape — new or expired
+        patterns, a changed window size, a JSON store path, no previous file
+        — falls back to the atomic full save.
+        """
+        from repro.match.store import save_patterns  # local import, see to_store
+
+        store = update.to_store()
+        if str(self.store_path).endswith(".json"):
+            save_patterns(store, self.store_path)
+            self.stats.store_saves += 1
+            return
+        # Encode once; the blob serves both the patch attempt and the
+        # atomic-save fallback.
+        blob = store.to_bytes()
+        if store.patch_file_supports(self.store_path, _blob=blob):
+            self.stats.store_patches += 1
+            return
+        store.save(self.store_path, _blob=blob)
+        self.stats.store_saves += 1
 
     def results(self) -> MiningResult:
         """The current pattern set (refreshing first if anything is dirty)."""

@@ -1,0 +1,92 @@
+"""Compiled-automaton serialisation: tables round-trip, validation, worker reuse."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.core.clogsgrow import mine_closed
+from repro.core.constraints import GapConstraint
+from repro.datagen.markov import MarkovSequenceGenerator
+from repro.match import PatternAutomaton, PatternMatcher
+from repro.match.automaton import TABLES_FORMAT, TABLES_VERSION
+
+
+@pytest.fixture(scope="module")
+def mined_automaton():
+    train = MarkovSequenceGenerator(
+        num_sequences=20, num_events=6, average_length=25.0, concentration=3.0, seed=5
+    ).generate()
+    result = mine_closed(train, 30)
+    assert len(result) >= 10
+    query = MarkovSequenceGenerator(
+        num_sequences=8, num_events=6, average_length=25.0, concentration=3.0, seed=77
+    ).generate()
+    return PatternAutomaton(result), query
+
+
+class TestRoundTrip:
+    def test_tables_rebuild_matches_byte_identically(self, mined_automaton):
+        automaton, query = mined_automaton
+        rebuilt = PatternAutomaton.from_tables(automaton.to_tables())
+        assert rebuilt.patterns == automaton.patterns
+        assert rebuilt.state_count == automaton.state_count
+        assert rebuilt.alphabet_size == automaton.alphabet_size
+        for engine in ("sweep", "dfs"):
+            expected = automaton.match(query, engine=engine)
+            actual = rebuilt.match(query, engine=engine)
+            assert actual.supports() == expected.supports()
+            for entry, other in zip(actual, expected, strict=True):
+                assert entry.per_sequence == other.per_sequence
+
+    def test_tables_survive_json(self, mined_automaton):
+        automaton, query = mined_automaton
+        tables = json.loads(json.dumps(automaton.to_tables()))
+        rebuilt = PatternAutomaton.from_tables(tables)
+        assert rebuilt.match(query).supports() == automaton.match(query).supports()
+
+    def test_tables_survive_pickle(self, mined_automaton):
+        automaton, query = mined_automaton
+        tables = pickle.loads(pickle.dumps(automaton.to_tables()))
+        rebuilt = PatternAutomaton.from_tables(tables)
+        assert rebuilt.match(query).supports() == automaton.match(query).supports()
+
+    def test_gap_constrained_match_after_rebuild(self, mined_automaton):
+        automaton, query = mined_automaton
+        rebuilt = PatternAutomaton.from_tables(automaton.to_tables())
+        constraint = GapConstraint(max_gap=3)
+        expected = automaton.match(query, constraint=constraint)
+        actual = rebuilt.match(query, constraint=constraint)
+        assert actual.supports() == expected.supports()
+
+    def test_tables_format_marker(self, mined_automaton):
+        automaton, _ = mined_automaton
+        tables = automaton.to_tables()
+        assert tables["format"] == TABLES_FORMAT
+        assert tables["version"] == TABLES_VERSION
+
+
+class TestValidation:
+    def test_rejects_non_tables(self):
+        with pytest.raises(ValueError, match="not an automaton-tables payload"):
+            PatternAutomaton.from_tables({"format": "something else"})
+        with pytest.raises(ValueError, match="not an automaton-tables payload"):
+            PatternAutomaton.from_tables(["not", "a", "dict"])
+
+    def test_rejects_unknown_version(self, mined_automaton):
+        automaton, _ = mined_automaton
+        tables = automaton.to_tables()
+        tables["version"] = TABLES_VERSION + 1
+        with pytest.raises(ValueError, match="unsupported automaton-tables version"):
+            PatternAutomaton.from_tables(tables)
+
+
+class TestWorkerReuse:
+    def test_score_many_pool_matches_serial(self, mined_automaton):
+        automaton, query = mined_automaton
+        matcher = PatternMatcher(automaton)
+        sequences = list(query)
+        serial = matcher.score_many(sequences)
+        pooled = matcher.score_many(sequences, n_jobs=2)
+        assert [s.coverage for s in pooled] == [s.coverage for s in serial]
+        assert [s.supports for s in pooled] == [s.supports for s in serial]

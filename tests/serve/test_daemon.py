@@ -1,0 +1,320 @@
+"""End-to-end tests of the pattern-serving daemon and its client.
+
+The acceptance bar: start ``serve`` on a store mined in-test, issue
+match/score/rank/top-k requests from the client, and get results identical
+to the in-process :class:`~repro.match.service.PatternMatcher` (modulo the
+JSON wire encoding, which stringifies per-sequence keys); cover graceful
+reload on store republication, including the supports-only fast path that
+reuses the compiled automaton.
+"""
+
+import json
+import os
+import socket
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.clogsgrow import mine_closed
+from repro.db.database import SequenceDatabase
+from repro.match.service import PatternMatcher
+from repro.match.store import PatternStore, save_patterns
+from repro.serve import PatternServer, ServeClient, ServeError, serve
+from repro.stream.miner import StreamMiner
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+QUERY = ["ABCDAB", "AACB", "ABCABCDD", "DDDD"]
+
+
+@pytest.fixture(scope="module")
+def train_db():
+    return SequenceDatabase.from_strings(["AABCDABB", "ABCD", "ABCABCD"])
+
+
+@pytest.fixture
+def store_file(train_db, tmp_path):
+    result = mine_closed(train_db, 2)
+    return save_patterns(result, tmp_path / "patterns.rps")
+
+
+@pytest.fixture
+def running(store_file):
+    server = PatternServer(store_file)
+    server.start()
+    client = ServeClient(*server.address)
+    try:
+        yield server, client
+    finally:
+        client.close()
+        server.close()
+
+
+def in_process_matcher(store_file) -> PatternMatcher:
+    """The oracle: the same store matched without a network in between."""
+    return PatternMatcher(PatternStore.load(store_file))
+
+
+class TestOperations:
+    def test_ping_reports_the_store(self, running, store_file):
+        server, client = running
+        info = client.ping()
+        assert info["patterns"] == len(PatternStore.load(store_file))
+        assert info["store_path"] == str(store_file)
+        assert info["reloads"] == 0
+        assert info["pid"] == os.getpid()
+
+    def test_match_identical_to_in_process(self, running, store_file):
+        _, client = running
+        wire = client.match(QUERY)
+        local = in_process_matcher(store_file).match(SequenceDatabase.from_strings(QUERY))
+        assert wire["num_sequences"] == local.num_sequences
+        assert wire["coverage"] == local.coverage()
+        for entry, expected in zip(wire["entries"], local, strict=True):
+            assert entry["pattern"] == list(expected.pattern.events)
+            assert entry["support"] == expected.support
+            assert entry["per_sequence"] == {
+                str(i): n for i, n in expected.per_sequence.items()
+            }
+
+    def test_score_identical_to_in_process(self, running, store_file):
+        _, client = running
+        scores = client.score(QUERY)
+        local = in_process_matcher(store_file).score_many(
+            list(SequenceDatabase.from_strings(QUERY))
+        )
+        assert [s["coverage"] for s in scores] == [s.coverage for s in local]
+        assert [s["anomaly"] for s in scores] == [s.anomaly for s in local]
+        for wire_score, expected in zip(scores, local, strict=True):
+            assert wire_score["supports"] == [
+                [list(p.events), n] for p, n in expected.supports.items()
+            ]
+            assert wire_score["missing"] == [list(p.events) for p in expected.missing]
+
+    def test_rank_identical_to_in_process(self, running, store_file):
+        _, client = running
+        ranked = client.rank(QUERY, k=2)
+        local = in_process_matcher(store_file).rank_sequences(
+            list(SequenceDatabase.from_strings(QUERY)), 2
+        )
+        assert [index for index, _ in ranked] == [index for index, _ in local]
+        assert [score["anomaly"] for _, score in ranked] == [
+            score.anomaly for _, score in local
+        ]
+
+    def test_top_k_identical_to_in_process(self, running, store_file):
+        _, client = running
+        top = client.top_k(QUERY, k=3)
+        local = in_process_matcher(store_file).top_patterns(
+            SequenceDatabase.from_strings(QUERY), 3
+        )
+        assert top == [[list(p.events), n] for p, n in local]
+
+    def test_single_string_query(self, running):
+        _, client = running
+        scores = client.score("ABCDAB")
+        assert len(scores) == 1
+
+    def test_request_id_is_echoed(self, running):
+        server, _ = running
+        response, stop = server.handle_raw(b'{"op":"ping","id":42}')
+        assert not stop
+        assert json.loads(response)["id"] == 42
+
+
+class TestErrors:
+    def test_unknown_operation(self, running):
+        _, client = running
+        with pytest.raises(ServeError, match="unknown operation"):
+            client.request("frobnicate")
+
+    def test_missing_sequences(self, running):
+        _, client = running
+        with pytest.raises(ServeError, match="sequences"):
+            client.request("match")
+
+    def test_invalid_json_line(self, running):
+        server, _ = running
+        response, stop = server.handle_raw(b"this is not json")
+        assert not stop
+        payload = json.loads(response)
+        assert payload["ok"] is False and "JSON" in payload["error"]
+
+    def test_errors_do_not_kill_the_connection(self, running):
+        _, client = running
+        with pytest.raises(ServeError):
+            client.request("nope")
+        assert client.ping()["ok"]
+
+    def test_client_drops_connection_after_transport_error(self, running):
+        """A failed request may leave a response in flight; the socket must
+        not be reused (the next reader would get the wrong payload)."""
+        _, client = running
+        client.connect()
+
+        class _FailsOnFlush:
+            def __init__(self, inner):
+                self.inner = inner
+
+            def write(self, data):
+                return self.inner.write(data)
+
+            def flush(self):
+                raise OSError("simulated mid-request timeout")
+
+            def readline(self):
+                return self.inner.readline()
+
+            def close(self):
+                self.inner.close()
+
+        client._file = _FailsOnFlush(client._file)
+        with pytest.raises(OSError, match="simulated"):
+            client.ping()
+        assert client._sock is None  # connection dropped, not reused
+        assert client.ping()["ok"]  # lazy reconnect gives a clean pairing
+
+    def test_oversized_request_line_is_rejected(self, store_file, monkeypatch):
+        from repro.serve import daemon as daemon_module
+
+        monkeypatch.setattr(daemon_module, "MAX_LINE_BYTES", 1024)
+        with PatternServer(store_file) as server:
+            host, port = server.address
+            with socket.create_connection((host, port), timeout=30) as sock:
+                stream = sock.makefile("rwb")
+                stream.write(b'{"op":"ping","pad":"' + b"x" * 2048 + b'"}\n')
+                stream.flush()
+                payload = json.loads(stream.readline())
+                assert payload["ok"] is False
+                assert "exceeds" in payload["error"]
+                assert stream.readline() == b""  # daemon closed the connection
+
+
+class TestReload:
+    def test_reload_noop_when_unchanged(self, running):
+        _, client = running
+        outcome = client.reload()
+        assert outcome["reloaded"] is False
+
+    def test_reload_picks_up_new_pattern_set(self, running, store_file, train_db):
+        _, client = running
+        before = client.ping()["patterns"]
+        save_patterns(mine_closed(train_db, 3), store_file)
+        outcome = client.reload()
+        assert outcome["reloaded"] is True
+        assert outcome["automaton_reused"] is False
+        assert outcome["patterns"] != before
+        assert client.ping()["reloads"] == 1
+
+    def test_supports_only_republish_reuses_the_automaton(self, running, store_file):
+        _, client = running
+        store = PatternStore.load(store_file)
+        bumped = PatternStore(
+            [(p, s + 1) for p, s in store.entries()],
+            min_sup=store.min_sup,
+            algorithm=store.algorithm,
+            metadata=store.metadata,
+        )
+        assert bumped.patch_file_supports(store_file)
+        outcome = client.reload()
+        assert outcome["reloaded"] is True
+        assert outcome["automaton_reused"] is True
+
+    def test_auto_reload_swaps_before_the_request(self, store_file, train_db):
+        with PatternServer(store_file, auto_reload=True) as server:
+            with ServeClient(*server.address) as client:
+                before = client.ping()["patterns"]
+                save_patterns(mine_closed(train_db, 3), store_file)
+                after = client.ping()["patterns"]
+        assert after != before
+
+    def test_auto_reload_failure_keeps_the_daemon_serving(self, store_file):
+        """A corrupt republish must not poison requests (or remote shutdown)."""
+        with PatternServer(store_file, auto_reload=True) as server:
+            with ServeClient(*server.address) as client:
+                patterns = client.ping()["patterns"]
+                store_file.write_bytes(b"RPST garbage that cannot be parsed")
+                info = client.ping()  # still answers, on the loaded state
+                assert info["patterns"] == patterns
+                assert info["last_reload_error"]
+                assert client.score(QUERY)  # operations keep working
+                assert client.shutdown()["stopping"] is True
+
+    def test_explicit_reload_failure_is_reported_but_survivable(self, running, store_file):
+        _, client = running
+        store_file.write_bytes(b"RPST garbage that cannot be parsed")
+        with pytest.raises(ServeError, match="pattern.store"):
+            client.reload()
+        assert client.ping()["ok"]  # the daemon kept its loaded state
+
+    def test_racing_stale_reload_cannot_reinstall_old_state(self, store_file, train_db):
+        """A slow loader finishing after a fresher swap must lose the race."""
+        import time
+
+        server = PatternServer(store_file)
+        try:
+            stale_state, stale_adopted = server._load_state(adopt_from=None)
+            time.sleep(0.01)  # ensure the republish lands with a newer mtime
+            save_patterns(mine_closed(train_db, 3), store_file)
+            assert server.reload()["reloaded"] is True
+            fresh_store = server.store
+            assert not server._swap_state(stale_state, stale_adopted)
+            assert server.store is fresh_store
+        finally:
+            server.close()
+
+    def test_stream_republish_bridge(self, tmp_path):
+        """StreamMiner(store_path=...) republishes; the daemon serves each window."""
+        path = tmp_path / "stream.rps"
+        miner = StreamMiner(2, shard_size=2, window=2, store_path=path)
+        miner.append_many(["AA", "AA"])
+        miner.refresh()
+        with PatternServer(path) as server:
+            with ServeClient(*server.address) as client:
+                first = client.top_k(["AAAA"], k=5)
+                miner.append_many(["AAA", "AA"])
+                miner.refresh()  # supports-only in-place patch
+                outcome = client.reload()
+                assert outcome["automaton_reused"] is True
+                second = client.top_k(["AAAA"], k=5)
+        # Query supports are query-side, so they match; the served store
+        # changed supports underneath without a recompile.
+        assert first == second
+
+
+class TestShutdown:
+    def test_shutdown_request_stops_the_server(self, store_file):
+        server = serve(store_file, block=False)
+        client = ServeClient(*server.address)
+        assert client.shutdown()["stopping"] is True
+        # The serving loop has been told to stop; the socket closes next.
+        server.close()
+
+    def test_cli_serve_end_to_end(self, store_file):
+        """`python -m repro serve` prints its address and speaks the protocol."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", str(store_file)],
+            env=env,
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            banner = proc.stdout.readline().strip()
+            assert banner.startswith("# serving")
+            host, port = banner.rsplit(" on ", 1)[1].split(":")
+            with socket.create_connection((host, int(port)), timeout=30) as sock:
+                stream = sock.makefile("rwb")
+                stream.write(b'{"op":"ping"}\n')
+                stream.flush()
+                assert json.loads(stream.readline())["ok"] is True
+                stream.write(b'{"op":"shutdown"}\n')
+                stream.flush()
+                assert json.loads(stream.readline())["stopping"] is True
+            assert proc.wait(timeout=30) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()

@@ -1,7 +1,9 @@
 """Smoke tests of packaging-level concerns: imports, __all__ consistency, docs."""
 
 import importlib
+import importlib.util
 import pkgutil
+from pathlib import Path
 
 import pytest
 
@@ -13,10 +15,14 @@ SUBPACKAGES = [
     "repro.baselines",
     "repro.datagen",
     "repro.stream",
+    "repro.match",
+    "repro.serve",
     "repro.postprocess",
     "repro.analysis",
     "repro.experiments",
 ]
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
 
 
 class TestImports:
@@ -57,3 +63,37 @@ class TestTopLevelApi:
         from repro import cli
 
         assert callable(cli.main)
+
+
+@pytest.fixture(scope="module")
+def setup_kwargs():
+    """The ``SETUP_KWARGS`` dict of setup.py, loaded without running setuptools."""
+    spec = importlib.util.spec_from_file_location("repro_setup", REPO_ROOT / "setup.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.SETUP_KWARGS
+
+
+class TestSetupMetadata:
+    """setup.py must carry real metadata — the package page renders from it."""
+
+    def test_long_description_is_the_readme(self, setup_kwargs):
+        readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+        assert setup_kwargs["long_description"] == readme
+        assert setup_kwargs["long_description"].startswith("# repro")
+
+    def test_long_description_content_type_is_markdown(self, setup_kwargs):
+        assert setup_kwargs["long_description_content_type"] == "text/markdown"
+
+    def test_version_matches_the_package(self, setup_kwargs):
+        assert setup_kwargs["version"] == repro.__version__
+
+    def test_console_script_points_at_the_cli(self, setup_kwargs):
+        scripts = setup_kwargs["entry_points"]["console_scripts"]
+        assert scripts == ["repro-mine = repro.cli:main"]
+
+    def test_packages_cover_every_subpackage(self, setup_kwargs):
+        found = set(setup_kwargs["packages"])
+        assert "repro" in found
+        for name in SUBPACKAGES:
+            assert name in found, f"{name} missing from find_packages('src')"
