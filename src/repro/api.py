@@ -36,8 +36,8 @@ import os
 import time
 from typing import Iterable, Iterator, List, Optional, Sequence as PySequence, Tuple, Union
 
+from repro.core import sup_comp_compressed
 from repro.core.clogsgrow import CloGSgrow, mine_closed
-from repro.core.compressed import sup_comp_compressed
 from repro.core.constraints import GapConstraint
 from repro.core.gsgrow import GSgrow, mine_all
 from repro.core.pattern import Pattern
