@@ -46,6 +46,7 @@ workers always load the freshest window.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple, Union
@@ -230,6 +231,11 @@ class StreamMiner:
         (zero-copy readers see the new supports without reloading); anything
         else is written atomically.  ``*.json`` paths get the JSON sibling
         encoding.
+
+    Thread safety: the public mutators (:meth:`append`, :meth:`extend`,
+    :meth:`append_many`, :meth:`refresh`/:meth:`results`,
+    :meth:`snapshot_database`) serialize on an internal re-entrant lock, so
+    an ingest thread and a refresh/publish thread can share one miner.
     """
 
     def __init__(
@@ -260,6 +266,8 @@ class StreamMiner:
         self.window_seconds = window_seconds
         self.max_length = max_length
         self.store_path = Path(store_path) if store_path is not None else None
+        # Re-entrant: append_many -> append and results -> refresh nest.
+        self._lock = threading.RLock()
         self.stats = StreamStats()
         self._shards: List[_Shard] = []
         self._shard_of: Dict[int, _Shard] = {}
@@ -284,42 +292,43 @@ class StreamMiner:
         ``window_seconds`` budget, optional otherwise, and must never
         decrease: the time-based window slides forward with the stream.
         """
-        if timestamp is None:
-            if self.window_seconds is not None:
-                raise ValueError(
-                    "this StreamMiner has a window_seconds budget; every "
-                    "append must carry a timestamp"
-                )
-        else:
-            if self._latest_timestamp is not None and timestamp < self._latest_timestamp:
-                raise ValueError(
-                    f"timestamps must be non-decreasing: got {timestamp} after "
-                    f"{self._latest_timestamp}"
-                )
-            self._latest_timestamp = timestamp
-        shard = self._open_shard()
-        shard.stream.append(sequence)
-        shard.dirty = True
-        handle = self._next_handle
-        self._next_handle += 1
-        shard.add_handle(handle)
-        self._shard_of[handle] = shard
-        if timestamp is not None:
-            self._timestamps[handle] = timestamp
-        self.stats.appends += 1
-        self._appended_since_refresh += 1
-        self._evict_over_window()
-        return handle
+        if timestamp is None and self.window_seconds is not None:
+            raise ValueError(
+                "this StreamMiner has a window_seconds budget; every "
+                "append must carry a timestamp"
+            )
+        with self._lock:
+            if timestamp is not None:
+                if self._latest_timestamp is not None and timestamp < self._latest_timestamp:
+                    raise ValueError(
+                        f"timestamps must be non-decreasing: got {timestamp} after "
+                        f"{self._latest_timestamp}"
+                    )
+                self._latest_timestamp = timestamp
+            shard = self._open_shard()
+            shard.stream.append(sequence)
+            shard.dirty = True
+            handle = self._next_handle
+            self._next_handle += 1
+            shard.add_handle(handle)
+            self._shard_of[handle] = shard
+            if timestamp is not None:
+                self._timestamps[handle] = timestamp
+            self.stats.appends += 1
+            self._appended_since_refresh += 1
+            self._evict_over_window()
+            return handle
 
     def extend(self, handle: int, events: Iterable[Event]) -> None:
         """Append ``events`` to the end of a previously ingested sequence."""
-        shard = self._shard_of.get(handle)
-        if shard is None:
-            raise KeyError(f"unknown or evicted sequence handle {handle}")
-        local = shard.offsets[handle] + 1
-        shard.stream.extend(local, events)
-        shard.dirty = True
-        self.stats.extends += 1
+        with self._lock:
+            shard = self._shard_of.get(handle)
+            if shard is None:
+                raise KeyError(f"unknown or evicted sequence handle {handle}")
+            local = shard.offsets[handle] + 1
+            shard.stream.extend(local, events)
+            shard.dirty = True
+            self.stats.extends += 1
 
     def append_many(
         self, sequences: Iterable, timestamps: Optional[Iterable[float]] = None
@@ -329,15 +338,18 @@ class StreamMiner:
         ``timestamps`` must align with ``sequences`` when given (one
         timestamp per sequence, the :meth:`append` contract applies).
         """
-        if timestamps is None:
-            return [self.append(seq) for seq in sequences]
-        sequences = list(sequences)
-        timestamps = list(timestamps)
-        if len(sequences) != len(timestamps):
-            raise ValueError(
-                f"got {len(timestamps)} timestamps for {len(sequences)} sequences"
-            )
-        return [self.append(seq, ts) for seq, ts in zip(sequences, timestamps, strict=False)]
+        with self._lock:
+            if timestamps is None:
+                return [self.append(seq) for seq in sequences]
+            sequences = list(sequences)
+            timestamps = list(timestamps)
+            if len(sequences) != len(timestamps):
+                raise ValueError(
+                    f"got {len(timestamps)} timestamps for {len(sequences)} sequences"
+                )
+            return [
+                self.append(seq, ts) for seq, ts in zip(sequences, timestamps, strict=False)
+            ]
 
     # ------------------------------------------------------------------
     # Delivery
@@ -349,50 +361,51 @@ class StreamMiner:
         tables.  The returned update carries the full current result plus the
         delta against the previous refresh.
         """
-        self.stats.refreshes += 1
-        remined_before = self.stats.shards_remined
-        merged = self._merged_supports()
-        if self.closed:
-            kept = self._closed_filter(merged)
-        else:
-            kept = merged
-        if self.max_length is not None:
-            kept = {k: s for k, s in kept.items() if len(k) <= self.max_length}
-        result = MiningResult(
-            (
-                MinedPattern(pattern=Pattern(key), support=support)
-                for key, support in sorted(
-                    kept.items(), key=lambda kv: (len(kv[0]), [repr(e) for e in kv[0]])
-                )
-            ),
-            min_sup=self.min_sup,
-            algorithm=f"StreamMiner({'CloGSgrow' if self.closed else 'GSgrow'})",
-        )
-        previous = self._last_supports
-        new = [mp for mp in result if mp.pattern.events not in previous]
-        changed = [
-            mp
-            for mp in result
-            if mp.pattern.events in previous and previous[mp.pattern.events] != mp.support
-        ]
-        expired = [Pattern(key) for key in previous if key not in kept]
-        update = StreamUpdate(
-            appended=self._appended_since_refresh,
-            evicted=self._evicted_since_refresh,
-            total_sequences=len(self),
-            shards=len(self._shards),
-            shards_remined=self.stats.shards_remined - remined_before,
-            result=result,
-            new_patterns=new,
-            changed_patterns=changed,
-            expired_patterns=expired,
-        )
-        self._last_supports = dict(kept)
-        self._appended_since_refresh = 0
-        self._evicted_since_refresh = 0
-        if self.store_path is not None:
-            self._publish_store(update)
-        return update
+        with self._lock:
+            self.stats.refreshes += 1
+            remined_before = self.stats.shards_remined
+            merged = self._merged_supports()
+            if self.closed:
+                kept = self._closed_filter(merged)
+            else:
+                kept = merged
+            if self.max_length is not None:
+                kept = {k: s for k, s in kept.items() if len(k) <= self.max_length}
+            result = MiningResult(
+                (
+                    MinedPattern(pattern=Pattern(key), support=support)
+                    for key, support in sorted(
+                        kept.items(), key=lambda kv: (len(kv[0]), [repr(e) for e in kv[0]])
+                    )
+                ),
+                min_sup=self.min_sup,
+                algorithm=f"StreamMiner({'CloGSgrow' if self.closed else 'GSgrow'})",
+            )
+            previous = self._last_supports
+            new = [mp for mp in result if mp.pattern.events not in previous]
+            changed = [
+                mp
+                for mp in result
+                if mp.pattern.events in previous and previous[mp.pattern.events] != mp.support
+            ]
+            expired = [Pattern(key) for key in previous if key not in kept]
+            update = StreamUpdate(
+                appended=self._appended_since_refresh,
+                evicted=self._evicted_since_refresh,
+                total_sequences=len(self),
+                shards=len(self._shards),
+                shards_remined=self.stats.shards_remined - remined_before,
+                result=result,
+                new_patterns=new,
+                changed_patterns=changed,
+                expired_patterns=expired,
+            )
+            self._last_supports = dict(kept)
+            self._appended_since_refresh = 0
+            self._evicted_since_refresh = 0
+            if self.store_path is not None:
+                self._publish_store(update)
+            return update
 
     def _publish_store(self, update: StreamUpdate) -> None:
         """Republish the window's pattern store after a refresh.
@@ -443,10 +456,11 @@ class StreamMiner:
         exactly the patterns of :meth:`refresh` — the streaming-equivalence
         oracle used by tests and the benchmark.
         """
-        sequences = []
-        for shard in self._shards:
-            sequences.extend(shard.stream.database.sequences)
-        return SequenceDatabase(sequences, name=name)
+        with self._lock:
+            sequences = []
+            for shard in self._shards:
+                sequences.extend(shard.stream.database.sequences)
+            return SequenceDatabase(sequences, name=name)
 
     # ------------------------------------------------------------------
     # Sharding / eviction internals
@@ -479,8 +493,9 @@ class StreamMiner:
                 expired += 1
         return expired
 
+    # reprolint: holds-lock
     def _evict_oldest(self, count: int) -> None:
-        """Evict the ``count`` oldest window sequences (both window kinds)."""
+        """Evict the ``count`` oldest window sequences (caller holds self._lock)."""
         while count > 0 and self._shards:
             oldest = self._shards[0]
             drop = min(count, len(oldest))
@@ -542,7 +557,9 @@ class StreamMiner:
         for shard in self._shards:
             candidates.update(shard.table)
         merged: Dict[PatternKey, int] = {}
-        for key in candidates:
+        # Sorted so merged's insertion order (and everything downstream:
+        # results, expiry diffs, republished stores) is hash-seed independent.
+        for key in sorted(candidates, key=lambda k: (len(k), [repr(e) for e in k])):
             total = 0
             for shard in self._shards:
                 total += shard.local_support(key, self.stats)
