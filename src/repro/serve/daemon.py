@@ -295,9 +295,14 @@ class PatternServer:
             return
         try:
             self.reload()
-            self.last_reload_error = None
         except Exception as exc:  # noqa: BLE001 - keep serving the loaded state
-            self.last_reload_error = f"{type(exc).__name__}: {exc}"
+            message: Optional[str] = f"{type(exc).__name__}: {exc}"
+        else:
+            message = None
+        # The assignment happens under the (non-reentrant) lock, but only
+        # after reload() — and the _swap_state it runs — has released it.
+        with self._lock:
+            self.last_reload_error = message
 
     # ------------------------------------------------------------------
     # Request handling
