@@ -180,8 +180,10 @@ class CompressedSupportSet:
     def per_sequence_counts(self) -> dict:
         """Number of instances per sequence index."""
         counts: dict = {}
+        get = counts.get  # hoisted: one bound-method lookup for the sweep
+        # reprolint: hot-loop
         for seq in self._seqs:
-            counts[seq] = counts.get(seq, 0) + 1
+            counts[seq] = get(seq, 0) + 1
         return counts
 
 

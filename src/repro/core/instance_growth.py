@@ -93,6 +93,10 @@ def ins_grow(
     in_mv = memoryview(lands)
     out_mv = memoryview(out_lands)
     raw_positions = index.raw_positions_by_id
+    # Bound methods hoisted so the sweep never re-runs the attribute
+    # descriptor lookups per instance.
+    lowest_allowed = None if constraint is None else constraint.lowest_allowed
+    allows = None if constraint is None else constraint.allows
 
     count = 0
     prev_seq = -1
@@ -100,6 +104,7 @@ def ins_grow(
     last_position = 0
     plist = None
     plen = 0
+    # reprolint: hot-loop
     for k in range(n):
         i = seqs[k]
         if i == skip_seq:
@@ -117,8 +122,8 @@ def ins_grow(
             plen = len(plist)
         last = lands[k * m + m - 1]
         lowest = last if last >= last_position else last_position
-        if constraint is not None:
-            bound = constraint.lowest_allowed(last)
+        if lowest_allowed is not None:
+            bound = lowest_allowed(last)
             if bound > lowest:
                 lowest = bound
         idx = bisect_right(plist, lowest)
@@ -126,7 +131,7 @@ def ins_grow(
             skip_seq = i
             continue
         position = plist[idx]
-        if constraint is not None and not constraint.allows(last, position):
+        if allows is not None and not allows(last, position):
             # Under a maximum-gap constraint the nearest occurrence may be
             # too far away for *this* instance while still usable by a
             # later one, so skip rather than break.

@@ -129,12 +129,17 @@ def _grow_triples_python(
     out_seqs = array(POSITION_TYPECODE, bytes(_ITEMSIZE * n))
     out_firsts = array(POSITION_TYPECODE, bytes(_ITEMSIZE * n))
     out_lasts = array(POSITION_TYPECODE, bytes(_ITEMSIZE * n))
+    # Bound methods hoisted so the sweep never re-runs the attribute
+    # descriptor lookups per instance.
+    lowest_allowed = None if constraint is None else constraint.lowest_allowed
+    allows = None if constraint is None else constraint.allows
     count = 0
     prev_seq = -1
     skip_seq = -1
     last_position = 0
     plist = None
     plen = 0
+    # reprolint: hot-loop
     for k in range(n):
         i = seqs[k]
         if i == skip_seq:
@@ -149,8 +154,8 @@ def _grow_triples_python(
             plen = len(plist)
         last = lasts[k]
         lowest = last if last >= last_position else last_position
-        if constraint is not None:
-            bound = constraint.lowest_allowed(last)
+        if lowest_allowed is not None:
+            bound = lowest_allowed(last)
             if bound > lowest:
                 lowest = bound
         idx = bisect_right(plist, lowest)
@@ -158,7 +163,7 @@ def _grow_triples_python(
             skip_seq = i
             continue
         position = plist[idx]
-        if constraint is not None and not constraint.allows(last, position):
+        if allows is not None and not allows(last, position):
             # Under a maximum-gap constraint the nearest occurrence may be
             # too far away for *this* instance while still usable by a later
             # one, so skip rather than break.

@@ -456,6 +456,7 @@ class PatternAutomaton:
         slot_count = self._slot_count
         for i, sequence in enumerate(database, start=1):
             counts = [0] * slot_count
+            # reprolint: hot-loop
             for pairs in map(dispatch_get, sequence.events):
                 if pairs is None:
                     continue
