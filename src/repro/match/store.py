@@ -596,7 +596,7 @@ class PatternStore:
             return False
         if changed:
             stat = path.stat()
-            mtime_ns = max(time.time_ns(), stat.st_mtime_ns + 1)
+            mtime_ns = max(time.time_ns(), stat.st_mtime_ns + 1)  # reprolint: disable=RL005 -- mtime nudge only orders auto-reload staleness checks; never enters store bytes
             os.utime(path, ns=(stat.st_atime_ns, mtime_ns))
         return True
 

@@ -1,0 +1,23 @@
+"""RL001 positive fixture: a marked hot loop that hashes, re-looks-up and allocates."""
+
+from __future__ import annotations
+
+
+class Constraint:
+    def allows(self, last: int, position: int) -> bool:
+        return position > last
+
+
+def grow(positions: list[int], constraint: Constraint) -> int:
+    total = 0
+    seen = 0
+    # reprolint: hot-loop
+    for position in positions:
+        if constraint.allows(seen, position):  # attribute re-lookup -> RL001
+            total += hash(position)  # hash() in hot loop -> RL001
+            bucket = [position]  # list display per iteration -> RL001
+            total += len(bucket)
+            pair = dict(last=position)  # dict() call per iteration -> RL001
+            total += len(pair)
+            seen = position
+    return total

@@ -1,0 +1,10 @@
+"""RL004 positive fixture: engine internals imported outside repro.core."""
+
+from __future__ import annotations
+
+from repro.core.compressed import CompressedSupportSet  # -> RL004
+from repro.core import instance_growth  # module import via package -> RL004
+
+import repro.core.instance_growth  # plain module import -> RL004
+
+__all__ = ["CompressedSupportSet", "instance_growth", "repro"]

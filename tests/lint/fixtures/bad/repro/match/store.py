@@ -1,0 +1,19 @@
+"""RL005 positive fixture: wall-clock and global-RNG calls in library code."""
+
+from __future__ import annotations
+
+import random
+import time
+from random import choice  # global-RNG import -> RL005
+from time import time_ns  # wall-clock import -> RL005
+
+
+def stamp() -> int:
+    return time.time_ns()  # wall-clock read -> RL005
+
+
+def jitter() -> float:
+    return random.random()  # global RNG -> RL005
+
+
+__all__ = ["choice", "jitter", "stamp", "time_ns"]

@@ -1,0 +1,23 @@
+"""RL003 positive fixture: a lock-guarded attribute written without the lock."""
+
+from __future__ import annotations
+
+import threading
+
+
+class Server:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.reloads = 0  # __init__ writes are exempt
+        self.last_error: str | None = None
+
+    def swap(self) -> None:
+        with self._lock:
+            self.reloads += 1
+            self.last_error = None
+
+    def record_failure(self, message: str) -> None:
+        self.last_error = message  # unguarded write of a guarded attr -> RL003
+
+    def bump_unmarked(self) -> None:
+        self.reloads += 1  # unguarded, and not marked holds-lock -> RL003

@@ -1,0 +1,12 @@
+"""RL000 positive fixture: malformed directives (and the finding they fail to hide)."""
+
+from __future__ import annotations
+
+
+def encode(keys: set[str]) -> list[str]:
+    # A reasonless disable is RL000 *and* leaves the RL002 finding standing:
+    return [key for key in keys]  # reprolint: disable=RL002
+
+
+def decode(payload: str) -> str:  # reprolint: not-a-real-directive
+    return payload

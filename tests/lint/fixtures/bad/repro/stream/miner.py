@@ -1,0 +1,20 @@
+"""RL002 positive fixture: hash-ordered set iteration feeding a publication path."""
+
+from __future__ import annotations
+
+
+def merged_supports(left: dict[str, int], right: dict[str, int]) -> list[tuple[str, int]]:
+    candidates = set(left) | set(right)
+    merged = []
+    for key in candidates:  # set iteration without sorted() -> RL002
+        merged.append((key, left.get(key, 0) + right.get(key, 0)))
+    return merged
+
+
+def expired(previous: frozenset[str], current: frozenset[str]) -> list[str]:
+    gone: set[str] = previous - current
+    return [key for key in gone]  # comprehension over a set -> RL002
+
+
+def as_list(keys: set[str]) -> list[str]:
+    return list(keys)  # list() coercion of a set -> RL002

@@ -1,0 +1,20 @@
+"""RL001 negative fixture: the same loop with everything hoisted."""
+
+from __future__ import annotations
+
+
+class Constraint:
+    def allows(self, last: int, position: int) -> bool:
+        return position > last
+
+
+def grow(positions: list[int], constraint: Constraint) -> int:
+    total = 0
+    seen = 0
+    allows = constraint.allows  # hoisted bound method
+    # reprolint: hot-loop
+    for position in positions:
+        if allows(seen, position):
+            total += position
+            seen = position
+    return total

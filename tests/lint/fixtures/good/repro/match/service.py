@@ -1,0 +1,8 @@
+"""RL004 negative fixture: engines reached through the sanctioned seams."""
+
+from __future__ import annotations
+
+from repro.core import sup_comp_compressed  # re-exported name: fine
+from repro.core.engine import FULL_LANDMARK_ENGINE, engine_for  # the seam: fine
+
+__all__ = ["FULL_LANDMARK_ENGINE", "engine_for", "sup_comp_compressed"]

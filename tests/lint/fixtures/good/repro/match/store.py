@@ -1,0 +1,19 @@
+"""RL005 negative fixture: monotonic clocks, seeded RNG, and a reasoned suppression."""
+
+from __future__ import annotations
+
+import random
+import time
+
+
+def elapsed() -> float:
+    return time.perf_counter()  # monotonic: fine
+
+
+def jitter(seed: int) -> float:
+    return random.Random(seed).random()  # seeded caller-owned RNG: fine
+
+
+def stamp() -> int:
+    # The one sanctioned wall-clock read, with its audit trail:
+    return time.time_ns()  # reprolint: disable=RL005 -- mtime nudge only orders reloads, never enters store bytes

@@ -1,0 +1,34 @@
+"""RL003 negative fixture: every post-init write holds the lock or is marked."""
+
+from __future__ import annotations
+
+import threading
+
+
+class Server:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.reloads = 0
+        self.last_error: str | None = None
+        self.started = False  # never lock-guarded anywhere: not tracked
+
+    def swap(self) -> None:
+        with self._lock:
+            self.reloads += 1
+            self.last_error = None
+
+    def record_failure(self, message: str) -> None:
+        with self._lock:
+            self.last_error = message
+
+    def reload_many(self, count: int) -> None:
+        with self._lock:
+            for _ in range(count):
+                self._bump_locked()
+
+    # reprolint: holds-lock
+    def _bump_locked(self) -> None:
+        self.reloads += 1  # caller holds self._lock (see marker above)
+
+    def start(self) -> None:
+        self.started = True  # untracked attr: fine without the lock

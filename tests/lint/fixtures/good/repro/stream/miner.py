@@ -1,0 +1,20 @@
+"""RL002 negative fixture: every set crosses into output order via sorted()."""
+
+from __future__ import annotations
+
+
+def merged_supports(left: dict[str, int], right: dict[str, int]) -> list[tuple[str, int]]:
+    candidates = set(left) | set(right)
+    merged = []
+    for key in sorted(candidates):
+        merged.append((key, left.get(key, 0) + right.get(key, 0)))
+    return merged
+
+
+def expired(previous: frozenset[str], current: frozenset[str]) -> list[str]:
+    gone: set[str] = previous - current
+    return [key for key in sorted(gone)]
+
+
+def insertion_ordered(counts: dict[str, int]) -> list[str]:
+    return [key for key in counts]  # dict iteration is insertion-ordered: fine

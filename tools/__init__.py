@@ -1,0 +1,5 @@
+"""In-repo developer tooling (not shipped with the ``repro`` package).
+
+* :mod:`tools.reprolint` — the project-invariant static analyzer run in CI
+  as ``python -m tools.reprolint src/``.
+"""

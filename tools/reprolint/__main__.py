@@ -1,0 +1,10 @@
+"""Entry point: ``python -m tools.reprolint src/``."""
+
+from __future__ import annotations
+
+import sys
+
+from tools.reprolint.runner import main
+
+if __name__ == "__main__":
+    sys.exit(main())

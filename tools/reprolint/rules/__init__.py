@@ -1,0 +1,28 @@
+"""Rule registry: every reprolint rule, in rule-id order."""
+
+from __future__ import annotations
+
+from tools.reprolint.rules.base import Rule
+from tools.reprolint.rules.rl001_hot_loops import HotLoopPurity
+from tools.reprolint.rules.rl002_determinism import SerializationDeterminism
+from tools.reprolint.rules.rl003_lock_discipline import LockDiscipline
+from tools.reprolint.rules.rl004_layering import EngineLayering
+from tools.reprolint.rules.rl005_wall_clock import NoWallClock
+
+ALL_RULES: tuple[Rule, ...] = (
+    HotLoopPurity(),
+    SerializationDeterminism(),
+    LockDiscipline(),
+    EngineLayering(),
+    NoWallClock(),
+)
+
+__all__ = [
+    "ALL_RULES",
+    "EngineLayering",
+    "HotLoopPurity",
+    "LockDiscipline",
+    "NoWallClock",
+    "Rule",
+    "SerializationDeterminism",
+]

@@ -1,0 +1,30 @@
+"""Rule interface: one class per invariant, registered in ``ALL_RULES``."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from tools.reprolint.context import FileContext, Finding
+
+
+class Rule:
+    """One invariant checker.
+
+    Subclasses set ``rule_id``/``summary`` and implement :meth:`check`,
+    yielding :class:`Finding` objects for every violation in one file.
+    ``targets`` restricts the rule to files whose POSIX path ends with one
+    of the listed suffixes; an empty tuple means "every scanned file".
+    """
+
+    rule_id: str = "RL000"
+    summary: str = ""
+    targets: tuple[str, ...] = ()
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return not self.targets or ctx.matches(self.targets)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, line: int, message: str) -> Finding:
+        return Finding(self.rule_id, line, message)

@@ -1,0 +1,104 @@
+"""RL001 — hot-path purity of the marked ``ins_grow``/sweep inner loops.
+
+The one-interned-hash-per-``ins_grow``-call contract (PR 2/3) and the
+"one dict probe per position" sweep budget (PR 4) die by a thousand cuts:
+a stray ``hash()`` of a user object, an attribute re-lookup, or a container
+allocated per iteration inside the inner loops silently multiplies the
+per-instance cost.  Those loops are marked ``# reprolint: hot-loop``;
+inside a marked loop body this rule forbids
+
+* calls to ``hash()`` (user-object hashing belongs *outside* the loop —
+  events are resolved to interned ids once per growth call);
+* attribute access of any kind (``x.y`` re-runs the descriptor lookup every
+  iteration; hoist bound methods and fields to locals before the loop);
+* container allocation: list/set/dict/tuple displays, comprehensions,
+  generator expressions, and calls to the builtin container constructors.
+
+The loop's iterator expression is evaluated once and is therefore exempt;
+only the body (including nested loops) is checked.  The rule also fails
+when a file documented to contain marked hot loops loses all its markers,
+so the contract cannot be deleted silently.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from tools.reprolint.context import FileContext, Finding
+from tools.reprolint.rules.base import Rule
+
+#: Builtin constructors whose call allocates a container.
+_CONTAINER_BUILTINS = frozenset(
+    {"list", "dict", "set", "tuple", "frozenset", "bytearray"}
+)
+
+#: Files that must carry at least one marked hot loop (the engine inner
+#: loops); losing every marker in one of these is itself a violation.
+_REQUIRED_MARKED_FILES = (
+    "repro/core/compressed.py",
+    "repro/core/instance_growth.py",
+    "repro/core/sweep.py",
+    "repro/match/automaton.py",
+)
+
+
+class HotLoopPurity(Rule):
+    rule_id = "RL001"
+    summary = "marked hot loops must not hash, re-look-up attributes or allocate"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        marked: list[ast.For | ast.While] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+                if node.lineno in ctx.hot_loop_lines:
+                    marked.append(node)
+        if not marked and ctx.matches(_REQUIRED_MARKED_FILES):
+            yield self.finding(
+                1,
+                "file is documented to contain '# reprolint: hot-loop' marked "
+                "inner loops but none were found (was a marker deleted?)",
+            )
+        for loop in marked:
+            yield from self._check_loop(loop)
+
+    def _check_loop(self, loop: ast.For | ast.While) -> Iterator[Finding]:
+        for stmt in loop.body + getattr(loop, "orelse", []):
+            for node in ast.walk(stmt):
+                yield from self._check_node(node)
+
+    def _check_node(self, node: ast.AST) -> Iterator[Finding]:
+        if isinstance(node, ast.Attribute):
+            yield self.finding(
+                node.lineno,
+                f"attribute lookup '.{node.attr}' inside a hot loop; hoist it "
+                "to a local before the loop",
+            )
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            name = node.func.id
+            if name == "hash":
+                yield self.finding(
+                    node.lineno,
+                    "hash() inside a hot loop; resolve events to interned ids "
+                    "once per growth call instead",
+                )
+            elif name in _CONTAINER_BUILTINS:
+                yield self.finding(
+                    node.lineno,
+                    f"{name}() allocates a container per iteration inside a "
+                    "hot loop; allocate once outside",
+                )
+        elif isinstance(node, (ast.List, ast.Set, ast.Dict, ast.Tuple)) and isinstance(
+            getattr(node, "ctx", ast.Load()), ast.Load
+        ):
+            yield self.finding(
+                node.lineno,
+                "container literal allocated per iteration inside a hot loop",
+            )
+        elif isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+        ):
+            yield self.finding(
+                node.lineno,
+                "comprehension allocated per iteration inside a hot loop",
+            )

@@ -1,0 +1,160 @@
+"""RL002 — deterministic iteration in serialization/publication paths.
+
+The byte-identical store format (PR 4/5) and the stream republish bridge
+assume that everything feeding an encoder iterates in a reproducible order.
+``dict`` iteration is insertion-ordered and therefore fine; ``set``
+iteration is hash-ordered and — for strings — varies run to run with
+``PYTHONHASHSEED``, so one unsorted set comprehension in a serialization
+path silently breaks byte-stability.
+
+Within the targeted modules this rule flags iteration over expressions it
+can see are sets — set literals/comprehensions, ``set(...)`` /
+``frozenset(...)`` calls, and local names assigned from one — in ``for``
+statements, comprehension generators and ``list()``/``tuple()`` coercions,
+unless the iterable is wrapped in ``sorted(...)``.
+
+The inference is deliberately local and conservative (no cross-module type
+analysis): a name counts as a set if any assignment in the same scope binds
+it to a syntactic set expression or annotates it as one.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from tools.reprolint.context import FileContext, Finding
+from tools.reprolint.rules.base import Rule
+
+_SET_CALLS = frozenset({"set", "frozenset"})
+
+
+def _is_set_annotation(annotation: ast.expr) -> bool:
+    text = ast.unparse(annotation)
+    head = text.split("[", 1)[0].strip()
+    return head in {"set", "frozenset", "Set", "FrozenSet", "AbstractSet", "MutableSet"}
+
+
+def _is_set_expr(node: ast.expr | None, set_names: set[str]) -> bool:
+    """True when ``node`` is syntactically a set (or a name inferred as one)."""
+    if node is None:
+        return False
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _SET_CALLS
+    ):
+        return True
+    if isinstance(node, ast.Name) and node.id in set_names:
+        return True
+    # set arithmetic (a | b, a & b) on inferred sets stays a set
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.BitOr, ast.BitAnd, ast.Sub)):
+        return _is_set_expr(node.left, set_names) or _is_set_expr(node.right, set_names)
+    return False
+
+
+class _Scope(ast.NodeVisitor):
+    """Collect names bound to set expressions within one function/module scope."""
+
+    def __init__(self) -> None:
+        self.set_names: set[str] = set()
+        self.iterations: list[tuple[int, ast.expr]] = []
+
+    # -- name inference -------------------------------------------------
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if _is_set_expr(node.value, self.set_names):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.set_names.add(target.id)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if isinstance(node.target, ast.Name) and (
+            _is_set_annotation(node.annotation)
+            or _is_set_expr(node.value, self.set_names)
+        ):
+            self.set_names.add(node.target.id)
+        self.generic_visit(node)
+
+    # -- iteration points ------------------------------------------------
+    def visit_For(self, node: ast.For) -> None:
+        self.iterations.append((node.iter.lineno, node.iter))
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node: ast.AST) -> None:
+        for generator in node.generators:
+            self.iterations.append((generator.iter.lineno, generator.iter))
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id in {"list", "tuple"}
+            and len(node.args) == 1
+        ):
+            self.iterations.append((node.lineno, node.args[0]))
+        self.generic_visit(node)
+
+    # -- scope boundaries: nested functions get their own scope ----------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        pass
+
+
+def _scopes(tree: ast.Module) -> Iterator[tuple[list[ast.stmt], set[str]]]:
+    """Each scope's flat statement list plus names pre-seeded from annotations.
+
+    Yields the module body, then every function body with the function's
+    set-annotated parameters already inferred as sets.
+    """
+    yield tree.body, set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            seeded: set[str] = set()
+            arguments = node.args
+            for arg in (
+                arguments.posonlyargs
+                + arguments.args
+                + arguments.kwonlyargs
+                + [a for a in (arguments.vararg, arguments.kwarg) if a is not None]
+            ):
+                if arg.annotation is not None and _is_set_annotation(arg.annotation):
+                    seeded.add(arg.arg)
+            yield node.body, seeded
+
+
+class SerializationDeterminism(Rule):
+    rule_id = "RL002"
+    summary = "no unsorted set iteration in serialization/publication paths"
+    targets = (
+        "repro/match/store.py",
+        "repro/serve/protocol.py",
+        "repro/core/results.py",
+        "repro/stream/miner.py",
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for body, seeded in _scopes(ctx.tree):
+            scope = _Scope()
+            scope.set_names.update(seeded)
+            for stmt in body:
+                scope.visit(stmt)
+            for lineno, iterable in scope.iterations:
+                if _is_set_expr(iterable, scope.set_names):
+                    yield self.finding(
+                        lineno,
+                        "iteration over a set in a serialization path is "
+                        "hash-ordered (PYTHONHASHSEED-dependent); wrap the "
+                        "iterable in sorted(...) with an explicit key",
+                    )

@@ -1,0 +1,111 @@
+"""RL005 — no wall-clock reads or global-RNG randomness in library code.
+
+Reproducibility is the repo's product: the same database and parameters
+must yield the same patterns, the same store bytes, the same scores.
+Wall-clock reads (``time.time``, ``datetime.now``) and the process-global
+RNG (``random.random`` et al.) are the two ways nondeterminism sneaks into
+library code.
+
+Banned outside ``repro/datagen/`` (the synthetic-data generators are
+seeded and own their randomness):
+
+* wall-clock reads: ``time.time``, ``time.time_ns``, ``time.localtime``,
+  ``time.gmtime``, ``time.ctime``, ``datetime.now`` / ``utcnow`` /
+  ``today`` and ``date.today`` (any dotted spelling);
+* the global RNG: any ``random.<fn>()`` call except constructing a
+  dedicated ``random.Random(seed)`` instance, plus
+  ``from random import <fn>`` imports;
+* ``from time import time``-style imports of the banned clock readers.
+
+Monotonic timing (``perf_counter``, ``monotonic``, ``process_time``) and
+``time.sleep`` are fine — they never leak into outputs.  The explicitly
+time-aware spots in the stream/serve surfaces document themselves with a
+``# reprolint: disable=RL005 -- <reason>`` suppression, which is exactly
+the audit trail this rule exists to force.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from tools.reprolint.context import FileContext, Finding
+from tools.reprolint.rules.base import Rule
+
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.localtime",
+        "time.gmtime",
+        "time.ctime",
+        "time.strftime",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "date.today",
+        "datetime.date.today",
+    }
+)
+
+_WALL_CLOCK_IMPORTS = frozenset(
+    {"time", "time_ns", "localtime", "gmtime", "ctime"}
+)
+
+#: Seeded, caller-owned RNG construction is the sanctioned pattern.
+_ALLOWED_RANDOM = frozenset({"random.Random"})
+
+_ALLOWED_PATH_PREFIXES = ("repro/datagen/",)
+
+
+class NoWallClock(Rule):
+    rule_id = "RL005"
+    summary = "no wall-clock or global-RNG calls in library code"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.rel_posix.startswith("repro/") and not any(
+            ctx.rel_posix.startswith(prefix) for prefix in _ALLOWED_PATH_PREFIXES
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                dotted = ast.unparse(node.func)
+                if dotted in _WALL_CLOCK_CALLS:
+                    yield self.finding(
+                        node.lineno,
+                        f"wall-clock read '{dotted}()' in library code; use a "
+                        "monotonic clock, pass the timestamp in, or suppress "
+                        "with a reason",
+                    )
+                elif (
+                    isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == "random"
+                    and dotted not in _ALLOWED_RANDOM
+                ):
+                    yield self.finding(
+                        node.lineno,
+                        f"global-RNG call '{dotted}()' in library code; "
+                        "construct a seeded random.Random and thread it through",
+                    )
+            elif isinstance(node, ast.ImportFrom) and not node.level:
+                if node.module == "time":
+                    for alias in node.names:
+                        if alias.name in _WALL_CLOCK_IMPORTS:
+                            yield self.finding(
+                                node.lineno,
+                                f"'from time import {alias.name}' imports a "
+                                "wall-clock reader into library code",
+                            )
+                elif node.module == "random":
+                    for alias in node.names:
+                        if alias.name != "Random":
+                            yield self.finding(
+                                node.lineno,
+                                f"'from random import {alias.name}' binds the "
+                                "global RNG in library code; construct a seeded "
+                                "random.Random instead",
+                            )
