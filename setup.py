@@ -40,6 +40,10 @@ SETUP_KWARGS = dict(
     long_description_content_type="text/markdown",
     packages=find_packages("src"),
     package_dir={"": "src"},
+    # PEP 561: the annotated modules (repro.match, repro.serve, the core
+    # engine/sweep/compressed trio) are type-checked with mypy --strict in
+    # CI; py.typed lets downstream checkers consume those annotations.
+    package_data={"repro": ["py.typed"]},
     python_requires=">=3.10",
     entry_points={"console_scripts": ["repro-mine = repro.cli:main"]},
     classifiers=[

@@ -11,7 +11,7 @@ estimators if available.
 from __future__ import annotations
 
 import math
-from typing import Dict, Hashable, List, Sequence as PySequence
+from collections.abc import Hashable, Sequence as PySequence
 
 
 class NearestCentroidClassifier:
@@ -22,20 +22,20 @@ class NearestCentroidClassifier:
     """
 
     def __init__(self):
-        self._centroids: Dict[Hashable, List[float]] = {}
+        self._centroids: dict[Hashable, list[float]] = {}
 
     # ------------------------------------------------------------------
     # Training / prediction
     # ------------------------------------------------------------------
-    def fit(self, rows: PySequence[PySequence[float]], labels: PySequence[Hashable]) -> "NearestCentroidClassifier":
+    def fit(self, rows: PySequence[PySequence[float]], labels: PySequence[Hashable]) -> NearestCentroidClassifier:
         """Compute one centroid per label."""
         if len(rows) != len(labels):
             raise ValueError("rows and labels must have the same length")
         if not rows:
             raise ValueError("cannot fit on an empty training set")
         width = len(rows[0])
-        sums: Dict[Hashable, List[float]] = {}
-        counts: Dict[Hashable, int] = {}
+        sums: dict[Hashable, list[float]] = {}
+        counts: dict[Hashable, int] = {}
         for row, label in zip(rows, labels, strict=False):
             if len(row) != width:
                 raise ValueError("all feature rows must have the same length")
@@ -62,7 +62,7 @@ class NearestCentroidClassifier:
                 best_label = label
         return best_label
 
-    def predict(self, rows: PySequence[PySequence[float]]) -> List[Hashable]:
+    def predict(self, rows: PySequence[PySequence[float]]) -> list[Hashable]:
         """Labels of the nearest centroids for several feature rows."""
         return [self.predict_one(row) for row in rows]
 
@@ -79,7 +79,7 @@ class NearestCentroidClassifier:
     # Internals
     # ------------------------------------------------------------------
     @property
-    def labels(self) -> List[Hashable]:
+    def labels(self) -> list[Hashable]:
         """The labels seen during fitting."""
         return sorted(self._centroids.keys(), key=repr)
 

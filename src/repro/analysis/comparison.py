@@ -11,7 +11,7 @@ quickstart example both use it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence as PySequence, Union
+from collections.abc import Sequence as PySequence
 
 from repro.baselines.episodes import fixed_window_support, minimal_window_support
 from repro.baselines.gap_requirement import gap_occurrence_support
@@ -39,7 +39,7 @@ class SupportComparison:
     window_width: int
     gap_constraint: GapConstraint
 
-    def as_dict(self) -> Dict[str, int]:
+    def as_dict(self) -> dict[str, int]:
         """The supports keyed by semantics name (scalars only)."""
         return {
             "repetitive (this paper)": self.repetitive,
@@ -58,10 +58,10 @@ class SupportComparison:
 
 def compare_supports(
     database: SequenceDatabase,
-    pattern: Union[Pattern, str, PySequence],
+    pattern: Pattern | str | PySequence,
     *,
     window_width: int = 4,
-    gap_constraint: Optional[GapConstraint] = None,
+    gap_constraint: GapConstraint | None = None,
 ) -> SupportComparison:
     """Evaluate every Table I semantics for ``pattern`` on ``database``.
 

@@ -14,7 +14,7 @@ where available).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence as PySequence, Union
+from collections.abc import Sequence as PySequence
 
 from repro.core.clogsgrow import mine_closed
 from repro.core.pattern import Pattern, as_pattern
@@ -34,8 +34,8 @@ class PatternFeatureExtractor:
         mine closed patterns from a training database.
     """
 
-    def __init__(self, patterns: Optional[PySequence[Union[Pattern, str]]] = None):
-        self.patterns: List[Pattern] = [as_pattern(p) for p in patterns] if patterns else []
+    def __init__(self, patterns: PySequence[Pattern | str] | None = None):
+        self.patterns: list[Pattern] = [as_pattern(p) for p in patterns] if patterns else []
 
     # ------------------------------------------------------------------
     # Fitting
@@ -45,9 +45,9 @@ class PatternFeatureExtractor:
         database: SequenceDatabase,
         min_sup: int,
         *,
-        max_patterns: Optional[int] = None,
+        max_patterns: int | None = None,
         min_length: int = 1,
-    ) -> "PatternFeatureExtractor":
+    ) -> PatternFeatureExtractor:
         """Mine closed patterns from ``database`` and keep them as features.
 
         Patterns are ranked by support (then length) and optionally truncated
@@ -63,7 +63,7 @@ class PatternFeatureExtractor:
     # ------------------------------------------------------------------
     # Transformation
     # ------------------------------------------------------------------
-    def transform(self, database: SequenceDatabase) -> List[List[int]]:
+    def transform(self, database: SequenceDatabase) -> list[list[int]]:
         """Feature matrix: one row per sequence, one column per pattern.
 
         Entry ``[i][j]`` is the number of instances of pattern ``j`` in the
@@ -79,19 +79,19 @@ class PatternFeatureExtractor:
                 matrix[seq_index - 1][j] = count
         return matrix
 
-    def fit_transform(self, database: SequenceDatabase, min_sup: int, **kwargs) -> List[List[int]]:
+    def fit_transform(self, database: SequenceDatabase, min_sup: int, **kwargs) -> list[list[int]]:
         """Convenience: :meth:`fit` then :meth:`transform` on the same database."""
         return self.fit(database, min_sup, **kwargs).transform(database)
 
-    def feature_names(self) -> List[str]:
+    def feature_names(self) -> list[str]:
         """String names of the features (the patterns, rendered compactly)."""
         return [str(p) for p in self.patterns]
 
 
 def pattern_feature_matrix(
     database: SequenceDatabase,
-    patterns: PySequence[Union[Pattern, str]],
-) -> List[List[int]]:
+    patterns: PySequence[Pattern | str],
+) -> list[list[int]]:
     """One-call feature extraction for a fixed pattern list."""
     return PatternFeatureExtractor(patterns).transform(database)
 
@@ -102,7 +102,7 @@ def discriminative_patterns(
     min_sup: int,
     *,
     top_k: int = 10,
-) -> List[Dict]:
+) -> list[dict]:
     """Patterns whose average per-sequence support differs most between classes.
 
     A small realisation of the paper's future-work idea: mine closed patterns
@@ -113,7 +113,7 @@ def discriminative_patterns(
     boundary = len(positive)
     result = mine_closed(union, min_sup)
     index = InvertedEventIndex(union)
-    scored: List[Dict] = []
+    scored: list[dict] = []
     for entry in result:
         support_set = sup_comp(index, entry.pattern)
         counts = support_set.per_sequence_counts()

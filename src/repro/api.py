@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import os
 import time
-from typing import Iterable, Iterator, List, Optional, Sequence as PySequence, Tuple, Union
+from collections.abc import Iterable, Iterator, Sequence as PySequence
 
 from repro.core import sup_comp_compressed
 from repro.core.clogsgrow import CloGSgrow, mine_closed
@@ -72,7 +72,7 @@ __all__ = [
 
 
 def mine(
-    database: Union[SequenceDatabase, InvertedEventIndex],
+    database: SequenceDatabase | InvertedEventIndex,
     min_sup: int,
     *,
     closed: bool = True,
@@ -113,7 +113,7 @@ def mine(
     return mine_all(database, min_sup, **kwargs)
 
 
-def _mine_one(task) -> Tuple[MiningResult, float]:
+def _mine_one(task) -> tuple[MiningResult, float]:
     """Process-pool worker: mine one database with its configuration.
 
     Module-level (not a closure) so it pickles under the ``spawn`` start
@@ -129,14 +129,14 @@ def _mine_one(task) -> Tuple[MiningResult, float]:
 
 
 def mine_many(
-    databases: PySequence[Union[SequenceDatabase, InvertedEventIndex]],
-    min_sup: Union[int, PySequence[int]],
+    databases: PySequence[SequenceDatabase | InvertedEventIndex],
+    min_sup: int | PySequence[int],
     *,
     closed: bool = True,
-    n_jobs: Optional[int] = None,
+    n_jobs: int | None = None,
     with_timings: bool = False,
     **kwargs,
-) -> Union[List[MiningResult], List[Tuple[MiningResult, float]]]:
+) -> list[MiningResult] | list[tuple[MiningResult, float]]:
     """Mine a batch of databases with one shared configuration.
 
     The batched entry point used by the experiment harness and the CLI for
@@ -213,10 +213,10 @@ def mine_many(
 
 
 def match(
-    patterns: Union[PatternStore, MiningResult, PatternAutomaton, Iterable],
+    patterns: PatternStore | MiningResult | PatternAutomaton | Iterable,
     query,
     *,
-    constraint: Optional[GapConstraint] = None,
+    constraint: GapConstraint | None = None,
     with_instances: bool = False,
     engine: str = "auto",
 ) -> MatchResult:
@@ -265,12 +265,12 @@ def match(
 
 
 def score_sequences(
-    patterns: Union[PatternStore, MiningResult, Iterable],
+    patterns: PatternStore | MiningResult | Iterable,
     sequences,
     *,
-    constraint: Optional[GapConstraint] = None,
-    n_jobs: Optional[int] = None,
-) -> List[SequenceScore]:
+    constraint: GapConstraint | None = None,
+    n_jobs: int | None = None,
+) -> list[SequenceScore]:
     """Coverage/anomaly score of each sequence against an expected pattern set.
 
     The case-study read path: a healthy trace realises most of the mined
@@ -295,8 +295,8 @@ def mine_stream(
     *,
     closed: bool = True,
     shard_size: int = 16,
-    window: Optional[int] = None,
-    max_length: Optional[int] = None,
+    window: int | None = None,
+    max_length: int | None = None,
     refresh_every: int = 1,
 ) -> Iterator[StreamUpdate]:
     """Mine a stream of sequences, yielding pattern updates as data arrives.
@@ -370,8 +370,8 @@ def serve(
     *,
     host: str = "127.0.0.1",
     port: int = 0,
-    constraint: Optional[GapConstraint] = None,
-    mmap: Union[bool, str] = "auto",
+    constraint: GapConstraint | None = None,
+    mmap: bool | str = "auto",
     auto_reload: bool = False,
     block: bool = True,
 ) -> PatternServer:

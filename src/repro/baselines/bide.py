@@ -24,7 +24,6 @@ reference implementation of sequence-count closedness for the test suite.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.pattern import Pattern
 from repro.core.results import MinedPattern, MiningResult
@@ -37,7 +36,7 @@ class BIDEConfig:
     """Configuration of :class:`BIDE`."""
 
     min_sup: int = 2
-    max_length: Optional[int] = None
+    max_length: int | None = None
     enable_backscan: bool = True
 
     def __post_init__(self):
@@ -50,7 +49,7 @@ class BIDE:
 
     algorithm_name = "BIDE"
 
-    def __init__(self, min_sup: int = 2, max_length: Optional[int] = None, *, enable_backscan: bool = True):
+    def __init__(self, min_sup: int = 2, max_length: int | None = None, *, enable_backscan: bool = True):
         self.config = BIDEConfig(min_sup=min_sup, max_length=max_length, enable_backscan=enable_backscan)
         self.nodes_visited = 0
         self.nodes_pruned_backscan = 0
@@ -63,7 +62,7 @@ class BIDE:
         self.nodes_visited = 0
         self.nodes_pruned_backscan = 0
         result = MiningResult(min_sup=self.config.min_sup, algorithm=self.algorithm_name)
-        self._events: List[List[Event]] = [list(seq.events) for seq in database]
+        self._events: list[list[Event]] = [list(seq.events) for seq in database]
         counts = self._global_event_sequence_counts()
         frequent_events = [e for e, c in sorted(counts.items(), key=lambda kv: repr(kv[0])) if c >= self.config.min_sup]
         for event in frequent_events:
@@ -73,7 +72,7 @@ class BIDE:
     # ------------------------------------------------------------------
     # DFS
     # ------------------------------------------------------------------
-    def _grow(self, pattern: Pattern, frequent_events: List[Event], result: MiningResult) -> None:
+    def _grow(self, pattern: Pattern, frequent_events: list[Event], result: MiningResult) -> None:
         self.nodes_visited += 1
         supporting = self._supporting_sequences(pattern)
         support = len(supporting)
@@ -96,14 +95,14 @@ class BIDE:
     # ------------------------------------------------------------------
     # Occurrence machinery
     # ------------------------------------------------------------------
-    def _global_event_sequence_counts(self) -> Dict[Event, int]:
-        counts: Dict[Event, int] = {}
+    def _global_event_sequence_counts(self) -> dict[Event, int]:
+        counts: dict[Event, int] = {}
         for seq in self._events:
             for event in set(seq):
                 counts[event] = counts.get(event, 0) + 1
         return counts
 
-    def _supporting_sequences(self, pattern: Pattern) -> List[int]:
+    def _supporting_sequences(self, pattern: Pattern) -> list[int]:
         """0-based indices of sequences containing ``pattern``."""
         supporting = []
         for idx, seq in enumerate(self._events):
@@ -112,9 +111,9 @@ class BIDE:
         return supporting
 
     @staticmethod
-    def _first_instance(seq: List[Event], pattern: Pattern) -> Optional[List[int]]:
+    def _first_instance(seq: list[Event], pattern: Pattern) -> list[int] | None:
         """Leftmost occurrence (0-based positions) of ``pattern`` in ``seq``."""
-        positions: List[int] = []
+        positions: list[int] = []
         start = 0
         for event in pattern:
             found = None
@@ -129,9 +128,9 @@ class BIDE:
         return positions
 
     @staticmethod
-    def _last_in_last(seq: List[Event], pattern: Pattern) -> Optional[List[int]]:
+    def _last_in_last(seq: list[Event], pattern: Pattern) -> list[int] | None:
         """The last-in-last appearance positions (0-based) of each pattern event."""
-        positions: List[Optional[int]] = [None] * len(pattern)
+        positions: list[int | None] = [None] * len(pattern)
         end = len(seq)
         for j in range(len(pattern) - 1, -1, -1):
             event = pattern.at(j + 1)
@@ -146,9 +145,9 @@ class BIDE:
             end = found
         return [p for p in positions if p is not None]
 
-    def _forward_event_counts(self, pattern: Pattern, supporting: List[int]) -> Dict[Event, int]:
+    def _forward_event_counts(self, pattern: Pattern, supporting: list[int]) -> dict[Event, int]:
         """Sequence counts of events occurring after the first instance of ``pattern``."""
-        counts: Dict[Event, int] = {}
+        counts: dict[Event, int] = {}
         for idx in supporting:
             seq = self._events[idx]
             first = self._first_instance(seq, pattern)
@@ -158,7 +157,7 @@ class BIDE:
                 counts[event] = counts.get(event, 0) + 1
         return counts
 
-    def _backward_scan(self, pattern: Pattern, supporting: List[int]) -> Tuple[Set[Event], bool]:
+    def _backward_scan(self, pattern: Pattern, supporting: list[int]) -> tuple[set[Event], bool]:
         """Backward-extension events and whether BackScan pruning fires.
 
         Returns ``(backward_events, backscan_fires)``: ``backward_events`` is
@@ -168,11 +167,11 @@ class BIDE:
         *semi-maximum periods* (subtree can be pruned).
         """
         n = len(pattern)
-        backward_events: Set[Event] = set()
+        backward_events: set[Event] = set()
         backscan_fires = False
         for i in range(n):
-            common_max: Optional[Set[Event]] = None
-            common_semi: Optional[Set[Event]] = None
+            common_max: set[Event] | None = None
+            common_semi: set[Event] | None = None
             for idx in supporting:
                 seq = self._events[idx]
                 first = self._first_instance(seq, pattern)

@@ -23,7 +23,6 @@ benchmark and the correctness tests rely on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
 
 from repro.core.pattern import Pattern
 from repro.core.results import MinedPattern, MiningResult
@@ -31,7 +30,7 @@ from repro.db.database import SequenceDatabase
 from repro.db.sequence import Event
 
 #: Pseudo projection: list of (sequence index, suffix start offset).
-Projection = List[Tuple[int, int]]
+Projection = list[tuple[int, int]]
 
 
 @dataclass
@@ -39,7 +38,7 @@ class CloSpanConfig:
     """Configuration of :class:`CloSpan`."""
 
     min_sup: int = 2
-    max_length: Optional[int] = None
+    max_length: int | None = None
 
     def __post_init__(self):
         if self.min_sup < 1:
@@ -51,7 +50,7 @@ class CloSpan:
 
     algorithm_name = "CloSpan"
 
-    def __init__(self, min_sup: int = 2, max_length: Optional[int] = None):
+    def __init__(self, min_sup: int = 2, max_length: int | None = None):
         self.config = CloSpanConfig(min_sup=min_sup, max_length=max_length)
         self.nodes_visited = 0
         self.nodes_pruned_equivalence = 0
@@ -61,9 +60,9 @@ class CloSpan:
         self.nodes_visited = 0
         self.nodes_pruned_equivalence = 0
         events = [list(seq.events) for seq in database]
-        candidates: Dict[Pattern, int] = {}
+        candidates: dict[Pattern, int] = {}
         # Map projection signature -> (pattern, support) for equivalence pruning.
-        seen_projections: Dict[Tuple[int, int], Tuple[Pattern, int]] = {}
+        seen_projections: dict[tuple[int, int], tuple[Pattern, int]] = {}
         projection: Projection = [(i, 0) for i in range(len(events))]
         self._grow(Pattern(()), projection, events, candidates, seen_projections)
         closed = self._eliminate_non_closed(candidates)
@@ -79,9 +78,9 @@ class CloSpan:
         self,
         prefix: Pattern,
         projection: Projection,
-        events: List[List[Event]],
-        candidates: Dict[Pattern, int],
-        seen_projections: Dict[Tuple[int, int], Tuple[Pattern, int]],
+        events: list[list[Event]],
+        candidates: dict[Pattern, int],
+        seen_projections: dict[tuple[int, int], tuple[Pattern, int]],
     ) -> None:
         self.nodes_visited += 1
         if self.config.max_length is not None and len(prefix) >= self.config.max_length:
@@ -110,15 +109,15 @@ class CloSpan:
             self._grow(grown, child_projection, events, candidates, seen_projections)
 
     @staticmethod
-    def _local_event_counts(projection: Projection, events: List[List[Event]]) -> Dict[Event, int]:
-        counts: Dict[Event, int] = {}
+    def _local_event_counts(projection: Projection, events: list[list[Event]]) -> dict[Event, int]:
+        counts: dict[Event, int] = {}
         for seq_idx, offset in projection:
             for event in set(events[seq_idx][offset:]):
                 counts[event] = counts.get(event, 0) + 1
         return counts
 
     @staticmethod
-    def _project(projection: Projection, events: List[List[Event]], event: Event) -> Projection:
+    def _project(projection: Projection, events: list[list[Event]], event: Event) -> Projection:
         projected: Projection = []
         for seq_idx, offset in projection:
             seq = events[seq_idx]
@@ -129,7 +128,7 @@ class CloSpan:
         return projected
 
     @staticmethod
-    def _projection_signature(projection: Projection, events: List[List[Event]]) -> Tuple[int, int]:
+    def _projection_signature(projection: Projection, events: list[list[Event]]) -> tuple[int, int]:
         """CloSpan's equivalence hash: (#sequences, total remaining suffix length)."""
         total_remaining = sum(len(events[seq_idx]) - offset for seq_idx, offset in projection)
         return (len(projection), total_remaining)
@@ -138,11 +137,11 @@ class CloSpan:
     # Phase 2: non-closed elimination
     # ------------------------------------------------------------------
     @staticmethod
-    def _eliminate_non_closed(candidates: Dict[Pattern, int]) -> Dict[Pattern, int]:
-        by_support: Dict[int, List[Pattern]] = {}
+    def _eliminate_non_closed(candidates: dict[Pattern, int]) -> dict[Pattern, int]:
+        by_support: dict[int, list[Pattern]] = {}
         for pattern, support in candidates.items():
             by_support.setdefault(support, []).append(pattern)
-        closed: Dict[Pattern, int] = {}
+        closed: dict[Pattern, int] = {}
         for pattern, support in candidates.items():
             peers = by_support[support]
             if any(pattern.is_proper_subpattern_of(other) for other in peers):

@@ -19,7 +19,7 @@ experiment can report one number per semantics.
 
 from __future__ import annotations
 
-from typing import List, Sequence as PySequence, Tuple, Union
+from collections.abc import Sequence as PySequence
 
 from repro.core.pattern import Pattern, as_pattern
 from repro.db.database import SequenceDatabase
@@ -32,7 +32,7 @@ def _contains_subsequence(events: PySequence, pattern: Pattern) -> bool:
 
 
 def fixed_window_support_sequence(
-    sequence: Sequence, pattern: Union[Pattern, str, PySequence], width: int
+    sequence: Sequence, pattern: Pattern | str | PySequence, width: int
 ) -> int:
     """Number of width-``width`` windows of ``sequence`` containing ``pattern``.
 
@@ -52,15 +52,15 @@ def fixed_window_support_sequence(
 
 
 def fixed_window_support(
-    database: SequenceDatabase, pattern: Union[Pattern, str, PySequence], width: int
+    database: SequenceDatabase, pattern: Pattern | str | PySequence, width: int
 ) -> int:
     """Sum of fixed-width-window supports over all sequences of ``database``."""
     return sum(fixed_window_support_sequence(seq, pattern, width) for seq in database)
 
 
 def minimal_windows_sequence(
-    sequence: Sequence, pattern: Union[Pattern, str, PySequence]
-) -> List[Tuple[int, int]]:
+    sequence: Sequence, pattern: Pattern | str | PySequence
+) -> list[tuple[int, int]]:
     """All minimal windows (1-based, inclusive bounds) of ``pattern`` in ``sequence``.
 
     A window ``[s, t]`` is minimal if the events ``S[s..t]`` contain the
@@ -70,7 +70,7 @@ def minimal_windows_sequence(
     if pattern.is_empty():
         return []
     events = sequence.events
-    windows: List[Tuple[int, int]] = []
+    windows: list[tuple[int, int]] = []
     n = len(events)
     for end in range(1, n + 1):
         if events[end - 1] != pattern.at(len(pattern)):
@@ -101,14 +101,14 @@ def minimal_windows_sequence(
 
 
 def minimal_window_support_sequence(
-    sequence: Sequence, pattern: Union[Pattern, str, PySequence]
+    sequence: Sequence, pattern: Pattern | str | PySequence
 ) -> int:
     """Number of minimal windows of ``pattern`` in ``sequence``."""
     return len(minimal_windows_sequence(sequence, pattern))
 
 
 def minimal_window_support(
-    database: SequenceDatabase, pattern: Union[Pattern, str, PySequence]
+    database: SequenceDatabase, pattern: Pattern | str | PySequence
 ) -> int:
     """Sum of minimal-window supports over all sequences of ``database``."""
     return sum(minimal_window_support_sequence(seq, pattern) for seq in database)

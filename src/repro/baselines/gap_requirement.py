@@ -14,7 +14,7 @@ Example 1.1 of the paper: with the requirement "gap >= 0 and <= 3", pattern
 
 from __future__ import annotations
 
-from typing import List, Sequence as PySequence, Tuple, Union
+from collections.abc import Sequence as PySequence
 
 from repro.core.constraints import GapConstraint
 from repro.core.pattern import Pattern, as_pattern
@@ -25,16 +25,16 @@ from repro.db.sequence import Sequence
 
 def gap_occurrences_sequence(
     sequence: Sequence,
-    pattern: Union[Pattern, str, PySequence],
+    pattern: Pattern | str | PySequence,
     constraint: GapConstraint,
-) -> List[Tuple[int, ...]]:
+) -> list[tuple[int, ...]]:
     """All landmarks of ``pattern`` in ``sequence`` satisfying ``constraint``."""
     return enumerate_landmarks(sequence, as_pattern(pattern), constraint=constraint)
 
 
 def gap_occurrence_support_sequence(
     sequence: Sequence,
-    pattern: Union[Pattern, str, PySequence],
+    pattern: Pattern | str | PySequence,
     constraint: GapConstraint,
 ) -> int:
     """Number of constraint-satisfying occurrences of ``pattern`` in ``sequence``."""
@@ -43,7 +43,7 @@ def gap_occurrence_support_sequence(
 
 def gap_occurrence_support(
     database: SequenceDatabase,
-    pattern: Union[Pattern, str, PySequence],
+    pattern: Pattern | str | PySequence,
     constraint: GapConstraint,
 ) -> int:
     """Total number of constraint-satisfying occurrences over the database."""
@@ -81,7 +81,7 @@ def max_possible_occurrences(sequence_length: int, pattern_length: int, constrai
 
 def gap_support_ratio_sequence(
     sequence: Sequence,
-    pattern: Union[Pattern, str, PySequence],
+    pattern: Pattern | str | PySequence,
     constraint: GapConstraint,
 ) -> float:
     """Support ratio (occurrences / ``N_l``) of ``pattern`` in one sequence."""
@@ -94,7 +94,7 @@ def gap_support_ratio_sequence(
 
 def gap_support_ratio(
     database: SequenceDatabase,
-    pattern: Union[Pattern, str, PySequence],
+    pattern: Pattern | str | PySequence,
     constraint: GapConstraint,
 ) -> float:
     """Database-level support ratio: total occurrences over total ``N_l``."""

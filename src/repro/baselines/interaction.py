@@ -14,7 +14,7 @@ support 9: eight qualifying substrings in ``S1 = AABCDABB`` and one in
 
 from __future__ import annotations
 
-from typing import List, Sequence as PySequence, Tuple, Union
+from collections.abc import Sequence as PySequence
 
 from repro.core.pattern import Pattern, as_pattern
 from repro.db.database import SequenceDatabase
@@ -27,8 +27,8 @@ def _contains_subsequence(events: PySequence, pattern: Pattern) -> bool:
 
 
 def interaction_occurrences_sequence(
-    sequence: Sequence, pattern: Union[Pattern, str, PySequence]
-) -> List[Tuple[int, int]]:
+    sequence: Sequence, pattern: Pattern | str | PySequence
+) -> list[tuple[int, int]]:
     """All qualifying substrings ``(start, end)`` (1-based, inclusive)."""
     pattern = as_pattern(pattern)
     if pattern.is_empty():
@@ -38,7 +38,7 @@ def interaction_occurrences_sequence(
     last_event = pattern.at(len(pattern))
     starts = [i + 1 for i, e in enumerate(events) if e == first_event]
     ends = [i + 1 for i, e in enumerate(events) if e == last_event]
-    occurrences: List[Tuple[int, int]] = []
+    occurrences: list[tuple[int, int]] = []
     for start in starts:
         for end in ends:
             if end - start + 1 < len(pattern):
@@ -49,14 +49,14 @@ def interaction_occurrences_sequence(
 
 
 def interaction_support_sequence(
-    sequence: Sequence, pattern: Union[Pattern, str, PySequence]
+    sequence: Sequence, pattern: Pattern | str | PySequence
 ) -> int:
     """Number of qualifying substrings of ``pattern`` in ``sequence``."""
     return len(interaction_occurrences_sequence(sequence, pattern))
 
 
 def interaction_support(
-    database: SequenceDatabase, pattern: Union[Pattern, str, PySequence]
+    database: SequenceDatabase, pattern: Pattern | str | PySequence
 ) -> int:
     """Total interaction-pattern support of ``pattern`` over the database."""
     return sum(interaction_support_sequence(seq, pattern) for seq in database)

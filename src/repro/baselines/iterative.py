@@ -14,7 +14,7 @@ the ``A`` at position 6 with the ``B`` at position 7) and one in ``S2``.
 
 from __future__ import annotations
 
-from typing import List, Sequence as PySequence, Tuple, Union
+from collections.abc import Sequence as PySequence
 
 from repro.core.pattern import Pattern, as_pattern
 from repro.db.database import SequenceDatabase
@@ -22,8 +22,8 @@ from repro.db.sequence import Sequence
 
 
 def iterative_occurrences_sequence(
-    sequence: Sequence, pattern: Union[Pattern, str, PySequence]
-) -> List[Tuple[int, ...]]:
+    sequence: Sequence, pattern: Pattern | str | PySequence
+) -> list[tuple[int, ...]]:
     """All landmarks realising the MSC/LSC semantics in ``sequence``.
 
     A landmark qualifies iff between consecutive landmark positions no event
@@ -34,9 +34,9 @@ def iterative_occurrences_sequence(
         return []
     alphabet = pattern.distinct_events()
     events = sequence.events
-    occurrences: List[Tuple[int, ...]] = []
+    occurrences: list[tuple[int, ...]] = []
 
-    def extend(prefix: Tuple[int, ...], j: int) -> None:
+    def extend(prefix: tuple[int, ...], j: int) -> None:
         if j > len(pattern):
             occurrences.append(prefix)
             return
@@ -55,14 +55,14 @@ def iterative_occurrences_sequence(
 
 
 def iterative_support_sequence(
-    sequence: Sequence, pattern: Union[Pattern, str, PySequence]
+    sequence: Sequence, pattern: Pattern | str | PySequence
 ) -> int:
     """Number of MSC/LSC occurrences of ``pattern`` in ``sequence``."""
     return len(iterative_occurrences_sequence(sequence, pattern))
 
 
 def iterative_support(
-    database: SequenceDatabase, pattern: Union[Pattern, str, PySequence]
+    database: SequenceDatabase, pattern: Pattern | str | PySequence
 ) -> int:
     """Total iterative-pattern support of ``pattern`` over the database."""
     return sum(iterative_support_sequence(seq, pattern) for seq in database)

@@ -14,7 +14,6 @@ Experiment-1 runtime comparison.  The implementation uses pseudo-projection
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
 
 from repro.core.pattern import Pattern
 from repro.core.results import MinedPattern, MiningResult
@@ -23,7 +22,7 @@ from repro.db.sequence import Event
 
 
 #: A pseudo-projected database: list of (sequence index, suffix start offset).
-Projection = List[Tuple[int, int]]
+Projection = list[tuple[int, int]]
 
 
 @dataclass
@@ -31,7 +30,7 @@ class PrefixSpanConfig:
     """Configuration of :class:`PrefixSpan`."""
 
     min_sup: int = 2
-    max_length: Optional[int] = None
+    max_length: int | None = None
 
     def __post_init__(self):
         if self.min_sup < 1:
@@ -48,7 +47,7 @@ class PrefixSpan:
 
     algorithm_name = "PrefixSpan"
 
-    def __init__(self, min_sup: int = 2, max_length: Optional[int] = None):
+    def __init__(self, min_sup: int = 2, max_length: int | None = None):
         self.config = PrefixSpanConfig(min_sup=min_sup, max_length=max_length)
         self.nodes_visited = 0
 
@@ -69,7 +68,7 @@ class PrefixSpan:
         self,
         prefix: Pattern,
         projection: Projection,
-        events: List[List[Event]],
+        events: list[list[Event]],
         result: MiningResult,
     ) -> None:
         self.nodes_visited += 1
@@ -84,16 +83,16 @@ class PrefixSpan:
             self._grow(grown, self._project(projection, events, event), events, result)
 
     @staticmethod
-    def _local_event_counts(projection: Projection, events: List[List[Event]]) -> Dict[Event, int]:
+    def _local_event_counts(projection: Projection, events: list[list[Event]]) -> dict[Event, int]:
         """Sequence counts of events occurring in the projected suffixes."""
-        counts: Dict[Event, int] = {}
+        counts: dict[Event, int] = {}
         for seq_idx, offset in projection:
             for event in set(events[seq_idx][offset:]):
                 counts[event] = counts.get(event, 0) + 1
         return counts
 
     @staticmethod
-    def _project(projection: Projection, events: List[List[Event]], event: Event) -> Projection:
+    def _project(projection: Projection, events: list[list[Event]], event: Event) -> Projection:
         """Project on ``event``: keep the suffix after its first occurrence."""
         projected: Projection = []
         for seq_idx, offset in projection:

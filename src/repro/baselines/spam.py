@@ -19,7 +19,6 @@ cross-check PrefixSpan in the test suite.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
 
 from repro.core.pattern import Pattern
 from repro.core.results import MinedPattern, MiningResult
@@ -32,7 +31,7 @@ class SPAMConfig:
     """Configuration of :class:`SPAM`."""
 
     min_sup: int = 2
-    max_length: Optional[int] = None
+    max_length: int | None = None
 
     def __post_init__(self):
         if self.min_sup < 1:
@@ -44,7 +43,7 @@ class SPAM:
 
     algorithm_name = "SPAM"
 
-    def __init__(self, min_sup: int = 2, max_length: Optional[int] = None):
+    def __init__(self, min_sup: int = 2, max_length: int | None = None):
         self.config = SPAMConfig(min_sup=min_sup, max_length=max_length)
         self.nodes_visited = 0
 
@@ -73,8 +72,8 @@ class SPAM:
     def _grow(
         self,
         pattern: Pattern,
-        bitmaps: List[int],
-        frequent_events: List[Event],
+        bitmaps: list[int],
+        frequent_events: list[Event],
         result: MiningResult,
     ) -> None:
         self.nodes_visited += 1
@@ -94,9 +93,9 @@ class SPAM:
     # Bitmap machinery
     # ------------------------------------------------------------------
     @staticmethod
-    def _build_event_bitmaps(database: SequenceDatabase) -> Dict[Event, List[int]]:
+    def _build_event_bitmaps(database: SequenceDatabase) -> dict[Event, list[int]]:
         """One bit set per occurrence position (bit ``p-1`` for position ``p``)."""
-        bitmaps: Dict[Event, List[int]] = {}
+        bitmaps: dict[Event, list[int]] = {}
         size = len(database)
         for index, seq in enumerate(database):
             for position, event in enumerate(seq.events):
@@ -114,7 +113,7 @@ class SPAM:
         return full & ~((1 << (first + 1)) - 1)
 
     @staticmethod
-    def _support(bitmaps: List[int]) -> int:
+    def _support(bitmaps: list[int]) -> int:
         """Number of sequences whose bitmap is non-empty."""
         return sum(1 for bitmap in bitmaps if bitmap)
 

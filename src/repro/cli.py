@@ -30,7 +30,6 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import List, Optional
 
 from repro.api import mine, mine_many
 from repro.core.clogsgrow import CloGSgrow
@@ -214,7 +213,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _print_result(result, args, algorithm: str, path: Optional[str] = None) -> None:
+def _print_result(result, args, algorithm: str, path: str | None = None) -> None:
     """Shared result printer of the mining subcommands."""
     entries = result.sorted_by_support()
     if args.top is not None:
@@ -250,7 +249,7 @@ def run_mine_many(args) -> int:
     return 0
 
 
-def parse_stream_line(line: str, fmt: str) -> Optional[List[str]]:
+def parse_stream_line(line: str, fmt: str) -> list[str] | None:
     """Parse one incoming line into a sequence of events (``None`` to skip).
 
     Delegates to :func:`repro.db.io.parse_event_line` — the same tokenizer
@@ -386,7 +385,7 @@ def run_stats(args) -> int:
     return 0
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def main(argv: list[str] | None = None) -> int:
     """Entry point used by both the console script and ``python -m repro``."""
     parser = build_parser()
     args = parser.parse_args(argv)

@@ -15,7 +15,6 @@ them into the DFS inherited from :class:`~repro.core.gsgrow.GSgrow`.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Union
 
 from repro.core.closure import ClosureChecker, ClosureDecision
 from repro.core.engine import SupportSetLike
@@ -66,11 +65,11 @@ class CloGSgrow(GSgrow):
     def __init__(self, min_sup: int = 2, *, enable_lbcheck: bool = True, **kwargs):
         super().__init__(min_sup, **kwargs)
         self.enable_lbcheck = enable_lbcheck
-        self._checker: Optional[ClosureChecker] = None
-        self._decision_cache: Dict[tuple, ClosureDecision] = {}
+        self._checker: ClosureChecker | None = None
+        self._decision_cache: dict[tuple, ClosureDecision] = {}
         # Grown support sets computed while closure-checking a node, reused by
         # the DFS growth step so each P ∘ e is only instance-grown once.
-        self._append_cache: Dict[tuple, Dict[Event, SupportSetLike]] = {}
+        self._append_cache: dict[tuple, dict[Event, SupportSetLike]] = {}
 
     # ------------------------------------------------------------------
     # GSgrow hooks
@@ -96,8 +95,8 @@ class CloGSgrow(GSgrow):
         self,
         support_set: SupportSetLike,
         index: InvertedEventIndex,
-        prefix_sets: List[SupportSetLike],
-        events: List[Event],
+        prefix_sets: list[SupportSetLike],
+        events: list[Event],
     ) -> bool:
         decision = self._decide(support_set, index, prefix_sets, events)
         return decision.closed
@@ -106,8 +105,8 @@ class CloGSgrow(GSgrow):
         self,
         support_set: SupportSetLike,
         index: InvertedEventIndex,
-        prefix_sets: List[SupportSetLike],
-        events: List[Event],
+        prefix_sets: list[SupportSetLike],
+        events: list[Event],
     ) -> bool:
         decision = self._decide(support_set, index, prefix_sets, events)
         if decision.prunable:
@@ -121,8 +120,8 @@ class CloGSgrow(GSgrow):
         self,
         support_set: SupportSetLike,
         index: InvertedEventIndex,
-        prefix_sets: List[SupportSetLike],
-        events: List[Event],
+        prefix_sets: list[SupportSetLike],
+        events: list[Event],
     ) -> ClosureDecision:
         """Run (and cache) the closure decision for the current DFS node.
 
@@ -153,8 +152,8 @@ class CloGSgrow(GSgrow):
             return decision
         # Pre-compute the append-extension support sets once: CCheck needs
         # their sizes and the DFS growth step reuses the sets themselves.
-        grown_children: Dict[Event, SupportSetLike] = {}
-        append_supports: Dict[Event, int] = {}
+        grown_children: dict[Event, SupportSetLike] = {}
+        append_supports: dict[Event, int] = {}
         for event in events:
             self.stats.ins_grow_calls += 1
             grown = self._engine.grow(index, support_set, event, constraint=self.config.constraint)
@@ -180,7 +179,7 @@ class CloGSgrow(GSgrow):
 
 
 def mine_closed(
-    database: Union[SequenceDatabase, InvertedEventIndex],
+    database: SequenceDatabase | InvertedEventIndex,
     min_sup: int,
     *,
     enable_lbcheck: bool = True,

@@ -35,7 +35,6 @@ produces — full landmarks under ``store_instances=True``, compressed
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
 
 from repro.core.constraints import GapConstraint
 from repro.core.engine import (
@@ -72,8 +71,8 @@ class ClosureDecision:
 
     closed: bool
     prunable: bool
-    witness: Optional[Pattern] = None
-    pruning_witness: Optional[Pattern] = None
+    witness: Pattern | None = None
+    pruning_witness: Pattern | None = None
     extensions_evaluated: int = 0
 
 
@@ -103,21 +102,21 @@ class ClosureChecker:
         index: InvertedEventIndex,
         *,
         enable_lbcheck: bool = True,
-        constraint: Optional[GapConstraint] = None,
-        engine: Optional[SupportEngine] = None,
+        constraint: GapConstraint | None = None,
+        engine: SupportEngine | None = None,
     ):
         self.index = index
         self.enable_lbcheck = enable_lbcheck
         self.constraint = constraint
         self.engine = engine
-        self._event_totals: Dict[Event, int] = {
+        self._event_totals: dict[Event, int] = {
             event: index.total_count(event) for event in index.alphabet()
         }
         # Lazily memoised supports of 2-event patterns, used as an Apriori
         # filter: any extension containing the 2-gram (a, b) has support at
         # most sup(ab), so candidates whose neighbouring 2-grams are already
         # below the target support can be skipped without growing them.
-        self._pair_support: Dict[Tuple[Event, Event], int] = {}
+        self._pair_support: dict[tuple[Event, Event], int] = {}
 
     # ------------------------------------------------------------------
     # Public API
@@ -125,8 +124,8 @@ class ClosureChecker:
     def check(
         self,
         support_set: SupportSetLike,
-        prefix_sets: List[SupportSetLike],
-        append_supports: Optional[Dict[Event, int]] = None,
+        prefix_sets: list[SupportSetLike],
+        append_supports: dict[Event, int] | None = None,
         *,
         need_pruning: bool = True,
     ) -> ClosureDecision:
@@ -217,7 +216,7 @@ class ClosureChecker:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _candidate_events(self, support: int) -> List[Event]:
+    def _candidate_events(self, support: int) -> list[Event]:
         """Events that could possibly appear in an equal-support extension."""
         return sorted(
             (e for e, total in self._event_totals.items() if total >= support),
@@ -256,12 +255,12 @@ class ClosureChecker:
     def _insertion_support_set(
         self,
         engine: SupportEngine,
-        prefix_set: Optional[SupportSetLike],
+        prefix_set: SupportSetLike | None,
         event: Event,
         suffix: Pattern,
         *,
         stop_below: int = 0,
-    ) -> Optional[SupportSetLike]:
+    ) -> SupportSetLike | None:
         """Leftmost support set of ``prefix ∘ event ∘ suffix``.
 
         ``prefix_set`` is the leftmost support set of the prefix (``None``
@@ -283,7 +282,7 @@ class ClosureChecker:
         return grown
 
     @staticmethod
-    def _border_dominates(extension_set: SupportSetLike, border: Tuple) -> bool:
+    def _border_dominates(extension_set: SupportSetLike, border: tuple) -> bool:
         """Condition (ii) of Theorem 5.
 
         Both support sets are in right-shift order and (given equal support)

@@ -34,7 +34,7 @@ either representation.
 from __future__ import annotations
 
 from array import array
-from typing import Iterator, List, Optional, Sequence as PySequence, Tuple, Union
+from collections.abc import Iterator, Sequence as PySequence
 
 from repro.core import sweep
 from repro.core.constraints import GapConstraint
@@ -45,7 +45,7 @@ from repro.db.index import POSITION_TYPECODE, InvertedEventIndex
 from repro.db.sequence import Event
 
 #: A compressed instance: (sequence index, first landmark position, last landmark position).
-CompressedInstance = Tuple[int, int, int]
+CompressedInstance = tuple[int, int, int]
 
 #: When true, :meth:`CompressedSupportSet.from_arrays` additionally verifies
 #: right-shift order — an O(n)-per-growth-step check that instance growth
@@ -56,7 +56,7 @@ CompressedInstance = Tuple[int, int, int]
 VALIDATE_ORDER = False
 
 
-def _is_right_shift_ordered(seqs: array, lasts: array) -> bool:
+def _is_right_shift_ordered(seqs: array[int], lasts: array[int]) -> bool:
     """True if ``(seq, last)`` pairs are strictly increasing (right-shift order)."""
     return all(
         (seqs[k], lasts[k]) < (seqs[k + 1], lasts[k + 1]) for k in range(len(seqs) - 1)
@@ -79,7 +79,11 @@ class CompressedSupportSet:
 
     __slots__ = ("pattern", "_seqs", "_firsts", "_lasts")
 
-    def __init__(self, pattern, triples: PySequence[CompressedInstance] = ()):
+    def __init__(
+        self,
+        pattern: Pattern | str | PySequence[Event],
+        triples: PySequence[CompressedInstance] = (),
+    ) -> None:
         self.pattern = as_pattern(pattern)
         ordered = sorted(triples, key=lambda t: (t[0], t[2]))
         seqs = array(POSITION_TYPECODE)
@@ -95,8 +99,12 @@ class CompressedSupportSet:
 
     @classmethod
     def from_arrays(
-        cls, pattern: Union[Pattern, str, PySequence], seqs: array, firsts: array, lasts: array
-    ) -> "CompressedSupportSet":
+        cls,
+        pattern: Pattern | str | PySequence[Event],
+        seqs: array[int],
+        firsts: array[int],
+        lasts: array[int],
+    ) -> CompressedSupportSet:
         """Trusted constructor used by the engine.
 
         The columns must already be in right-shift order; no sorting is
@@ -125,7 +133,7 @@ class CompressedSupportSet:
     def __iter__(self) -> Iterator[CompressedInstance]:
         return iter(zip(self._seqs, self._firsts, self._lasts, strict=False))
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         if isinstance(other, CompressedSupportSet):
             return (
                 self.pattern == other.pattern
@@ -142,21 +150,21 @@ class CompressedSupportSet:
     # Array accessors used by the engine (read-only!)
     # ------------------------------------------------------------------
     @property
-    def seq_indices_array(self) -> array:
+    def seq_indices_array(self) -> array[int]:
         """Flat array of sequence indices, one per instance."""
         return self._seqs
 
     @property
-    def firsts_array(self) -> array:
+    def firsts_array(self) -> array[int]:
         """Flat array of first landmark positions, one per instance."""
         return self._firsts
 
     @property
-    def lasts_array(self) -> array:
+    def lasts_array(self) -> array[int]:
         """Flat array of last landmark positions, one per instance."""
         return self._lasts
 
-    def border_arrays(self) -> Tuple[array, array]:
+    def border_arrays(self) -> tuple[array[int], array[int]]:
         """The landmark border as ``(sequence indices, last positions)`` arrays."""
         return self._seqs, self._lasts
 
@@ -169,17 +177,17 @@ class CompressedSupportSet:
         return len(self._seqs)
 
     @property
-    def triples(self) -> List[CompressedInstance]:
+    def triples(self) -> list[CompressedInstance]:
         """The ``(i, first, last)`` triples in right-shift order."""
         return list(zip(self._seqs, self._firsts, self._lasts, strict=False))
 
-    def last_positions(self) -> List[Tuple[int, int]]:
+    def last_positions(self) -> list[tuple[int, int]]:
         """``(i, last)`` pairs — the landmark border of Theorem 5."""
         return list(zip(self._seqs, self._lasts, strict=False))
 
-    def per_sequence_counts(self) -> dict:
+    def per_sequence_counts(self) -> dict[int, int]:
         """Number of instances per sequence index."""
-        counts: dict = {}
+        counts: dict[int, int] = {}
         get = counts.get  # hoisted: one bound-method lookup for the sweep
         # reprolint: hot-loop
         for seq in self._seqs:
@@ -201,7 +209,7 @@ def ins_grow_compressed(
     index: InvertedEventIndex,
     support_set: CompressedSupportSet,
     event: Event,
-    constraint: Optional[GapConstraint] = None,
+    constraint: GapConstraint | None = None,
 ) -> CompressedSupportSet:
     """Algorithm 2 (``INSgrow``) over compressed instances.
 
@@ -233,9 +241,9 @@ def ins_grow_compressed(
 
 
 def sup_comp_compressed(
-    database_or_index: Union[SequenceDatabase, InvertedEventIndex],
-    pattern,
-    constraint: Optional[GapConstraint] = None,
+    database_or_index: SequenceDatabase | InvertedEventIndex,
+    pattern: Pattern | str | PySequence[Event],
+    constraint: GapConstraint | None = None,
 ) -> CompressedSupportSet:
     """Algorithm 1 over compressed instances (returns triples, not landmarks).
 

@@ -20,7 +20,6 @@ constrained problem is outside the paper's scope.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 
 @dataclass(frozen=True)
@@ -39,7 +38,7 @@ class GapConstraint:
     """
 
     min_gap: int = 0
-    max_gap: Optional[int] = None
+    max_gap: int | None = None
 
     def __post_init__(self):
         if self.min_gap < 0:
@@ -62,7 +61,7 @@ class GapConstraint:
         """
         return previous_position + self.min_gap
 
-    def highest_allowed(self, previous_position: int) -> Optional[int]:
+    def highest_allowed(self, previous_position: int) -> int | None:
         """Largest position allowed after ``previous_position`` (or None)."""
         if self.max_gap is None:
             return None

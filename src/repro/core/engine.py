@@ -22,7 +22,8 @@ randomized engine-equivalence tests pin that invariant.
 
 from __future__ import annotations
 
-from typing import Union
+from collections.abc import Callable
+from typing import TYPE_CHECKING, Any
 
 from repro.core.compressed import (
     CompressedSupportSet,
@@ -32,10 +33,22 @@ from repro.core.compressed import (
 from repro.core.instance_growth import ins_grow
 from repro.core.support import SupportSet, initial_support_set
 
+if TYPE_CHECKING:
+    from repro.db.index import InvertedEventIndex
+
 #: Either support-set representation; everything the DFS and the closure
 #: checker touch (``pattern``, ``support``, ``border_arrays()``,
 #: ``per_sequence_counts()``) is common to both.
-SupportSetLike = Union[SupportSet, CompressedSupportSet]
+SupportSetLike = SupportSet | CompressedSupportSet
+
+#: ``initial(index, event)`` — leftmost support set of a size-1 pattern.
+InitialFn = Callable[["InvertedEventIndex", Any], SupportSetLike]
+
+#: ``grow(index, support_set, event, constraint=None)`` — Algorithm 2.  The
+#: concrete growth functions take their own representation's set type, so the
+#: parameter list is erased here; the pairing inside one engine is what keeps
+#: the calls sound.
+GrowFn = Callable[..., SupportSetLike]
 
 
 class SupportEngine:
@@ -56,7 +69,13 @@ class SupportEngine:
 
     __slots__ = ("name", "initial", "grow", "stores_landmarks")
 
-    def __init__(self, name, initial, grow, stores_landmarks):
+    def __init__(
+        self,
+        name: str,
+        initial: InitialFn,
+        grow: GrowFn,
+        stores_landmarks: bool,
+    ) -> None:
         self.name = name
         self.initial = initial
         self.grow = grow

@@ -11,7 +11,7 @@ property (Theorem 1) prunes the traversal as soon as the support drops below
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator, List, Optional, Sequence as PySequence, Union
+from collections.abc import Callable, Iterable, Iterator, Sequence as PySequence
 
 from repro.core.constraints import GapConstraint
 from repro.core.engine import SupportEngine, SupportSetLike, engine_for
@@ -54,11 +54,11 @@ class MinerConfig:
     """
 
     min_sup: int = 2
-    max_length: Optional[int] = None
-    max_patterns: Optional[int] = None
+    max_length: int | None = None
+    max_patterns: int | None = None
     store_instances: bool = False
-    constraint: Optional[GapConstraint] = None
-    events: Optional[Iterable[Event]] = None
+    constraint: GapConstraint | None = None
+    events: Iterable[Event] | None = None
 
     def __post_init__(self):
         if self.min_sup < 1:
@@ -117,9 +117,9 @@ class GSgrow:
     # ------------------------------------------------------------------
     def mine(
         self,
-        database: Union[SequenceDatabase, InvertedEventIndex],
+        database: SequenceDatabase | InvertedEventIndex,
         *,
-        on_pattern: Optional[Callable[[MinedPattern], None]] = None,
+        on_pattern: Callable[[MinedPattern], None] | None = None,
     ) -> MiningResult:
         """Mine all frequent patterns of ``database``.
 
@@ -137,7 +137,7 @@ class GSgrow:
         return result
 
     def mine_iter(
-        self, database: Union[SequenceDatabase, InvertedEventIndex]
+        self, database: SequenceDatabase | InvertedEventIndex
     ) -> Iterator[MinedPattern]:
         """Generator form of :meth:`mine`.
 
@@ -167,8 +167,8 @@ class GSgrow:
         self,
         index: InvertedEventIndex,
         support_set: SupportSetLike,
-        events: List[Event],
-        prefix_sets: List[SupportSetLike],
+        events: list[Event],
+        prefix_sets: list[SupportSetLike],
     ) -> Iterator[MinedPattern]:
         """Recursive DFS over the pattern space (lines 6–10 of Algorithm 3)."""
         self.stats.nodes_visited += 1
@@ -205,8 +205,8 @@ class GSgrow:
         self,
         support_set: SupportSetLike,
         index: InvertedEventIndex,
-        prefix_sets: List[SupportSetLike],
-        events: List[Event],
+        prefix_sets: list[SupportSetLike],
+        events: list[Event],
     ) -> bool:
         """Whether to report the (frequent) pattern of ``support_set``."""
         return True
@@ -215,8 +215,8 @@ class GSgrow:
         self,
         support_set: SupportSetLike,
         index: InvertedEventIndex,
-        prefix_sets: List[SupportSetLike],
-        events: List[Event],
+        prefix_sets: list[SupportSetLike],
+        events: list[Event],
     ) -> bool:
         """Whether the DFS subtree below this pattern can be pruned."""
         return False
@@ -234,7 +234,7 @@ class GSgrow:
             )
         return MinedPattern(pattern=support_set.pattern, support=support_set.support)
 
-    def _candidate_events(self, index: InvertedEventIndex) -> List[Event]:
+    def _candidate_events(self, index: InvertedEventIndex) -> list[Event]:
         if self.config.events is not None:
             return sorted(set(self.config.events), key=repr)
         return index.frequent_events(self.config.min_sup)
@@ -251,10 +251,10 @@ class GSgrow:
 
 
 def mine_all(
-    database: Union[SequenceDatabase, InvertedEventIndex],
+    database: SequenceDatabase | InvertedEventIndex,
     min_sup: int,
     *,
-    on_pattern: Optional[Callable[[MinedPattern], None]] = None,
+    on_pattern: Callable[[MinedPattern], None] | None = None,
     **kwargs,
 ) -> MiningResult:
     """Mine all frequent repetitive gapped subsequences (functional façade).

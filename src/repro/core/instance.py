@@ -18,7 +18,7 @@ such a set (Definition 2.5, implemented in :mod:`repro.core.support`).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence as PySequence, Tuple
+from collections.abc import Iterable, Sequence as PySequence
 
 from repro.core.pattern import Pattern
 from repro.db.database import SequenceDatabase
@@ -65,15 +65,15 @@ class Instance:
         """Last landmark position ``lm`` (drives the right-shift order)."""
         return self.landmark[-1]
 
-    def compressed(self) -> Tuple[int, int, int]:
+    def compressed(self) -> tuple[int, int, int]:
         """The compressed triple ``(i, l1, lm)`` of Section III-D."""
         return (self.seq_index, self.first, self.last)
 
-    def extend(self, position: int) -> "Instance":
+    def extend(self, position: int) -> Instance:
         """Return a new instance with ``position`` appended to the landmark."""
         return Instance(self.seq_index, self.landmark + (position,))
 
-    def drop_index(self, j: int) -> "Instance":
+    def drop_index(self, j: int) -> Instance:
         """Return the instance with the 1-based landmark index ``j`` removed.
 
         This is the ``ins_{-j}`` construction used in the proof of Lemma 1.
@@ -82,7 +82,7 @@ class Instance:
             raise IndexError(f"landmark index {j} out of range 1..{len(self.landmark)}")
         return Instance(self.seq_index, self.landmark[: j - 1] + self.landmark[j:])
 
-    def right_shift_key(self) -> Tuple[int, int]:
+    def right_shift_key(self) -> tuple[int, int]:
         """Sort key realising the right-shift order of Definition 3.1."""
         return (self.seq_index, self.last)
 
@@ -138,13 +138,13 @@ def instances_overlap(a: Instance, b: Instance) -> bool:
 def is_non_redundant(instances: Iterable[Instance]) -> bool:
     """True if ``instances`` are pairwise non-overlapping (Definition 2.4)."""
     instances = list(instances)
-    for idx, a in enumerate(instances):
-        for b in instances[idx + 1 :]:
-            if instances_overlap(a, b):
-                return False
-    return True
+    return not any(
+        instances_overlap(a, b)
+        for idx, a in enumerate(instances)
+        for b in instances[idx + 1 :]
+    )
 
 
-def sort_right_shift(instances: Iterable[Instance]) -> List[Instance]:
+def sort_right_shift(instances: Iterable[Instance]) -> list[Instance]:
     """Return instances sorted in the right-shift order (Definition 3.1)."""
     return sorted(instances, key=Instance.right_shift_key)

@@ -35,7 +35,6 @@ from __future__ import annotations
 
 from array import array
 from bisect import bisect_right
-from typing import Optional
 
 from repro.core.constraints import GapConstraint
 from repro.core.support import SupportSet
@@ -49,7 +48,7 @@ def ins_grow(
     index: InvertedEventIndex,
     support_set: SupportSet,
     event: Event,
-    constraint: Optional[GapConstraint] = None,
+    constraint: GapConstraint | None = None,
 ) -> SupportSet:
     """Algorithm 2 (``INSgrow``): grow a leftmost support set by one event.
 
@@ -153,7 +152,7 @@ def grow_with_pattern(
     index: InvertedEventIndex,
     support_set: SupportSet,
     suffix,
-    constraint: Optional[GapConstraint] = None,
+    constraint: GapConstraint | None = None,
 ) -> SupportSet:
     """Grow a support set with every event of ``suffix`` in order (``P ∘ Q``).
 

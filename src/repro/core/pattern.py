@@ -13,7 +13,7 @@ with the operations the mining algorithms need:
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Iterator, List, Sequence as PySequence, Tuple
+from collections.abc import Hashable, Iterable, Iterator, Sequence as PySequence
 
 from repro.db.sequence import Event, format_events
 
@@ -30,7 +30,7 @@ class Pattern:
 
     def __init__(self, events: Iterable[Event] = ()):
         if isinstance(events, Pattern):
-            self._events: Tuple[Event, ...] = events._events
+            self._events: tuple[Event, ...] = events._events
         elif isinstance(events, str):
             self._events = tuple(events)
         else:
@@ -40,7 +40,7 @@ class Pattern:
     # Basic protocol
     # ------------------------------------------------------------------
     @property
-    def events(self) -> Tuple[Event, ...]:
+    def events(self) -> tuple[Event, ...]:
         """The events of the pattern as a tuple."""
         return self._events
 
@@ -74,7 +74,7 @@ class Pattern:
     def __hash__(self) -> int:
         return hash(self._events)
 
-    def __lt__(self, other: "Pattern") -> bool:
+    def __lt__(self, other: Pattern) -> bool:
         # Lexicographic by repr of events: gives deterministic report ordering
         # even for mixed event types.
         if not isinstance(other, Pattern):
@@ -94,28 +94,28 @@ class Pattern:
     # ------------------------------------------------------------------
     # Growth and extension (Definitions 3.3 and 3.4)
     # ------------------------------------------------------------------
-    def grow(self, event: Event) -> "Pattern":
+    def grow(self, event: Event) -> Pattern:
         """Return ``P ∘ e``: the pattern with ``event`` appended."""
         return Pattern(self._events + (event,))
 
-    def concat(self, other: "Pattern") -> "Pattern":
+    def concat(self, other: Pattern) -> Pattern:
         """Return ``P ∘ Q``: this pattern followed by all events of ``other``."""
         other = Pattern(other)
         return Pattern(self._events + other._events)
 
-    def prefix(self, j: int) -> "Pattern":
+    def prefix(self, j: int) -> Pattern:
         """Return the length-``j`` prefix ``e1 ... ej`` (``j`` may be 0)."""
         if j < 0 or j > len(self._events):
             raise IndexError(f"prefix length {j} out of range 0..{len(self._events)}")
         return Pattern(self._events[:j])
 
-    def suffix_from(self, j: int) -> "Pattern":
+    def suffix_from(self, j: int) -> Pattern:
         """Return the suffix ``e(j+1) ... em`` (events after 1-based index j)."""
         if j < 0 or j > len(self._events):
             raise IndexError(f"suffix start {j} out of range 0..{len(self._events)}")
         return Pattern(self._events[j:])
 
-    def insert(self, gap: int, event: Event) -> "Pattern":
+    def insert(self, gap: int, event: Event) -> Pattern:
         """Insert ``event`` into gap ``gap`` (0 = before e1, m = after em).
 
         This realises all three extension cases of Definition 3.4: ``gap=0``
@@ -126,10 +126,10 @@ class Pattern:
             raise IndexError(f"gap {gap} out of range 0..{len(self._events)}")
         return Pattern(self._events[:gap] + (event,) + self._events[gap:])
 
-    def extensions(self, event: Event) -> List["Pattern"]:
+    def extensions(self, event: Event) -> list["Pattern"]:
         """All distinct extensions of this pattern w.r.t. ``event``."""
         seen = set()
-        result: List[Pattern] = []
+        result: list[Pattern] = []
         for gap in range(len(self._events) + 1):
             extended = self.insert(gap, event)
             if extended not in seen:
@@ -140,17 +140,17 @@ class Pattern:
     # ------------------------------------------------------------------
     # Sub-pattern relations (Definition 2.1)
     # ------------------------------------------------------------------
-    def is_subpattern_of(self, other: "Pattern") -> bool:
+    def is_subpattern_of(self, other: Pattern) -> bool:
         """True if this pattern is a (gapped) subsequence of ``other``."""
         other = Pattern(other)
         it = iter(other._events)
         return all(any(o == e for o in it) for e in self._events)
 
-    def is_superpattern_of(self, other: "Pattern") -> bool:
+    def is_superpattern_of(self, other: Pattern) -> bool:
         """True if ``other`` is a (gapped) subsequence of this pattern."""
         return Pattern(other).is_subpattern_of(self)
 
-    def is_proper_subpattern_of(self, other: "Pattern") -> bool:
+    def is_proper_subpattern_of(self, other: Pattern) -> bool:
         """True if this is a subpattern of ``other`` and the two differ."""
         other = Pattern(other)
         return len(self) < len(other) and self.is_subpattern_of(other)

@@ -11,7 +11,7 @@ worked examples and in property-based tests on random databases.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Dict, List, Optional, Sequence as PySequence, Set, Tuple, Union
+from collections.abc import Sequence as PySequence
 
 from repro.core.constraints import GapConstraint
 from repro.core.instance import Instance, instances_overlap
@@ -22,9 +22,9 @@ from repro.db.sequence import Sequence
 
 def enumerate_landmarks(
     sequence: Sequence,
-    pattern: Union[Pattern, str, PySequence],
-    constraint: Optional[GapConstraint] = None,
-) -> List[Tuple[int, ...]]:
+    pattern: Pattern | str | PySequence,
+    constraint: GapConstraint | None = None,
+) -> list[tuple[int, ...]]:
     """All landmarks of ``pattern`` in ``sequence`` (Definition 2.1).
 
     The number of landmarks can be exponential in the pattern length; only
@@ -33,9 +33,9 @@ def enumerate_landmarks(
     pattern = as_pattern(pattern)
     if pattern.is_empty():
         return []
-    landmarks: List[Tuple[int, ...]] = []
+    landmarks: list[tuple[int, ...]] = []
 
-    def extend(prefix: Tuple[int, ...], j: int) -> None:
+    def extend(prefix: tuple[int, ...], j: int) -> None:
         if j > len(pattern):
             landmarks.append(prefix)
             return
@@ -53,19 +53,19 @@ def enumerate_landmarks(
 
 def enumerate_instances(
     database: SequenceDatabase,
-    pattern: Union[Pattern, str, PySequence],
-    constraint: Optional[GapConstraint] = None,
-) -> List[Instance]:
+    pattern: Pattern | str | PySequence,
+    constraint: GapConstraint | None = None,
+) -> list[Instance]:
     """All instances of ``pattern`` in ``database`` (the set ``SeqDB(P)``)."""
     pattern = as_pattern(pattern)
-    instances: List[Instance] = []
+    instances: list[Instance] = []
     for i, seq in database.enumerate():
         for landmark in enumerate_landmarks(seq, pattern, constraint=constraint):
             instances.append(Instance(i, landmark))
     return instances
 
 
-def max_non_overlapping_in_sequence(instances: List[Instance]) -> int:
+def max_non_overlapping_in_sequence(instances: list[Instance]) -> int:
     """Maximum number of pairwise non-overlapping instances (one sequence).
 
     Exhaustive branch-and-bound over the conflict graph.  Exponential in the
@@ -74,7 +74,7 @@ def max_non_overlapping_in_sequence(instances: List[Instance]) -> int:
     n = len(instances)
     if n == 0:
         return 0
-    conflicts: List[Set[int]] = [set() for _ in range(n)]
+    conflicts: list[set[int]] = [set() for _ in range(n)]
     for a, b in combinations(range(n), 2):
         if instances_overlap(instances[a], instances[b]):
             conflicts[a].add(b)
@@ -82,7 +82,7 @@ def max_non_overlapping_in_sequence(instances: List[Instance]) -> int:
 
     best = 0
 
-    def search(idx: int, chosen: List[int]) -> None:
+    def search(idx: int, chosen: list[int]) -> None:
         nonlocal best
         if len(chosen) + (n - idx) <= best:
             return  # cannot beat the incumbent
@@ -103,8 +103,8 @@ def max_non_overlapping_in_sequence(instances: List[Instance]) -> int:
 
 def repetitive_support_bruteforce(
     database: SequenceDatabase,
-    pattern: Union[Pattern, str, PySequence],
-    constraint: Optional[GapConstraint] = None,
+    pattern: Pattern | str | PySequence,
+    constraint: GapConstraint | None = None,
 ) -> int:
     """Repetitive support computed straight from Definition 2.5.
 
@@ -124,8 +124,8 @@ def repetitive_support_bruteforce(
 def frequent_patterns_bruteforce(
     database: SequenceDatabase,
     min_sup: int,
-    max_length: Optional[int] = None,
-) -> Dict[Pattern, int]:
+    max_length: int | None = None,
+) -> dict[Pattern, int]:
     """All frequent patterns by breadth-first enumeration (test oracle).
 
     Uses the Apriori property for pruning but computes every support with
@@ -135,8 +135,8 @@ def frequent_patterns_bruteforce(
     if min_sup < 1:
         raise ValueError("min_sup must be >= 1")
     counts = database.event_counts()
-    frequent: Dict[Pattern, int] = {}
-    frontier: List[Pattern] = []
+    frequent: dict[Pattern, int] = {}
+    frontier: list[Pattern] = []
     for event, count in sorted(counts.items(), key=lambda kv: repr(kv[0])):
         if count >= min_sup:
             pattern = Pattern((event,))
@@ -144,7 +144,7 @@ def frequent_patterns_bruteforce(
             frontier.append(pattern)
     events = [e for e, c in sorted(counts.items(), key=lambda kv: repr(kv[0])) if c >= min_sup]
     while frontier:
-        next_frontier: List[Pattern] = []
+        next_frontier: list[Pattern] = []
         for pattern in frontier:
             if max_length is not None and len(pattern) >= max_length:
                 continue
@@ -161,8 +161,8 @@ def frequent_patterns_bruteforce(
 def closed_patterns_bruteforce(
     database: SequenceDatabase,
     min_sup: int,
-    max_length: Optional[int] = None,
-) -> Dict[Pattern, int]:
+    max_length: int | None = None,
+) -> dict[Pattern, int]:
     """All closed frequent patterns, derived from the brute-force frequent set.
 
     A frequent pattern is closed iff no frequent super-pattern has the same
@@ -170,7 +170,7 @@ def closed_patterns_bruteforce(
     within the frequent set is sufficient).
     """
     frequent = frequent_patterns_bruteforce(database, min_sup, max_length=max_length)
-    closed: Dict[Pattern, int] = {}
+    closed: dict[Pattern, int] = {}
     for pattern, support in frequent.items():
         is_closed = True
         for other, other_support in frequent.items():

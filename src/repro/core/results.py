@@ -10,7 +10,7 @@ study and the analysis helpers need.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Union
+from collections.abc import Callable, Iterable, Iterator
 
 from repro.core.pattern import Pattern, as_pattern
 from repro.core.support import SupportSet
@@ -41,8 +41,8 @@ class MinedPattern:
 
     pattern: Pattern
     support: int
-    support_set: Optional[SupportSet] = field(default=None, compare=False, repr=False)
-    per_sequence: Dict[int, int] = field(default_factory=dict, compare=False, repr=False)
+    support_set: SupportSet | None = field(default=None, compare=False, repr=False)
+    per_sequence: dict[int, int] = field(default_factory=dict, compare=False, repr=False)
 
     def __post_init__(self):
         if self.support < 0:
@@ -70,10 +70,10 @@ class MiningResult:
     orderings.
     """
 
-    def __init__(self, patterns: Iterable[MinedPattern] = (), *, min_sup: Optional[int] = None,
-                 algorithm: Optional[str] = None):
-        self._patterns: List[MinedPattern] = list(patterns)
-        self._by_pattern: Dict[Pattern, MinedPattern] = {p.pattern: p for p in self._patterns}
+    def __init__(self, patterns: Iterable[MinedPattern] = (), *, min_sup: int | None = None,
+                 algorithm: str | None = None):
+        self._patterns: list[MinedPattern] = list(patterns)
+        self._by_pattern: dict[Pattern, MinedPattern] = {p.pattern: p for p in self._patterns}
         self.min_sup = min_sup
         self.algorithm = algorithm
 
@@ -110,33 +110,33 @@ class MiningResult:
         """Support of ``pattern``; raises ``KeyError`` if it was not mined."""
         return self[pattern].support
 
-    def get(self, pattern, default=None) -> Optional[MinedPattern]:
+    def get(self, pattern, default=None) -> MinedPattern | None:
         """Entry for ``pattern`` or ``default``."""
         return self._by_pattern.get(as_pattern(pattern), default)
 
-    def patterns(self) -> List[Pattern]:
+    def patterns(self) -> list[Pattern]:
         """All mined patterns in discovery order."""
         return [p.pattern for p in self._patterns]
 
-    def as_dict(self) -> Dict[Pattern, int]:
+    def as_dict(self) -> dict[Pattern, int]:
         """Mapping pattern -> support."""
         return {p.pattern: p.support for p in self._patterns}
 
     # ------------------------------------------------------------------
     # Views
     # ------------------------------------------------------------------
-    def sorted_by_support(self, descending: bool = True) -> List[MinedPattern]:
+    def sorted_by_support(self, descending: bool = True) -> list[MinedPattern]:
         """Entries sorted by support (ties broken by pattern order)."""
         return sorted(self._patterns, key=lambda p: (-p.support if descending else p.support, p.pattern))
 
-    def sorted_by_length(self, descending: bool = True) -> List[MinedPattern]:
+    def sorted_by_length(self, descending: bool = True) -> list[MinedPattern]:
         """Entries sorted by pattern length (the case study's ranking step)."""
         return sorted(
             self._patterns,
             key=lambda p: (-len(p.pattern) if descending else len(p.pattern), -p.support, p.pattern),
         )
 
-    def filter(self, predicate: Callable[[MinedPattern], bool]) -> "MiningResult":
+    def filter(self, predicate: Callable[[MinedPattern], bool]) -> MiningResult:
         """A new result containing only entries satisfying ``predicate``."""
         return MiningResult(
             [p for p in self._patterns if predicate(p)],
@@ -144,20 +144,20 @@ class MiningResult:
             algorithm=self.algorithm,
         )
 
-    def with_min_length(self, length: int) -> "MiningResult":
+    def with_min_length(self, length: int) -> MiningResult:
         """Entries whose pattern has at least ``length`` events."""
         return self.filter(lambda p: len(p.pattern) >= length)
 
-    def with_support_at_least(self, support: int) -> "MiningResult":
+    def with_support_at_least(self, support: int) -> MiningResult:
         """Entries with support at least ``support``."""
         return self.filter(lambda p: p.support >= support)
 
-    def longest(self) -> Optional[MinedPattern]:
+    def longest(self) -> MinedPattern | None:
         """The longest mined pattern (highest support among ties), or None."""
         ranked = self.sorted_by_length()
         return ranked[0] if ranked else None
 
-    def most_frequent(self, min_length: int = 1) -> Optional[MinedPattern]:
+    def most_frequent(self, min_length: int = 1) -> MinedPattern | None:
         """The highest-support pattern of at least ``min_length`` events, or None."""
         candidates = [p for p in self._patterns if len(p.pattern) >= min_length]
         if not candidates:
@@ -167,20 +167,20 @@ class MiningResult:
     # ------------------------------------------------------------------
     # Relations between result sets
     # ------------------------------------------------------------------
-    def is_subset_of(self, other: "MiningResult") -> bool:
+    def is_subset_of(self, other: MiningResult) -> bool:
         """True if every pattern here appears in ``other`` with the same support."""
         return all(
             other.get(p.pattern) is not None and other[p.pattern].support == p.support
             for p in self._patterns
         )
 
-    def maximal_patterns(self) -> "MiningResult":
+    def maximal_patterns(self) -> MiningResult:
         """Entries whose pattern is not a subpattern of any other mined pattern.
 
         This is the *maximality* post-processing step of the case study
         (Section IV-B), applied within this result set.
         """
-        kept: List[MinedPattern] = []
+        kept: list[MinedPattern] = []
         for p in self._patterns:
             if not any(
                 p.pattern.is_proper_subpattern_of(q.pattern) for q in self._patterns if q is not p
@@ -191,7 +191,7 @@ class MiningResult:
     # ------------------------------------------------------------------
     # Serialisation
     # ------------------------------------------------------------------
-    def to_json(self) -> Dict:
+    def to_json(self) -> dict:
         """A JSON-serialisable dictionary of patterns, supports and metadata.
 
         The inverse of :meth:`from_json`.  Pattern events must be
@@ -214,7 +214,7 @@ class MiningResult:
         }
 
     @classmethod
-    def from_json(cls, data: Dict) -> "MiningResult":
+    def from_json(cls, data: dict) -> MiningResult:
         """Rebuild a result from :meth:`to_json` output (extra keys ignored)."""
         patterns = [
             MinedPattern(pattern=Pattern(entry["events"]), support=entry["support"])

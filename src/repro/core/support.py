@@ -20,7 +20,7 @@ support of a single pattern.
 from __future__ import annotations
 
 from array import array
-from typing import Iterable, Iterator, List, Optional, Sequence as PySequence, Tuple, Union
+from collections.abc import Iterable, Iterator, Sequence as PySequence
 
 from repro.core.instance import Instance, is_non_redundant, sort_right_shift
 from repro.core.pattern import Pattern, as_pattern
@@ -45,7 +45,7 @@ class SupportSet:
 
     __slots__ = ("pattern", "_seqs", "_landmarks", "_m", "_materialized")
 
-    def __init__(self, pattern: Union[Pattern, str, PySequence], instances: Iterable[Instance] = ()):
+    def __init__(self, pattern: Pattern | str | PySequence, instances: Iterable[Instance] = ()):
         self.pattern = as_pattern(pattern)
         ordered = sort_right_shift(instances)
         widths = {len(ins.landmark) for ins in ordered}
@@ -61,16 +61,16 @@ class SupportSet:
             landmarks.extend(ins.landmark)
         self._seqs = seqs
         self._landmarks = landmarks
-        self._materialized: Optional[List[Instance]] = ordered
+        self._materialized: list[Instance] | None = ordered
 
     @classmethod
     def from_arrays(
         cls,
-        pattern: Union[Pattern, str, PySequence],
+        pattern: Pattern | str | PySequence,
         seqs: array,
         landmarks: array,
         row_width: int,
-    ) -> "SupportSet":
+    ) -> SupportSet:
         """Trusted constructor used by the engine.
 
         ``seqs``/``landmarks`` must already be in right-shift order with
@@ -127,7 +127,7 @@ class SupportSet:
         """Number of landmark positions per instance."""
         return self._m
 
-    def border_arrays(self) -> Tuple[array, array]:
+    def border_arrays(self) -> tuple[array, array]:
         """The landmark border as ``(sequence indices, last positions)`` arrays."""
         m = self._m
         if m == 1:
@@ -139,7 +139,7 @@ class SupportSet:
     # Accessors used by the miners
     # ------------------------------------------------------------------
     @property
-    def instances(self) -> List[Instance]:
+    def instances(self) -> list[Instance]:
         """The instances in right-shift order."""
         return list(self._materialize())
 
@@ -148,25 +148,25 @@ class SupportSet:
         """The size of the set — equal to ``sup(P)`` for genuine support sets."""
         return len(self._seqs)
 
-    def instances_in_sequence(self, i: int) -> List[Instance]:
+    def instances_in_sequence(self, i: int) -> list[Instance]:
         """Instances living in sequence ``S_i`` (the paper's ``I_i``)."""
         return [ins for ins in self._materialize() if ins.seq_index == i]
 
-    def sequence_indices(self) -> List[int]:
+    def sequence_indices(self) -> list[int]:
         """Sorted distinct sequence indices containing at least one instance."""
         return sorted(set(self._seqs))
 
-    def last_positions(self) -> List[tuple]:
+    def last_positions(self) -> list[tuple]:
         """``(i, last)`` pairs in right-shift order (the landmark border)."""
         seqs, lasts = self.border_arrays()
         return list(zip(seqs, lasts, strict=False))
 
-    def first_positions(self) -> List[tuple]:
+    def first_positions(self) -> list[tuple]:
         """``(i, first)`` pairs in right-shift order."""
         m = self._m
         return list(zip(self._seqs, self._landmarks[::m] if m > 1 else self._landmarks, strict=False))
 
-    def compressed(self) -> List[tuple]:
+    def compressed(self) -> list[tuple]:
         """The ``(i, l1, lm)`` triples of Section III-D, in right-shift order."""
         m = self._m
         lands = self._landmarks
@@ -195,7 +195,7 @@ class SupportSet:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _materialize(self) -> List[Instance]:
+    def _materialize(self) -> list[Instance]:
         cached = self._materialized
         if cached is None:
             m = self._m
@@ -220,9 +220,9 @@ def initial_support_set(index: InvertedEventIndex, event) -> SupportSet:
 
 
 def sup_comp(
-    database_or_index: Union[SequenceDatabase, InvertedEventIndex],
-    pattern: Union[Pattern, str, PySequence],
-    constraint: Optional["GapConstraint"] = None,
+    database_or_index: SequenceDatabase | InvertedEventIndex,
+    pattern: Pattern | str | PySequence,
+    constraint: GapConstraint | None = None,
 ) -> SupportSet:
     """Algorithm 1 (``supComp``): compute the leftmost support set of ``pattern``.
 
@@ -264,9 +264,9 @@ def sup_comp(
 
 
 def repetitive_support(
-    database_or_index: Union[SequenceDatabase, InvertedEventIndex],
-    pattern: Union[Pattern, str, PySequence],
-    constraint: Optional["GapConstraint"] = None,
+    database_or_index: SequenceDatabase | InvertedEventIndex,
+    pattern: Pattern | str | PySequence,
+    constraint: GapConstraint | None = None,
 ) -> int:
     """Repetitive support ``sup(P)`` (Definition 2.5) of ``pattern``.
 

@@ -40,13 +40,19 @@ from __future__ import annotations
 
 from array import array
 from bisect import bisect_right
-from typing import Callable, Optional, Tuple
+from collections.abc import Callable
+from typing import Any
 
 from repro.core.constraints import GapConstraint
 from repro.db.index import POSITION_TYPECODE
 
+#: The numpy module when importable, else ``None``.  Typed ``Any`` because
+#: numpy is an optional accelerator the type checker never requires.
+_np: Any
 try:  # pragma: no cover - exercised via both CI matrix legs
-    import numpy as _np
+    import numpy as _np_module
+
+    _np = _np_module
 except ImportError:  # pragma: no cover
     _np = None
 
@@ -69,16 +75,16 @@ NUMPY_MIN_RUN_LENGTH = 16
 _ITEMSIZE = array(POSITION_TYPECODE).itemsize
 
 #: (sequence indices, first positions, last positions) column arrays.
-TripleArrays = Tuple[array, array, array]
+TripleArrays = tuple["array[int]", "array[int]", "array[int]"]
 
 
 def grow_triples(
-    seqs: array,
-    firsts: array,
-    lasts: array,
-    raw_positions_by_id: Callable[[int, int], object],
+    seqs: array[int],
+    firsts: array[int],
+    lasts: array[int],
+    raw_positions_by_id: Callable[[int, int], Any],
     eid: int,
-    constraint: Optional[GapConstraint] = None,
+    constraint: GapConstraint | None = None,
 ) -> TripleArrays:
     """Greedy growth over ``(i, l1, lm)`` column arrays.
 
@@ -115,12 +121,12 @@ def grow_triples(
 
 
 def _grow_triples_python(
-    seqs: array,
-    firsts: array,
-    lasts: array,
-    raw_positions_by_id: Callable[[int, int], object],
+    seqs: array[int],
+    firsts: array[int],
+    lasts: array[int],
+    raw_positions_by_id: Callable[[int, int], Any],
     eid: int,
-    constraint: Optional[GapConstraint] = None,
+    constraint: GapConstraint | None = None,
 ) -> TripleArrays:
     """Scalar flat sweep (the fallback, small-set fast path, and the only
     constrained path); control flow mirrors
@@ -181,12 +187,12 @@ def _grow_triples_python(
 
 
 def _grow_triples_numpy(
-    seqs,
-    firsts: array,
-    lasts: array,
-    raw_positions_by_id: Callable[[int, int], object],
+    seqs: Any,
+    firsts: array[int],
+    lasts: array[int],
+    raw_positions_by_id: Callable[[int, int], Any],
     eid: int,
-    changes=None,
+    changes: Any = None,
 ) -> TripleArrays:
     """Closed-form sweep: one searchsorted + cumulative maximum per run.
 

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from typing import List, Optional, Sequence as PySequence
+from collections.abc import Sequence as PySequence
 
 from repro.db.database import SequenceDatabase
 from repro.db.sequence import Event, Sequence
@@ -18,7 +18,7 @@ from repro.db.sequence import Event, Sequence
 class SequenceGenerator(ABC):
     """Base class for deterministic, seeded sequence-database generators."""
 
-    def __init__(self, seed: Optional[int] = 0):
+    def __init__(self, seed: int | None = 0):
         self.seed = seed
 
     def rng(self) -> random.Random:
@@ -33,7 +33,7 @@ class SequenceGenerator(ABC):
     # Shared helpers
     # ------------------------------------------------------------------
     @staticmethod
-    def event_vocabulary(size: int, prefix: str = "e") -> List[str]:
+    def event_vocabulary(size: int, prefix: str = "e") -> list[str]:
         """A vocabulary of ``size`` event names (``e0``, ``e1``, ...)."""
         if size < 1:
             raise ValueError("vocabulary size must be >= 1")
@@ -71,11 +71,11 @@ class SequenceGenerator(ABC):
         return size - 1
 
     @staticmethod
-    def corrupt(rng: random.Random, events: PySequence[Event], keep_probability: float) -> List[Event]:
+    def corrupt(rng: random.Random, events: PySequence[Event], keep_probability: float) -> list[Event]:
         """Drop each event independently with probability ``1 - keep_probability``."""
         return [e for e in events if rng.random() < keep_probability]
 
     @staticmethod
-    def to_database(sequences: List[List[Event]], name: str) -> SequenceDatabase:
+    def to_database(sequences: list[list[Event]], name: str) -> SequenceDatabase:
         """Wrap raw event lists into a named database, skipping empty ones."""
         return SequenceDatabase([Sequence(s) for s in sequences if s], name=name)

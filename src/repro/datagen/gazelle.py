@@ -17,7 +17,6 @@ dataset statistics.
 
 from __future__ import annotations
 
-from typing import List, Optional
 
 from repro.datagen.base import SequenceGenerator
 from repro.db.database import SequenceDatabase
@@ -51,7 +50,7 @@ class GazelleLikeGenerator(SequenceGenerator):
         average_length: float = 3.0,
         max_length: int = 200,
         tail_exponent: float = 1.6,
-        seed: Optional[int] = 0,
+        seed: int | None = 0,
     ):
         super().__init__(seed=seed)
         if num_sequences < 1 or num_events < 2:
@@ -68,16 +67,16 @@ class GazelleLikeGenerator(SequenceGenerator):
         rng = self.rng()
         vocabulary = self.event_vocabulary(self.num_events, prefix="page")
         # A handful of short browse loops (product -> detail -> cart style).
-        loops: List[List[str]] = []
+        loops: list[list[str]] = []
         for _ in range(12):
             loop_length = rng.randint(2, 5)
             loops.append(
                 [vocabulary[self.zipf_index(rng, len(vocabulary))] for _ in range(loop_length)]
             )
-        sequences: List[List[str]] = []
+        sequences: list[list[str]] = []
         for _ in range(self.num_sequences):
             length = self._session_length(rng)
-            session: List[str] = []
+            session: list[str] = []
             while len(session) < length:
                 if length >= 10 and rng.random() < 0.7:
                     # Long sessions repeatedly walk a browse loop, possibly

@@ -31,7 +31,6 @@ the benchmarks document the scale they use.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
 
 from repro.datagen.base import SequenceGenerator
 from repro.db.database import SequenceDatabase
@@ -70,7 +69,7 @@ class QuestParameters:
 
         return f"D{fmt(self.D)}C{fmt(self.C)}N{fmt(self.N)}S{fmt(self.S)}"
 
-    def scaled(self, scale: float) -> "QuestParameters":
+    def scaled(self, scale: float) -> QuestParameters:
         """Scale the database size (``D`` and ``N``) by ``scale`` (0 < scale <= 1)."""
         if not 0 < scale <= 1:
             raise ValueError("scale must be in (0, 1]")
@@ -105,7 +104,7 @@ class QuestSequenceGenerator(SequenceGenerator):
         corruption: float = 0.85,
         event_skew: float = 0.4,
         pool_skew: float = 0.7,
-        seed: Optional[int] = 0,
+        seed: int | None = 0,
     ):
         super().__init__(seed=seed)
         if not 0 < corruption <= 1:
@@ -129,18 +128,18 @@ class QuestSequenceGenerator(SequenceGenerator):
         rng = self.rng()
         vocabulary = self.event_vocabulary(self.params.num_events)
         pool = self._pattern_pool(rng, vocabulary)
-        sequences: List[List[str]] = []
+        sequences: list[list[str]] = []
         for _ in range(self.params.num_sequences):
             target_length = self.poisson(rng, self.params.C, minimum=2)
             sequences.append(self._build_sequence(rng, vocabulary, pool, target_length))
         return self.to_database(sequences, name=self.original_params.name())
 
-    def _pattern_pool(self, rng, vocabulary: List[str]) -> List[List[str]]:
+    def _pattern_pool(self, rng, vocabulary: list[str]) -> list[list[str]]:
         """The pool of maximal potentially frequent sequences."""
-        pool: List[List[str]] = []
+        pool: list[list[str]] = []
         for _ in range(self.num_pool_patterns):
             length = self.poisson(rng, self.params.S, minimum=2)
-            pattern: List[str] = []
+            pattern: list[str] = []
             while len(pattern) < length:
                 event = vocabulary[self.zipf_index(rng, len(vocabulary), self.event_skew)]
                 # Avoid immediate self-repeats, which otherwise blow up the
@@ -153,10 +152,10 @@ class QuestSequenceGenerator(SequenceGenerator):
         return pool
 
     def _build_sequence(
-        self, rng, vocabulary: List[str], pool: List[List[str]], target_length: int
-    ) -> List[str]:
+        self, rng, vocabulary: list[str], pool: list[list[str]], target_length: int
+    ) -> list[str]:
         """Assemble one sequence from corrupted pool patterns plus noise."""
-        events: List[str] = []
+        events: list[str] = []
         while len(events) < target_length:
             if rng.random() < 0.75:
                 pattern = pool[self.zipf_index(rng, len(pool), self.pool_skew)]

@@ -20,7 +20,6 @@ the paper's Figure 7 so case-study reports read naturally.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
 
 from repro.datagen.base import SequenceGenerator
 from repro.db.database import SequenceDatabase
@@ -31,7 +30,7 @@ from repro.db.database import SequenceDatabase
 #: uncapped closed-pattern mining of the synthetic stand-in stays tractable
 #: in pure Python while preserving the block structure the case study
 #: reasons about.
-LIFECYCLE_BLOCKS: Dict[str, List[str]] = {
+LIFECYCLE_BLOCKS: dict[str, list[str]] = {
     "connection_setup": [
         "TransManLoc.getInstance",
         "TransManLoc.locate",
@@ -73,7 +72,7 @@ LIFECYCLE_BLOCKS: Dict[str, List[str]] = {
 }
 
 #: Utility calls sprinkled between blocks as noise.
-UTILITY_EVENTS: List[str] = [
+UTILITY_EVENTS: list[str] = [
     "TransImpl.getStatus",
     "TransImpl.equals",
     "TransImpl.getLocIdVal",
@@ -109,7 +108,7 @@ class JBossLikeGenerator(SequenceGenerator):
         average_enlistments: float = 2.0,
         transactions_per_trace: float = 1.5,
         noise: float = 0.1,
-        seed: Optional[int] = 0,
+        seed: int | None = 0,
     ):
         super().__init__(seed=seed)
         if num_sequences < 1:
@@ -124,18 +123,18 @@ class JBossLikeGenerator(SequenceGenerator):
     # ------------------------------------------------------------------
     def generate(self) -> SequenceDatabase:
         rng = self.rng()
-        sequences: List[List[str]] = []
+        sequences: list[list[str]] = []
         for _ in range(self.num_sequences):
-            trace: List[str] = []
+            trace: list[str] = []
             transactions = max(1, self.poisson(rng, self.transactions_per_trace, minimum=1))
             for _ in range(transactions):
                 trace.extend(self._transaction(rng))
             sequences.append(trace)
         return self.to_database(sequences, name="jboss-like")
 
-    def _transaction(self, rng) -> List[str]:
+    def _transaction(self, rng) -> list[str]:
         """One full transaction lifecycle with repeated resource enlistment."""
-        trace: List[str] = []
+        trace: list[str] = []
         trace.extend(self._block(rng, "connection_setup"))
         trace.extend(self._block(rng, "txmanager_setup"))
         trace.extend(self._block(rng, "transaction_setup"))
@@ -146,7 +145,7 @@ class JBossLikeGenerator(SequenceGenerator):
         trace.extend(self._block(rng, "transaction_disposal"))
         return trace
 
-    def _block(self, rng, block_name: str) -> List[str]:
+    def _block(self, rng, block_name: str) -> list[str]:
         """One lifecycle block, with occasional utility-call noise appended."""
         events = list(LIFECYCLE_BLOCKS[block_name])
         if rng.random() < self.noise:
@@ -154,14 +153,14 @@ class JBossLikeGenerator(SequenceGenerator):
         return events
 
     @staticmethod
-    def lifecycle_pattern() -> List[str]:
+    def lifecycle_pattern() -> list[str]:
         """The full lifecycle call sequence (one pass through every block).
 
         The case-study experiment checks that the longest mined closed
         pattern covers (a large subsequence of) this lifecycle, mirroring the
         66-event pattern of the paper's Figure 7.
         """
-        pattern: List[str] = []
+        pattern: list[str] = []
         for block in LIFECYCLE_BLOCKS.values():
             pattern.extend(block)
         return pattern

@@ -16,7 +16,6 @@ sub-blocks of calls, and a teardown block) over a 75-event alphabet.
 
 from __future__ import annotations
 
-from typing import List, Optional
 
 from repro.datagen.base import SequenceGenerator
 from repro.db.database import SequenceDatabase
@@ -46,7 +45,7 @@ class TcasLikeGenerator(SequenceGenerator):
         *,
         average_length: float = 36.0,
         max_length: int = 70,
-        seed: Optional[int] = 0,
+        seed: int | None = 0,
     ):
         super().__init__(seed=seed)
         if num_sequences < 1 or num_events < 10:
@@ -62,15 +61,15 @@ class TcasLikeGenerator(SequenceGenerator):
         init_block = vocabulary[:4]
         teardown_block = vocabulary[4:7]
         # Loop bodies: alternative sub-blocks of calls the main loop can take.
-        bodies: List[List[str]] = []
+        bodies: list[list[str]] = []
         body_events = vocabulary[7:]
         for b in range(6):
             body_length = rng.randint(3, 6)
             start = (b * 7) % max(len(body_events) - body_length, 1)
             bodies.append(body_events[start : start + body_length])
-        sequences: List[List[str]] = []
+        sequences: list[list[str]] = []
         for _ in range(self.num_sequences):
-            trace: List[str] = list(init_block)
+            trace: list[str] = list(init_block)
             target = min(
                 self.max_length, max(8, self.poisson(rng, self.average_length, minimum=8))
             )

@@ -9,7 +9,7 @@ A :class:`SequenceDatabase` is an ordered collection of
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence as PySequence, Set
+from collections.abc import Hashable, Iterable, Iterator, Sequence as PySequence
 
 from repro.db.sequence import Event, Sequence, as_sequence
 
@@ -26,20 +26,20 @@ class SequenceDatabase:
         Optional human-readable name used by reports and benchmarks.
     """
 
-    def __init__(self, sequences: Iterable = (), name: Optional[str] = None):
-        self._sequences: List[Sequence] = [as_sequence(s) for s in sequences]
+    def __init__(self, sequences: Iterable = (), name: str | None = None):
+        self._sequences: list[Sequence] = [as_sequence(s) for s in sequences]
         self.name = name
 
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
     @classmethod
-    def from_strings(cls, strings: Iterable[str], name: Optional[str] = None) -> "SequenceDatabase":
+    def from_strings(cls, strings: Iterable[str], name: str | None = None) -> SequenceDatabase:
         """Build a database where each string is a sequence of 1-char events."""
         return cls([Sequence(s) for s in strings], name=name)
 
     @classmethod
-    def from_lists(cls, lists: Iterable[PySequence[Event]], name: Optional[str] = None) -> "SequenceDatabase":
+    def from_lists(cls, lists: Iterable[PySequence[Event]], name: str | None = None) -> SequenceDatabase:
         """Build a database from lists/tuples of arbitrary hashable events."""
         return cls([Sequence(lst) for lst in lists], name=name)
 
@@ -67,14 +67,13 @@ class SequenceDatabase:
         return self._sequences[i - 1]
 
     @property
-    def sequences(self) -> List[Sequence]:
+    def sequences(self) -> list[Sequence]:
         """The sequences in order (0-based list)."""
         return list(self._sequences)
 
-    def enumerate(self) -> Iterator[tuple]:
+    def enumerate(self) -> Iterator[tuple[int, Sequence]]:
         """Yield ``(i, S_i)`` pairs with 1-based ``i``."""
-        for idx, seq in enumerate(self._sequences, start=1):
-            yield idx, seq
+        yield from enumerate(self._sequences, start=1)
 
     def __len__(self) -> int:
         return len(self._sequences)
@@ -100,9 +99,9 @@ class SequenceDatabase:
     # ------------------------------------------------------------------
     # Aggregate properties
     # ------------------------------------------------------------------
-    def alphabet(self) -> Set[Event]:
+    def alphabet(self) -> set[Event]:
         """Return the set of distinct events ``E`` appearing in the database."""
-        events: Set[Event] = set()
+        events: set[Event] = set()
         for seq in self._sequences:
             events.update(seq.events)
         return events
@@ -135,7 +134,7 @@ class SequenceDatabase:
     # ------------------------------------------------------------------
     # Transformations
     # ------------------------------------------------------------------
-    def filter_events(self, keep: Iterable[Event]) -> "SequenceDatabase":
+    def filter_events(self, keep: Iterable[Event]) -> SequenceDatabase:
         """Return a copy keeping only events in ``keep`` (preserving order)."""
         keep_set = set(keep)
         return SequenceDatabase(
@@ -143,7 +142,7 @@ class SequenceDatabase:
             name=self.name,
         )
 
-    def remove_infrequent_events(self, min_sup: int) -> "SequenceDatabase":
+    def remove_infrequent_events(self, min_sup: int) -> SequenceDatabase:
         """Drop events whose total occurrence count is below ``min_sup``.
 
         Removing globally infrequent events never changes the set of frequent
@@ -154,14 +153,14 @@ class SequenceDatabase:
         frequent = {e for e, c in counts.items() if c >= min_sup}
         return self.filter_events(frequent)
 
-    def relabel(self, mapping: Dict[Event, Event]) -> "SequenceDatabase":
+    def relabel(self, mapping: dict[Event, Event]) -> SequenceDatabase:
         """Return a copy with events renamed through ``mapping`` (others kept)."""
         return SequenceDatabase(
             [Sequence([mapping.get(e, e) for e in seq], sid=seq.sid) for seq in self._sequences],
             name=self.name,
         )
 
-    def sample(self, k: int, *, seed: Optional[int] = None) -> "SequenceDatabase":
+    def sample(self, k: int, *, seed: int | None = None) -> SequenceDatabase:
         """Return a database with ``k`` sequences sampled without replacement."""
         import random
 
@@ -171,6 +170,6 @@ class SequenceDatabase:
         chosen = rng.sample(range(len(self._sequences)), k)
         return SequenceDatabase([self._sequences[i] for i in sorted(chosen)], name=self.name)
 
-    def take(self, k: int) -> "SequenceDatabase":
+    def take(self, k: int) -> SequenceDatabase:
         """Return a database with the first ``k`` sequences."""
         return SequenceDatabase(self._sequences[:k], name=self.name)

@@ -42,7 +42,8 @@ from __future__ import annotations
 from array import array
 from bisect import bisect_right
 from collections.abc import Sequence as SequenceABC
-from typing import Dict, Iterable, List, Set, Tuple
+from collections.abc import Iterable
+from typing import Final
 
 from repro.db.database import SequenceDatabase
 from repro.db.sequence import Event, Sequence, as_sequence
@@ -53,7 +54,7 @@ from repro.db.sequence import Event, Sequence, as_sequence
 NO_POSITION = -1
 
 #: Typecode of the flat position arrays (signed 64-bit).
-POSITION_TYPECODE = "q"
+POSITION_TYPECODE: Final = "q"
 
 #: Integer sentinel returned by :meth:`InvertedEventIndex.event_id` for
 #: events that never occur in the database.  Ids are non-negative, so ``-1``
@@ -74,8 +75,8 @@ class EventInterner:
     __slots__ = ("_id_of", "_event_of")
 
     def __init__(self):
-        self._id_of: Dict[Event, int] = {}
-        self._event_of: List[Event] = []
+        self._id_of: dict[Event, int] = {}
+        self._event_of: list[Event] = []
 
     def __len__(self) -> int:
         return len(self._event_of)
@@ -97,7 +98,7 @@ class EventInterner:
         """The event carrying id ``eid``."""
         return self._event_of[eid]
 
-    def events(self) -> List[Event]:
+    def events(self) -> list[Event]:
         """All interned events in id order."""
         return list(self._event_of)
 
@@ -158,14 +159,14 @@ class InvertedEventIndex:
         self._interner = EventInterner()
         # _lists[i][eid] -> sorted flat array of 1-based positions of the
         # event with interned id `eid` in S_i.
-        self._lists: List[Dict[int, array]] = []
+        self._lists: list[dict[int, array]] = []
         # _totals[eid] -> total occurrence count across the database (= sup
         # of the size-1 pattern), maintained incrementally.
-        self._totals: List[int] = []
+        self._totals: list[int] = []
         # Memoised PositionsView wrappers, filled on first `positions()` call
         # — the mining hot path reads `raw_positions_by_id()` and never pays
         # for a wrapper.
-        self._views: List[Dict[Event, PositionsView]] = []
+        self._views: list[dict[Event, PositionsView]] = []
         for seq in database:
             self._index_sequence(seq)
 
@@ -253,20 +254,20 @@ class InvertedEventIndex:
         eid = self._interner.id_of(event)
         return self._totals[eid] if eid >= 0 else 0
 
-    def events_in_sequence(self, i: int) -> Set[Event]:
+    def events_in_sequence(self, i: int) -> set[Event]:
         """Distinct events occurring in ``S_i``."""
         self._check_sequence_index(i)
         event_of = self._interner.event_of
         return {event_of(eid) for eid in self._lists[i - 1]}
 
-    def sequences_containing(self, event: Event) -> List[int]:
+    def sequences_containing(self, event: Event) -> list[int]:
         """1-based indices of sequences containing ``event``."""
         eid = self._interner.id_of(event)
         if eid < 0:
             return []
         return [i for i, per_event in enumerate(self._lists, start=1) if eid in per_event]
 
-    def alphabet(self) -> Set[Event]:
+    def alphabet(self) -> set[Event]:
         """Distinct events in the database."""
         return {
             event
@@ -274,14 +275,14 @@ class InvertedEventIndex:
             if self._totals[eid] > 0
         }
 
-    def size_one_instances(self, event: Event) -> List[Tuple[int, int]]:
+    def size_one_instances(self, event: Event) -> list[tuple[int, int]]:
         """All ``(i, position)`` pairs where ``event`` occurs.
 
         This is the leftmost support set of the size-1 pattern ``event`` —
         line 1 of ``supComp`` and line 3 of ``GSgrow``.
         """
         eid = self._interner.id_of(event)
-        result: List[Tuple[int, int]] = []
+        result: list[tuple[int, int]] = []
         if eid < 0:
             return result
         for i, per_event in enumerate(self._lists, start=1):
@@ -289,7 +290,7 @@ class InvertedEventIndex:
                 result.append((i, pos))
         return result
 
-    def size_one_arrays(self, event: Event) -> Tuple[array, array]:
+    def size_one_arrays(self, event: Event) -> tuple[array, array]:
         """Flat ``(sequence indices, positions)`` arrays of all occurrences.
 
         Array form of :meth:`size_one_instances`, consumed directly by the
@@ -308,7 +309,7 @@ class InvertedEventIndex:
                 positions.extend(plist)
         return seqs, positions
 
-    def frequent_events(self, min_sup: int) -> List[Event]:
+    def frequent_events(self, min_sup: int) -> list[Event]:
         """Events whose total occurrence count is at least ``min_sup``, sorted.
 
         Events are sorted by their repr to give the miners a deterministic
@@ -371,7 +372,7 @@ class InvertedEventIndex:
         """Index one (new) sequence: re-key its position lists on interned ids."""
         intern = self._interner.intern
         totals = self._totals
-        per_event: Dict[int, array] = {}
+        per_event: dict[int, array] = {}
         for event, plist in seq.inverted_positions().items():
             eid = intern(event)
             if eid == len(totals):

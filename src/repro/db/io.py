@@ -18,18 +18,18 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Iterable, List, Optional, Union
+from collections.abc import Iterable
 
 from repro.db.database import SequenceDatabase
 from repro.db.sequence import Sequence
 
-PathLike = Union[str, Path]
+PathLike = str | Path
 
 
 # ----------------------------------------------------------------------
 # SPMF format
 # ----------------------------------------------------------------------
-def load_spmf(path: PathLike, name: Optional[str] = None) -> SequenceDatabase:
+def load_spmf(path: PathLike, name: str | None = None) -> SequenceDatabase:
     """Load an SPMF-format file (``-1`` separates itemsets, ``-2`` ends lines).
 
     Itemsets of size greater than one are flattened in reading order; the
@@ -38,7 +38,7 @@ def load_spmf(path: PathLike, name: Optional[str] = None) -> SequenceDatabase:
     return parse_spmf(Path(path).read_text().splitlines(), name=name or Path(path).stem)
 
 
-def parse_event_line(line: str, fmt: str = "text") -> Optional[List[str]]:
+def parse_event_line(line: str, fmt: str = "text") -> list[str] | None:
     """Parse one line into its events, or ``None`` for blanks and comments.
 
     The single per-line tokenizer behind both the whole-file loaders and the
@@ -54,7 +54,7 @@ def parse_event_line(line: str, fmt: str = "text") -> Optional[List[str]]:
     if fmt == "spmf":
         if stripped.startswith("@"):
             return None
-        events: List[str] = []
+        events: list[str] = []
         for token in stripped.split():
             if token == "-2":
                 break
@@ -69,9 +69,9 @@ def parse_event_line(line: str, fmt: str = "text") -> Optional[List[str]]:
     raise ValueError(f"unknown line format {fmt!r}")
 
 
-def parse_spmf(lines: Iterable[str], name: Optional[str] = None) -> SequenceDatabase:
+def parse_spmf(lines: Iterable[str], name: str | None = None) -> SequenceDatabase:
     """Parse SPMF-format lines into a database (see :func:`load_spmf`)."""
-    sequences: List[Sequence] = []
+    sequences: list[Sequence] = []
     for line in lines:
         events = parse_event_line(line, "spmf")
         if events is not None:
@@ -83,7 +83,7 @@ def dump_spmf(database: SequenceDatabase, path: PathLike) -> None:
     """Write ``database`` in SPMF format (one event per itemset)."""
     lines = []
     for seq in database:
-        tokens: List[str] = []
+        tokens: list[str] = []
         for event in seq:
             tokens.append(str(event))
             tokens.append("-1")
@@ -95,7 +95,7 @@ def dump_spmf(database: SequenceDatabase, path: PathLike) -> None:
 # ----------------------------------------------------------------------
 # Plain text
 # ----------------------------------------------------------------------
-def load_text(path: PathLike, name: Optional[str] = None, *, chars: bool = False) -> SequenceDatabase:
+def load_text(path: PathLike, name: str | None = None, *, chars: bool = False) -> SequenceDatabase:
     """Load a plain-text file: one sequence per line.
 
     With ``chars=True`` every line is a string of single-character events;
@@ -106,9 +106,9 @@ def load_text(path: PathLike, name: Optional[str] = None, *, chars: bool = False
     )
 
 
-def parse_text(lines: Iterable[str], name: Optional[str] = None, *, chars: bool = False) -> SequenceDatabase:
+def parse_text(lines: Iterable[str], name: str | None = None, *, chars: bool = False) -> SequenceDatabase:
     """Parse plain-text lines into a database (see :func:`load_text`)."""
-    sequences: List[Sequence] = []
+    sequences: list[Sequence] = []
     for line in lines:
         events = parse_event_line(line, "chars" if chars else "text")
         if events is not None:

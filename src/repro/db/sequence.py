@@ -11,7 +11,7 @@ coordinates; plain Python iteration and ``len`` behave as usual.
 from __future__ import annotations
 
 from array import array
-from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence as PySequence, Tuple
+from collections.abc import Hashable, Iterable, Iterator, Sequence as PySequence
 
 Event = Hashable
 
@@ -31,9 +31,9 @@ class Sequence:
 
     __slots__ = ("_events", "sid")
 
-    def __init__(self, events: Iterable[Event], sid: Optional[Hashable] = None):
+    def __init__(self, events: Iterable[Event], sid: Hashable | None = None):
         if isinstance(events, str):
-            self._events: Tuple[Event, ...] = tuple(events)
+            self._events: tuple[Event, ...] = tuple(events)
         else:
             self._events = tuple(events)
         self.sid = sid
@@ -50,15 +50,15 @@ class Sequence:
         return self._events[position - 1]
 
     @property
-    def events(self) -> Tuple[Event, ...]:
+    def events(self) -> tuple[Event, ...]:
         """The events of this sequence as an immutable tuple (0-based)."""
         return self._events
 
-    def positions_of(self, event: Event) -> List[int]:
+    def positions_of(self, event: Event) -> list[int]:
         """Return all 1-based positions at which ``event`` occurs."""
         return [i + 1 for i, e in enumerate(self._events) if e == event]
 
-    def inverted_positions(self) -> Dict[Event, array]:
+    def inverted_positions(self) -> dict[Event, array]:
         """Per-event sorted flat arrays of 1-based positions.
 
         One pass over the sequence, producing the ``L_{e,S}`` lists of the
@@ -66,7 +66,7 @@ class Sequence:
         (typecode ``'q'``); :class:`~repro.db.index.InvertedEventIndex` stores
         these verbatim.
         """
-        per_event: Dict[Event, array] = {}
+        per_event: dict[Event, array] = {}
         for pos, event in enumerate(self._events, start=1):
             positions = per_event.get(event)
             if positions is None:
@@ -79,7 +79,7 @@ class Sequence:
         """Return the set of distinct events occurring in this sequence."""
         return set(self._events)
 
-    def subsequence_at(self, landmark: PySequence[int]) -> "Sequence":
+    def subsequence_at(self, landmark: PySequence[int]) -> Sequence:
         """Return the subsequence selected by a landmark (1-based positions)."""
         return Sequence(tuple(self.at(p) for p in landmark), sid=self.sid)
 
@@ -88,9 +88,9 @@ class Sequence:
         it = iter(self._events)
         return all(any(e == p for e in it) for p in pattern)
 
-    def first_landmark(self, pattern: PySequence[Event]) -> Optional[List[int]]:
+    def first_landmark(self, pattern: PySequence[Event]) -> list[int] | None:
         """Return the leftmost landmark of ``pattern`` in this sequence, if any."""
-        landmark: List[int] = []
+        landmark: list[int] = []
         start = 0
         for p in pattern:
             found = None
@@ -146,7 +146,7 @@ def format_events(events: PySequence[Event]) -> str:
     return " ".join(str(e) for e in events)
 
 
-def as_sequence(obj, sid: Optional[Hashable] = None) -> Sequence:
+def as_sequence(obj, sid: Hashable | None = None) -> Sequence:
     """Coerce strings, lists, tuples or Sequences into a :class:`Sequence`."""
     if isinstance(obj, Sequence):
         return obj

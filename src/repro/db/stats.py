@@ -11,7 +11,6 @@ datasets can be checked against the paper's descriptions.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
 
 from repro.db.database import SequenceDatabase
 from repro.db.sequence import Event
@@ -27,7 +26,7 @@ class DatabaseStats:
     average_length: float
     max_length: int
     min_length: int
-    event_counts: Dict[Event, int] = field(repr=False, default_factory=dict)
+    event_counts: dict[Event, int] = field(repr=False, default_factory=dict)
 
     def as_dict(self) -> dict:
         """Return the scalar statistics as a plain dictionary (for reports)."""
@@ -50,7 +49,7 @@ class DatabaseStats:
 
 def describe(database: SequenceDatabase) -> DatabaseStats:
     """Compute :class:`DatabaseStats` for ``database``."""
-    lengths: List[int] = [len(seq) for seq in database]
+    lengths: list[int] = [len(seq) for seq in database]
     counts = database.event_counts()
     return DatabaseStats(
         num_sequences=len(database),
@@ -63,7 +62,7 @@ def describe(database: SequenceDatabase) -> DatabaseStats:
     )
 
 
-def length_histogram(database: SequenceDatabase, bucket_size: int = 10) -> Dict[int, int]:
+def length_histogram(database: SequenceDatabase, bucket_size: int = 10) -> dict[int, int]:
     """Histogram of sequence lengths bucketed by ``bucket_size``.
 
     Keys are bucket lower bounds (0, 10, 20, ...); values are sequence counts.
@@ -72,7 +71,7 @@ def length_histogram(database: SequenceDatabase, bucket_size: int = 10) -> Dict[
     """
     if bucket_size <= 0:
         raise ValueError("bucket_size must be positive")
-    histogram: Dict[int, int] = {}
+    histogram: dict[int, int] = {}
     for seq in database:
         bucket = (len(seq) // bucket_size) * bucket_size
         histogram[bucket] = histogram.get(bucket, 0) + 1

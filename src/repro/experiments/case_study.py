@@ -19,7 +19,6 @@ the most frequent 2-event patterns.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.core.clogsgrow import CloGSgrow
 from repro.core.pattern import Pattern
@@ -62,9 +61,8 @@ def lifecycle_order_score(pattern: Pattern) -> int:
         block = block_of.get(event)
         if block is None:
             continue
-        if not touched or block >= touched[-1]:
-            if not touched or block != touched[-1]:
-                touched.append(block)
+        if not touched or block > touched[-1]:
+            touched.append(block)
     return len(touched)
 
 
@@ -72,7 +70,7 @@ def run_case_study(
     min_sup: int = DEFAULT_MIN_SUP,
     *,
     num_sequences: int = 28,
-    max_length: Optional[int] = DEFAULT_MAX_LENGTH,
+    max_length: int | None = DEFAULT_MAX_LENGTH,
     min_density: float = 0.4,
     seed: int = 0,
 ) -> ExperimentReport:

@@ -12,7 +12,7 @@ of the sequence-count miners.
 from __future__ import annotations
 
 import time
-from typing import Optional, Sequence as PySequence
+from collections.abc import Sequence as PySequence
 
 from repro.baselines.bide import BIDE
 from repro.baselines.clospan import CloSpan
@@ -38,7 +38,7 @@ def run_miner_comparison(
     scale: float = DEFAULT_SCALE,
     min_sup: int = DEFAULT_MIN_SUP,
     *,
-    max_length: Optional[int] = DEFAULT_MAX_LENGTH,
+    max_length: int | None = DEFAULT_MAX_LENGTH,
     seed: int = 0,
 ) -> ExperimentReport:
     """Time CloGSgrow, BIDE, CloSpan and PrefixSpan on the same dataset."""

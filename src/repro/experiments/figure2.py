@@ -14,7 +14,7 @@ runtime and pattern count, with the gap widening as ``min_sup`` drops.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence as PySequence
+from collections.abc import Sequence as PySequence
 
 from repro.datagen.ibm import QuestParameters, QuestSequenceGenerator
 from repro.db.database import SequenceDatabase
@@ -46,10 +46,10 @@ def run_figure2(
     scale: float = DEFAULT_SCALE,
     thresholds: PySequence[int] = DEFAULT_THRESHOLDS,
     *,
-    all_patterns_cutoff: Optional[int] = DEFAULT_CUTOFF,
-    max_length: Optional[int] = None,
+    all_patterns_cutoff: int | None = DEFAULT_CUTOFF,
+    max_length: int | None = None,
     seed: int = 0,
-    n_jobs: Optional[int] = None,
+    n_jobs: int | None = None,
 ) -> ExperimentReport:
     """Regenerate Figure 2 (both panels) at the given scale.
 

@@ -13,7 +13,7 @@ patterns explode while the closed set stays small.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence as PySequence
+from collections.abc import Sequence as PySequence
 
 from repro.datagen.gazelle import GazelleLikeGenerator
 from repro.db.database import SequenceDatabase
@@ -53,10 +53,10 @@ def run_figure3(
     num_events: int = DEFAULT_NUM_EVENTS,
     thresholds: PySequence[int] = DEFAULT_THRESHOLDS,
     *,
-    all_patterns_cutoff: Optional[int] = DEFAULT_CUTOFF,
-    max_length: Optional[int] = DEFAULT_MAX_LENGTH,
+    all_patterns_cutoff: int | None = DEFAULT_CUTOFF,
+    max_length: int | None = DEFAULT_MAX_LENGTH,
     seed: int = 0,
-    n_jobs: Optional[int] = None,
+    n_jobs: int | None = None,
 ) -> ExperimentReport:
     """Regenerate Figure 3 (both panels) at the given size."""
     database = figure3_database(num_sequences=num_sequences, num_events=num_events, seed=seed)

@@ -14,7 +14,7 @@ All/Closed gap at low thresholds.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence as PySequence
+from collections.abc import Sequence as PySequence
 
 from repro.datagen.tcas import TcasLikeGenerator
 from repro.db.database import SequenceDatabase
@@ -46,10 +46,10 @@ def run_figure4(
     num_sequences: int = DEFAULT_NUM_SEQUENCES,
     thresholds: PySequence[int] = DEFAULT_THRESHOLDS,
     *,
-    all_patterns_cutoff: Optional[int] = DEFAULT_CUTOFF,
-    max_length: Optional[int] = DEFAULT_MAX_LENGTH,
+    all_patterns_cutoff: int | None = DEFAULT_CUTOFF,
+    max_length: int | None = DEFAULT_MAX_LENGTH,
     seed: int = 0,
-    n_jobs: Optional[int] = None,
+    n_jobs: int | None = None,
 ) -> ExperimentReport:
     """Regenerate Figure 4 (both panels) at the given size."""
     database = figure4_database(num_sequences=num_sequences, seed=seed)

@@ -12,7 +12,7 @@ of sequences generated per sweep point.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence as PySequence
+from collections.abc import Sequence as PySequence
 
 from repro.datagen.ibm import QuestParameters, QuestSequenceGenerator
 from repro.experiments.harness import (
@@ -56,10 +56,10 @@ def run_figure5(
     min_sup: int = DEFAULT_MIN_SUP,
     *,
     num_events: int = DEFAULT_NUM_EVENTS,
-    all_patterns_cutoff_size: Optional[int] = DEFAULT_CUTOFF_SIZE,
-    max_length: Optional[int] = DEFAULT_MAX_LENGTH,
+    all_patterns_cutoff_size: int | None = DEFAULT_CUTOFF_SIZE,
+    max_length: int | None = DEFAULT_MAX_LENGTH,
     seed: int = 0,
-    n_jobs: Optional[int] = None,
+    n_jobs: int | None = None,
 ) -> ExperimentReport:
     """Regenerate Figure 5 (both panels) at the given sizes."""
     databases = [figure5_database(size, num_events=num_events, seed=seed + i) for i, size in enumerate(sizes)]

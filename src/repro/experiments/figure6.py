@@ -12,7 +12,7 @@ keeps the C = S sweep; the ``lengths`` parameter lists the average lengths.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence as PySequence
+from collections.abc import Sequence as PySequence
 
 from repro.datagen.ibm import QuestParameters, QuestSequenceGenerator
 from repro.experiments.harness import (
@@ -65,10 +65,10 @@ def run_figure6(
     *,
     num_sequences: int = DEFAULT_NUM_SEQUENCES,
     num_events: int = DEFAULT_NUM_EVENTS,
-    all_patterns_cutoff_length: Optional[int] = DEFAULT_CUTOFF_LENGTH,
-    max_length: Optional[int] = DEFAULT_MAX_LENGTH,
+    all_patterns_cutoff_length: int | None = DEFAULT_CUTOFF_LENGTH,
+    max_length: int | None = DEFAULT_MAX_LENGTH,
     seed: int = 0,
-    n_jobs: Optional[int] = None,
+    n_jobs: int | None = None,
 ) -> ExperimentReport:
     """Regenerate Figure 6 (both panels) at the given average lengths."""
     databases = [

@@ -16,7 +16,7 @@ the cut-off, mirroring the paper's plots, while CloGSgrow runs everywhere.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence as PySequence
+from collections.abc import Sequence as PySequence
 
 from repro.db.database import SequenceDatabase
 from repro.db.stats import describe
@@ -27,10 +27,10 @@ class SweepPoint:
     """One x-axis point of a figure: measurements for both miners."""
 
     parameter: float
-    all_runtime: Optional[float] = None
-    all_patterns: Optional[int] = None
-    closed_runtime: Optional[float] = None
-    closed_patterns: Optional[int] = None
+    all_runtime: float | None = None
+    all_patterns: int | None = None
+    closed_runtime: float | None = None
+    closed_patterns: int | None = None
     notes: str = ""
 
     def as_dict(self) -> dict:
@@ -52,8 +52,8 @@ class ExperimentReport:
     title: str
     dataset_description: str
     parameter_name: str
-    rows: List[dict] = field(default_factory=list)
-    extras: Dict[str, object] = field(default_factory=dict)
+    rows: list[dict] = field(default_factory=list)
+    extras: dict[str, object] = field(default_factory=dict)
 
     def add_row(self, row: dict) -> None:
         self.rows.append(row)
@@ -93,7 +93,7 @@ class SupportSweepResult:
     """Outcome of a support-threshold sweep over one dataset."""
 
     dataset_name: str
-    points: List[SweepPoint]
+    points: list[SweepPoint]
 
     def report(self, experiment_id: str, title: str, dataset_description: str,
                parameter_name: str = "min_sup") -> ExperimentReport:
@@ -116,9 +116,9 @@ def run_support_sweep(
     database: SequenceDatabase,
     thresholds: PySequence[int],
     *,
-    all_patterns_cutoff: Optional[int] = None,
-    max_length: Optional[int] = None,
-    n_jobs: Optional[int] = None,
+    all_patterns_cutoff: int | None = None,
+    max_length: int | None = None,
+    n_jobs: int | None = None,
 ) -> SupportSweepResult:
     """Run GSgrow and CloGSgrow over ``database`` for each support threshold.
 
@@ -186,9 +186,9 @@ def run_database_sweep(
     parameters: PySequence[float],
     min_sup: int,
     *,
-    all_patterns_cutoff_parameter: Optional[float] = None,
-    max_length: Optional[int] = None,
-    n_jobs: Optional[int] = None,
+    all_patterns_cutoff_parameter: float | None = None,
+    max_length: int | None = None,
+    n_jobs: int | None = None,
 ) -> SupportSweepResult:
     """Run both miners over several databases at a fixed support threshold.
 
@@ -241,9 +241,9 @@ def count_patterns_across(
     min_sup: int,
     *,
     closed: bool = True,
-    n_jobs: Optional[int] = None,
-    max_length: Optional[int] = None,
-) -> List[int]:
+    n_jobs: int | None = None,
+    max_length: int | None = None,
+) -> list[int]:
     """Pattern counts per database, via the batched mining entry point.
 
     The panel-(b) numbers of the database sweeps (Figures 5 and 6) only need

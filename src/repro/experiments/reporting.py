@@ -17,11 +17,11 @@ import csv
 import io
 import json
 from pathlib import Path
-from typing import Dict, Iterable, List, Union
+from collections.abc import Iterable
 
 from repro.experiments.harness import ExperimentReport
 
-PathLike = Union[str, Path]
+PathLike = str | Path
 
 
 def report_to_json(report: ExperimentReport) -> dict:
@@ -100,7 +100,7 @@ class ReportCollection:
     """
 
     def __init__(self, reports: Iterable[ExperimentReport] = ()):
-        self._reports: List[ExperimentReport] = list(reports)
+        self._reports: list[ExperimentReport] = list(reports)
 
     def add(self, report: ExperimentReport) -> None:
         """Append a report to the collection."""
@@ -112,7 +112,7 @@ class ReportCollection:
     def __iter__(self):
         return iter(self._reports)
 
-    def by_id(self) -> Dict[str, ExperimentReport]:
+    def by_id(self) -> dict[str, ExperimentReport]:
         """Mapping from experiment id to report (later reports win on clashes)."""
         return {report.experiment_id: report for report in self._reports}
 
@@ -120,7 +120,7 @@ class ReportCollection:
         """All reports concatenated into one markdown document."""
         return "\n".join(report_to_markdown(report) for report in self._reports)
 
-    def save(self, directory: PathLike) -> List[Path]:
+    def save(self, directory: PathLike) -> list[Path]:
         """Write JSON + CSV per report and a combined ``summary.md``.
 
         Returns the list of files written.  The directory is created if it
@@ -128,7 +128,7 @@ class ReportCollection:
         """
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
-        written: List[Path] = []
+        written: list[Path] = []
         for report in self._reports:
             written.append(save_report_json(report, directory / f"{report.experiment_id}.json"))
             written.append(save_report_csv(report, directory / f"{report.experiment_id}.csv"))

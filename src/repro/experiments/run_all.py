@@ -17,7 +17,7 @@ from __future__ import annotations
 import argparse
 import inspect
 import time
-from typing import Callable, Dict, List, Optional
+from collections.abc import Callable
 
 from repro.experiments.case_study import run_case_study
 from repro.experiments.comparison import run_miner_comparison
@@ -31,7 +31,7 @@ from repro.experiments.reporting import ReportCollection
 from repro.experiments.table1 import run_table1
 
 #: Default-scale runners (the scales the benchmarks use).
-FULL_RUNNERS: Dict[str, Callable[[], ExperimentReport]] = {
+FULL_RUNNERS: dict[str, Callable[[], ExperimentReport]] = {
     "table1": run_table1,
     "figure2": run_figure2,
     "figure3": run_figure3,
@@ -43,7 +43,7 @@ FULL_RUNNERS: Dict[str, Callable[[], ExperimentReport]] = {
 }
 
 #: Reduced-scale runners for a fast end-to-end smoke run (~a minute).
-QUICK_RUNNERS: Dict[str, Callable[..., ExperimentReport]] = {
+QUICK_RUNNERS: dict[str, Callable[..., ExperimentReport]] = {
     "table1": run_table1,
     "figure2": lambda **kw: run_figure2(scale=0.01, thresholds=(6, 4), all_patterns_cutoff=4,
                                         max_length=3, **kw),
@@ -78,11 +78,11 @@ def _accepts_n_jobs(runner: Callable[..., ExperimentReport]) -> bool:
 
 
 def run_experiments(
-    names: Optional[List[str]] = None,
+    names: list[str] | None = None,
     *,
     quick: bool = False,
     verbose: bool = True,
-    n_jobs: Optional[int] = None,
+    n_jobs: int | None = None,
 ) -> ReportCollection:
     """Run the selected experiments and return their reports.
 
@@ -125,7 +125,7 @@ def run_experiments(
     return collection
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def main(argv: list[str] | None = None) -> int:
     """CLI entry point (``python -m repro.experiments.run_all``)."""
     parser = argparse.ArgumentParser(description="Run the paper's experiments and save reports.")
     parser.add_argument("--output", default="results", help="directory for JSON/CSV/markdown output")

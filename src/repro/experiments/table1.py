@@ -10,7 +10,6 @@ the expected values quoted in the paper are listed in
 
 from __future__ import annotations
 
-from typing import Dict
 
 from repro.analysis.comparison import compare_supports
 from repro.core.constraints import GapConstraint
@@ -23,7 +22,7 @@ EXAMPLE_SEQUENCES = ("AABCDABB", "ABCD")
 #: Supports quoted in the paper for pattern AB (and CD where stated).
 #: Episode and gap-requirement counts are quoted for S1 alone (those related
 #: works take a single sequence as input), the others for the whole database.
-PAPER_EXAMPLE_VALUES: Dict[str, Dict[str, int]] = {
+PAPER_EXAMPLE_VALUES: dict[str, dict[str, int]] = {
     "AB": {
         "repetitive": 4,
         "sequential": 2,

@@ -52,10 +52,16 @@ immediately instead of recompiling the same trie per process.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence as PySequence, Tuple, Union
+from collections.abc import Iterable, Iterator, Sequence as PySequence
+from typing import Any
 
 from repro.core.constraints import GapConstraint
-from repro.core.engine import FULL_LANDMARK_ENGINE, SupportEngine, engine_for
+from repro.core.engine import (
+    FULL_LANDMARK_ENGINE,
+    SupportEngine,
+    SupportSetLike,
+    engine_for,
+)
 from repro.core.pattern import Pattern, as_pattern
 from repro.core.results import MiningResult
 from repro.core.support import SupportSet
@@ -73,6 +79,14 @@ TABLES_FORMAT = "repro.match.automaton-tables"
 
 #: Version of the serialised-table layout (bump on any change).
 TABLES_VERSION = 1
+
+#: Anything :func:`repro.core.pattern.as_pattern` accepts.
+PatternLike = Pattern | str | PySequence[Any]
+
+#: Anything :meth:`PatternAutomaton.match` coerces into a query database.
+MatchQuery = (
+    SequenceDatabase | InvertedEventIndex | Sequence | str | list[Any] | tuple[Any, ...]
+)
 
 
 class MatchedPattern:
@@ -100,9 +114,9 @@ class MatchedPattern:
         self,
         pattern: Pattern,
         support: int,
-        per_sequence: Dict[int, int],
-        support_set: Optional[SupportSet] = None,
-    ):
+        per_sequence: dict[int, int],
+        support_set: SupportSet | None = None,
+    ) -> None:
         self.pattern = pattern
         self.support = support
         self.per_sequence = per_sequence
@@ -120,9 +134,9 @@ class MatchedPattern:
 class MatchResult:
     """Per-pattern outcomes of one automaton match, in compilation order."""
 
-    def __init__(self, entries: Iterable[MatchedPattern], num_sequences: int):
-        self._entries: List[MatchedPattern] = list(entries)
-        self._by_pattern: Dict[Pattern, MatchedPattern] = {
+    def __init__(self, entries: Iterable[MatchedPattern], num_sequences: int) -> None:
+        self._entries: list[MatchedPattern] = list(entries)
+        self._by_pattern: dict[Pattern, MatchedPattern] = {
             e.pattern: e for e in self._entries
         }
         self.num_sequences = num_sequences
@@ -133,25 +147,25 @@ class MatchResult:
     def __iter__(self) -> Iterator[MatchedPattern]:
         return iter(self._entries)
 
-    def __getitem__(self, pattern) -> MatchedPattern:
+    def __getitem__(self, pattern: PatternLike) -> MatchedPattern:
         return self._by_pattern[as_pattern(pattern)]
 
-    def __contains__(self, pattern) -> bool:
+    def __contains__(self, pattern: PatternLike) -> bool:
         return as_pattern(pattern) in self._by_pattern
 
-    def support_of(self, pattern) -> int:
+    def support_of(self, pattern: PatternLike) -> int:
         """Support of ``pattern`` in the query (``KeyError`` if not compiled)."""
         return self[pattern].support
 
-    def supports(self) -> Dict[Pattern, int]:
+    def supports(self) -> dict[Pattern, int]:
         """Mapping pattern -> query support, in compilation order."""
         return {e.pattern: e.support for e in self._entries}
 
-    def matched(self) -> List[MatchedPattern]:
+    def matched(self) -> list[MatchedPattern]:
         """Entries that occurred at least once, in compilation order."""
         return [e for e in self._entries if e.support > 0]
 
-    def missing(self) -> List[Pattern]:
+    def missing(self) -> list[Pattern]:
         """Compiled patterns with no instance in the query."""
         return [e.pattern for e in self._entries if e.support == 0]
 
@@ -161,7 +175,7 @@ class MatchResult:
             return 1.0
         return len(self.matched()) / len(self._entries)
 
-    def top_k(self, k: int) -> List[MatchedPattern]:
+    def top_k(self, k: int) -> list[MatchedPattern]:
         """The ``k`` highest-support matched entries (ties by pattern order)."""
         ranked = sorted(
             (e for e in self._entries if e.support > 0),
@@ -193,10 +207,10 @@ class PatternAutomaton:
     from many places.
     """
 
-    def __init__(self, patterns: Union[MiningResult, Iterable]):
+    def __init__(self, patterns: MiningResult | Iterable[PatternLike]) -> None:
         if isinstance(patterns, MiningResult):
             patterns = patterns.patterns()
-        self._patterns: List[Pattern] = [as_pattern(p) for p in patterns]
+        self._patterns: list[Pattern] = [as_pattern(p) for p in patterns]
         seen = set()
         for pattern in self._patterns:
             if pattern.is_empty():
@@ -206,7 +220,7 @@ class PatternAutomaton:
             seen.add(pattern)
         # Automaton-local event interning: every pattern event gets a dense
         # id; query events are resolved through this dict once per position.
-        self._aid_of: Dict[object, int] = {}
+        self._aid_of: dict[object, int] = {}
         self._build_trie()
         self._build_sweep_tables()
 
@@ -217,7 +231,7 @@ class PatternAutomaton:
         return len(self._patterns)
 
     @property
-    def patterns(self) -> List[Pattern]:
+    def patterns(self) -> list[Pattern]:
         """The compiled patterns in compilation order."""
         return list(self._patterns)
 
@@ -243,8 +257,8 @@ class PatternAutomaton:
     def _build_trie(self) -> None:
         """Insert every pattern into the prefix trie (state 0 is the root)."""
         aid_of = self._aid_of
-        children: List[Dict[int, int]] = [{}]
-        terminal: List[int] = [-1]  # state -> pattern index (or -1)
+        children: list[dict[int, int]] = [{}]
+        terminal: list[int] = [-1]  # state -> pattern index (or -1)
         for pid, pattern in enumerate(self._patterns):
             state = 0
             for event in pattern:
@@ -272,9 +286,9 @@ class PatternAutomaton:
         pattern's deeper levels first — the order that prevents one token
         from advancing twice at one position.
         """
-        dispatch: Dict[object, List[Tuple[int, int]]] = {}
-        bases: List[int] = []
-        finals: List[int] = []
+        dispatch: dict[object, list[tuple[int, int]]] = {}
+        bases: list[int] = []
+        finals: list[int] = []
         total = 0
         for pattern in self._patterns:
             base = total
@@ -292,7 +306,7 @@ class PatternAutomaton:
     # ------------------------------------------------------------------
     # Serialisation: ship compiled tables, not patterns
     # ------------------------------------------------------------------
-    def to_tables(self) -> dict:
+    def to_tables(self) -> dict[str, Any]:
         """The compiled automaton as plain, shippable tables.
 
         Everything :meth:`match` needs — patterns, the dense alphabet, the
@@ -304,7 +318,7 @@ class PatternAutomaton:
         :meth:`from_tables` to get a ready-to-run automaton back without
         recompiling.
         """
-        alphabet: List[object] = [None] * len(self._aid_of)
+        alphabet: list[object] = [None] * len(self._aid_of)
         for event, aid in self._aid_of.items():
             alphabet[aid] = event
         aid_of = self._aid_of
@@ -327,7 +341,7 @@ class PatternAutomaton:
         }
 
     @classmethod
-    def from_tables(cls, tables: dict) -> "PatternAutomaton":
+    def from_tables(cls, tables: dict[str, Any]) -> PatternAutomaton:
         """Rebuild a compiled automaton from :meth:`to_tables` output.
 
         The tables are trusted (they came out of a compiled automaton), so
@@ -365,9 +379,9 @@ class PatternAutomaton:
     # ------------------------------------------------------------------
     def match(
         self,
-        query,
+        query: MatchQuery,
         *,
-        constraint: Optional[GapConstraint] = None,
+        constraint: GapConstraint | None = None,
         with_instances: bool = False,
         engine: str = "auto",
     ) -> MatchResult:
@@ -412,7 +426,7 @@ class PatternAutomaton:
         if engine == "sweep":
             database = _as_database(query)
             supports, per_sequence = self._sweep_database(database)
-            instance_sets: List[Optional[SupportSet]] = [None] * len(self._patterns)
+            instance_sets: list[SupportSet | None] = [None] * len(self._patterns)
             num_sequences = len(database)
         else:
             index = _as_index(query)
@@ -431,7 +445,7 @@ class PatternAutomaton:
     # ------------------------------------------------------------------
     def _sweep_database(
         self, database: SequenceDatabase
-    ) -> Tuple[List[int], List[Dict[int, int]]]:
+    ) -> tuple[list[int], list[dict[int, int]]]:
         """One left-to-right counting pass per sequence, all patterns at once.
 
         Correctness (unconstrained case): a non-redundant instance set never
@@ -450,7 +464,7 @@ class PatternAutomaton:
         """
         npat = len(self._patterns)
         totals = [0] * npat
-        per_sequence: List[Dict[int, int]] = [{} for _ in range(npat)]
+        per_sequence: list[dict[int, int]] = [{} for _ in range(npat)]
         dispatch_get = self._dispatch.get
         finals = self._final_slots
         slot_count = self._slot_count
@@ -479,9 +493,9 @@ class PatternAutomaton:
     def _dfs_database(
         self,
         index: InvertedEventIndex,
-        constraint: Optional[GapConstraint],
+        constraint: GapConstraint | None,
         with_instances: bool,
-    ) -> Tuple[List[int], List[Dict[int, int]], List[Optional[SupportSet]]]:
+    ) -> tuple[list[int], list[dict[int, int]], list[SupportSet | None]]:
         """Depth-first trie walk growing one support set per shared prefix.
 
         Each trie edge is one :func:`ins_grow` call serving every pattern
@@ -491,8 +505,8 @@ class PatternAutomaton:
         """
         npat = len(self._patterns)
         totals = [0] * npat
-        per_sequence: List[Dict[int, int]] = [{} for _ in range(npat)]
-        instance_sets: List[Optional[SupportSet]] = [None] * npat
+        per_sequence: list[dict[int, int]] = [{} for _ in range(npat)]
+        instance_sets: list[SupportSet | None] = [None] * npat
         support_engine: SupportEngine = (
             FULL_LANDMARK_ENGINE if with_instances else engine_for(False)
         )
@@ -500,7 +514,7 @@ class PatternAutomaton:
         terminal = self._terminal
         event_of = {aid: event for event, aid in self._aid_of.items()}
 
-        def record(state: int, support_set) -> None:
+        def record(state: int, support_set: SupportSetLike) -> None:
             """Report a grown prefix's support set if a pattern ends at ``state``."""
             pid = terminal[state]
             if pid < 0:
@@ -513,7 +527,7 @@ class PatternAutomaton:
         # Explicit stack: mined pattern sets can be deep (the JBoss lifecycle
         # patterns span dozens of events) and recursion depth would track the
         # longest pattern.
-        stack: List[Tuple[int, object]] = []
+        stack: list[tuple[int, SupportSetLike]] = []
         for aid, child in children[0].items():
             initial = support_engine.initial(index, event_of[aid])
             record(child, initial)
@@ -540,7 +554,7 @@ class PatternAutomaton:
 # ----------------------------------------------------------------------
 # Query coercion
 # ----------------------------------------------------------------------
-def _as_database(query) -> SequenceDatabase:
+def _as_database(query: MatchQuery) -> SequenceDatabase:
     """Coerce a match query into a :class:`SequenceDatabase`."""
     if isinstance(query, InvertedEventIndex):
         return query.database
@@ -557,7 +571,7 @@ def _as_database(query) -> SequenceDatabase:
     raise TypeError(f"cannot interpret {type(query).__name__} as a match query")
 
 
-def _as_index(query) -> InvertedEventIndex:
+def _as_index(query: MatchQuery) -> InvertedEventIndex:
     """Coerce a match query into an :class:`InvertedEventIndex`."""
     if isinstance(query, InvertedEventIndex):
         return query
@@ -565,7 +579,7 @@ def _as_index(query) -> InvertedEventIndex:
 
 
 def compile_patterns(
-    patterns: Union[MiningResult, Iterable[Union[Pattern, str, PySequence]]],
+    patterns: MiningResult | Iterable[PatternLike],
 ) -> PatternAutomaton:
     """Compile a pattern set (or a whole mining result) into an automaton."""
     return PatternAutomaton(patterns)

@@ -24,14 +24,15 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence as PySequence, Tuple, Union
+from collections.abc import Iterable, Sequence as PySequence
+from typing import Any
 
 from repro.core.constraints import GapConstraint
 from repro.core.pattern import Pattern
 from repro.core.results import MiningResult
 from repro.db.database import SequenceDatabase
 from repro.db.sequence import Sequence as DbSequence, as_sequence
-from repro.match.automaton import MatchResult, PatternAutomaton
+from repro.match.automaton import MatchQuery, MatchResult, PatternAutomaton
 from repro.match.store import PatternStore
 
 
@@ -60,8 +61,8 @@ class SequenceScore:
     total: int
     coverage: float
     anomaly: float
-    supports: Dict[Pattern, int] = field(default_factory=dict)
-    missing: List[Pattern] = field(default_factory=list)
+    supports: dict[Pattern, int] = field(default_factory=dict)
+    missing: list[Pattern] = field(default_factory=list)
 
     def describe(self) -> str:
         """Compact single-line rendering used by the CLI."""
@@ -78,8 +79,8 @@ def score_from_match(result: MatchResult, seq_index: int) -> SequenceScore:
     useful when a caller already holds a batch :class:`MatchResult` and wants
     per-sequence scores without matching again.
     """
-    supports: Dict[Pattern, int] = {}
-    missing: List[Pattern] = []
+    supports: dict[Pattern, int] = {}
+    missing: list[Pattern] = []
     for entry in result:
         count = entry.per_sequence.get(seq_index, 0)
         if count:
@@ -114,11 +115,11 @@ class PatternMatcher:
 
     def __init__(
         self,
-        patterns: Union[PatternStore, MiningResult, PatternAutomaton, Iterable],
+        patterns: PatternStore | MiningResult | PatternAutomaton | Iterable[Any],
         *,
-        constraint: Optional[GapConstraint] = None,
-    ):
-        self.mined_supports: Optional[Dict[Pattern, int]] = None
+        constraint: GapConstraint | None = None,
+    ) -> None:
+        self.mined_supports: dict[Pattern, int] | None = None
         if isinstance(patterns, PatternStore):
             self.mined_supports = patterns.supports()
             automaton = patterns.automaton()
@@ -141,7 +142,9 @@ class PatternMatcher:
     # ------------------------------------------------------------------
     # Matching and scoring
     # ------------------------------------------------------------------
-    def match(self, query, *, with_instances: bool = False, engine: str = "auto") -> MatchResult:
+    def match(
+        self, query: MatchQuery, *, with_instances: bool = False, engine: str = "auto"
+    ) -> MatchResult:
         """Match the pattern set against ``query`` (see ``PatternAutomaton.match``)."""
         return self.automaton.match(
             query,
@@ -150,14 +153,14 @@ class PatternMatcher:
             engine=engine,
         )
 
-    def score(self, sequence) -> SequenceScore:
+    def score(self, sequence: Any) -> SequenceScore:
         """Coverage/anomaly score of a single sequence."""
         result = self.match(as_sequence(sequence))
         return score_from_match(result, 1)
 
     def score_many(
-        self, sequences: Iterable, *, n_jobs: Optional[int] = None
-    ) -> List[SequenceScore]:
+        self, sequences: Iterable[Any], *, n_jobs: int | None = None
+    ) -> list[SequenceScore]:
         """Score a batch of sequences, optionally sharded over a process pool.
 
         ``n_jobs=None`` (or ``1``) scores in-process with one shared match
@@ -198,8 +201,8 @@ class PatternMatcher:
     # Retrieval
     # ------------------------------------------------------------------
     def top_patterns(
-        self, query, k: int = 10, *, by: str = "support"
-    ) -> List[Tuple[Pattern, int]]:
+        self, query: MatchQuery, k: int = 10, *, by: str = "support"
+    ) -> list[tuple[Pattern, int]]:
         """The ``k`` expected patterns most present in ``query``.
 
         ``by="support"`` ranks by query support; ``by="ratio"`` by query
@@ -212,12 +215,13 @@ class PatternMatcher:
         result = self.match(query)
         if by == "support":
             return [(e.pattern, e.support) for e in result.top_k(k)]
-        if self.mined_supports is None:
+        mined = self.mined_supports
+        if mined is None:
             raise ValueError("ratio ranking needs mined supports (build from a store/result)")
         ranked = sorted(
             (e for e in result if e.support > 0),
             key=lambda e: (
-                -(e.support / max(1, self.mined_supports[e.pattern])),
+                -(e.support / max(1, mined[e.pattern])),
                 e.pattern,
             ),
         )
@@ -225,12 +229,12 @@ class PatternMatcher:
 
     def rank_sequences(
         self,
-        sequences: Iterable,
-        k: Optional[int] = None,
+        sequences: Iterable[Any],
+        k: int | None = None,
         *,
         by: str = "anomaly",
-        n_jobs: Optional[int] = None,
-    ) -> List[Tuple[int, SequenceScore]]:
+        n_jobs: int | None = None,
+    ) -> list[tuple[int, SequenceScore]]:
         """The ``k`` sequences scoring highest under ``by``.
 
         ``by`` is ``"anomaly"`` (least like the mined behaviour first — the
@@ -247,7 +251,9 @@ class PatternMatcher:
         return ranked if k is None else ranked[:k]
 
 
-def _score_chunk(task) -> List[SequenceScore]:
+def _score_chunk(
+    task: tuple[dict[str, Any], GapConstraint | None, list[DbSequence]],
+) -> list[SequenceScore]:
     """Process-pool worker: score one contiguous chunk of sequences.
 
     Module-level (not a closure) so it pickles under the ``spawn`` start
@@ -262,12 +268,12 @@ def _score_chunk(task) -> List[SequenceScore]:
 
 
 def score_database(
-    patterns: Union[PatternStore, MiningResult, Iterable],
-    database: Union[SequenceDatabase, PySequence],
+    patterns: PatternStore | MiningResult | Iterable[Any],
+    database: SequenceDatabase | PySequence[Any],
     *,
-    constraint: Optional[GapConstraint] = None,
-    n_jobs: Optional[int] = None,
-) -> List[SequenceScore]:
+    constraint: GapConstraint | None = None,
+    n_jobs: int | None = None,
+) -> list[SequenceScore]:
     """One-shot convenience: score every sequence of ``database``."""
     matcher = PatternMatcher(patterns, constraint=constraint)
     return matcher.score_many(database, n_jobs=n_jobs)

@@ -38,28 +38,36 @@ in-memory mining are rejected at store-build time with a clear error.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import struct
 import sys
 import time
 from array import array
+from collections.abc import Iterable, Iterator
 from pathlib import Path
-from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Any, TypeAlias
 
 from repro.core.pattern import Pattern, as_pattern
 from repro.core.results import MinedPattern, MiningResult
 from repro.db.index import POSITION_TYPECODE
 
-if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a hard stream dependency
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids hard cross-package deps
+    from repro.match.automaton import PatternAutomaton
     from repro.stream.miner import StreamUpdate
 
+#: The :mod:`mmap` module when importable, else ``None``.  Typed ``Any`` so
+#: the fallback assignment and the monkeypatched tests stay expressible.
+_mmap: Any
 try:  # pragma: no cover - exercised via the monkeypatched fallback tests
-    import mmap as _mmap
+    import mmap as _mmap_module
+
+    _mmap = _mmap_module
 except ImportError:  # pragma: no cover - platforms without mmap
     _mmap = None
 
-PathLike = Union[str, Path]
+PathLike = str | Path
 
 #: Magic bytes opening every binary store file.
 MAGIC = b"RPST"
@@ -80,14 +88,16 @@ _LITTLE_ENDIAN = sys.byteorder == "little"
 _ITEMSIZE = array(POSITION_TYPECODE).itemsize
 
 #: A column of ``int64`` values: a materialised array or a zero-copy view.
-Column = Union[array, memoryview]
+#: (String form: ``memoryview[int]`` is not subscriptable at runtime on every
+#: supported interpreter, and this alias is evaluated at import.)
+Column: TypeAlias = "array[int] | memoryview[int]"
 
 
-def _dumps(data) -> bytes:
+def _dumps(data: Any) -> bytes:
     """Deterministic JSON bytes (sorted keys, fixed separators, raw UTF-8)."""
     return json.dumps(
         data, ensure_ascii=False, sort_keys=True, separators=(",", ":")
-    ).encode("utf-8")
+    ).encode()
 
 
 def _column_bytes(column: Column) -> bytes:
@@ -99,7 +109,7 @@ def _column_bytes(column: Column) -> bytes:
     return swapped.tobytes()
 
 
-def _column_from(buffer: bytes) -> array:
+def _column_from(buffer: bytes) -> array[int]:
     """An ``array('q')`` column from little-endian bytes."""
     column = array(POSITION_TYPECODE)
     column.frombytes(buffer)
@@ -108,7 +118,7 @@ def _column_from(buffer: bytes) -> array:
     return column
 
 
-def _check_event(event) -> None:
+def _check_event(event: object) -> None:
     if isinstance(event, bool) or not isinstance(event, (str, int)):
         raise TypeError(
             "pattern stores persist str or int events, got "
@@ -117,7 +127,7 @@ def _check_event(event) -> None:
         )
 
 
-def _coerce_mmap_flag(mmap: Union[bool, str]) -> Union[bool, str]:
+def _coerce_mmap_flag(mmap: bool | str) -> bool | str:
     """Validate and normalise an ``mmap`` argument to ``"auto"``/``True``/``False``.
 
     ``0``/``1`` pass the equality-based membership check but would miss the
@@ -129,7 +139,7 @@ def _coerce_mmap_flag(mmap: Union[bool, str]) -> Union[bool, str]:
     return mmap if mmap == "auto" else bool(mmap)
 
 
-def _zero_copy_unavailable_reason() -> Optional[str]:
+def _zero_copy_unavailable_reason() -> str | None:
     """Why this platform cannot serve zero-copy stores (``None`` if it can).
 
     The zero-copy path casts the file's little-endian column bytes directly
@@ -156,10 +166,10 @@ class _MappedSource:
 
     __slots__ = ("mapping", "view")
 
-    def __init__(self, path: Path):
+    def __init__(self, path: Path) -> None:
         with open(path, "rb") as handle:
             self.mapping = _mmap.mmap(handle.fileno(), 0, access=_mmap.ACCESS_READ)
-        self.view: Optional[memoryview] = memoryview(self.mapping)
+        self.view: memoryview | None = memoryview(self.mapping)
 
     def close(self) -> None:
         """Release the view and the mapping (best effort).
@@ -172,13 +182,11 @@ class _MappedSource:
         view, self.view = self.view, None
         if view is not None:
             view.release()
-        try:
+        with contextlib.suppress(BufferError):
             self.mapping.close()
-        except BufferError:
-            pass
 
 
-def _parse_store(view: memoryview) -> Tuple[dict, list, memoryview, memoryview, memoryview]:
+def _parse_store(view: memoryview) -> tuple[dict, list, memoryview, memoryview, memoryview]:
     """Split a binary store's bytes into header, alphabet and raw column views.
 
     Returns ``(header, alphabet, offsets, events, supports)`` where the last
@@ -232,7 +240,7 @@ def _validate_columns(
     offsets: Column,
     events: Column,
     supports: Column,
-    alphabet: list,
+    alphabet: list[Any],
     *,
     check_events: bool = True,
 ) -> None:
@@ -282,18 +290,18 @@ class PatternStore:
 
     def __init__(
         self,
-        entries: Iterable[Tuple[Union[Pattern, str, tuple], int]] = (),
+        entries: Iterable[tuple[Pattern | str | tuple[Any, ...], int]] = (),
         *,
-        min_sup: Optional[int] = None,
-        algorithm: Optional[str] = None,
-        metadata: Optional[dict] = None,
-    ):
-        alphabet_ids: Dict[object, int] = {}
-        alphabet: List[object] = []
+        min_sup: int | None = None,
+        algorithm: str | None = None,
+        metadata: dict[str, Any] | None = None,
+    ) -> None:
+        alphabet_ids: dict[object, int] = {}
+        alphabet: list[object] = []
         offsets = array(POSITION_TYPECODE, [0])
         events = array(POSITION_TYPECODE)
         supports = array(POSITION_TYPECODE)
-        patterns: List[Pattern] = []
+        patterns: list[Pattern] = []
         for pattern, support in entries:
             pattern = as_pattern(pattern)
             if support < 0:
@@ -312,8 +320,8 @@ class PatternStore:
         self._offsets: Column = offsets
         self._events: Column = events
         self._supports: Column = supports
-        self._patterns: Optional[List[Pattern]] = patterns
-        self._source: Optional[_MappedSource] = None
+        self._patterns: list[Pattern] | None = patterns
+        self._source: _MappedSource | None = None
         self.min_sup = min_sup
         self.algorithm = algorithm
         self.metadata = dict(metadata or {})
@@ -323,8 +331,8 @@ class PatternStore:
     # ------------------------------------------------------------------
     @classmethod
     def from_result(
-        cls, result: MiningResult, *, metadata: Optional[dict] = None
-    ) -> "PatternStore":
+        cls, result: MiningResult, *, metadata: dict | None = None
+    ) -> PatternStore:
         """Build a store from a mining result (order and metadata preserved)."""
         return cls(
             ((mp.pattern, mp.support) for mp in result),
@@ -336,14 +344,14 @@ class PatternStore:
     @classmethod
     def _from_columns(
         cls,
-        header: dict,
-        alphabet: list,
+        header: dict[str, Any],
+        alphabet: list[Any],
         offsets: Column,
         events: Column,
         supports: Column,
         *,
-        source: Optional[_MappedSource] = None,
-    ) -> "PatternStore":
+        source: _MappedSource | None = None,
+    ) -> PatternStore:
         """Build a store directly over decoded columns (patterns stay lazy).
 
         This is the loaders' constructor: the file's alphabet and column
@@ -374,7 +382,7 @@ class PatternStore:
     # ------------------------------------------------------------------
     # Access
     # ------------------------------------------------------------------
-    def _pattern_list(self) -> List[Pattern]:
+    def _pattern_list(self) -> list[Pattern]:
         """The materialised pattern list (decoded from the columns on demand).
 
         Also the deferred half of column validation for zero-copy stores:
@@ -411,19 +419,19 @@ class PatternStore:
         """The mined support recorded for slot ``index``."""
         return self._supports[index]
 
-    def patterns(self) -> List[Pattern]:
+    def patterns(self) -> list[Pattern]:
         """All patterns in store order."""
         return list(self._pattern_list())
 
-    def entries(self) -> Iterator[Tuple[Pattern, int]]:
+    def entries(self) -> Iterator[tuple[Pattern, int]]:
         """``(pattern, support)`` pairs in store order."""
         return zip(self._pattern_list(), self._supports, strict=False)
 
-    def supports(self) -> Dict[Pattern, int]:
+    def supports(self) -> dict[Pattern, int]:
         """Mapping pattern -> mined support."""
         return dict(self.entries())
 
-    def alphabet(self) -> List[object]:
+    def alphabet(self) -> list[object]:
         """The event table in id order (first-seen over the pattern column)."""
         return list(self._alphabet)
 
@@ -450,7 +458,7 @@ class PatternStore:
     def __iter__(self) -> Iterator[MinedPattern]:
         return (MinedPattern(pattern=p, support=s) for p, s in self.entries())
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         if isinstance(other, PatternStore):
             return (
                 self._pattern_list() == other._pattern_list()
@@ -468,7 +476,7 @@ class PatternStore:
             f"alphabet {len(self._alphabet)}>"
         )
 
-    def automaton(self):
+    def automaton(self) -> PatternAutomaton:
         """The store compiled into a shared matching automaton (cached)."""
         cached = getattr(self, "_automaton", None)
         if cached is None:
@@ -477,7 +485,7 @@ class PatternStore:
             cached = self._automaton = PatternAutomaton(self._pattern_list())
         return cached
 
-    def adopt_automaton(self, other: "PatternStore") -> bool:
+    def adopt_automaton(self, other: PatternStore) -> bool:
         """Reuse ``other``'s compiled automaton when the pattern sets match.
 
         The automaton depends only on the patterns, not on supports or
@@ -496,7 +504,7 @@ class PatternStore:
     # ------------------------------------------------------------------
     # Incremental updates (the StreamUpdate delta bridge)
     # ------------------------------------------------------------------
-    def apply_update(self, update: "StreamUpdate") -> "PatternStore":
+    def apply_update(self, update: StreamUpdate) -> PatternStore:
         """Absorb a stream refresh into this loaded store; returns the store to keep.
 
         When the refresh changed only supports (same patterns, same order —
@@ -537,7 +545,7 @@ class PatternStore:
         fresh.adopt_automaton(self)
         return fresh
 
-    def patch_file_supports(self, path: PathLike, *, _blob: Optional[bytes] = None) -> bool:
+    def patch_file_supports(self, path: PathLike, *, _blob: bytes | None = None) -> bool:
         """Rewrite only the supports column of an existing store file, in place.
 
         Succeeds (returns ``True``) only when ``path`` already holds a binary
@@ -628,7 +636,7 @@ class PatternStore:
         return b"".join(parts)
 
     @classmethod
-    def from_bytes(cls, blob: bytes) -> "PatternStore":
+    def from_bytes(cls, blob: bytes) -> PatternStore:
         """Decode a binary store; the exact inverse of :meth:`to_bytes`."""
         header, alphabet, offsets_b, events_b, supports_b = _parse_store(memoryview(blob))
         offsets = _column_from(bytes(offsets_b))
@@ -637,7 +645,7 @@ class PatternStore:
         _validate_columns(offsets, events, supports, alphabet)
         return cls._from_columns(header, alphabet, offsets, events, supports)
 
-    def save(self, path: PathLike, *, _blob: Optional[bytes] = None) -> Path:
+    def save(self, path: PathLike, *, _blob: bytes | None = None) -> Path:
         """Write the binary encoding to ``path`` (atomically) and return it.
 
         The bytes are staged in a sibling temp file and moved into place, so
@@ -651,14 +659,14 @@ class PatternStore:
         return path
 
     @classmethod
-    def load(cls, path: PathLike) -> "PatternStore":
+    def load(cls, path: PathLike) -> PatternStore:
         """Read a binary store written by :meth:`save` (private decoded copy)."""
         return cls.from_bytes(Path(path).read_bytes())
 
     @classmethod
     def open(
-        cls, path: PathLike, *, mmap: Union[bool, str] = "auto"
-    ) -> "PatternStore":
+        cls, path: PathLike, *, mmap: bool | str = "auto"
+    ) -> PatternStore:
         """Load a binary store zero-copy over a shared read-only mapping.
 
         The file is memory-mapped and the three ``int64`` columns become
@@ -723,9 +731,9 @@ class PatternStore:
     # ------------------------------------------------------------------
     # JSON sibling
     # ------------------------------------------------------------------
-    def to_json(self) -> dict:
+    def to_json(self) -> dict[str, Any]:
         """The JSON-serialisable sibling encoding."""
-        data = {
+        data: dict[str, Any] = {
             "format": JSON_FORMAT,
             "version": FORMAT_VERSION,
             "metadata": dict(self.metadata),
@@ -734,7 +742,7 @@ class PatternStore:
         return data
 
     @classmethod
-    def from_json(cls, data: dict) -> "PatternStore":
+    def from_json(cls, data: dict[str, Any]) -> PatternStore:
         """Decode the JSON sibling; the inverse of :meth:`to_json`."""
         if data.get("format") != JSON_FORMAT:
             raise ValueError(
@@ -761,12 +769,12 @@ class PatternStore:
         return path
 
     @classmethod
-    def load_json(cls, path: PathLike) -> "PatternStore":
+    def load_json(cls, path: PathLike) -> PatternStore:
         """Read a JSON store written by :meth:`save_json`."""
         return cls.from_json(json.loads(Path(path).read_text(encoding="utf-8")))
 
 
-def load_patterns(path: PathLike, *, mmap: Union[bool, str] = False) -> PatternStore:
+def load_patterns(path: PathLike, *, mmap: bool | str = False) -> PatternStore:
     """Load a pattern store, sniffing the encoding from the magic bytes.
 
     ``mmap`` selects the binary read path: ``False`` (default) decodes a
@@ -807,7 +815,7 @@ def load_patterns(path: PathLike, *, mmap: Union[bool, str] = False) -> PatternS
 
 
 def save_patterns(
-    source: Union[PatternStore, MiningResult],
+    source: PatternStore | MiningResult,
     path: PathLike,
     *,
     encoding: str = "auto",

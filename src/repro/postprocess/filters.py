@@ -7,7 +7,6 @@ new one (the ranking helpers return ordered lists of
 
 from __future__ import annotations
 
-from typing import List
 
 from repro.core.results import MinedPattern, MiningResult
 
@@ -46,11 +45,11 @@ def min_support_filter(result: MiningResult, min_support: int) -> MiningResult:
     return result.with_support_at_least(min_support)
 
 
-def rank_by_length(result: MiningResult) -> List[MinedPattern]:
+def rank_by_length(result: MiningResult) -> list[MinedPattern]:
     """Order patterns by decreasing length (the paper's ranking step)."""
     return result.sorted_by_length(descending=True)
 
 
-def rank_by_support(result: MiningResult) -> List[MinedPattern]:
+def rank_by_support(result: MiningResult) -> list[MinedPattern]:
     """Order patterns by decreasing support (used for the lock→unlock finding)."""
     return result.sorted_by_support(descending=True)

@@ -9,7 +9,7 @@ case study shrink to the 94 reported ones.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Tuple
+from collections.abc import Callable
 
 from repro.core.results import MiningResult
 from repro.postprocess.filters import density_filter, maximality_filter
@@ -22,7 +22,7 @@ class PipelineReport:
     """Pattern counts before/after every step of a pipeline run."""
 
     initial_count: int
-    steps: List[Tuple[str, int]] = field(default_factory=list)
+    steps: list[tuple[str, int]] = field(default_factory=list)
 
     @property
     def final_count(self) -> int:
@@ -44,9 +44,9 @@ class PostProcessingPipeline:
     """A named chain of filters applied to a mining result."""
 
     def __init__(self):
-        self._steps: List[Tuple[str, FilterStep]] = []
+        self._steps: list[tuple[str, FilterStep]] = []
 
-    def add_step(self, name: str, step: FilterStep) -> "PostProcessingPipeline":
+    def add_step(self, name: str, step: FilterStep) -> PostProcessingPipeline:
         """Append a step; returns ``self`` so calls can be chained."""
         self._steps.append((name, step))
         return self
@@ -54,11 +54,11 @@ class PostProcessingPipeline:
     def __len__(self) -> int:
         return len(self._steps)
 
-    def step_names(self) -> List[str]:
+    def step_names(self) -> list[str]:
         """Names of the configured steps, in order."""
         return [name for name, _ in self._steps]
 
-    def run(self, result: MiningResult) -> Tuple[MiningResult, PipelineReport]:
+    def run(self, result: MiningResult) -> tuple[MiningResult, PipelineReport]:
         """Apply every step in order; returns the final result and a report."""
         report = PipelineReport(initial_count=len(result))
         current = result

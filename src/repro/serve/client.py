@@ -23,7 +23,7 @@ requirement — ``printf '{"op":"ping"}\\n' | nc host port`` works too.
 from __future__ import annotations
 
 import socket
-from typing import List, Optional, Tuple, Union
+from typing import Any
 
 from repro.serve.protocol import decode_line, encode_line
 
@@ -46,17 +46,21 @@ class ServeClient:
     requests; use the context-manager form to close it deterministically.
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0, *, timeout: float = 30.0):
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 0, *, timeout: float = 30.0
+    ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
-        self._sock: Optional[socket.socket] = None
-        self._file = None
+        self._sock: socket.socket | None = None
+        # The buffered reader/writer over the socket; ``Any`` because the
+        # lazy-connect dance (None until the first request) defeats narrowing.
+        self._file: Any = None
 
     # ------------------------------------------------------------------
     # Connection lifecycle
     # ------------------------------------------------------------------
-    def connect(self) -> "ServeClient":
+    def connect(self) -> ServeClient:
         """Open the connection now (otherwise the first request does)."""
         if self._sock is None:
             self._sock = socket.create_connection(
@@ -74,16 +78,16 @@ class ServeClient:
         if sock is not None:
             sock.close()
 
-    def __enter__(self) -> "ServeClient":
+    def __enter__(self) -> ServeClient:
         return self.connect()
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # ------------------------------------------------------------------
     # The request primitive
     # ------------------------------------------------------------------
-    def request(self, op: str, **params) -> dict:
+    def request(self, op: str, **params: Any) -> dict[str, Any]:
         """Send one operation and return its success payload.
 
         Raises :class:`ServeError` on an error response or a connection the
@@ -94,7 +98,7 @@ class ServeClient:
         the wrong payload.  The next request reconnects lazily.
         """
         self.connect()
-        payload = {"op": op}
+        payload: dict[str, Any] = {"op": op}
         payload.update(params)
         try:
             self._file.write(encode_line(payload))
@@ -114,11 +118,11 @@ class ServeClient:
     # ------------------------------------------------------------------
     # Operations
     # ------------------------------------------------------------------
-    def ping(self) -> dict:
+    def ping(self) -> dict[str, Any]:
         """Liveness + store snapshot (pattern count, reload counters, pid)."""
         return self.request("ping")
 
-    def match(self, sequences: Union[str, List]) -> dict:
+    def match(self, sequences: str | list[Any]) -> dict[str, Any]:
         """Match every served pattern against ``sequences`` in one pass.
 
         Returns the wire form of a :class:`~repro.match.automaton.MatchResult`:
@@ -128,27 +132,27 @@ class ServeClient:
         """
         return self.request("match", sequences=sequences)
 
-    def score(self, sequences: Union[str, List]) -> List[dict]:
+    def score(self, sequences: str | list[Any]) -> list[dict[str, Any]]:
         """Coverage/anomaly score of each query sequence, in input order."""
         return self.request("score", sequences=sequences)["scores"]
 
     def rank(
-        self, sequences: Union[str, List], k: Optional[int] = None, *, by: str = "anomaly"
-    ) -> List:
+        self, sequences: str | list[Any], k: int | None = None, *, by: str = "anomaly"
+    ) -> list[list[Any]]:
         """Query sequences ranked by ``by`` — ``[index, score]`` pairs."""
         return self.request("rank", sequences=sequences, k=k, by=by)["ranked"]
 
     def top_k(
-        self, sequences: Union[str, List], k: int = 10, *, by: str = "support"
-    ) -> List[Tuple[List, int]]:
+        self, sequences: str | list[Any], k: int = 10, *, by: str = "support"
+    ) -> list[list[Any]]:
         """The served patterns most present in the query — ``[pattern, support]`` pairs."""
         return self.request("top_k", sequences=sequences, k=k, by=by)["patterns"]
 
-    def reload(self, force: bool = False) -> dict:
+    def reload(self, force: bool = False) -> dict[str, Any]:
         """Ask the daemon to swap in a republished store file."""
         return self.request("reload", force=force)
 
-    def shutdown(self) -> dict:
+    def shutdown(self) -> dict[str, Any]:
         """Stop the daemon (it responds, then exits its serving loop)."""
         response = self.request("shutdown")
         self.close()

@@ -31,8 +31,9 @@ import os
 import socketserver
 import threading
 from pathlib import Path
-from typing import Optional, Tuple, Union
+from typing import Any, cast
 
+from repro.core.constraints import GapConstraint
 from repro.db.database import SequenceDatabase
 from repro.db.sequence import as_sequence
 from repro.match.service import PatternMatcher
@@ -51,7 +52,7 @@ from repro.serve.protocol import (
     top_patterns_to_wire,
 )
 
-PathLike = Union[str, Path]
+PathLike = str | Path
 
 
 class _ServingState:
@@ -76,7 +77,7 @@ class _ServingState:
         matcher: PatternMatcher,
         stat: os.stat_result,
         ticket: int,
-    ):
+    ) -> None:
         self.store = store
         self.matcher = matcher
         self.identity = (stat.st_ino, stat.st_mtime_ns, stat.st_size)
@@ -89,7 +90,7 @@ class _ServeTCPServer(socketserver.ThreadingTCPServer):
     allow_reuse_address = True
     daemon_threads = True
 
-    def __init__(self, address: Tuple[str, int], owner: "PatternServer"):
+    def __init__(self, address: tuple[str, int], owner: PatternServer) -> None:
         super().__init__(address, _RequestHandler)
         self.owner = owner
 
@@ -105,7 +106,7 @@ class _RequestHandler(socketserver.StreamRequestHandler):
         daemon's memory without bound; an over-long line gets an error
         response and the connection closes.
         """
-        owner: PatternServer = self.server.owner
+        owner = cast(_ServeTCPServer, self.server).owner
         while True:
             raw = self.rfile.readline(MAX_LINE_BYTES + 1)
             if not raw:
@@ -133,7 +134,7 @@ class _RequestHandler(socketserver.StreamRequestHandler):
                 break
 
 
-def _query_database(params: dict) -> SequenceDatabase:
+def _query_database(params: dict[str, Any]) -> SequenceDatabase:
     """Coerce a request's ``sequences`` parameter into a query database.
 
     Accepts a single string (one sequence of single-character events) or a
@@ -182,10 +183,10 @@ class PatternServer:
         *,
         host: str = "127.0.0.1",
         port: int = 0,
-        constraint=None,
-        mmap: Union[bool, str] = "auto",
+        constraint: GapConstraint | None = None,
+        mmap: bool | str = "auto",
         auto_reload: bool = False,
-    ):
+    ) -> None:
         self.store_path = Path(store_path)
         self._constraint = constraint
         self._mmap = mmap
@@ -194,7 +195,7 @@ class PatternServer:
         self._serving = False
         self.reloads = 0
         self.automaton_reuses = 0
-        self.last_reload_error: Optional[str] = None
+        self.last_reload_error: str | None = None
         self._load_tickets = itertools.count()
         self._state, _ = self._load_state(adopt_from=None)
         self._tcp = _ServeTCPServer((host, port), self)
@@ -203,8 +204,8 @@ class PatternServer:
     # Store lifecycle
     # ------------------------------------------------------------------
     def _load_state(
-        self, adopt_from: Optional[PatternStore]
-    ) -> Tuple[_ServingState, bool]:
+        self, adopt_from: PatternStore | None
+    ) -> tuple[_ServingState, bool]:
         """Load the store file and compile (or adopt) its automaton.
 
         Returns ``(state, adopted)`` where ``adopted`` says whether the new
@@ -224,7 +225,7 @@ class PatternServer:
         """The currently served store."""
         return self._state.store
 
-    def reload(self, force: bool = False) -> dict:
+    def reload(self, force: bool = False) -> dict[str, Any]:
         """Swap in the store file if it was republished (or ``force`` is set).
 
         Returns a summary dict: ``reloaded`` (whether a swap happened),
@@ -296,7 +297,7 @@ class PatternServer:
         try:
             self.reload()
         except Exception as exc:  # noqa: BLE001 - keep serving the loaded state
-            message: Optional[str] = f"{type(exc).__name__}: {exc}"
+            message: str | None = f"{type(exc).__name__}: {exc}"
         else:
             message = None
         # The assignment happens under the (non-reentrant) lock, but only
@@ -307,7 +308,7 @@ class PatternServer:
     # ------------------------------------------------------------------
     # Request handling
     # ------------------------------------------------------------------
-    def handle_raw(self, raw: bytes) -> Tuple[bytes, bool]:
+    def handle_raw(self, raw: bytes) -> tuple[bytes, bool]:
         """Handle one request line; returns ``(response line, stop?)``.
 
         Never raises: protocol violations and handler errors come back as
@@ -330,7 +331,7 @@ class PatternServer:
             response.setdefault("id", request_id)
         return encode_line(response), stop
 
-    def _dispatch(self, request: dict) -> dict:
+    def _dispatch(self, request: dict[str, Any]) -> dict[str, Any]:
         """Route one decoded request to its operation."""
         op = request.get("op")
         if op == "top-k":
@@ -362,12 +363,12 @@ class PatternServer:
             )
             return ok_response(ranked=ranked_to_wire(ranked))
         if op == "top_k":
-            ranked = state.matcher.top_patterns(
+            top = state.matcher.top_patterns(
                 _query_database(request),
                 request.get("k", 10),
                 by=request.get("by", "support"),
             )
-            return ok_response(patterns=top_patterns_to_wire(ranked))
+            return ok_response(patterns=top_patterns_to_wire(top))
         if op == "reload":
             return ok_response(**self.reload(force=bool(request.get("force"))))
         if op == "shutdown":
@@ -380,7 +381,7 @@ class PatternServer:
     # Server lifecycle
     # ------------------------------------------------------------------
     @property
-    def address(self) -> Tuple[str, int]:
+    def address(self) -> tuple[str, int]:
         """The bound ``(host, port)`` — the port is real even when 0 was asked."""
         host, port = self._tcp.server_address[:2]
         return host, port
@@ -417,11 +418,11 @@ class PatternServer:
         self.shutdown()
         self._tcp.server_close()
 
-    def __enter__(self) -> "PatternServer":
+    def __enter__(self) -> PatternServer:
         self.start()
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
 
@@ -430,8 +431,8 @@ def serve(
     *,
     host: str = "127.0.0.1",
     port: int = 0,
-    constraint=None,
-    mmap: Union[bool, str] = "auto",
+    constraint: GapConstraint | None = None,
+    mmap: bool | str = "auto",
     auto_reload: bool = False,
     block: bool = True,
 ) -> PatternServer:

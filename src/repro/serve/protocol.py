@@ -37,8 +37,9 @@ imports the server (and vice versa); everything here is side-effect free.
 from __future__ import annotations
 
 import json
-from typing import List, Tuple
+from typing import Any
 
+from repro.core.pattern import Pattern
 from repro.match.automaton import MatchResult
 from repro.match.service import SequenceScore
 
@@ -56,17 +57,15 @@ class ProtocolError(ValueError):
     """A request or response line that does not follow the wire format."""
 
 
-def encode_line(payload: dict) -> bytes:
+def encode_line(payload: dict[str, Any]) -> bytes:
     """One protocol line: compact JSON plus the newline terminator."""
-    return json.dumps(payload, ensure_ascii=False, separators=(",", ":")).encode(
-        "utf-8"
-    ) + b"\n"
+    return json.dumps(payload, ensure_ascii=False, separators=(",", ":")).encode() + b"\n"
 
 
-def decode_line(line: bytes) -> dict:
+def decode_line(line: bytes) -> dict[str, Any]:
     """Parse one protocol line into its JSON object (clear errors otherwise)."""
     try:
-        payload = json.loads(line.decode("utf-8"))
+        payload = json.loads(line.decode())
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise ProtocolError(f"request is not valid JSON: {exc}") from exc
     if not isinstance(payload, dict):
@@ -76,24 +75,24 @@ def decode_line(line: bytes) -> dict:
     return payload
 
 
-def ok_response(**payload) -> dict:
+def ok_response(**payload: Any) -> dict[str, Any]:
     """A success response carrying ``payload``."""
-    response = {"ok": True}
+    response: dict[str, Any] = {"ok": True}
     response.update(payload)
     return response
 
 
-def error_response(message: str) -> dict:
+def error_response(message: str) -> dict[str, Any]:
     """A failure response carrying a human-readable error message."""
     return {"ok": False, "error": message}
 
 
-def pattern_to_wire(pattern) -> List:
+def pattern_to_wire(pattern: Pattern) -> list[Any]:
     """A pattern as the JSON array of its events."""
     return list(pattern.events)
 
 
-def score_to_wire(score: SequenceScore) -> dict:
+def score_to_wire(score: SequenceScore) -> dict[str, Any]:
     """A :class:`SequenceScore` as a JSON-serialisable object.
 
     ``supports`` and ``missing`` keep the mined-set order of the score; the
@@ -113,7 +112,7 @@ def score_to_wire(score: SequenceScore) -> dict:
     }
 
 
-def match_result_to_wire(result: MatchResult) -> dict:
+def match_result_to_wire(result: MatchResult) -> dict[str, Any]:
     """A :class:`MatchResult` as a JSON-serialisable object.
 
     Entries keep compilation (store) order; ``per_sequence`` keys become
@@ -134,11 +133,11 @@ def match_result_to_wire(result: MatchResult) -> dict:
     }
 
 
-def ranked_to_wire(ranked: List[Tuple[int, SequenceScore]]) -> List:
+def ranked_to_wire(ranked: list[tuple[int, SequenceScore]]) -> list[list[Any]]:
     """``rank_sequences`` output as ``[index, score]`` pairs."""
     return [[index, score_to_wire(score)] for index, score in ranked]
 
 
-def top_patterns_to_wire(ranked: List[Tuple[object, int]]) -> List:
+def top_patterns_to_wire(ranked: list[tuple[Pattern, int]]) -> list[list[Any]]:
     """``top_patterns`` output as ``[pattern, support]`` pairs."""
     return [[pattern_to_wire(pattern), support] for pattern, support in ranked]

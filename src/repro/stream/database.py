@@ -20,7 +20,7 @@ against.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Optional
+from collections.abc import Iterable, Iterator
 
 from repro.db.database import SequenceDatabase
 from repro.db.index import InvertedEventIndex
@@ -38,7 +38,7 @@ class StreamingSequenceDatabase:
         Optional human-readable name, forwarded to the underlying database.
     """
 
-    def __init__(self, sequences: Iterable = (), name: Optional[str] = None):
+    def __init__(self, sequences: Iterable = (), name: str | None = None):
         self._database = SequenceDatabase(name=name)
         self._index = InvertedEventIndex(self._database)
         self._appended_sequences = 0

@@ -49,7 +49,8 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple, Union
+from collections.abc import Iterable
+from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.match.store import PatternStore
@@ -63,7 +64,7 @@ from repro.db.sequence import Event
 from repro.stream.database import StreamingSequenceDatabase
 
 #: Pattern key used in the merged tables: the tuple of events.
-PatternKey = Tuple[Event, ...]
+PatternKey = tuple[Event, ...]
 
 
 class _Shard:
@@ -73,17 +74,17 @@ class _Shard:
 
     def __init__(self, sequences: Iterable = (), handles: Iterable[int] = ()):
         self.stream = StreamingSequenceDatabase(sequences)
-        self.handles: List[int] = list(handles)
+        self.handles: list[int] = list(handles)
         #: handle -> 0-based local offset within this shard, kept in lock-step
         #: with `handles` so `extend` never pays an O(shard_size) scan.
-        self.offsets: Dict[int, int] = {h: k for k, h in enumerate(self.handles)}
+        self.offsets: dict[int, int] = {h: k for k, h in enumerate(self.handles)}
         self.dirty = True
         #: Locally frequent patterns (key -> local support) at `mined_threshold`.
-        self.table: Dict[PatternKey, int] = {}
+        self.table: dict[PatternKey, int] = {}
         #: Exact local supports of any pattern ever asked about while the
         #: shard has been clean (superset of `table`).
-        self.supports: Dict[PatternKey, int] = {}
-        self.mined_threshold: Optional[int] = None
+        self.supports: dict[PatternKey, int] = {}
+        self.mined_threshold: int | None = None
 
     def __len__(self) -> int:
         return len(self.stream)
@@ -93,7 +94,7 @@ class _Shard:
         self.offsets[handle] = len(self.handles)
         self.handles.append(handle)
 
-    def local_support(self, key: PatternKey, stats: "StreamStats") -> int:
+    def local_support(self, key: PatternKey, stats: StreamStats) -> int:
         """Exact support of ``key`` in this shard, cached while clean.
 
         Gap-filling only needs the number, so the query runs on the
@@ -106,7 +107,7 @@ class _Shard:
             self.supports[key] = cached
         return cached
 
-    def remine(self, threshold: int, max_length: Optional[int], stats: "StreamStats") -> None:
+    def remine(self, threshold: int, max_length: int | None, stats: StreamStats) -> None:
         """Recompute the locally frequent table at ``threshold``."""
         result = GSgrow(threshold, max_length=max_length).mine(self.stream.index)
         self.table = {mp.pattern.events: mp.support for mp in result}
@@ -169,9 +170,9 @@ class StreamUpdate:
     shards: int
     shards_remined: int
     result: MiningResult
-    new_patterns: List[MinedPattern] = field(default_factory=list)
-    changed_patterns: List[MinedPattern] = field(default_factory=list)
-    expired_patterns: List[Pattern] = field(default_factory=list)
+    new_patterns: list[MinedPattern] = field(default_factory=list)
+    changed_patterns: list[MinedPattern] = field(default_factory=list)
+    expired_patterns: list[Pattern] = field(default_factory=list)
 
     def summary(self) -> str:
         """Compact single-line rendering used by the CLI."""
@@ -183,7 +184,7 @@ class StreamUpdate:
             f"{self.shards_remined}/{self.shards} shards re-mined"
         )
 
-    def to_store(self, *, metadata: Optional[dict] = None) -> "PatternStore":
+    def to_store(self, *, metadata: dict | None = None) -> PatternStore:
         """This refresh's pattern set as a servable pattern store.
 
         The store records the window shape alongside the mining metadata, so
@@ -244,10 +245,10 @@ class StreamMiner:
         *,
         closed: bool = True,
         shard_size: int = 16,
-        window: Optional[int] = None,
-        window_seconds: Optional[float] = None,
-        max_length: Optional[int] = None,
-        store_path: Optional[Union[str, Path]] = None,
+        window: int | None = None,
+        window_seconds: float | None = None,
+        max_length: int | None = None,
+        store_path: str | Path | None = None,
     ):
         if min_sup < 1:
             raise ValueError(f"min_sup must be >= 1, got {min_sup}")
@@ -269,19 +270,19 @@ class StreamMiner:
         # Re-entrant: append_many -> append and results -> refresh nest.
         self._lock = threading.RLock()
         self.stats = StreamStats()
-        self._shards: List[_Shard] = []
-        self._shard_of: Dict[int, _Shard] = {}
-        self._timestamps: Dict[int, float] = {}
-        self._latest_timestamp: Optional[float] = None
+        self._shards: list[_Shard] = []
+        self._shard_of: dict[int, _Shard] = {}
+        self._timestamps: dict[int, float] = {}
+        self._latest_timestamp: float | None = None
         self._next_handle = 0
         self._appended_since_refresh = 0
         self._evicted_since_refresh = 0
-        self._last_supports: Dict[PatternKey, int] = {}
+        self._last_supports: dict[PatternKey, int] = {}
 
     # ------------------------------------------------------------------
     # Ingestion
     # ------------------------------------------------------------------
-    def append(self, sequence, timestamp: Optional[float] = None) -> int:
+    def append(self, sequence, timestamp: float | None = None) -> int:
         """Ingest one new sequence; returns a stable handle for later appends.
 
         The sequence lands in the open (newest) shard, whose index is
@@ -331,8 +332,8 @@ class StreamMiner:
             self.stats.extends += 1
 
     def append_many(
-        self, sequences: Iterable, timestamps: Optional[Iterable[float]] = None
-    ) -> List[int]:
+        self, sequences: Iterable, timestamps: Iterable[float] | None = None
+    ) -> list[int]:
         """Ingest several sequences; returns their handles.
 
         ``timestamps`` must align with ``sequences`` when given (one
@@ -449,7 +450,7 @@ class StreamMiner:
         """Number of shards currently in the window."""
         return len(self._shards)
 
-    def snapshot_database(self, name: Optional[str] = None) -> SequenceDatabase:
+    def snapshot_database(self, name: str | None = None) -> SequenceDatabase:
         """The equivalent static database (retained sequences, arrival order).
 
         Batch-mining this snapshot with the same configuration must produce
@@ -538,14 +539,14 @@ class StreamMiner:
             return max(1, -(-self.min_sup // k_cap))
         return self._required_threshold()
 
-    def _shard_mining_cap(self) -> Optional[int]:
+    def _shard_mining_cap(self) -> int | None:
         # Closed filtering needs the absorbing one-event extensions of
         # cap-length patterns, so shards are mined one event deeper.
         if self.max_length is None:
             return None
         return self.max_length + 1 if self.closed else self.max_length
 
-    def _merged_supports(self) -> Dict[PatternKey, int]:
+    def _merged_supports(self) -> dict[PatternKey, int]:
         """Exact global supports of every globally frequent pattern."""
         required = self._required_threshold()
         mine_at = self._mining_threshold()
@@ -556,7 +557,7 @@ class StreamMiner:
         candidates: set = set()
         for shard in self._shards:
             candidates.update(shard.table)
-        merged: Dict[PatternKey, int] = {}
+        merged: dict[PatternKey, int] = {}
         # Sorted so merged's insertion order (and everything downstream:
         # results, expiry diffs, republished stores) is hash-seed independent.
         for key in sorted(candidates, key=lambda k: (len(k), [repr(e) for e in k])):
@@ -567,7 +568,7 @@ class StreamMiner:
                 merged[key] = total
         return merged
 
-    def _closed_filter(self, frequent: Dict[PatternKey, int]) -> Dict[PatternKey, int]:
+    def _closed_filter(self, frequent: dict[PatternKey, int]) -> dict[PatternKey, int]:
         """Keep the closed patterns of an exhaustive frequent table.
 
         Theorem 4: ``P`` is non-closed iff some one-event extension has the
@@ -576,10 +577,10 @@ class StreamMiner:
         (length, support) so each pattern only runs subsequence checks
         against the few patterns that could absorb it.
         """
-        by_len_sup: Dict[Tuple[int, int], List[PatternKey]] = {}
+        by_len_sup: dict[tuple[int, int], list[PatternKey]] = {}
         for key, support in frequent.items():
             by_len_sup.setdefault((len(key), support), []).append(key)
-        closed: Dict[PatternKey, int] = {}
+        closed: dict[PatternKey, int] = {}
         for key, support in frequent.items():
             witnesses = by_len_sup.get((len(key) + 1, support), ())
             if not any(_is_subsequence(key, bigger) for bigger in witnesses):

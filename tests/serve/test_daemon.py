@@ -223,24 +223,26 @@ class TestReload:
         assert outcome["automaton_reused"] is True
 
     def test_auto_reload_swaps_before_the_request(self, store_file, train_db):
-        with PatternServer(store_file, auto_reload=True) as server:
-            with ServeClient(*server.address) as client:
-                before = client.ping()["patterns"]
-                save_patterns(mine_closed(train_db, 3), store_file)
-                after = client.ping()["patterns"]
+        with PatternServer(store_file, auto_reload=True) as server, ServeClient(
+            *server.address
+        ) as client:
+            before = client.ping()["patterns"]
+            save_patterns(mine_closed(train_db, 3), store_file)
+            after = client.ping()["patterns"]
         assert after != before
 
     def test_auto_reload_failure_keeps_the_daemon_serving(self, store_file):
         """A corrupt republish must not poison requests (or remote shutdown)."""
-        with PatternServer(store_file, auto_reload=True) as server:
-            with ServeClient(*server.address) as client:
-                patterns = client.ping()["patterns"]
-                store_file.write_bytes(b"RPST garbage that cannot be parsed")
-                info = client.ping()  # still answers, on the loaded state
-                assert info["patterns"] == patterns
-                assert info["last_reload_error"]
-                assert client.score(QUERY)  # operations keep working
-                assert client.shutdown()["stopping"] is True
+        with PatternServer(store_file, auto_reload=True) as server, ServeClient(
+            *server.address
+        ) as client:
+            patterns = client.ping()["patterns"]
+            store_file.write_bytes(b"RPST garbage that cannot be parsed")
+            info = client.ping()  # still answers, on the loaded state
+            assert info["patterns"] == patterns
+            assert info["last_reload_error"]
+            assert client.score(QUERY)  # operations keep working
+            assert client.shutdown()["stopping"] is True
 
     def test_explicit_reload_failure_is_reported_but_survivable(self, running, store_file):
         _, client = running
@@ -271,14 +273,13 @@ class TestReload:
         miner = StreamMiner(2, shard_size=2, window=2, store_path=path)
         miner.append_many(["AA", "AA"])
         miner.refresh()
-        with PatternServer(path) as server:
-            with ServeClient(*server.address) as client:
-                first = client.top_k(["AAAA"], k=5)
-                miner.append_many(["AAA", "AA"])
-                miner.refresh()  # supports-only in-place patch
-                outcome = client.reload()
-                assert outcome["automaton_reused"] is True
-                second = client.top_k(["AAAA"], k=5)
+        with PatternServer(path) as server, ServeClient(*server.address) as client:
+            first = client.top_k(["AAAA"], k=5)
+            miner.append_many(["AAA", "AA"])
+            miner.refresh()  # supports-only in-place patch
+            outcome = client.reload()
+            assert outcome["automaton_reused"] is True
+            second = client.top_k(["AAAA"], k=5)
         # Query supports are query-side, so they match; the served store
         # changed supports underneath without a recompile.
         assert first == second

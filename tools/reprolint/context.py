@@ -22,6 +22,7 @@ Recognised comment directives (always ``# reprolint: <directive>``):
 from __future__ import annotations
 
 import ast
+import contextlib
 import io
 import re
 import tokenize
@@ -88,13 +89,12 @@ class FileContext:
 def _comment_table(source: str) -> dict[int, str]:
     """line -> comment text, via tokenize (never fooled by string literals)."""
     comments: dict[int, str] = {}
-    try:
-        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
-        for token in tokens:
+    # Unparsable files are skipped before this runs, so a TokenError here can
+    # only mean a truncated read — treat it as "no comments".
+    with contextlib.suppress(tokenize.TokenError):  # pragma: no cover
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
             if token.type == tokenize.COMMENT:
                 comments[token.start[0]] = token.string
-    except tokenize.TokenError:  # pragma: no cover - unparsable files are skipped earlier
-        pass
     return comments
 
 

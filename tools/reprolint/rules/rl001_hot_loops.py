@@ -50,9 +50,11 @@ class HotLoopPurity(Rule):
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         marked: list[ast.For | ast.While] = []
         for node in ast.walk(ctx.tree):
-            if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
-                if node.lineno in ctx.hot_loop_lines:
-                    marked.append(node)
+            if (
+                isinstance(node, (ast.For, ast.AsyncFor, ast.While))
+                and node.lineno in ctx.hot_loop_lines
+            ):
+                marked.append(node)
         if not marked and ctx.matches(_REQUIRED_MARKED_FILES):
             yield self.finding(
                 1,
