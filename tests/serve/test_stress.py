@@ -1,0 +1,204 @@
+"""Concurrency stress: reload/patch/score hammering one PatternServer.
+
+The daemon's concurrency contract is freedom from torn reads: a request
+dispatched while a republish swaps state in must see *one* coherent
+``(store, matcher)`` pair — never a pattern list from one publish combined
+with supports (or a matcher) from another.  These tests drive the request
+path directly through :meth:`PatternServer.handle_raw` (no sockets, so the
+scheduler interleaves threads as aggressively as it can) while publisher
+threads republish the store file underneath — both the full-rewrite path
+and the supports-only in-place patch — and assert every single response is
+internally consistent.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.core.clogsgrow import mine_closed
+from repro.db.database import SequenceDatabase
+from repro.match.store import PatternStore, save_patterns
+from repro.serve import PatternServer
+
+QUERY = ["ABCDAB", "AACB", "ABCABCDD"]
+
+#: Two training databases mining to *different* pattern-set sizes, so a torn
+#: read (entries from one publish, totals from another) is detectable by
+#: count alone.
+TRAIN_A = SequenceDatabase.from_strings(["AABCDABB", "ABCD", "ABCABCD"])
+TRAIN_B = SequenceDatabase.from_strings(["AABB", "ABAB", "AABBAB", "BABA"])
+
+
+def _request(server: PatternServer, op: str, **params) -> dict:
+    """One request through the daemon's handler, decoded."""
+    payload = {"op": op}
+    payload.update(params)
+    raw, _stop = server.handle_raw(json.dumps(payload).encode())
+    return json.loads(raw)
+
+
+@pytest.fixture
+def stores(tmp_path):
+    """The served file plus the two publishable snapshots (as stores)."""
+    store_a = PatternStore.from_result(mine_closed(TRAIN_A, 2))
+    store_b = PatternStore.from_result(mine_closed(TRAIN_B, 2))
+    assert len(store_a) != len(store_b), "publishes must be distinguishable"
+    path = tmp_path / "patterns.rps"
+    store_a.save(path)
+    return path, store_a, store_b
+
+
+def _consistent_score(score: dict, total_patterns: int) -> bool:
+    """One wire score's internal invariants (the torn-read detectors)."""
+    if score["total"] != total_patterns:
+        return False
+    if score["matched"] + len(score["missing"]) != score["total"]:
+        return False
+    expected = score["matched"] / score["total"] if score["total"] else 1.0
+    return (
+        abs(score["coverage"] - expected) < 1e-9
+        and abs(score["anomaly"] - (1.0 - expected)) < 1e-9
+        and len(score["supports"]) == score["matched"]
+    )
+
+
+class TestReloadScoreStress:
+    def test_full_republish_never_tears_a_response(self, stores):
+        """Readers racing full republishes always see one coherent state."""
+        path, store_a, store_b = stores
+        valid_counts = {len(store_a), len(store_b)}
+        errors: list[str] = []
+        stop = threading.Event()
+        server = PatternServer(path)
+        try:
+            def publisher():
+                snapshots = [store_b, store_a]
+                i = 0
+                while not stop.is_set():
+                    snapshots[i % 2].save(path)
+                    _request(server, "reload")
+                    i += 1
+
+            def reader():
+                for _ in range(120):
+                    response = _request(server, "score", sequences=QUERY)
+                    if not response.get("ok"):
+                        errors.append(response.get("error", "missing error"))
+                        continue
+                    scores = response["scores"]
+                    if len(scores) != len(QUERY):
+                        errors.append(f"{len(scores)} scores for {len(QUERY)} queries")
+                        continue
+                    # Every score of one response must agree on the same
+                    # pattern-set size, and it must be a size that was
+                    # actually published.
+                    totals = {score["total"] for score in scores}
+                    if len(totals) != 1 or not totals <= valid_counts:
+                        errors.append(f"torn totals {totals}")
+                        continue
+                    for score in scores:
+                        if not _consistent_score(score, score["total"]):
+                            errors.append(f"inconsistent score {score}")
+
+            threads = [threading.Thread(target=reader) for _ in range(4)]
+            threads.append(threading.Thread(target=publisher, daemon=True))
+            for t in threads:
+                t.start()
+            for t in threads[:-1]:
+                t.join()
+            stop.set()
+            threads[-1].join(timeout=10)
+        finally:
+            stop.set()
+            server.close()
+        assert errors == []
+
+    def test_supports_patch_and_match_race(self, stores):
+        """In-place supports patches racing matches never corrupt entries."""
+        path, store_a, _store_b = stores
+        patterns = [tuple(p) for p in store_a.to_result().patterns()]
+        stop = threading.Event()
+        errors: list[str] = []
+        server = PatternServer(path)
+        try:
+            def patcher():
+                bump = 0
+                while not stop.is_set():
+                    bump += 1
+                    patched = PatternStore(
+                        [(p, s + bump) for (p, s) in zip(patterns, store_a.supports().values())],
+                        min_sup=store_a.min_sup,
+                        algorithm=store_a.algorithm,
+                        metadata=store_a.metadata,
+                    )
+                    if not patched.patch_file_supports(path):
+                        errors.append("supports patch unexpectedly rejected")
+                        return
+                    _request(server, "reload")
+
+            def matcher():
+                for _ in range(120):
+                    response = _request(server, "match", sequences=QUERY)
+                    if not response.get("ok"):
+                        errors.append(response.get("error", "missing error"))
+                        continue
+                    entries = response["entries"]
+                    if len(entries) != len(patterns):
+                        errors.append(f"{len(entries)} entries for {len(patterns)} patterns")
+                        continue
+                    for entry in entries:
+                        per_seq = sum(entry["per_sequence"].values())
+                        if per_seq != entry["support"]:
+                            errors.append(f"per-sequence sum mismatch in {entry}")
+
+            threads = [threading.Thread(target=matcher) for _ in range(4)]
+            threads.append(threading.Thread(target=patcher, daemon=True))
+            for t in threads:
+                t.start()
+            for t in threads[:-1]:
+                t.join()
+            stop.set()
+            threads[-1].join(timeout=10)
+        finally:
+            stop.set()
+            server.close()
+        assert errors == []
+        # The supports-only shape must have exercised the adoption fast path
+        # at least once: reloads happened, and none of them recompiled for a
+        # patch that changed no patterns.
+        assert server.reloads >= 1
+        assert server.automaton_reuses == server.reloads
+
+    def test_counters_and_ping_stay_coherent_under_forced_reloads(self, stores):
+        """Forced reloads from many threads keep counters monotonic and sane."""
+        path, _store_a, _store_b = stores
+        errors: list[str] = []
+        seen_reloads: list[int] = []
+        lock = threading.Lock()
+        server = PatternServer(path)
+        try:
+            def hammer():
+                for _ in range(40):
+                    response = _request(server, "reload", force=True)
+                    if not response.get("ok"):
+                        errors.append(response.get("error", "missing error"))
+                    info = _request(server, "ping")
+                    if not info.get("ok") or info.get("last_reload_error"):
+                        errors.append(f"ping degraded: {info}")
+                    with lock:
+                        seen_reloads.append(info["reloads"])
+
+            threads = [threading.Thread(target=hammer) for _ in range(6)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        finally:
+            server.close()
+        assert errors == []
+        # Each forced reload swaps (same ticket ordering, fresh stat), so the
+        # counter must reach at least the per-thread request count and must
+        # never have been observed above the final value.
+        assert server.reloads >= 40
+        assert max(seen_reloads) <= server.reloads
