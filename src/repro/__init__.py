@@ -52,6 +52,7 @@ from repro.match import (
     PatternStore,
     SequenceScore,
 )
+from repro.obs import MetricsRegistry
 from repro.stream import StreamingSequenceDatabase, StreamMiner, StreamUpdate
 
 __version__ = "1.0.0"
@@ -89,4 +90,5 @@ __all__ = [
     "GapConstraint",
     "MinedPattern",
     "MiningResult",
+    "MetricsRegistry",
 ]

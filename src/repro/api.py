@@ -48,6 +48,7 @@ from repro.db.index import InvertedEventIndex
 from repro.match.automaton import MatchResult, PatternAutomaton
 from repro.match.service import PatternMatcher, SequenceScore, score_database
 from repro.match.store import PatternStore, load_patterns, save_patterns
+from repro.obs import MetricsRegistry
 from repro.serve.daemon import PatternServer
 from repro.serve.daemon import serve as _serve_daemon
 from repro.stream.miner import StreamMiner, StreamUpdate
@@ -68,6 +69,7 @@ __all__ = [
     "save_patterns",
     "GSgrow",
     "CloGSgrow",
+    "MetricsRegistry",
 ]
 
 
@@ -374,6 +376,7 @@ def serve(
     mmap: bool | str = "auto",
     auto_reload: bool = False,
     block: bool = True,
+    obs: MetricsRegistry | None = None,
 ) -> PatternServer:
     """Serve a saved pattern store over TCP (match / score / rank / top-k).
 
@@ -386,7 +389,11 @@ def serve(
     store gracefully, reusing the compiled automaton when only supports
     changed.  ``block=True`` (default) serves on the calling thread until
     shut down; ``block=False`` serves on a background thread and returns
-    the running server (read its ``address`` for the bound port).
+    the running server (read its ``address`` for the bound port).  Pass an
+    ``obs`` :class:`~repro.obs.MetricsRegistry` to collect per-operation
+    request counts and latency histograms (exposed live through the
+    ``stats`` protocol op); by default the server builds its own enabled
+    registry.
 
     Example
     -------
@@ -410,4 +417,5 @@ def serve(
         mmap=mmap,
         auto_reload=auto_reload,
         block=block,
+        obs=obs,
     )

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import threading
 import time
 
 from repro.api import mine, mine_many
@@ -96,6 +97,11 @@ def build_parser() -> argparse.ArgumentParser:
     mine = subparsers.add_parser("mine", help="mine frequent patterns")
     add_common(mine)
     add_mining_options(mine)
+    mine.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the per-phase timing / DFS counter table after the patterns",
+    )
 
     many = subparsers.add_parser(
         "mine-many", help="mine several database files as one batch"
@@ -202,6 +208,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="load a private decoded copy instead of the shared zero-copy mapping",
     )
+    server.add_argument(
+        "--stats-interval",
+        type=float,
+        default=None,
+        help="print a '# stats <json>' metrics snapshot every N seconds",
+    )
 
     support = subparsers.add_parser("support", help="repetitive support of one pattern")
     add_common(support)
@@ -224,13 +236,32 @@ def _print_result(result, args, algorithm: str, path: str | None = None) -> None
         print(f"{entry.support}\t{entry.pattern}")
 
 
+def _print_profile(stats: dict | None) -> None:
+    """Render ``MiningResult.stats`` as a per-phase timing / counter table."""
+    if not stats:
+        print("# profile: no run statistics recorded")
+        return
+    print("# profile")
+    phases = stats.get("phase_seconds", {})
+    rows = [(f"phase.{name}", f"{seconds * 1000.0:.3f} ms") for name, seconds in phases.items()]
+    rows += [
+        (name, str(value)) for name, value in stats.items() if name != "phase_seconds"
+    ]
+    width = max(len(name) for name, _ in rows)
+    for name, value in rows:
+        print(f"{name.ljust(width)}  {value:>14}")
+
+
 def run_mine(args) -> int:
     database = load_database(args.path, args.format)
     if args.all:
         miner = GSgrow(args.min_sup, max_length=args.max_length)
     else:
         miner = CloGSgrow(args.min_sup, max_length=args.max_length)
-    _print_result(miner.mine(database), args, miner.algorithm_name)
+    result = miner.mine(database)
+    _print_result(result, args, miner.algorithm_name)
+    if args.profile:
+        _print_profile(result.stats)
     return 0
 
 
@@ -361,11 +392,22 @@ def run_serve(args) -> int:
         f"{', zero-copy' if store.is_zero_copy else ''}) on {host}:{port}",
         flush=True,
     )
+    stop_stats = threading.Event()
+    if args.stats_interval is not None and args.stats_interval > 0:
+
+        def report_stats() -> None:
+            while not stop_stats.wait(args.stats_interval):
+                print(f"# stats {server.obs.snapshot_json()}", flush=True)
+
+        threading.Thread(
+            target=report_stats, name="repro-serve-stats", daemon=True
+        ).start()
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
+        stop_stats.set()
         server.close()
     return 0
 

@@ -168,6 +168,7 @@ class CloGSgrow(GSgrow):
         # live path: wiping it would force every pending child of every
         # ancestor to be instance-grown a second time.
         if len(self._append_cache) > self.cache_limit or len(self._decision_cache) > self.cache_limit:
+            self.stats.cache_evictions += 1
             live = {prefix.pattern.events for prefix in prefix_sets}
             for stale in [k for k in self._append_cache if k not in live]:
                 del self._append_cache[stale]

@@ -19,6 +19,7 @@ from repro.core.results import MinedPattern, MiningResult
 from repro.db.database import SequenceDatabase
 from repro.db.index import InvertedEventIndex
 from repro.db.sequence import Event
+from repro.obs import MetricsRegistry
 
 
 @dataclass
@@ -71,7 +72,14 @@ class MinerConfig:
 
 @dataclass
 class MiningStats:
-    """Counters describing one mining run (reported by the benchmarks)."""
+    """Counters and per-phase durations describing one mining run.
+
+    The counters are maintained as plain attributes by the DFS (no registry
+    probe per node); :meth:`as_dict` renders them — keys sorted, phases in a
+    nested sorted mapping — as the ``MiningResult.stats`` payload, and the
+    miner mirrors them into its :class:`~repro.obs.MetricsRegistry` once per
+    run so external observers (the stream miner, benchmarks) aggregate them.
+    """
 
     patterns_reported: int = 0
     nodes_visited: int = 0
@@ -80,16 +88,26 @@ class MiningStats:
     nodes_pruned_lbcheck: int = 0
     closure_checks: int = 0
     extension_evaluations: int = 0
+    cache_evictions: int = 0
+    #: Wall-clock (monotonic) seconds per mining phase: ``prepare`` (index +
+    #: candidate events + closure-checker build), ``dfs`` (the traversal)
+    #: and ``total``.
+    phase_seconds: dict = field(default_factory=dict)
 
     def as_dict(self) -> dict:
+        """Counters plus phase durations, keys sorted for stable serialization."""
         return {
-            "patterns_reported": self.patterns_reported,
-            "nodes_visited": self.nodes_visited,
+            "cache_evictions": self.cache_evictions,
+            "closure_checks": self.closure_checks,
+            "extension_evaluations": self.extension_evaluations,
             "ins_grow_calls": self.ins_grow_calls,
             "nodes_pruned_infrequent": self.nodes_pruned_infrequent,
             "nodes_pruned_lbcheck": self.nodes_pruned_lbcheck,
-            "closure_checks": self.closure_checks,
-            "extension_evaluations": self.extension_evaluations,
+            "nodes_visited": self.nodes_visited,
+            "patterns_reported": self.patterns_reported,
+            "phase_seconds": {
+                phase: self.phase_seconds[phase] for phase in sorted(self.phase_seconds)
+            },
         }
 
 
@@ -107,9 +125,10 @@ class GSgrow:
 
     algorithm_name = "GSgrow"
 
-    def __init__(self, min_sup: int = 2, **kwargs):
+    def __init__(self, min_sup: int = 2, *, obs: MetricsRegistry | None = None, **kwargs):
         self.config = MinerConfig(min_sup=min_sup, **kwargs)
         self.stats = MiningStats()
+        self.obs = obs if obs is not None else MetricsRegistry()
         self._engine: SupportEngine = engine_for(self.config.store_instances)
 
     # ------------------------------------------------------------------
@@ -134,6 +153,7 @@ class GSgrow:
             result.add(mined)
             if on_pattern is not None:
                 on_pattern(mined)
+        result.stats = self.stats.as_dict()
         return result
 
     def mine_iter(
@@ -149,16 +169,49 @@ class GSgrow:
         index = self._as_index(database)
         self.stats = MiningStats()
         self._engine = engine_for(self.config.store_instances)
-        self._prepare(index)
-        events = self._candidate_events(index)
-        budget = self.config.max_patterns
-        for event in events:
-            support_set = self._engine.initial(index, event)
-            for mined in self._mine_fre(index, support_set, events, [support_set]):
-                if budget is not None and self.stats.patterns_reported >= budget:
-                    return
-                self.stats.patterns_reported += 1
-                yield mined
+        clock = self.obs.clock
+        started = clock()
+        try:
+            self._prepare(index)
+            events = self._candidate_events(index)
+            self.stats.phase_seconds["prepare"] = clock() - started
+            dfs_started = clock()
+            budget = self.config.max_patterns
+            for event in events:
+                support_set = self._engine.initial(index, event)
+                for mined in self._mine_fre(index, support_set, events, [support_set]):
+                    if budget is not None and self.stats.patterns_reported >= budget:
+                        return
+                    self.stats.patterns_reported += 1
+                    yield mined
+            self.stats.phase_seconds["dfs"] = clock() - dfs_started
+        finally:
+            self.stats.phase_seconds["total"] = clock() - started
+            self._record_obs()
+
+    def _record_obs(self) -> None:
+        """Mirror this run's counters and phase timings into the registry.
+
+        Runs once per mining pass (never inside the DFS), so the per-node cost
+        of observability is zero; all instruments update under one registry
+        lock acquisition so a concurrent snapshot never sees half a run.
+        """
+        obs = self.obs
+        if not obs.enabled:
+            return
+        stats = self.stats
+        with obs.locked():
+            obs.counter("mine.runs").inc()
+            obs.counter("mine.patterns_reported").inc(stats.patterns_reported)
+            obs.counter("mine.nodes_visited").inc(stats.nodes_visited)
+            obs.counter("mine.ins_grow_calls").inc(stats.ins_grow_calls)
+            obs.counter("mine.nodes_pruned_infrequent").inc(stats.nodes_pruned_infrequent)
+            obs.counter("mine.nodes_pruned_lbcheck").inc(stats.nodes_pruned_lbcheck)
+            obs.counter("mine.closure_checks").inc(stats.closure_checks)
+            obs.counter("mine.extension_evaluations").inc(stats.extension_evaluations)
+            obs.counter("mine.cache_evictions").inc(stats.cache_evictions)
+            for phase, seconds in stats.phase_seconds.items():
+                obs.histogram(f"mine.phase.{phase}.seconds").observe(seconds)
 
     # ------------------------------------------------------------------
     # DFS (subroutine mineFre)

@@ -71,11 +71,15 @@ class MiningResult:
     """
 
     def __init__(self, patterns: Iterable[MinedPattern] = (), *, min_sup: int | None = None,
-                 algorithm: str | None = None):
+                 algorithm: str | None = None, stats: dict | None = None):
         self._patterns: list[MinedPattern] = list(patterns)
         self._by_pattern: dict[Pattern, MinedPattern] = {p.pattern: p for p in self._patterns}
         self.min_sup = min_sup
         self.algorithm = algorithm
+        #: Run statistics (counters + per-phase durations) attached by the
+        #: miner — ``MiningStats.as_dict()`` shape; ``None`` for results built
+        #: by hand or filtered views.
+        self.stats = stats
 
     # ------------------------------------------------------------------
     # Collection protocol
@@ -142,6 +146,7 @@ class MiningResult:
             [p for p in self._patterns if predicate(p)],
             min_sup=self.min_sup,
             algorithm=self.algorithm,
+            stats=self.stats,
         )
 
     def with_min_length(self, length: int) -> MiningResult:
@@ -200,10 +205,11 @@ class MiningResult:
         while the pattern/support table is the part worth persisting (it is
         also what :class:`repro.match.store.PatternStore` wraps).  ``closed``
         records whether the producing algorithm mined closed patterns
-        (``None`` when the result carries no algorithm name).
+        (``None`` when the result carries no algorithm name); ``stats`` is
+        the miner's run statistics when present.
         """
         algorithm = self.algorithm
-        return {
+        payload = {
             "min_sup": self.min_sup,
             "algorithm": algorithm,
             "closed": None if algorithm is None else "clo" in algorithm.lower(),
@@ -212,6 +218,9 @@ class MiningResult:
                 for p in self._patterns
             ],
         }
+        if self.stats is not None:
+            payload["stats"] = self.stats
+        return payload
 
     @classmethod
     def from_json(cls, data: dict) -> MiningResult:
@@ -220,7 +229,12 @@ class MiningResult:
             MinedPattern(pattern=Pattern(entry["events"]), support=entry["support"])
             for entry in data.get("patterns", ())
         ]
-        return cls(patterns, min_sup=data.get("min_sup"), algorithm=data.get("algorithm"))
+        return cls(
+            patterns,
+            min_sup=data.get("min_sup"),
+            algorithm=data.get("algorithm"),
+            stats=data.get("stats"),
+        )
 
     def summary(self) -> str:
         """Human-readable one-line summary used by the experiment reports."""

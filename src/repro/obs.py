@@ -1,0 +1,477 @@
+"""Zero-dependency, thread-safe telemetry for the mine/stream/serve stack.
+
+Runtime behaviour used to be invisible outside commit messages: DFS and
+pruning counters lived in per-miner dataclasses, the stream miner counted
+refreshes privately, and the serving daemon's only introspection was
+``ping``.  This module is the shared vocabulary that makes those internals
+observable — and *replayable into reports*: a
+:class:`MetricsRegistry` holds named counters, gauges and fixed-bucket
+histograms, a lightweight span API times code regions into those
+histograms, and :meth:`MetricsRegistry.snapshot` serialises everything as
+a deterministic, sorted, JSON-ready mapping (the form the ``stats``
+protocol operation and the benchmark-smoke JSON persist).
+
+Design constraints, in order:
+
+* **Zero dependency, stdlib only** — the registry must be importable from
+  every layer (core miners included) without adding a requirement.
+* **No-op fast path** — a registry constructed with ``enabled=False``
+  hands out shared null instruments whose mutators do nothing, so
+  disabled instrumentation costs one attribute call, no lock, no clock
+  read.  Hot loops must not even pay that: pre-bind the instrument (or
+  its no-op) *outside* the loop — reprolint RL006 enforces exactly this
+  for ``# reprolint: hot-loop`` marked loops.
+* **Determinism** — snapshots iterate sorted names only (RL002 applies to
+  this module), and nothing here reads a wall clock: durations come from
+  an injectable *monotonic* clock seam (:data:`Clock`), defaulting to
+  :func:`time.perf_counter`, so library code stays RL005-clean and tests
+  inject a fake clock to pin exact durations.
+* **Coherent under concurrency** — every instrument of one registry
+  shares the registry's re-entrant lock; :meth:`MetricsRegistry.snapshot`
+  holds it while reading, so a snapshot can never observe a torn state
+  (e.g. a request counted but its latency not yet recorded, when both are
+  recorded under one :meth:`MetricsRegistry.locked` block).
+
+Example
+-------
+>>> from repro.obs import MetricsRegistry
+>>> ticks = iter(range(100))
+>>> obs = MetricsRegistry(clock=lambda: float(next(ticks)))
+>>> with obs.span("mine.dfs"):
+...     obs.counter("mine.nodes").inc(3)
+>>> snap = obs.snapshot()
+>>> snap["counters"]["mine.nodes"]
+3
+>>> snap["histograms"]["mine.dfs"]["count"]
+1
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections.abc import Callable, Iterator, Sequence
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Any
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Clock",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+#: A monotonic clock: seconds as a float, meaningful only in differences.
+#: The seam is injectable so tests pin exact durations and library code
+#: never reads a wall clock.
+Clock = Callable[[], float]
+
+#: Default latency buckets (seconds): exponential-ish upper bounds from
+#: 10 microseconds to 10 seconds.  Observations above the last bound land
+#: in an implicit overflow bucket whose percentile estimate is the
+#: observed maximum.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    1e-5,
+    2.5e-5,
+    5e-5,
+    1e-4,
+    2.5e-4,
+    5e-4,
+    1e-3,
+    2.5e-3,
+    5e-3,
+    1e-2,
+    2.5e-2,
+    5e-2,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+
+class Counter:
+    """A monotonically increasing named integer.
+
+    Mutation goes through :meth:`inc`; reads through :attr:`value`.  The
+    lock is the owning registry's, so counter updates serialise with
+    every other instrument of the same registry and with snapshots.
+    """
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str, lock: threading.RLock) -> None:
+        self.name = name
+        self._lock = lock
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (default 1) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counters only go up; got {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        """The current count."""
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, value={self._value})"
+
+
+class Gauge:
+    """A named value that can go up and down (window sizes, shard counts)."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str, lock: threading.RLock) -> None:
+        self.name = name
+        self._lock = lock
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Set the gauge to ``value``."""
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        """The last value set."""
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, value={self._value})"
+
+
+class Histogram:
+    """A fixed-bucket histogram with percentile estimation.
+
+    Observations are counted into buckets by upper bound (ascending
+    ``bounds``, plus an implicit overflow bucket), alongside exact count,
+    sum, min and max.  :meth:`percentile` estimates quantiles by linear
+    interpolation inside the bucket containing the target rank — clamped
+    to the observed ``[min, max]``, so estimates of tight distributions
+    never stray outside what was actually seen, and the overflow bucket
+    reports the observed maximum.
+    """
+
+    __slots__ = ("name", "_lock", "_bounds", "_counts", "_count", "_sum", "_min", "_max")
+
+    def __init__(
+        self,
+        name: str,
+        lock: threading.RLock,
+        bounds: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        self.name = name
+        self._lock = lock
+        self._bounds = tuple(float(b) for b in bounds)
+        if not self._bounds:
+            raise ValueError("a histogram needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(self._bounds, self._bounds[1:], strict=False)):
+            raise ValueError(f"bucket bounds must be strictly ascending: {self._bounds}")
+        # One slot per bound plus the overflow bucket.
+        self._counts = [0] * (len(self._bounds) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._min = 0.0
+        self._max = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        bounds = self._bounds
+        # Linear scan: len(DEFAULT_BUCKETS) is 19 and observations of small
+        # latencies exit in the first few probes; a bisect would pay more in
+        # call overhead than it saves.
+        index = 0
+        limit = len(bounds)
+        while index < limit and value > bounds[index]:
+            index += 1
+        with self._lock:
+            self._counts[index] += 1
+            if self._count == 0:
+                self._min = value
+                self._max = value
+            else:
+                if value < self._min:
+                    self._min = value
+                if value > self._max:
+                    self._max = value
+            self._count += 1
+            self._sum += value
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observations."""
+        return self._sum
+
+    @property
+    def min(self) -> float:
+        """Smallest observation (0.0 before any observation)."""
+        return self._min
+
+    @property
+    def max(self) -> float:
+        """Largest observation (0.0 before any observation)."""
+        return self._max
+
+    def percentile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``0.0 <= q <= 1.0``) from the buckets.
+
+        The estimate walks the cumulative bucket counts to the bucket
+        containing rank ``q * count`` and interpolates linearly between the
+        bucket's lower and upper bounds; the overflow bucket reports the
+        observed maximum.  Exact for the bucket boundaries, within one
+        bucket's width otherwise — the contract the unit tests pin.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be within [0, 1], got {q}")
+        with self._lock:
+            count = self._count
+            if count == 0:
+                return 0.0
+            target = q * count
+            if target <= 0.0:
+                return self._min
+            bounds = self._bounds
+            cumulative = 0
+            lower = 0.0
+            for index, bucket_count in enumerate(self._counts):
+                upper = bounds[index] if index < len(bounds) else self._max
+                previous = cumulative
+                cumulative += bucket_count
+                if cumulative >= target:
+                    if bucket_count == 0 or index >= len(bounds):
+                        estimate = upper
+                    else:
+                        fraction = (target - previous) / bucket_count
+                        estimate = lower + (upper - lower) * fraction
+                    return min(max(estimate, self._min), self._max)
+                lower = upper
+            return self._max  # pragma: no cover - cumulative always reaches count
+
+    def summary(self) -> dict[str, float | int]:
+        """Count, sum, min/max and p50/p95/p99 as a plain sorted-key dict."""
+        with self._lock:
+            return {
+                "count": self._count,
+                "max": self._max,
+                "min": self._min,
+                "p50": self.percentile(0.50),
+                "p95": self.percentile(0.95),
+                "p99": self.percentile(0.99),
+                "sum": self._sum,
+            }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, count={self._count})"
+
+
+class _NullCounter(Counter):
+    """The shared do-nothing counter handed out by disabled registries."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        """Discard the increment (disabled registry)."""
+
+
+class _NullGauge(Gauge):
+    """The shared do-nothing gauge handed out by disabled registries."""
+
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        """Discard the value (disabled registry)."""
+
+
+class _NullHistogram(Histogram):
+    """The shared do-nothing histogram handed out by disabled registries."""
+
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        """Discard the observation (disabled registry)."""
+
+
+_NULL_LOCK = threading.RLock()
+_NULL_COUNTER = _NullCounter("null", _NULL_LOCK)
+_NULL_GAUGE = _NullGauge("null", _NULL_LOCK)
+_NULL_HISTOGRAM = _NullHistogram("null", _NULL_LOCK)
+
+
+class MetricsRegistry:
+    """A named family of counters, gauges and histograms plus a span API.
+
+    Parameters
+    ----------
+    enabled:
+        ``False`` turns the registry into a no-op: instrument factories
+        return shared null instruments whose mutators discard everything,
+        spans neither read the clock nor record, and :meth:`snapshot`
+        reports empty tables.  This is the fast path library code relies
+        on for its "<2% when disabled" overhead contract.
+    clock:
+        The monotonic clock spans read, defaulting to
+        :func:`time.perf_counter`.  Injectable so tests control time
+        exactly; implementations must be monotonic (only differences are
+        ever used — wall-clock time never enters a metric).
+
+    Instruments are created lazily on first request and cached by name;
+    asking twice for the same name returns the same object, so call sites
+    may pre-bind ``registry.counter("x").inc`` once and call the bound
+    method forever after (mandatory inside marked hot loops — RL006).
+
+    Example
+    -------
+    >>> obs = MetricsRegistry()
+    >>> obs.counter("requests").inc()
+    >>> obs.gauge("window").set(128)
+    >>> sorted(obs.snapshot()["gauges"].items())
+    [('window', 128.0)]
+    """
+
+    __slots__ = ("enabled", "clock", "_lock", "_counters", "_gauges", "_histograms")
+
+    def __init__(self, *, enabled: bool = True, clock: Clock | None = None) -> None:
+        self.enabled = enabled
+        self.clock: Clock = perf_counter if clock is None else clock
+        # Re-entrant so multi-instrument updates can nest inside locked().
+        self._lock = threading.RLock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # Instrument factories
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name`` (created on first use)."""
+        if not self.enabled:
+            return _NULL_COUNTER
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter(name, self._lock)
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name`` (created on first use)."""
+        if not self.enabled:
+            return _NULL_GAUGE
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = self._gauges[name] = Gauge(name, self._lock)
+            return instrument
+
+    def histogram(self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        """The histogram called ``name`` (created on first use).
+
+        ``bounds`` only applies on creation; later calls return the
+        existing histogram regardless of the bounds they pass.
+        """
+        if not self.enabled:
+            return _NULL_HISTOGRAM
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = Histogram(name, self._lock, bounds)
+            return instrument
+
+    # ------------------------------------------------------------------
+    # Spans
+    # ------------------------------------------------------------------
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Time the enclosed block into the histogram called ``name``.
+
+        ``with obs.span("mine.dfs"): ...`` observes the block's duration
+        (per the registry clock) even when the block raises.  On a
+        disabled registry the clock is never read.
+        """
+        if not self.enabled:
+            yield
+            return
+        clock = self.clock
+        histogram = self.histogram(name)
+        start = clock()
+        try:
+            yield
+        finally:
+            histogram.observe(clock() - start)
+
+    def timed(self, name: str) -> Callable[[float], None]:
+        """A pre-bound observer for ``name`` — the hot-loop-safe span half.
+
+        Returns ``histogram(name).observe`` (or a no-op when disabled), to
+        be bound *outside* a hot loop and fed externally measured
+        durations inside it.
+        """
+        return self.histogram(name).observe
+
+    # ------------------------------------------------------------------
+    # Coherence and snapshots
+    # ------------------------------------------------------------------
+    def locked(self) -> threading.RLock:
+        """The registry lock, for multi-instrument atomic updates.
+
+        ``with obs.locked(): counter.inc(); histogram.observe(dt)`` makes
+        the pair indivisible with respect to :meth:`snapshot` — the
+        mechanism behind invariants like "histogram count equals request
+        counter" holding in *every* snapshot, not just quiescent ones.
+        The lock is re-entrant, so instrument mutators nest freely inside.
+        """
+        return self._lock
+
+    def snapshot(self) -> dict[str, Any]:
+        """All instruments as a deterministic, JSON-ready mapping.
+
+        The shape is ``{"counters": {name: int}, "gauges": {name: float},
+        "histograms": {name: {count,sum,min,max,p50,p95,p99}}}`` with every
+        level sorted by name, so two registries fed the same updates
+        serialise byte-identically (RL002).  Taken under the registry
+        lock: no snapshot can interleave half of a :meth:`locked` update.
+        """
+        with self._lock:
+            return {
+                "counters": {
+                    name: self._counters[name].value for name in sorted(self._counters)
+                },
+                "gauges": {name: self._gauges[name].value for name in sorted(self._gauges)},
+                "histograms": {
+                    name: self._histograms[name].summary()
+                    for name in sorted(self._histograms)
+                },
+            }
+
+    def snapshot_json(self) -> str:
+        """The snapshot as compact, sorted-key JSON (byte-deterministic)."""
+        return json.dumps(self.snapshot(), sort_keys=True, separators=(",", ":"))
+
+    def reset(self) -> None:
+        """Drop every instrument (counts restart from zero)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        with self._lock:
+            instruments = len(self._counters) + len(self._gauges) + len(self._histograms)
+        return f"<MetricsRegistry {state}, {instruments} instruments>"

@@ -20,5 +20,6 @@ Surfaced as :func:`repro.api.serve` and the ``serve`` CLI subcommand.
 
 from repro.serve.client import ServeClient, ServeError
 from repro.serve.daemon import PatternServer, serve
+from repro.serve.protocol import PingInfo
 
-__all__ = ["PatternServer", "ServeClient", "ServeError", "serve"]
+__all__ = ["PatternServer", "PingInfo", "ServeClient", "ServeError", "serve"]

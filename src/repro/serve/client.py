@@ -23,9 +23,9 @@ requirement — ``printf '{"op":"ping"}\\n' | nc host port`` works too.
 from __future__ import annotations
 
 import socket
-from typing import Any
+from typing import Any, cast
 
-from repro.serve.protocol import decode_line, encode_line
+from repro.serve.protocol import PingInfo, decode_line, encode_line
 
 
 class ServeError(RuntimeError):
@@ -118,9 +118,24 @@ class ServeClient:
     # ------------------------------------------------------------------
     # Operations
     # ------------------------------------------------------------------
-    def ping(self) -> dict[str, Any]:
-        """Liveness + store snapshot (pattern count, reload counters, pid)."""
-        return self.request("ping")
+    def ping(self) -> PingInfo:
+        """Liveness + store snapshot, typed (see :class:`~repro.serve.protocol.PingInfo`).
+
+        Carries the pattern count, reload counters and last-reload duration,
+        monotonic uptime ticks, total requests served, and the daemon pid.
+        """
+        return cast(PingInfo, self.request("ping"))
+
+    def stats(self) -> dict[str, Any]:
+        """The daemon's metrics snapshot (deterministic sorted mapping).
+
+        The shape is ``{"counters": ..., "gauges": ..., "histograms": ...}``
+        — see :meth:`repro.obs.MetricsRegistry.snapshot`.  Per-operation
+        request counts live under ``counters["serve.op.<op>.requests"]`` and
+        latency summaries (count/sum/min/max/p50/p95/p99) under
+        ``histograms["serve.op.<op>.seconds"]``.
+        """
+        return cast(dict[str, Any], self.request("stats")["stats"])
 
     def match(self, sequences: str | list[Any]) -> dict[str, Any]:
         """Match every served pattern against ``sequences`` in one pass.

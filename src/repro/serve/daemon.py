@@ -38,6 +38,7 @@ from repro.db.database import SequenceDatabase
 from repro.db.sequence import as_sequence
 from repro.match.service import PatternMatcher
 from repro.match.store import PatternStore, load_patterns
+from repro.obs import Counter, Histogram, MetricsRegistry
 from repro.serve.protocol import (
     MAX_LINE_BYTES,
     OPERATIONS,
@@ -175,6 +176,13 @@ class PatternServer:
         when it changed, so the daemon always serves the latest republish
         without anyone asking; ``False`` (default) reloads only on the
         explicit ``reload`` operation.
+    obs:
+        Optional :class:`~repro.obs.MetricsRegistry` to record into:
+        per-operation request counts (``serve.op.<op>.requests``) and
+        latency histograms (``serve.op.<op>.seconds``), bytes in/out,
+        reload/adoption counters and durations.  The ``stats`` operation
+        returns this registry's snapshot.  Defaults to a private enabled
+        registry.
     """
 
     def __init__(
@@ -186,6 +194,7 @@ class PatternServer:
         constraint: GapConstraint | None = None,
         mmap: bool | str = "auto",
         auto_reload: bool = False,
+        obs: MetricsRegistry | None = None,
     ) -> None:
         self.store_path = Path(store_path)
         self._constraint = constraint
@@ -195,7 +204,25 @@ class PatternServer:
         self._serving = False
         self.reloads = 0
         self.automaton_reuses = 0
+        self.requests_served = 0
         self.last_reload_error: str | None = None
+        self.last_reload_seconds: float | None = None
+        self.obs = obs if obs is not None else MetricsRegistry()
+        self._started = self.obs.clock()
+        # Instruments are pre-bound once (null instruments on a disabled
+        # registry), so the request path never pays a per-request registry
+        # dict lookup — the RL006 discipline, applied to the daemon.
+        self._op_metrics: dict[str, tuple[Counter, Histogram]] = {
+            name: (
+                self.obs.counter(f"serve.op.{name}.requests"),
+                self.obs.histogram(f"serve.op.{name}.seconds"),
+            )
+            for name in (*OPERATIONS, "invalid")
+        }
+        self._requests_total = self.obs.counter("serve.requests")
+        self._errors_total = self.obs.counter("serve.errors")
+        self._bytes_in = self.obs.counter("serve.bytes_in")
+        self._bytes_out = self.obs.counter("serve.bytes_out")
         self._load_tickets = itertools.count()
         self._state, _ = self._load_state(adopt_from=None)
         self._tcp = _ServeTCPServer((host, port), self)
@@ -256,8 +283,19 @@ class PatternServer:
                 "automaton_reused": False,
                 "patterns": len(current.store),
             }
+        started = self.obs.clock()
         state, adopted = self._load_state(adopt_from=current.store)
         swapped = self._swap_state(state, adopted)
+        elapsed = self.obs.clock() - started
+        if self.obs.enabled:
+            with self.obs.locked():
+                self.obs.histogram("serve.reload.seconds").observe(elapsed)
+                if swapped:
+                    self.obs.counter("serve.reloads").inc()
+                    if adopted:
+                        self.obs.counter("serve.automaton_adoptions").inc()
+        with self._lock:
+            self.last_reload_seconds = elapsed
         served = self._state
         return {
             "reloaded": swapped,
@@ -298,6 +336,7 @@ class PatternServer:
             self.reload()
         except Exception as exc:  # noqa: BLE001 - keep serving the loaded state
             message: str | None = f"{type(exc).__name__}: {exc}"
+            self.obs.counter("serve.auto_reload_failures").inc()
         else:
             message = None
         # The assignment happens under the (non-reentrant) lock, but only
@@ -314,28 +353,54 @@ class PatternServer:
         Never raises: protocol violations and handler errors come back as
         ``{"ok": false, "error": ...}`` responses so one bad request cannot
         take the daemon down.
+
+        Every request — including malformed ones, filed under the
+        ``invalid`` pseudo-operation — is counted and timed into the
+        registry *after* its response is encoded, under one registry lock
+        acquisition, so in every snapshot the per-op histogram count equals
+        the per-op request counter (a ``stats`` response therefore never
+        counts the request that carried it).
         """
+        obs = self.obs
+        started = obs.clock() if obs.enabled else 0.0
         stop = False
         request_id = None
+        op_name = "invalid"
         try:
             request = decode_line(raw)
             request_id = request.get("id")
+            op = request.get("op")
+            if op == "top-k":
+                op = "top_k"
+            if isinstance(op, str) and op in self._op_metrics:
+                op_name = op
             self._maybe_auto_reload()
-            response = self._dispatch(request)
-            stop = request.get("op") == "shutdown"
+            response = self._dispatch(op, request)
+            stop = op == "shutdown"
         except ProtocolError as exc:
             response = error_response(str(exc))
         except Exception as exc:  # noqa: BLE001 - the daemon must keep serving
             response = error_response(f"{type(exc).__name__}: {exc}")
         if request_id is not None:
             response.setdefault("id", request_id)
-        return encode_line(response), stop
+        encoded = encode_line(response)
+        if obs.enabled:
+            elapsed = obs.clock() - started
+            op_requests, op_seconds = self._op_metrics[op_name]
+            with obs.locked():
+                self._requests_total.inc()
+                op_requests.inc()
+                op_seconds.observe(elapsed)
+                self._bytes_in.inc(len(raw))
+                self._bytes_out.inc(len(encoded))
+                if not response.get("ok"):
+                    self._errors_total.inc()
+        with self._lock:
+            self.requests_served += 1
+        return encoded, stop
 
-    def _dispatch(self, request: dict[str, Any]) -> dict[str, Any]:
-        """Route one decoded request to its operation."""
-        op = request.get("op")
-        if op == "top-k":
-            op = "top_k"
+    def _dispatch(self, op: Any, request: dict[str, Any]) -> dict[str, Any]:
+        """Route one decoded request to its (already normalised) operation."""
         state = self._state
         if op == "ping":
             return ok_response(
@@ -347,6 +412,9 @@ class PatternServer:
                 reloads=self.reloads,
                 automaton_reuses=self.automaton_reuses,
                 last_reload_error=self.last_reload_error,
+                last_reload_seconds=self.last_reload_seconds,
+                uptime_ticks=self.obs.clock() - self._started,
+                requests_served=self.requests_served,
                 pid=os.getpid(),
             )
         if op == "match":
@@ -371,6 +439,8 @@ class PatternServer:
             return ok_response(patterns=top_patterns_to_wire(top))
         if op == "reload":
             return ok_response(**self.reload(force=bool(request.get("force"))))
+        if op == "stats":
+            return ok_response(stats=self.obs.snapshot())
         if op == "shutdown":
             return ok_response(stopping=True)
         raise ProtocolError(
@@ -434,6 +504,7 @@ def serve(
     constraint: GapConstraint | None = None,
     mmap: bool | str = "auto",
     auto_reload: bool = False,
+    obs: MetricsRegistry | None = None,
     block: bool = True,
 ) -> PatternServer:
     """Start a pattern-serving daemon over a saved store.
@@ -451,6 +522,7 @@ def serve(
         constraint=constraint,
         mmap=mmap,
         auto_reload=auto_reload,
+        obs=obs,
     )
     if not block:
         server.start()

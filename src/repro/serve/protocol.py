@@ -22,6 +22,9 @@ Operations (see :class:`repro.serve.daemon.PatternServer` for semantics):
     The served patterns most present in the query.
 ``reload``
     Swap in a republished store file (no-op when the file is unchanged).
+``stats``
+    The daemon's metrics snapshot (per-op request counts and latency
+    histograms, bytes in/out, reload counters) as deterministic sorted JSON.
 ``shutdown``
     Stop the daemon after responding.
 
@@ -37,7 +40,7 @@ imports the server (and vice versa); everything here is side-effect free.
 from __future__ import annotations
 
 import json
-from typing import Any
+from typing import Any, TypedDict
 
 from repro.core.pattern import Pattern
 from repro.match.automaton import MatchResult
@@ -45,7 +48,30 @@ from repro.match.service import SequenceScore
 
 #: Request operations the daemon understands (``top-k`` is accepted for
 #: ``top_k``); named in the unknown-operation error.
-OPERATIONS = ("ping", "match", "score", "rank", "top_k", "reload", "shutdown")
+OPERATIONS = ("ping", "match", "score", "rank", "top_k", "reload", "stats", "shutdown")
+
+
+class PingInfo(TypedDict):
+    """The typed shape of a ``ping`` response (the daemon's liveness card).
+
+    ``uptime_ticks`` counts seconds of the daemon's *monotonic* clock since
+    construction (not wall-clock — RL005); ``last_reload_seconds`` is
+    ``None`` until the first actual (non-fast-path) reload.
+    """
+
+    ok: bool
+    patterns: int
+    algorithm: str | None
+    min_sup: int | None
+    store_path: str
+    zero_copy: bool
+    reloads: int
+    automaton_reuses: int
+    last_reload_error: str | None
+    last_reload_seconds: float | None
+    uptime_ticks: float
+    requests_served: int
+    pid: int
 
 #: Hard cap on one request line.  Newline framing buffers a whole line
 #: before parsing, so without a bound one connection could grow daemon

@@ -61,6 +61,7 @@ from repro.core.results import MinedPattern, MiningResult
 from repro.core.support import repetitive_support
 from repro.db.database import SequenceDatabase
 from repro.db.sequence import Event
+from repro.obs import MetricsRegistry
 from repro.stream.database import StreamingSequenceDatabase
 
 #: Pattern key used in the merged tables: the tuple of events.
@@ -107,9 +108,16 @@ class _Shard:
             self.supports[key] = cached
         return cached
 
-    def remine(self, threshold: int, max_length: int | None, stats: StreamStats) -> None:
+    def remine(
+        self,
+        threshold: int,
+        max_length: int | None,
+        stats: StreamStats,
+        obs: MetricsRegistry,
+    ) -> None:
         """Recompute the locally frequent table at ``threshold``."""
-        result = GSgrow(threshold, max_length=max_length).mine(self.stream.index)
+        with obs.span("stream.remine.seconds"):
+            result = GSgrow(threshold, max_length=max_length, obs=obs).mine(self.stream.index)
         self.table = {mp.pattern.events: mp.support for mp in result}
         self.supports = dict(self.table)
         self.mined_threshold = threshold
@@ -232,6 +240,14 @@ class StreamMiner:
         (zero-copy readers see the new supports without reloading); anything
         else is written atomically.  ``*.json`` paths get the JSON sibling
         encoding.
+    obs:
+        Optional :class:`~repro.obs.MetricsRegistry` to record into.  The
+        miner mirrors its cumulative :class:`StreamStats` counters into
+        ``stream.*`` after every refresh, times refresh phases into
+        ``stream.{refresh,remine,merge,publish}.seconds`` histograms, and
+        hands the registry down to the per-shard :class:`GSgrow` runs so
+        ``mine.*`` counters aggregate across shards.  Defaults to a private
+        enabled registry.
 
     Thread safety: the public mutators (:meth:`append`, :meth:`extend`,
     :meth:`append_many`, :meth:`refresh`/:meth:`results`,
@@ -249,6 +265,7 @@ class StreamMiner:
         window_seconds: float | None = None,
         max_length: int | None = None,
         store_path: str | Path | None = None,
+        obs: MetricsRegistry | None = None,
     ):
         if min_sup < 1:
             raise ValueError(f"min_sup must be >= 1, got {min_sup}")
@@ -270,6 +287,10 @@ class StreamMiner:
         # Re-entrant: append_many -> append and results -> refresh nest.
         self._lock = threading.RLock()
         self.stats = StreamStats()
+        self.obs = obs if obs is not None else MetricsRegistry()
+        # Last StreamStats values mirrored into the registry, for delta
+        # increments (counters only go up; stats are cumulative too).
+        self._mirrored: dict[str, int] = {}
         self._shards: list[_Shard] = []
         self._shard_of: dict[int, _Shard] = {}
         self._timestamps: dict[int, float] = {}
@@ -362,10 +383,11 @@ class StreamMiner:
         tables.  The returned update carries the full current result plus the
         delta against the previous refresh.
         """
-        with self._lock:
+        with self._lock, self.obs.span("stream.refresh.seconds"):
             self.stats.refreshes += 1
             remined_before = self.stats.shards_remined
-            merged = self._merged_supports()
+            with self.obs.span("stream.merge.seconds"):
+                merged = self._merged_supports()
             if self.closed:
                 kept = self._closed_filter(merged)
             else:
@@ -405,8 +427,33 @@ class StreamMiner:
             self._appended_since_refresh = 0
             self._evicted_since_refresh = 0
             if self.store_path is not None:
-                self._publish_store(update)
+                with self.obs.span("stream.publish.seconds"):
+                    self._publish_store(update)
+            result.stats = self.stats.as_dict()
+            self._mirror_stats()
             return update
+
+    # reprolint: holds-lock
+    def _mirror_stats(self) -> None:
+        """Mirror cumulative :class:`StreamStats` into the registry (caller holds self._lock).
+
+        Counters only go up, so each mirrored counter receives the *delta*
+        since the last mirror; window shape lands in gauges.  All updates
+        happen under one registry lock acquisition, so a concurrent
+        ``stats`` snapshot sees either none or all of a refresh's worth.
+        """
+        obs = self.obs
+        if not obs.enabled:
+            return
+        current = self.stats.as_dict()
+        with obs.locked():
+            for key, value in current.items():
+                delta = value - self._mirrored.get(key, 0)
+                if delta > 0:
+                    obs.counter(f"stream.{key}").inc(delta)
+            obs.gauge("stream.window_sequences").set(len(self))
+            obs.gauge("stream.shards").set(len(self._shards))
+        self._mirrored = current
 
     def _publish_store(self, update: StreamUpdate) -> None:
         """Republish the window's pattern store after a refresh.
@@ -553,7 +600,7 @@ class StreamMiner:
         cap = self._shard_mining_cap()
         for shard in self._shards:
             if shard.dirty or shard.mined_threshold is None or shard.mined_threshold > required:
-                shard.remine(mine_at, cap, self.stats)
+                shard.remine(mine_at, cap, self.stats, self.obs)
         candidates: set = set()
         for shard in self._shards:
             candidates.update(shard.table)

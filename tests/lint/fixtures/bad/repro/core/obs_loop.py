@@ -1,0 +1,20 @@
+"""RL006 positive fixture: per-iteration registry probes inside a marked hot loop.
+
+Every offending line suppresses RL001 (which also bans the attribute
+lookups) so this file's findings isolate RL006.
+"""
+
+from __future__ import annotations
+
+
+def count(nodes: list[int], obs) -> int:
+    total = 0
+    counter = obs.counter("mine.nodes")
+    # reprolint: hot-loop
+    for node in nodes:
+        obs.counter("mine.nodes").inc()  # reprolint: disable=RL001 -- isolating RL006
+        counter.inc()  # reprolint: disable=RL001 -- isolating RL006
+        with obs.span("mine.node"):  # reprolint: disable=RL001 -- isolating RL006
+            total += node
+        obs.gauge("mine.last").set(node)  # reprolint: disable=RL001 -- isolating RL006
+    return total

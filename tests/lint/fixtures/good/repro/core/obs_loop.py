@@ -1,0 +1,17 @@
+"""RL006 negative fixture: instruments pre-bound outside the marked hot loop."""
+
+from __future__ import annotations
+
+
+def count(nodes: list[int], obs) -> int:
+    total = 0
+    inc = obs.counter("mine.nodes").inc  # pre-bound guard, once
+    observe = obs.timed("mine.node.seconds")  # pre-bound observer, once
+    clock = obs.clock
+    # reprolint: hot-loop
+    for node in nodes:
+        started = clock()
+        inc()
+        total += node
+        observe(clock() - started)
+    return total

@@ -84,6 +84,18 @@ def test_rl005_wall_clock_violations(bad_findings):
     assert [line for _, line in hits] == [7, 8, 12, 16]
 
 
+def test_rl006_obs_guard_violations(bad_findings):
+    hits = _rules_for(bad_findings, "repro/core/obs_loop.py")
+    assert all(rule == "RL006" for rule, _ in hits)
+    # factory + mutator on line 15, mutator on 16, span on 17, factory +
+    # mutator on 19 (per-line RL001 suppressions isolate RL006)
+    assert [line for _, line in hits] == [15, 15, 16, 17, 19, 19]
+
+
+def test_rl006_allows_pre_bound_guards():
+    assert _findings(GOOD / "repro" / "core" / "obs_loop.py") == []
+
+
 def test_rl000_directive_errors(bad_findings):
     hits = _rules_for(bad_findings, "repro/serve/protocol.py")
     # The reasonless disable is RL000 and does NOT suppress the RL002 it names;
@@ -95,7 +107,7 @@ def test_rl000_directive_errors(bad_findings):
 
 def test_every_rule_has_positive_coverage(bad_findings):
     fired = {rule for _, rule, _ in bad_findings}
-    assert {"RL001", "RL002", "RL003", "RL004", "RL005", "RL000"} <= fired
+    assert {"RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL000"} <= fired
 
 
 # ----------------------------------------------------------------------
@@ -141,5 +153,5 @@ def test_cli_exit_codes_and_output(capsys):
 def test_cli_list_rules(capsys):
     assert main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005"):
+    for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006"):
         assert rule_id in out

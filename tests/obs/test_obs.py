@@ -1,0 +1,282 @@
+"""Unit tests for the telemetry subsystem (repro.obs).
+
+Pins the contracts the rest of the stack leans on: histogram bucket math
+and percentile estimation, deterministic (sorted, byte-stable) snapshot
+serialization, the injectable monotonic-clock seam, the disabled no-op
+fast path, and snapshot coherence under multi-instrument ``locked()``
+updates from concurrent threads.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import DEFAULT_BUCKETS, Counter, Gauge, Histogram, MetricsRegistry
+
+
+def make_clock(step: float = 1.0):
+    """A deterministic clock advancing ``step`` seconds per read."""
+    state = {"now": 0.0}
+
+    def clock() -> float:
+        state["now"] += step
+        return state["now"]
+
+    return clock
+
+
+class TestCounter:
+    def test_counts_up(self):
+        obs = MetricsRegistry()
+        obs.counter("x").inc()
+        obs.counter("x").inc(41)
+        assert obs.counter("x").value == 42
+
+    def test_rejects_negative(self):
+        obs = MetricsRegistry()
+        with pytest.raises(ValueError, match="only go up"):
+            obs.counter("x").inc(-1)
+
+    def test_same_name_same_instrument(self):
+        obs = MetricsRegistry()
+        assert obs.counter("x") is obs.counter("x")
+        assert obs.counter("x") is not obs.counter("y")
+
+
+class TestGauge:
+    def test_set_and_read(self):
+        obs = MetricsRegistry()
+        obs.gauge("window").set(128)
+        assert obs.gauge("window").value == 128.0
+        obs.gauge("window").set(3)
+        assert obs.gauge("window").value == 3.0
+
+
+class TestHistogramBuckets:
+    def test_bounds_must_ascend(self):
+        lock = threading.RLock()
+        with pytest.raises(ValueError, match="ascending"):
+            Histogram("h", lock, bounds=(1.0, 1.0))
+        with pytest.raises(ValueError, match="at least one"):
+            Histogram("h", lock, bounds=())
+
+    def test_count_sum_min_max(self):
+        obs = MetricsRegistry()
+        h = obs.histogram("h")
+        for v in (0.002, 0.004, 0.5):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == pytest.approx(0.506)
+        assert h.min == pytest.approx(0.002)
+        assert h.max == pytest.approx(0.5)
+
+    def test_bucket_assignment_is_by_upper_bound(self):
+        obs = MetricsRegistry()
+        h = obs.histogram("h", bounds=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.0, 1.5, 3.0, 100.0):
+            h.observe(v)
+        # observations at exactly a bound land in that bound's bucket;
+        # above the last bound lands in the overflow bucket
+        assert h._counts == [2, 1, 1, 1]
+
+    def test_percentile_interpolates_within_bucket(self):
+        obs = MetricsRegistry()
+        h = obs.histogram("h", bounds=(1.0, 2.0, 4.0))
+        # ten observations uniformly inside (1, 2]
+        for i in range(10):
+            h.observe(1.05 + i * 0.1)
+        # p50 -> rank 5 of 10, all in bucket (1, 2]: 1 + (5/10) * 1 = 1.5
+        assert h.percentile(0.5) == pytest.approx(1.5)
+        # p100 clamps to the observed max
+        assert h.percentile(1.0) == pytest.approx(h.max)
+
+    def test_percentile_clamps_to_observed_range(self):
+        obs = MetricsRegistry()
+        h = obs.histogram("h", bounds=(1.0, 10.0))
+        h.observe(5.0)
+        h.observe(5.0)
+        # interpolation inside (1, 10] would stray outside [5, 5]
+        assert h.percentile(0.5) == pytest.approx(5.0)
+        assert h.percentile(0.99) == pytest.approx(5.0)
+        assert h.percentile(0.0) == pytest.approx(5.0)
+
+    def test_overflow_bucket_reports_observed_max(self):
+        obs = MetricsRegistry()
+        h = obs.histogram("h", bounds=(1.0,))
+        h.observe(50.0)
+        h.observe(70.0)
+        assert h.percentile(0.99) == pytest.approx(70.0)
+
+    def test_percentile_validates_q(self):
+        obs = MetricsRegistry()
+        with pytest.raises(ValueError, match="within"):
+            obs.histogram("h").percentile(1.5)
+
+    def test_empty_histogram_is_all_zero(self):
+        obs = MetricsRegistry()
+        h = obs.histogram("h")
+        assert h.percentile(0.5) == 0.0
+        assert h.summary() == {
+            "count": 0, "max": 0.0, "min": 0.0,
+            "p50": 0.0, "p95": 0.0, "p99": 0.0, "sum": 0.0,
+        }
+
+    def test_default_buckets_cover_latency_range(self):
+        assert DEFAULT_BUCKETS[0] == pytest.approx(1e-5)
+        assert DEFAULT_BUCKETS[-1] == pytest.approx(10.0)
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestSpans:
+    def test_span_observes_clock_delta(self):
+        obs = MetricsRegistry(clock=make_clock(step=1.0))
+        with obs.span("phase"):
+            pass
+        h = obs.histogram("phase")
+        assert h.count == 1
+        assert h.sum == pytest.approx(1.0)  # one tick between enter and exit
+
+    def test_span_records_even_when_body_raises(self):
+        obs = MetricsRegistry(clock=make_clock())
+        with pytest.raises(RuntimeError):
+            with obs.span("phase"):
+                raise RuntimeError("boom")
+        assert obs.histogram("phase").count == 1
+
+    def test_timed_returns_pre_bound_observer(self):
+        obs = MetricsRegistry()
+        observe = obs.timed("dt")
+        observe(0.25)
+        assert obs.histogram("dt").count == 1
+
+    def test_disabled_span_never_reads_the_clock(self):
+        def exploding_clock() -> float:
+            raise AssertionError("clock read on a disabled registry")
+
+        obs = MetricsRegistry(enabled=False, clock=exploding_clock)
+        with obs.span("phase"):
+            pass
+
+
+class TestDisabledRegistry:
+    def test_null_instruments_discard_everything(self):
+        obs = MetricsRegistry(enabled=False)
+        obs.counter("c").inc(5)
+        obs.gauge("g").set(7)
+        obs.histogram("h").observe(1.0)
+        obs.timed("t")(2.0)
+        assert obs.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_null_instruments_are_shared(self):
+        obs = MetricsRegistry(enabled=False)
+        assert obs.counter("a") is obs.counter("b")
+        assert obs.histogram("a") is obs.histogram("b")
+
+
+class TestSnapshots:
+    def test_snapshot_sorted_at_every_level(self):
+        obs = MetricsRegistry(clock=make_clock())
+        obs.counter("zeta").inc()
+        obs.counter("alpha").inc()
+        obs.gauge("mid").set(1)
+        with obs.span("b.span"):
+            pass
+        with obs.span("a.span"):
+            pass
+        snap = obs.snapshot()
+        assert list(snap["counters"]) == ["alpha", "zeta"]
+        assert list(snap["histograms"]) == ["a.span", "b.span"]
+        for summary in snap["histograms"].values():
+            assert list(summary) == ["count", "max", "min", "p50", "p95", "p99", "sum"]
+
+    def test_snapshot_json_is_byte_deterministic(self):
+        def build() -> MetricsRegistry:
+            obs = MetricsRegistry(clock=make_clock())
+            obs.counter("b").inc(2)
+            obs.counter("a").inc(1)
+            obs.gauge("g").set(9)
+            with obs.span("s"):
+                pass
+            return obs
+
+        first, second = build().snapshot_json(), build().snapshot_json()
+        assert first == second
+        assert json.loads(first) == json.loads(second)
+
+    def test_insertion_order_does_not_leak(self):
+        one = MetricsRegistry()
+        one.counter("a").inc()
+        one.counter("b").inc()
+        two = MetricsRegistry()
+        two.counter("b").inc()
+        two.counter("a").inc()
+        assert one.snapshot_json() == two.snapshot_json()
+
+    def test_reset_drops_instruments(self):
+        obs = MetricsRegistry()
+        obs.counter("c").inc()
+        obs.reset()
+        assert obs.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestConcurrency:
+    def test_counters_are_exact_under_contention(self):
+        obs = MetricsRegistry()
+        inc = obs.counter("c").inc
+
+        def worker():
+            for _ in range(2000):
+                inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert obs.counter("c").value == 16000
+
+    def test_locked_updates_are_never_torn(self):
+        """Snapshots racing paired counter+histogram updates always agree."""
+        obs = MetricsRegistry()
+        counter = obs.counter("requests")
+        histogram = obs.histogram("latency")
+        stop = threading.Event()
+        errors: list[str] = []
+
+        def writer():
+            while not stop.is_set():
+                with obs.locked():
+                    counter.inc()
+                    histogram.observe(0.001)
+
+        def reader():
+            for _ in range(300):
+                snap = obs.snapshot()
+                count = snap["counters"].get("requests", 0)
+                observed = snap["histograms"].get("latency", {}).get("count", 0)
+                if count != observed:
+                    errors.append(f"torn snapshot: {count} != {observed}")
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        writer_thread = threading.Thread(target=writer, daemon=True)
+        writer_thread.start()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stop.set()
+        writer_thread.join(timeout=10)
+        assert errors == []
+
+
+class TestInstrumentTypes:
+    def test_instruments_know_their_names(self):
+        lock = threading.RLock()
+        assert "x" in repr(Counter("x", lock))
+        assert "y" in repr(Gauge("y", lock))
+        assert "z" in repr(Histogram("z", lock))
+        assert "enabled" in repr(MetricsRegistry())
+        assert "disabled" in repr(MetricsRegistry(enabled=False))

@@ -285,6 +285,107 @@ class TestReload:
         assert first == second
 
 
+class TestStats:
+    def test_stats_matches_a_scripted_request_sequence_exactly(self, running):
+        """Per-op counters and latency histograms mirror the requests sent."""
+        _, client = running
+        client.ping()
+        client.score(QUERY)
+        client.score(QUERY[:1])
+        client.match(QUERY)
+        client.top_k(QUERY, k=3)
+        client.rank(QUERY)
+        snap = client.stats()
+        counters = snap["counters"]
+        # A request is recorded after its response is built, so this stats
+        # request is not in the snapshot it carried back.
+        expected = {
+            "serve.op.ping.requests": 1,
+            "serve.op.score.requests": 2,
+            "serve.op.match.requests": 1,
+            "serve.op.top_k.requests": 1,
+            "serve.op.rank.requests": 1,
+            "serve.op.stats.requests": 0,
+            "serve.op.reload.requests": 0,
+            "serve.op.shutdown.requests": 0,
+            "serve.op.invalid.requests": 0,
+            "serve.requests": 6,
+            "serve.errors": 0,
+        }
+        for name, value in expected.items():
+            assert counters[name] == value, name
+        histograms = snap["histograms"]
+        for op, requests in (("ping", 1), ("score", 2), ("match", 1)):
+            summary = histograms[f"serve.op.{op}.seconds"]
+            assert summary["count"] == requests
+            assert 0.0 <= summary["p50"] <= summary["p99"] <= summary["max"]
+        assert counters["serve.bytes_in"] > 0
+        assert counters["serve.bytes_out"] > counters["serve.bytes_in"]
+        # The next stats call sees the previous one counted.
+        assert client.stats()["counters"]["serve.op.stats.requests"] == 1
+
+    def test_errors_and_unknown_ops_are_counted(self, running):
+        _, client = running
+        with pytest.raises(ServeError):
+            client.request("no_such_op")
+        with pytest.raises(ServeError):
+            client.score([])
+        snap = client.stats()
+        assert snap["counters"]["serve.op.invalid.requests"] == 1
+        assert snap["counters"]["serve.op.score.requests"] == 1
+        assert snap["counters"]["serve.errors"] == 2
+        assert snap["counters"]["serve.requests"] == 2
+        assert snap["histograms"]["serve.op.invalid.seconds"]["count"] == 1
+
+    def test_reload_metrics_and_last_reload_duration(self, running):
+        server, client = running
+        assert client.ping()["last_reload_seconds"] is None
+        client.reload(force=True)
+        snap = client.stats()
+        assert snap["counters"]["serve.reloads"] == 1
+        assert snap["counters"]["serve.automaton_adoptions"] == 1
+        assert snap["histograms"]["serve.reload.seconds"]["count"] == 1
+        info = client.ping()
+        assert info["last_reload_seconds"] is not None
+        assert info["last_reload_seconds"] >= 0.0
+        assert server.last_reload_seconds == info["last_reload_seconds"]
+
+    def test_ping_reports_uptime_and_requests_served(self, running):
+        _, client = running
+        first = client.ping()
+        assert first["requests_served"] == 0
+        assert first["uptime_ticks"] >= 0.0
+        second = client.ping()
+        assert second["requests_served"] == 1
+        assert second["uptime_ticks"] >= first["uptime_ticks"]
+
+    def test_injected_clock_pins_latencies(self, store_file):
+        """The clock seam makes per-op latency deterministic end to end."""
+        from repro.obs import MetricsRegistry
+
+        ticks = iter(range(10_000))
+        obs = MetricsRegistry(clock=lambda: float(next(ticks)))
+        server = PatternServer(store_file, obs=obs)
+        raw, _stop = server.handle_raw(b'{"op":"ping"}')
+        assert json.loads(raw)["ok"] is True
+        summary = obs.snapshot()["histograms"]["serve.op.ping.seconds"]
+        # one tick at request start, one inside ping (uptime), one at the end
+        assert summary["count"] == 1
+        assert summary["min"] == summary["max"] == 2.0
+        server.close()
+
+    def test_disabled_registry_serves_without_recording(self, store_file):
+        from repro.obs import MetricsRegistry
+
+        server = PatternServer(store_file, obs=MetricsRegistry(enabled=False))
+        raw, _stop = server.handle_raw(b'{"op":"stats"}')
+        response = json.loads(raw)
+        assert response["ok"] is True
+        assert response["stats"] == {"counters": {}, "gauges": {}, "histograms": {}}
+        assert server.requests_served == 1
+        server.close()
+
+
 class TestShutdown:
     def test_shutdown_request_stops_the_server(self, store_file):
         server = serve(store_file, block=False)

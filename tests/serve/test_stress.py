@@ -202,3 +202,89 @@ class TestReloadScoreStress:
         # never have been observed above the final value.
         assert server.reloads >= 40
         assert max(seen_reloads) <= server.reloads
+
+
+class TestStatsStress:
+    def test_stats_snapshots_stay_coherent_under_hammering(self, stores):
+        """Concurrent stats reads racing scores and reloads never tear.
+
+        Every request is recorded — counter increment plus histogram
+        observation — under one registry lock acquisition, so in *every*
+        snapshot each per-op histogram count must equal that op's request
+        counter, and counters must be monotonic across the snapshots one
+        thread takes.
+        """
+        path, store_a, store_b = stores
+        errors: list[str] = []
+        stop = threading.Event()
+        server = PatternServer(path)
+        tracked_ops = ("score", "reload", "stats", "ping")
+        try:
+            def publisher():
+                snapshots = [store_b, store_a]
+                i = 0
+                while not stop.is_set():
+                    snapshots[i % 2].save(path)
+                    _request(server, "reload")
+                    i += 1
+
+            def scorer():
+                for _ in range(80):
+                    response = _request(server, "score", sequences=QUERY)
+                    if not response.get("ok"):
+                        errors.append(response.get("error", "missing error"))
+
+            def snapshotter():
+                last_requests = 0
+                for _ in range(80):
+                    response = _request(server, "stats")
+                    if not response.get("ok"):
+                        errors.append(response.get("error", "missing error"))
+                        continue
+                    snap = response["stats"]
+                    counters = snap["counters"]
+                    histograms = snap["histograms"]
+                    # Monotonic: the total only ever grows between this
+                    # thread's consecutive snapshots.
+                    total = counters["serve.requests"]
+                    if total < last_requests:
+                        errors.append(f"serve.requests went {last_requests} -> {total}")
+                    last_requests = total
+                    # Untorn: histogram count == request counter, per op and
+                    # in aggregate, in this very snapshot.
+                    observed = 0
+                    for op in tracked_ops:
+                        requests = counters[f"serve.op.{op}.requests"]
+                        timed = histograms[f"serve.op.{op}.seconds"]["count"]
+                        if requests != timed:
+                            errors.append(
+                                f"torn {op}: {requests} counted, {timed} timed"
+                            )
+                    for name, summary in histograms.items():
+                        if name.startswith("serve.op."):
+                            observed += summary["count"]
+                    if observed != total:
+                        errors.append(
+                            f"torn totals: {observed} op observations, {total} requests"
+                        )
+                    _request(server, "ping")
+
+            threads = [threading.Thread(target=scorer) for _ in range(3)]
+            threads += [threading.Thread(target=snapshotter) for _ in range(3)]
+            threads.append(threading.Thread(target=publisher, daemon=True))
+            for t in threads:
+                t.start()
+            for t in threads[:-1]:
+                t.join()
+            stop.set()
+            threads[-1].join(timeout=10)
+        finally:
+            stop.set()
+            server.close()
+        assert errors == []
+        # The hammering really exercised the request path.
+        final = server.obs.snapshot()["counters"]
+        assert final["serve.op.score.requests"] == 3 * 80
+        assert final["serve.op.stats.requests"] == 3 * 80
+        assert final["serve.op.ping.requests"] == 3 * 80
+        assert final["serve.requests"] == server.requests_served

@@ -106,6 +106,29 @@ class TestCommands:
         assert "num_sequences: 2" in out
         assert "max_length: 8" in out
 
+    def test_mine_profile_prints_phase_and_counter_table(self, chars_file, capsys):
+        exit_code = main(
+            ["mine", chars_file, "--format", "chars", "--min-sup", "2", "--profile"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "# profile" in out
+        for row in ("phase.prepare", "phase.dfs", "phase.total"):
+            assert row in out
+        for counter in ("nodes_visited", "ins_grow_calls", "closure_checks"):
+            assert counter in out
+
+    def test_mine_without_profile_prints_no_table(self, chars_file, capsys):
+        exit_code = main(["mine", chars_file, "--format", "chars", "--min-sup", "2"])
+        assert exit_code == 0
+        assert "# profile" not in capsys.readouterr().out
+
+    def test_serve_parser_accepts_stats_interval(self):
+        args = build_parser().parse_args(
+            ["serve", "patterns.rps", "--stats-interval", "0.5"]
+        )
+        assert args.stats_interval == 0.5
+
 
 class TestMatchCommands:
     @pytest.fixture

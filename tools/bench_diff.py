@@ -1,0 +1,91 @@
+"""Diff two pytest-benchmark JSON files into a markdown regression table.
+
+The perf trajectory lives in the committed ``BENCH_<pr>.json`` snapshots;
+CI runs the benchmark smoke on every push and wants to know how the fresh
+numbers compare to the last committed snapshot *without* gating the build
+on them (benchmark machines differ, so absolute regressions are advisory).
+This script prints a GitHub-flavoured markdown table — one row per
+benchmark present in both files, with median wall-clock then/now and the
+delta — suitable for ``$GITHUB_STEP_SUMMARY``::
+
+    python tools/bench_diff.py BENCH_6.json bench-smoke.json
+
+Exit status is always 0 (warn-only by design): rows past the highlight
+threshold are flagged with a warning emoji, never failed.  Benchmarks that
+exist on only one side (added or removed since the snapshot) are listed
+separately so coverage changes stay visible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Relative slowdown past which a row gets flagged.  Advisory only — CI
+#: machines differ run to run, so this highlights, it never fails.
+HIGHLIGHT_THRESHOLD = 0.25
+
+
+def load_medians(path: Path) -> dict[str, float]:
+    """Map ``fullname -> median seconds`` for one pytest-benchmark JSON."""
+    with open(path) as handle:
+        data = json.load(handle)
+    return {bench["fullname"]: bench["stats"]["median"] for bench in data["benchmarks"]}
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-scaled duration (µs/ms/s) with three significant digits."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} µs"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds:.3f} s"
+
+
+def diff_table(baseline: dict[str, float], current: dict[str, float]) -> str:
+    """The full markdown report comparing ``current`` against ``baseline``."""
+    lines = [
+        "| benchmark | baseline | current | delta | |",
+        "| --- | ---: | ---: | ---: | --- |",
+    ]
+    for name in sorted(baseline.keys() & current.keys()):
+        then, now = baseline[name], current[name]
+        change = (now - then) / then if then else 0.0
+        flag = ":warning:" if change >= HIGHLIGHT_THRESHOLD else ""
+        lines.append(
+            f"| `{name}` | {format_seconds(then)} | {format_seconds(now)}"
+            f" | {change:+.1%} | {flag} |"
+        )
+    added = sorted(current.keys() - baseline.keys())
+    removed = sorted(baseline.keys() - current.keys())
+    if added:
+        lines.append("")
+        lines.append(f"**New benchmarks (no baseline):** {', '.join(f'`{n}`' for n in added)}")
+    if removed:
+        lines.append("")
+        lines.append(f"**Missing from current run:** {', '.join(f'`{n}`' for n in removed)}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; always returns 0 (the diff is advisory)."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path, help="committed BENCH_<pr>.json snapshot")
+    parser.add_argument("current", type=Path, help="fresh benchmark-smoke JSON")
+    args = parser.parse_args(argv)
+    for path in (args.baseline, args.current):
+        if not path.exists():
+            print(f"bench-diff: `{path}` not found — skipping the comparison")
+            return 0
+    baseline = load_medians(args.baseline)
+    current = load_medians(args.current)
+    print(f"### Benchmark smoke vs `{args.baseline.name}` (warn-only)")
+    print()
+    print(diff_table(baseline, current))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,7 @@ from tools.reprolint.rules.rl002_determinism import SerializationDeterminism
 from tools.reprolint.rules.rl003_lock_discipline import LockDiscipline
 from tools.reprolint.rules.rl004_layering import EngineLayering
 from tools.reprolint.rules.rl005_wall_clock import NoWallClock
+from tools.reprolint.rules.rl006_obs_guard import ObsGuardDiscipline
 
 ALL_RULES: tuple[Rule, ...] = (
     HotLoopPurity(),
@@ -15,6 +16,7 @@ ALL_RULES: tuple[Rule, ...] = (
     LockDiscipline(),
     EngineLayering(),
     NoWallClock(),
+    ObsGuardDiscipline(),
 )
 
 __all__ = [
@@ -23,6 +25,7 @@ __all__ = [
     "HotLoopPurity",
     "LockDiscipline",
     "NoWallClock",
+    "ObsGuardDiscipline",
     "Rule",
     "SerializationDeterminism",
 ]

@@ -142,6 +142,7 @@ class SerializationDeterminism(Rule):
         "repro/serve/protocol.py",
         "repro/core/results.py",
         "repro/stream/miner.py",
+        "repro/obs.py",
     )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:

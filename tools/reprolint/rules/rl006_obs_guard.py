@@ -1,0 +1,77 @@
+"""RL006 — pre-bound instrument guards inside marked hot loops.
+
+The telemetry registry (:mod:`repro.obs`) is cheap but not free: every
+``obs.counter("name")`` is a lock acquisition plus a dict probe, and every
+``instrument.inc()`` re-runs an attribute lookup.  Library code keeps the
+"<2% when disabled" overhead contract by *pre-binding* the bound mutator
+outside hot loops::
+
+    inc = obs.counter("mine.nodes").inc      # once, outside the loop
+    # reprolint: hot-loop
+    for node in frontier:
+        inc()                                # plain-name call: allowed
+
+Inside a ``# reprolint: hot-loop`` marked loop body this rule forbids
+
+* instrument factory calls — ``.counter(...)`` / ``.gauge(...)`` /
+  ``.histogram(...)`` — which pay the registry probe per iteration;
+* span/timer construction — ``.span(...)`` / ``.timed(...)`` — which pays
+  a context-manager and clock read per iteration; and
+* attribute-reached mutator calls — ``.inc(...)`` / ``.observe(...)`` /
+  ``.set(...)`` — the tell-tale of an instrument fetched or re-looked-up
+  inside the loop.
+
+Calls through a plain name (the pre-bound guard) are always allowed: that
+is precisely the pattern the rule exists to enforce.  RL001 independently
+bans *all* attribute lookups in marked loops; RL006 stays separate so the
+diagnostic names the fix (pre-bind the instrument) rather than the symptom.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from tools.reprolint.context import FileContext, Finding
+from tools.reprolint.rules.base import Rule
+
+#: Registry methods that fetch or build an instrument / span per call.
+_FACTORY_METHODS = frozenset({"counter", "gauge", "histogram", "span", "timed"})
+
+#: Instrument mutators; reached via an attribute they betray a per-iteration
+#: instrument lookup (the pre-bound form is a plain-name call).
+_MUTATOR_METHODS = frozenset({"inc", "observe", "set"})
+
+
+class ObsGuardDiscipline(Rule):
+    rule_id = "RL006"
+    summary = "marked hot loops must use pre-bound metric/span guards"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, (ast.For, ast.AsyncFor, ast.While))
+                and node.lineno in ctx.hot_loop_lines
+            ):
+                for stmt in node.body + node.orelse:
+                    for inner in ast.walk(stmt):
+                        yield from self._check_call(inner)
+
+    def _check_call(self, node: ast.AST) -> Iterator[Finding]:
+        if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Attribute):
+            return
+        method = node.func.attr
+        if method in _FACTORY_METHODS:
+            yield self.finding(
+                node.lineno,
+                f".{method}(...) inside a hot loop pays a registry probe per "
+                "iteration; pre-bind the instrument (or its no-op) before the "
+                "loop",
+            )
+        elif method in _MUTATOR_METHODS:
+            yield self.finding(
+                node.lineno,
+                f".{method}(...) reached via an attribute inside a hot loop; "
+                f"pre-bind the bound method (guard = instrument.{method}) "
+                "before the loop and call the plain name",
+            )
