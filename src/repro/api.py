@@ -300,6 +300,9 @@ def mine_stream(
     window: int | None = None,
     max_length: int | None = None,
     refresh_every: int = 1,
+    db_backend: str | None = None,
+    db_dir: str | None = None,
+    spill_budget: int | None = None,
 ) -> Iterator[StreamUpdate]:
     """Mine a stream of sequences, yielding pattern updates as data arrives.
 
@@ -329,6 +332,15 @@ def mine_stream(
         Optional pattern-length cap (batch semantics).
     refresh_every:
         Number of appends batched between pattern refreshes.
+    db_backend:
+        ``None``/``"ram"`` (default) or ``"disk"``: store the per-shard
+        inverted indexes in mmap'd segment files so the retained window can
+        exceed RAM (see :class:`StreamMiner`).  Patterns are identical.
+    db_dir:
+        Parent directory for ``"disk"`` shard stores (system temp if ``None``).
+    spill_budget:
+        Optional per-support-set byte budget; over-budget DFS frontier sets
+        spill to disk during shard re-mining (:mod:`repro.core.spill`).
 
     Example
     -------
@@ -338,6 +350,9 @@ def mine_stream(
     ...     print(update.appended, len(update.result))
     2 3
     1 8
+    >>> updates = mine_stream(arrivals, 2, db_backend="disk", spill_budget=1 << 20)
+    >>> [len(update.result) for update in updates]
+    [2, 3, 8]
     """
     # Validate eagerly (including StreamMiner's own parameter checks): this
     # is a plain function returning a generator, so bad arguments raise at
@@ -350,19 +365,27 @@ def mine_stream(
         shard_size=shard_size,
         window=window,
         max_length=max_length,
+        db_backend=db_backend,
+        db_dir=db_dir,
+        spill_budget=spill_budget,
     )
 
     def _updates() -> Iterator[StreamUpdate]:
         """Drive the miner over the incoming sequences, yielding refreshes."""
-        pending = 0
-        for sequence in sequences:
-            miner.append(sequence)
-            pending += 1
-            if pending >= refresh_every:
-                pending = 0
+        try:
+            pending = 0
+            for sequence in sequences:
+                miner.append(sequence)
+                pending += 1
+                if pending >= refresh_every:
+                    pending = 0
+                    yield miner.refresh()
+            if pending:
                 yield miner.refresh()
-        if pending:
-            yield miner.refresh()
+        finally:
+            # Disk-backed shards hold mappings and temp directories; release
+            # them when the stream ends (or the consumer abandons it).
+            miner.close()
 
     return _updates()
 

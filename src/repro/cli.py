@@ -94,9 +94,29 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--max-length", type=int, default=None, help="maximum pattern length")
         sub.add_argument("--top", type=int, default=None, help="print only the top-N by support")
 
+    def add_storage_options(sub):
+        sub.add_argument(
+            "--db-backend",
+            choices=("ram", "disk"),
+            default="ram",
+            help="index storage: in-RAM arrays (default) or mmap'd on-disk segments",
+        )
+        sub.add_argument(
+            "--db-dir",
+            default=None,
+            help="directory for --db-backend disk files (a temp dir when omitted)",
+        )
+        sub.add_argument(
+            "--spill-budget",
+            type=_positive_int,
+            default=None,
+            help="per-support-set byte budget; bigger DFS frontier sets spill to disk",
+        )
+
     mine = subparsers.add_parser("mine", help="mine frequent patterns")
     add_common(mine)
     add_mining_options(mine)
+    add_storage_options(mine)
     mine.add_argument(
         "--profile",
         action="store_true",
@@ -127,6 +147,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="line format (default: text — whitespace-separated events)",
     )
     add_mining_options(stream)
+    add_storage_options(stream)
     stream.add_argument(
         "--shard-size", type=int, default=16, help="sequences per re-mining shard"
     )
@@ -252,13 +273,63 @@ def _print_profile(stats: dict | None) -> None:
         print(f"{name.ljust(width)}  {value:>14}")
 
 
+def _load_for_mining(args):
+    """The mining target for ``mine`` (database or index) plus a cleanup callable.
+
+    With ``--db-backend disk`` line-based inputs are streamed straight into
+    a disk-backed :class:`~repro.db.index.InvertedEventIndex` (through a
+    :class:`~repro.stream.database.StreamingSequenceDatabase` with a lazy
+    database), so the input is never materialised in RAM as a whole — the
+    point of the disk backend.  ``--db-dir`` names the *parent* of a fresh
+    per-run store directory (reusing one verbatim would replay a previous
+    run's segments); the returned cleanup removes it.  JSON inputs (not
+    line-parseable) fall back to loading the database and letting the miner
+    build the disk index.
+    """
+    if args.db_backend == "disk" and args.format != "json":
+        import shutil
+        import tempfile
+
+        from repro.stream.database import StreamingSequenceDatabase
+
+        store_dir = None
+        if args.db_dir is not None:
+            import os
+
+            os.makedirs(args.db_dir, exist_ok=True)
+            store_dir = tempfile.mkdtemp(prefix="mine-", dir=args.db_dir)
+        streamed = StreamingSequenceDatabase(db_backend="disk", db_dir=store_dir)
+        with open(args.path) as handle:
+            for line in handle:
+                events = db_io.parse_event_line(line, args.format)
+                if events is not None:
+                    streamed.append(events)
+
+        def cleanup() -> None:
+            streamed.index.backend.close()
+            if store_dir is not None:
+                shutil.rmtree(store_dir, ignore_errors=True)
+
+        return streamed.index, cleanup
+    return load_database(args.path, args.format), lambda: None
+
+
 def run_mine(args) -> int:
-    database = load_database(args.path, args.format)
-    if args.all:
-        miner = GSgrow(args.min_sup, max_length=args.max_length)
-    else:
-        miner = CloGSgrow(args.min_sup, max_length=args.max_length)
-    result = miner.mine(database)
+    target, cleanup = _load_for_mining(args)
+    options = dict(
+        max_length=args.max_length,
+        db_backend=args.db_backend,
+        db_dir=args.db_dir,
+        spill_budget=args.spill_budget,
+    )
+    try:
+        if args.all:
+            miner = GSgrow(args.min_sup, **options)
+        else:
+            miner = CloGSgrow(args.min_sup, **options)
+        result = miner.mine(target)
+    finally:
+        cleanup()
     _print_result(result, args, miner.algorithm_name)
     if args.profile:
         _print_profile(result.stats)
@@ -298,6 +369,9 @@ def run_mine_stream(args) -> int:
         shard_size=args.shard_size,
         window=args.window,
         max_length=args.max_length,
+        db_backend=args.db_backend,
+        db_dir=args.db_dir,
+        spill_budget=args.spill_budget,
     )
     updates = 0
     pending = 0
@@ -339,6 +413,7 @@ def run_mine_stream(args) -> int:
                 break
     algorithm = f"StreamMiner({GSgrow.algorithm_name if args.all else CloGSgrow.algorithm_name})"
     _print_result(miner.results(), args, algorithm, path=args.path)
+    miner.close()
     return 0
 
 

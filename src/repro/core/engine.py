@@ -34,6 +34,7 @@ from repro.core.instance_growth import ins_grow
 from repro.core.support import SupportSet, initial_support_set
 
 if TYPE_CHECKING:
+    from repro.core.spill import SpillPolicy
     from repro.db.index import InvertedEventIndex
 
 #: Either support-set representation; everything the DFS and the closure
@@ -83,6 +84,28 @@ class SupportEngine:
 
     def __repr__(self) -> str:
         return f"SupportEngine({self.name!r})"
+
+    def with_spill(self, policy: "SpillPolicy") -> SupportEngine:
+        """This engine with every produced set routed through ``policy``.
+
+        Spilling wraps the *engine*, not a representation: both the
+        full-landmark and compressed engines come out of here with
+        over-budget frontiers remapped onto disk
+        (:mod:`repro.core.spill`), and the DFS cannot tell the difference.
+        """
+        initial = self.initial
+        grow = self.grow
+        maybe_spill = policy.maybe_spill
+
+        def initial_spilling(index: "InvertedEventIndex", event: Any) -> SupportSetLike:
+            return maybe_spill(initial(index, event))
+
+        def grow_spilling(*args: Any, **kwargs: Any) -> SupportSetLike:
+            return maybe_spill(grow(*args, **kwargs))
+
+        return SupportEngine(
+            f"{self.name}+spill", initial_spilling, grow_spilling, self.stores_landmarks
+        )
 
 
 #: Engine over full-landmark :class:`SupportSet` rows.

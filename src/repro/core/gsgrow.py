@@ -52,6 +52,21 @@ class MinerConfig:
     events:
         Restrict growth to these events.  ``None`` uses every event whose
         total occurrence count reaches ``min_sup`` (an exact Apriori filter).
+    db_backend:
+        Storage backend used when the miner builds an index itself from a
+        plain database: ``None``/``"ram"`` (default) or ``"disk"`` (mmap'd
+        segments, see :mod:`repro.db.backend`).  Ignored when a pre-built
+        :class:`~repro.db.index.InvertedEventIndex` is passed — the index
+        already owns its backend.
+    db_dir:
+        Directory for a ``"disk"`` backend (a temp dir when ``None``).
+    spill_budget:
+        Per-support-set byte budget: any DFS frontier set whose columns
+        exceed it is spilled onto disk (:mod:`repro.core.spill`) and read
+        back through an unlinked read-only mapping.  ``None`` disables
+        spilling.  Results are identical either way.
+    spill_dir:
+        Filesystem used for spill files (the system temp dir when ``None``).
     """
 
     min_sup: int = 2
@@ -60,6 +75,10 @@ class MinerConfig:
     store_instances: bool = False
     constraint: GapConstraint | None = None
     events: Iterable[Event] | None = None
+    db_backend: str | None = None
+    db_dir: str | None = None
+    spill_budget: int | None = None
+    spill_dir: str | None = None
 
     def __post_init__(self):
         if self.min_sup < 1:
@@ -68,6 +87,12 @@ class MinerConfig:
             raise ValueError(f"max_length must be >= 1, got {self.max_length}")
         if self.max_patterns is not None and self.max_patterns < 0:
             raise ValueError(f"max_patterns must be >= 0, got {self.max_patterns}")
+        if self.spill_budget is not None and self.spill_budget < 1:
+            raise ValueError(f"spill_budget must be >= 1, got {self.spill_budget}")
+        if self.db_backend not in (None, "ram", "disk"):
+            raise ValueError(
+                f"db_backend must be None, 'ram' or 'disk', got {self.db_backend!r}"
+            )
 
 
 @dataclass
@@ -169,6 +194,13 @@ class GSgrow:
         index = self._as_index(database)
         self.stats = MiningStats()
         self._engine = engine_for(self.config.store_instances)
+        if self.config.spill_budget is not None:
+            from repro.core.spill import SpillPolicy
+
+            policy = SpillPolicy(
+                self.config.spill_budget, directory=self.config.spill_dir, obs=self.obs
+            )
+            self._engine = self._engine.with_spill(policy)
         clock = self.obs.clock
         started = clock()
         try:
@@ -292,12 +324,15 @@ class GSgrow:
             return sorted(set(self.config.events), key=repr)
         return index.frequent_events(self.config.min_sup)
 
-    @staticmethod
-    def _as_index(database) -> InvertedEventIndex:
+    def _as_index(self, database) -> InvertedEventIndex:
         if isinstance(database, InvertedEventIndex):
             return database
         if isinstance(database, SequenceDatabase):
-            return InvertedEventIndex(database)
+            return InvertedEventIndex(
+                database,
+                backend=self.config.db_backend,
+                backend_dir=self.config.db_dir,
+            )
         raise TypeError(
             f"expected a SequenceDatabase or InvertedEventIndex, got {type(database).__name__}"
         )

@@ -16,12 +16,14 @@ This subpackage provides the input-side machinery that the miners in
 
 from repro.db.database import SequenceDatabase
 from repro.db.index import InvertedEventIndex
+from repro.db.lazy import LazySequenceDatabase
 from repro.db.sequence import Sequence
 from repro.db.stats import DatabaseStats, describe
 
 __all__ = [
     "Sequence",
     "SequenceDatabase",
+    "LazySequenceDatabase",
     "InvertedEventIndex",
     "DatabaseStats",
     "describe",

@@ -1,0 +1,206 @@
+"""Storage backends for the inverted event index (the ``ColumnStore`` seam).
+
+The inverted index (:class:`repro.db.index.InvertedEventIndex`) used to own
+its position lists directly as ``list[dict[int, array('q')]]``.  This
+package lifts that storage behind a small protocol, :class:`ColumnStore`,
+with two implementations:
+
+* :class:`RamColumnStore` — the historical layout, verbatim: every position
+  list is an ``array('q')`` in RAM.  Fastest, and the byte-identity
+  reference the disk backend is tested against.
+* :class:`~repro.db.backend.disk.DiskColumnStore` — sealed mmap'd segment
+  files plus a small journalled in-RAM tail, for databases bigger than
+  RAM.  Built with :func:`make_backend("disk", ...) <make_backend>`.
+
+The seam's contract (what the index relies on):
+
+* Sequences are dense 1-based indices assigned by :meth:`ColumnStore.add_sequence`.
+* Events are interned small-int ids — the interner stays in the index
+  layer; the store never sees user event objects.
+* :meth:`ColumnStore.get` returns a sorted int64 *column* — either an
+  ``array('q')`` or a ``memoryview`` cast to ``'q'``.  Both support
+  ``len``/indexing/iteration/``bisect`` and the buffer protocol, so the
+  vectorized sweep's ``numpy.frombuffer`` zero-copy view keeps working.
+  Callers must never mutate a returned column.
+* Positions only ever grow: :meth:`ColumnStore.append_position` appends a
+  position strictly larger than every existing one for that pair, which
+  is what keeps columns sorted without re-sorting (the streaming
+  invariant).
+
+Byte-format internals (:mod:`~repro.db.backend.layout`,
+:mod:`~repro.db.backend.disk`) may only be imported from inside
+:mod:`repro.db` — reprolint rule RL007 enforces the seam.  Everything else
+uses this facade: :func:`make_backend` plus the re-exported names below.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections.abc import Iterator, Mapping
+from typing import Protocol, runtime_checkable
+
+from repro.db.backend.layout import (
+    FORMAT_VERSION,
+    POSITION_TYPECODE,
+    BackendFormatError,
+    Column,
+    PathLike,
+    can_map_zero_copy,
+)
+
+__all__ = [
+    "BackendFormatError",
+    "Column",
+    "ColumnStore",
+    "FORMAT_VERSION",
+    "POSITION_TYPECODE",
+    "RamColumnStore",
+    "can_map_zero_copy",
+    "make_backend",
+]
+
+_ITEMSIZE = array(POSITION_TYPECODE).itemsize
+
+
+@runtime_checkable
+class ColumnStore(Protocol):
+    """Storage seam behind :class:`~repro.db.index.InvertedEventIndex`.
+
+    Implementations store one sorted int64 position column per
+    ``(sequence, event id)`` pair; see the module docstring for the full
+    contract (dense 1-based sequence indices, interned event ids,
+    append-only growth, immutable returned columns).
+    """
+
+    name: str
+
+    def sequence_count(self) -> int:
+        """Number of sequences added so far."""
+        ...
+
+    def add_sequence(self, per_event: Mapping[int, "array[int]"]) -> int:
+        """Add a new sequence's per-event position lists; return its 1-based index.
+
+        The store may take ownership of the passed arrays.
+        """
+        ...
+
+    def append_position(self, i: int, eid: int, position: int) -> None:
+        """Append ``position`` (strictly larger than all existing) to ``(S_i, eid)``."""
+        ...
+
+    def get(self, i: int, eid: int) -> Column | None:
+        """The sorted position column of ``(S_i, eid)``, or ``None`` (hot path)."""
+        ...
+
+    def event_ids(self, i: int) -> set[int]:
+        """Distinct event ids occurring in sequence ``S_i``."""
+        ...
+
+    def occurrences(self, eid: int) -> Iterator[tuple[int, Column]]:
+        """``(i, positions)`` for every sequence containing ``eid``, ascending ``i``."""
+        ...
+
+    def flush(self) -> None:
+        """Make journalled state durable (no-op for RAM)."""
+        ...
+
+    def close(self) -> None:
+        """Release held resources (mappings, file handles, temp dirs)."""
+        ...
+
+    def memory_stats(self) -> dict[str, int]:
+        """At least ``resident_bytes`` and ``mapped_bytes`` (see obs gauges)."""
+        ...
+
+
+class RamColumnStore:
+    """The historical in-RAM layout: ``list[dict[int, array('q')]]``.
+
+    This is byte-for-byte the storage the index owned before the seam
+    existed — same arrays, same append-in-place growth — so mining through
+    it is identical to the pre-seam behaviour, not merely equivalent.
+    """
+
+    __slots__ = ("name", "_lists")
+
+    def __init__(self) -> None:
+        self.name = "ram"
+        self._lists: list[dict[int, "array[int]"]] = []
+
+    def sequence_count(self) -> int:
+        return len(self._lists)
+
+    def add_sequence(self, per_event: Mapping[int, "array[int]"]) -> int:
+        self._lists.append(dict(per_event))
+        return len(self._lists)
+
+    def append_position(self, i: int, eid: int, position: int) -> None:
+        per_event = self._lists[i - 1]
+        plist = per_event.get(eid)
+        if plist is None:
+            per_event[eid] = array(POSITION_TYPECODE, (position,))
+        else:
+            plist.append(position)
+
+    def get(self, i: int, eid: int) -> Column | None:
+        return self._lists[i - 1].get(eid)
+
+    def event_ids(self, i: int) -> set[int]:
+        return set(self._lists[i - 1])
+
+    def occurrences(self, eid: int) -> Iterator[tuple[int, Column]]:
+        for i, per_event in enumerate(self._lists, start=1):
+            plist = per_event.get(eid)
+            if plist:
+                yield i, plist
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    def memory_stats(self) -> dict[str, int]:
+        resident = sum(
+            len(plist) * _ITEMSIZE
+            for per_event in self._lists
+            for plist in per_event.values()
+        )
+        return {
+            "resident_bytes": resident,
+            "mapped_bytes": 0,
+            "segments": 0,
+            "seals": 0,
+            "sequences": len(self._lists),
+        }
+
+
+def make_backend(
+    spec: "str | ColumnStore | None",
+    *,
+    directory: PathLike | None = None,
+    segment_bytes: int | None = None,
+    use_mmap: bool | str = "auto",
+) -> ColumnStore:
+    """Resolve a backend spec into a :class:`ColumnStore`.
+
+    ``spec`` is ``"ram"``/``None`` (the default in-RAM store), ``"disk"``
+    (a :class:`~repro.db.backend.disk.DiskColumnStore` in ``directory`` —
+    a temp dir removed on close when ``directory`` is ``None``), or an
+    already-constructed store, returned as-is.  ``segment_bytes`` and
+    ``use_mmap`` only apply to ``"disk"``.
+    """
+    if spec is None or spec == "ram":
+        return RamColumnStore()
+    if spec == "disk":
+        from repro.db.backend.disk import DEFAULT_SEGMENT_BYTES, DiskColumnStore
+
+        return DiskColumnStore(
+            directory,
+            segment_bytes=DEFAULT_SEGMENT_BYTES if segment_bytes is None else segment_bytes,
+            use_mmap=use_mmap,
+        )
+    if isinstance(spec, str):
+        raise ValueError(f"unknown db backend {spec!r} (expected 'ram' or 'disk')")
+    return spec

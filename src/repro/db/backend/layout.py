@@ -1,0 +1,483 @@
+"""On-disk byte formats of the disk column store (segments + tail journal).
+
+This module owns every byte the disk backend writes, mirroring the
+conventions of the pattern store (:mod:`repro.match.store`): little-endian
+``int64`` columns, magic-prefixed versioned headers, atomic writes, and a
+zero-copy mmap read path with a copying fallback for platforms that cannot
+map (no :mod:`mmap` module, a big-endian host, an unmappable file).
+
+Two formats live here:
+
+* **Segment files** (:func:`write_segment` / :func:`open_segment`) — one
+  sealed, immutable chunk of the inverted index.  A segment stores the
+  position lists of many ``(sequence, event id)`` pairs as four parallel
+  row columns — event id, sequence index, offset, length — sorted by
+  ``(event id, sequence index)``, followed by one flat positions blob.
+  Sorting event-major makes both lookups cheap: ``get(i, eid)`` is two
+  binary searches (event id range, then sequence within it) and
+  ``occurrences(eid)`` is one contiguous row range.  All sections are
+  8-byte aligned so the mmap'd file casts directly to ``int64`` columns.
+* **The tail journal** (:class:`TailJournal`) — an append-only
+  write-ahead log of everything that has not been sealed into a segment
+  yet.  Appends are written as length-prefixed records; on reopen the
+  journal is replayed up to the last *complete* record, so a crash in the
+  middle of an append loses at most the torn record (never the sealed
+  segments, never earlier appends).
+
+These are byte-format internals: only :mod:`repro.db` may import this
+module (reprolint RL007) — everything else goes through the
+:class:`repro.db.backend.ColumnStore` seam.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import struct
+import sys
+from array import array
+from collections.abc import Iterator
+from pathlib import Path
+from typing import Any, Final, TypeAlias
+
+#: Typecode of every position/row column (signed 64-bit).  This module is
+#: the bottom of the storage stack, so it is the canonical definition;
+#: :mod:`repro.db.index` re-exports it for the rest of the codebase.
+POSITION_TYPECODE: Final = "q"
+
+#: The :mod:`mmap` module when importable, else ``None`` (copying fallback).
+_mmap: Any
+try:  # pragma: no cover - exercised via the monkeypatched fallback tests
+    import mmap as _mmap_module
+
+    _mmap = _mmap_module
+except ImportError:  # pragma: no cover - platforms without mmap
+    _mmap = None
+
+PathLike = str | Path
+
+#: Magic bytes opening every segment file ("Repro DB Segment").
+SEGMENT_MAGIC = b"RDBS"
+
+#: Magic bytes opening the tail journal ("Repro DB Journal").
+JOURNAL_MAGIC = b"RDBJ"
+
+#: Current format version of both files (bump on any layout change).
+FORMAT_VERSION = 1
+
+#: A column of ``int64`` values: a materialised array or a zero-copy view.
+Column: TypeAlias = "array[int] | memoryview[int]"
+
+_LITTLE_ENDIAN = sys.byteorder == "little"
+_ITEMSIZE = array(POSITION_TYPECODE).itemsize
+
+#: Segment header: magic, version, n_rows, n_positions, min_seq, max_seq.
+#: 40 bytes — a multiple of 8, so every column that follows stays aligned
+#: for the zero-copy ``memoryview.cast("q")``.
+_SEGMENT_HEADER = struct.Struct("<4sIQQqq")
+
+#: Journal header: magic, version (8 bytes, aligned).
+_JOURNAL_HEADER = struct.Struct("<4sI")
+
+#: Journal record header: sequence index, event id, position count.  A
+#: record is this header followed by ``count`` little-endian ``int64``
+#: positions.  ``eid == NEW_SEQUENCE`` (with ``count == 0``) declares a new
+#: sequence instead of carrying positions.
+_RECORD = struct.Struct("<qqq")
+
+#: Journal record marker for "sequence ``i`` now exists".
+NEW_SEQUENCE = -1
+
+
+class BackendFormatError(ValueError):
+    """A segment or journal file does not decode (truncated, wrong magic...)."""
+
+
+def _column_bytes(column: "array[int]") -> bytes:
+    """Little-endian bytes of an ``int64`` column."""
+    if _LITTLE_ENDIAN:
+        return column.tobytes()
+    swapped = array(POSITION_TYPECODE, column)
+    swapped.byteswap()
+    return swapped.tobytes()
+
+
+def _column_from(buffer: bytes) -> "array[int]":
+    """An ``array('q')`` column from little-endian bytes."""
+    column = array(POSITION_TYPECODE)
+    column.frombytes(buffer)
+    if not _LITTLE_ENDIAN:
+        column.byteswap()
+    return column
+
+
+def can_map_zero_copy() -> bool:
+    """True when mmap'd segments can be viewed without decoding.
+
+    Zero-copy requires :mod:`mmap` and a little-endian host (the file format
+    is little-endian); otherwise segments are decoded through the copying
+    fallback and behave identically.
+    """
+    return _mmap is not None and _LITTLE_ENDIAN
+
+
+# ----------------------------------------------------------------------
+# Segments
+# ----------------------------------------------------------------------
+class Segment:
+    """One sealed, immutable, (ideally) memory-mapped index chunk.
+
+    Four parallel row columns — ``eids``, ``seqs``, ``offsets``,
+    ``lengths`` — sorted by ``(event id, sequence index)``, plus the flat
+    ``positions`` blob the offsets point into.  On the zero-copy path the
+    columns are ``memoryview`` s over one shared read-only mapping; on the
+    copying fallback they are materialised ``array('q')`` columns with the
+    same semantics.
+    """
+
+    __slots__ = (
+        "path",
+        "eids",
+        "seqs",
+        "offsets",
+        "lengths",
+        "positions",
+        "min_seq",
+        "max_seq",
+        "is_zero_copy",
+        "file_bytes",
+        "_mapping",
+    )
+
+    def __init__(
+        self,
+        path: Path,
+        eids: Column,
+        seqs: Column,
+        offsets: Column,
+        lengths: Column,
+        positions: Column,
+        min_seq: int,
+        max_seq: int,
+        is_zero_copy: bool,
+        file_bytes: int,
+        mapping: Any = None,
+    ) -> None:
+        self.path = path
+        self.eids = eids
+        self.seqs = seqs
+        self.offsets = offsets
+        self.lengths = lengths
+        self.positions = positions
+        self.min_seq = min_seq
+        self.max_seq = max_seq
+        self.is_zero_copy = is_zero_copy
+        self.file_bytes = file_bytes
+        self._mapping = mapping
+
+    def __len__(self) -> int:
+        return len(self.eids)
+
+    def get(self, i: int, eid: int) -> Column | None:
+        """The position list of ``(S_i, eid)`` in this segment, or ``None``.
+
+        Two binary searches: the ``(eid)`` row range over the event-major
+        sort, then the sequence index within it.
+        """
+        if i < self.min_seq or i > self.max_seq:
+            return None
+        eids = self.eids
+        lo = _bisect_left(eids, eid, 0, len(eids))
+        hi = _bisect_right(eids, eid, lo, len(eids))
+        if lo == hi:
+            return None
+        k = _bisect_left(self.seqs, i, lo, hi)
+        if k == hi or self.seqs[k] != i:
+            return None
+        offset = self.offsets[k]
+        return self.positions[offset : offset + self.lengths[k]]
+
+    def rows_for_event(self, eid: int) -> tuple[int, int]:
+        """The ``[lo, hi)`` row range of ``eid`` (empty when absent)."""
+        eids = self.eids
+        lo = _bisect_left(eids, eid, 0, len(eids))
+        hi = _bisect_right(eids, eid, lo, len(eids))
+        return lo, hi
+
+    def event_ids_of(self, i: int) -> Iterator[int]:
+        """Distinct event ids with at least one position in sequence ``S_i``.
+
+        Walks the event-major rows one event-run at a time (binary search
+        per distinct event), so the cost scales with the number of distinct
+        events in the segment, not with its row count.
+        """
+        if i < self.min_seq or i > self.max_seq:
+            return
+        eids = self.eids
+        seqs = self.seqs
+        n = len(eids)
+        k = 0
+        while k < n:
+            eid = eids[k]
+            hi = _bisect_right(eids, eid, k, n)
+            j = _bisect_left(seqs, i, k, hi)
+            if j < hi and seqs[j] == i:
+                yield eid
+            k = hi
+
+    def close(self) -> None:
+        """Release the mapping (the column views become invalid after this)."""
+        mapping = self._mapping
+        self._mapping = None
+        if mapping is None:
+            return
+        # Drop the exported column views so the mapping can actually close
+        # (an mmap with live buffer exports refuses to).
+        with contextlib.suppress(AttributeError):
+            del self.eids, self.seqs, self.offsets, self.lengths, self.positions
+        with contextlib.suppress(BufferError, ValueError):
+            mapping.close()
+
+
+def _bisect_left(column: Column, value: int, lo: int, hi: int) -> int:
+    """``bisect.bisect_left`` over any int column (array or memoryview)."""
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if column[mid] < value:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def _bisect_right(column: Column, value: int, lo: int, hi: int) -> int:
+    """``bisect.bisect_right`` over any int column (array or memoryview)."""
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if value < column[mid]:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+def write_segment(path: PathLike, tail: dict[int, dict[int, "array[int]"]]) -> int:
+    """Seal ``tail`` (sequence -> event id -> positions) into a segment file.
+
+    Rows are emitted sorted by ``(event id, sequence index)``; the write is
+    atomic (temp file + rename) so a crash mid-seal never leaves a torn
+    segment behind.  Returns the file size in bytes.
+    """
+    rows: list[tuple[int, int, "array[int]"]] = []
+    for i, per_event in tail.items():
+        for eid, positions in per_event.items():
+            if len(positions):
+                rows.append((eid, i, positions))
+    rows.sort(key=lambda row: (row[0], row[1]))
+
+    eids = array(POSITION_TYPECODE)
+    seqs = array(POSITION_TYPECODE)
+    offsets = array(POSITION_TYPECODE)
+    lengths = array(POSITION_TYPECODE)
+    blob = array(POSITION_TYPECODE)
+    for eid, i, positions in rows:
+        eids.append(eid)
+        seqs.append(i)
+        offsets.append(len(blob))
+        lengths.append(len(positions))
+        blob.extend(positions)
+
+    min_seq = min((row[1] for row in rows), default=0)
+    max_seq = max((row[1] for row in rows), default=-1)
+    header = _SEGMENT_HEADER.pack(
+        SEGMENT_MAGIC, FORMAT_VERSION, len(eids), len(blob), min_seq, max_seq
+    )
+    payload = b"".join(
+        (
+            header,
+            _column_bytes(eids),
+            _column_bytes(seqs),
+            _column_bytes(offsets),
+            _column_bytes(lengths),
+            _column_bytes(blob),
+        )
+    )
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_bytes(payload)
+    os.replace(tmp, path)
+    return len(payload)
+
+
+def open_segment(path: PathLike, *, use_mmap: bool | str = "auto") -> Segment:
+    """Open a sealed segment, zero-copy when the platform allows.
+
+    ``use_mmap`` follows the pattern-store convention: ``"auto"`` maps when
+    possible and silently falls back to a decoded copy; ``True`` requires
+    the mapping (raises when unavailable); ``False`` always copies.
+
+    Raises
+    ------
+    BackendFormatError
+        On wrong magic, unsupported version, or a truncated file.
+    """
+    path = Path(path)
+    want_map = use_mmap if isinstance(use_mmap, bool) else can_map_zero_copy()
+    if want_map and not can_map_zero_copy():
+        raise BackendFormatError(
+            f"{path}: zero-copy mapping requested but unavailable on this platform"
+        )
+
+    mapping: Any = None
+    if want_map:
+        with open(path, "rb") as handle:
+            try:
+                mapping = _mmap.mmap(handle.fileno(), 0, access=_mmap.ACCESS_READ)
+            except (ValueError, OSError) as exc:
+                if use_mmap is True:
+                    raise BackendFormatError(f"{path}: cannot mmap: {exc}") from exc
+                mapping = None
+    if mapping is not None:
+        data = memoryview(mapping)
+    else:
+        data = memoryview(path.read_bytes())
+
+    try:
+        return _decode_segment(path, data, mapping)
+    except BackendFormatError:
+        if mapping is not None:
+            data.release()
+            mapping.close()
+        raise
+
+
+def _decode_segment(path: Path, data: "memoryview[int]", mapping: Any) -> Segment:
+    """Decode a segment from its raw bytes (shared by both read paths)."""
+    size = len(data)
+    if size < _SEGMENT_HEADER.size:
+        raise BackendFormatError(f"{path}: truncated segment header ({size} bytes)")
+    magic, version, n_rows, n_positions, min_seq, max_seq = _SEGMENT_HEADER.unpack_from(
+        data, 0
+    )
+    if magic != SEGMENT_MAGIC:
+        raise BackendFormatError(f"{path}: bad magic {magic!r} (not a segment file)")
+    if version != FORMAT_VERSION:
+        raise BackendFormatError(
+            f"{path}: unsupported segment format version {version} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    expected = _SEGMENT_HEADER.size + (4 * n_rows + n_positions) * _ITEMSIZE
+    if size != expected:
+        raise BackendFormatError(
+            f"{path}: segment truncated or padded: {size} bytes on disk, "
+            f"{expected} expected for {n_rows} rows / {n_positions} positions"
+        )
+
+    start = _SEGMENT_HEADER.size
+    bounds = [start + k * n_rows * _ITEMSIZE for k in range(5)]
+    end = bounds[4] + n_positions * _ITEMSIZE
+    spans = list(zip(bounds, bounds[1:] + [end], strict=True))
+    columns: list[Column]
+    if mapping is not None and _LITTLE_ENDIAN:
+        columns = [data[a:b].cast(POSITION_TYPECODE) for a, b in spans]
+        zero_copy = True
+    else:
+        columns = [_column_from(bytes(data[a:b])) for a, b in spans]
+        zero_copy = False
+        if mapping is not None:
+            # The decoded copy no longer needs the mapping.
+            data.release()
+            mapping.close()
+            mapping = None
+    eids, seqs, offsets, lengths, positions = columns
+    return Segment(
+        path,
+        eids,
+        seqs,
+        offsets,
+        lengths,
+        positions,
+        min_seq,
+        max_seq,
+        zero_copy,
+        size,
+        mapping,
+    )
+
+
+# ----------------------------------------------------------------------
+# The tail journal (write-ahead log of the unsealed tail)
+# ----------------------------------------------------------------------
+class TailJournal:
+    """Append-only journal making the in-RAM tail crash-recoverable.
+
+    Every mutation of the tail is appended as one length-prefixed record
+    before it is applied in memory; :meth:`replay` reads records back up to
+    the last complete one (a torn final record — a crash mid-append — is
+    truncated away, never an error).  Sealing a segment resets the journal
+    to its bare header, because the sealed data now lives in the segment.
+    """
+
+    __slots__ = ("path", "_handle")
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = Path(path)
+        if not self.path.exists():
+            self.path.write_bytes(_JOURNAL_HEADER.pack(JOURNAL_MAGIC, FORMAT_VERSION))
+        self._handle = open(self.path, "r+b")
+        self._handle.seek(0, os.SEEK_END)
+
+    def record_new_sequence(self, i: int) -> None:
+        """Journal "sequence ``i`` now exists" (it may stay empty)."""
+        self._handle.write(_RECORD.pack(i, NEW_SEQUENCE, 0))
+
+    def record_positions(self, i: int, eid: int, positions: "array[int]") -> None:
+        """Journal "these positions were appended to ``(S_i, eid)``"."""
+        self._handle.write(_RECORD.pack(i, eid, len(positions)))
+        self._handle.write(_column_bytes(positions))
+
+    def flush(self) -> None:
+        """Push buffered records to the OS (durability point)."""
+        self._handle.flush()
+
+    def reset(self) -> None:
+        """Drop every record (called after the tail is sealed into a segment)."""
+        self._handle.seek(_JOURNAL_HEADER.size)
+        self._handle.truncate()
+
+    def close(self) -> None:
+        """Close the underlying file handle."""
+        with contextlib.suppress(ValueError, OSError):
+            self._handle.close()
+
+    @staticmethod
+    def replay(path: PathLike) -> Iterator[tuple[int, int, "array[int]"]]:
+        """Yield ``(i, eid, positions)`` records up to the last complete one.
+
+        ``eid == NEW_SEQUENCE`` records carry an empty positions array.  A
+        torn trailing record (crash mid-append) ends the replay silently;
+        a corrupt header raises :class:`BackendFormatError`.
+        """
+        data = Path(path).read_bytes()
+        if len(data) < _JOURNAL_HEADER.size:
+            raise BackendFormatError(f"{path}: truncated journal header")
+        magic, version = _JOURNAL_HEADER.unpack_from(data, 0)
+        if magic != JOURNAL_MAGIC:
+            raise BackendFormatError(f"{path}: bad magic {magic!r} (not a tail journal)")
+        if version != FORMAT_VERSION:
+            raise BackendFormatError(
+                f"{path}: unsupported journal format version {version} "
+                f"(this build reads version {FORMAT_VERSION})"
+            )
+        offset = _JOURNAL_HEADER.size
+        size = len(data)
+        while offset + _RECORD.size <= size:
+            i, eid, count = _RECORD.unpack_from(data, offset)
+            offset += _RECORD.size
+            if count < 0 or (eid < 0 and eid != NEW_SEQUENCE):
+                return  # torn / garbage tail: stop at the last sane record
+            end = offset + count * _ITEMSIZE
+            if end > size:
+                return  # torn positions payload: the record never completed
+            yield i, eid, _column_from(data[offset:end])
+            offset = end

@@ -26,7 +26,9 @@ class SequenceDatabase:
         Optional human-readable name used by reports and benchmarks.
     """
 
-    def __init__(self, sequences: Iterable = (), name: str | None = None):
+    def __init__(
+        self, sequences: Iterable[Sequence | Iterable[Event] | str] = (), name: str | None = None
+    ) -> None:
         self._sequences: list[Sequence] = [as_sequence(s) for s in sequences]
         self.name = name
 
@@ -43,7 +45,7 @@ class SequenceDatabase:
         """Build a database from lists/tuples of arbitrary hashable events."""
         return cls([Sequence(lst) for lst in lists], name=name)
 
-    def add(self, sequence) -> None:
+    def add(self, sequence: Sequence | Iterable[Event] | str) -> None:
         """Append a sequence (coerced with :func:`repro.db.sequence.as_sequence`)."""
         self._sequences.append(as_sequence(sequence))
 
@@ -66,14 +68,22 @@ class SequenceDatabase:
             raise IndexError(f"sequence index {i} out of range 1..{len(self._sequences)}")
         return self._sequences[i - 1]
 
+    def sequence_length(self, i: int) -> int:
+        """Length of sequence ``S_i`` (1-based ``i``).
+
+        Subclasses that materialise sequences lazily answer this without
+        building the sequence, so incremental indexing stays cheap.
+        """
+        return len(self.sequence(i))
+
     @property
     def sequences(self) -> list[Sequence]:
         """The sequences in order (0-based list)."""
-        return list(self._sequences)
+        return list(self)
 
     def enumerate(self) -> Iterator[tuple[int, Sequence]]:
         """Yield ``(i, S_i)`` pairs with 1-based ``i``."""
-        yield from enumerate(self._sequences, start=1)
+        yield from enumerate(self, start=1)
 
     def __len__(self) -> int:
         return len(self._sequences)
@@ -81,15 +91,14 @@ class SequenceDatabase:
     def __iter__(self) -> Iterator[Sequence]:
         return iter(self._sequences)
 
-    def __getitem__(self, index):
-        result = self._sequences[index]
+    def __getitem__(self, index: int | slice) -> Sequence | SequenceDatabase:
         if isinstance(index, slice):
-            return SequenceDatabase(result, name=self.name)
-        return result
+            return SequenceDatabase(self._sequences[index], name=self.name)
+        return self._sequences[index]
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         if isinstance(other, SequenceDatabase):
-            return self._sequences == other._sequences
+            return self.sequences == other.sequences
         return NotImplemented
 
     def __repr__(self) -> str:
@@ -102,34 +111,34 @@ class SequenceDatabase:
     def alphabet(self) -> set[Event]:
         """Return the set of distinct events ``E`` appearing in the database."""
         events: set[Event] = set()
-        for seq in self._sequences:
+        for seq in self:
             events.update(seq.events)
         return events
 
-    def event_counts(self) -> Counter:
+    def event_counts(self) -> Counter[Event]:
         """Total number of occurrences of each event across all sequences.
 
         For a single event ``e`` the repetitive support equals its total
         occurrence count, so this doubles as the support of size-1 patterns.
         """
-        counts: Counter = Counter()
-        for seq in self._sequences:
+        counts: Counter[Event] = Counter()
+        for seq in self:
             counts.update(seq.events)
         return counts
 
     def total_length(self) -> int:
         """Sum of sequence lengths (the ``||SeqDB||`` in complexity bounds)."""
-        return sum(len(seq) for seq in self._sequences)
+        return sum(self.sequence_length(i) for i in range(1, len(self) + 1))
 
     def max_length(self) -> int:
         """Length of the longest sequence (the ``L`` in the index bound)."""
-        return max((len(seq) for seq in self._sequences), default=0)
+        return max((self.sequence_length(i) for i in range(1, len(self) + 1)), default=0)
 
     def average_length(self) -> float:
         """Average sequence length; 0.0 for an empty database."""
-        if not self._sequences:
+        if not len(self):
             return 0.0
-        return self.total_length() / len(self._sequences)
+        return self.total_length() / len(self)
 
     # ------------------------------------------------------------------
     # Transformations
@@ -138,7 +147,7 @@ class SequenceDatabase:
         """Return a copy keeping only events in ``keep`` (preserving order)."""
         keep_set = set(keep)
         return SequenceDatabase(
-            [Sequence([e for e in seq if e in keep_set], sid=seq.sid) for seq in self._sequences],
+            [Sequence([e for e in seq if e in keep_set], sid=seq.sid) for seq in self],
             name=self.name,
         )
 
@@ -156,7 +165,7 @@ class SequenceDatabase:
     def relabel(self, mapping: dict[Event, Event]) -> SequenceDatabase:
         """Return a copy with events renamed through ``mapping`` (others kept)."""
         return SequenceDatabase(
-            [Sequence([mapping.get(e, e) for e in seq], sid=seq.sid) for seq in self._sequences],
+            [Sequence([mapping.get(e, e) for e in seq], sid=seq.sid) for seq in self],
             name=self.name,
         )
 
@@ -164,12 +173,12 @@ class SequenceDatabase:
         """Return a database with ``k`` sequences sampled without replacement."""
         import random
 
-        if k > len(self._sequences):
-            raise ValueError(f"cannot sample {k} sequences from {len(self._sequences)}")
+        if k > len(self):
+            raise ValueError(f"cannot sample {k} sequences from {len(self)}")
         rng = random.Random(seed)
-        chosen = rng.sample(range(len(self._sequences)), k)
-        return SequenceDatabase([self._sequences[i] for i in sorted(chosen)], name=self.name)
+        chosen = rng.sample(range(1, len(self) + 1), k)
+        return SequenceDatabase([self.sequence(i) for i in sorted(chosen)], name=self.name)
 
     def take(self, k: int) -> SequenceDatabase:
         """Return a database with the first ``k`` sequences."""
-        return SequenceDatabase(self._sequences[:k], name=self.name)
+        return SequenceDatabase([self.sequence(i) for i in range(1, min(k, len(self)) + 1)], name=self.name)

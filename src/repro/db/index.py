@@ -23,9 +23,11 @@ Two properties matter beyond the paper:
   compressed) resolve an event to its id once per call (one hash of the user
   object) and then perform all per-sequence lookups with plain small-int
   keys, so hot-path cost never depends on how expensive the event's
-  ``__hash__``/``__eq__`` are.  The arrays returned by
-  :meth:`raw_positions_by_id` are guaranteed to be ``array('q')`` buffers:
-  the vectorized sweep (:mod:`repro.core.sweep`) views them zero-copy with
+  ``__hash__``/``__eq__`` are.  The columns returned by
+  :meth:`raw_positions_by_id` are guaranteed to be contiguous int64 buffers
+  — ``array('q')`` for the RAM backend, ``memoryview`` columns over mmap'd
+  segments for the disk backend (:mod:`repro.db.backend`): the vectorized
+  sweep (:mod:`repro.core.sweep`) views either zero-copy with
   ``numpy.frombuffer``, so this is a contract, not an implementation detail.
 * **Incremental maintenance** — :meth:`append_sequence` and
   :meth:`extend_sequence` grow the index in place as new data streams in:
@@ -42,19 +44,33 @@ from __future__ import annotations
 from array import array
 from bisect import bisect_right
 from collections.abc import Sequence as SequenceABC
-from collections.abc import Iterable
-from typing import Final
+from collections.abc import Iterable, Iterator
 
+from repro.db.backend import (
+    POSITION_TYPECODE,
+    Column,
+    ColumnStore,
+    RamColumnStore,
+    make_backend,
+)
 from repro.db.database import SequenceDatabase
 from repro.db.sequence import Event, Sequence, as_sequence
+
+__all__ = [
+    "NO_POSITION",
+    "POSITION_TYPECODE",
+    "NO_EVENT",
+    "EventInterner",
+    "PositionsView",
+    "InvertedEventIndex",
+    "next_position_scan",
+    "build_index",
+]
 
 #: Integer sentinel returned when no further occurrence exists (the paper's
 #: ``∞``).  Valid positions are 1-based, so ``-1`` never collides and callers
 #: can test either ``position == NO_POSITION`` or simply ``position < 0``.
 NO_POSITION = -1
-
-#: Typecode of the flat position arrays (signed 64-bit).
-POSITION_TYPECODE: Final = "q"
 
 #: Integer sentinel returned by :meth:`InvertedEventIndex.event_id` for
 #: events that never occur in the database.  Ids are non-negative, so ``-1``
@@ -74,7 +90,7 @@ class EventInterner:
 
     __slots__ = ("_id_of", "_event_of")
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._id_of: dict[Event, int] = {}
         self._event_of: list[Event] = []
 
@@ -113,22 +129,21 @@ class PositionsView(SequenceABC):
 
     __slots__ = ("_data",)
 
-    def __init__(self, data: array):
+    def __init__(self, data: Column) -> None:
         self._data = data
 
     def __len__(self) -> int:
         return len(self._data)
 
-    def __getitem__(self, index):
-        result = self._data[index]
+    def __getitem__(self, index: int | slice) -> int | list[int]:
         if isinstance(index, slice):
-            return list(result)
-        return result
+            return list(self._data[index])
+        return self._data[index]
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[int]:
         return iter(self._data)
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         if isinstance(other, PositionsView):
             other = other._data
         if isinstance(other, (list, tuple, array)):
@@ -152,21 +167,44 @@ class InvertedEventIndex:
     database:
         The :class:`~repro.db.database.SequenceDatabase` to index.  The index
         holds 1-based positions, matching landmarks and instances.
+    backend:
+        Where the position columns live: ``"ram"``/``None`` (the default
+        in-process ``array('q')`` store), ``"disk"`` (mmap'd segments, see
+        :mod:`repro.db.backend`), or an already-built
+        :class:`~repro.db.backend.ColumnStore`.
+    backend_dir:
+        Directory for a ``"disk"`` backend (temp dir when ``None``).
+    segment_bytes:
+        Seal threshold for a ``"disk"`` backend's in-RAM tail.
     """
 
-    def __init__(self, database: SequenceDatabase):
+    def __init__(
+        self,
+        database: SequenceDatabase,
+        *,
+        backend: str | ColumnStore | None = None,
+        backend_dir: "str | None" = None,
+        segment_bytes: int | None = None,
+    ) -> None:
         self._database = database
         self._interner = EventInterner()
-        # _lists[i][eid] -> sorted flat array of 1-based positions of the
-        # event with interned id `eid` in S_i.
-        self._lists: list[dict[int, array]] = []
+        # The column store holding the sorted per-(sequence, event id)
+        # position lists; `self._get` is the hoisted hot-path accessor.
+        self._backend = make_backend(
+            backend, directory=backend_dir, segment_bytes=segment_bytes
+        )
+        self._get = self._backend.get
         # _totals[eid] -> total occurrence count across the database (= sup
-        # of the size-1 pattern), maintained incrementally.
+        # of the size-1 pattern), maintained incrementally.  The alphabet is
+        # small, so this stays in RAM for every backend.
         self._totals: list[int] = []
         # Memoised PositionsView wrappers, filled on first `positions()` call
         # — the mining hot path reads `raw_positions_by_id()` and never pays
-        # for a wrapper.
-        self._views: list[dict[Event, PositionsView]] = []
+        # for a wrapper.  Only the RAM backend's arrays grow in place (the
+        # disk backend swaps storage on overlay/seal), so only there is the
+        # wrapper safe to memoise.
+        self._views: dict[tuple[int, Event], PositionsView] = {}
+        self._memoise_views = isinstance(self._backend, RamColumnStore)
         for seq in database:
             self._index_sequence(seq)
 
@@ -177,6 +215,11 @@ class InvertedEventIndex:
     def database(self) -> SequenceDatabase:
         """The indexed database."""
         return self._database
+
+    @property
+    def backend(self) -> ColumnStore:
+        """The column store holding the position lists."""
+        return self._backend
 
     def event_id(self, event: Event) -> int:
         """Interned id of ``event``, or :data:`NO_EVENT` if it never occurs.
@@ -198,17 +241,19 @@ class InvertedEventIndex:
         storage — no copy is made, so this is safe to call per closure check.
         """
         self._check_sequence_index(i)
-        views = self._views[i - 1]
-        view = views.get(event)
+        key = (i, event)
+        view = self._views.get(key)
         if view is None:
             eid = self._interner.id_of(event)
-            positions = self._lists[i - 1].get(eid) if eid >= 0 else None
+            positions = self._get(i, eid) if eid >= 0 else None
             if positions is None:
                 return PositionsView(_EMPTY_POSITIONS)
-            view = views[event] = PositionsView(positions)
+            view = PositionsView(positions)
+            if self._memoise_views:
+                self._views[key] = view
         return view
 
-    def raw_positions(self, i: int, event: Event):
+    def raw_positions(self, i: int, event: Event) -> Column | None:
         """The internal position array for ``(S_i, event)`` or ``None``.
 
         Event-keyed convenience wrapper over :meth:`raw_positions_by_id`;
@@ -217,16 +262,18 @@ class InvertedEventIndex:
         eid = self._interner.id_of(event)
         if eid < 0:
             return None
-        return self._lists[i - 1].get(eid)
+        return self._get(i, eid)
 
-    def raw_positions_by_id(self, i: int, eid: int):
-        """The internal position array for ``(S_i, eid)`` or ``None``.
+    def raw_positions_by_id(self, i: int, eid: int) -> Column | None:
+        """The internal position column for ``(S_i, eid)`` or ``None``.
 
         Hot-path accessor used by the instance-growth sweep: no bounds check,
-        no wrapper, small-int key.  Callers must not mutate the returned
-        array.
+        no wrapper, small-int key.  The column is an ``array('q')`` (RAM
+        backend) or a ``memoryview`` cast to ``'q'`` (mmap'd segment) —
+        either way it is sorted, bisectable, buffer-protocol-compatible, and
+        must not be mutated by callers.
         """
-        return self._lists[i - 1].get(eid)
+        return self._get(i, eid)
 
     def next_position(self, i: int, event: Event, lowest: int) -> int:
         """The paper's ``next(S_i, e, lowest)``.
@@ -258,14 +305,14 @@ class InvertedEventIndex:
         """Distinct events occurring in ``S_i``."""
         self._check_sequence_index(i)
         event_of = self._interner.event_of
-        return {event_of(eid) for eid in self._lists[i - 1]}
+        return {event_of(eid) for eid in self._backend.event_ids(i)}
 
     def sequences_containing(self, event: Event) -> list[int]:
         """1-based indices of sequences containing ``event``."""
         eid = self._interner.id_of(event)
         if eid < 0:
             return []
-        return [i for i, per_event in enumerate(self._lists, start=1) if eid in per_event]
+        return [i for i, _positions in self._backend.occurrences(eid)]
 
     def alphabet(self) -> set[Event]:
         """Distinct events in the database."""
@@ -285,12 +332,12 @@ class InvertedEventIndex:
         result: list[tuple[int, int]] = []
         if eid < 0:
             return result
-        for i, per_event in enumerate(self._lists, start=1):
-            for pos in per_event.get(eid, ()):
+        for i, positions in self._backend.occurrences(eid):
+            for pos in positions:
                 result.append((i, pos))
         return result
 
-    def size_one_arrays(self, event: Event) -> tuple[array, array]:
+    def size_one_arrays(self, event: Event) -> tuple["array[int]", "array[int]"]:
         """Flat ``(sequence indices, positions)`` arrays of all occurrences.
 
         Array form of :meth:`size_one_instances`, consumed directly by the
@@ -302,11 +349,9 @@ class InvertedEventIndex:
         positions = array(POSITION_TYPECODE)
         if eid < 0:
             return seqs, positions
-        for i, per_event in enumerate(self._lists, start=1):
-            plist = per_event.get(eid)
-            if plist:
-                seqs.extend(array(POSITION_TYPECODE, [i]) * len(plist))
-                positions.extend(plist)
+        for i, plist in self._backend.occurrences(eid):
+            seqs.extend(array(POSITION_TYPECODE, [i]) * len(plist))
+            positions.extend(plist)
         return seqs, positions
 
     def frequent_events(self, min_sup: int) -> list[Event]:
@@ -324,7 +369,7 @@ class InvertedEventIndex:
     # ------------------------------------------------------------------
     # Incremental maintenance (the streaming ingestion seam)
     # ------------------------------------------------------------------
-    def append_sequence(self, sequence) -> int:
+    def append_sequence(self, sequence: Sequence | Iterable[Event] | str) -> int:
         """Append a new sequence to the database *and* the index.
 
         The sequence is coerced with :func:`repro.db.sequence.as_sequence`,
@@ -334,7 +379,7 @@ class InvertedEventIndex:
         seq = as_sequence(sequence)
         self._database.add(seq)
         self._index_sequence(seq)
-        return len(self._lists)
+        return self._backend.sequence_count()
 
     def extend_sequence(self, i: int, events: Iterable[Event]) -> None:
         """Append ``events`` to the end of sequence ``S_i``, in place.
@@ -349,20 +394,16 @@ class InvertedEventIndex:
         events = tuple(events)
         if not events:
             return
-        offset = len(self._database.sequence(i))
+        offset = self._database.sequence_length(i)
         self._database.extend_sequence(i, events)
-        per_event = self._lists[i - 1]
+        append_position = self._backend.append_position
         intern = self._interner.intern
         totals = self._totals
         for k, event in enumerate(events, start=offset + 1):
             eid = intern(event)
             if eid == len(totals):
                 totals.append(0)
-            plist = per_event.get(eid)
-            if plist is None:
-                per_event[eid] = array(POSITION_TYPECODE, (k,))
-            else:
-                plist.append(k)
+            append_position(i, eid, k)
             totals[eid] += 1
 
     # ------------------------------------------------------------------
@@ -372,19 +413,19 @@ class InvertedEventIndex:
         """Index one (new) sequence: re-key its position lists on interned ids."""
         intern = self._interner.intern
         totals = self._totals
-        per_event: dict[int, array] = {}
+        per_event: dict[int, "array[int]"] = {}
         for event, plist in seq.inverted_positions().items():
             eid = intern(event)
             if eid == len(totals):
                 totals.append(0)
             per_event[eid] = plist
             totals[eid] += len(plist)
-        self._lists.append(per_event)
-        self._views.append({})
+        self._backend.add_sequence(per_event)
 
     def _check_sequence_index(self, i: int) -> None:
-        if i < 1 or i > len(self._lists):
-            raise IndexError(f"sequence index {i} out of range 1..{len(self._lists)}")
+        count = self._backend.sequence_count()
+        if i < 1 or i > count:
+            raise IndexError(f"sequence index {i} out of range 1..{count}")
 
 
 def next_position_scan(sequence: Sequence, event: Event, lowest: int) -> int:
@@ -395,6 +436,11 @@ def next_position_scan(sequence: Sequence, event: Event, lowest: int) -> int:
     return NO_POSITION
 
 
-def build_index(database: SequenceDatabase) -> InvertedEventIndex:
+def build_index(
+    database: SequenceDatabase,
+    *,
+    backend: str | ColumnStore | None = None,
+    backend_dir: "str | None" = None,
+) -> InvertedEventIndex:
     """Convenience constructor mirroring the functional style of the miners."""
-    return InvertedEventIndex(database)
+    return InvertedEventIndex(database, backend=backend, backend_dir=backend_dir)

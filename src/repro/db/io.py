@@ -19,6 +19,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 from collections.abc import Iterable
+from typing import Any
 
 from repro.db.database import SequenceDatabase
 from repro.db.sequence import Sequence
@@ -136,7 +137,7 @@ def load_json(path: PathLike) -> SequenceDatabase:
     return database_from_json(data)
 
 
-def database_from_json(data) -> SequenceDatabase:
+def database_from_json(data: Any) -> SequenceDatabase:
     """Build a database from already-parsed JSON data."""
     if isinstance(data, dict):
         name = data.get("name")
@@ -147,7 +148,7 @@ def database_from_json(data) -> SequenceDatabase:
     return SequenceDatabase([Sequence(seq) for seq in sequences], name=name)
 
 
-def database_to_json(database: SequenceDatabase) -> dict:
+def database_to_json(database: SequenceDatabase) -> dict[str, Any]:
     """Return a JSON-serialisable representation of ``database``."""
     return {
         "name": database.name,

@@ -1,0 +1,151 @@
+"""Lazily materialised sequence database.
+
+With the disk backend the inverted index already holds every event of
+every sequence — as position columns in mmap'd segment files.  Keeping a
+second, fully materialised copy of the data as per-sequence Python tuples
+(:class:`~repro.db.sequence.Sequence`) would defeat the point of mining
+bigger-than-RAM databases, and the mining hot path never reads sequences
+anyway (it works entirely off the index).
+
+:class:`LazySequenceDatabase` therefore stores only per-sequence *lengths*
+(one ``int64`` each) plus optional sids, and rebuilds a
+:class:`~repro.db.sequence.Sequence` on demand by scattering the bound
+index's position lists back into event order.  Materialisation costs
+``O(length)`` per call and allocates a fresh sequence each time — fine for
+the places that need it (instance validation, snapshots, reports), all far
+from the hot path.
+
+The database must be mutated *through its bound index*
+(:meth:`~repro.db.index.InvertedEventIndex.append_sequence` /
+``extend_sequence``), which is how the streaming layer already works;
+mutating it directly would desynchronise the lengths from the positions.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections import Counter
+from collections.abc import Hashable, Iterable, Iterator
+from typing import TYPE_CHECKING
+
+from repro.db.backend import POSITION_TYPECODE
+from repro.db.database import SequenceDatabase
+from repro.db.sequence import Event, Sequence, as_sequence
+
+if TYPE_CHECKING:
+    from repro.db.index import InvertedEventIndex
+
+__all__ = ["LazySequenceDatabase"]
+
+
+class LazySequenceDatabase(SequenceDatabase):
+    """A :class:`SequenceDatabase` that stores lengths, not events.
+
+    Create it empty, build an :class:`~repro.db.index.InvertedEventIndex`
+    over it (typically with the ``"disk"`` backend), and :meth:`bind_index`
+    it; every sequence access from then on reconstructs events from the
+    index's position columns and the interner.
+    """
+
+    def __init__(self, name: str | None = None) -> None:
+        super().__init__((), name=name)
+        self._lengths: "array[int]" = array(POSITION_TYPECODE)
+        self._sids: list[Hashable | None] = []
+        self._index: InvertedEventIndex | None = None
+
+    def bind_index(self, index: "InvertedEventIndex") -> None:
+        """Attach the index whose position columns back this database."""
+        self._index = index
+
+    # ------------------------------------------------------------------
+    # Mutation (driven by the bound index)
+    # ------------------------------------------------------------------
+    def add(self, sequence: Sequence | Iterable[Event] | str) -> None:
+        """Record a new sequence's length and sid; events live in the index."""
+        seq = as_sequence(sequence)
+        self._lengths.append(len(seq))
+        self._sids.append(seq.sid)
+
+    def extend_sequence(self, i: int, events: Iterable[Event]) -> None:
+        """Grow the recorded length of ``S_i``; positions live in the index."""
+        self._check(i)
+        self._lengths[i - 1] += len(tuple(events))
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def sequence(self, i: int) -> Sequence:
+        """Materialise ``S_i`` by scattering the index's position lists."""
+        self._check(i)
+        index = self._require_index()
+        events: list[Event] = [None] * self._lengths[i - 1]
+        event_of = index.event_of
+        raw = index.raw_positions_by_id
+        for eid in index.backend.event_ids(i):
+            event = event_of(eid)
+            positions = raw(i, eid)
+            if positions is not None:
+                for pos in positions:
+                    events[pos - 1] = event
+        return Sequence(events, sid=self._sids[i - 1])
+
+    def sequence_length(self, i: int) -> int:
+        """Length of ``S_i`` without materialising it."""
+        self._check(i)
+        return self._lengths[i - 1]
+
+    def __len__(self) -> int:
+        return len(self._lengths)
+
+    def __iter__(self) -> Iterator[Sequence]:
+        for i in range(1, len(self._lengths) + 1):
+            yield self.sequence(i)
+
+    def __getitem__(self, index: int | slice) -> Sequence | SequenceDatabase:
+        n = len(self._lengths)
+        if isinstance(index, slice):
+            selected = [self.sequence(k + 1) for k in range(*index.indices(n))]
+            return SequenceDatabase(selected, name=self.name)
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise IndexError(f"index {index} out of range for {n} sequences")
+        return self.sequence(index + 1)
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<LazySequenceDatabase{label}: {len(self)} sequences, "
+            f"{self.total_length()} events>"
+        )
+
+    # ------------------------------------------------------------------
+    # Aggregates answered without materialising anything
+    # ------------------------------------------------------------------
+    def total_length(self) -> int:
+        return sum(self._lengths)
+
+    def max_length(self) -> int:
+        return max(self._lengths, default=0)
+
+    def alphabet(self) -> set[Event]:
+        return self._require_index().alphabet()
+
+    def event_counts(self) -> Counter[Event]:
+        index = self._require_index()
+        return Counter({event: index.total_count(event) for event in index.alphabet()})
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _require_index(self) -> "InvertedEventIndex":
+        if self._index is None:
+            raise RuntimeError(
+                "LazySequenceDatabase has no bound index; build an "
+                "InvertedEventIndex over it and call bind_index() first"
+            )
+        return self._index
+
+    def _check(self, i: int) -> None:
+        if i < 1 or i > len(self._lengths):
+            raise IndexError(f"sequence index {i} out of range 1..{len(self._lengths)}")

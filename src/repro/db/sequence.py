@@ -31,7 +31,7 @@ class Sequence:
 
     __slots__ = ("_events", "sid")
 
-    def __init__(self, events: Iterable[Event], sid: Hashable | None = None):
+    def __init__(self, events: Iterable[Event], sid: Hashable | None = None) -> None:
         if isinstance(events, str):
             self._events: tuple[Event, ...] = tuple(events)
         else:
@@ -58,7 +58,7 @@ class Sequence:
         """Return all 1-based positions at which ``event`` occurs."""
         return [i + 1 for i, e in enumerate(self._events) if e == event]
 
-    def inverted_positions(self) -> dict[Event, array]:
+    def inverted_positions(self) -> dict[Event, "array[int]"]:
         """Per-event sorted flat arrays of 1-based positions.
 
         One pass over the sequence, producing the ``L_{e,S}`` lists of the
@@ -66,7 +66,7 @@ class Sequence:
         (typecode ``'q'``); :class:`~repro.db.index.InvertedEventIndex` stores
         these verbatim.
         """
-        per_event: dict[Event, array] = {}
+        per_event: dict[Event, "array[int]"] = {}
         for pos, event in enumerate(self._events, start=1):
             positions = per_event.get(event)
             if positions is None:
@@ -75,7 +75,7 @@ class Sequence:
                 positions.append(pos)
         return per_event
 
-    def alphabet(self) -> set:
+    def alphabet(self) -> set[Event]:
         """Return the set of distinct events occurring in this sequence."""
         return set(self._events)
 
@@ -113,14 +113,13 @@ class Sequence:
     def __iter__(self) -> Iterator[Event]:
         return iter(self._events)
 
-    def __getitem__(self, index):
+    def __getitem__(self, index: int | slice) -> Event | Sequence:
         # 0-based Python access; use :meth:`at` for the paper's 1-based access.
-        result = self._events[index]
         if isinstance(index, slice):
-            return Sequence(result, sid=self.sid)
-        return result
+            return Sequence(self._events[index], sid=self.sid)
+        return self._events[index]
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         if isinstance(other, Sequence):
             return self._events == other._events
         if isinstance(other, (tuple, list)):
@@ -146,7 +145,7 @@ def format_events(events: PySequence[Event]) -> str:
     return " ".join(str(e) for e in events)
 
 
-def as_sequence(obj, sid: Hashable | None = None) -> Sequence:
+def as_sequence(obj: Sequence | Iterable[Event] | str, sid: Hashable | None = None) -> Sequence:
     """Coerce strings, lists, tuples or Sequences into a :class:`Sequence`."""
     if isinstance(obj, Sequence):
         return obj

@@ -28,7 +28,7 @@ class DatabaseStats:
     min_length: int
     event_counts: dict[Event, int] = field(repr=False, default_factory=dict)
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, int | float]:
         """Return the scalar statistics as a plain dictionary (for reports)."""
         return {
             "num_sequences": self.num_sequences,

@@ -22,8 +22,10 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Iterator
 
+from repro.db.backend import ColumnStore
 from repro.db.database import SequenceDatabase
 from repro.db.index import InvertedEventIndex
+from repro.db.lazy import LazySequenceDatabase
 from repro.db.sequence import Event, Sequence
 
 
@@ -36,11 +38,41 @@ class StreamingSequenceDatabase:
         Optional initial sequences (appended one by one).
     name:
         Optional human-readable name, forwarded to the underlying database.
+    db_backend:
+        Storage backend of the position lists: ``None``/``"ram"`` (default)
+        or ``"disk"`` (mmap'd segments, see :mod:`repro.db.backend`).  With
+        ``"disk"`` the underlying database is a
+        :class:`~repro.db.lazy.LazySequenceDatabase` — ingested events live
+        only in the index's columns, and sequences materialise on demand.
+    db_dir:
+        Directory for a ``"disk"`` backend (a temp dir when ``None``).
+    segment_bytes:
+        Seal threshold of a ``"disk"`` backend's in-RAM tail.
     """
 
-    def __init__(self, sequences: Iterable = (), name: str | None = None):
-        self._database = SequenceDatabase(name=name)
-        self._index = InvertedEventIndex(self._database)
+    def __init__(
+        self,
+        sequences: Iterable = (),
+        name: str | None = None,
+        *,
+        db_backend: str | ColumnStore | None = None,
+        db_dir: str | None = None,
+        segment_bytes: int | None = None,
+    ):
+        lazy = db_backend is not None and db_backend != "ram"
+        self._database: SequenceDatabase
+        if lazy:
+            self._database = LazySequenceDatabase(name=name)
+        else:
+            self._database = SequenceDatabase(name=name)
+        self._index = InvertedEventIndex(
+            self._database,
+            backend=db_backend,
+            backend_dir=db_dir,
+            segment_bytes=segment_bytes,
+        )
+        if isinstance(self._database, LazySequenceDatabase):
+            self._database.bind_index(self._index)
         self._appended_sequences = 0
         self._appended_events = 0
         for seq in sequences:
@@ -57,7 +89,7 @@ class StreamingSequenceDatabase:
         """
         i = self._index.append_sequence(sequence)
         self._appended_sequences += 1
-        self._appended_events += len(self._database.sequence(i))
+        self._appended_events += self._database.sequence_length(i)
         return i
 
     def extend(self, i: int, events: Iterable[Event]) -> None:

@@ -46,7 +46,10 @@ workers always load the freshest window.
 
 from __future__ import annotations
 
+import shutil
+import tempfile
 import threading
+import weakref
 from dataclasses import dataclass, field
 from pathlib import Path
 from collections.abc import Iterable
@@ -68,13 +71,51 @@ from repro.stream.database import StreamingSequenceDatabase
 PatternKey = tuple[Event, ...]
 
 
+def _cleanup_shard_dir(directory: str) -> None:
+    """Best-effort removal of a shard's private backend directory."""
+    shutil.rmtree(directory, ignore_errors=True)
+
+
 class _Shard:
-    """One group of consecutive window sequences with its mining caches."""
+    """One group of consecutive window sequences with its mining caches.
 
-    __slots__ = ("stream", "handles", "offsets", "dirty", "table", "supports", "mined_threshold")
+    With a ``"disk"`` database backend every shard owns a private segment
+    directory (an ephemeral temp dir, created under ``db_dir`` when one is
+    given): shard lifetimes are independent — eviction rebuilds or drops a
+    shard wholesale — so sharing one store would mix live and dead columns.
+    The directory is removed when the shard is closed, rebuilt or
+    garbage-collected.
+    """
 
-    def __init__(self, sequences: Iterable = (), handles: Iterable[int] = ()):
-        self.stream = StreamingSequenceDatabase(sequences)
+    __slots__ = (
+        "stream",
+        "handles",
+        "offsets",
+        "dirty",
+        "table",
+        "supports",
+        "mined_threshold",
+        "db_backend",
+        "db_dir",
+        "spill_budget",
+        "_dir_finalizer",
+        "__weakref__",
+    )
+
+    def __init__(
+        self,
+        sequences: Iterable = (),
+        handles: Iterable[int] = (),
+        *,
+        db_backend: str | None = None,
+        db_dir: str | None = None,
+        spill_budget: int | None = None,
+    ):
+        self.db_backend = db_backend
+        self.db_dir = db_dir
+        self.spill_budget = spill_budget
+        self._dir_finalizer: weakref.finalize | None = None
+        self.stream = self._new_stream(sequences)
         self.handles: list[int] = list(handles)
         #: handle -> 0-based local offset within this shard, kept in lock-step
         #: with `handles` so `extend` never pays an O(shard_size) scan.
@@ -117,7 +158,14 @@ class _Shard:
     ) -> None:
         """Recompute the locally frequent table at ``threshold``."""
         with obs.span("stream.remine.seconds"):
-            result = GSgrow(threshold, max_length=max_length, obs=obs).mine(self.stream.index)
+            miner = GSgrow(
+                threshold,
+                max_length=max_length,
+                obs=obs,
+                spill_budget=self.spill_budget,
+                spill_dir=self.db_dir,
+            )
+            result = miner.mine(self.stream.index)
         self.table = {mp.pattern.events: mp.support for mp in result}
         self.supports = dict(self.table)
         self.mined_threshold = threshold
@@ -129,11 +177,33 @@ class _Shard:
         remaining = self.stream.database.sequences[count:]
         del self.handles[:count]
         self.offsets = {h: k for k, h in enumerate(self.handles)}
-        self.stream = StreamingSequenceDatabase(remaining)
+        self.close()
+        self.stream = self._new_stream(remaining)
         self.dirty = True
         self.table = {}
         self.supports = {}
         self.mined_threshold = None
+
+    def close(self) -> None:
+        """Release the shard's backend (mappings, journal, temp directories)."""
+        self.stream.index.backend.close()
+        if self._dir_finalizer is not None:
+            self._dir_finalizer()
+            self._dir_finalizer = None
+
+    def _new_stream(self, sequences: Iterable) -> StreamingSequenceDatabase:
+        """A fresh streaming database over ``sequences`` with this shard's backend.
+
+        Never reuses a previous directory: a disk store reopening one would
+        replay segments of the pre-eviction shard contents.
+        """
+        backend_dir = None
+        if self.db_backend is not None and self.db_backend != "ram" and self.db_dir is not None:
+            backend_dir = tempfile.mkdtemp(prefix="shard-", dir=self.db_dir)
+            self._dir_finalizer = weakref.finalize(self, _cleanup_shard_dir, backend_dir)
+        return StreamingSequenceDatabase(
+            sequences, db_backend=self.db_backend, db_dir=backend_dir
+        )
 
 
 @dataclass
@@ -233,6 +303,21 @@ class StreamMiner:
     max_length:
         Optional pattern-length cap, matching the batch miners' semantics
         (closed in the full universe, truncated at the cap).
+    db_backend:
+        Storage backend of the per-shard inverted indexes: ``None``/``"ram"``
+        (default) or ``"disk"`` (mmap'd segment files plus a journalled
+        in-RAM tail, see :mod:`repro.db.backend`).  With ``"disk"`` each
+        shard's sequences live only in its index columns
+        (:class:`~repro.db.lazy.LazySequenceDatabase`), so the window's
+        resident footprint is bounded by the tails, not the data.
+    db_dir:
+        Parent directory for the ``"disk"`` shard stores (each shard gets a
+        private ``shard-*`` temp dir under it, removed when the shard goes).
+        ``None`` uses the system temp directory.
+    spill_budget:
+        Optional per-support-set byte budget forwarded to the per-shard
+        :class:`GSgrow` runs: over-budget DFS frontier sets are spilled to
+        disk (:mod:`repro.core.spill`).  Results are identical either way.
     store_path:
         Optional path of a :class:`~repro.match.store.PatternStore` file to
         (re)write after every :meth:`refresh` — the stream-to-serving bridge.
@@ -264,6 +349,9 @@ class StreamMiner:
         window: int | None = None,
         window_seconds: float | None = None,
         max_length: int | None = None,
+        db_backend: str | None = None,
+        db_dir: str | Path | None = None,
+        spill_budget: int | None = None,
         store_path: str | Path | None = None,
         obs: MetricsRegistry | None = None,
     ):
@@ -277,12 +365,21 @@ class StreamMiner:
             raise ValueError(f"window_seconds must be > 0, got {window_seconds}")
         if max_length is not None and max_length < 1:
             raise ValueError(f"max_length must be >= 1, got {max_length}")
+        if db_backend not in (None, "ram", "disk"):
+            raise ValueError(f"db_backend must be None, 'ram' or 'disk', got {db_backend!r}")
+        if spill_budget is not None and spill_budget < 1:
+            raise ValueError(f"spill_budget must be >= 1, got {spill_budget}")
         self.min_sup = min_sup
         self.closed = closed
         self.shard_size = shard_size
         self.window = window
         self.window_seconds = window_seconds
         self.max_length = max_length
+        self.db_backend = db_backend
+        self.db_dir = str(db_dir) if db_dir is not None else None
+        if self.db_dir is not None:
+            Path(self.db_dir).mkdir(parents=True, exist_ok=True)
+        self.spill_budget = spill_budget
         self.store_path = Path(store_path) if store_path is not None else None
         # Re-entrant: append_many -> append and results -> refresh nest.
         self._lock = threading.RLock()
@@ -446,6 +543,12 @@ class StreamMiner:
         if not obs.enabled:
             return
         current = self.stats.as_dict()
+        resident = 0
+        mapped = 0
+        for shard in self._shards:
+            backend_stats = shard.stream.index.backend.memory_stats()
+            resident += backend_stats["resident_bytes"]
+            mapped += backend_stats["mapped_bytes"]
         with obs.locked():
             for key, value in current.items():
                 delta = value - self._mirrored.get(key, 0)
@@ -453,6 +556,8 @@ class StreamMiner:
                     obs.counter(f"stream.{key}").inc(delta)
             obs.gauge("stream.window_sequences").set(len(self))
             obs.gauge("stream.shards").set(len(self._shards))
+            obs.gauge("db.backend.resident.bytes").set(resident)
+            obs.gauge("db.backend.mapped.bytes").set(mapped)
         self._mirrored = current
 
     def _publish_store(self, update: StreamUpdate) -> None:
@@ -486,6 +591,19 @@ class StreamMiner:
         """The current pattern set (refreshing first if anything is dirty)."""
         return self.refresh().result
 
+    def close(self) -> None:
+        """Drop the window and release shard backends (mappings, temp dirs).
+
+        Only needed with ``db_backend="disk"`` (and even then shard stores
+        clean up on garbage collection); the miner is empty afterwards.
+        """
+        with self._lock:
+            for shard in self._shards:
+                shard.close()
+            self._shards.clear()
+            self._shard_of.clear()
+            self._timestamps.clear()
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -515,7 +633,13 @@ class StreamMiner:
     # ------------------------------------------------------------------
     def _open_shard(self) -> _Shard:
         if not self._shards or len(self._shards[-1]) >= self.shard_size:
-            self._shards.append(_Shard())
+            self._shards.append(
+                _Shard(
+                    db_backend=self.db_backend,
+                    db_dir=self.db_dir,
+                    spill_budget=self.spill_budget,
+                )
+            )
         return self._shards[-1]
 
     def _evict_over_window(self) -> None:
@@ -552,6 +676,7 @@ class StreamMiner:
                 self._timestamps.pop(handle, None)
             if drop == len(oldest):
                 self._shards.pop(0)
+                oldest.close()
             else:
                 oldest.drop_oldest(drop)
             count -= drop

@@ -1,0 +1,143 @@
+"""LazySequenceDatabase: materialisation from the bound index's columns.
+
+The lazy database stores only lengths and sids; every sequence read
+scatters the index's position lists back into event order.  The contract
+under test: driven through a :class:`StreamingSequenceDatabase` with the
+``"disk"`` backend, it is observationally identical to an eager
+:class:`SequenceDatabase` holding the same data.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.db.database import SequenceDatabase
+from repro.db.lazy import LazySequenceDatabase
+from repro.db.sequence import Sequence
+from repro.stream.database import StreamingSequenceDatabase
+
+
+def paired_databases(tmp_path, sequences):
+    """The same sequences as (eager reference, disk-backed lazy) databases."""
+    eager = SequenceDatabase(sequences, name="ref")
+    stream = StreamingSequenceDatabase(
+        sequences,
+        name="ref",
+        db_backend="disk",
+        db_dir=str(tmp_path / "db"),
+        segment_bytes=256,
+    )
+    lazy = stream.database
+    assert isinstance(lazy, LazySequenceDatabase)
+    return eager, stream, lazy
+
+
+SEQUENCES = [
+    Sequence("abcab", sid="s0"),
+    Sequence("cba", sid="s1"),
+    Sequence("aa", sid="s2"),
+    Sequence("bcbcb", sid="s3"),
+]
+
+
+class TestMaterialisation:
+    def test_sequences_round_trip_with_sids(self, tmp_path):
+        eager, stream, lazy = paired_databases(tmp_path, SEQUENCES)
+        try:
+            assert len(lazy) == len(eager)
+            for i in range(1, len(eager) + 1):
+                assert lazy.sequence(i) == eager.sequence(i)
+                assert lazy.sequence(i).sid == eager.sequence(i).sid
+                assert lazy.sequence_length(i) == eager.sequence_length(i)
+            assert list(lazy) == list(eager)
+            assert lazy == eager  # SequenceDatabase equality compares contents
+        finally:
+            stream.index.backend.close()
+
+    def test_getitem_indexing_and_slicing(self, tmp_path):
+        eager, stream, lazy = paired_databases(tmp_path, SEQUENCES)
+        try:
+            assert lazy[0] == eager[0]
+            assert lazy[-1] == eager[-1]
+            sliced = lazy[1:3]
+            assert isinstance(sliced, SequenceDatabase)
+            assert sliced.sequences == eager[1:3].sequences
+            with pytest.raises(IndexError):
+                lazy[len(SEQUENCES)]
+        finally:
+            stream.index.backend.close()
+
+    def test_aggregates_avoid_materialisation_but_agree(self, tmp_path):
+        eager, stream, lazy = paired_databases(tmp_path, SEQUENCES)
+        try:
+            assert lazy.total_length() == eager.total_length()
+            assert lazy.max_length() == eager.max_length()
+            assert lazy.average_length() == eager.average_length()
+            assert lazy.alphabet() == eager.alphabet()
+            assert lazy.event_counts() == eager.event_counts()
+        finally:
+            stream.index.backend.close()
+
+    def test_repr_names_the_class_and_counts(self, tmp_path):
+        _eager, stream, lazy = paired_databases(tmp_path, SEQUENCES)
+        try:
+            assert "LazySequenceDatabase" in repr(lazy)
+            assert f"{len(SEQUENCES)} sequences" in repr(lazy)
+        finally:
+            stream.index.backend.close()
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_randomized_appends_and_extensions(self, tmp_path, seed):
+        rng = random.Random(seed)
+        eager = SequenceDatabase(name="rand")
+        stream = StreamingSequenceDatabase(
+            name="rand", db_backend="disk", db_dir=str(tmp_path / "db"), segment_bytes=128
+        )
+        try:
+            for _ in range(40):
+                if len(eager) == 0 or rng.random() < 0.5:
+                    seq = "".join(rng.choice("abcd") for _ in range(rng.randrange(1, 8)))
+                    eager.add(seq)
+                    stream.append(seq)
+                else:
+                    i = rng.randrange(1, len(eager) + 1)
+                    extra = [rng.choice("abcd") for _ in range(rng.randrange(1, 4))]
+                    eager.extend_sequence(i, extra)
+                    stream.extend(i, extra)
+            assert list(stream.database) == list(eager)
+            # The from-scratch oracle agrees with the incremental index.
+            rebuilt = stream.rebuilt_index()
+            for i in range(1, len(eager) + 1):
+                for event in "abcd":
+                    assert stream.index.positions(i, event) == rebuilt.positions(i, event)
+        finally:
+            stream.index.backend.close()
+
+
+class TestGuards:
+    def test_unbound_index_raises_on_materialisation(self):
+        lazy = LazySequenceDatabase()
+        lazy.add("abc")
+        with pytest.raises(RuntimeError, match="no bound index"):
+            lazy.sequence(1)
+
+    def test_out_of_range_indices_raise(self, tmp_path):
+        _eager, stream, lazy = paired_databases(tmp_path, SEQUENCES)
+        try:
+            with pytest.raises(IndexError):
+                lazy.sequence(0)
+            with pytest.raises(IndexError):
+                lazy.sequence(len(SEQUENCES) + 1)
+            with pytest.raises(IndexError):
+                lazy.sequence_length(len(SEQUENCES) + 1)
+        finally:
+            stream.index.backend.close()
+
+    def test_lengths_track_without_an_index(self):
+        lazy = LazySequenceDatabase()
+        lazy.add("abc")
+        lazy.extend_sequence(1, "de")
+        assert lazy.sequence_length(1) == 5
+        assert lazy.total_length() == 5

@@ -1,0 +1,10 @@
+"""RL007 positive fixture: storage byte-format internals imported outside repro.db."""
+
+from __future__ import annotations
+
+from repro.db.backend.layout import SEGMENT_MAGIC  # -> RL007
+from repro.db.backend import disk  # module import via facade -> RL007
+
+import repro.db.backend.layout  # plain module import -> RL007
+
+__all__ = ["SEGMENT_MAGIC", "disk", "repro"]

@@ -1,0 +1,8 @@
+"""RL007 negative fixture: repro.db itself may import the backend internals."""
+
+from __future__ import annotations
+
+from repro.db.backend.disk import DiskColumnStore  # inside the seam: fine
+from repro.db.backend.layout import TailJournal  # inside the seam: fine
+
+__all__ = ["DiskColumnStore", "TailJournal"]

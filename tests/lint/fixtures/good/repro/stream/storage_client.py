@@ -1,0 +1,8 @@
+"""RL007 negative fixture: storage reached through the sanctioned facade."""
+
+from __future__ import annotations
+
+from repro.db.backend import ColumnStore, make_backend  # the facade: fine
+from repro.db.backend import POSITION_TYPECODE  # re-exported constant: fine
+
+__all__ = ["ColumnStore", "POSITION_TYPECODE", "make_backend"]

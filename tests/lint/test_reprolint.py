@@ -96,6 +96,16 @@ def test_rl006_allows_pre_bound_guards():
     assert _findings(GOOD / "repro" / "core" / "obs_loop.py") == []
 
 
+def test_rl007_storage_seam_violations(bad_findings):
+    hits = _rules_for(bad_findings, "repro/stream/storage_client.py")
+    assert all(rule == "RL007" for rule, _ in hits)
+    assert [line for _, line in hits] == [5, 6, 8]
+
+
+def test_rl007_allows_imports_inside_repro_db():
+    assert _findings(GOOD / "repro" / "db" / "index.py") == []
+
+
 def test_rl000_directive_errors(bad_findings):
     hits = _rules_for(bad_findings, "repro/serve/protocol.py")
     # The reasonless disable is RL000 and does NOT suppress the RL002 it names;
@@ -107,7 +117,7 @@ def test_rl000_directive_errors(bad_findings):
 
 def test_every_rule_has_positive_coverage(bad_findings):
     fired = {rule for _, rule, _ in bad_findings}
-    assert {"RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL000"} <= fired
+    assert {"RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007", "RL000"} <= fired
 
 
 # ----------------------------------------------------------------------
@@ -153,5 +163,5 @@ def test_cli_exit_codes_and_output(capsys):
 def test_cli_list_rules(capsys):
     assert main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006"):
+    for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007"):
         assert rule_id in out

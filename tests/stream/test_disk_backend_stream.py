@@ -1,0 +1,148 @@
+"""StreamMiner over the disk storage backend.
+
+The acceptance criterion mirrors the RAM streaming tests: with
+``db_backend="disk"`` (index columns in mmap'd segment files, lazy
+sequence materialisation, optionally spilled support sets) every pattern
+update must be **byte-identical** to both the RAM-backed miner fed the
+same schedule and the batch oracle over the equivalent static database.
+Plus the disk-only obligations: per-shard store directories are private,
+live under ``db_dir``, and disappear on close; the obs registry carries
+the resident-vs-mapped gauges.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.clogsgrow import mine_closed
+from repro.datagen.markov import MarkovSequenceGenerator
+from repro.obs import MetricsRegistry
+from repro.stream import StreamMiner
+
+SEEDS = [0, 1, 2]
+
+
+def _markov_sequences(seed, n=24):
+    db = MarkovSequenceGenerator(
+        num_sequences=n, num_events=6, average_length=12.0, concentration=4.0, seed=seed
+    ).generate()
+    return db.sequences
+
+
+def canon(result):
+    return b"\n".join(
+        f"{'|'.join(map(repr, mp.pattern.events))}\t{mp.support}".encode()
+        for mp in sorted(result, key=lambda mp: (len(mp.pattern), repr(mp.pattern.events)))
+    )
+
+
+def disk_miner(tmp_path, min_sup=6, **kwargs):
+    kwargs.setdefault("shard_size", 5)
+    kwargs.setdefault("max_length", 4)
+    return StreamMiner(
+        min_sup, db_backend="disk", db_dir=tmp_path / "stream-db", spill_budget=64, **kwargs
+    )
+
+
+class TestDiskStreamingEquivalence:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_interleaved_refreshes_match_the_ram_miner(self, tmp_path, seed):
+        rng = random.Random(seed)
+        ram = StreamMiner(6, shard_size=5, max_length=4)
+        disk = disk_miner(tmp_path)
+        try:
+            for seq in _markov_sequences(seed):
+                ram.append(seq)
+                disk.append(seq)
+                if rng.random() < 0.3:
+                    assert canon(disk.refresh().result) == canon(ram.refresh().result)
+            assert canon(disk.refresh().result) == canon(ram.refresh().result)
+        finally:
+            disk.close()
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_sliding_window_eviction_matches_batch_oracle(self, tmp_path, seed):
+        miner = disk_miner(tmp_path, min_sup=5, shard_size=4, window=10)
+        try:
+            for step, seq in enumerate(_markov_sequences(seed)):
+                miner.append(seq)
+                assert len(miner) <= 10
+                if step % 5 == 0:
+                    oracle = mine_closed(miner.snapshot_database(), 5, max_length=4)
+                    assert canon(miner.refresh().result) == canon(oracle)
+            oracle = mine_closed(miner.snapshot_database(), 5, max_length=4)
+            assert canon(miner.refresh().result) == canon(oracle)
+        finally:
+            miner.close()
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_extending_sequences_matches_batch_oracle(self, tmp_path, seed):
+        rng = random.Random(seed + 7)
+        miner = disk_miner(tmp_path, min_sup=5, shard_size=4)
+        try:
+            handles = []
+            for seq in _markov_sequences(seed, n=12):
+                handles.append(miner.append(seq))
+                if handles and rng.random() < 0.6:
+                    target = rng.choice(handles)
+                    miner.extend(target, [f"e{rng.randrange(6)}" for _ in range(2)])
+            oracle = mine_closed(miner.snapshot_database(), 5, max_length=4)
+            assert canon(miner.refresh().result) == canon(oracle)
+        finally:
+            miner.close()
+
+
+class TestDiskStreamingHousekeeping:
+    def test_shard_stores_live_under_db_dir_and_close_removes_them(self, tmp_path):
+        db_dir = tmp_path / "stream-db"
+        miner = StreamMiner(6, shard_size=4, db_backend="disk", db_dir=db_dir)
+        for seq in _markov_sequences(0, n=12):
+            miner.append(seq)
+        shard_dirs = list(db_dir.glob("shard-*"))
+        assert len(shard_dirs) == miner.shard_count
+        miner.close()
+        assert list(db_dir.glob("shard-*")) == []
+        assert db_dir.exists()  # the user-supplied parent is left in place
+
+    def test_window_eviction_releases_shard_directories(self, tmp_path):
+        db_dir = tmp_path / "stream-db"
+        miner = StreamMiner(6, shard_size=2, window=4, db_backend="disk", db_dir=db_dir)
+        try:
+            for seq in _markov_sequences(1, n=16):
+                miner.append(seq)
+            # Only the live shards' directories remain after evictions.
+            assert len(list(db_dir.glob("shard-*"))) == miner.shard_count
+        finally:
+            miner.close()
+
+    def test_refresh_mirrors_backend_gauges(self, tmp_path):
+        obs = MetricsRegistry()
+        miner = StreamMiner(
+            6, shard_size=4, max_length=4, db_backend="disk", db_dir=tmp_path / "db", obs=obs
+        )
+        try:
+            for seq in _markov_sequences(2, n=10):
+                miner.append(seq)
+            miner.refresh()
+            gauges = obs.snapshot()["gauges"]
+            assert gauges["db.backend.resident.bytes"] > 0
+            assert "db.backend.mapped.bytes" in gauges
+        finally:
+            miner.close()
+
+    def test_ephemeral_disk_backend_needs_no_db_dir(self):
+        miner = StreamMiner(6, shard_size=4, max_length=4, db_backend="disk")
+        try:
+            for seq in _markov_sequences(0, n=8):
+                miner.append(seq)
+            assert len(miner.refresh().result) > 0
+        finally:
+            miner.close()
+
+    def test_invalid_configuration_is_rejected(self):
+        with pytest.raises(ValueError, match="db_backend"):
+            StreamMiner(2, db_backend="papyrus")
+        with pytest.raises(ValueError, match="spill_budget"):
+            StreamMiner(2, spill_budget=0)

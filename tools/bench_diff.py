@@ -10,6 +10,12 @@ delta — suitable for ``$GITHUB_STEP_SUMMARY``::
 
     python tools/bench_diff.py BENCH_6.json bench-smoke.json
 
+Besides wall-clock medians, the script diffs the **memory peaks** some
+benchmarks record into ``extra_info`` (any key containing ``peak_bytes`` —
+``tracemalloc`` peaks, the bigdb pipeline's RSS peak): a second table with
+then/now bytes and the delta, flagged at the same advisory threshold, so
+memory regressions in the storage/spill paths surface at review time too.
+
 Exit status is always 0 (warn-only by design): rows past the highlight
 threshold are flagged with a warning emoji, never failed.  Benchmarks that
 exist on only one side (added or removed since the snapshot) are listed
@@ -33,6 +39,33 @@ def load_medians(path: Path) -> dict[str, float]:
     with open(path) as handle:
         data = json.load(handle)
     return {bench["fullname"]: bench["stats"]["median"] for bench in data["benchmarks"]}
+
+
+def load_memory_peaks(path: Path) -> dict[str, float]:
+    """Map ``fullname [extra-info key] -> bytes`` for every recorded peak.
+
+    Any ``extra_info`` entry whose key contains ``peak_bytes`` counts — the
+    convention the benchmarks use for ``tracemalloc`` peaks and RSS peaks.
+    """
+    with open(path) as handle:
+        data = json.load(handle)
+    peaks: dict[str, float] = {}
+    for bench in data["benchmarks"]:
+        for key, value in bench.get("extra_info", {}).items():
+            if "peak_bytes" in key and isinstance(value, (int, float)):
+                peaks[f"{bench['fullname']} [{key}]"] = float(value)
+    return peaks
+
+
+def format_bytes(nbytes: float) -> str:
+    """Human-scaled byte count (B/KiB/MiB/GiB) with three significant digits."""
+    if nbytes < 1024:
+        return f"{nbytes:.0f} B"
+    if nbytes < 1024**2:
+        return f"{nbytes / 1024:.1f} KiB"
+    if nbytes < 1024**3:
+        return f"{nbytes / 1024**2:.2f} MiB"
+    return f"{nbytes / 1024**3:.2f} GiB"
 
 
 def format_seconds(seconds: float) -> str:
@@ -69,6 +102,26 @@ def diff_table(baseline: dict[str, float], current: dict[str, float]) -> str:
     return "\n".join(lines)
 
 
+def memory_table(baseline: dict[str, float], current: dict[str, float]) -> str:
+    """Markdown table diffing the recorded memory peaks (empty string if none)."""
+    shared = sorted(baseline.keys() & current.keys())
+    if not shared:
+        return ""
+    lines = [
+        "| memory peak | baseline | current | delta | |",
+        "| --- | ---: | ---: | ---: | --- |",
+    ]
+    for name in shared:
+        then, now = baseline[name], current[name]
+        change = (now - then) / then if then else 0.0
+        flag = ":warning:" if change >= HIGHLIGHT_THRESHOLD else ""
+        lines.append(
+            f"| `{name}` | {format_bytes(then)} | {format_bytes(now)}"
+            f" | {change:+.1%} | {flag} |"
+        )
+    return "\n".join(lines)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; always returns 0 (the diff is advisory)."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -84,6 +137,12 @@ def main(argv: list[str] | None = None) -> int:
     print(f"### Benchmark smoke vs `{args.baseline.name}` (warn-only)")
     print()
     print(diff_table(baseline, current))
+    peaks = memory_table(load_memory_peaks(args.baseline), load_memory_peaks(args.current))
+    if peaks:
+        print()
+        print("#### Memory peaks")
+        print()
+        print(peaks)
     return 0
 
 

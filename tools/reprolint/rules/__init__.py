@@ -9,6 +9,7 @@ from tools.reprolint.rules.rl003_lock_discipline import LockDiscipline
 from tools.reprolint.rules.rl004_layering import EngineLayering
 from tools.reprolint.rules.rl005_wall_clock import NoWallClock
 from tools.reprolint.rules.rl006_obs_guard import ObsGuardDiscipline
+from tools.reprolint.rules.rl007_storage_seam import StorageSeamLayering
 
 ALL_RULES: tuple[Rule, ...] = (
     HotLoopPurity(),
@@ -17,6 +18,7 @@ ALL_RULES: tuple[Rule, ...] = (
     EngineLayering(),
     NoWallClock(),
     ObsGuardDiscipline(),
+    StorageSeamLayering(),
 )
 
 __all__ = [
@@ -28,4 +30,5 @@ __all__ = [
     "ObsGuardDiscipline",
     "Rule",
     "SerializationDeterminism",
+    "StorageSeamLayering",
 ]
