@@ -25,13 +25,18 @@ import pytest
 from repro.core.clogsgrow import CloGSgrow
 from repro.datagen.ibm import QuestParameters, QuestSequenceGenerator
 from repro.match.store import PatternStore
-from repro.obs import MetricsRegistry
+from repro.obs import MetricsRegistry, TraceRecorder
 from repro.serve import PatternServer
 
 #: Enabled-vs-disabled mining time ratio allowed before the overhead
 #: contract is considered broken (the issue's bar is 2%; the assertion adds
 #: headroom for CI timer noise on a sub-second workload).
 MAX_OVERHEAD_RATIO = 1.10
+
+#: Same bar with a trace recorder attached: spans are recorded once per
+#: run/phase, never per DFS node, so enabled tracing must cost what
+#: enabled metrics cost.
+MAX_TRACING_OVERHEAD_RATIO = 1.10
 
 
 @pytest.fixture(scope="module")
@@ -87,13 +92,52 @@ def test_disabled_instrumentation_is_free(benchmark, quest_database):
     assert stats["overhead_ratio"] <= MAX_OVERHEAD_RATIO
 
 
+def test_enabled_tracing_costs_what_metrics_cost(benchmark, quest_database):
+    """A trace recorder on the registry adds no per-node cost to mining.
+
+    Mirrors the pool-worker seam: one ``mine.worker.seconds`` span wraps
+    the whole run (that is where tracing touches mining — never inside the
+    DFS), so the traced side pays exactly one span record per run.
+    """
+
+    def mine_seconds(obs):
+        start = time.perf_counter()
+        with obs.span("mine.worker.seconds"):
+            CloGSgrow(12, max_length=4, obs=obs).mine(quest_database)
+        return time.perf_counter() - start
+
+    def compare(rounds=5):
+        plain, traced = [], []
+        recorders = []
+        for _ in range(rounds):
+            plain.append(mine_seconds(MetricsRegistry()))
+            recorder = TraceRecorder()
+            traced.append(mine_seconds(MetricsRegistry(recorder=recorder)))
+            recorders.append(recorder)
+        return {
+            "plain_mine_seconds": min(plain),
+            "traced_mine_seconds": min(traced),
+            "tracing_overhead_ratio": min(traced) / min(plain),
+            # spans per run stays a small constant (phases, not DFS nodes)
+            "trace.spans.per_run": max(r.total for r in recorders),
+            "trace.spans.dropped": sum(r.dropped for r in recorders),
+        }
+
+    stats = benchmark.pedantic(compare, rounds=1, iterations=1)
+    benchmark.extra_info.update(stats)
+    assert stats["tracing_overhead_ratio"] <= MAX_TRACING_OVERHEAD_RATIO
+    assert stats["trace.spans.dropped"] == 0
+    assert 0 < stats["trace.spans.per_run"] < 64
+
+
 def test_serve_stats_in_smoke_json(benchmark, quest_database, tmp_path):
     """Drive the daemon's request path; record per-op counts and quantiles."""
     store = PatternStore.from_result(CloGSgrow(12, max_length=4).mine(quest_database))
     path = tmp_path / "patterns.rps"
     store.save(path)
     queries = ["".join(map(str, range(8))), "0123", "99"]
-    server = PatternServer(path)
+    recorder = TraceRecorder()
+    server = PatternServer(path, obs=MetricsRegistry(recorder=recorder))
     try:
 
         def drive():
@@ -112,4 +156,14 @@ def test_serve_stats_in_smoke_json(benchmark, quest_database, tmp_path):
     score_latency = snapshot["histograms"]["serve.op.score.seconds"]
     benchmark.extra_info.update(
         {f"serve.op.score.seconds.{key}": value for key, value in score_latency.items()}
+    )
+    # The trace recorder's own counters ride along in the smoke artifact:
+    # spans recorded (op + matcher spans per request) and ring drops.
+    assert recorder.total > 0
+    benchmark.extra_info.update(
+        {
+            "trace.spans.total": recorder.total,
+            "trace.spans.dropped": recorder.dropped,
+            "trace.spans.retained": len(recorder),
+        }
     )

@@ -48,7 +48,8 @@ from repro.db.index import InvertedEventIndex
 from repro.match.automaton import MatchResult, PatternAutomaton
 from repro.match.service import PatternMatcher, SequenceScore, score_database
 from repro.match.store import PatternStore, load_patterns, save_patterns
-from repro.obs import MetricsRegistry
+from repro.obs import MetricsRegistry, TraceContext, TraceRecorder, activated, current_context
+from repro.obs.aggregate import WorkerTelemetry, absorb_telemetry, capture_telemetry
 from repro.serve.daemon import PatternServer
 from repro.serve.daemon import serve as _serve_daemon
 from repro.stream.miner import StreamMiner, StreamUpdate
@@ -115,7 +116,7 @@ def mine(
     return mine_all(database, min_sup, **kwargs)
 
 
-def _mine_one(task) -> tuple[MiningResult, float]:
+def _mine_one(task) -> tuple[MiningResult, float, WorkerTelemetry | None]:
     """Process-pool worker: mine one database with its configuration.
 
     Module-level (not a closure) so it pickles under the ``spawn`` start
@@ -123,11 +124,23 @@ def _mine_one(task) -> tuple[MiningResult, float]:
     together with the in-worker mining wall-clock, so batched callers (the
     experiment harness) can report per-database runtimes without a second
     timed pass.
+
+    When the task asks for telemetry, the worker mines into its own
+    registry (with a trace recorder, under the caller's trace context) and
+    returns the captured :class:`~repro.obs.aggregate.WorkerTelemetry`
+    third — previously the worker registry simply died with the process
+    and its counters/spans were lost; now the parent absorbs them.
     """
-    database, min_sup, closed, kwargs = task
+    database, min_sup, closed, kwargs, telemetry, trace_wire = task
+    if not telemetry:
+        start = time.perf_counter()
+        result = mine(database, min_sup, closed=closed, **kwargs)
+        return result, time.perf_counter() - start, None
+    obs = MetricsRegistry(recorder=TraceRecorder())
     start = time.perf_counter()
-    result = mine(database, min_sup, closed=closed, **kwargs)
-    return result, time.perf_counter() - start
+    with activated(TraceContext.from_wire(trace_wire)), obs.span("mine.worker.seconds"):
+        result = mine(database, min_sup, closed=closed, obs=obs, **kwargs)
+    return result, time.perf_counter() - start, capture_telemetry(obs)
 
 
 def mine_many(
@@ -137,6 +150,7 @@ def mine_many(
     closed: bool = True,
     n_jobs: int | None = None,
     with_timings: bool = False,
+    obs: MetricsRegistry | None = None,
     **kwargs,
 ) -> list[MiningResult] | list[tuple[MiningResult, float]]:
     """Mine a batch of databases with one shared configuration.
@@ -167,6 +181,15 @@ def mine_many(
         ``True`` returns ``(result, seconds)`` pairs, where ``seconds`` is
         the mining wall-clock measured around each database's run (inside
         the worker when a pool is used).
+    obs:
+        Optional :class:`~repro.obs.MetricsRegistry`.  Serial runs mine
+        straight into it; pooled runs give each worker its own registry
+        (plus a trace recorder, under the caller's ambient trace context)
+        and merge the telemetry back on return
+        (:meth:`~repro.obs.MetricsRegistry.merge` — counters additive,
+        histograms bucket-wise), so the parent registry's ``mine.*``
+        counters total the same whether the batch ran in one process or
+        eight.
     kwargs:
         Forwarded to the miner configuration (``max_length``,
         ``store_instances``, ``constraint``, ...).
@@ -189,8 +212,11 @@ def mine_many(
                 f"got {len(thresholds)} thresholds for {len(databases)} databases"
             )
     if n_jobs is None or n_jobs == 1 or len(databases) <= 1:
+        # Serial runs mine straight into the caller's registry — no
+        # telemetry envelope needed, the miner records as it goes.
+        serial_kwargs = kwargs if obs is None else {**kwargs, "obs": obs}
         timed = [
-            _mine_one((db, threshold, closed, kwargs))
+            _mine_one((db, threshold, closed, serial_kwargs, False, None))
             for db, threshold in zip(databases, thresholds, strict=False)
         ]
     else:
@@ -202,16 +228,25 @@ def mine_many(
         payload = [
             db.database if isinstance(db, InvertedEventIndex) else db for db in databases
         ]
+        # A live registry holds locks and cannot cross the pool boundary;
+        # workers build their own and ship the telemetry home instead.
+        telemetry = obs is not None and obs.enabled
+        context = current_context() if telemetry else None
+        trace_wire = context.to_wire() if context is not None else None
         tasks = [
-            (db, threshold, closed, kwargs) for db, threshold in zip(payload, thresholds, strict=False)
+            (db, threshold, closed, kwargs, telemetry, trace_wire)
+            for db, threshold in zip(payload, thresholds, strict=False)
         ]
         from concurrent.futures import ProcessPoolExecutor
 
         with ProcessPoolExecutor(max_workers=min(n_jobs, len(tasks))) as pool:
             timed = list(pool.map(_mine_one, tasks))
+        if obs is not None:
+            for _, _, worker_telemetry in timed:
+                absorb_telemetry(obs, worker_telemetry)
     if with_timings:
-        return timed
-    return [result for result, _ in timed]
+        return [(result, seconds) for result, seconds, _ in timed]
+    return [result for result, _, _ in timed]
 
 
 def match(
@@ -303,6 +338,7 @@ def mine_stream(
     db_backend: str | None = None,
     db_dir: str | None = None,
     spill_budget: int | None = None,
+    n_jobs: int | None = None,
 ) -> Iterator[StreamUpdate]:
     """Mine a stream of sequences, yielding pattern updates as data arrives.
 
@@ -341,6 +377,9 @@ def mine_stream(
     spill_budget:
         Optional per-support-set byte budget; over-budget DFS frontier sets
         spill to disk during shard re-mining (:mod:`repro.core.spill`).
+    n_jobs:
+        Optional pool width for re-mining dirty shards on refresh
+        (``StreamMiner(n_jobs=...)`` semantics); patterns are identical.
 
     Example
     -------
@@ -368,6 +407,7 @@ def mine_stream(
         db_backend=db_backend,
         db_dir=db_dir,
         spill_budget=spill_budget,
+        n_jobs=n_jobs,
     )
 
     def _updates() -> Iterator[StreamUpdate]:
@@ -400,6 +440,8 @@ def serve(
     auto_reload: bool = False,
     block: bool = True,
     obs: MetricsRegistry | None = None,
+    trace_out=None,
+    slow_ms: float | None = None,
 ) -> PatternServer:
     """Serve a saved pattern store over TCP (match / score / rank / top-k).
 
@@ -416,7 +458,10 @@ def serve(
     ``obs`` :class:`~repro.obs.MetricsRegistry` to collect per-operation
     request counts and latency histograms (exposed live through the
     ``stats`` protocol op); by default the server builds its own enabled
-    registry.
+    registry.  When that registry carries a trace recorder, ``trace_out``
+    appends every completed span to a JSON-lines journal and ``slow_ms``
+    logs requests slower than the threshold with their trace ids (see
+    :class:`~repro.serve.daemon.PatternServer`).
 
     Example
     -------
@@ -441,4 +486,6 @@ def serve(
         auto_reload=auto_reload,
         block=block,
         obs=obs,
+        trace_out=trace_out,
+        slow_ms=slow_ms,
     )

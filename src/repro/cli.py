@@ -16,7 +16,11 @@ Installed as ``repro-mine`` (see ``setup.py``) and runnable as
   one shared automaton pass;
 * ``serve`` — run the long-running scoring daemon over a pattern store:
   match/score/rank/top-k over a newline-delimited JSON TCP protocol, with
-  graceful reload when the store file is republished;
+  graceful reload when the store file is republished; ``--trace-out``
+  journals completed request spans as JSON lines and ``--slow-ms`` logs
+  slow requests with their trace ids;
+* ``top`` — poll a running daemon's ``stats`` op and render a live
+  per-operation rate/p50/p99 table (a ``top(1)`` for the serving fleet);
 * ``support`` — compute the repetitive support of one pattern;
 * ``stats`` — print summary statistics of a sequence database file.
 
@@ -235,6 +239,46 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="print a '# stats <json>' metrics snapshot every N seconds",
     )
+    server.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help=(
+            "enable tracing and append every completed request span to FILE "
+            "as JSON lines (one span per line; see repro.obs.SpanJournalWriter)"
+        ),
+    )
+    server.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        metavar="N",
+        help=(
+            "log '# slow op=... ms=... trace=...' to stderr for every request "
+            "slower than N milliseconds"
+        ),
+    )
+
+    top = subparsers.add_parser(
+        "top", help="live per-operation rate/p50/p99 table of a running daemon"
+    )
+    top.add_argument("--host", default="127.0.0.1", help="daemon address")
+    top.add_argument("--port", type=int, required=True, help="daemon port")
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between stats polls (default: 2)",
+    )
+    top.add_argument(
+        "--count",
+        type=int,
+        default=None,
+        help="stop after N frames (default: run until interrupted)",
+    )
+    top.add_argument(
+        "--timeout", type=float, default=10.0, help="per-request socket timeout"
+    )
 
     support = subparsers.add_parser("support", help="repetitive support of one pattern")
     add_common(support)
@@ -451,20 +495,32 @@ def run_match(args) -> int:
 
 def run_serve(args) -> int:
     """Serve a pattern store until interrupted (Ctrl-C) or shut down remotely."""
+    from repro.obs import MetricsRegistry, TraceRecorder
     from repro.serve import PatternServer
 
+    # A span journal needs spans: --trace-out turns tracing on by giving
+    # the daemon's registry a recorder (the default registry has none).
+    obs = (
+        MetricsRegistry(recorder=TraceRecorder())
+        if args.trace_out is not None
+        else None
+    )
     server = PatternServer(
         args.patterns,
         host=args.host,
         port=args.port,
         mmap=False if args.no_mmap else "auto",
         auto_reload=args.auto_reload,
+        obs=obs,
+        trace_out=args.trace_out,
+        slow_ms=args.slow_ms,
     )
     host, port = server.address
     store = server.store
     print(
         f"# serving {args.patterns} ({len(store)} patterns"
-        f"{', zero-copy' if store.is_zero_copy else ''}) on {host}:{port}",
+        f"{', zero-copy' if store.is_zero_copy else ''}) on {host}:{port}"
+        f"{f', tracing -> {args.trace_out}' if args.trace_out else ''}",
         flush=True,
     )
     stop_stats = threading.Event()
@@ -484,6 +540,82 @@ def run_serve(args) -> int:
     finally:
         stop_stats.set()
         server.close()
+    return 0
+
+
+def _format_latency(seconds: float) -> str:
+    """Human-scaled latency (µs/ms/s), matching the bench-diff rendering."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}µs"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds:.2f}s"
+
+
+def render_top(
+    previous: dict | None, current: dict, interval: float
+) -> str:
+    """One ``repro top`` frame from two consecutive ``stats`` snapshots.
+
+    Pure function of its inputs (testable without a daemon): per-operation
+    request rate from the counter delta over ``interval``, p50/p99 from the
+    current latency summaries, plus a totals line.  With no ``previous``
+    snapshot (the first frame) the rate column shows ``-``.
+    """
+    counters = current.get("counters", {})
+    histograms = current.get("histograms", {})
+    prev_counters = (previous or {}).get("counters", {})
+    lines = [f"{'op':<10} {'rate/s':>8} {'p50':>9} {'p99':>9} {'total':>9}"]
+    prefix, suffix = "serve.op.", ".requests"
+    for name in sorted(counters):
+        if not (name.startswith(prefix) and name.endswith(suffix)):
+            continue
+        op = name[len(prefix) : -len(suffix)]
+        count = counters[name]
+        if not count:
+            continue
+        if previous is None or interval <= 0:
+            rate = "-"
+        else:
+            rate = f"{(count - prev_counters.get(name, 0)) / interval:.1f}"
+        summary = histograms.get(f"{prefix}{op}.seconds", {})
+        lines.append(
+            f"{op:<10} {rate:>8} {_format_latency(summary.get('p50', 0.0)):>9} "
+            f"{_format_latency(summary.get('p99', 0.0)):>9} {count:>9}"
+        )
+    lines.append(
+        f"requests={counters.get('serve.requests', 0)} "
+        f"errors={counters.get('serve.errors', 0)} "
+        f"bytes_in={counters.get('serve.bytes_in', 0)} "
+        f"bytes_out={counters.get('serve.bytes_out', 0)}"
+    )
+    return "\n".join(lines)
+
+
+def run_top(args) -> int:
+    """Poll a daemon's ``stats`` op and render live per-op rate/latency frames."""
+    from repro.serve import ServeClient, ServeError
+
+    client = ServeClient(args.host, args.port, timeout=args.timeout)
+    previous: dict | None = None
+    frames = 0
+    try:
+        while args.count is None or frames < args.count:
+            if previous is not None:
+                time.sleep(args.interval)
+            current = client.stats()
+            print(render_top(previous, current, args.interval), flush=True)
+            previous = current
+            frames += 1
+    except KeyboardInterrupt:
+        pass
+    except (ServeError, OSError) as exc:
+        # OSError covers the daemon simply not being there (connection
+        # refused/reset) — a clean one-line failure, not a traceback.
+        print(f"# top: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        client.close()
     return 0
 
 
@@ -518,6 +650,8 @@ def main(argv: list[str] | None = None) -> int:
         return run_match(args)
     if args.command == "serve":
         return run_serve(args)
+    if args.command == "top":
+        return run_top(args)
     if args.command == "support":
         return run_support(args)
     if args.command == "stats":

@@ -243,7 +243,7 @@ class GSgrow:
             obs.counter("mine.extension_evaluations").inc(stats.extension_evaluations)
             obs.counter("mine.cache_evictions").inc(stats.cache_evictions)
             for phase, seconds in stats.phase_seconds.items():
-                obs.histogram(f"mine.phase.{phase}.seconds").observe(seconds)
+                obs.histogram(f"mine.phase.{phase}.seconds").observe(seconds)  # reprolint: disable=RL008 -- phases are the fixed prepare/dfs/total set MiningStats records, each expanding to a conformant name
 
     # ------------------------------------------------------------------
     # DFS (subroutine mineFre)

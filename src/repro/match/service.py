@@ -34,6 +34,19 @@ from repro.db.database import SequenceDatabase
 from repro.db.sequence import Sequence as DbSequence, as_sequence
 from repro.match.automaton import MatchQuery, MatchResult, PatternAutomaton
 from repro.match.store import PatternStore
+from repro.obs import (
+    MetricsRegistry,
+    TraceContext,
+    TraceRecorder,
+    activated,
+    current_context,
+)
+from repro.obs.aggregate import WorkerTelemetry, absorb_telemetry, capture_telemetry
+
+#: The shared no-op registry matchers fall back to: one disabled registry
+#: instead of one per matcher, so the default path costs a single attribute
+#: read and allocates nothing.
+_DISABLED_OBS = MetricsRegistry(enabled=False)
 
 
 @dataclass(frozen=True)
@@ -111,6 +124,13 @@ class PatternMatcher:
     constraint:
         Optional gap constraint applied to every match (the mined patterns'
         constraint, if mining used one).
+    obs:
+        Optional :class:`~repro.obs.MetricsRegistry`; every :meth:`match`
+        runs inside a ``match.match.seconds`` span, so when the registry
+        carries a trace recorder the matcher's work shows up as a child
+        span of whatever requested it (the serve daemon's operation span,
+        a caller's ambient trace).  Defaults to a shared disabled registry
+        — the no-op path.
     """
 
     def __init__(
@@ -118,7 +138,9 @@ class PatternMatcher:
         patterns: PatternStore | MiningResult | PatternAutomaton | Iterable[Any],
         *,
         constraint: GapConstraint | None = None,
+        obs: MetricsRegistry | None = None,
     ) -> None:
+        self.obs = obs if obs is not None else _DISABLED_OBS
         self.mined_supports: dict[Pattern, int] | None = None
         if isinstance(patterns, PatternStore):
             self.mined_supports = patterns.supports()
@@ -146,12 +168,13 @@ class PatternMatcher:
         self, query: MatchQuery, *, with_instances: bool = False, engine: str = "auto"
     ) -> MatchResult:
         """Match the pattern set against ``query`` (see ``PatternAutomaton.match``)."""
-        return self.automaton.match(
-            query,
-            constraint=self.constraint,
-            with_instances=with_instances,
-            engine=engine,
-        )
+        with self.obs.span("match.match.seconds"):
+            return self.automaton.match(
+                query,
+                constraint=self.constraint,
+                with_instances=with_instances,
+                engine=engine,
+            )
 
     def score(self, sequence: Any) -> SequenceScore:
         """Coverage/anomaly score of a single sequence."""
@@ -184,15 +207,25 @@ class PatternMatcher:
         n_jobs = min(n_jobs, len(sequences))
         chunk_size = -(-len(sequences) // n_jobs)
         payload = self.automaton.to_tables()
+        # Workers mirror the parent's telemetry setup: when this matcher
+        # records, each worker runs its own registry (+ recorder, under the
+        # caller's trace context) and ships the telemetry home with its
+        # scores — absorbed below, so worker match spans/counters survive
+        # the pool (the aggregation seam of repro.obs.aggregate).
+        telemetry = self.obs.enabled
+        context = current_context() if telemetry else None
+        trace_wire = context.to_wire() if context is not None else None
         tasks = [
-            (payload, self.constraint, sequences[k : k + chunk_size])
+            (payload, self.constraint, sequences[k : k + chunk_size], telemetry, trace_wire)
             for k in range(0, len(sequences), chunk_size)
         ]
         from concurrent.futures import ProcessPoolExecutor
 
         with ProcessPoolExecutor(max_workers=len(tasks)) as pool:
             chunked = list(pool.map(_score_chunk, tasks))
-        return [score for chunk in chunked for score in chunk]
+        for _, worker_telemetry in chunked:
+            absorb_telemetry(self.obs, worker_telemetry)
+        return [score for chunk, _ in chunked for score in chunk]
 
     # Batch scoring under its workload name; same contract as score_many.
     match_many = score_many
@@ -252,19 +285,40 @@ class PatternMatcher:
 
 
 def _score_chunk(
-    task: tuple[dict[str, Any], GapConstraint | None, list[DbSequence]],
-) -> list[SequenceScore]:
+    task: tuple[
+        dict[str, Any],
+        GapConstraint | None,
+        list[DbSequence],
+        bool,
+        dict[str, str] | None,
+    ],
+) -> tuple[list[SequenceScore], WorkerTelemetry | None]:
     """Process-pool worker: score one contiguous chunk of sequences.
 
     Module-level (not a closure) so it pickles under the ``spawn`` start
     method; receives the parent's compiled automaton tables
     (:meth:`PatternAutomaton.to_tables`) so every worker starts matching
     immediately instead of recompiling the same trie per process.
+
+    When the parent scores with telemetry on, the worker runs its own
+    registry and recorder under the caller's trace context and returns the
+    captured :class:`~repro.obs.aggregate.WorkerTelemetry` beside the
+    scores, so the match span and counters stitch into the parent's trace
+    instead of dying with the process.
     """
-    tables, constraint, sequences = task
-    matcher = PatternMatcher(PatternAutomaton.from_tables(tables), constraint=constraint)
-    result = matcher.match(SequenceDatabase(sequences))
-    return [score_from_match(result, i) for i in range(1, len(sequences) + 1)]
+    tables, constraint, sequences, telemetry, trace_wire = task
+    obs = (
+        MetricsRegistry(recorder=TraceRecorder())
+        if telemetry
+        else MetricsRegistry(enabled=False)
+    )
+    matcher = PatternMatcher(
+        PatternAutomaton.from_tables(tables), constraint=constraint, obs=obs
+    )
+    with activated(TraceContext.from_wire(trace_wire)):
+        result = matcher.match(SequenceDatabase(sequences))
+    scores = [score_from_match(result, i) for i in range(1, len(sequences) + 1)]
+    return scores, capture_telemetry(obs) if telemetry else None
 
 
 def score_database(

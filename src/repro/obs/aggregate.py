@@ -1,0 +1,110 @@
+"""Cross-process telemetry aggregation: what workers ship, how parents absorb it.
+
+Pool workers (``mine_many``, ``score_many``, the stream miner's pooled
+re-mining) run with their own :class:`~repro.obs.MetricsRegistry` — the
+parent's registry holds thread locks and live instruments, neither of which
+crosses a process boundary.  Before this seam existed, that worker registry
+simply died with the worker: per-database ``MiningStats`` came back, but the
+counters, histograms and spans recorded during the run vanished.
+
+The fix is a plain, picklable envelope:
+
+* :class:`WorkerTelemetry` — a registry :meth:`~repro.obs.MetricsRegistry.dump`
+  plus the worker's finished spans in wire form (plus the worker recorder's
+  drop count, so span loss stays observable after the merge);
+* :func:`capture_telemetry` — build the envelope at the end of a worker task;
+* :func:`absorb_telemetry` — merge it into the parent registry
+  (:meth:`~repro.obs.MetricsRegistry.merge`) and replay the spans into the
+  parent's recorder under one lock acquisition each.
+
+Workers activate the caller's :class:`~repro.obs.context.TraceContext`
+(shipped in the task tuple) before mining, so the spans they return already
+carry the caller's ``trace_id`` and stitch into its tree on absorption.
+
+:func:`merge_states` is the pure fold over several dumps — what a
+multi-process collector (or a test asserting n_jobs-invariance) uses without
+needing a live registry at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import SpanRecord
+
+__all__ = [
+    "WorkerTelemetry",
+    "absorb_telemetry",
+    "capture_telemetry",
+    "merge_states",
+]
+
+
+@dataclass(frozen=True)
+class WorkerTelemetry:
+    """One worker's telemetry, as plain picklable data.
+
+    ``state`` is a registry :meth:`~repro.obs.MetricsRegistry.dump`;
+    ``spans`` are finished :class:`~repro.obs.trace.SpanRecord` wire dicts
+    (oldest first); ``spans_dropped`` is the worker recorder's ring-drop
+    count at capture time.
+    """
+
+    state: dict[str, Any] = field(default_factory=dict)
+    spans: list[dict[str, Any]] = field(default_factory=list)
+    spans_dropped: int = 0
+
+
+def capture_telemetry(obs: MetricsRegistry) -> WorkerTelemetry:
+    """Package ``obs`` (registry dump + recorder spans) for the trip home.
+
+    Called at the end of a pool-worker task; the result crosses the process
+    boundary by pickle and lands in :func:`absorb_telemetry` on the parent
+    side.  A disabled registry captures as empty telemetry.
+    """
+    if not obs.enabled:
+        return WorkerTelemetry()
+    recorder = obs.recorder
+    if recorder is None or not recorder.enabled:
+        return WorkerTelemetry(state=obs.dump())
+    return WorkerTelemetry(
+        state=obs.dump(),
+        spans=[span.to_wire() for span in recorder.spans()],
+        spans_dropped=recorder.dropped,
+    )
+
+
+def absorb_telemetry(obs: MetricsRegistry, telemetry: WorkerTelemetry | None) -> None:
+    """Merge one worker's telemetry into the parent registry ``obs``.
+
+    Counters add, gauges keep the later tick, histograms add bucket-wise
+    (:meth:`~repro.obs.MetricsRegistry.merge`); spans replay into the
+    parent's recorder in worker order via
+    :meth:`~repro.obs.trace.TraceRecorder.record_many`.  ``None`` telemetry
+    (a worker that ran with telemetry off) and absorbing into a disabled
+    registry are both no-ops.
+    """
+    if telemetry is None or not obs.enabled:
+        return
+    if telemetry.state:
+        obs.merge(telemetry.state)
+    recorder = obs.recorder
+    if recorder is not None and recorder.enabled and telemetry.spans:
+        recorder.record_many([SpanRecord.from_wire(wire) for wire in telemetry.spans])
+
+
+def merge_states(*states: dict[str, Any]) -> dict[str, Any]:
+    """Fold several :meth:`~repro.obs.MetricsRegistry.dump` states into one.
+
+    Pure function of its inputs: feeds every state, in order, through a
+    fresh enabled registry's :meth:`~repro.obs.MetricsRegistry.merge` and
+    returns the merged dump.  Same semantics as merging into a live
+    registry — counters additive, gauges last-writer-by-tick, histograms
+    bucket-wise with :class:`ValueError` on mismatched bounds.
+    """
+    registry = MetricsRegistry(enabled=True)
+    for state in states:
+        registry.merge(state)
+    return registry.dump()

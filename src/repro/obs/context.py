@@ -1,0 +1,132 @@
+"""Trace-context propagation: which trace/span the current code runs under.
+
+A :class:`TraceContext` is the minimal addressing tuple of distributed
+tracing — a ``trace_id`` naming the whole request tree and a ``span_id``
+naming the node the current code runs *inside*.  It travels three ways:
+
+* **within a thread/task** via a :class:`contextvars.ContextVar`, so nested
+  :meth:`~repro.obs.MetricsRegistry.span` blocks parent automatically and
+  concurrent threads (or asyncio tasks) never see each other's context;
+* **across the serve protocol** as the optional ``trace`` request field
+  (:meth:`TraceContext.to_wire` / :meth:`TraceContext.from_wire`), echoed in
+  responses so the client can stitch the daemon's spans under its own;
+* **across process pools** by shipping the wire form inside the task tuple
+  and re-activating it in the worker (:func:`activated`), so worker spans
+  land in the caller's trace tree when the telemetry returns.
+
+Ids are 64-bit random hex strings from :func:`os.urandom` — no wall clock,
+no process-global RNG (RL005), unique enough across a pool of workers.
+Nothing in this module allocates unless a trace is actually being
+propagated; reading an unset context is a single ``ContextVar.get``.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from contextvars import ContextVar, Token
+from dataclasses import dataclass
+from collections.abc import Iterator
+from typing import Any
+
+__all__ = [
+    "TraceContext",
+    "activated",
+    "child_of",
+    "current_context",
+    "new_id",
+    "reset_context",
+    "root_context",
+    "set_context",
+]
+
+#: The ambient trace context of the current thread/task (``None`` outside
+#: any traced span).  A ``ContextVar`` — not a thread-local — so asyncio
+#: tasks sharing one thread still get isolated contexts.
+_CONTEXT: ContextVar[TraceContext | None] = ContextVar("repro_trace_context", default=None)
+
+
+def new_id() -> str:
+    """A fresh 64-bit id as 16 lowercase hex characters.
+
+    Drawn from :func:`os.urandom`: no wall clock, no process-global RNG
+    (the RL005 discipline), and distinct across forked pool workers —
+    which a seeded per-process RNG would not be.
+    """
+    return os.urandom(8).hex()
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The (trace, span) address the current code runs under."""
+
+    trace_id: str
+    span_id: str
+
+    def child(self) -> TraceContext:
+        """A new span address within the same trace."""
+        return TraceContext(trace_id=self.trace_id, span_id=new_id())
+
+    def to_wire(self) -> dict[str, str]:
+        """The JSON-ready form carried on serve requests and pool tasks."""
+        return {"span_id": self.span_id, "trace_id": self.trace_id}
+
+    @staticmethod
+    def from_wire(wire: Any) -> TraceContext | None:
+        """Parse a wire form back (``None`` for absent or malformed input).
+
+        Lenient by design: the ``trace`` request field is optional and
+        advisory, so a malformed one degrades to "start a new trace"
+        rather than failing the request that carried it.
+        """
+        if not isinstance(wire, dict):
+            return None
+        trace_id = wire.get("trace_id")
+        span_id = wire.get("span_id")
+        if isinstance(trace_id, str) and isinstance(span_id, str) and trace_id and span_id:
+            return TraceContext(trace_id=trace_id, span_id=span_id)
+        return None
+
+
+def root_context() -> TraceContext:
+    """A fresh context starting a brand-new trace."""
+    trace_id = new_id()
+    return TraceContext(trace_id=trace_id, span_id=new_id())
+
+
+def child_of(parent: TraceContext | None) -> TraceContext:
+    """The context for a new span under ``parent`` (a new trace when ``None``)."""
+    return root_context() if parent is None else parent.child()
+
+
+def current_context() -> TraceContext | None:
+    """The ambient context of the current thread/task (``None`` if untraced)."""
+    return _CONTEXT.get()
+
+
+def set_context(context: TraceContext | None) -> Token[TraceContext | None]:
+    """Install ``context`` as ambient; returns the token for :func:`reset_context`."""
+    return _CONTEXT.set(context)
+
+
+def reset_context(token: Token[TraceContext | None]) -> None:
+    """Restore the ambient context that :func:`set_context` replaced."""
+    _CONTEXT.reset(token)
+
+
+@contextmanager
+def activated(context: TraceContext | None) -> Iterator[TraceContext | None]:
+    """Run a block with ``context`` ambient (restored on exit).
+
+    The pool-worker entry idiom: re-activate the caller's wire context so
+    every span the worker records parents into the caller's trace.  A
+    ``None`` context is a no-op (the block runs untraced).
+    """
+    if context is None:
+        yield None
+        return
+    token = set_context(context)
+    try:
+        yield context
+    finally:
+        reset_context(token)

@@ -1,0 +1,150 @@
+"""Exporters: telemetry in formats external tooling already understands.
+
+Two writers, both fed by the lossless forms the rest of the package
+produces (registry :meth:`~repro.obs.MetricsRegistry.dump` states and
+:class:`~repro.obs.trace.SpanRecord` wire dicts), both stdlib-only:
+
+* :func:`prometheus_text` — the Prometheus text exposition format
+  (``# TYPE`` lines, cumulative ``_bucket{le="..."}`` series ending in
+  ``+Inf``, ``_sum``/``_count``), so a scrape endpoint or a file-based
+  textfile collector can ingest the registry without any client library.
+  Dotted metric names become underscore names (``serve.requests.total`` →
+  ``serve_requests_total``); output is deterministically sorted.
+* :class:`SpanJournalWriter` — an append-only JSON-lines span journal
+  (one :meth:`~repro.obs.trace.SpanRecord.to_wire` mapping per line,
+  sorted keys), the replayable-audit-log shape: ``repro serve
+  --trace-out FILE`` drains the daemon's recorder through one of these,
+  and any ``jq``/pandas pipeline can reconstruct the trace trees offline.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import IO, Any
+
+from repro.obs.trace import SpanRecord
+
+__all__ = ["SpanJournalWriter", "prometheus_text"]
+
+
+def _prom_name(name: str) -> str:
+    """A dotted instrument name as a Prometheus metric name.
+
+    Dots become underscores; any other character outside
+    ``[a-zA-Z0-9_:]`` is mapped to ``_`` as well (defensive — RL008 keeps
+    live names to lowercase dotted identifiers anyway).
+    """
+    out = []
+    for char in name:
+        if char.isalnum() or char in "_:":
+            out.append(char)
+        else:
+            out.append("_")
+    return "".join(out)
+
+
+def _prom_float(value: float) -> str:
+    """A float in Prometheus text form (integers without the trailing .0)."""
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def prometheus_text(state: dict[str, Any]) -> str:
+    """Render a registry :meth:`~repro.obs.MetricsRegistry.dump` state.
+
+    Counters become ``counter`` series, gauges ``gauge`` series (the tick
+    is a merge key, not a sample timestamp — it is not emitted), and
+    histograms full ``histogram`` series: cumulative ``_bucket`` samples
+    per upper bound plus the ``+Inf`` bucket, then ``_sum`` and
+    ``_count``.  Output ends with a newline and is sorted at every level,
+    so identical states render byte-identically.
+    """
+    lines: list[str] = []
+    counters = state.get("counters") or {}
+    for name in sorted(counters):
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {int(counters[name])}")
+    gauges = state.get("gauges") or {}
+    for name in sorted(gauges):
+        prom = _prom_name(name)
+        entry = gauges[name]
+        value = entry["value"] if isinstance(entry, dict) else entry
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {_prom_float(float(value))}")
+    histograms = state.get("histograms") or {}
+    for name in sorted(histograms):
+        prom = _prom_name(name)
+        entry = histograms[name]
+        lines.append(f"# TYPE {prom} histogram")
+        cumulative = 0
+        for bound, bucket_count in zip(
+            entry["bounds"], entry["buckets"], strict=False
+        ):
+            cumulative += int(bucket_count)
+            lines.append(f'{prom}_bucket{{le="{_prom_float(float(bound))}"}} {cumulative}')
+        lines.append(f'{prom}_bucket{{le="+Inf"}} {int(entry["count"])}')
+        lines.append(f"{prom}_sum {_prom_float(float(entry['sum']))}")
+        lines.append(f"{prom}_count {int(entry['count'])}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+class SpanJournalWriter:
+    """An append-only JSON-lines journal of completed spans.
+
+    One span wire mapping per line, compact separators, sorted keys — the
+    deterministic, replayable shape the rest of the repo uses for
+    serialised telemetry.  The writer opens the file in append mode (a
+    restarted daemon extends the journal rather than truncating it), owns
+    its own lock so concurrent request threads can drain into it safely,
+    and flushes after every batch so a tailing consumer sees spans
+    promptly.  Use as a context manager or call :meth:`close`.
+    """
+
+    __slots__ = ("path", "_lock", "_handle", "_written")
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._handle: IO[str] | None = self.path.open("a", encoding="utf-8")
+        self._written = 0
+
+    def write(self, spans: list[SpanRecord]) -> None:
+        """Append each span as one JSON line and flush."""
+        if not spans:
+            return
+        payload = "".join(
+            json.dumps(span.to_wire(), sort_keys=True, separators=(",", ":")) + "\n"
+            for span in spans
+        )
+        with self._lock:
+            if self._handle is None:
+                raise ValueError(f"span journal {self.path} is closed")
+            self._handle.write(payload)
+            self._handle.flush()
+            self._written += len(spans)
+
+    @property
+    def written(self) -> int:
+        """Spans appended through this writer instance."""
+        return self._written
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self) -> SpanJournalWriter:
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._handle is None else "open"
+        return f"<SpanJournalWriter {str(self.path)!r} {state}, {self._written} spans>"

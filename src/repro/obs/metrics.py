@@ -7,9 +7,18 @@ refreshes privately, and the serving daemon's only introspection was
 observable — and *replayable into reports*: a
 :class:`MetricsRegistry` holds named counters, gauges and fixed-bucket
 histograms, a lightweight span API times code regions into those
-histograms, and :meth:`MetricsRegistry.snapshot` serialises everything as
-a deterministic, sorted, JSON-ready mapping (the form the ``stats``
-protocol operation and the benchmark-smoke JSON persist).
+histograms (and, when a :class:`~repro.obs.trace.TraceRecorder` is
+attached, records completed spans into the trace buffer), and
+:meth:`MetricsRegistry.snapshot` serialises everything as a deterministic,
+sorted, JSON-ready mapping (the form the ``stats`` protocol operation and
+the benchmark-smoke JSON persist).
+
+Cross-process aggregation is first-class: :meth:`MetricsRegistry.dump`
+produces the *lossless* sibling of ``snapshot()`` — raw bucket counts and
+gauge update ticks included — and :meth:`MetricsRegistry.merge` absorbs
+such a dump into a live registry (counters additively, gauges last-writer
+by tick, histograms bucket-wise), which is how pool workers' telemetry
+survives the worker (see :mod:`repro.obs.aggregate`).
 
 Design constraints, in order:
 
@@ -18,9 +27,10 @@ Design constraints, in order:
 * **No-op fast path** — a registry constructed with ``enabled=False``
   hands out shared null instruments whose mutators do nothing, so
   disabled instrumentation costs one attribute call, no lock, no clock
-  read.  Hot loops must not even pay that: pre-bind the instrument (or
-  its no-op) *outside* the loop — reprolint RL006 enforces exactly this
-  for ``# reprolint: hot-loop`` marked loops.
+  read; a registry without a recorder (or with a disabled one) never
+  allocates a span record.  Hot loops must not even pay that: pre-bind
+  the instrument (or its no-op) *outside* the loop — reprolint RL006
+  enforces exactly this for ``# reprolint: hot-loop`` marked loops.
 * **Determinism** — snapshots iterate sorted names only (RL002 applies to
   this module), and nothing here reads a wall clock: durations come from
   an injectable *monotonic* clock seam (:data:`Clock`), defaulting to
@@ -30,7 +40,9 @@ Design constraints, in order:
   shares the registry's re-entrant lock; :meth:`MetricsRegistry.snapshot`
   holds it while reading, so a snapshot can never observe a torn state
   (e.g. a request counted but its latency not yet recorded, when both are
-  recorded under one :meth:`MetricsRegistry.locked` block).
+  recorded under one :meth:`MetricsRegistry.locked` block).  ``merge``
+  applies a whole dump under the same lock, so a snapshot sees none or
+  all of one worker's contribution.
 
 Example
 -------
@@ -50,10 +62,13 @@ from __future__ import annotations
 
 import json
 import threading
-from collections.abc import Callable, Iterator, Sequence
+from collections.abc import Callable, Iterator, Mapping, Sequence
 from contextlib import contextmanager
 from time import perf_counter
 from typing import Any
+
+from repro.obs.context import child_of, current_context, reset_context, set_context
+from repro.obs.trace import SpanRecord, TraceRecorder
 
 __all__ = [
     "DEFAULT_BUCKETS",
@@ -128,24 +143,46 @@ class Counter:
 
 
 class Gauge:
-    """A named value that can go up and down (window sizes, shard counts)."""
+    """A named value that can go up and down (window sizes, shard counts).
 
-    __slots__ = ("name", "_lock", "_value")
+    Each :meth:`set` also stamps the gauge with an update *tick* from the
+    owning registry's monotonic clock — the ordering key cross-process
+    merges use (:meth:`MetricsRegistry.merge` keeps the later writer).  A
+    gauge constructed without a clock counts logical ticks instead.
+    """
 
-    def __init__(self, name: str, lock: threading.RLock) -> None:
+    __slots__ = ("name", "_lock", "_value", "_tick", "_clock")
+
+    def __init__(
+        self, name: str, lock: threading.RLock, clock: Clock | None = None
+    ) -> None:
         self.name = name
         self._lock = lock
         self._value = 0.0
+        self._tick = 0.0
+        self._clock = clock
 
     def set(self, value: float) -> None:
-        """Set the gauge to ``value``."""
+        """Set the gauge to ``value`` (stamping the update tick)."""
         with self._lock:
             self._value = float(value)
+            self._tick = self._clock() if self._clock is not None else self._tick + 1.0
+
+    def set_at(self, value: float, tick: float) -> None:
+        """Set the gauge to ``value`` with an explicit tick (merge path)."""
+        with self._lock:
+            self._value = float(value)
+            self._tick = float(tick)
 
     @property
     def value(self) -> float:
         """The last value set."""
         return self._value
+
+    @property
+    def tick(self) -> float:
+        """The registry-clock tick of the last :meth:`set` (0.0 if never set)."""
+        return self._tick
 
     def __repr__(self) -> str:
         return f"Gauge({self.name!r}, value={self._value})"
@@ -161,6 +198,12 @@ class Histogram:
     to the observed ``[min, max]``, so estimates of tight distributions
     never stray outside what was actually seen, and the overflow bucket
     reports the observed maximum.
+
+    Because the buckets are *fixed*, two histograms with the same bounds
+    merge losslessly by adding bucket counts (:meth:`merge_state`) — the
+    property cross-process aggregation relies on.  Histograms with
+    different bounds refuse to merge: a resampled merge would silently
+    corrupt percentiles.
     """
 
     __slots__ = ("name", "_lock", "_bounds", "_counts", "_count", "_sum", "_min", "_max")
@@ -208,6 +251,11 @@ class Histogram:
                     self._max = value
             self._count += 1
             self._sum += value
+
+    @property
+    def bounds(self) -> tuple[float, ...]:
+        """The ascending bucket upper bounds (excluding the overflow bucket)."""
+        return self._bounds
 
     @property
     def count(self) -> int:
@@ -277,6 +325,62 @@ class Histogram:
                 "sum": self._sum,
             }
 
+    def state(self) -> dict[str, Any]:
+        """The lossless, mergeable form: bounds, raw bucket counts, moments.
+
+        The shape :meth:`MetricsRegistry.dump` carries and
+        :meth:`merge_state` consumes — unlike :meth:`summary`, merging two
+        states and summarising equals summarising the union of the
+        observations (within bucket resolution).
+        """
+        with self._lock:
+            return {
+                "bounds": list(self._bounds),
+                "buckets": list(self._counts),
+                "count": self._count,
+                "max": self._max,
+                "min": self._min,
+                "sum": self._sum,
+            }
+
+    def merge_state(self, state: Mapping[str, Any]) -> None:
+        """Fold another histogram's :meth:`state` into this one, bucket-wise.
+
+        Raises :class:`ValueError` when the bucket bounds differ — merging
+        across different bucket layouts cannot be done losslessly, and a
+        silent resample would corrupt percentile estimates.
+        """
+        bounds = tuple(float(b) for b in state["bounds"])
+        if bounds != self._bounds:
+            raise ValueError(
+                f"cannot merge histogram {self.name!r}: bucket bounds differ "
+                f"(incoming {bounds} vs existing {self._bounds})"
+            )
+        buckets = [int(c) for c in state["buckets"]]
+        if len(buckets) != len(self._counts):
+            raise ValueError(
+                f"cannot merge histogram {self.name!r}: expected "
+                f"{len(self._counts)} buckets, got {len(buckets)}"
+            )
+        count = int(state["count"])
+        if count == 0:
+            return
+        with self._lock:
+            for index, bucket_count in enumerate(buckets):
+                self._counts[index] += bucket_count
+            incoming_min = float(state["min"])
+            incoming_max = float(state["max"])
+            if self._count == 0:
+                self._min = incoming_min
+                self._max = incoming_max
+            else:
+                if incoming_min < self._min:
+                    self._min = incoming_min
+                if incoming_max > self._max:
+                    self._max = incoming_max
+            self._count += count
+            self._sum += float(state["sum"])
+
     def __repr__(self) -> str:
         return f"Histogram({self.name!r}, count={self._count})"
 
@@ -298,6 +402,9 @@ class _NullGauge(Gauge):
     def set(self, value: float) -> None:
         """Discard the value (disabled registry)."""
 
+    def set_at(self, value: float, tick: float) -> None:
+        """Discard the value (disabled registry)."""
+
 
 class _NullHistogram(Histogram):
     """The shared do-nothing histogram handed out by disabled registries."""
@@ -306,6 +413,9 @@ class _NullHistogram(Histogram):
 
     def observe(self, value: float) -> None:
         """Discard the observation (disabled registry)."""
+
+    def merge_state(self, state: Mapping[str, Any]) -> None:
+        """Discard the merge (disabled registry)."""
 
 
 _NULL_LOCK = threading.RLock()
@@ -330,6 +440,13 @@ class MetricsRegistry:
         :func:`time.perf_counter`.  Injectable so tests control time
         exactly; implementations must be monotonic (only differences are
         ever used — wall-clock time never enters a metric).
+    recorder:
+        Optional :class:`~repro.obs.trace.TraceRecorder`.  When attached
+        (and enabled), every :meth:`span` block also records a completed
+        :class:`~repro.obs.trace.SpanRecord` — parented via the ambient
+        :mod:`repro.obs.context` — into the recorder's ring buffer.
+        Without one, ``span()`` behaves exactly as before (histogram
+        observation only) and never allocates a record.
 
     Instruments are created lazily on first request and cached by name;
     asking twice for the same name returns the same object, so call sites
@@ -345,11 +462,26 @@ class MetricsRegistry:
     [('window', 128.0)]
     """
 
-    __slots__ = ("enabled", "clock", "_lock", "_counters", "_gauges", "_histograms")
+    __slots__ = (
+        "enabled",
+        "clock",
+        "recorder",
+        "_lock",
+        "_counters",
+        "_gauges",
+        "_histograms",
+    )
 
-    def __init__(self, *, enabled: bool = True, clock: Clock | None = None) -> None:
+    def __init__(
+        self,
+        *,
+        enabled: bool = True,
+        clock: Clock | None = None,
+        recorder: TraceRecorder | None = None,
+    ) -> None:
         self.enabled = enabled
         self.clock: Clock = perf_counter if clock is None else clock
+        self.recorder = recorder
         # Re-entrant so multi-instrument updates can nest inside locked().
         self._lock = threading.RLock()
         self._counters: dict[str, Counter] = {}
@@ -376,7 +508,7 @@ class MetricsRegistry:
         with self._lock:
             instrument = self._gauges.get(name)
             if instrument is None:
-                instrument = self._gauges[name] = Gauge(name, self._lock)
+                instrument = self._gauges[name] = Gauge(name, self._lock, self.clock)
             return instrument
 
     def histogram(self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
@@ -397,23 +529,57 @@ class MetricsRegistry:
     # Spans
     # ------------------------------------------------------------------
     @contextmanager
-    def span(self, name: str) -> Iterator[None]:
+    def span(self, name: str, **attributes: Any) -> Iterator[None]:
         """Time the enclosed block into the histogram called ``name``.
 
         ``with obs.span("mine.dfs"): ...`` observes the block's duration
         (per the registry clock) even when the block raises.  On a
         disabled registry the clock is never read.
+
+        With an enabled :attr:`recorder` attached, the block additionally
+        becomes a trace span: a child of the ambient
+        :class:`~repro.obs.context.TraceContext` (a new trace root when
+        there is none), ambient itself for the duration (so nested spans
+        parent under it), recorded as a completed
+        :class:`~repro.obs.trace.SpanRecord` named ``name`` carrying
+        ``attributes``.  Span names deliberately *are* histogram names —
+        one vocabulary for the latency table and the trace tree.
         """
         if not self.enabled:
             yield
             return
         clock = self.clock
         histogram = self.histogram(name)
+        recorder = self.recorder
+        if recorder is None or not recorder.enabled:
+            # Plain metrics path: no context read, no record allocation.
+            start = clock()
+            try:
+                yield
+            finally:
+                histogram.observe(clock() - start)
+            return
+        parent = current_context()
+        context = child_of(parent)
+        token = set_context(context)
         start = clock()
         try:
             yield
         finally:
-            histogram.observe(clock() - start)
+            duration = clock() - start
+            reset_context(token)
+            histogram.observe(duration)
+            recorder.record(
+                SpanRecord(
+                    trace_id=context.trace_id,
+                    span_id=context.span_id,
+                    parent_id=None if parent is None else parent.span_id,
+                    name=name,
+                    start=start,
+                    duration=duration,
+                    attributes=attributes,
+                )
+            )
 
     def timed(self, name: str) -> Callable[[float], None]:
         """A pre-bound observer for ``name`` — the hot-loop-safe span half.
@@ -462,6 +628,69 @@ class MetricsRegistry:
     def snapshot_json(self) -> str:
         """The snapshot as compact, sorted-key JSON (byte-deterministic)."""
         return json.dumps(self.snapshot(), sort_keys=True, separators=(",", ":"))
+
+    def dump(self) -> dict[str, Any]:
+        """The *lossless* snapshot: everything :meth:`merge` needs.
+
+        Same top-level shape as :meth:`snapshot`, but gauges carry their
+        update tick (``{"tick": ..., "value": ...}``) and histograms their
+        raw bucket counts (:meth:`Histogram.state`) instead of a summary.
+        Deterministic and JSON-ready, like every serialised form here —
+        this is what pool workers ship back to their parent.
+        """
+        with self._lock:
+            return {
+                "counters": {
+                    name: self._counters[name].value for name in sorted(self._counters)
+                },
+                "gauges": {
+                    name: {"tick": self._gauges[name].tick, "value": self._gauges[name].value}
+                    for name in sorted(self._gauges)
+                },
+                "histograms": {
+                    name: self._histograms[name].state()
+                    for name in sorted(self._histograms)
+                },
+            }
+
+    def merge(self, state: Mapping[str, Any]) -> None:
+        """Absorb a :meth:`dump`-shaped snapshot into this registry.
+
+        Merge semantics, per instrument kind:
+
+        * **counters** — additive (the incoming value is an increment);
+        * **gauges** — last-writer-by-tick: the incoming value wins iff
+          its tick is ``>=`` the local gauge's (ties go to the incoming
+          snapshot — the merge is the later event);
+        * **histograms** — bucket-wise addition via
+          :meth:`Histogram.merge_state`; mismatched bucket bounds raise
+          :class:`ValueError`.
+
+        The whole merge runs under one registry lock acquisition, so a
+        concurrent :meth:`snapshot` sees none or all of it — worker
+        telemetry lands atomically.  Merging into a disabled registry is
+        a no-op.  Note that gauge ticks come from each process's own
+        monotonic clock: within one process they order writes exactly;
+        across processes they are heuristic (documented, and irrelevant
+        for the additive instruments that dominate worker telemetry).
+        """
+        if not self.enabled:
+            return
+        counters = state.get("counters") or {}
+        gauges = state.get("gauges") or {}
+        histograms = state.get("histograms") or {}
+        with self._lock:
+            for name in sorted(counters):
+                self.counter(name).inc(int(counters[name]))
+            for name in sorted(gauges):
+                entry = gauges[name]
+                gauge = self.gauge(name)
+                tick = float(entry["tick"])
+                if tick >= gauge.tick:
+                    gauge.set_at(float(entry["value"]), tick)
+            for name in sorted(histograms):
+                entry = histograms[name]
+                self.histogram(name, bounds=entry["bounds"]).merge_state(entry)
 
     def reset(self) -> None:
         """Drop every instrument (counts restart from zero)."""

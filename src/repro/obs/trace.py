@@ -1,0 +1,186 @@
+"""Completed-span records and the bounded in-process trace buffer.
+
+A :class:`SpanRecord` is one *finished* timed region: its trace/span/parent
+ids, its name (always the name of the histogram that timed it, so the trace
+tree and the latency tables share one vocabulary), its start tick and
+duration on the owning registry's monotonic clock, and a small attribute
+mapping.  Records are immutable and JSON-ready via :meth:`SpanRecord.to_wire`.
+
+A :class:`TraceRecorder` is the ring buffer completed spans land in —
+attached to a :class:`~repro.obs.MetricsRegistry` so the existing ``span()``
+seam feeds it without new call sites.  Contracts, mirroring the metrics
+side:
+
+* **bounded** — at most ``capacity`` spans are retained; a full buffer
+  drops the *oldest* record and counts the drop (:attr:`dropped`), so a
+  long-running daemon's memory stays flat and the loss is observable;
+* **disabled is free** — a recorder constructed with ``enabled=False``
+  (and a registry with no recorder at all) never allocates a record, never
+  touches the buffer;
+* **cursor reads** — every record gets a monotonic sequence number;
+  :meth:`since` returns "everything at or after this cursor" plus the next
+  cursor, which is how the span-journal writer drains incrementally while
+  the ``trace`` protocol op keeps serving the recent window.
+
+Start ticks come from the registry's injectable monotonic clock — they
+order spans *within one process* and yield durations, but are not
+comparable across processes (each process has its own tick origin).
+Cross-process stitching therefore uses only the id tree, never the ticks.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["SpanRecord", "TraceRecorder"]
+
+#: Default ring capacity: enough for the recent-history window the ``trace``
+#: op serves, small enough (a few hundred KiB) to forget about.
+DEFAULT_CAPACITY = 2048
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed span (immutable, JSON-ready via :meth:`to_wire`)."""
+
+    trace_id: str
+    span_id: str
+    parent_id: str | None
+    name: str
+    start: float
+    duration: float
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+    def to_wire(self) -> dict[str, Any]:
+        """The JSON-ready mapping (sorted keys; attribute keys sorted too)."""
+        return {
+            "attributes": {key: self.attributes[key] for key in sorted(self.attributes)},
+            "duration": self.duration,
+            "name": self.name,
+            "parent_id": self.parent_id,
+            "span_id": self.span_id,
+            "start": self.start,
+            "trace_id": self.trace_id,
+        }
+
+    @staticmethod
+    def from_wire(wire: dict[str, Any]) -> SpanRecord:
+        """Rebuild a record from its wire form (inverse of :meth:`to_wire`)."""
+        return SpanRecord(
+            trace_id=str(wire["trace_id"]),
+            span_id=str(wire["span_id"]),
+            parent_id=None if wire.get("parent_id") is None else str(wire["parent_id"]),
+            name=str(wire["name"]),
+            start=float(wire["start"]),
+            duration=float(wire["duration"]),
+            attributes=dict(wire.get("attributes") or {}),
+        )
+
+
+class TraceRecorder:
+    """A bounded, drop-oldest ring buffer of completed spans.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum retained spans; older records are dropped (and counted)
+        once the buffer is full.
+    enabled:
+        ``False`` makes :meth:`record` a constant-time no-op that never
+        allocates — the tracing analogue of a disabled registry.
+
+    The recorder has its own lock (not the registry's): span recording
+    must never contend with the metrics hot path, and a torn trace buffer
+    is impossible anyway — records are immutable and appended whole.
+    """
+
+    __slots__ = ("capacity", "enabled", "_lock", "_spans", "_dropped", "_next_seq")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, *, enabled: bool = True) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._spans: deque[SpanRecord] = deque()
+        self._dropped = 0
+        self._next_seq = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, span: SpanRecord) -> None:
+        """Append one completed span (drop-oldest beyond capacity)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            if len(self._spans) >= self.capacity:
+                self._spans.popleft()
+                self._dropped += 1
+            self._spans.append(span)
+            self._next_seq += 1
+
+    def record_many(self, spans: list[SpanRecord]) -> None:
+        """Append several spans under one lock acquisition (pool-merge path)."""
+        if not self.enabled or not spans:
+            return
+        with self._lock:
+            for span in spans:
+                if len(self._spans) >= self.capacity:
+                    self._spans.popleft()
+                    self._dropped += 1
+                self._spans.append(span)
+                self._next_seq += 1
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    @property
+    def dropped(self) -> int:
+        """Spans evicted by the ring since construction (loss is observable)."""
+        return self._dropped
+
+    @property
+    def total(self) -> int:
+        """Total spans ever recorded (the next record's sequence number)."""
+        return self._next_seq
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def spans(self, limit: int | None = None) -> list[SpanRecord]:
+        """The retained spans, oldest first (the newest ``limit`` when given)."""
+        with self._lock:
+            records = list(self._spans)
+        if limit is not None and limit >= 0:
+            records = records[-limit:] if limit else []
+        return records
+
+    def since(self, cursor: int) -> tuple[list[SpanRecord], int]:
+        """Spans with sequence number ``>= cursor`` plus the next cursor.
+
+        The incremental-drain primitive: a journal writer calls
+        ``spans, cursor = recorder.since(cursor)`` after each request and
+        appends what it gets; records that fell off the ring before being
+        drained are simply absent (and counted in :attr:`dropped`).
+        """
+        with self._lock:
+            first_seq = self._next_seq - len(self._spans)
+            start = max(cursor, first_seq) - first_seq
+            records = [self._spans[k] for k in range(start, len(self._spans))]
+            return records, self._next_seq
+
+    def clear(self) -> None:
+        """Drop all retained spans (sequence numbers and drop count persist)."""
+        with self._lock:
+            self._spans.clear()
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return (
+            f"<TraceRecorder {state}, {len(self._spans)}/{self.capacity} spans, "
+            f"{self._dropped} dropped>"
+        )

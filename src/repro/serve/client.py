@@ -25,6 +25,7 @@ from __future__ import annotations
 import socket
 from typing import Any, cast
 
+from repro.obs import MetricsRegistry, current_context
 from repro.serve.protocol import PingInfo, decode_line, encode_line
 
 
@@ -41,17 +42,30 @@ class ServeClient:
         The daemon's address (``PatternServer.address``).
     timeout:
         Socket timeout in seconds for connecting and for each response.
+    obs:
+        Optional :class:`~repro.obs.MetricsRegistry`.  When enabled, every
+        request is timed into ``serve.client.request.seconds`` as a client
+        span, and the span's :class:`~repro.obs.TraceContext` rides the
+        request's ``trace`` field — so a tracing daemon parents its
+        operation span under this client's, and the two processes' spans
+        stitch into one tree by ``trace_id``.
 
     The connection opens lazily on the first request and is reusable across
     requests; use the context-manager form to close it deterministically.
     """
 
     def __init__(
-        self, host: str = "127.0.0.1", port: int = 0, *, timeout: float = 30.0
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        timeout: float = 30.0,
+        obs: MetricsRegistry | None = None,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.obs = obs
         self._sock: socket.socket | None = None
         # The buffered reader/writer over the socket; ``Any`` because the
         # lazy-connect dance (None until the first request) defeats narrowing.
@@ -96,10 +110,27 @@ class ServeClient:
         response may still be in flight on it: reusing the socket would
         desynchronise the request/response pairing and hand a later caller
         the wrong payload.  The next request reconnects lazily.
+
+        With an enabled ``obs`` registry the whole round-trip runs inside
+        a ``serve.client.request.seconds`` span; its context (or any
+        ambient :class:`~repro.obs.TraceContext` when no registry is
+        attached) is injected as the request's ``trace`` field, which a
+        tracing daemon parents its operation span under and echoes back.
         """
+        obs = self.obs
+        if obs is not None and obs.enabled:
+            with obs.span("serve.client.request.seconds", op=op):
+                return self._request(op, params)
+        return self._request(op, params)
+
+    def _request(self, op: str, params: dict[str, Any]) -> dict[str, Any]:
+        """The untraced request primitive ``request`` wraps."""
         self.connect()
         payload: dict[str, Any] = {"op": op}
         payload.update(params)
+        context = current_context()
+        if context is not None:
+            payload.setdefault("trace", context.to_wire())
         try:
             self._file.write(encode_line(payload))
             self._file.flush()
@@ -166,6 +197,18 @@ class ServeClient:
     def reload(self, force: bool = False) -> dict[str, Any]:
         """Ask the daemon to swap in a republished store file."""
         return self.request("reload", force=force)
+
+    def trace(self, limit: int | None = None) -> dict[str, Any]:
+        """The daemon's recent completed spans (its trace-recorder ring).
+
+        Returns ``{"spans": [wire dicts, oldest first], "dropped": ...,
+        "total": ..., "enabled": ...}`` — the newest ``limit`` spans when
+        given.  A daemon without a recorder reports ``enabled: false`` and
+        no spans.
+        """
+        if limit is None:
+            return self.request("trace")
+        return self.request("trace", limit=limit)
 
     def shutdown(self) -> dict[str, Any]:
         """Stop the daemon (it responds, then exits its serving loop)."""

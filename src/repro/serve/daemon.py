@@ -29,7 +29,9 @@ from __future__ import annotations
 import itertools
 import os
 import socketserver
+import sys
 import threading
+from collections.abc import Callable
 from pathlib import Path
 from typing import Any, cast
 
@@ -38,7 +40,17 @@ from repro.db.database import SequenceDatabase
 from repro.db.sequence import as_sequence
 from repro.match.service import PatternMatcher
 from repro.match.store import PatternStore, load_patterns
-from repro.obs import Counter, Histogram, MetricsRegistry
+from repro.obs import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    SpanJournalWriter,
+    SpanRecord,
+    TraceContext,
+    child_of,
+    reset_context,
+    set_context,
+)
 from repro.serve.protocol import (
     MAX_LINE_BYTES,
     OPERATIONS,
@@ -182,7 +194,24 @@ class PatternServer:
         latency histograms (``serve.op.<op>.seconds``), bytes in/out,
         reload/adoption counters and durations.  The ``stats`` operation
         returns this registry's snapshot.  Defaults to a private enabled
-        registry.
+        registry.  When the registry carries an enabled
+        :class:`~repro.obs.TraceRecorder`, every request additionally
+        records an operation span — parented under the request's optional
+        ``trace`` wire context and echoed back on the response — and the
+        ``trace`` operation serves the recorder's ring.
+    trace_out:
+        Optional path of a JSON-lines span journal
+        (:class:`~repro.obs.SpanJournalWriter`, append mode).  After each
+        request the daemon drains newly completed spans from the recorder
+        into it, so the journal is the replayable record of every traced
+        request.  Requires a registry with a recorder to have any effect.
+    slow_ms:
+        When set, any request slower than this many milliseconds emits one
+        ``# slow op=<op> ms=<elapsed> trace=<trace_id>`` line through
+        ``slow_sink`` — the grep-able hook for tail-latency triage, with
+        the trace id linking straight to the span journal.
+    slow_sink:
+        Where slow-request lines go; defaults to stderr.
     """
 
     def __init__(
@@ -195,6 +224,9 @@ class PatternServer:
         mmap: bool | str = "auto",
         auto_reload: bool = False,
         obs: MetricsRegistry | None = None,
+        trace_out: PathLike | None = None,
+        slow_ms: float | None = None,
+        slow_sink: Callable[[str], None] | None = None,
     ) -> None:
         self.store_path = Path(store_path)
         self._constraint = constraint
@@ -214,11 +246,27 @@ class PatternServer:
         # dict lookup — the RL006 discipline, applied to the daemon.
         self._op_metrics: dict[str, tuple[Counter, Histogram]] = {
             name: (
-                self.obs.counter(f"serve.op.{name}.requests"),
-                self.obs.histogram(f"serve.op.{name}.seconds"),
+                self.obs.counter(f"serve.op.{name}.requests"),  # reprolint: disable=RL008 -- the per-op family is enumerated from the closed OPERATIONS tuple, not free-form
+                self.obs.histogram(f"serve.op.{name}.seconds"),  # reprolint: disable=RL008 -- same closed enumeration; each expansion is a conformant dotted name
             )
             for name in (*OPERATIONS, "invalid")
         }
+        # Op span names are the op histogram names — one vocabulary for the
+        # latency table and the trace tree.
+        self._op_span_names: dict[str, str] = {
+            name: histogram.name for name, (_, histogram) in self._op_metrics.items()
+        }
+        self._trace_lock = threading.Lock()
+        self._trace_cursor = 0
+        self._trace_writer = (
+            SpanJournalWriter(trace_out) if trace_out is not None else None
+        )
+        self._slow_ms = slow_ms
+        self._slow_sink: Callable[[str], None] = (
+            slow_sink
+            if slow_sink is not None
+            else lambda line: print(line, file=sys.stderr)
+        )
         self._requests_total = self.obs.counter("serve.requests")
         self._errors_total = self.obs.counter("serve.errors")
         self._bytes_in = self.obs.counter("serve.bytes_in")
@@ -244,7 +292,7 @@ class PatternServer:
         stat = os.stat(self.store_path)
         store = load_patterns(self.store_path, mmap=self._mmap)
         adopted = adopt_from is not None and store.adopt_automaton(adopt_from)
-        matcher = PatternMatcher(store, constraint=self._constraint)
+        matcher = PatternMatcher(store, constraint=self._constraint, obs=self.obs)
         return _ServingState(store, matcher, stat, ticket), adopted
 
     @property
@@ -360,12 +408,25 @@ class PatternServer:
         acquisition, so in every snapshot the per-op histogram count equals
         the per-op request counter (a ``stats`` response therefore never
         counts the request that carried it).
+
+        With tracing on (an enabled recorder on the registry), the whole
+        handling becomes the request's *operation span*: parented under
+        the request's optional ``trace`` wire context, ambient while the
+        operation runs (so matcher spans nest beneath it), echoed on the
+        response as ``trace``, and recorded after the response is encoded
+        — which is also when the span journal drains and the slow-request
+        line (if configured) is emitted.
         """
         obs = self.obs
+        recorder = obs.recorder
+        tracing = obs.enabled and recorder is not None and recorder.enabled
         started = obs.clock() if obs.enabled else 0.0
         stop = False
         request_id = None
         op_name = "invalid"
+        parent: TraceContext | None = None
+        context: TraceContext | None = None
+        token = None
         try:
             request = decode_line(raw)
             request_id = request.get("id")
@@ -374,6 +435,10 @@ class PatternServer:
                 op = "top_k"
             if isinstance(op, str) and op in self._op_metrics:
                 op_name = op
+            if tracing:
+                parent = TraceContext.from_wire(request.get("trace"))
+                context = child_of(parent)
+                token = set_context(context)
             self._maybe_auto_reload()
             response = self._dispatch(op, request)
             stop = op == "shutdown"
@@ -381,8 +446,13 @@ class PatternServer:
             response = error_response(str(exc))
         except Exception as exc:  # noqa: BLE001 - the daemon must keep serving
             response = error_response(f"{type(exc).__name__}: {exc}")
+        finally:
+            if token is not None:
+                reset_context(token)
         if request_id is not None:
             response.setdefault("id", request_id)
+        if context is not None:
+            response["trace"] = context.to_wire()
         encoded = encode_line(response)
         if obs.enabled:
             elapsed = obs.clock() - started
@@ -395,9 +465,43 @@ class PatternServer:
                 self._bytes_out.inc(len(encoded))
                 if not response.get("ok"):
                     self._errors_total.inc()
+            if context is not None and recorder is not None:
+                recorder.record(
+                    SpanRecord(
+                        trace_id=context.trace_id,
+                        span_id=context.span_id,
+                        parent_id=None if parent is None else parent.span_id,
+                        name=self._op_span_names[op_name],
+                        start=started,
+                        duration=elapsed,
+                        attributes={"op": op_name},
+                    )
+                )
+                self._drain_trace()
+            if self._slow_ms is not None and elapsed * 1000.0 >= self._slow_ms:
+                trace_id = context.trace_id if context is not None else "-"
+                self._slow_sink(
+                    f"# slow op={op_name} ms={elapsed * 1000.0:.1f} trace={trace_id}"
+                )
         with self._lock:
             self.requests_served += 1
         return encoded, stop
+
+    def _drain_trace(self) -> None:
+        """Append spans recorded since the last drain to the span journal.
+
+        Incremental via the recorder's sequence cursor; the cursor update
+        and the append happen under the writer-side lock, so concurrent
+        request threads never write a span twice or out of order.
+        """
+        writer = self._trace_writer
+        recorder = self.obs.recorder
+        if writer is None or recorder is None:
+            return
+        with self._trace_lock:
+            spans, self._trace_cursor = recorder.since(self._trace_cursor)
+            if spans:
+                writer.write(spans)
 
     def _dispatch(self, op: Any, request: dict[str, Any]) -> dict[str, Any]:
         """Route one decoded request to its (already normalised) operation."""
@@ -441,6 +545,18 @@ class PatternServer:
             return ok_response(**self.reload(force=bool(request.get("force"))))
         if op == "stats":
             return ok_response(stats=self.obs.snapshot())
+        if op == "trace":
+            recorder = self.obs.recorder
+            if recorder is None:
+                return ok_response(spans=[], dropped=0, total=0, enabled=False)
+            limit = request.get("limit")
+            spans = recorder.spans(None if limit is None else int(limit))
+            return ok_response(
+                spans=[span.to_wire() for span in spans],
+                dropped=recorder.dropped,
+                total=recorder.total,
+                enabled=recorder.enabled,
+            )
         if op == "shutdown":
             return ok_response(stopping=True)
         raise ProtocolError(
@@ -487,6 +603,9 @@ class PatternServer:
         """
         self.shutdown()
         self._tcp.server_close()
+        if self._trace_writer is not None:
+            self._drain_trace()
+            self._trace_writer.close()
 
     def __enter__(self) -> PatternServer:
         self.start()
@@ -505,6 +624,8 @@ def serve(
     mmap: bool | str = "auto",
     auto_reload: bool = False,
     obs: MetricsRegistry | None = None,
+    trace_out: PathLike | None = None,
+    slow_ms: float | None = None,
     block: bool = True,
 ) -> PatternServer:
     """Start a pattern-serving daemon over a saved store.
@@ -523,6 +644,8 @@ def serve(
         mmap=mmap,
         auto_reload=auto_reload,
         obs=obs,
+        trace_out=trace_out,
+        slow_ms=slow_ms,
     )
     if not block:
         server.start()

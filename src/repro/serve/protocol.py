@@ -25,8 +25,19 @@ Operations (see :class:`repro.serve.daemon.PatternServer` for semantics):
 ``stats``
     The daemon's metrics snapshot (per-op request counts and latency
     histograms, bytes in/out, reload counters) as deterministic sorted JSON.
+``trace``
+    The daemon's recent completed spans (the trace-recorder ring) as wire
+    dicts, plus the ring's drop/total counters; ``limit`` trims to the
+    newest N.
 ``shutdown``
     Stop the daemon after responding.
+
+Any request may carry an optional ``trace`` field — a
+``{"trace_id": ..., "span_id": ...}`` wire context
+(:meth:`repro.obs.TraceContext.to_wire`).  A tracing daemon parents its
+operation span under it and echoes its own context back as the response's
+``trace`` field, which is how client-side and daemon-side spans stitch
+into one tree.
 
 Pattern events are restricted to JSON scalars by construction (stores
 persist str/int events only), so patterns travel as plain JSON arrays and
@@ -48,7 +59,17 @@ from repro.match.service import SequenceScore
 
 #: Request operations the daemon understands (``top-k`` is accepted for
 #: ``top_k``); named in the unknown-operation error.
-OPERATIONS = ("ping", "match", "score", "rank", "top_k", "reload", "stats", "shutdown")
+OPERATIONS = (
+    "ping",
+    "match",
+    "score",
+    "rank",
+    "top_k",
+    "reload",
+    "stats",
+    "trace",
+    "shutdown",
+)
 
 
 class PingInfo(TypedDict):

@@ -318,6 +318,14 @@ class StreamMiner:
         Optional per-support-set byte budget forwarded to the per-shard
         :class:`GSgrow` runs: over-budget DFS frontier sets are spilled to
         disk (:mod:`repro.core.spill`).  Results are identical either way.
+    n_jobs:
+        ``None`` or ``1`` (default) re-mines dirty shards serially
+        in-process.  Any other value fans a refresh's dirty shards out
+        over a process pool of that many workers (``<= 0`` means one per
+        CPU) via :func:`repro.api.mine_many` — shards are independent
+        databases, so the resulting tables are byte-identical; worker
+        registries merge back into ``obs``, so ``mine.*`` counters total
+        the same either way.
     store_path:
         Optional path of a :class:`~repro.match.store.PatternStore` file to
         (re)write after every :meth:`refresh` — the stream-to-serving bridge.
@@ -352,6 +360,7 @@ class StreamMiner:
         db_backend: str | None = None,
         db_dir: str | Path | None = None,
         spill_budget: int | None = None,
+        n_jobs: int | None = None,
         store_path: str | Path | None = None,
         obs: MetricsRegistry | None = None,
     ):
@@ -380,6 +389,7 @@ class StreamMiner:
         if self.db_dir is not None:
             Path(self.db_dir).mkdir(parents=True, exist_ok=True)
         self.spill_budget = spill_budget
+        self.n_jobs = n_jobs
         self.store_path = Path(store_path) if store_path is not None else None
         # Re-entrant: append_many -> append and results -> refresh nest.
         self._lock = threading.RLock()
@@ -553,7 +563,7 @@ class StreamMiner:
             for key, value in current.items():
                 delta = value - self._mirrored.get(key, 0)
                 if delta > 0:
-                    obs.counter(f"stream.{key}").inc(delta)
+                    obs.counter(f"stream.{key}").inc(delta)  # reprolint: disable=RL008 -- keys enumerate the fixed StreamStats dataclass fields, each a conformant name
             obs.gauge("stream.window_sequences").set(len(self))
             obs.gauge("stream.shards").set(len(self._shards))
             obs.gauge("db.backend.resident.bytes").set(resident)
@@ -723,8 +733,15 @@ class StreamMiner:
         required = self._required_threshold()
         mine_at = self._mining_threshold()
         cap = self._shard_mining_cap()
-        for shard in self._shards:
-            if shard.dirty or shard.mined_threshold is None or shard.mined_threshold > required:
+        stale = [
+            shard
+            for shard in self._shards
+            if shard.dirty or shard.mined_threshold is None or shard.mined_threshold > required
+        ]
+        if len(stale) > 1 and self.n_jobs is not None and self.n_jobs != 1:
+            self._remine_pooled(stale, mine_at, cap)
+        else:
+            for shard in stale:
                 shard.remine(mine_at, cap, self.stats, self.obs)
         candidates: set = set()
         for shard in self._shards:
@@ -739,6 +756,42 @@ class StreamMiner:
             if total >= self.min_sup:
                 merged[key] = total
         return merged
+
+    # reprolint: holds-lock
+    def _remine_pooled(self, shards: list[_Shard], mine_at: int, cap: int | None) -> None:
+        """Re-mine several stale shards over a process pool (caller holds self._lock).
+
+        Shards are independent databases and :class:`GSgrow` is
+        deterministic, so fanning the batch through
+        :func:`repro.api.mine_many` produces tables byte-identical to
+        serial :meth:`_Shard.remine` calls; worker registries (with the
+        ``mine.*`` counters of each run) merge back into :attr:`obs` on
+        return, so the telemetry totals match the serial path too.
+        """
+        # Local import: repro.api imports this module (the one-way layering
+        # is api -> stream; the pool fan-out reuses it without a cycle).
+        from repro.api import mine_many
+
+        databases = [
+            SequenceDatabase(shard.stream.database.sequences) for shard in shards
+        ]
+        with self.obs.span("stream.remine.seconds"):
+            results = mine_many(
+                databases,
+                mine_at,
+                closed=False,
+                n_jobs=self.n_jobs,
+                obs=self.obs if self.obs.enabled else None,
+                max_length=cap,
+                spill_budget=self.spill_budget,
+                spill_dir=self.db_dir,
+            )
+        for shard, result in zip(shards, results, strict=True):
+            shard.table = {mp.pattern.events: mp.support for mp in result}
+            shard.supports = dict(shard.table)
+            shard.mined_threshold = mine_at
+            shard.dirty = False
+            self.stats.shards_remined += 1
 
     def _closed_filter(self, frequent: dict[PatternKey, int]) -> dict[PatternKey, int]:
         """Keep the closed patterns of an exhaustive frequent table.

@@ -1,0 +1,11 @@
+"""RL008 positive fixture: dynamically assembled / malformed instrument names."""
+
+
+def instrument(obs, op, phase):
+    obs.counter(f"serve.{op}.requests").inc()
+    obs.histogram("mine." + phase).observe(0.1)
+    name = "match.match.seconds"
+    with obs.span(name):
+        pass
+    obs.counter("Bad.Name").inc()
+    obs.gauge("serve queue depth").set(1.0)

@@ -1,0 +1,10 @@
+"""RL008 negative fixture: literal dotted names, plus one reasoned suppression."""
+
+
+def instrument(obs, operations):
+    obs.counter("serve.requests").inc()
+    obs.histogram("match.match.seconds").observe(0.1)
+    with obs.span("serve.op.score.seconds", op="score"):
+        pass
+    for op in operations:
+        obs.counter(f"serve.op.{op}.requests").inc()  # reprolint: disable=RL008 -- closed enumeration over the protocol's operation tuple

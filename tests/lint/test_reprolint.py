@@ -106,6 +106,17 @@ def test_rl007_allows_imports_inside_repro_db():
     assert _findings(GOOD / "repro" / "db" / "index.py") == []
 
 
+def test_rl008_metric_name_violations(bad_findings):
+    hits = _rules_for(bad_findings, "repro/match/obs_names.py")
+    assert all(rule == "RL008" for rule, _ in hits)
+    # f-string, concatenation, variable, uppercase literal, space in literal
+    assert [line for _, line in hits] == [5, 6, 8, 10, 11]
+
+
+def test_rl008_allows_literals_and_reasoned_suppression():
+    assert _findings(GOOD / "repro" / "match" / "obs_names.py") == []
+
+
 def test_rl000_directive_errors(bad_findings):
     hits = _rules_for(bad_findings, "repro/serve/protocol.py")
     # The reasonless disable is RL000 and does NOT suppress the RL002 it names;
@@ -117,7 +128,17 @@ def test_rl000_directive_errors(bad_findings):
 
 def test_every_rule_has_positive_coverage(bad_findings):
     fired = {rule for _, rule, _ in bad_findings}
-    assert {"RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007", "RL000"} <= fired
+    assert {
+        "RL001",
+        "RL002",
+        "RL003",
+        "RL004",
+        "RL005",
+        "RL006",
+        "RL007",
+        "RL008",
+        "RL000",
+    } <= fired
 
 
 # ----------------------------------------------------------------------
@@ -163,5 +184,14 @@ def test_cli_exit_codes_and_output(capsys):
 def test_cli_list_rules(capsys):
     assert main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007"):
+    for rule_id in (
+        "RL001",
+        "RL002",
+        "RL003",
+        "RL004",
+        "RL005",
+        "RL006",
+        "RL007",
+        "RL008",
+    ):
         assert rule_id in out

@@ -1,0 +1,186 @@
+"""Unit tests for cross-process aggregation: dump/merge and worker telemetry.
+
+Pins the merge algebra (counters additive, gauges last-writer-by-tick,
+histograms bucket-wise with hard failure on mismatched bounds), the
+lossless dump round-trip, and the capture/absorb envelope pool workers
+ship their registries home in.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    TraceRecorder,
+    WorkerTelemetry,
+    absorb_telemetry,
+    capture_telemetry,
+    merge_states,
+)
+
+
+def make_clock(step: float = 1.0):
+    state = {"now": 0.0}
+
+    def clock() -> float:
+        state["now"] += step
+        return state["now"]
+
+    return clock
+
+
+class TestDump:
+    def test_dump_is_lossless(self):
+        obs = MetricsRegistry(clock=make_clock())
+        obs.counter("mine.runs").inc(3)
+        obs.gauge("stream.window").set(7.0)
+        obs.histogram("mine.run.seconds", bounds=(1.0, 2.0)).observe(1.5)
+        state = obs.dump()
+        assert state["counters"] == {"mine.runs": 3}
+        assert state["gauges"]["stream.window"]["value"] == 7.0
+        hist = state["histograms"]["mine.run.seconds"]
+        assert hist["bounds"] == [1.0, 2.0]
+        assert hist["buckets"] == [0, 1, 0]
+        assert hist["count"] == 1
+
+    def test_disabled_dump_is_empty(self):
+        obs = MetricsRegistry(enabled=False)
+        obs.counter("c").inc()
+        assert obs.dump() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestMerge:
+    def test_counters_add(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(3)
+        b.counter("c").inc(4)
+        b.counter("only_b").inc(1)
+        a.merge(b.dump())
+        assert a.counter("c").value == 7
+        assert a.counter("only_b").value == 1
+
+    def test_gauges_keep_latest_tick(self):
+        a = MetricsRegistry(clock=make_clock())
+        b = MetricsRegistry(clock=make_clock())
+        a.gauge("g").set_at(1.0, tick=5.0)
+        b.gauge("g").set_at(2.0, tick=3.0)
+        a.merge(b.dump())
+        assert a.gauge("g").value == 1.0  # incoming tick 3 < resident tick 5
+        b.gauge("g").set_at(9.0, tick=8.0)
+        a.merge(b.dump())
+        assert a.gauge("g").value == 9.0
+
+    def test_gauge_tick_ties_favor_incoming(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("g").set_at(1.0, tick=5.0)
+        b.gauge("g").set_at(2.0, tick=5.0)
+        a.merge(b.dump())
+        assert a.gauge("g").value == 2.0
+
+    def test_histograms_merge_bucket_wise(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        bounds = (1.0, 2.0, 4.0)
+        for v in (0.5, 1.5):
+            a.histogram("h", bounds=bounds).observe(v)
+        for v in (3.0, 9.0):
+            b.histogram("h", bounds=bounds).observe(v)
+        a.merge(b.dump())
+        h = a.histogram("h", bounds=bounds)
+        assert h.count == 4
+        assert h.min == pytest.approx(0.5)
+        assert h.max == pytest.approx(9.0)
+        assert h.sum == pytest.approx(14.0)
+        assert h._counts == [1, 1, 1, 1]
+
+    def test_mismatched_bounds_raise(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", bounds=(1.0, 2.0)).observe(1.0)
+        b.histogram("h", bounds=(1.0, 3.0)).observe(1.0)
+        with pytest.raises(ValueError, match="bounds"):
+            a.merge(b.dump())
+
+    def test_merge_empty_histogram_is_noop(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", bounds=(1.0,)).observe(0.5)
+        b.histogram("h", bounds=(1.0,))  # registered, never observed
+        a.merge(b.dump())
+        assert a.histogram("h", bounds=(1.0,)).count == 1
+        assert a.histogram("h", bounds=(1.0,)).min == pytest.approx(0.5)
+
+    def test_merge_into_empty_adopts_min_max(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.histogram("h", bounds=(1.0,)).observe(0.25)
+        a.merge(b.dump())
+        h = a.histogram("h", bounds=(1.0,))
+        assert h.count == 1
+        assert h.min == pytest.approx(0.25)
+        assert h.max == pytest.approx(0.25)
+
+    def test_merge_into_disabled_is_noop(self):
+        a = MetricsRegistry(enabled=False)
+        b = MetricsRegistry()
+        b.counter("c").inc(5)
+        a.merge(b.dump())
+        assert a.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_dump_merge_round_trip_doubles(self):
+        obs = MetricsRegistry(clock=make_clock())
+        obs.counter("c").inc(2)
+        obs.histogram("h").observe(0.1)
+        obs.merge(obs.dump())
+        assert obs.counter("c").value == 4
+        assert obs.histogram("h").count == 2
+
+
+class TestMergeStates:
+    def test_folds_in_order(self):
+        states = []
+        for n in (1, 2, 3):
+            obs = MetricsRegistry()
+            obs.counter("c").inc(n)
+            states.append(obs.dump())
+        merged = merge_states(*states)
+        assert merged["counters"] == {"c": 6}
+
+    def test_empty_fold_is_empty_state(self):
+        assert merge_states() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestWorkerTelemetry:
+    def test_capture_disabled_is_empty(self):
+        telemetry = capture_telemetry(MetricsRegistry(enabled=False))
+        assert telemetry == WorkerTelemetry()
+
+    def test_capture_without_recorder_ships_state_only(self):
+        obs = MetricsRegistry()
+        obs.counter("c").inc()
+        telemetry = capture_telemetry(obs)
+        assert telemetry.state["counters"] == {"c": 1}
+        assert telemetry.spans == []
+
+    def test_capture_and_absorb_round_trip(self):
+        worker = MetricsRegistry(clock=make_clock(), recorder=TraceRecorder())
+        worker.counter("mine.runs").inc()
+        with worker.span("mine.worker.seconds"):
+            pass
+        telemetry = capture_telemetry(worker)
+
+        parent = MetricsRegistry(recorder=TraceRecorder())
+        absorb_telemetry(parent, telemetry)
+        assert parent.counter("mine.runs").value == 1
+        assert parent.histogram("mine.worker.seconds").count == 1
+        [span] = parent.recorder.spans()
+        assert span.name == "mine.worker.seconds"
+
+    def test_absorb_none_is_noop(self):
+        parent = MetricsRegistry()
+        absorb_telemetry(parent, None)
+        assert parent.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_absorb_into_disabled_is_noop(self):
+        worker = MetricsRegistry()
+        worker.counter("c").inc()
+        parent = MetricsRegistry(enabled=False)
+        absorb_telemetry(parent, capture_telemetry(worker))
+        assert parent.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}

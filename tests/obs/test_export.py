@@ -1,0 +1,121 @@
+"""Unit tests for the exporters: Prometheus text rendering, span journal.
+
+Pins the wire formats external tooling consumes: the Prometheus text
+exposition rules (``# TYPE`` lines, cumulative buckets ending in ``+Inf``,
+``_sum``/``_count``, deterministic ordering) and the JSON-lines span
+journal (append-only, one sorted-key mapping per line, closed-writer
+failure mode).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    SpanJournalWriter,
+    SpanRecord,
+    new_id,
+    prometheus_text,
+)
+
+
+def make_clock(step: float = 1.0):
+    state = {"now": 0.0}
+
+    def clock() -> float:
+        state["now"] += step
+        return state["now"]
+
+    return clock
+
+
+def make_span(name: str = "s") -> SpanRecord:
+    return SpanRecord(
+        trace_id=new_id(),
+        span_id=new_id(),
+        parent_id=None,
+        name=name,
+        start=0.0,
+        duration=0.5,
+    )
+
+
+class TestPrometheusText:
+    def test_empty_state_renders_empty(self):
+        assert prometheus_text(MetricsRegistry().dump()) == ""
+
+    def test_counter_and_gauge_lines(self):
+        obs = MetricsRegistry(clock=make_clock())
+        obs.counter("serve.requests").inc(3)
+        obs.gauge("stream.window").set(8.0)
+        text = prometheus_text(obs.dump())
+        assert "# TYPE serve_requests counter\nserve_requests 3\n" in text
+        assert "# TYPE stream_window gauge\nstream_window 8\n" in text
+        assert text.endswith("\n")
+
+    def test_histogram_buckets_are_cumulative(self):
+        obs = MetricsRegistry()
+        h = obs.histogram("mine.run.seconds", bounds=(1.0, 2.0))
+        for v in (0.5, 1.5, 9.0):
+            h.observe(v)
+        text = prometheus_text(obs.dump())
+        assert 'mine_run_seconds_bucket{le="1"} 1' in text
+        assert 'mine_run_seconds_bucket{le="2"} 2' in text
+        assert 'mine_run_seconds_bucket{le="+Inf"} 3' in text
+        assert "mine_run_seconds_sum 11\n" in text  # integer-valued floats drop the .0
+        assert "mine_run_seconds_count 3" in text
+
+    def test_output_is_deterministic(self):
+        def build() -> dict:
+            obs = MetricsRegistry(clock=make_clock())
+            obs.counter("b").inc(1)
+            obs.counter("a").inc(2)
+            obs.histogram("h").observe(0.1)
+            return obs.dump()
+
+        assert prometheus_text(build()) == prometheus_text(build())
+        # names render in sorted order
+        text = prometheus_text(build())
+        assert text.index("# TYPE a counter") < text.index("# TYPE b counter")
+
+    def test_accepts_snapshot_style_gauges(self):
+        # lenient: a bare value (snapshot shape) renders like a dump entry
+        text = prometheus_text({"gauges": {"g": 1.5}})
+        assert "g 1.5" in text
+
+
+class TestSpanJournalWriter:
+    def test_writes_one_sorted_json_line_per_span(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        with SpanJournalWriter(path) as writer:
+            writer.write([make_span("a"), make_span("b")])
+            assert writer.written == 2
+        lines = path.read_text().splitlines()
+        assert [json.loads(line)["name"] for line in lines] == ["a", "b"]
+        for line in lines:
+            assert list(json.loads(line)) == sorted(json.loads(line))
+
+    def test_appends_across_writers(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        with SpanJournalWriter(path) as writer:
+            writer.write([make_span("a")])
+        with SpanJournalWriter(path) as writer:
+            writer.write([make_span("b")])
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_empty_write_is_noop(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        with SpanJournalWriter(path) as writer:
+            writer.write([])
+        assert writer.written == 0
+        assert path.read_text() == ""
+
+    def test_write_after_close_raises(self, tmp_path):
+        writer = SpanJournalWriter(tmp_path / "spans.jsonl")
+        writer.close()
+        writer.close()  # idempotent
+        with pytest.raises(ValueError, match="closed"):
+            writer.write([make_span()])

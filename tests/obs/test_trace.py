@@ -1,0 +1,269 @@
+"""Unit tests for tracing: span records, the ring recorder, context propagation.
+
+Pins the PR-9 tracing contracts: the recorder is bounded (drop-oldest,
+drops counted), ``since()`` drains incrementally, contexts are isolated
+per thread via contextvars, nested ``span()`` blocks parent automatically,
+wire round-trips are lossless, and disabled recorders/registries never
+record anything.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    SpanRecord,
+    TraceContext,
+    TraceRecorder,
+    activated,
+    child_of,
+    current_context,
+    new_id,
+    reset_context,
+    root_context,
+    set_context,
+)
+
+
+def make_clock(step: float = 1.0):
+    state = {"now": 0.0}
+
+    def clock() -> float:
+        state["now"] += step
+        return state["now"]
+
+    return clock
+
+
+def make_span(name: str = "s", trace_id: str | None = None) -> SpanRecord:
+    return SpanRecord(
+        trace_id=trace_id or new_id(),
+        span_id=new_id(),
+        parent_id=None,
+        name=name,
+        start=0.0,
+        duration=0.5,
+    )
+
+
+class TestTraceRecorder:
+    def test_ring_drops_oldest_and_counts(self):
+        recorder = TraceRecorder(capacity=3)
+        for i in range(5):
+            recorder.record(make_span(name=f"s{i}"))
+        assert len(recorder) == 3
+        assert recorder.dropped == 2
+        assert recorder.total == 5
+        assert [s.name for s in recorder.spans()] == ["s2", "s3", "s4"]
+
+    def test_record_many_obeys_capacity(self):
+        recorder = TraceRecorder(capacity=2)
+        recorder.record_many([make_span(name=f"s{i}") for i in range(4)])
+        assert [s.name for s in recorder.spans()] == ["s2", "s3"]
+        assert recorder.dropped == 2
+
+    def test_spans_limit_keeps_newest(self):
+        recorder = TraceRecorder()
+        for i in range(4):
+            recorder.record(make_span(name=f"s{i}"))
+        assert [s.name for s in recorder.spans(limit=2)] == ["s2", "s3"]
+        assert recorder.spans(limit=0) == []
+
+    def test_since_cursor_drains_incrementally(self):
+        recorder = TraceRecorder()
+        recorder.record(make_span(name="a"))
+        spans, cursor = recorder.since(0)
+        assert [s.name for s in spans] == ["a"]
+        recorder.record(make_span(name="b"))
+        spans, cursor = recorder.since(cursor)
+        assert [s.name for s in spans] == ["b"]
+        spans, cursor = recorder.since(cursor)
+        assert spans == []
+
+    def test_since_skips_records_lost_to_the_ring(self):
+        recorder = TraceRecorder(capacity=2)
+        for i in range(5):
+            recorder.record(make_span(name=f"s{i}"))
+        spans, cursor = recorder.since(0)
+        # s0..s2 fell off the ring before being drained
+        assert [s.name for s in spans] == ["s3", "s4"]
+        assert cursor == 5
+
+    def test_disabled_recorder_never_records(self):
+        recorder = TraceRecorder(enabled=False)
+        recorder.record(make_span())
+        recorder.record_many([make_span()])
+        assert len(recorder) == 0
+        assert recorder.total == 0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            TraceRecorder(capacity=0)
+
+    def test_clear_keeps_sequence_and_drop_count(self):
+        recorder = TraceRecorder(capacity=1)
+        recorder.record(make_span())
+        recorder.record(make_span())
+        recorder.clear()
+        assert len(recorder) == 0
+        assert recorder.total == 2
+        assert recorder.dropped == 1
+
+
+class TestSpanRecordWire:
+    def test_round_trip_is_lossless(self):
+        span = SpanRecord(
+            trace_id="t" * 16,
+            span_id="a" * 16,
+            parent_id="b" * 16,
+            name="serve.op.score.seconds",
+            start=3.5,
+            duration=0.25,
+            attributes={"op": "score", "n": 4},
+        )
+        assert SpanRecord.from_wire(span.to_wire()) == span
+
+    def test_wire_keys_are_sorted(self):
+        wire = make_span().to_wire()
+        assert list(wire) == sorted(wire)
+
+    def test_from_wire_tolerates_missing_optionals(self):
+        span = SpanRecord.from_wire(
+            {"trace_id": "t", "span_id": "s", "name": "n", "start": 0, "duration": 1}
+        )
+        assert span.parent_id is None
+        assert span.attributes == {}
+
+
+class TestTraceContext:
+    def test_wire_round_trip(self):
+        context = root_context()
+        assert TraceContext.from_wire(context.to_wire()) == context
+
+    def test_from_wire_is_lenient(self):
+        assert TraceContext.from_wire(None) is None
+        assert TraceContext.from_wire("nope") is None
+        assert TraceContext.from_wire({}) is None
+        assert TraceContext.from_wire({"trace_id": "t", "span_id": ""}) is None
+
+    def test_child_shares_trace_id(self):
+        parent = root_context()
+        child = child_of(parent)
+        assert child.trace_id == parent.trace_id
+        assert child.span_id != parent.span_id
+
+    def test_child_of_none_starts_new_trace(self):
+        context = child_of(None)
+        assert context.trace_id and context.span_id
+
+    def test_set_and_reset(self):
+        assert current_context() is None
+        context = root_context()
+        token = set_context(context)
+        try:
+            assert current_context() == context
+        finally:
+            reset_context(token)
+        assert current_context() is None
+
+    def test_activated_restores_on_exit(self):
+        context = root_context()
+        with activated(context) as active:
+            assert active == context
+            assert current_context() == context
+        assert current_context() is None
+
+    def test_activated_none_is_noop(self):
+        with activated(None) as active:
+            assert active is None
+            assert current_context() is None
+
+    def test_contexts_are_thread_isolated(self):
+        barrier = threading.Barrier(2)
+        seen: dict[str, str | None] = {}
+
+        def worker(name: str) -> None:
+            context = root_context()
+            with activated(context):
+                barrier.wait(timeout=10)
+                ambient = current_context()
+                seen[name] = ambient.trace_id if ambient else None
+
+        threads = [threading.Thread(target=worker, args=(f"t{i}",)) for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert seen["t0"] is not None and seen["t1"] is not None
+        assert seen["t0"] != seen["t1"]
+        assert current_context() is None
+
+
+class TestRegistrySpans:
+    def test_span_feeds_recorder_and_histogram(self):
+        recorder = TraceRecorder()
+        obs = MetricsRegistry(clock=make_clock(), recorder=recorder)
+        with obs.span("mine.run.seconds", phase="grow"):
+            pass
+        assert obs.histogram("mine.run.seconds").count == 1
+        [record] = recorder.spans()
+        assert record.name == "mine.run.seconds"
+        assert record.attributes == {"phase": "grow"}
+        assert record.duration == pytest.approx(1.0)
+
+    def test_nested_spans_parent_automatically(self):
+        recorder = TraceRecorder()
+        obs = MetricsRegistry(clock=make_clock(), recorder=recorder)
+        with obs.span("outer.seconds"):
+            with obs.span("inner.seconds"):
+                pass
+        inner, outer = recorder.spans()  # inner finishes first
+        assert inner.name == "inner.seconds"
+        assert inner.trace_id == outer.trace_id
+        assert inner.parent_id == outer.span_id
+
+    def test_span_under_ambient_context_joins_the_trace(self):
+        recorder = TraceRecorder()
+        obs = MetricsRegistry(clock=make_clock(), recorder=recorder)
+        ambient = root_context()
+        with activated(ambient):
+            with obs.span("child.seconds"):
+                pass
+        [record] = recorder.spans()
+        assert record.trace_id == ambient.trace_id
+        assert record.parent_id == ambient.span_id
+
+    def test_span_without_recorder_only_times(self):
+        obs = MetricsRegistry(clock=make_clock())
+        with obs.span("phase.seconds"):
+            pass
+        assert obs.histogram("phase.seconds").count == 1
+        assert obs.recorder is None
+
+    def test_disabled_registry_records_nothing(self):
+        recorder = TraceRecorder()
+        obs = MetricsRegistry(enabled=False, recorder=recorder)
+        with obs.span("phase.seconds"):
+            pass
+        assert len(recorder) == 0
+        assert obs.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_disabled_recorder_still_times(self):
+        recorder = TraceRecorder(enabled=False)
+        obs = MetricsRegistry(clock=make_clock(), recorder=recorder)
+        with obs.span("phase.seconds"):
+            pass
+        assert obs.histogram("phase.seconds").count == 1
+        assert len(recorder) == 0
+
+    def test_span_records_even_when_body_raises(self):
+        recorder = TraceRecorder()
+        obs = MetricsRegistry(clock=make_clock(), recorder=recorder)
+        with pytest.raises(RuntimeError):
+            with obs.span("phase.seconds"):
+                raise RuntimeError("boom")
+        assert len(recorder) == 1
+        assert current_context() is None

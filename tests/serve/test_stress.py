@@ -19,6 +19,7 @@ import pytest
 from repro.core.clogsgrow import mine_closed
 from repro.db.database import SequenceDatabase
 from repro.match.store import PatternStore, save_patterns
+from repro.obs import MetricsRegistry, capture_telemetry, absorb_telemetry
 from repro.serve import PatternServer
 
 QUERY = ["ABCDAB", "AACB", "ABCABCDD"]
@@ -288,3 +289,74 @@ class TestStatsStress:
         assert final["serve.op.stats.requests"] == 3 * 80
         assert final["serve.op.ping.requests"] == 3 * 80
         assert final["serve.requests"] == server.requests_served
+
+
+class TestMergeStress:
+    def test_concurrent_merges_never_tear_per_op_invariants(self, stores):
+        """Worker-telemetry merges racing live requests keep snapshots untorn.
+
+        A merge lands atomically (``MetricsRegistry.merge`` runs under one
+        registry lock acquisition), and every merged envelope itself pairs
+        one ``serve.op.<op>.requests`` increment with one
+        ``serve.op.<op>.seconds`` observation — so in *every* snapshot
+        taken while mergers and requesters hammer the registry, each
+        per-op histogram count must equal that op's request counter.
+        """
+        path, _store_a, _store_b = stores
+        errors: list[str] = []
+        server = PatternServer(path)
+        merged_ops = ("score", "ping")
+        try:
+            # One worker-shaped envelope: the same paired increments the
+            # daemon's request path makes, but arriving via the pool seam.
+            worker = MetricsRegistry()
+            with worker.locked():
+                for op in merged_ops:
+                    worker.counter(f"serve.op.{op}.requests").inc()
+                    worker.histogram(f"serve.op.{op}.seconds").observe(0.001)
+                worker.counter("serve.requests").inc(len(merged_ops))
+            envelope = capture_telemetry(worker)
+
+            def merger():
+                for _ in range(150):
+                    absorb_telemetry(server.obs, envelope)
+
+            def requester():
+                for _ in range(80):
+                    response = _request(server, "score", sequences=QUERY)
+                    if not response.get("ok"):
+                        errors.append(response.get("error", "missing error"))
+                    _request(server, "ping")
+
+            def snapshotter():
+                for _ in range(150):
+                    snap = server.obs.snapshot()
+                    counters, histograms = snap["counters"], snap["histograms"]
+                    for op in merged_ops:
+                        requests = counters.get(f"serve.op.{op}.requests", 0)
+                        timed = histograms.get(f"serve.op.{op}.seconds", {}).get(
+                            "count", 0
+                        )
+                        if requests != timed:
+                            errors.append(
+                                f"torn {op}: {requests} counted, {timed} timed"
+                            )
+
+            threads = (
+                [threading.Thread(target=merger) for _ in range(3)]
+                + [threading.Thread(target=requester) for _ in range(2)]
+                + [threading.Thread(target=snapshotter) for _ in range(3)]
+            )
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        finally:
+            server.close()
+        assert errors == []
+        # 3 mergers x 150 merges + 2 requesters x 80 requests, exactly.
+        final = server.obs.snapshot()
+        for op in merged_ops:
+            expected = 3 * 150 + 2 * 80
+            assert final["counters"][f"serve.op.{op}.requests"] == expected
+            assert final["histograms"][f"serve.op.{op}.seconds"]["count"] == expected

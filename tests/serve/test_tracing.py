@@ -1,0 +1,168 @@
+"""End-to-end tracing through the serve pipeline.
+
+The PR-9 acceptance path: a traced :class:`~repro.serve.ServeClient`
+scores sequences against a traced :class:`~repro.serve.PatternServer` and
+the resulting spans stitch into ONE tree — client request span on top,
+the daemon's per-op span under it, the matcher span under that, all
+sharing a ``trace_id`` — observable both through the ``trace`` protocol
+op and the ``--trace-out`` JSON-lines journal.  Also covers the slow-op
+log line and the untraced fast paths.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.clogsgrow import mine_closed
+from repro.db.database import SequenceDatabase
+from repro.match.store import save_patterns
+from repro.obs import MetricsRegistry, TraceRecorder
+from repro.serve import PatternServer, ServeClient
+
+QUERY = ["ABCDAB", "AACB"]
+
+
+@pytest.fixture(scope="module")
+def train_db():
+    return SequenceDatabase.from_strings(["AABCDABB", "ABCD", "ABCABCD"])
+
+
+@pytest.fixture
+def store_file(train_db, tmp_path):
+    result = mine_closed(train_db, 2)
+    return save_patterns(result, tmp_path / "patterns.rps")
+
+
+def traced_registry() -> MetricsRegistry:
+    return MetricsRegistry(recorder=TraceRecorder())
+
+
+def spans_by_name(spans: list[dict]) -> dict[str, dict]:
+    return {span["name"]: span for span in spans}
+
+
+class TestTraceStitching:
+    def test_score_yields_one_stitched_trace(self, store_file):
+        server_obs = traced_registry()
+        client_obs = traced_registry()
+        with PatternServer(store_file, obs=server_obs) as server, ServeClient(
+            *server.address, obs=client_obs
+        ) as client:
+            client.score(QUERY)
+
+            daemon_spans = client.trace()["spans"]
+            client_spans = [s.to_wire() for s in client_obs.recorder.spans()]
+
+        # the trace() round-trip records spans of its own — select by op
+        [client_span] = [
+            s
+            for s in client_spans
+            if s["name"] == "serve.client.request.seconds"
+            and s["attributes"].get("op") == "score"
+        ]
+        [op_span] = [
+            s
+            for s in daemon_spans
+            if s["name"] == "serve.op.score.seconds"
+        ]
+        [match_span] = [s for s in daemon_spans if s["name"] == "match.match.seconds"]
+        # one tree: client -> op -> matcher, one trace id
+        assert op_span["parent_id"] == client_span["span_id"]
+        assert match_span["parent_id"] == op_span["span_id"]
+        assert len({s["trace_id"] for s in (client_span, op_span, match_span)}) == 1
+        assert op_span["attributes"]["op"] == "score"
+
+    def test_response_echoes_trace_context(self, store_file):
+        with PatternServer(
+            store_file, obs=traced_registry()
+        ) as server, ServeClient(*server.address) as client:
+            response = client.request("ping")
+        assert set(response["trace"]) == {"span_id", "trace_id"}
+
+    def test_untraced_server_omits_trace_field(self, store_file):
+        with PatternServer(store_file) as server, ServeClient(*server.address) as client:
+            response = client.request("ping")
+        assert "trace" not in response
+
+    def test_trace_op_without_recorder_reports_disabled(self, store_file):
+        with PatternServer(store_file) as server, ServeClient(*server.address) as client:
+            result = client.trace()
+        assert result["enabled"] is False
+        assert result["spans"] == []
+
+    def test_trace_op_reports_totals_and_limit(self, store_file):
+        with PatternServer(
+            store_file, obs=traced_registry()
+        ) as server, ServeClient(*server.address) as client:
+            for _ in range(3):
+                client.ping()
+            result = client.trace(limit=2)
+        assert result["enabled"] is True
+        assert result["dropped"] == 0
+        assert len(result["spans"]) == 2
+        assert result["total"] >= 3
+
+
+class TestTraceJournal:
+    def test_trace_out_writes_stitched_jsonl(self, store_file, tmp_path):
+        journal = tmp_path / "spans.jsonl"
+        server = PatternServer(store_file, obs=traced_registry(), trace_out=journal)
+        server.start()
+        try:
+            with ServeClient(*server.address, obs=traced_registry()) as client:
+                client.score(QUERY)
+        finally:
+            server.close()
+        spans = [json.loads(line) for line in journal.read_text().splitlines()]
+        named = spans_by_name(spans)
+        assert "serve.op.score.seconds" in named
+        assert "match.match.seconds" in named
+        assert (
+            named["match.match.seconds"]["parent_id"]
+            == named["serve.op.score.seconds"]["span_id"]
+        )
+
+    def test_journal_appends_across_restarts(self, store_file, tmp_path):
+        journal = tmp_path / "spans.jsonl"
+        for _ in range(2):
+            with PatternServer(
+                store_file, obs=traced_registry(), trace_out=journal
+            ) as server, ServeClient(*server.address) as client:
+                client.ping()
+        lines = journal.read_text().splitlines()
+        assert len(lines) >= 2
+        assert all("ping" in json.loads(line)["name"] for line in lines)
+
+
+class TestSlowLine:
+    def test_slow_ops_emit_log_line_with_trace_id(self, store_file):
+        lines: list[str] = []
+        server = PatternServer(
+            store_file,
+            obs=traced_registry(),
+            slow_ms=0.0,  # everything is slow
+            slow_sink=lines.append,
+        )
+        server.start()
+        try:
+            with ServeClient(*server.address) as client:
+                client.ping()
+        finally:
+            server.close()
+        assert lines, "slow sink never fired"
+        assert any("op=ping" in line and "trace=" in line for line in lines)
+
+    def test_fast_ops_stay_quiet(self, store_file):
+        lines: list[str] = []
+        server = PatternServer(
+            store_file, obs=traced_registry(), slow_ms=60_000.0, slow_sink=lines.append
+        )
+        server.start()
+        try:
+            with ServeClient(*server.address) as client:
+                client.ping()
+        finally:
+            server.close()
+        assert lines == []

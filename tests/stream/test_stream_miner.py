@@ -141,6 +141,50 @@ class TestIncrementalScheduling:
         assert "window=2" in text and "patterns" in text
 
 
+class TestPooledRemine:
+    """``n_jobs`` shard re-mining equals the serial path, patterns and stats.
+
+    Shards are independent databases and GSgrow is deterministic, so the
+    pooled fan-out through :func:`repro.api.mine_many` must be invisible:
+    byte-identical results against the batch oracle at every refresh, the
+    same shards-remined accounting, and spans recorded under the miner's
+    registry rather than lost in the workers.
+    """
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_pooled_refreshes_match_serial_and_oracle(self, seed):
+        serial = StreamMiner(5, shard_size=4, max_length=4)
+        pooled = StreamMiner(5, shard_size=4, max_length=4, n_jobs=2)
+        for seq in _markov_sequences(seed, n=16):
+            serial.append(seq)
+            pooled.append(seq)
+        serial_update = serial.refresh()
+        pooled_update = pooled.refresh()
+        assert canon(pooled_update.result) == canon(serial_update.result)
+        assert canon(pooled_update.result) == canon(batch_oracle(pooled))
+        assert pooled.stats.shards_remined == serial.stats.shards_remined
+
+    def test_pooled_remine_records_span_on_parent_registry(self):
+        from repro.obs import MetricsRegistry, TraceRecorder
+
+        obs = MetricsRegistry(recorder=TraceRecorder())
+        miner = StreamMiner(4, shard_size=4, max_length=4, n_jobs=2, obs=obs)
+        for seq in _markov_sequences(0, n=12):
+            miner.append(seq)
+        miner.refresh()
+        names = {s.name for s in obs.recorder.spans()}
+        assert "stream.remine.seconds" in names
+        assert "mine.worker.seconds" in names  # worker spans made it home
+
+    def test_single_stale_shard_stays_serial(self):
+        miner = StreamMiner(3, shard_size=64, n_jobs=4)
+        for seq in _markov_sequences(1, n=8):
+            miner.append(seq)
+        update = miner.refresh()  # one shard -> serial remine, no pool spin-up
+        assert canon(update.result) == canon(batch_oracle(miner))
+        assert miner.stats.shards_remined == 1
+
+
 class TestValidation:
     def test_rejects_bad_configuration(self):
         with pytest.raises(ValueError):

@@ -70,6 +70,57 @@ class TestMineMany:
         assert [r.as_dict() for r in sharded] == [r.as_dict() for r in serial]
 
 
+class TestMineManyTelemetry:
+    """Pool workers' telemetry must not be lost (the PR-9 regression).
+
+    The parent registry after ``mine_many(n_jobs=4)`` must hold exactly
+    the counter totals a serial run accumulates — worker registries ship
+    home via :class:`~repro.obs.aggregate.WorkerTelemetry` and merge
+    additively, so parallelism is invisible in the counters.
+    """
+
+    def _batch(self):
+        return [
+            repro.SequenceDatabase.from_strings(["AABCDABB", "ABCD"]),
+            repro.SequenceDatabase.from_strings(["ABCABCA", "AABBCCC"]),
+            repro.SequenceDatabase.from_strings(["XYXYXY"]),
+            repro.SequenceDatabase.from_strings(["AABBAABB", "ABAB"]),
+        ]
+
+    def test_pooled_counters_equal_serial_totals(self):
+        from repro.obs import MetricsRegistry
+
+        serial_obs = MetricsRegistry()
+        api.mine_many(self._batch(), 2, obs=serial_obs)
+        pooled_obs = MetricsRegistry()
+        api.mine_many(self._batch(), 2, n_jobs=4, obs=pooled_obs)
+
+        serial_counters = serial_obs.dump()["counters"]
+        pooled_counters = pooled_obs.dump()["counters"]
+        assert serial_counters, "serial run recorded no counters"
+        assert pooled_counters == serial_counters
+
+    def test_pooled_spans_stitch_into_the_callers_trace(self):
+        from repro.obs import MetricsRegistry, TraceRecorder, activated, root_context
+
+        obs = MetricsRegistry(recorder=TraceRecorder())
+        ambient = root_context()
+        with activated(ambient):
+            api.mine_many(self._batch(), 2, n_jobs=2, obs=obs)
+        workers = [s for s in obs.recorder.spans() if s.name == "mine.worker.seconds"]
+        assert len(workers) == len(self._batch())
+        assert {s.trace_id for s in workers} == {ambient.trace_id}
+        assert {s.parent_id for s in workers} <= {ambient.span_id}
+
+    def test_disabled_registry_adds_no_worker_overhead(self):
+        from repro.obs import MetricsRegistry
+
+        obs = MetricsRegistry(enabled=False)
+        results = api.mine_many(self._batch(), 2, n_jobs=2, obs=obs)
+        assert len(results) == len(self._batch())
+        assert obs.dump() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
 class TestMatchFacade:
     def test_match_from_result(self, example11):
         result = api.mine(example11, 2)

@@ -129,6 +129,94 @@ class TestCommands:
         )
         assert args.stats_interval == 0.5
 
+    def test_serve_parser_accepts_trace_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "patterns.rps", "--trace-out", "spans.jsonl", "--slow-ms", "250"]
+        )
+        assert args.trace_out == "spans.jsonl"
+        assert args.slow_ms == 250.0
+
+    def test_top_parser_defaults(self):
+        args = build_parser().parse_args(["top", "--port", "9999"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 9999
+        assert args.interval == 2.0
+        assert args.count is None
+
+
+class TestTopCommand:
+    def _snapshot(self, score_requests, ping_requests=0):
+        return {
+            "counters": {
+                "serve.op.score.requests": score_requests,
+                "serve.op.ping.requests": ping_requests,
+                "serve.requests": score_requests + ping_requests,
+                "serve.errors": 0,
+                "serve.bytes_in": 100,
+                "serve.bytes_out": 200,
+            },
+            "histograms": {
+                "serve.op.score.seconds": {"p50": 0.002, "p99": 0.010},
+            },
+        }
+
+    def test_first_frame_has_no_rate(self):
+        from repro.cli import render_top
+
+        frame = render_top(None, self._snapshot(5), interval=2.0)
+        lines = frame.splitlines()
+        assert lines[0].split() == ["op", "rate/s", "p50", "p99", "total"]
+        score_line = next(line for line in lines if line.startswith("score"))
+        assert score_line.split() == ["score", "-", "2.0ms", "10.0ms", "5"]
+        assert "requests=5" in lines[-1]
+
+    def test_rate_comes_from_counter_delta(self):
+        from repro.cli import render_top
+
+        frame = render_top(self._snapshot(5), self._snapshot(25), interval=2.0)
+        score_line = next(
+            line for line in frame.splitlines() if line.startswith("score")
+        )
+        assert score_line.split()[1] == "10.0"  # (25 - 5) / 2s
+
+    def test_zero_count_ops_are_hidden(self):
+        from repro.cli import render_top
+
+        frame = render_top(None, self._snapshot(3, ping_requests=0), interval=2.0)
+        assert "ping" not in frame
+
+    def test_top_against_live_daemon(self, tmp_path, chars_file, capsys):
+        from repro.core.clogsgrow import mine_closed
+        from repro.db.database import SequenceDatabase
+        from repro.match.store import save_patterns
+        from repro.serve import PatternServer, ServeClient
+
+        db = SequenceDatabase.from_strings(["AABCDABB", "ABCD"])
+        store = save_patterns(mine_closed(db, 2), tmp_path / "patterns.rps")
+        with PatternServer(store) as server:
+            host, port = server.address
+            with ServeClient(host, port) as client:
+                client.ping()
+            code = main(
+                ["top", "--port", str(port), "--count", "2", "--interval", "0.01"]
+            )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("op ") >= 1 or "rate/s" in out
+        assert "requests=" in out
+
+    def test_top_against_no_daemon_fails_cleanly(self, capsys):
+        import socket
+
+        # grab a port that is certainly not serving
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        code = main(["top", "--port", str(port), "--count", "1"])
+        assert code == 1
+        assert "top:" in capsys.readouterr().err
+
 
 class TestMatchCommands:
     @pytest.fixture

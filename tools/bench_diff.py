@@ -10,6 +10,13 @@ delta — suitable for ``$GITHUB_STEP_SUMMARY``::
 
     python tools/bench_diff.py BENCH_6.json bench-smoke.json
 
+Given *more than two* snapshots it switches to **trajectory mode**: one
+column per snapshot (oldest first), rows for the union of benchmarks,
+``—`` where a snapshot lacks the row, and the delta computed last vs
+first — how the perf story reads across a whole stack of PRs::
+
+    python tools/bench_diff.py BENCH_6.json BENCH_7.json BENCH_8.json BENCH_9.json
+
 Besides wall-clock medians, the script diffs the **memory peaks** some
 benchmarks record into ``extra_info`` (any key containing ``peak_bytes`` —
 ``tracemalloc`` peaks, the bigdb pipeline's RSS peak): a second table with
@@ -122,27 +129,85 @@ def memory_table(baseline: dict[str, float], current: dict[str, float]) -> str:
     return "\n".join(lines)
 
 
+def trajectory_table(
+    columns: list[tuple[str, dict[str, float]]],
+    formatter=format_seconds,
+) -> str:
+    """Markdown table with one column per snapshot and last-vs-first deltas.
+
+    Rows cover the *union* of benchmark names across every snapshot;
+    cells a snapshot lacks render as ``—``.  The delta compares the last
+    snapshot against the first and is blank when either side is missing.
+    """
+    names: set[str] = set()
+    for _, values in columns:
+        names.update(values)
+    header = (
+        "| benchmark | "
+        + " | ".join(label for label, _ in columns)
+        + " | delta | |"
+    )
+    rule = "| --- | " + " | ".join("---:" for _ in columns) + " | ---: | --- |"
+    lines = [header, rule]
+    first, last = columns[0][1], columns[-1][1]
+    for name in sorted(names):
+        cells = [
+            formatter(values[name]) if name in values else "—"
+            for _, values in columns
+        ]
+        if name in first and name in last and first[name]:
+            change = (last[name] - first[name]) / first[name]
+            delta = f"{change:+.1%}"
+            flag = ":warning:" if change >= HIGHLIGHT_THRESHOLD else ""
+        else:
+            delta, flag = "—", ""
+        lines.append(f"| `{name}` | " + " | ".join(cells) + f" | {delta} | {flag} |")
+    return "\n".join(lines)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; always returns 0 (the diff is advisory)."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("baseline", type=Path, help="committed BENCH_<pr>.json snapshot")
-    parser.add_argument("current", type=Path, help="fresh benchmark-smoke JSON")
+    parser.add_argument(
+        "snapshots",
+        type=Path,
+        nargs="+",
+        help=(
+            "benchmark JSONs, oldest first: two compare baseline vs current, "
+            "three or more render the whole trajectory"
+        ),
+    )
     args = parser.parse_args(argv)
-    for path in (args.baseline, args.current):
+    if len(args.snapshots) < 2:
+        parser.error("need at least two snapshots to compare")
+    for path in args.snapshots:
         if not path.exists():
             print(f"bench-diff: `{path}` not found — skipping the comparison")
             return 0
-    baseline = load_medians(args.baseline)
-    current = load_medians(args.current)
-    print(f"### Benchmark smoke vs `{args.baseline.name}` (warn-only)")
+    if len(args.snapshots) == 2:
+        baseline_path, current_path = args.snapshots
+        baseline = load_medians(baseline_path)
+        current = load_medians(current_path)
+        print(f"### Benchmark smoke vs `{baseline_path.name}` (warn-only)")
+        print()
+        print(diff_table(baseline, current))
+        peaks = memory_table(load_memory_peaks(baseline_path), load_memory_peaks(current_path))
+        if peaks:
+            print()
+            print("#### Memory peaks")
+            print()
+            print(peaks)
+        return 0
+    columns = [(path.name, load_medians(path)) for path in args.snapshots]
+    print(f"### Benchmark trajectory across {len(columns)} snapshots (warn-only)")
     print()
-    print(diff_table(baseline, current))
-    peaks = memory_table(load_memory_peaks(args.baseline), load_memory_peaks(args.current))
-    if peaks:
+    print(trajectory_table(columns))
+    peak_columns = [(path.name, load_memory_peaks(path)) for path in args.snapshots]
+    if any(values for _, values in peak_columns):
         print()
         print("#### Memory peaks")
         print()
-        print(peaks)
+        print(trajectory_table(peak_columns, formatter=format_bytes))
     return 0
 
 

@@ -10,6 +10,7 @@ from tools.reprolint.rules.rl004_layering import EngineLayering
 from tools.reprolint.rules.rl005_wall_clock import NoWallClock
 from tools.reprolint.rules.rl006_obs_guard import ObsGuardDiscipline
 from tools.reprolint.rules.rl007_storage_seam import StorageSeamLayering
+from tools.reprolint.rules.rl008_metric_names import MetricNameDiscipline
 
 ALL_RULES: tuple[Rule, ...] = (
     HotLoopPurity(),
@@ -19,6 +20,7 @@ ALL_RULES: tuple[Rule, ...] = (
     NoWallClock(),
     ObsGuardDiscipline(),
     StorageSeamLayering(),
+    MetricNameDiscipline(),
 )
 
 __all__ = [
@@ -26,6 +28,7 @@ __all__ = [
     "EngineLayering",
     "HotLoopPurity",
     "LockDiscipline",
+    "MetricNameDiscipline",
     "NoWallClock",
     "ObsGuardDiscipline",
     "Rule",

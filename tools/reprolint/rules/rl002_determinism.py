@@ -142,7 +142,10 @@ class SerializationDeterminism(Rule):
         "repro/serve/protocol.py",
         "repro/core/results.py",
         "repro/stream/miner.py",
-        "repro/obs.py",
+        "repro/obs/metrics.py",
+        "repro/obs/trace.py",
+        "repro/obs/aggregate.py",
+        "repro/obs/export.py",
     )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:

@@ -1,0 +1,91 @@
+"""RL008 — metric and span names must be lowercase dotted string literals.
+
+The observability surface hangs off instrument *names*: snapshots sort by
+them, ``merge`` matches worker telemetry to parent instruments by them,
+the Prometheus exporter rewrites them, trace spans share them with the
+histograms that time them, and dashboards grep for them.  That only works
+if the namespace is closed and statically knowable — which dies the moment
+names are assembled at runtime::
+
+    obs.counter(f"serve.{op}.requests")      # unbounded cardinality
+    obs.histogram("mine." + phase)           # invisible to grep
+    obs.span(SPAN_NAME)                      # name lives somewhere else
+
+Within ``repro/`` (the obs package itself excluded — it *implements* the
+registry and handles names generically) this rule requires the first
+argument of every ``counter()`` / ``gauge()`` / ``histogram()`` /
+``span()`` / ``timed()`` call to be a string literal matching
+``lowercase.dotted.segments`` (``[a-z0-9_]`` segments joined by dots).
+F-strings, concatenation, and names passed through variables are all
+flagged.  The few sites that genuinely enumerate a *closed* set (the
+per-operation serve metrics, the mirrored stream counters, the miner's
+phase histograms) carry per-line ``# reprolint: disable=RL008`` with the
+reason — the suppression is the documentation.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+
+from tools.reprolint.context import FileContext, Finding
+from tools.reprolint.rules.base import Rule
+
+#: Registry methods whose first argument is an instrument/span name
+#: (mirrors RL006's factory set).
+_FACTORY_METHODS = frozenset({"counter", "gauge", "histogram", "span", "timed"})
+
+#: The shape every instrument name must have: lowercase dotted segments.
+_NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)*$")
+
+
+class MetricNameDiscipline(Rule):
+    rule_id = "RL008"
+    summary = "metric/span names must be lowercase dotted string literals"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.rel_posix.startswith("repro/") and not ctx.rel_posix.startswith(
+            "repro/obs/"
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _FACTORY_METHODS
+                and node.args
+            ):
+                yield from self._check_name(node.func.attr, node.args[0])
+
+    def _check_name(self, method: str, name: ast.expr) -> Iterator[Finding]:
+        if isinstance(name, ast.Constant) and isinstance(name.value, str):
+            if not _NAME_RE.fullmatch(name.value):
+                yield self.finding(
+                    name.lineno,
+                    f".{method}({name.value!r}): instrument names must be "
+                    "lowercase dotted segments ([a-z0-9_], joined by '.')",
+                )
+            return
+        if isinstance(name, ast.JoinedStr):
+            yield self.finding(
+                name.lineno,
+                f".{method}(f\"...\"): f-string instrument names create "
+                "unbounded/ungreppable metric cardinality; use a string "
+                "literal (or suppress with a reason at a closed enumeration)",
+            )
+            return
+        if isinstance(name, ast.BinOp):
+            yield self.finding(
+                name.lineno,
+                f".{method}(... + ...): concatenated instrument names are "
+                "invisible to grep and unbounded; use a string literal",
+            )
+            return
+        yield self.finding(
+            name.lineno,
+            f".{method}({ast.unparse(name)}): instrument names must be "
+            "in-place string literals so the metric namespace stays closed "
+            "and greppable",
+        )
