@@ -213,7 +213,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     server = subparsers.add_parser(
-        "serve", help="serve a pattern store over TCP (match/score/rank/top-k)"
+        "serve",
+        help="serve pattern stores over TCP/UDS (match/score/rank/top-k)",
     )
     server.add_argument("patterns", help="pattern-store file to serve (binary or JSON)")
     server.add_argument("--host", default="127.0.0.1", help="listening address")
@@ -222,6 +223,43 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="listening port (default: 0 — an ephemeral port, printed at startup)",
+    )
+    server.add_argument(
+        "--uds",
+        default=None,
+        metavar="PATH",
+        help="also listen on a unix-domain socket at PATH (removed on exit)",
+    )
+    server.add_argument(
+        "--ns",
+        action="append",
+        default=None,
+        metavar="NAME=STORE",
+        help=(
+            "serve an extra namespace: NAME answers requests carrying "
+            '{"ns": NAME} from STORE (repeatable; the positional store '
+            "remains the default namespace)"
+        ),
+    )
+    server.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=1.0,
+        metavar="N",
+        help=(
+            "micro-batch score/match requests arriving within N ms into one "
+            "automaton sweep (default: 1.0; 0 disables batching)"
+        ),
+    )
+    server.add_argument(
+        "--cache-size",
+        type=int,
+        default=1024,
+        metavar="N",
+        help=(
+            "cache up to N query responses keyed on the store generation, "
+            "so reloads invalidate automatically (default: 1024; 0 disables)"
+        ),
     )
     server.add_argument(
         "--auto-reload",
@@ -505,10 +543,24 @@ def run_serve(args) -> int:
         if args.trace_out is not None
         else None
     )
+    stores: dict[str, str] = {}
+    for spec in args.ns or []:
+        name, separator, path = spec.partition("=")
+        if not separator or not name or not path:
+            print(f"error: --ns expects NAME=STORE, got {spec!r}", file=sys.stderr)
+            return 2
+        if name in stores:
+            print(f"error: duplicate --ns name {name!r}", file=sys.stderr)
+            return 2
+        stores[name] = path
     server = PatternServer(
         args.patterns,
         host=args.host,
         port=args.port,
+        uds=args.uds,
+        stores=stores or None,
+        batch_window_ms=args.batch_window_ms,
+        cache_size=args.cache_size,
         mmap=False if args.no_mmap else "auto",
         auto_reload=args.auto_reload,
         obs=obs,
@@ -517,9 +569,11 @@ def run_serve(args) -> int:
     )
     host, port = server.address
     store = server.store
+    extra_ns = f", +{len(stores)} ns" if stores else ""
     print(
         f"# serving {args.patterns} ({len(store)} patterns"
-        f"{', zero-copy' if store.is_zero_copy else ''}) on {host}:{port}"
+        f"{', zero-copy' if store.is_zero_copy else ''}{extra_ns}) on {host}:{port}"
+        f"{f', uds {args.uds}' if args.uds else ''}"
         f"{f', tracing -> {args.trace_out}' if args.trace_out else ''}",
         flush=True,
     )

@@ -39,7 +39,16 @@ class ServeClient:
     Parameters
     ----------
     host, port:
-        The daemon's address (``PatternServer.address``).
+        The daemon's TCP address (``PatternServer.address``).
+    uds:
+        A unix-domain socket path; when given, the client connects there
+        instead of TCP (``PatternServer.uds_path`` on an asyncio daemon
+        serving one).
+    ns:
+        A namespace name stamped onto every request (as the ``ns`` field)
+        so this client scores against that store slot; ``None`` (default)
+        targets the daemon's default namespace.  Explicit per-request
+        ``ns`` parameters win over this.
     timeout:
         Socket timeout in seconds for connecting and for each response.
     obs:
@@ -59,11 +68,15 @@ class ServeClient:
         host: str = "127.0.0.1",
         port: int = 0,
         *,
+        uds: str | None = None,
+        ns: str | None = None,
         timeout: float = 30.0,
         obs: MetricsRegistry | None = None,
     ) -> None:
         self.host = host
         self.port = port
+        self.uds = uds
+        self.ns = ns
         self.timeout = timeout
         self.obs = obs
         self._sock: socket.socket | None = None
@@ -77,9 +90,19 @@ class ServeClient:
     def connect(self) -> ServeClient:
         """Open the connection now (otherwise the first request does)."""
         if self._sock is None:
-            self._sock = socket.create_connection(
-                (self.host, self.port), timeout=self.timeout
-            )
+            if self.uds is not None:
+                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                sock.settimeout(self.timeout)
+                try:
+                    sock.connect(self.uds)
+                except OSError:
+                    sock.close()
+                    raise
+                self._sock = sock
+            else:
+                self._sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout
+                )
             self._file = self._sock.makefile("rwb")
         return self
 
@@ -128,6 +151,8 @@ class ServeClient:
         self.connect()
         payload: dict[str, Any] = {"op": op}
         payload.update(params)
+        if self.ns is not None:
+            payload.setdefault("ns", self.ns)
         context = current_context()
         if context is not None:
             payload.setdefault("trace", context.to_wire())
@@ -197,6 +222,16 @@ class ServeClient:
     def reload(self, force: bool = False) -> dict[str, Any]:
         """Ask the daemon to swap in a republished store file."""
         return self.request("reload", force=force)
+
+    def namespaces(self) -> dict[str, Any]:
+        """The daemon's served namespaces, keyed by name.
+
+        Each value carries ``patterns``, ``generation`` (the publish
+        epoch that keys the response cache), ``store_path`` and
+        ``zero_copy``.  This operation always answers for the whole
+        daemon, whatever this client's ``ns`` is.
+        """
+        return cast(dict[str, Any], self.request("namespaces")["namespaces"])
 
     def trace(self, limit: int | None = None) -> dict[str, Any]:
         """The daemon's recent completed spans (its trace-recorder ring).

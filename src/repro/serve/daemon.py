@@ -1,100 +1,37 @@
-"""The long-running pattern-serving daemon.
+"""The threaded (one-thread-per-connection) pattern-serving transport.
 
-Mining produces a pattern store; matching wants that store resident,
-compiled and queryable for hours.  :class:`PatternServer` is the process
-that holds it: a stdlib :mod:`socketserver` TCP loop that loads a store
-once (zero-copy over a shared mapping where the platform allows), compiles
-the shared :class:`~repro.match.automaton.PatternAutomaton` once, and then
-answers ``match`` / ``score`` / ``rank`` / ``top_k`` requests over the
-newline-delimited JSON protocol of :mod:`repro.serve.protocol`.
+The daemon's brains — store lifecycle, namespaces, the response cache,
+request dispatch and telemetry — live in :class:`repro.serve.core.ServeCore`;
+this module is the original stdlib :mod:`socketserver` TCP shell around
+them: a ``ThreadingTCPServer`` accept loop that reads newline-framed JSON
+requests and answers each on its own handler thread.
 
-Republication is first-class: a ``reload`` request (or ``auto_reload=True``,
-which stats the file before every request) swaps in a republished store —
-the :class:`~repro.stream.miner.StreamMiner` ``store_path=...`` bridge
-rewrites the file after every refresh.  The swap is graceful (in-flight
-requests finish on the old store; a lock orders the exchange) and cheap:
-when the republish changed only supports, the new store adopts the old
-store's compiled automaton (:meth:`PatternStore.adopt_automaton`) instead
-of recompiling, and a supports-only in-place patch
-(:meth:`PatternStore.patch_file_supports`) is visible through an existing
-zero-copy mapping without any reload at all.
-
-Each request is handled on its own thread (``ThreadingTCPServer``), so a
-slow scoring call never blocks a liveness ping.  Nothing here imports the
-client; the daemon is usable from any language that frames JSON by lines.
+:class:`ThreadedPatternServer` predates the asyncio transport
+(:class:`repro.serve.aio.PatternServer`, the default facade) and stays for
+two jobs: it is the equivalence baseline the asyncio daemon is pinned
+against (both transports run the identical core, so their wire behaviour
+can only differ if a transport leaks), and it remains a fine embedded
+server for callers that want a thread model with no event loop in the
+process.
 """
 
 from __future__ import annotations
 
-import itertools
-import os
 import socketserver
-import sys
 import threading
-from collections.abc import Callable
+from typing import cast
+
+from collections.abc import Callable, Mapping
 from pathlib import Path
-from typing import Any, cast
 
 from repro.core.constraints import GapConstraint
-from repro.db.database import SequenceDatabase
-from repro.db.sequence import as_sequence
-from repro.match.service import PatternMatcher
-from repro.match.store import PatternStore, load_patterns
-from repro.obs import (
-    Counter,
-    Histogram,
-    MetricsRegistry,
-    SpanJournalWriter,
-    SpanRecord,
-    TraceContext,
-    child_of,
-    reset_context,
-    set_context,
-)
-from repro.serve.protocol import (
-    MAX_LINE_BYTES,
-    OPERATIONS,
-    ProtocolError,
-    decode_line,
-    encode_line,
-    error_response,
-    match_result_to_wire,
-    ok_response,
-    ranked_to_wire,
-    score_to_wire,
-    top_patterns_to_wire,
-)
+from repro.obs import MetricsRegistry
+from repro.serve.core import ServeCore
+from repro.serve.protocol import MAX_LINE_BYTES, encode_line, error_response
 
 PathLike = str | Path
 
-
-class _ServingState:
-    """One loaded store with its compiled matcher and the file identity it came from.
-
-    ``identity`` is ``(st_ino, st_mtime_ns, st_size)``: atomic republishes
-    (:meth:`PatternStore.save`) always create a new inode, so the inode
-    catches same-size republishes even on filesystems with coarse
-    timestamps, while mtime/size catch in-place supports patches.
-
-    ``ticket`` is the server's monotonic load counter, drawn when the load
-    *started*.  The file only ever moves forward, so a later-started load
-    observed bytes at least as fresh as any earlier one — tickets order
-    racing reloads without trusting wall-clock timestamps.
-    """
-
-    __slots__ = ("store", "matcher", "identity", "ticket")
-
-    def __init__(
-        self,
-        store: PatternStore,
-        matcher: PatternMatcher,
-        stat: os.stat_result,
-        ticket: int,
-    ) -> None:
-        self.store = store
-        self.matcher = matcher
-        self.identity = (stat.st_ino, stat.st_mtime_ns, stat.st_size)
-        self.ticket = ticket
+__all__ = ["ThreadedPatternServer"]
 
 
 class _ServeTCPServer(socketserver.ThreadingTCPServer):
@@ -103,7 +40,9 @@ class _ServeTCPServer(socketserver.ThreadingTCPServer):
     allow_reuse_address = True
     daemon_threads = True
 
-    def __init__(self, address: tuple[str, int], owner: PatternServer) -> None:
+    def __init__(
+        self, address: tuple[str, int], owner: ThreadedPatternServer
+    ) -> None:
         super().__init__(address, _RequestHandler)
         self.owner = owner
 
@@ -147,71 +86,19 @@ class _RequestHandler(socketserver.StreamRequestHandler):
                 break
 
 
-def _query_database(params: dict[str, Any]) -> SequenceDatabase:
-    """Coerce a request's ``sequences`` parameter into a query database.
+class ThreadedPatternServer(ServeCore):
+    """A scoring daemon over loaded pattern stores, one thread per connection.
 
-    Accepts a single string (one sequence of single-character events) or a
-    list of sequences, each a string or a list of str/int events — the JSON
-    shapes of what :func:`~repro.db.sequence.as_sequence` accepts.
-    """
-    sequences = params.get("sequences")
-    if sequences is None:
-        raise ProtocolError("missing required parameter 'sequences'")
-    if isinstance(sequences, str):
-        sequences = [sequences]
-    if not isinstance(sequences, list) or not sequences:
-        raise ProtocolError("'sequences' must be a non-empty list (or one string)")
-    return SequenceDatabase([as_sequence(seq) for seq in sequences])
+    Accepts every :class:`~repro.serve.core.ServeCore` parameter plus the
+    listening address:
 
-
-class PatternServer:
-    """A scoring daemon over a loaded pattern store.
-
-    Parameters
-    ----------
-    store_path:
-        A pattern-store file (binary or JSON, sniffed).  Loaded once at
-        construction — zero-copy over a shared read-only mapping for binary
-        stores when ``mmap`` allows — and compiled into the shared automaton
-        before the first request.
     host, port:
-        The listening address; ``port=0`` (default) picks an ephemeral port,
-        read back from :attr:`address`.
-    constraint:
-        Optional gap constraint applied to every match (the mined
-        constraint, if mining used one).
-    mmap:
-        Store read path: ``"auto"`` (default) / ``True`` / ``False``, with
-        the semantics of :meth:`repro.match.store.PatternStore.open`.
-    auto_reload:
-        ``True`` re-stats the store file before every request and reloads
-        when it changed, so the daemon always serves the latest republish
-        without anyone asking; ``False`` (default) reloads only on the
-        explicit ``reload`` operation.
-    obs:
-        Optional :class:`~repro.obs.MetricsRegistry` to record into:
-        per-operation request counts (``serve.op.<op>.requests``) and
-        latency histograms (``serve.op.<op>.seconds``), bytes in/out,
-        reload/adoption counters and durations.  The ``stats`` operation
-        returns this registry's snapshot.  Defaults to a private enabled
-        registry.  When the registry carries an enabled
-        :class:`~repro.obs.TraceRecorder`, every request additionally
-        records an operation span — parented under the request's optional
-        ``trace`` wire context and echoed back on the response — and the
-        ``trace`` operation serves the recorder's ring.
-    trace_out:
-        Optional path of a JSON-lines span journal
-        (:class:`~repro.obs.SpanJournalWriter`, append mode).  After each
-        request the daemon drains newly completed spans from the recorder
-        into it, so the journal is the replayable record of every traced
-        request.  Requires a registry with a recorder to have any effect.
-    slow_ms:
-        When set, any request slower than this many milliseconds emits one
-        ``# slow op=<op> ms=<elapsed> trace=<trace_id>`` line through
-        ``slow_sink`` — the grep-able hook for tail-latency triage, with
-        the trace id linking straight to the span journal.
-    slow_sink:
-        Where slow-request lines go; defaults to stderr.
+        The listening address; ``port=0`` (default) picks an ephemeral
+        port, read back from :attr:`address`.
+
+    See :class:`repro.serve.aio.PatternServer` for the asyncio transport
+    with the same core (plus unix-domain sockets and request batching);
+    the two answer every request identically.
     """
 
     def __init__(
@@ -220,6 +107,7 @@ class PatternServer:
         *,
         host: str = "127.0.0.1",
         port: int = 0,
+        stores: Mapping[str, PathLike] | None = None,
         constraint: GapConstraint | None = None,
         mmap: bool | str = "auto",
         auto_reload: bool = False,
@@ -227,341 +115,22 @@ class PatternServer:
         trace_out: PathLike | None = None,
         slow_ms: float | None = None,
         slow_sink: Callable[[str], None] | None = None,
+        cache_size: int = 1024,
     ) -> None:
-        self.store_path = Path(store_path)
-        self._constraint = constraint
-        self._mmap = mmap
-        self._auto_reload = auto_reload
-        self._lock = threading.Lock()
+        super().__init__(
+            store_path,
+            stores=stores,
+            constraint=constraint,
+            mmap=mmap,
+            auto_reload=auto_reload,
+            obs=obs,
+            trace_out=trace_out,
+            slow_ms=slow_ms,
+            slow_sink=slow_sink,
+            cache_size=cache_size,
+        )
         self._serving = False
-        self.reloads = 0
-        self.automaton_reuses = 0
-        self.requests_served = 0
-        self.last_reload_error: str | None = None
-        self.last_reload_seconds: float | None = None
-        self.obs = obs if obs is not None else MetricsRegistry()
-        self._started = self.obs.clock()
-        # Instruments are pre-bound once (null instruments on a disabled
-        # registry), so the request path never pays a per-request registry
-        # dict lookup — the RL006 discipline, applied to the daemon.
-        self._op_metrics: dict[str, tuple[Counter, Histogram]] = {
-            name: (
-                self.obs.counter(f"serve.op.{name}.requests"),  # reprolint: disable=RL008 -- the per-op family is enumerated from the closed OPERATIONS tuple, not free-form
-                self.obs.histogram(f"serve.op.{name}.seconds"),  # reprolint: disable=RL008 -- same closed enumeration; each expansion is a conformant dotted name
-            )
-            for name in (*OPERATIONS, "invalid")
-        }
-        # Op span names are the op histogram names — one vocabulary for the
-        # latency table and the trace tree.
-        self._op_span_names: dict[str, str] = {
-            name: histogram.name for name, (_, histogram) in self._op_metrics.items()
-        }
-        self._trace_lock = threading.Lock()
-        self._trace_cursor = 0
-        self._trace_writer = (
-            SpanJournalWriter(trace_out) if trace_out is not None else None
-        )
-        self._slow_ms = slow_ms
-        self._slow_sink: Callable[[str], None] = (
-            slow_sink
-            if slow_sink is not None
-            else lambda line: print(line, file=sys.stderr)
-        )
-        self._requests_total = self.obs.counter("serve.requests")
-        self._errors_total = self.obs.counter("serve.errors")
-        self._bytes_in = self.obs.counter("serve.bytes_in")
-        self._bytes_out = self.obs.counter("serve.bytes_out")
-        self._load_tickets = itertools.count()
-        self._state, _ = self._load_state(adopt_from=None)
         self._tcp = _ServeTCPServer((host, port), self)
-
-    # ------------------------------------------------------------------
-    # Store lifecycle
-    # ------------------------------------------------------------------
-    def _load_state(
-        self, adopt_from: PatternStore | None
-    ) -> tuple[_ServingState, bool]:
-        """Load the store file and compile (or adopt) its automaton.
-
-        Returns ``(state, adopted)`` where ``adopted`` says whether the new
-        store reused ``adopt_from``'s compiled automaton.  The load ticket
-        is drawn *before* the file is read, so ticket order bounds bytes
-        freshness (see :class:`_ServingState`).
-        """
-        ticket = next(self._load_tickets)
-        stat = os.stat(self.store_path)
-        store = load_patterns(self.store_path, mmap=self._mmap)
-        adopted = adopt_from is not None and store.adopt_automaton(adopt_from)
-        matcher = PatternMatcher(store, constraint=self._constraint, obs=self.obs)
-        return _ServingState(store, matcher, stat, ticket), adopted
-
-    @property
-    def store(self) -> PatternStore:
-        """The currently served store."""
-        return self._state.store
-
-    def reload(self, force: bool = False) -> dict[str, Any]:
-        """Swap in the store file if it was republished (or ``force`` is set).
-
-        Returns a summary dict: ``reloaded`` (whether a swap happened),
-        ``automaton_reused`` (whether the new store adopted the old compiled
-        automaton — the supports-only republish fast path) and ``patterns``.
-        In-flight requests keep the state they started with; new requests
-        see the fresh store.
-
-        The unchanged-file fast path is lock-free (one ``stat`` + tuple
-        compare) and the expensive part of an actual reload — file load and
-        automaton compile — runs outside the lock too, so a republish never
-        stalls concurrent requests; only the state swap itself is mutual.
-        Racing reloads both do the work, but the swap keeps whichever load
-        *started* later (:meth:`_swap_state` compares monotonic load
-        tickets — the file only moves forward, so a later-started load read
-        bytes at least as fresh), so a slow loader finishing late can never
-        reinstall a superseded store, and no wall-clock comparison is
-        involved.
-        """
-        stat = os.stat(self.store_path)
-        current = self._state
-        if (
-            not force
-            and (stat.st_ino, stat.st_mtime_ns, stat.st_size) == current.identity
-        ):
-            return {
-                "reloaded": False,
-                "automaton_reused": False,
-                "patterns": len(current.store),
-            }
-        started = self.obs.clock()
-        state, adopted = self._load_state(adopt_from=current.store)
-        swapped = self._swap_state(state, adopted)
-        elapsed = self.obs.clock() - started
-        if self.obs.enabled:
-            with self.obs.locked():
-                self.obs.histogram("serve.reload.seconds").observe(elapsed)
-                if swapped:
-                    self.obs.counter("serve.reloads").inc()
-                    if adopted:
-                        self.obs.counter("serve.automaton_adoptions").inc()
-        with self._lock:
-            self.last_reload_seconds = elapsed
-        served = self._state
-        return {
-            "reloaded": swapped,
-            "automaton_reused": swapped and adopted,
-            "patterns": len(served.store),
-        }
-
-    def _swap_state(self, state: _ServingState, adopted: bool) -> bool:
-        """Install ``state`` unless the served state came from a later-started load.
-
-        Load tickets are drawn before the file is read and the file only
-        ever moves forward, so a later ticket means at-least-as-fresh
-        bytes — an ordering immune to clock steps and coarse filesystem
-        timestamps.  Returns whether the swap happened.
-        """
-        with self._lock:
-            if state.ticket < self._state.ticket:
-                return False
-            self._state = state
-            self.reloads += 1
-            if adopted:
-                self.automaton_reuses += 1
-            return True
-
-    def _maybe_auto_reload(self) -> None:
-        """Pick up a republished store before handling a request (opt-in).
-
-        A failed automatic reload — a mid-republish gap, a truncated or
-        unreadable file, an unknown format version — must never poison the
-        request being handled (or shutdown): the daemon keeps serving its
-        loaded state and remembers the failure, which ``ping`` surfaces as
-        ``last_reload_error``.  An explicit ``reload`` request still
-        reports its failure to the caller.
-        """
-        if not self._auto_reload:
-            return
-        try:
-            self.reload()
-        except Exception as exc:  # noqa: BLE001 - keep serving the loaded state
-            message: str | None = f"{type(exc).__name__}: {exc}"
-            self.obs.counter("serve.auto_reload_failures").inc()
-        else:
-            message = None
-        # The assignment happens under the (non-reentrant) lock, but only
-        # after reload() — and the _swap_state it runs — has released it.
-        with self._lock:
-            self.last_reload_error = message
-
-    # ------------------------------------------------------------------
-    # Request handling
-    # ------------------------------------------------------------------
-    def handle_raw(self, raw: bytes) -> tuple[bytes, bool]:
-        """Handle one request line; returns ``(response line, stop?)``.
-
-        Never raises: protocol violations and handler errors come back as
-        ``{"ok": false, "error": ...}`` responses so one bad request cannot
-        take the daemon down.
-
-        Every request — including malformed ones, filed under the
-        ``invalid`` pseudo-operation — is counted and timed into the
-        registry *after* its response is encoded, under one registry lock
-        acquisition, so in every snapshot the per-op histogram count equals
-        the per-op request counter (a ``stats`` response therefore never
-        counts the request that carried it).
-
-        With tracing on (an enabled recorder on the registry), the whole
-        handling becomes the request's *operation span*: parented under
-        the request's optional ``trace`` wire context, ambient while the
-        operation runs (so matcher spans nest beneath it), echoed on the
-        response as ``trace``, and recorded after the response is encoded
-        — which is also when the span journal drains and the slow-request
-        line (if configured) is emitted.
-        """
-        obs = self.obs
-        recorder = obs.recorder
-        tracing = obs.enabled and recorder is not None and recorder.enabled
-        started = obs.clock() if obs.enabled else 0.0
-        stop = False
-        request_id = None
-        op_name = "invalid"
-        parent: TraceContext | None = None
-        context: TraceContext | None = None
-        token = None
-        try:
-            request = decode_line(raw)
-            request_id = request.get("id")
-            op = request.get("op")
-            if op == "top-k":
-                op = "top_k"
-            if isinstance(op, str) and op in self._op_metrics:
-                op_name = op
-            if tracing:
-                parent = TraceContext.from_wire(request.get("trace"))
-                context = child_of(parent)
-                token = set_context(context)
-            self._maybe_auto_reload()
-            response = self._dispatch(op, request)
-            stop = op == "shutdown"
-        except ProtocolError as exc:
-            response = error_response(str(exc))
-        except Exception as exc:  # noqa: BLE001 - the daemon must keep serving
-            response = error_response(f"{type(exc).__name__}: {exc}")
-        finally:
-            if token is not None:
-                reset_context(token)
-        if request_id is not None:
-            response.setdefault("id", request_id)
-        if context is not None:
-            response["trace"] = context.to_wire()
-        encoded = encode_line(response)
-        if obs.enabled:
-            elapsed = obs.clock() - started
-            op_requests, op_seconds = self._op_metrics[op_name]
-            with obs.locked():
-                self._requests_total.inc()
-                op_requests.inc()
-                op_seconds.observe(elapsed)
-                self._bytes_in.inc(len(raw))
-                self._bytes_out.inc(len(encoded))
-                if not response.get("ok"):
-                    self._errors_total.inc()
-            if context is not None and recorder is not None:
-                recorder.record(
-                    SpanRecord(
-                        trace_id=context.trace_id,
-                        span_id=context.span_id,
-                        parent_id=None if parent is None else parent.span_id,
-                        name=self._op_span_names[op_name],
-                        start=started,
-                        duration=elapsed,
-                        attributes={"op": op_name},
-                    )
-                )
-                self._drain_trace()
-            if self._slow_ms is not None and elapsed * 1000.0 >= self._slow_ms:
-                trace_id = context.trace_id if context is not None else "-"
-                self._slow_sink(
-                    f"# slow op={op_name} ms={elapsed * 1000.0:.1f} trace={trace_id}"
-                )
-        with self._lock:
-            self.requests_served += 1
-        return encoded, stop
-
-    def _drain_trace(self) -> None:
-        """Append spans recorded since the last drain to the span journal.
-
-        Incremental via the recorder's sequence cursor; the cursor update
-        and the append happen under the writer-side lock, so concurrent
-        request threads never write a span twice or out of order.
-        """
-        writer = self._trace_writer
-        recorder = self.obs.recorder
-        if writer is None or recorder is None:
-            return
-        with self._trace_lock:
-            spans, self._trace_cursor = recorder.since(self._trace_cursor)
-            if spans:
-                writer.write(spans)
-
-    def _dispatch(self, op: Any, request: dict[str, Any]) -> dict[str, Any]:
-        """Route one decoded request to its (already normalised) operation."""
-        state = self._state
-        if op == "ping":
-            return ok_response(
-                patterns=len(state.store),
-                algorithm=state.store.algorithm,
-                min_sup=state.store.min_sup,
-                store_path=str(self.store_path),
-                zero_copy=state.store.is_zero_copy,
-                reloads=self.reloads,
-                automaton_reuses=self.automaton_reuses,
-                last_reload_error=self.last_reload_error,
-                last_reload_seconds=self.last_reload_seconds,
-                uptime_ticks=self.obs.clock() - self._started,
-                requests_served=self.requests_served,
-                pid=os.getpid(),
-            )
-        if op == "match":
-            result = state.matcher.match(_query_database(request))
-            return ok_response(**match_result_to_wire(result))
-        if op == "score":
-            scores = state.matcher.score_many(list(_query_database(request)))
-            return ok_response(scores=[score_to_wire(s) for s in scores])
-        if op == "rank":
-            ranked = state.matcher.rank_sequences(
-                list(_query_database(request)),
-                request.get("k"),
-                by=request.get("by", "anomaly"),
-            )
-            return ok_response(ranked=ranked_to_wire(ranked))
-        if op == "top_k":
-            top = state.matcher.top_patterns(
-                _query_database(request),
-                request.get("k", 10),
-                by=request.get("by", "support"),
-            )
-            return ok_response(patterns=top_patterns_to_wire(top))
-        if op == "reload":
-            return ok_response(**self.reload(force=bool(request.get("force"))))
-        if op == "stats":
-            return ok_response(stats=self.obs.snapshot())
-        if op == "trace":
-            recorder = self.obs.recorder
-            if recorder is None:
-                return ok_response(spans=[], dropped=0, total=0, enabled=False)
-            limit = request.get("limit")
-            spans = recorder.spans(None if limit is None else int(limit))
-            return ok_response(
-                spans=[span.to_wire() for span in spans],
-                dropped=recorder.dropped,
-                total=recorder.total,
-                enabled=recorder.enabled,
-            )
-        if op == "shutdown":
-            return ok_response(stopping=True)
-        raise ProtocolError(
-            f"unknown operation {op!r} (expected one of: {', '.join(OPERATIONS)})"
-        )
 
     # ------------------------------------------------------------------
     # Server lifecycle
@@ -603,55 +172,11 @@ class PatternServer:
         """
         self.shutdown()
         self._tcp.server_close()
-        if self._trace_writer is not None:
-            self._drain_trace()
-            self._trace_writer.close()
+        self._close_core()
 
-    def __enter__(self) -> PatternServer:
+    def __enter__(self) -> ThreadedPatternServer:
         self.start()
         return self
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
-
-
-def serve(
-    store_path: PathLike,
-    *,
-    host: str = "127.0.0.1",
-    port: int = 0,
-    constraint: GapConstraint | None = None,
-    mmap: bool | str = "auto",
-    auto_reload: bool = False,
-    obs: MetricsRegistry | None = None,
-    trace_out: PathLike | None = None,
-    slow_ms: float | None = None,
-    block: bool = True,
-) -> PatternServer:
-    """Start a pattern-serving daemon over a saved store.
-
-    ``block=True`` (default) serves on the calling thread until
-    :meth:`PatternServer.shutdown` (or a ``shutdown`` request) stops it,
-    then closes the socket and returns.  ``block=False`` starts a daemon
-    background thread and returns the running :class:`PatternServer`
-    immediately — read :attr:`PatternServer.address` for the bound port.
-    """
-    server = PatternServer(
-        store_path,
-        host=host,
-        port=port,
-        constraint=constraint,
-        mmap=mmap,
-        auto_reload=auto_reload,
-        obs=obs,
-        trace_out=trace_out,
-        slow_ms=slow_ms,
-    )
-    if not block:
-        server.start()
-        return server
-    try:
-        server.serve_forever()
-    finally:
-        server.close()
-    return server

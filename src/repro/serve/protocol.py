@@ -22,6 +22,9 @@ Operations (see :class:`repro.serve.daemon.PatternServer` for semantics):
     The served patterns most present in the query.
 ``reload``
     Swap in a republished store file (no-op when the file is unchanged).
+``namespaces``
+    The served namespaces: per-namespace pattern count, publish
+    generation, store path, and zero-copy flag.
 ``stats``
     The daemon's metrics snapshot (per-op request counts and latency
     histograms, bytes in/out, reload counters) as deterministic sorted JSON.
@@ -31,6 +34,11 @@ Operations (see :class:`repro.serve.daemon.PatternServer` for semantics):
     newest N.
 ``shutdown``
     Stop the daemon after responding.
+
+Any request may carry an optional ``ns`` field selecting the namespace —
+the named store slot — it runs against; requests without it go to the
+``default`` namespace, whose wire behaviour is exactly the single-store
+daemon's.
 
 Any request may carry an optional ``trace`` field — a
 ``{"trace_id": ..., "span_id": ...}`` wire context
@@ -66,6 +74,7 @@ OPERATIONS = (
     "rank",
     "top_k",
     "reload",
+    "namespaces",
     "stats",
     "trace",
     "shutdown",
@@ -178,6 +187,61 @@ def match_result_to_wire(result: MatchResult) -> dict[str, Any]:
             for entry in result
         ],
     }
+
+
+def match_slice_to_wire(
+    result: MatchResult, offset: int, count: int
+) -> dict[str, Any]:
+    """One request's slice of a batched :class:`MatchResult`, as wire.
+
+    The batched dispatch path concatenates several requests' query
+    sequences into one database and sweeps once; this projects sequences
+    ``offset+1 .. offset+count`` of the combined result back onto local
+    1-based indices.  Instances never span sequences and per-sequence
+    counts are recorded in ascending sequence order, so the projection —
+    slice supports summed, coverage recomputed over the slice — is
+    byte-identical to :func:`match_result_to_wire` over a standalone match
+    of just that request's sequences.
+    """
+    entries: list[dict[str, Any]] = []
+    matched = 0
+    for entry in result:
+        per_sequence: dict[str, int] = {}
+        support = 0
+        for i, n in entry.per_sequence.items():
+            if offset < i <= offset + count:
+                per_sequence[str(i - offset)] = n
+                support += n
+        if support:
+            matched += 1
+        entries.append(
+            {
+                "pattern": pattern_to_wire(entry.pattern),
+                "support": support,
+                "per_sequence": per_sequence,
+            }
+        )
+    coverage = matched / len(entries) if entries else 1.0
+    return {"num_sequences": count, "coverage": coverage, "entries": entries}
+
+
+def canonical_request(request: dict[str, Any]) -> str:
+    """A request's cache identity: its parameters, canonically serialised.
+
+    Strips the fields that do not affect the computed payload — ``id``
+    (echo-only), ``trace`` (telemetry), ``op`` and ``ns`` (already embedded
+    in the cache key as normalised values) — and serialises the rest with
+    sorted keys, so two requests that differ only in field order or
+    telemetry decoration share one cache entry.
+    """
+    params = {
+        key: value
+        for key, value in request.items()
+        if key not in ("id", "trace", "op", "ns")
+    }
+    return json.dumps(
+        params, sort_keys=True, ensure_ascii=False, separators=(",", ":")
+    )
 
 
 def ranked_to_wire(ranked: list[tuple[int, SequenceScore]]) -> list[list[Any]]:

@@ -1,0 +1,92 @@
+"""Shared fixtures for the serve test suite.
+
+Two disciplines every serve test inherits from here:
+
+* **No fixed ports, no fixed paths.**  Servers bind ephemeral TCP ports
+  (``port=0``, read back from ``.address``) and unix-domain sockets under
+  pytest's per-test temporary directory, so the suite can never collide
+  with another process — or a parallel copy of itself — and never needs
+  sleep/retry loops to wait for a port to free up.
+* **No leaked sockets.**  Every serve test runs with ``ResourceWarning``
+  promoted to an error, and an autouse fixture garbage-collects after the
+  test body while recording warnings — an unclosed socket surfaces as a
+  failure of the test that leaked it, not as noise after an unrelated one.
+"""
+
+from __future__ import annotations
+
+import gc
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro.core.clogsgrow import mine_closed
+from repro.db.database import SequenceDatabase
+from repro.match.store import save_patterns
+from repro.serve import PatternServer, ServeClient
+
+_SERVE_DIR = Path(__file__).parent
+
+
+def pytest_collection_modifyitems(items):
+    """Promote ResourceWarning to an error for every test in this suite."""
+    for item in items:
+        try:
+            in_suite = Path(item.fspath).is_relative_to(_SERVE_DIR)
+        except (TypeError, ValueError):
+            in_suite = False
+        if in_suite:
+            item.add_marker(pytest.mark.filterwarnings("error::ResourceWarning"))
+
+
+@pytest.fixture(autouse=True)
+def assert_no_leaked_sockets():
+    """Fail the test that leaked a socket, at that test.
+
+    ``ResourceWarning`` for an unclosed socket fires from its finalizer,
+    which normally runs at some later garbage collection — attributing the
+    leak to whatever test happens to be running then.  Collecting here,
+    with the warning recorded instead of raised (finalizers cannot
+    propagate exceptions), pins the leak to its owner.
+    """
+    yield
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        gc.collect()
+    leaks = [
+        w for w in caught if issubclass(w.category, ResourceWarning)
+    ]
+    assert not leaks, f"leaked resources: {[str(w.message) for w in leaks]}"
+
+
+@pytest.fixture(scope="session")
+def train_db():
+    """The training database every serve test mines its store from."""
+    return SequenceDatabase.from_strings(["AABCDABB", "ABCD", "ABCABCD"])
+
+
+@pytest.fixture
+def store_file(train_db, tmp_path):
+    """A freshly mined pattern store file (per test: reload tests mutate it)."""
+    result = mine_closed(train_db, 2)
+    return save_patterns(result, tmp_path / "patterns.rps")
+
+
+@pytest.fixture
+def uds_path(tmp_path):
+    """An ephemeral unix-domain socket path (per test, never reused)."""
+    return tmp_path / "serve.sock"
+
+
+@pytest.fixture
+def running(store_file):
+    """A started default server with a connected client, torn down cleanly."""
+    server = PatternServer(store_file)
+    server.start()
+    client = ServeClient(*server.address)
+    try:
+        yield server, client
+    finally:
+        client.close()
+        server.close()

@@ -28,28 +28,8 @@ REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
 
 QUERY = ["ABCDAB", "AACB", "ABCABCDD", "DDDD"]
 
-
-@pytest.fixture(scope="module")
-def train_db():
-    return SequenceDatabase.from_strings(["AABCDABB", "ABCD", "ABCABCD"])
-
-
-@pytest.fixture
-def store_file(train_db, tmp_path):
-    result = mine_closed(train_db, 2)
-    return save_patterns(result, tmp_path / "patterns.rps")
-
-
-@pytest.fixture
-def running(store_file):
-    server = PatternServer(store_file)
-    server.start()
-    client = ServeClient(*server.address)
-    try:
-        yield server, client
-    finally:
-        client.close()
-        server.close()
+# train_db / store_file / running come from tests/serve/conftest.py, which
+# also promotes ResourceWarning to an error for this whole suite.
 
 
 def in_process_matcher(store_file) -> PatternMatcher:
@@ -177,9 +157,9 @@ class TestErrors:
         assert client.ping()["ok"]  # lazy reconnect gives a clean pairing
 
     def test_oversized_request_line_is_rejected(self, store_file, monkeypatch):
-        from repro.serve import daemon as daemon_module
+        from repro.serve import aio as aio_module
 
-        monkeypatch.setattr(daemon_module, "MAX_LINE_BYTES", 1024)
+        monkeypatch.setattr(aio_module, "MAX_LINE_BYTES", 1024)
         with PatternServer(store_file) as server:
             host, port = server.address
             with socket.create_connection((host, port), timeout=30) as sock:
@@ -257,12 +237,13 @@ class TestReload:
 
         server = PatternServer(store_file)
         try:
-            stale_state, stale_adopted = server._load_state(adopt_from=None)
+            namespace = server._namespaces["default"]
+            stale_state, stale_adopted = server._load_state(namespace.path, None)
             time.sleep(0.01)  # ensure the republish lands with a newer mtime
             save_patterns(mine_closed(train_db, 3), store_file)
             assert server.reload()["reloaded"] is True
             fresh_store = server.store
-            assert not server._swap_state(stale_state, stale_adopted)
+            assert not server._swap_state(namespace, stale_state, stale_adopted)
             assert server.store is fresh_store
         finally:
             server.close()
@@ -420,3 +401,4 @@ class TestShutdown:
         finally:
             if proc.poll() is None:
                 proc.kill()
+            proc.stdout.close()

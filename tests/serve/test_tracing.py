@@ -23,16 +23,8 @@ from repro.serve import PatternServer, ServeClient
 
 QUERY = ["ABCDAB", "AACB"]
 
-
-@pytest.fixture(scope="module")
-def train_db():
-    return SequenceDatabase.from_strings(["AABCDABB", "ABCD", "ABCABCD"])
-
-
-@pytest.fixture
-def store_file(train_db, tmp_path):
-    result = mine_closed(train_db, 2)
-    return save_patterns(result, tmp_path / "patterns.rps")
+# store_file comes from tests/serve/conftest.py (with the suite-wide
+# ResourceWarning-as-error discipline).
 
 
 def traced_registry() -> MetricsRegistry:
